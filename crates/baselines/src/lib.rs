@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! Baseline DBSCAN algorithms re-implemented from their papers, used in
+//! the reproduction of Tables II, IV and V:
+//!
+//! * [`RDbscan`] — classical DBSCAN over a single R-tree index (the
+//!   paper's "R-DBSCAN" column), with disjoint-set cluster formation.
+//! * [`GDbscan`] — the groups method of Kumar & Reddy (Pattern
+//!   Recognition 2016): ε/2-radius groups built by linear scan (no spatial
+//!   index), group-pruned neighbour queries, full groups are all-core.
+//! * [`GridDbscan`] — grid-based exact DBSCAN (Kumari et al., ICDCN'17):
+//!   cells of side ε/√d, per-cell neighbour-cell lists, dense cells are
+//!   all-core. Its neighbour-cell structure grows exponentially with
+//!   dimension, which reproduces the paper's high-d memory errors — the
+//!   run returns `Err(MemoryLimitExceeded)` instead of thrashing.
+//!
+//! All baselines produce a [`mudbscan::Clustering`] and are validated for
+//! exactness against [`mudbscan::naive_dbscan`] (except where a paper
+//! baseline is approximate by design; those live in the `dist` crate).
+
+//! ```
+//! use baselines::{GDbscan, GridDbscan, RDbscan};
+//! use geom::{Dataset, DbscanParams};
+//!
+//! let data = Dataset::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.2, 0.0], vec![0.0, 0.2], vec![8.0, 8.0],
+//! ]);
+//! let params = DbscanParams::new(0.5, 3);
+//! let r = RDbscan::new(params).run(&data).clustering;
+//! let g = GDbscan::new(params).run(&data).clustering;
+//! let grid = GridDbscan::new(params).run(&data).unwrap().clustering;
+//! assert_eq!(r.n_clusters, 1);
+//! assert_eq!(r, g);
+//! assert_eq!(g, grid);
+//! ```
+
+pub mod gdbscan;
+pub mod grid;
+pub mod rdbscan;
+
+pub use gdbscan::GDbscan;
+pub use grid::{GridDbscan, GridError};
+pub use rdbscan::RDbscan;
+
+use metrics::{Counters, PhaseTimer};
+use mudbscan::Clustering;
+
+/// Common output shape for the sequential baselines.
+#[derive(Debug)]
+pub struct BaselineOutput {
+    /// The produced clustering.
+    pub clustering: Clustering,
+    /// Operation counters.
+    pub counters: Counters,
+    /// Wall-clock phase split-up.
+    pub phases: PhaseTimer,
+    /// Estimated peak heap bytes of the algorithm's structures.
+    pub peak_heap_bytes: usize,
+}

@@ -1,0 +1,186 @@
+//! R-DBSCAN: classical DBSCAN with a single R-tree over all points.
+//!
+//! Performs one ε-neighbourhood query per point (no query saving), with
+//! union–find cluster formation. This is the "R-DBSCAN" column of the
+//! paper's Table II and the sequential skeleton of PDSDBSCAN.
+
+use crate::BaselineOutput;
+use geom::{Dataset, DbscanParams, PointId};
+use metrics::{Counters, PhaseTimer, Stopwatch};
+use mudbscan::Clustering;
+use rtree::{RTree, RTreeConfig};
+use unionfind::UnionFind;
+
+/// Classical DBSCAN over a single R-tree.
+#[derive(Debug, Clone)]
+pub struct RDbscan {
+    params: DbscanParams,
+    cfg: RTreeConfig,
+    /// Build the index by STR bulk loading instead of repeated insertion
+    /// (ablation knob; query results are identical).
+    pub bulk_load: bool,
+}
+
+impl RDbscan {
+    /// New instance with default R-tree fan-out and incremental build.
+    pub fn new(params: DbscanParams) -> Self {
+        Self { params, cfg: RTreeConfig::default(), bulk_load: false }
+    }
+
+    /// Override the R-tree fan-out.
+    pub fn with_config(mut self, cfg: RTreeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Run on `data`.
+    pub fn run(&self, data: &Dataset) -> BaselineOutput {
+        let counters = Counters::new();
+        let mut phases = PhaseTimer::new();
+        let mut sw = Stopwatch::start();
+
+        let tree = if self.bulk_load {
+            RTree::bulk_load_points(
+                data.dim(),
+                self.cfg,
+                data.iter().map(|(i, p)| (i, p.to_vec())),
+            )
+        } else {
+            let mut t = RTree::with_config(data.dim(), self.cfg);
+            for (i, p) in data.iter() {
+                t.insert_point(i, p);
+            }
+            t
+        };
+        phases.add_secs("tree_construction", sw.lap());
+        let mut peak = tree.heap_bytes();
+
+        let n = data.len();
+        let mut uf = UnionFind::new(n);
+        let mut is_core = vec![false; n];
+        let mut assigned = vec![false; n];
+        // Deferred non-core points whose neighbourhoods contained no core
+        // yet; resolved after all cores are known (their stored lists make
+        // the pass query-free).
+        let mut pending: Vec<(PointId, Vec<PointId>)> = Vec::new();
+        let mut nbhrs: Vec<PointId> = Vec::new();
+
+        for p in data.ids() {
+            nbhrs.clear();
+            let cost = tree.search_sphere(data.point(p), self.params.eps, |q| nbhrs.push(q));
+            counters.count_range_query();
+            counters.count_dists(cost.mbr_tests);
+            counters.count_node_visit();
+
+            if nbhrs.len() >= self.params.min_pts {
+                is_core[p as usize] = true;
+                assigned[p as usize] = true;
+                for &x in &nbhrs {
+                    if is_core[x as usize] {
+                        uf.union(x, p);
+                        counters.count_union();
+                    } else if !assigned[x as usize] {
+                        uf.union(p, x);
+                        counters.count_union();
+                        assigned[x as usize] = true;
+                    }
+                }
+            } else if !assigned[p as usize] {
+                let mut attached = false;
+                for &x in &nbhrs {
+                    if is_core[x as usize] {
+                        uf.union(x, p);
+                        counters.count_union();
+                        assigned[p as usize] = true;
+                        attached = true;
+                        break;
+                    }
+                }
+                if !attached {
+                    pending.push((p, nbhrs.clone()));
+                }
+            }
+        }
+        phases.add_secs("clustering", sw.lap());
+        peak = peak.max(
+            tree.heap_bytes()
+                + uf.heap_bytes()
+                + pending.iter().map(|(_, v)| 16 + v.capacity() * 4).sum::<usize>(),
+        );
+
+        // Border rescue: some neighbours became core after p was examined.
+        for (p, nb) in &pending {
+            if assigned[*p as usize] {
+                continue;
+            }
+            for &q in nb {
+                if is_core[q as usize] {
+                    uf.union(q, *p);
+                    counters.count_union();
+                    assigned[*p as usize] = true;
+                    break;
+                }
+            }
+        }
+        phases.add_secs("post_processing", sw.lap());
+
+        let clustering = Clustering::from_union_find(&mut uf, is_core);
+        BaselineOutput { clustering, counters, phases, peak_heap_bytes: peak }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mudbscan::{check_exact, naive_dbscan};
+
+    fn blob_data() -> Dataset {
+        let mut rows = Vec::new();
+        let mut s = 99u64;
+        let mut r = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for (cx, cy) in [(0.0, 0.0), (5.0, 1.0), (2.0, 6.0)] {
+            for _ in 0..35 {
+                rows.push(vec![cx + 0.6 * r(), cy + 0.6 * r()]);
+            }
+        }
+        for _ in 0..12 {
+            rows.push(vec![10.0 * r(), 10.0 * r()]);
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn exact_vs_naive() {
+        let data = blob_data();
+        for (eps, min_pts) in [(0.5, 4), (0.8, 6), (0.3, 3)] {
+            let params = DbscanParams::new(eps, min_pts);
+            let out = RDbscan::new(params).run(&data);
+            let reference = naive_dbscan(&data, &params);
+            let rep = check_exact(&out.clustering, &reference, &data, &params);
+            assert!(rep.is_exact(), "eps={eps} min_pts={min_pts}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_and_incremental_agree() {
+        let data = blob_data();
+        let params = DbscanParams::new(0.6, 5);
+        let a = RDbscan::new(params).run(&data);
+        let mut alg = RDbscan::new(params);
+        alg.bulk_load = true;
+        let b = alg.run(&data);
+        assert_eq!(a.clustering, b.clustering);
+    }
+
+    #[test]
+    fn no_queries_saved() {
+        let data = blob_data();
+        let out = RDbscan::new(DbscanParams::new(0.5, 5)).run(&data);
+        assert_eq!(out.counters.range_queries() as usize, data.len());
+        assert_eq!(out.counters.queries_saved(), 0);
+        assert!(out.peak_heap_bytes > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based exactness for every sequential baseline: R-DBSCAN,
+//! G-DBSCAN and GridDBSCAN must all reproduce naive DBSCAN on arbitrary
+//! inputs — and therefore agree with μDBSCAN and with each other.
+
+use baselines::{GDbscan, GridDbscan, RDbscan};
+use geom::{Dataset, DbscanParams};
+use mudbscan::{check_exact, naive_dbscan};
+use proptest::prelude::*;
+
+fn clustered(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (
+        prop::collection::vec(prop::collection::vec(-6.0..6.0f64, dim), 1..4),
+        prop::collection::vec((0usize..4, prop::collection::vec(-0.8..0.8f64, dim)), 8..100),
+        prop::collection::vec(prop::collection::vec(-8.0..8.0f64, dim), 0..12),
+    )
+        .prop_map(|(centers, offsets, background)| {
+            let mut rows = Vec::new();
+            for (ci, off) in offsets {
+                let c = &centers[ci % centers.len()];
+                rows.push(c.iter().zip(&off).map(|(a, b)| a + b).collect());
+            }
+            rows.extend(background);
+            rows
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rdbscan_exact(rows in clustered(2), eps in 0.2..2.0f64, min_pts in 2usize..8) {
+        let data = Dataset::from_rows(&rows);
+        let params = DbscanParams::new(eps, min_pts);
+        let out = RDbscan::new(params).run(&data);
+        let reference = naive_dbscan(&data, &params);
+        let rep = check_exact(&out.clustering, &reference, &data, &params);
+        prop_assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    fn gdbscan_exact(rows in clustered(3), eps in 0.3..2.5f64, min_pts in 2usize..7) {
+        let data = Dataset::from_rows(&rows);
+        let params = DbscanParams::new(eps, min_pts);
+        let out = GDbscan::new(params).run(&data);
+        let reference = naive_dbscan(&data, &params);
+        let rep = check_exact(&out.clustering, &reference, &data, &params);
+        prop_assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    fn griddbscan_exact(rows in clustered(2), eps in 0.2..2.0f64, min_pts in 2usize..8) {
+        let data = Dataset::from_rows(&rows);
+        let params = DbscanParams::new(eps, min_pts);
+        let out = GridDbscan::new(params).run(&data).unwrap();
+        let reference = naive_dbscan(&data, &params);
+        let rep = check_exact(&out.clustering, &reference, &data, &params);
+        prop_assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_counts(rows in clustered(3), eps in 0.4..1.8f64, min_pts in 2usize..6) {
+        let data = Dataset::from_rows(&rows);
+        let params = DbscanParams::new(eps, min_pts);
+        let a = RDbscan::new(params).run(&data).clustering;
+        let b = GDbscan::new(params).run(&data).clustering;
+        let c = GridDbscan::new(params).run(&data).unwrap().clustering;
+        let d = mudbscan::MuDbscan::new(params).run(&data).clustering;
+        prop_assert_eq!(a.n_clusters, b.n_clusters);
+        prop_assert_eq!(b.n_clusters, c.n_clusters);
+        prop_assert_eq!(c.n_clusters, d.n_clusters);
+        prop_assert_eq!(a.is_core.clone(), b.is_core.clone());
+        prop_assert_eq!(b.is_core.clone(), c.is_core.clone());
+        prop_assert_eq!(c.is_core.clone(), d.is_core.clone());
+        prop_assert_eq!(a.noise_count(), d.noise_count());
+    }
+}

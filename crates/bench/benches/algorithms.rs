@@ -1,0 +1,50 @@
+//! End-to-end algorithm micro-bench: μDBSCAN vs the sequential baselines
+//! on one galaxy analogue (Criterion view of Table II's headline), plus
+//! the dynamic-promotion ablation.
+
+use baselines::{GridDbscan, RDbscan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use geom::DbscanParams;
+use mudbscan::MuDbscan;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let dataset = data::galaxy(10_000, 3, 3);
+    let params = DbscanParams::new(0.8, 5);
+
+    let mut g = c.benchmark_group("end_to_end");
+    g.bench_function("mudbscan", |b| {
+        b.iter(|| black_box(MuDbscan::new(params).run(&dataset).clustering.n_clusters))
+    });
+    g.bench_function("mudbscan_no_promotion", |b| {
+        let mut alg = MuDbscan::new(params);
+        alg.disable_dynamic_promotion = true;
+        b.iter(|| black_box(alg.run(&dataset).clustering.n_clusters))
+    });
+    g.bench_function("mudbscan_paper_postproc", |b| {
+        let mut alg = MuDbscan::new(params);
+        alg.disable_post_core_mc_skip = true;
+        b.iter(|| black_box(alg.run(&dataset).clustering.n_clusters))
+    });
+    g.bench_function("rdbscan", |b| {
+        b.iter(|| black_box(RDbscan::new(params).run(&dataset).clustering.n_clusters))
+    });
+    g.bench_function("rdbscan_bulk", |b| {
+        let mut alg = RDbscan::new(params);
+        alg.bulk_load = true;
+        b.iter(|| black_box(alg.run(&dataset).clustering.n_clusters))
+    });
+    g.bench_function("griddbscan", |b| {
+        b.iter(|| {
+            black_box(GridDbscan::new(params).run(&dataset).unwrap().clustering.n_clusters)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Ablation study of μDBSCAN's design choices (DESIGN.md §7–§8): each
+//! knob toggled in isolation on one galaxy analogue, reporting runtime,
+//! query counts and micro-cluster statistics. Clustering equality with
+//! the default configuration is asserted for every variant.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_ablation
+//! ```
+
+use bench::{banner, secs, timed, SEED};
+use geom::DbscanParams;
+use mcs::BuildOptions;
+use metrics::Table;
+use mudbscan::MuDbscan;
+
+fn main() {
+    banner(
+        "Ablations — μDBSCAN design choices",
+        "2ε deferral, STR aux build, dynamic promotion, post-core MC skip",
+        "galaxy analogue, 60K points, eps=0.8, MinPts=5",
+    );
+
+    let dataset = data::galaxy(60_000, 3, SEED);
+    let params = DbscanParams::new(0.8, 5);
+
+    struct Variant {
+        name: &'static str,
+        alg: MuDbscan,
+    }
+    let base = MuDbscan::new(params);
+    let variants = vec![
+        Variant { name: "default (paper + MC-skip)", alg: base.clone() },
+        Variant {
+            name: "no 2ε deferral",
+            alg: base.clone().with_options(BuildOptions {
+                two_eps_deferral: false,
+                ..Default::default()
+            }),
+        },
+        Variant {
+            name: "incremental aux R-trees",
+            alg: base
+                .clone()
+                .with_options(BuildOptions { str_aux: false, ..Default::default() }),
+        },
+        Variant {
+            name: "no dynamic promotion",
+            alg: {
+                let mut a = base.clone();
+                a.disable_dynamic_promotion = true;
+                a
+            },
+        },
+        Variant {
+            name: "paper-faithful post-core",
+            alg: {
+                let mut a = base.clone();
+                a.disable_post_core_mc_skip = true;
+                a
+            },
+        },
+    ];
+
+    let mut t = Table::new(&[
+        "variant", "time", "vs default", "MCs", "queries run", "% saved", "dists (M)",
+    ]);
+    let mut reference = None;
+    let mut base_time = 0.0;
+    for v in variants {
+        eprintln!("[{}] ...", v.name);
+        let (out, elapsed) = timed(|| v.alg.run(&dataset));
+        match &reference {
+            None => {
+                reference = Some(out.clustering.clone());
+                base_time = elapsed;
+            }
+            Some(r) => assert_eq!(
+                &out.clustering, r,
+                "{}: ablation changed the clustering!",
+                v.name
+            ),
+        }
+        t.row(&[
+            v.name.to_string(),
+            secs(elapsed),
+            format!("{:+.1}%", 100.0 * (elapsed - base_time) / base_time),
+            out.mc_count.to_string(),
+            out.counters.range_queries().to_string(),
+            format!("{:.1}%", out.counters.pct_queries_saved()),
+            format!("{:.1}", out.counters.dist_computations() as f64 / 1e6),
+        ]);
+    }
+
+    println!("measured (every variant produces the identical exact clustering):");
+    t.print();
+    println!("\nreading guide: the 2ε rule trades construction work for fewer MCs;");
+    println!("STR packing beats repeated insertion; dynamic promotion buys extra");
+    println!("query savings; the MC-granularity post-core skip (DESIGN.md §8.1)");
+    println!("is where this implementation improves on the paper's Algorithm 7.");
+}

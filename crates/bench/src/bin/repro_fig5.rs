@@ -1,0 +1,61 @@
+//! Fig. 5 reproduction: effect of varying ε on PDSDBSCAN-D,
+//! GridDBSCAN-D and μDBSCAN-D (32 ranks) for the MPAGD100M3D and
+//! FOF56M3D analogues.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_fig5
+//! ```
+
+use bench::{banner, secs, SEED};
+use dist::{DistConfig, GridDbscanD, MuDbscanD, PdsDbscanD};
+use geom::DbscanParams;
+use metrics::Table;
+
+fn main() {
+    banner(
+        "Fig. 5 — runtime vs ε for the three exact distributed algorithms",
+        "runtime as ε grows, MPAGD100M3D (a) and FOF56M3D (b), 32 nodes",
+        "galaxy analogues at 60K points; ε sweep scaled to generator units",
+    );
+
+    let workloads = [
+        ("MPAGD100M3D", data::galaxy(60_000, 3, SEED), vec![0.5, 0.7, 0.9, 1.1], 5),
+        ("FOF56M3D", data::galaxy(60_000, 3, SEED + 4), vec![1.0, 1.4, 1.8, 2.2], 6),
+    ];
+
+    for (name, dataset, eps_values, min_pts) in &workloads {
+        println!("--- {name} (n={}, d=3, MinPts={min_pts}) ---", dataset.len());
+        let mut t = Table::new(&["eps", "PDSDBSCAN-D", "GridDBSCAN-D", "μDBSCAN-D", "μ best?"]);
+        let mut series: Vec<(f64, f64)> = Vec::new();
+        for &eps in eps_values {
+            eprintln!("[{name}] eps={eps} ...");
+            let params = DbscanParams::new(eps, *min_pts);
+            let cfg = DistConfig::new(32);
+            let mu = MuDbscanD::new(params, cfg).run(dataset).unwrap().runtime_secs;
+            let pds = PdsDbscanD::new(params, cfg).run(dataset).unwrap().runtime_secs;
+            let grid = match GridDbscanD::new(params, cfg).run(dataset) {
+                Ok(out) => secs(out.runtime_secs),
+                Err(_) => "MemErr".into(),
+            };
+            series.push((eps, mu));
+            t.row(&[
+                format!("{eps}"),
+                secs(pds),
+                grid,
+                secs(mu),
+                if mu <= pds { "✓".into() } else { "✗".to_string() },
+            ]);
+        }
+        t.print();
+        let first = series.first().unwrap().1;
+        let last = series.last().unwrap().1;
+        println!(
+            "μDBSCAN-D growth over the ε sweep: {:.1}% (paper: grows mildly —\n\
+             post-processing of more wndq-cores dominates the saved query time)\n",
+            100.0 * (last - first) / first
+        );
+    }
+
+    println!("shape checks: μDBSCAN-D lowest at every ε; its % increase with ε");
+    println!("is smaller than PDSDBSCAN-D's (paper Fig. 5).");
+}

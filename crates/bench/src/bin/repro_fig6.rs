@@ -1,0 +1,64 @@
+//! Fig. 6 reproduction: μDBSCAN-D runtime as dimensionality grows
+//! (KDDBIO samples at d = 14 / 24 / 44 / 74), 32 ranks.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_fig6
+//! ```
+
+use bench::{banner, secs, SEED};
+use dist::{DistConfig, MuDbscanD};
+use geom::DbscanParams;
+use metrics::Table;
+
+/// Paper series: 8.15 s (14d) → 460.83 s (74d), a 56x growth.
+const PAPER: &[(usize, &str)] = &[(14, "8.15"), (24, "~60"), (44, "~200"), (74, "460.83")];
+
+fn main() {
+    banner(
+        "Fig. 6 — μDBSCAN-D runtime vs dimensionality",
+        "KDDBIO145K sampled at d = 14 / 24 / 44 / 74, 32 nodes",
+        "kddbio analogue at 5K points; ε grows with √d to keep cluster counts stable",
+    );
+
+    let n = 5_000;
+    let mut t = Table::new(&["d", "eps", "runtime", "clusters", "growth vs d=14"]);
+    let mut first = None;
+    for &d in &[14usize, 24, 44, 74] {
+        // Scale ε like √d so the number of clusters stays comparable
+        // (the paper "kept the number of clusters almost same for each
+        // dataset sample"). n is kept modest: at d = 74 every R-tree
+        // degenerates to near-linear scans (the paper's 460 s row), so
+        // the analogue is already minutes of single-core work.
+        let eps = 45.0 * (d as f64 / 14.0).sqrt();
+        let dataset = data::kddbio(n, d, SEED);
+        eprintln!("[d={d}] eps={eps:.0} ...");
+        let out = MuDbscanD::new(DbscanParams::new(eps, 5), DistConfig::new(32))
+            .run(&dataset)
+            .unwrap();
+        let r = out.runtime_secs;
+        if first.is_none() {
+            first = Some(r);
+        }
+        t.row(&[
+            d.to_string(),
+            format!("{eps:.0}"),
+            secs(r),
+            out.clustering.n_clusters.to_string(),
+            format!("{:.1}x", r / first.unwrap()),
+        ]);
+    }
+
+    println!("measured:");
+    t.print();
+
+    println!("\npaper series (seconds; intermediate points read off the figure):");
+    let mut p = Table::new(&["d", "runtime (s)"]);
+    for &(d, s) in PAPER {
+        p.row(&[d.to_string(), s.to_string()]);
+    }
+    p.print();
+
+    println!("\nshape check: runtime grows steeply and monotonically with d");
+    println!("(paper: 56x from 14d to 74d — per-distance cost and R-tree");
+    println!("overlap both grow with dimension).");
+}

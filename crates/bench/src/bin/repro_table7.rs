@@ -1,0 +1,73 @@
+//! Table VII reproduction: percentage split-up of μDBSCAN-D's phases
+//! (including the merge) on 32 simulated ranks.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_table7
+//! ```
+
+use bench::{banner, SEED};
+use dist::{DistConfig, MuDbscanD};
+use geom::DbscanParams;
+use metrics::Table;
+
+const PAPER: &[(&str, &str, &str, &str, &str, &str)] = &[
+    ("FOF28M14D", "4.19%", "1.04%", "80.94%", "8.52%", "3.88%"),
+    ("MPAGD100M3D", "8.09%", "3.95%", "25.32%", "40.99%", "1.83%"),
+    ("FOF56M3D", "26.39%", "1.6%", "10.74%", "39.4%", "2.27%"),
+];
+
+fn main() {
+    banner(
+        "Table VII — % split-up of μDBSCAN-D steps (32 ranks)",
+        "tree construction / reachable groups / clustering / post-processing / merging",
+        "galaxy analogues at 20K–100K points; virtual per-phase makespans",
+    );
+
+    let workloads = [
+        ("FOF28M14D", data::galaxy(20_000, 14, SEED), DbscanParams::new(16.0, 5)),
+        ("MPAGD100M3D", data::galaxy(100_000, 3, SEED), DbscanParams::new(0.7, 5)),
+        ("FOF56M3D", data::galaxy(80_000, 3, SEED), DbscanParams::new(1.4, 6)),
+    ];
+
+    let mut ours = Table::new(&[
+        "dataset", "tree constr.", "reachable", "clustering", "post-proc.", "merging",
+    ]);
+
+    for (name, dataset, params) in &workloads {
+        eprintln!("[{name}] ...");
+        let out = MuDbscanD::new(*params, DistConfig::new(32)).run(dataset).unwrap();
+        // Percentages over the reported runtime (partitioning excluded,
+        // as in the paper).
+        let total = out.runtime_secs;
+        let pct = |phase: &str| format!("{:.2}%", 100.0 * out.phases.secs(phase) / total);
+        ours.row(&[
+            name.to_string(),
+            pct("tree_construction"),
+            pct("finding_reachable"),
+            pct("clustering"),
+            pct("post_processing"),
+            pct("merging"),
+        ]);
+    }
+
+    println!("measured:");
+    ours.print();
+
+    println!("\npaper values:");
+    let mut paper = Table::new(&[
+        "dataset", "tree constr.", "reachable", "clustering", "post-proc.", "merging",
+    ]);
+    for &(name, a, b, c, d, e) in PAPER {
+        paper.row_str(&[name, a, b, c, d, e]);
+    }
+    paper.print();
+
+    println!("\nshape notes: in the paper merging stays < 4% of a much larger");
+    println!("local runtime. Our local phases are faster (MC-skip post-processing,");
+    println!("small analogues), and our merge *includes* the per-halo-point edge");
+    println!("queries that restore exactness (DESIGN.md §8.3) — so the merge");
+    println!("SHARE is inflated here even though its absolute cost is a few");
+    println!("milliseconds. The claims that do transfer: merge cost scales with");
+    println!("the halo fraction, not with n, and clustering dominates at high d");
+    println!("among the local phases.");
+}

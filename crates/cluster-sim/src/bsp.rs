@@ -1,0 +1,449 @@
+//! The BSP engine: superstep execution, message routing, virtual clocks.
+
+use crate::msgsize::MsgSize;
+use metrics::{PhaseTimer, Stopwatch};
+
+/// α–β communication cost model: every superstep with communication costs
+/// `latency + h / bandwidth` virtual seconds, where `h` is the maximum
+/// number of bytes any single rank sends or receives (the BSP `L + g·h`
+/// term).
+#[derive(Debug, Clone, Copy)]
+pub struct CommModel {
+    /// Per-superstep synchronisation/latency cost in seconds (MPI
+    /// collective launch, ~tens of µs on a commodity cluster).
+    pub latency_s: f64,
+    /// Link bandwidth in bytes/second (10 GbE default).
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        Self { latency_s: 25e-6, bandwidth_bytes_per_s: 1.25e9 }
+    }
+}
+
+/// How rank closures are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Run ranks one after another on the calling thread, timing each —
+    /// exact virtual clocks on any host. Default.
+    #[default]
+    Sequential,
+    /// Run every rank on its own OS thread per superstep — demonstrates
+    /// real data-parallelism; virtual clocks then reflect wall time under
+    /// whatever core count the host has.
+    Threaded,
+}
+
+/// An outgoing message.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Destination rank.
+    pub to: usize,
+    /// Payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// Address `msg` to rank `to`.
+    pub fn new(to: usize, msg: M) -> Self {
+        Self { to, msg }
+    }
+}
+
+/// The engine: `p` rank states, virtual clocks, makespan accounting.
+pub struct Bsp<S> {
+    states: Vec<S>,
+    mode: ExecMode,
+    comm: CommModel,
+    /// Virtual makespan accumulated so far (seconds).
+    makespan: f64,
+    /// Makespan split by phase label.
+    phase_times: PhaseTimer,
+    current_phase: String,
+    /// Total bytes routed between ranks.
+    comm_bytes: u64,
+    /// Number of supersteps executed.
+    steps: usize,
+}
+
+impl<S: Send> Bsp<S> {
+    /// Engine over the given per-rank states.
+    pub fn new(states: Vec<S>) -> Self {
+        assert!(!states.is_empty(), "need at least one rank");
+        Self {
+            states,
+            mode: ExecMode::Sequential,
+            comm: CommModel::default(),
+            makespan: 0.0,
+            phase_times: PhaseTimer::new(),
+            current_phase: "unphased".to_string(),
+            comm_bytes: 0,
+            steps: 0,
+        }
+    }
+
+    /// Select the execution mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Override the communication cost model.
+    pub fn with_comm(mut self, comm: CommModel) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Number of ranks (`p`).
+    pub fn size(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Label subsequent supersteps with `name` (for per-phase makespans).
+    pub fn phase(&mut self, name: &str) {
+        self.current_phase = name.to_string();
+    }
+
+    /// Virtual makespan in seconds.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Per-phase makespan split-up.
+    pub fn phase_times(&self) -> &PhaseTimer {
+        &self.phase_times
+    }
+
+    /// Total bytes communicated.
+    pub fn comm_bytes(&self) -> u64 {
+        self.comm_bytes
+    }
+
+    /// Supersteps executed.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Immutable view of the rank states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable view of the rank states (orchestrator-side setup only; not
+    /// charged to any rank's clock).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Consume the engine, returning the rank states.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+
+    fn charge(&mut self, secs: f64) {
+        self.makespan += secs;
+        let phase = self.current_phase.clone();
+        self.phase_times.add_secs(&phase, secs);
+    }
+
+    /// A compute-only superstep: run `f` on every rank; the makespan
+    /// advances by the slowest rank.
+    pub fn run(&mut self, f: impl Fn(usize, &mut S) + Sync) {
+        let max = match self.mode {
+            ExecMode::Sequential => {
+                let mut max = 0.0f64;
+                for (r, s) in self.states.iter_mut().enumerate() {
+                    let sw = Stopwatch::start();
+                    f(r, s);
+                    max = max.max(sw.secs());
+                }
+                max
+            }
+            ExecMode::Threaded => {
+                let sw = Stopwatch::start();
+                std::thread::scope(|scope| {
+                    for (r, s) in self.states.iter_mut().enumerate() {
+                        let f = &f;
+                        scope.spawn(move || f(r, s));
+                    }
+                });
+                sw.secs()
+            }
+        };
+        self.steps += 1;
+        self.charge(max);
+    }
+
+    /// A communicating superstep: every rank produces envelopes, the
+    /// engine routes them, then every rank consumes its inbox (messages
+    /// arrive as `(source, payload)` sorted by source).
+    pub fn exchange<M: Send + MsgSize>(
+        &mut self,
+        produce: impl Fn(usize, &mut S) -> Vec<Envelope<M>> + Sync,
+        consume: impl Fn(usize, &mut S, Vec<(usize, M)>) + Sync,
+    ) {
+        let p = self.size();
+
+        // Produce sub-phase.
+        let (outboxes, produce_max) = match self.mode {
+            ExecMode::Sequential => {
+                let mut out = Vec::with_capacity(p);
+                let mut max = 0.0f64;
+                for (r, s) in self.states.iter_mut().enumerate() {
+                    let sw = Stopwatch::start();
+                    out.push(produce(r, s));
+                    max = max.max(sw.secs());
+                }
+                (out, max)
+            }
+            ExecMode::Threaded => {
+                let sw = Stopwatch::start();
+                let mut out: Vec<Vec<Envelope<M>>> = Vec::with_capacity(p);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .states
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(r, s)| {
+                            let produce = &produce;
+                            scope.spawn(move || produce(r, s))
+                        })
+                        .collect();
+                    for h in handles {
+                        out.push(h.join().expect("rank thread panicked"));
+                    }
+                });
+                (out, sw.secs())
+            }
+        };
+
+        // Route: h-relation cost = max over ranks of bytes in/out.
+        let mut bytes_out = vec![0usize; p];
+        let mut bytes_in = vec![0usize; p];
+        let mut inboxes: Vec<Vec<(usize, M)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut total = 0usize;
+        for (src, outbox) in outboxes.into_iter().enumerate() {
+            for env in outbox {
+                assert!(env.to < p, "rank {src} sent to invalid rank {}", env.to);
+                let b = env.msg.byte_size();
+                bytes_out[src] += b;
+                bytes_in[env.to] += b;
+                total += b;
+                inboxes[env.to].push((src, env.msg));
+            }
+        }
+        for inbox in &mut inboxes {
+            inbox.sort_by_key(|(src, _)| *src);
+        }
+        let h = bytes_out
+            .iter()
+            .zip(&bytes_in)
+            .map(|(o, i)| o.max(i))
+            .max()
+            .copied()
+            .unwrap_or(0);
+        let comm_secs = if total > 0 {
+            self.comm.latency_s + h as f64 / self.comm.bandwidth_bytes_per_s
+        } else {
+            self.comm.latency_s
+        };
+        self.comm_bytes += total as u64;
+
+        // Consume sub-phase.
+        let consume_max = match self.mode {
+            ExecMode::Sequential => {
+                let mut max = 0.0f64;
+                for ((r, s), inbox) in self.states.iter_mut().enumerate().zip(inboxes) {
+                    let sw = Stopwatch::start();
+                    consume(r, s, inbox);
+                    max = max.max(sw.secs());
+                }
+                max
+            }
+            ExecMode::Threaded => {
+                let sw = Stopwatch::start();
+                std::thread::scope(|scope| {
+                    for ((r, s), inbox) in self.states.iter_mut().enumerate().zip(inboxes) {
+                        let consume = &consume;
+                        scope.spawn(move || consume(r, s, inbox));
+                    }
+                });
+                sw.secs()
+            }
+        };
+
+        self.steps += 1;
+        self.charge(produce_max + comm_secs + consume_max);
+    }
+
+    /// Allgather collective: every rank contributes one value; the result
+    /// (indexed by rank) is returned to the orchestrator AND can be read
+    /// by every rank in a following superstep. Communication is charged
+    /// as each rank broadcasting its value to all others.
+    pub fn allgather<M: Send + Clone + MsgSize>(
+        &mut self,
+        f: impl Fn(usize, &mut S) -> M + Sync,
+    ) -> Vec<M> {
+        let p = self.size();
+        let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
+        {
+            let slots_ref = std::sync::Mutex::new(&mut slots);
+            self.exchange(
+                |r, s| {
+                    let v = f(r, s);
+                    // Broadcast to all ranks (self included, matching
+                    // MPI_Allgather semantics).
+                    (0..p).map(|to| Envelope::new(to, v.clone())).collect()
+                },
+                |r, _s, inbox| {
+                    if r == 0 {
+                        let mut guard = slots_ref.lock().expect("poisoned");
+                        for (src, m) in inbox {
+                            guard[src] = Some(m);
+                        }
+                    }
+                },
+            );
+        }
+        slots.into_iter().map(|o| o.expect("allgather missing contribution")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_touches_every_rank() {
+        let mut bsp = Bsp::new(vec![0u64; 8]);
+        bsp.run(|r, s| *s = r as u64 * 10);
+        assert_eq!(bsp.states(), &[0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(bsp.steps(), 1);
+        assert!(bsp.makespan() > 0.0);
+    }
+
+    #[test]
+    fn exchange_routes_point_to_point() {
+        // Ring shift: rank r sends r² to (r+1) % p.
+        let p = 5;
+        let mut bsp = Bsp::new(vec![(0u64, 0usize); p]);
+        bsp.exchange(
+            |r, _s| vec![Envelope::new((r + 1) % p, (r * r) as u64)],
+            |_r, s, inbox| {
+                assert_eq!(inbox.len(), 1);
+                s.0 = inbox[0].1;
+                s.1 = inbox[0].0;
+            },
+        );
+        for (r, &(val, src)) in bsp.states().iter().enumerate() {
+            let expect_src = (r + p - 1) % p;
+            assert_eq!(src, expect_src);
+            assert_eq!(val, (expect_src * expect_src) as u64);
+        }
+        assert!(bsp.comm_bytes() > 0);
+    }
+
+    #[test]
+    fn inbox_sorted_by_source() {
+        let p = 6;
+        let mut bsp = Bsp::new(vec![Vec::<usize>::new(); p]);
+        bsp.exchange(
+            |r, _s| (0..p).rev().map(|to| Envelope::new(to, r as u32)).collect(),
+            |_r, s, inbox| {
+                *s = inbox.iter().map(|(src, _)| *src).collect();
+            },
+        );
+        for s in bsp.states() {
+            assert_eq!(*s, (0..p).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn allgather_replicates() {
+        let mut bsp = Bsp::new(vec![0u32; 4]);
+        let all = bsp.allgather(|r, _s| r as u32 + 100);
+        assert_eq!(all, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let program = |bsp: &mut Bsp<Vec<u64>>| {
+            bsp.run(|r, s| s.push(r as u64));
+            bsp.exchange(
+                |r, _s| vec![Envelope::new(0, r as u64 * 2)],
+                |r, s, inbox| {
+                    if r == 0 {
+                        s.extend(inbox.into_iter().map(|(_, m)| m));
+                    }
+                },
+            );
+        };
+        let mut a = Bsp::new(vec![Vec::new(); 4]);
+        program(&mut a);
+        let mut b = Bsp::new(vec![Vec::new(); 4]).with_mode(ExecMode::Threaded);
+        program(&mut b);
+        assert_eq!(a.into_states(), b.into_states());
+    }
+
+    #[test]
+    fn phases_accumulate_makespan() {
+        let mut bsp = Bsp::new(vec![(); 3]);
+        bsp.phase("alpha");
+        bsp.run(|_r, _s| {});
+        bsp.phase("beta");
+        bsp.run(|_r, _s| {});
+        bsp.run(|_r, _s| {});
+        let t = bsp.phase_times();
+        assert!(t.secs("alpha") >= 0.0);
+        assert!(t.secs("beta") >= 0.0);
+        let total = t.total_secs();
+        assert!((total - bsp.makespan()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_model_charges_latency() {
+        let comm = CommModel { latency_s: 1.0, bandwidth_bytes_per_s: 1e9 };
+        let mut bsp = Bsp::new(vec![(); 2]).with_comm(comm);
+        bsp.exchange(
+            |_r, _s| vec![Envelope::new(0, 1u32)],
+            |_r, _s, _in| {},
+        );
+        assert!(bsp.makespan() >= 1.0, "latency must be charged");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rank")]
+    fn bad_destination_panics() {
+        let mut bsp = Bsp::new(vec![(); 2]);
+        bsp.exchange(|_r, _s| vec![Envelope::new(7, 0u32)], |_r, _s, _in| {});
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates_sequential() {
+        // Failure injection: a crashing rank program must surface, not be
+        // swallowed by the engine.
+        let mut bsp = Bsp::new(vec![(); 3]);
+        bsp.run(|r, _s| {
+            if r == 1 {
+                panic!("injected rank failure");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates_threaded() {
+        let mut bsp = Bsp::new(vec![(); 3]).with_mode(ExecMode::Threaded);
+        bsp.exchange(
+            |r, _s| {
+                if r == 2 {
+                    panic!("injected rank failure");
+                }
+                Vec::<Envelope<u32>>::new()
+            },
+            |_r, _s, _in| {},
+        );
+    }
+}

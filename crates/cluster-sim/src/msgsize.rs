@@ -1,0 +1,70 @@
+//! Byte-size estimation for messages — feeds the α–β communication cost
+//! model (a real MPI run would serialise these payloads).
+
+/// Types that can report their serialised size in bytes.
+pub trait MsgSize {
+    /// Estimated wire size in bytes.
+    fn byte_size(&self) -> usize;
+}
+
+macro_rules! prim_msg_size {
+    ($($t:ty),*) => {
+        $(impl MsgSize for $t {
+            fn byte_size(&self) -> usize { std::mem::size_of::<$t>() }
+        })*
+    };
+}
+
+prim_msg_size!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl MsgSize for () {
+    fn byte_size(&self) -> usize {
+        0
+    }
+}
+
+impl<T: MsgSize> MsgSize for Vec<T> {
+    fn byte_size(&self) -> usize {
+        8 + self.iter().map(|x| x.byte_size()).sum::<usize>()
+    }
+}
+
+impl<T: MsgSize> MsgSize for Option<T> {
+    fn byte_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, |x| x.byte_size())
+    }
+}
+
+impl<A: MsgSize, B: MsgSize> MsgSize for (A, B) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size()
+    }
+}
+
+impl<A: MsgSize, B: MsgSize, C: MsgSize> MsgSize for (A, B, C) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size() + self.2.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(3u32.byte_size(), 4);
+        assert_eq!(1.5f64.byte_size(), 8);
+        assert_eq!(().byte_size(), 0);
+        assert_eq!(true.byte_size(), 1);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u32, 2, 3].byte_size(), 8 + 12);
+        assert_eq!(Some(7u64).byte_size(), 9);
+        assert_eq!(None::<u64>.byte_size(), 1);
+        assert_eq!((1u32, 2.0f64).byte_size(), 12);
+        assert_eq!((1u32, 2u32, vec![0.0f64; 2]).byte_size(), 4 + 4 + 8 + 16);
+    }
+}

@@ -1,0 +1,295 @@
+//! Clustering output representation and the exactness checker.
+//!
+//! "Exact clustering" in the paper means: same set of core points, same
+//! core-point→cluster membership, and same number of clusters as
+//! classical DBSCAN ([§III]); noise is also order-independent, so we check
+//! it too. Border-point→cluster assignment *is* order-dependent in DBSCAN
+//! itself, so the checker only requires each border point to be assigned
+//! to a cluster containing a core point strictly within ε of it.
+
+use geom::{within_sq, Dataset, DbscanParams, PointId};
+use unionfind::UnionFind;
+
+/// Cluster label of a noise point.
+pub const NOISE: u32 = u32::MAX;
+
+/// The result of any DBSCAN-family algorithm in this workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Per point: dense cluster id in `0..n_clusters`, or [`NOISE`].
+    pub labels: Vec<u32>,
+    /// Per point: true when the point is a core point.
+    pub is_core: Vec<bool>,
+    /// Number of clusters.
+    pub n_clusters: usize,
+}
+
+impl Clustering {
+    /// Extract a clustering from a union–find forest plus core flags.
+    ///
+    /// A set is a cluster iff it contains at least one core point; all
+    /// other points are noise. Cluster ids are densely numbered in order
+    /// of first member appearance, which makes the representation
+    /// canonical (independent of which point became the set root).
+    pub fn from_union_find(uf: &mut UnionFind, is_core: Vec<bool>) -> Self {
+        let n = uf.len();
+        assert_eq!(is_core.len(), n);
+        let mut root_has_core = vec![false; n];
+        for p in 0..n as u32 {
+            if is_core[p as usize] {
+                root_has_core[uf.find(p) as usize] = true;
+            }
+        }
+        let mut label_of_root = vec![NOISE; n];
+        let mut labels = vec![NOISE; n];
+        let mut next = 0u32;
+        for p in 0..n as u32 {
+            let r = uf.find(p) as usize;
+            if !root_has_core[r] {
+                continue; // noise
+            }
+            if label_of_root[r] == NOISE {
+                label_of_root[r] = next;
+                next += 1;
+            }
+            labels[p as usize] = label_of_root[r];
+        }
+        Self { labels, is_core, n_clusters: next as usize }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// True when point `p` is noise.
+    pub fn is_noise(&self, p: PointId) -> bool {
+        self.labels[p as usize] == NOISE
+    }
+
+    /// True when point `p` is a border point (in a cluster but not core).
+    pub fn is_border(&self, p: PointId) -> bool {
+        !self.is_noise(p) && !self.is_core[p as usize]
+    }
+
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == NOISE).count()
+    }
+
+    /// Number of core points.
+    pub fn core_count(&self) -> usize {
+        self.is_core.iter().filter(|&&c| c).count()
+    }
+
+    /// Cluster sizes indexed by cluster id.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_clusters];
+        for &l in &self.labels {
+            if l != NOISE {
+                sizes[l as usize] += 1;
+            }
+        }
+        sizes
+    }
+}
+
+/// Outcome of comparing a candidate clustering against a reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactnessReport {
+    /// Candidate and reference agree on the set of core points.
+    pub same_core_set: bool,
+    /// Core points are partitioned into clusters identically (up to
+    /// cluster renumbering).
+    pub same_core_partition: bool,
+    /// Candidate and reference agree on the set of noise points.
+    pub same_noise_set: bool,
+    /// Every border point's cluster contains a core point strictly within
+    /// ε of it (checked on the candidate).
+    pub borders_valid: bool,
+}
+
+impl ExactnessReport {
+    /// All four criteria hold.
+    pub fn is_exact(&self) -> bool {
+        self.same_core_set && self.same_core_partition && self.same_noise_set && self.borders_valid
+    }
+}
+
+/// Compare `candidate` against `reference` under the paper's exactness
+/// definition. `data`/`params` are needed for the border-validity check.
+pub fn check_exact(
+    candidate: &Clustering,
+    reference: &Clustering,
+    data: &Dataset,
+    params: &DbscanParams,
+) -> ExactnessReport {
+    assert_eq!(candidate.len(), reference.len());
+    let n = candidate.len();
+
+    let same_core_set = candidate.is_core == reference.is_core;
+
+    // Core partition: the label pairs (cand, ref) over core points must
+    // form a bijection.
+    let mut same_core_partition = candidate.n_clusters == reference.n_clusters;
+    if same_core_partition {
+        let mut fwd = vec![NOISE; candidate.n_clusters];
+        let mut bwd = vec![NOISE; reference.n_clusters];
+        for p in 0..n {
+            if !(candidate.is_core[p] && reference.is_core[p]) {
+                continue;
+            }
+            let a = candidate.labels[p];
+            let b = reference.labels[p];
+            if a == NOISE || b == NOISE {
+                same_core_partition = false; // a core point must be clustered
+                break;
+            }
+            if fwd[a as usize] == NOISE {
+                fwd[a as usize] = b;
+            } else if fwd[a as usize] != b {
+                same_core_partition = false;
+                break;
+            }
+            if bwd[b as usize] == NOISE {
+                bwd[b as usize] = a;
+            } else if bwd[b as usize] != a {
+                same_core_partition = false;
+                break;
+            }
+        }
+    }
+
+    let same_noise_set = (0..n).all(|p| candidate.is_noise(p as u32) == reference.is_noise(p as u32));
+
+    let borders_valid = (0..n as u32).all(|p| {
+        if !candidate.is_border(p) {
+            return true;
+        }
+        let lp = candidate.labels[p as usize];
+        let pc = data.point(p);
+        (0..n as u32).any(|q| {
+            candidate.is_core[q as usize]
+                && candidate.labels[q as usize] == lp
+                && within_sq(pc, data.point(q), params.eps_sq())
+        })
+    });
+
+    ExactnessReport { same_core_set, same_core_partition, same_noise_set, borders_valid }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_from_union_find() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2); // cluster with core 0
+        uf.union(3, 4); // no core -> noise
+        let is_core = vec![true, false, false, false, false, false];
+        let c = Clustering::from_union_find(&mut uf, is_core);
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.labels[0], 0);
+        assert_eq!(c.labels[1], 0);
+        assert_eq!(c.labels[2], 0);
+        assert!(c.is_noise(3) && c.is_noise(4) && c.is_noise(5));
+        assert!(c.is_border(1));
+        assert!(!c.is_border(0));
+        assert_eq!(c.noise_count(), 3);
+        assert_eq!(c.core_count(), 1);
+        assert_eq!(c.cluster_sizes(), vec![3]);
+    }
+
+    #[test]
+    fn labels_are_canonical_across_root_choice() {
+        // Two forests with different union orders must give equal labels.
+        let is_core = vec![true, true, false];
+        let mut uf1 = UnionFind::new(3);
+        uf1.union(0, 1);
+        uf1.union(1, 2);
+        let mut uf2 = UnionFind::new(3);
+        uf2.union(2, 1);
+        uf2.union(1, 0);
+        let c1 = Clustering::from_union_find(&mut uf1, is_core.clone());
+        let c2 = Clustering::from_union_find(&mut uf2, is_core);
+        assert_eq!(c1, c2);
+    }
+
+    fn line_data() -> (Dataset, DbscanParams) {
+        // 0-1-2 clustered, 3 far away.
+        (
+            Dataset::from_rows(&[vec![0.0], vec![0.4], vec![0.8], vec![10.0]]),
+            DbscanParams::new(0.5, 2),
+        )
+    }
+
+    #[test]
+    fn exactness_accepts_identical() {
+        let (data, params) = line_data();
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        let is_core = vec![true, true, true, false];
+        let c = Clustering::from_union_find(&mut uf, is_core);
+        let rep = check_exact(&c, &c.clone(), &data, &params);
+        assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    fn exactness_rejects_core_mismatch() {
+        let (data, params) = line_data();
+        let a = Clustering { labels: vec![0, 0, 0, NOISE], is_core: vec![true, true, true, false], n_clusters: 1 };
+        let mut b = a.clone();
+        b.is_core[2] = false;
+        let rep = check_exact(&a, &b, &data, &params);
+        assert!(!rep.same_core_set);
+        assert!(!rep.is_exact());
+    }
+
+    #[test]
+    fn exactness_rejects_split_cluster() {
+        let (data, params) = line_data();
+        let a = Clustering { labels: vec![0, 0, 1, NOISE], is_core: vec![true, true, true, false], n_clusters: 2 };
+        let b = Clustering { labels: vec![0, 0, 0, NOISE], is_core: vec![true, true, true, false], n_clusters: 1 };
+        let rep = check_exact(&a, &b, &data, &params);
+        assert!(!rep.same_core_partition);
+    }
+
+    #[test]
+    fn exactness_rejects_bogus_border_assignment() {
+        // Border point 3 assigned to a cluster with no core within eps.
+        let data = Dataset::from_rows(&[vec![0.0], vec![0.4], vec![5.0], vec![5.4], vec![0.6]]);
+        let params = DbscanParams::new(0.5, 2);
+        // Clusters: {0,1,4} and {2,3}; claim 4 belongs to cluster 1 (far).
+        let a = Clustering {
+            labels: vec![0, 0, 1, 1, 1],
+            is_core: vec![true, true, true, true, false],
+            n_clusters: 2,
+        };
+        let b = Clustering {
+            labels: vec![0, 0, 1, 1, 0],
+            is_core: vec![true, true, true, true, false],
+            n_clusters: 2,
+        };
+        let rep = check_exact(&a, &b, &data, &params);
+        assert!(!rep.borders_valid);
+        let rep_ok = check_exact(&b, &b.clone(), &data, &params);
+        assert!(rep_ok.is_exact());
+    }
+
+    #[test]
+    fn exactness_rejects_noise_mismatch() {
+        let (data, params) = line_data();
+        let a = Clustering { labels: vec![0, 0, 0, NOISE], is_core: vec![true, true, true, false], n_clusters: 1 };
+        let b = Clustering { labels: vec![0, 0, 0, 0], is_core: vec![true, true, true, false], n_clusters: 1 };
+        let rep = check_exact(&a, &b, &data, &params);
+        assert!(!rep.same_noise_set);
+    }
+}

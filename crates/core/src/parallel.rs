@@ -1,0 +1,504 @@
+//! Shared-memory parallel μDBSCAN — the paper's stated future work
+//! ("extend this approach to leverage multiple cores available in each
+//! computing node").
+//!
+//! The sequential algorithm's steps parallelise as follows:
+//!
+//! * μR-tree construction stays sequential (it is inherently ordered:
+//!   each point's placement depends on the MCs created so far);
+//! * MC classification, `PROCESS-REM-POINTS` and `POST-PROCESSING-*` run
+//!   on a pool of worker threads over disjoint chunks, sharing a
+//!   lock-free [`ConcurrentUnionFind`] and per-point atomic flags.
+//!
+//! Exactness under concurrency hinges on one rule: a **non-core**
+//! neighbour may be claimed by at most one cluster, so the
+//! `assigned` flag is a CAS gate — only the winning thread performs the
+//! union. Core–core unions are unconditional (always valid), and
+//! wndq-core promotion uses a CAS on the core flag the same way. All
+//! orderings produce *a* valid DBSCAN border assignment, and cores /
+//! noise / the core partition are order-independent — so the result
+//! passes the same exactness oracle as the sequential algorithm.
+
+use crate::clustering::Clustering;
+use geom::{dist_sq, Dataset, DbscanParams, PointId};
+use mcs::{build_micro_clusters, BuildOptions, McKind};
+use metrics::{PhaseTimer, SharedCounters, Stopwatch};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use unionfind::ConcurrentUnionFind;
+
+/// Shared-memory parallel μDBSCAN.
+#[derive(Debug, Clone)]
+pub struct ParMuDbscan {
+    params: DbscanParams,
+    opts: BuildOptions,
+    threads: usize,
+}
+
+/// Output of a parallel run.
+#[derive(Debug)]
+pub struct ParOutput {
+    /// The exact DBSCAN clustering.
+    pub clustering: Clustering,
+    /// Shared operation counters.
+    pub counters: SharedCounters,
+    /// Wall-clock phase split-up.
+    pub phases: PhaseTimer,
+    /// Number of micro-clusters.
+    pub mc_count: usize,
+}
+
+struct Flags {
+    core: Vec<AtomicBool>,
+    wndq: Vec<AtomicBool>,
+    assigned: Vec<AtomicBool>,
+}
+
+impl Flags {
+    fn new(n: usize) -> Self {
+        Self {
+            core: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            wndq: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            assigned: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// CAS-claim a non-core point for a cluster; true when this caller
+    /// won and must perform the union.
+    fn claim(&self, p: PointId) -> bool {
+        self.assigned[p as usize]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// CAS-promote a point to core; true when this caller won.
+    fn promote(&self, p: PointId) -> bool {
+        self.core[p as usize]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+impl ParMuDbscan {
+    /// New instance with `threads` worker threads.
+    pub fn new(params: DbscanParams, threads: usize) -> Self {
+        assert!(threads >= 1);
+        Self { params, opts: BuildOptions::default(), threads }
+    }
+
+    /// Override micro-cluster construction options.
+    pub fn with_options(mut self, opts: BuildOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Run on `data`.
+    pub fn run(&self, data: &Dataset) -> ParOutput {
+        let n = data.len();
+        let params = self.params;
+        let counters = SharedCounters::new();
+        let mut phases = PhaseTimer::new();
+        let mut sw = Stopwatch::start();
+
+        // Step 1 (sequential): μR-tree.
+        let seq_counters = metrics::Counters::new();
+        let mut tree = build_micro_clusters(data, params.eps, &self.opts, &seq_counters);
+        counters.absorb(&seq_counters);
+        phases.add_secs("tree_construction", sw.lap());
+
+        // Step 2 (parallel): reachable lists (independent per MC — but
+        // computed via &mut self in the sequential API, so parallelise by
+        // computing into a side vector).
+        let reach: Vec<Vec<mcs::McId>> = {
+            let level1 = tree.level1();
+            let r = 3.0 * params.eps;
+            let mcs_ref = &tree.mcs;
+            let counters = &counters;
+            parallel_map_chunks(self.threads, mcs_ref.len(), |range| {
+                let mut out = Vec::with_capacity(range.len());
+                for i in range {
+                    let mut list = Vec::new();
+                    let cost = level1.search_sphere(
+                        data.point(mcs_ref[i].center),
+                        r,
+                        |mc| list.push(mc),
+                    );
+                    counters.count_dists(cost.mbr_tests);
+                    out.push(list);
+                }
+                out
+            })
+        };
+        for (mc, list) in tree.mcs.iter_mut().zip(reach) {
+            mc.reach = list;
+        }
+        phases.add_secs("finding_reachable", sw.lap());
+
+        // Step 1b (parallel-safe, run after reach for better locality):
+        // classify MCs, label wndq-cores, preliminary unions.
+        let uf = ConcurrentUnionFind::new(n);
+        let flags = Flags::new(n);
+        let wndq_list: Mutex<Vec<PointId>> = Mutex::new(Vec::new());
+        {
+            let tree = &tree;
+            let flags = &flags;
+            let uf = &uf;
+            let counters = &counters;
+            let wndq_list = &wndq_list;
+            parallel_for_chunks(self.threads, tree.mcs.len(), move |range| {
+                let mut local_wndq = Vec::new();
+                for mi in range {
+                    let mc = &tree.mcs[mi];
+                    match mc.kind(&params) {
+                        McKind::Dense => {
+                            for q in mc.inner_circle(data, params.eps) {
+                                if flags.promote(q) {
+                                    flags.wndq[q as usize].store(true, Ordering::Release);
+                                    local_wndq.push(q);
+                                }
+                            }
+                            for &p in &mc.members {
+                                // Membership is exclusive, so this thread
+                                // owns these points' assignment.
+                                flags.assigned[p as usize].store(true, Ordering::Release);
+                                uf.union(mc.center, p);
+                                counters.count_union();
+                            }
+                        }
+                        McKind::Core => {
+                            if flags.promote(mc.center) {
+                                flags.wndq[mc.center as usize].store(true, Ordering::Release);
+                                local_wndq.push(mc.center);
+                            }
+                            for &p in &mc.members {
+                                flags.assigned[p as usize].store(true, Ordering::Release);
+                                uf.union(mc.center, p);
+                                counters.count_union();
+                            }
+                        }
+                        McKind::Sparse => {}
+                    }
+                }
+                wndq_list.lock().expect("poisoned").extend(local_wndq);
+            });
+        }
+
+        // Step 3 (parallel): PROCESS-REM-POINTS. Unlike the sequential
+        // version, dynamically promoted wndq-cores may already have been
+        // queried by another thread — that costs extra queries but never
+        // correctness.
+        let noise_list: Mutex<Vec<(PointId, Vec<PointId>)>> = Mutex::new(Vec::new());
+        let half = params.eps / 2.0;
+        let half_sq = half * half;
+        {
+            let tree = &tree;
+            let flags = &flags;
+            let uf = &uf;
+            let counters = &counters;
+            let wndq_list = &wndq_list;
+            let noise_list = &noise_list;
+            parallel_for_chunks(self.threads, n, move |range| {
+                let mut local_noise = Vec::new();
+                let mut local_wndq = Vec::new();
+                let mut nbhrs: Vec<PointId> = Vec::new();
+                for pi in range {
+                    let p = pi as PointId;
+                    if flags.wndq[pi].load(Ordering::Acquire) {
+                        counters.count_query_saved();
+                        continue;
+                    }
+                    nbhrs.clear();
+                    let cost = tree.neighborhood(data, p, &mut nbhrs);
+                    counters.count_range_query();
+                    counters.count_dists(cost.mbr_tests);
+
+                    if nbhrs.len() < params.min_pts {
+                        if !flags.assigned[pi].load(Ordering::Acquire) {
+                            let mut attached = false;
+                            for &x in &nbhrs {
+                                if flags.core[x as usize].load(Ordering::Acquire) {
+                                    if flags.claim(p) {
+                                        uf.union(x, p);
+                                        counters.count_union();
+                                    }
+                                    attached = true;
+                                    break;
+                                }
+                            }
+                            if !attached {
+                                local_noise.push((p, nbhrs.clone()));
+                            }
+                        }
+                        continue;
+                    }
+
+                    flags.promote(p);
+                    flags.assigned[pi].store(true, Ordering::Release);
+                    for &x in &nbhrs {
+                        if flags.core[x as usize].load(Ordering::Acquire) {
+                            uf.union(x, p);
+                            counters.count_union();
+                        } else if flags.claim(x) {
+                            uf.union(p, x);
+                            counters.count_union();
+                        }
+                    }
+
+                    let pc = data.point(p);
+                    let inner = nbhrs
+                        .iter()
+                        .filter(|&&q| dist_sq(pc, data.point(q)) < half_sq)
+                        .count();
+                    counters.count_dists(nbhrs.len() as u64);
+                    if inner >= params.min_pts {
+                        for &q in &nbhrs {
+                            if dist_sq(pc, data.point(q)) < half_sq && flags.promote(q) {
+                                flags.wndq[q as usize].store(true, Ordering::Release);
+                                local_wndq.push(q);
+                                uf.union(p, q);
+                                counters.count_union();
+                                flags.assigned[q as usize].store(true, Ordering::Release);
+                            }
+                        }
+                    }
+                }
+                noise_list.lock().expect("poisoned").extend(local_noise);
+                wndq_list.lock().expect("poisoned").extend(local_wndq);
+            });
+        }
+        phases.add_secs("clustering", sw.lap());
+
+        // Step 4 (parallel): post-processing.
+        let wndq_list = wndq_list.into_inner().expect("poisoned");
+        let eps_sq = params.eps_sq();
+        {
+            let tree = &tree;
+            let flags = &flags;
+            let uf = &uf;
+            let counters = &counters;
+            let wndq_list = &wndq_list;
+            parallel_for_chunks(self.threads, wndq_list.len(), move |range| {
+                for i in range {
+                    let p = wndq_list[i];
+                    let pc = data.point(p);
+                    for &mc_id in tree.reach_of(p) {
+                        let mc = &tree.mcs[mc_id as usize];
+                        if mc.mbr.min_dist_sq(pc) >= eps_sq {
+                            continue;
+                        }
+                        if mc.kind(&params) != McKind::Sparse {
+                            // Whole MC is one cluster (see the sequential
+                            // version); the racy same() check is safe —
+                            // "same" is monotone under unions.
+                            if uf.same(p, mc.center) {
+                                continue;
+                            }
+                            let aux = mc.aux.as_ref().expect("aux built");
+                            let mut hit = None;
+                            let cost = aux.search_sphere(pc, params.eps, |q| {
+                                if hit.is_none()
+                                    && q != p
+                                    && flags.core[q as usize].load(Ordering::Acquire)
+                                {
+                                    hit = Some(q);
+                                }
+                            });
+                            counters.count_dists(cost.mbr_tests);
+                            if let Some(q) = hit {
+                                uf.union(p, q);
+                                counters.count_union();
+                            }
+                            continue;
+                        }
+                        for &q in &mc.members {
+                            if q == p || !flags.core[q as usize].load(Ordering::Acquire) {
+                                continue;
+                            }
+                            if uf.same(p, q) {
+                                continue;
+                            }
+                            counters.count_dists(1);
+                            if dist_sq(pc, data.point(q)) < eps_sq {
+                                uf.union(p, q);
+                                counters.count_union();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let noise_list = noise_list.into_inner().expect("poisoned");
+        {
+            let flags = &flags;
+            let uf = &uf;
+            let counters = &counters;
+            let noise_list = &noise_list;
+            parallel_for_chunks(self.threads, noise_list.len(), move |range| {
+                for i in range {
+                    let (p, ref nbhrs) = noise_list[i];
+                    if flags.core[p as usize].load(Ordering::Acquire)
+                        || flags.assigned[p as usize].load(Ordering::Acquire)
+                    {
+                        continue;
+                    }
+                    for &q in nbhrs {
+                        if flags.core[q as usize].load(Ordering::Acquire) {
+                            if flags.claim(p) {
+                                uf.union(q, p);
+                                counters.count_union();
+                            }
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        phases.add_secs("post_processing", sw.lap());
+
+        // Extract the clustering.
+        let is_core: Vec<bool> = flags.core.iter().map(|b| b.load(Ordering::Acquire)).collect();
+        let mut seq_uf = unionfind::UnionFind::new(n);
+        for x in 0..n as u32 {
+            let r = uf.find(x);
+            if r != x {
+                seq_uf.union(r, x);
+            }
+        }
+        let clustering = Clustering::from_union_find(&mut seq_uf, is_core);
+        ParOutput { clustering, counters, phases, mc_count: tree.mc_count() }
+    }
+}
+
+/// Run `f` over disjoint index chunks on `threads` scoped threads.
+fn parallel_for_chunks(
+    threads: usize,
+    len: usize,
+    f: impl Fn(std::ops::Range<usize>) + Sync,
+) {
+    if len == 0 {
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let chunk = (len / (threads * 8)).max(64);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let f = &f;
+            let next = &next;
+            s.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                f(start..(start + chunk).min(len));
+            });
+        }
+    });
+}
+
+/// Like [`parallel_for_chunks`] but collects per-index results in order.
+fn parallel_map_chunks<T: Send>(
+    threads: usize,
+    len: usize,
+    f: impl Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+) -> Vec<T> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = (len / (threads * 8)).max(64);
+    let slots: Vec<Mutex<Option<Vec<T>>>> =
+        (0..len.div_ceil(chunk)).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let f = &f;
+            let next = &next;
+            let slots = &slots;
+            s.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let start = idx * chunk;
+                if start >= len {
+                    break;
+                }
+                let out = f(start..(start + chunk).min(len));
+                *slots[idx].lock().expect("poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|m| m.into_inner().expect("poisoned").expect("chunk not computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::check_exact;
+    use crate::reference::naive_dbscan;
+
+    fn blobs(seed: u64) -> Dataset {
+        let mut rows = Vec::new();
+        let mut s = seed;
+        let mut r = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for (cx, cy) in [(0.0, 0.0), (6.0, 1.0), (2.0, 7.0)] {
+            for _ in 0..60 {
+                rows.push(vec![cx + 0.7 * r(), cy + 0.7 * r()]);
+            }
+        }
+        for _ in 0..25 {
+            rows.push(vec![12.0 * r(), 12.0 * r()]);
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn parallel_is_exact_across_thread_counts() {
+        let data = blobs(1);
+        let params = DbscanParams::new(0.6, 5);
+        let reference = naive_dbscan(&data, &params);
+        for threads in [1, 2, 4, 8] {
+            let out = ParMuDbscan::new(params, threads).run(&data);
+            let rep = check_exact(&out.clustering, &reference, &data, &params);
+            assert!(rep.is_exact(), "threads={threads}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_canon() {
+        let data = blobs(9);
+        let params = DbscanParams::new(0.8, 4);
+        let seq = crate::MuDbscan::new(params).run(&data);
+        let par = ParMuDbscan::new(params, 4).run(&data);
+        assert_eq!(par.clustering.n_clusters, seq.clustering.n_clusters);
+        assert_eq!(par.clustering.is_core, seq.clustering.is_core);
+        assert_eq!(par.clustering.noise_count(), seq.clustering.noise_count());
+        assert_eq!(par.mc_count, seq.mc_count);
+    }
+
+    #[test]
+    fn repeated_runs_are_stable() {
+        // Thread interleavings may differ, but the canonical clustering
+        // quantities must not.
+        let data = blobs(33);
+        let params = DbscanParams::new(0.5, 4);
+        let first = ParMuDbscan::new(params, 4).run(&data);
+        for _ in 0..5 {
+            let out = ParMuDbscan::new(params, 4).run(&data);
+            assert_eq!(out.clustering.n_clusters, first.clustering.n_clusters);
+            assert_eq!(out.clustering.is_core, first.clustering.is_core);
+            assert_eq!(out.clustering.noise_count(), first.clustering.noise_count());
+        }
+    }
+
+    #[test]
+    fn counters_and_phases_populated() {
+        let data = blobs(5);
+        let out = ParMuDbscan::new(DbscanParams::new(0.6, 5), 3).run(&data);
+        assert!(out.counters.range_queries() > 0);
+        assert!(out.counters.union_ops() > 0);
+        assert!(out.phases.total_secs() > 0.0);
+    }
+}

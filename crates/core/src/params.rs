@@ -1,0 +1,133 @@
+//! Parameter selection: the k-dist heuristic of the original DBSCAN
+//! paper (Ester et al. 1996, §4.2).
+//!
+//! Plot the distance of every point to its k-th nearest neighbour in
+//! descending order; the "valley"/knee of that curve is a good ε, and
+//! `MinPts = k`. [`k_dist_curve`] computes the curve with an R-tree,
+//! [`suggest_eps`] picks the knee with the maximum-curvature rule.
+
+use geom::{Dataset, PointId};
+use rtree::{RTree, RTreeConfig};
+
+/// The descending k-dist curve: for each point, the distance to its
+/// `k`-th nearest neighbour (self excluded), sorted descending.
+///
+/// For large datasets pass `sample_every > 1` to subsample the query
+/// points (the curve's shape is what matters, not its length).
+pub fn k_dist_curve(data: &Dataset, k: usize, sample_every: usize) -> Vec<f64> {
+    assert!(k >= 1 && sample_every >= 1);
+    let tree = RTree::bulk_load_points(
+        data.dim(),
+        RTreeConfig::default(),
+        data.iter().map(|(i, p)| (i, p.to_vec())),
+    );
+    let mut curve: Vec<f64> = (0..data.len())
+        .step_by(sample_every)
+        .filter_map(|p| {
+            // k+1 because the nearest neighbour of a stored point is
+            // itself at distance 0.
+            tree.kth_neighbor_dist(data.point(p as PointId), k + 1)
+        })
+        .collect();
+    curve.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    curve
+}
+
+/// Suggest ε for a given `min_pts` by locating the knee of the k-dist
+/// curve (point of maximum distance to the chord between the curve's
+/// endpoints — the standard "elbow" rule).
+///
+/// Returns `None` for degenerate inputs (fewer than 3 curve points or a
+/// flat curve).
+pub fn suggest_eps(data: &Dataset, min_pts: usize, sample_every: usize) -> Option<f64> {
+    let curve = k_dist_curve(data, min_pts.max(1), sample_every);
+    knee_of(&curve)
+}
+
+/// Maximum-distance-to-chord knee detection on a descending curve.
+pub(crate) fn knee_of(curve: &[f64]) -> Option<f64> {
+    if curve.len() < 3 {
+        return None;
+    }
+    let n = curve.len() as f64;
+    let (y0, y1) = (curve[0], curve[curve.len() - 1]);
+    if (y0 - y1).abs() < 1e-300 {
+        return None;
+    }
+    // Chord from (0, y0) to (n-1, y1); distance of each point to it.
+    let dx = n - 1.0;
+    let dy = y1 - y0;
+    let norm = (dx * dx + dy * dy).sqrt();
+    let mut best = (0.0f64, 0usize);
+    for (i, &y) in curve.iter().enumerate() {
+        let d = (dy * i as f64 - dx * (y - y0)).abs() / norm;
+        if d > best.0 {
+            best = (d, i);
+        }
+    }
+    Some(curve[best.1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_dbscan, MuDbscan};
+    use geom::DbscanParams;
+
+    fn blobs() -> Dataset {
+        let mut rows = Vec::new();
+        let mut s = 77u64;
+        let mut r = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(3);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (5.0, 9.0)] {
+            for _ in 0..60 {
+                rows.push(vec![cx + 0.5 * r(), cy + 0.5 * r()]);
+            }
+        }
+        for _ in 0..12 {
+            rows.push(vec![20.0 * r(), 20.0 * r()]);
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn curve_is_descending_and_sized() {
+        let data = blobs();
+        let c = k_dist_curve(&data, 4, 1);
+        assert_eq!(c.len(), data.len());
+        assert!(c.windows(2).all(|w| w[0] >= w[1]));
+        let sampled = k_dist_curve(&data, 4, 3);
+        assert!(sampled.len() < c.len());
+    }
+
+    #[test]
+    fn suggested_eps_recovers_the_blobs() {
+        let data = blobs();
+        let min_pts = 4;
+        let eps = suggest_eps(&data, min_pts, 1).expect("knee must exist");
+        assert!(eps > 0.0);
+        let params = DbscanParams::new(eps, min_pts);
+        let c = MuDbscan::new(params).run(&data).clustering;
+        // The heuristic must find the three planted blobs (possibly
+        // fragmenting slightly, but not collapsing everything).
+        assert!(
+            (2..=6).contains(&c.n_clusters),
+            "eps={eps:.3} found {} clusters",
+            c.n_clusters
+        );
+        assert_eq!(c, naive_dbscan(&data, &params));
+    }
+
+    #[test]
+    fn knee_edge_cases() {
+        assert_eq!(knee_of(&[]), None);
+        assert_eq!(knee_of(&[1.0, 0.5]), None);
+        assert_eq!(knee_of(&[2.0, 2.0, 2.0]), None);
+        // A sharp elbow at index 2.
+        let v = [10.0, 9.5, 9.0, 1.0, 0.9, 0.8, 0.7];
+        let k = knee_of(&v).unwrap();
+        assert!((0.9..=9.0).contains(&k), "{k}");
+    }
+}

@@ -1,0 +1,156 @@
+//! External clustering-quality indices: Adjusted Rand Index and
+//! Normalised Mutual Information.
+//!
+//! Used to *quantify* how far an approximate algorithm (RP-DBSCAN-style)
+//! deviates from the exact clustering — the paper only reports cluster-
+//! count deviations for approximate competitors (e.g. "27 %" for
+//! HPDBSCAN); ARI/NMI make that comparison principled. Noise is treated
+//! as one extra class, the convention used in the DBSCAN literature.
+
+use crate::clustering::{Clustering, NOISE};
+
+/// Contingency table between two labelings (noise mapped to the last
+/// class of each side).
+fn contingency(a: &Clustering, b: &Clustering) -> (Vec<Vec<u64>>, Vec<u64>, Vec<u64>) {
+    assert_eq!(a.len(), b.len(), "clusterings must cover the same points");
+    let ka = a.n_clusters + 1;
+    let kb = b.n_clusters + 1;
+    let mut table = vec![vec![0u64; kb]; ka];
+    let map = |l: u32, k: usize| if l == NOISE { k - 1 } else { l as usize };
+    for (&la, &lb) in a.labels.iter().zip(&b.labels) {
+        table[map(la, ka)][map(lb, kb)] += 1;
+    }
+    let row: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col: Vec<u64> =
+        (0..kb).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    (table, row, col)
+}
+
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index in `[-1, 1]`; `1.0` iff the partitions are
+/// identical up to relabeling, ~`0.0` for independent partitions.
+pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    let n = a.len() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let (table, row, col) = contingency(a, b);
+    let sum_ij: f64 = table.iter().flatten().map(|&x| choose2(x)).sum();
+    let sum_a: f64 = row.iter().map(|&x| choose2(x)).sum();
+    let sum_b: f64 = col.iter().map(|&x| choose2(x)).sum();
+    let total = choose2(n);
+    let expected = sum_a * sum_b / total;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-12 {
+        1.0
+    } else {
+        (sum_ij - expected) / (max - expected)
+    }
+}
+
+/// Normalised Mutual Information in `[0, 1]` (arithmetic-mean
+/// normalisation); `1.0` iff identical up to relabeling.
+pub fn normalized_mutual_information(a: &Clustering, b: &Clustering) -> f64 {
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 1.0;
+    }
+    let (table, row, col) = contingency(a, b);
+    let mut mi = 0.0;
+    for (i, r) in table.iter().enumerate() {
+        for (j, &nij) in r.iter().enumerate() {
+            if nij == 0 {
+                continue;
+            }
+            let nij = nij as f64;
+            mi += nij / n * ((nij * n) / (row[i] as f64 * col[j] as f64)).ln();
+        }
+    }
+    let h = |marg: &[u64]| -> f64 {
+        marg.iter()
+            .filter(|&&x| x > 0)
+            .map(|&x| {
+                let p = x as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&row);
+    let hb = h(&col);
+    if ha + hb < 1e-12 {
+        1.0 // both partitions are single-class: identical structure
+    } else {
+        (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(labels: Vec<u32>, is_core: Vec<bool>, k: usize) -> Clustering {
+        Clustering { labels, is_core, n_clusters: k }
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = c(vec![0, 0, 1, 1, NOISE], vec![true; 5], 2);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relabeling_is_invariant() {
+        let a = c(vec![0, 0, 1, 1, 2, 2], vec![true; 6], 3);
+        let b = c(vec![2, 2, 0, 0, 1, 1], vec![true; 6], 3);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disagreement_lowers_scores() {
+        let a = c(vec![0, 0, 0, 1, 1, 1], vec![true; 6], 2);
+        let b = c(vec![0, 0, 1, 1, 1, 0], vec![true; 6], 2);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 1.0 && ari > -1.0, "{ari}");
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi < 1.0, "{nmi}");
+    }
+
+    #[test]
+    fn split_cluster_detected() {
+        // b splits a's single cluster in half: ARI well below 1.
+        let a = c(vec![0; 8], vec![true; 8], 1);
+        let b = c(vec![0, 0, 0, 0, 1, 1, 1, 1], vec![true; 8], 2);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 0.6, "{ari}");
+    }
+
+    #[test]
+    fn noise_counts_as_a_class() {
+        let a = c(vec![0, 0, NOISE, NOISE], vec![true, true, false, false], 1);
+        let b = c(vec![0, 0, 0, 0], vec![true, true, false, false], 1);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 1.0, "noise difference must matter: {ari}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = c(vec![0, 0, 1, 1, NOISE, 2], vec![true; 6], 3);
+        let b = c(vec![0, 1, 1, 1, 0, NOISE], vec![true; 6], 2);
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+        let n1 = normalized_mutual_information(&a, &b);
+        let n2 = normalized_mutual_information(&b, &a);
+        assert!((n1 - n2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let a = c(vec![0], vec![true], 1);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert_eq!(normalized_mutual_information(&a, &a), 1.0);
+    }
+}

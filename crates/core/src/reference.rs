@@ -1,0 +1,139 @@
+//! Naive O(n²) DBSCAN — the ground-truth oracle for every exactness test
+//! in the workspace (Ester et al., KDD'96 semantics, expressed with
+//! union–find so border assignment follows the same first-come rule as
+//! the optimised implementations).
+
+use crate::clustering::Clustering;
+use geom::{within_sq, Dataset, DbscanParams};
+use unionfind::UnionFind;
+
+/// Classical DBSCAN by exhaustive pairwise distance computation.
+///
+/// Semantics:
+/// * `N_ε(p) = { q : DIST(p, q) < ε }` (strict), `p` included;
+/// * `p` is core iff `|N_ε(p)| >= MinPts`;
+/// * clusters are the connected components of core points under the
+///   `DIST < ε` relation; each border point joins the cluster of the
+///   first core neighbour in scan order; the rest is noise.
+pub fn naive_dbscan(data: &Dataset, params: &DbscanParams) -> Clustering {
+    let n = data.len();
+    let eps_sq = params.eps_sq();
+    let mut is_core = vec![false; n];
+
+    // Pass 1: neighbour counts -> core flags.
+    for p in 0..n {
+        let pc = data.point(p as u32);
+        let mut count = 0usize;
+        for q in 0..n {
+            if within_sq(pc, data.point(q as u32), eps_sq) {
+                count += 1;
+            }
+        }
+        is_core[p] = count >= params.min_pts;
+    }
+
+    // Pass 2: union core-core edges; attach borders to their first core
+    // neighbour in scan order.
+    let mut uf = UnionFind::new(n);
+    for p in 0..n {
+        if !is_core[p] {
+            continue;
+        }
+        let pc = data.point(p as u32);
+        for q in (p + 1)..n {
+            if is_core[q] && within_sq(pc, data.point(q as u32), eps_sq) {
+                uf.union(p as u32, q as u32);
+            }
+        }
+    }
+    for p in 0..n {
+        if is_core[p] {
+            continue;
+        }
+        let pc = data.point(p as u32);
+        for q in 0..n {
+            if is_core[q] && within_sq(pc, data.point(q as u32), eps_sq) {
+                uf.union(q as u32, p as u32);
+                break;
+            }
+        }
+    }
+
+    Clustering::from_union_find(&mut uf, is_core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_blobs_and_noise() {
+        let data = Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.3, 0.0],
+            vec![0.0, 0.3],   // blob A
+            vec![10.0, 10.0],
+            vec![10.3, 10.0],
+            vec![10.0, 10.3], // blob B
+            vec![5.0, 5.0],   // lone noise
+        ]);
+        let c = naive_dbscan(&data, &DbscanParams::new(0.5, 3));
+        assert_eq!(c.n_clusters, 2);
+        assert!(c.is_noise(6));
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[3], c.labels[4]);
+        assert_ne!(c.labels[0], c.labels[3]);
+        assert_eq!(c.core_count(), 6);
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        // A chain of points each 0.4 apart: with MinPts=2 every point is
+        // core and the whole chain is one cluster.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![0.4 * i as f64]).collect();
+        let data = Dataset::from_rows(&rows);
+        let c = naive_dbscan(&data, &DbscanParams::new(0.5, 2));
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.noise_count(), 0);
+        assert_eq!(c.core_count(), 20);
+    }
+
+    #[test]
+    fn border_point_between_two_clusters() {
+        // Dense blobs left and right; a single point in the middle within
+        // eps of a core on each side. It must be border (assigned to
+        // exactly one cluster), and the clusters must NOT merge.
+        let mut rows = vec![];
+        for i in 0..4 {
+            rows.push(vec![-1.0 - 0.1 * i as f64]); // left blob: 0..4
+        }
+        for i in 0..4 {
+            rows.push(vec![1.0 + 0.1 * i as f64]); // right blob: 4..8
+        }
+        rows.push(vec![0.0]); // middle point: 8
+        let data = Dataset::from_rows(&rows);
+        // eps 1.05: middle sees cores at -1.0 and 1.0 but has only 3
+        // neighbours (itself + 2) < MinPts 4 -> border.
+        let c = naive_dbscan(&data, &DbscanParams::new(1.05, 4));
+        assert_eq!(c.n_clusters, 2, "shared border must not merge clusters");
+        assert!(c.is_border(8));
+        assert!(!c.is_noise(8));
+    }
+
+    #[test]
+    fn minpts_one_makes_everything_core() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![100.0]]);
+        let c = naive_dbscan(&data, &DbscanParams::new(0.5, 1));
+        assert_eq!(c.n_clusters, 2);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    fn strict_eps_boundary() {
+        // Two points exactly eps apart are NOT neighbours.
+        let data = Dataset::from_rows(&[vec![0.0], vec![1.0]]);
+        let c = naive_dbscan(&data, &DbscanParams::new(1.0, 2));
+        assert_eq!(c.n_clusters, 0);
+        assert_eq!(c.noise_count(), 2);
+    }
+}

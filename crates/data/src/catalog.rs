@@ -1,0 +1,168 @@
+//! Catalog of paper-dataset analogues with the density parameters used
+//! in the paper's tables, rescaled to the synthetic generators'
+//! `[0, 100]^d` coordinate range and to laptop-feasible sizes.
+
+use crate::generators;
+use geom::{Dataset, DbscanParams};
+
+/// Which generator backs a catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratorKind {
+    /// Road-network analogue (3-d).
+    RoadNetwork,
+    /// Galaxy-catalogue analogue (any dimension).
+    Galaxy,
+    /// Household-power analogue (5-d).
+    Household,
+    /// KDD-Cup-04 Bio analogue (high dimension).
+    KddBio,
+}
+
+/// One paper-dataset analogue.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Paper dataset name (e.g. "3DSRN").
+    pub name: &'static str,
+    /// Size used in the paper (for the printed comparison).
+    pub paper_n: &'static str,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Our default (scaled) size.
+    pub default_n: usize,
+    /// Density parameters for the analogue's coordinate scale.
+    pub params: DbscanParams,
+    /// Backing generator.
+    pub kind: GeneratorKind,
+}
+
+impl DatasetSpec {
+    /// Generate the dataset at its default size.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        self.generate_n(self.default_n, seed)
+    }
+
+    /// Generate the dataset at an explicit size.
+    pub fn generate_n(&self, n: usize, seed: u64) -> Dataset {
+        match self.kind {
+            GeneratorKind::RoadNetwork => generators::road_network(n, seed),
+            GeneratorKind::Galaxy => generators::galaxy(n, self.dim, seed),
+            GeneratorKind::Household => generators::household(n, seed),
+            GeneratorKind::KddBio => generators::kddbio(n, self.dim, seed),
+        }
+    }
+}
+
+/// The eight Table II dataset analogues, in the paper's row order.
+///
+/// ε values are tuned to the generators' scale so each analogue exhibits
+/// the paper row's qualitative regime (MC count scale, % queries saved).
+pub fn paper_table2_specs() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "3DSRN",
+            paper_n: "0.43M",
+            dim: 3,
+            default_n: 30_000,
+            params: DbscanParams::new(0.35, 5),
+            kind: GeneratorKind::RoadNetwork,
+        },
+        DatasetSpec {
+            name: "DGB0.5M3D",
+            paper_n: "0.5M",
+            dim: 3,
+            default_n: 30_000,
+            params: DbscanParams::new(0.8, 5),
+            kind: GeneratorKind::Galaxy,
+        },
+        DatasetSpec {
+            name: "HHP0.5M5D",
+            paper_n: "0.5M",
+            dim: 5,
+            default_n: 20_000,
+            params: DbscanParams::new(5.0, 6),
+            kind: GeneratorKind::Household,
+        },
+        DatasetSpec {
+            name: "MPAGB6M3D",
+            paper_n: "6M",
+            dim: 3,
+            default_n: 60_000,
+            params: DbscanParams::new(0.8, 5),
+            kind: GeneratorKind::Galaxy,
+        },
+        DatasetSpec {
+            name: "FOF56M3D",
+            paper_n: "56M",
+            dim: 3,
+            default_n: 80_000,
+            params: DbscanParams::new(1.4, 6),
+            kind: GeneratorKind::Galaxy,
+        },
+        DatasetSpec {
+            name: "MPAGD100M3D",
+            paper_n: "100M",
+            dim: 3,
+            default_n: 100_000,
+            params: DbscanParams::new(0.7, 5),
+            kind: GeneratorKind::Galaxy,
+        },
+        DatasetSpec {
+            name: "KDDB145K14D",
+            paper_n: "145K",
+            dim: 14,
+            default_n: 10_000,
+            params: DbscanParams::new(45.0, 5),
+            kind: GeneratorKind::KddBio,
+        },
+        DatasetSpec {
+            name: "KDDB145K24D",
+            paper_n: "143K",
+            dim: 24,
+            default_n: 8_000,
+            params: DbscanParams::new(70.0, 5),
+            kind: GeneratorKind::KddBio,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_paper_rows() {
+        let specs = paper_table2_specs();
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs[0].name, "3DSRN");
+        assert_eq!(specs[6].dim, 14);
+    }
+
+    #[test]
+    fn generation_respects_spec() {
+        for spec in paper_table2_specs() {
+            let d = spec.generate_n(500, 42);
+            assert_eq!(d.len(), 500);
+            assert_eq!(d.dim(), spec.dim, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn specs_cluster_sensibly() {
+        // Each analogue must produce a non-degenerate clustering at its
+        // catalogued parameters: some clusters, not everything noise, not
+        // one giant cluster swallowing all points.
+        for spec in paper_table2_specs() {
+            let n = 3_000.min(spec.default_n);
+            let d = spec.generate_n(n, 1);
+            let out = mudbscan::MuDbscan::new(spec.params).run(&d);
+            assert!(
+                out.clustering.n_clusters >= 1,
+                "{}: no clusters at eps={}",
+                spec.name,
+                spec.params.eps
+            );
+            let noise = out.clustering.noise_count() as f64 / n as f64;
+            assert!(noise < 0.9, "{}: {:.0}% noise", spec.name, noise * 100.0);
+        }
+    }
+}

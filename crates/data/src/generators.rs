@@ -1,0 +1,399 @@
+//! Seeded synthetic dataset generators.
+//!
+//! All generators are deterministic in their seed and emit coordinates in
+//! roughly `[0, 100]^d`, so the ε values in [`crate::catalog`] are
+//! comparable across generators.
+
+use geom::{Dataset, DatasetBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Box–Muller standard-normal sampler (keeps the dependency list to the
+/// allowed offline crates — no `rand_distr`).
+pub struct Normal {
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// New sampler.
+    pub fn new() -> Self {
+        Self { spare: None }
+    }
+
+    /// One standard-normal sample.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let v: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let r = (-2.0 * u.ln()).sqrt();
+            if r.is_finite() {
+                self.spare = Some(r * v.sin());
+                return r * v.cos();
+            }
+        }
+    }
+}
+
+impl Default for Normal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Uniform points in `[0, 100]^dim`.
+pub fn uniform(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for x in row.iter_mut() {
+            *x = rng.gen_range(0.0..100.0);
+        }
+        b.push(&row);
+    }
+    b.build()
+}
+
+/// `k` Gaussian blobs (σ = `spread`) in `[0, 100]^dim` plus a
+/// `noise_frac` fraction of uniform background.
+pub fn gaussian_mixture(
+    n: usize,
+    dim: usize,
+    k: usize,
+    spread: f64,
+    noise_frac: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(k >= 1 && (0.0..=1.0).contains(&noise_frac));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| rng.gen_range(10.0..90.0)).collect())
+        .collect();
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        if rng.gen_bool(noise_frac) {
+            for x in row.iter_mut() {
+                *x = rng.gen_range(0.0..100.0);
+            }
+        } else {
+            let c = &centers[rng.gen_range(0..k)];
+            for (x, &cx) in row.iter_mut().zip(c) {
+                *x = cx + spread * normal.sample(&mut rng);
+            }
+        }
+        b.push(&row);
+    }
+    b.build()
+}
+
+/// Galaxy-catalogue analogue (MPAGD / DGB / FOF, Millennium run): a halo
+/// model — halo masses from a power law, satellite points Gaussian around
+/// halo centers with radius growing as mass^(1/3), plus a diffuse uniform
+/// background. 3-d unless `dim` overrides (FOF28M14D is 14-d).
+pub fn galaxy(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let n_halos = (n / 60).max(4);
+    struct Halo {
+        center: Vec<f64>,
+        radius: f64,
+        weight: f64,
+    }
+    let mut halos = Vec::with_capacity(n_halos);
+    let mut total_w = 0.0;
+    for _ in 0..n_halos {
+        // Power-law mass: m = (1-u)^(-1/alpha), alpha ~ 1.8.
+        let u: f64 = rng.gen_range(0.0..0.999);
+        let mass = (1.0 - u).powf(-1.0 / 1.8);
+        let radius = 0.35 * mass.powf(1.0 / 3.0);
+        let center = (0..dim).map(|_| rng.gen_range(5.0..95.0)).collect();
+        total_w += mass;
+        halos.push(Halo { center, radius, weight: mass });
+    }
+    // Cumulative weights for halo selection.
+    let mut cum = Vec::with_capacity(n_halos);
+    let mut acc = 0.0;
+    for h in &halos {
+        acc += h.weight / total_w;
+        cum.push(acc);
+    }
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        if rng.gen_bool(0.06) {
+            for x in row.iter_mut() {
+                *x = rng.gen_range(0.0..100.0);
+            }
+        } else {
+            let u: f64 = rng.gen();
+            let idx = cum.partition_point(|&c| c < u).min(n_halos - 1);
+            let h = &halos[idx];
+            for (x, &cx) in row.iter_mut().zip(&h.center) {
+                *x = cx + h.radius * normal.sample(&mut rng);
+            }
+        }
+        b.push(&row);
+    }
+    b.build()
+}
+
+/// Road-network analogue (3DSRN): points sampled with jitter along the
+/// segments of a random planar-ish graph, with a smooth elevation as the
+/// third coordinate — long thin arbitrary-shaped clusters, DBSCAN's
+/// motivating workload.
+pub fn road_network(n: usize, seed: u64) -> Dataset {
+    let dim = 3;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let n_nodes = (n / 200).clamp(6, 400);
+    let nodes: Vec<[f64; 2]> = (0..n_nodes)
+        .map(|_| [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
+        .collect();
+    // Connect each node to its 2 nearest neighbours — a crude road graph.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (i, a) in nodes.iter().enumerate() {
+        let mut near: Vec<(f64, usize)> = nodes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(j, b)| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2), j))
+            .collect();
+        near.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        for &(_, j) in near.iter().take(2) {
+            edges.push((i.min(j), i.max(j)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    for _ in 0..n {
+        let &(i, j) = &edges[rng.gen_range(0..edges.len())];
+        let t: f64 = rng.gen();
+        let x = nodes[i][0] + t * (nodes[j][0] - nodes[i][0]) + 0.05 * normal.sample(&mut rng);
+        let y = nodes[i][1] + t * (nodes[j][1] - nodes[i][1]) + 0.05 * normal.sample(&mut rng);
+        // Smooth elevation field.
+        let z = 10.0 * ((x / 25.0).sin() + (y / 30.0).cos()) + 0.02 * normal.sample(&mut rng);
+        b.push(&[x, y, z]);
+    }
+    b.build()
+}
+
+/// Household-power analogue (HHP, 5-d): a few daily-regime modes with
+/// strongly anisotropic, correlated features (a random linear transform
+/// of an axis-aligned Gaussian per mode).
+pub fn household(n: usize, seed: u64) -> Dataset {
+    let dim = 5;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let k = 4;
+    // Per-mode center + random mixing matrix (correlations).
+    let modes: Vec<(Vec<f64>, Vec<f64>)> = (0..k)
+        .map(|_| {
+            let center: Vec<f64> = (0..dim).map(|_| rng.gen_range(20.0..80.0)).collect();
+            let mix: Vec<f64> =
+                (0..dim * dim).map(|_| rng.gen_range(-1.0..1.0) * 1.2).collect();
+            (center, mix)
+        })
+        .collect();
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    let mut z = vec![0.0; dim];
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        if rng.gen_bool(0.08) {
+            for x in row.iter_mut() {
+                *x = rng.gen_range(0.0..100.0);
+            }
+        } else {
+            let (center, mix) = &modes[rng.gen_range(0..k)];
+            for zi in z.iter_mut() {
+                *zi = normal.sample(&mut rng);
+            }
+            for (r, (ci, mrow)) in
+                row.iter_mut().zip(center.iter().zip(mix.chunks_exact(dim)))
+            {
+                *r = ci + mrow.iter().zip(&z).map(|(m, zi)| m * zi).sum::<f64>();
+            }
+        }
+        b.push(&row);
+    }
+    b.build()
+}
+
+/// KDD-Cup-2004 Bio analogue: high-dimensional (`dim` up to 74) data with
+/// a handful of broad clusters — at the paper's large ε only ~10²–10³
+/// micro-clusters form, which is what makes μDBSCAN save >96 % of queries
+/// there.
+pub fn kddbio(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let k = 6;
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| rng.gen_range(25.0..75.0)).collect())
+        .collect();
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        if rng.gen_bool(0.05) {
+            for x in row.iter_mut() {
+                *x = rng.gen_range(0.0..100.0);
+            }
+        } else {
+            let c = &centers[rng.gen_range(0..k)];
+            // Broad clusters: large sigma so the relative ε is big, like
+            // the paper's ε = 200..1500 on KDDB.
+            for (x, &cx) in row.iter_mut().zip(c) {
+                *x = cx + 6.0 * normal.sample(&mut rng);
+            }
+        }
+        b.push(&row);
+    }
+    b.build()
+}
+
+/// A drifting stream (for the insertion-incremental algorithm): cluster
+/// centers move smoothly as the stream index advances, so early and late
+/// points of one "logical" cluster occupy different regions — the
+/// distribution-shift stress case for online clustering.
+pub fn drifting_stream(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let k = 3;
+    let starts: Vec<Vec<f64>> =
+        (0..k).map(|_| (0..dim).map(|_| rng.gen_range(20.0..80.0)).collect()).collect();
+    let velocities: Vec<Vec<f64>> =
+        (0..k).map(|_| (0..dim).map(|_| rng.gen_range(-20.0..20.0)).collect()).collect();
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for i in 0..n {
+        let t = i as f64 / n as f64; // stream progress in [0, 1)
+        if rng.gen_bool(0.05) {
+            for x in row.iter_mut() {
+                *x = rng.gen_range(0.0..100.0);
+            }
+        } else {
+            let c = rng.gen_range(0..k);
+            for ((x, &s0), &v) in row.iter_mut().zip(&starts[c]).zip(&velocities[c]) {
+                *x = s0 + v * t + 1.2 * normal.sample(&mut rng);
+            }
+        }
+        b.push(&row);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = gaussian_mixture(500, 3, 4, 2.0, 0.1, 7);
+        let b = gaussian_mixture(500, 3, 4, 2.0, 0.1, 7);
+        let c = gaussian_mixture(500, 3, 4, 2.0, 0.1, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sizes_and_dims() {
+        assert_eq!(uniform(100, 2, 1).len(), 100);
+        assert_eq!(galaxy(300, 3, 1).dim(), 3);
+        assert_eq!(galaxy(300, 14, 1).dim(), 14);
+        assert_eq!(road_network(400, 1).dim(), 3);
+        assert_eq!(household(200, 1).dim(), 5);
+        assert_eq!(kddbio(150, 74, 1).dim(), 74);
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut nl = Normal::new();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| nl.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn galaxy_is_clustered_not_uniform() {
+        // Clustered data has far more close pairs than uniform data.
+        let g = galaxy(1500, 3, 3);
+        let u = uniform(1500, 3, 3);
+        let close_pairs = |d: &Dataset| {
+            let mut c = 0usize;
+            for i in 0..500u32 {
+                for j in 0..500u32 {
+                    if i != j && geom::dist_sq(d.point(i), d.point(j)) < 1.0 {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        assert!(close_pairs(&g) > 5 * close_pairs(&u).max(1));
+    }
+
+    #[test]
+    fn road_network_lies_on_thin_structures() {
+        // z is a function of (x, y) up to small noise: check the spread of
+        // z - f(x, y) is tiny compared to the coordinate range.
+        let d = road_network(1000, 5);
+        let mut max_dev = 0.0f64;
+        for (_, p) in d.iter() {
+            let f = 10.0 * ((p[0] / 25.0).sin() + (p[1] / 30.0).cos());
+            max_dev = max_dev.max((p[2] - f).abs());
+        }
+        assert!(max_dev < 1.0, "elevation deviates too much: {max_dev}");
+    }
+
+    #[test]
+    fn drifting_stream_moves() {
+        let d = drifting_stream(2_000, 2, 4);
+        assert_eq!(d.len(), 2_000);
+        assert!(d.validate_finite().is_ok());
+        // Cluster velocities can cancel in the overall centroid, so
+        // measure drift as the displacement of the early vs late window
+        // bounding boxes (any moving cluster shifts a box edge).
+        let bbox = |lo: usize, hi: usize| -> ([f64; 2], [f64; 2]) {
+            let mut min = [f64::INFINITY; 2];
+            let mut max = [f64::NEG_INFINITY; 2];
+            for i in lo..hi {
+                let p = d.point(i as u32);
+                for k in 0..2 {
+                    min[k] = min[k].min(p[k]);
+                    max[k] = max[k].max(p[k]);
+                }
+            }
+            (min, max)
+        };
+        let (a_min, a_max) = bbox(0, 200);
+        let (b_min, b_max) = bbox(1_800, 2_000);
+        let max_edge_shift = (0..2)
+            .map(|k| (a_min[k] - b_min[k]).abs().max((a_max[k] - b_max[k]).abs()))
+            .fold(0.0f64, f64::max);
+        assert!(max_edge_shift > 2.0, "stream did not drift: {max_edge_shift}");
+    }
+
+    #[test]
+    fn coordinates_in_expected_range() {
+        for d in [
+            uniform(200, 3, 9),
+            gaussian_mixture(200, 3, 3, 2.0, 0.1, 9),
+            galaxy(200, 3, 9),
+            household(200, 9),
+            kddbio(200, 24, 9),
+        ] {
+            let (lo, hi) = d.bounding_box().unwrap();
+            for k in 0..d.dim() {
+                assert!(lo[k] > -80.0 && hi[k] < 180.0, "coordinate blow-up");
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal SVG scatter plots of 2-D clusterings — dependency-free output
+//! for eyeballing results (`examples/visualize.rs` renders the classic
+//! DBSCAN "arbitrary-shaped clusters" picture).
+
+use geom::{Dataset, PointId};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Noise label convention used by the plots (`u32::MAX`, matching
+/// `mudbscan::NOISE`).
+pub const NOISE_LABEL: u32 = u32::MAX;
+
+/// Categorical colour palette (noise is drawn grey regardless).
+const PALETTE: &[&str] = &[
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac", "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b", "#e377c2",
+];
+
+/// Render the first two coordinates of `data` as an SVG scatter coloured
+/// by `labels` (one per point; [`NOISE_LABEL`] = grey). Width/height are
+/// in pixels.
+pub fn write_svg_scatter(
+    data: &Dataset,
+    labels: &[u32],
+    path: &Path,
+    width: u32,
+    height: u32,
+) -> io::Result<()> {
+    assert!(data.dim() >= 2, "need at least 2 dimensions to plot");
+    assert_eq!(labels.len(), data.len(), "one label per point");
+    let (lo, hi) = data
+        .bounding_box()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty dataset"))?;
+    let span = |k: usize| (hi[k] - lo[k]).max(1e-12);
+    let margin = 10.0;
+    let sx = (width as f64 - 2.0 * margin) / span(0);
+    let sy = (height as f64 - 2.0 * margin) / span(1);
+
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        w,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    )?;
+    writeln!(w, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
+    // Noise first so clusters draw on top.
+    for pass in 0..2 {
+        for (p, coords) in data.iter() {
+            let l = labels[p as usize];
+            let is_noise = l == NOISE_LABEL;
+            if (pass == 0) != is_noise {
+                continue;
+            }
+            let x = margin + (coords[0] - lo[0]) * sx;
+            let y = height as f64 - margin - (coords[1] - lo[1]) * sy;
+            let (color, r, op) = if is_noise {
+                ("#cccccc", 1.2, 0.8)
+            } else {
+                (PALETTE[l as usize % PALETTE.len()], 1.8, 0.9)
+            };
+            writeln!(
+                w,
+                r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="{color}" fill-opacity="{op}"/>"#
+            )?;
+        }
+    }
+    writeln!(w, "</svg>")?;
+    w.flush()
+}
+
+/// Convenience overload taking per-point labels as `(PointId -> u32)`.
+pub fn write_svg_scatter_with(
+    data: &Dataset,
+    label_of: impl Fn(PointId) -> u32,
+    path: &Path,
+    width: u32,
+    height: u32,
+) -> io::Result<()> {
+    let labels: Vec<u32> = data.ids().map(label_of).collect();
+    write_svg_scatter(data, &labels, path, width, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::gaussian_mixture;
+
+    #[test]
+    fn writes_valid_svg() {
+        let d = gaussian_mixture(200, 2, 3, 1.0, 0.1, 4);
+        let labels: Vec<u32> =
+            (0..d.len() as u32).map(|i| if i % 7 == 0 { NOISE_LABEL } else { i % 3 }).collect();
+        let tmp = std::env::temp_dir().join("mudbscan_plot_test.svg");
+        write_svg_scatter(&d, &labels, &tmp, 400, 300).unwrap();
+        let content = std::fs::read_to_string(&tmp).unwrap();
+        assert!(content.starts_with("<svg"));
+        assert!(content.trim_end().ends_with("</svg>"));
+        assert_eq!(content.matches("<circle").count(), 200);
+        assert!(content.contains("#cccccc"), "noise colour present");
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn closure_overload() {
+        let d = gaussian_mixture(50, 3, 2, 1.0, 0.0, 5);
+        let tmp = std::env::temp_dir().join("mudbscan_plot_test2.svg");
+        write_svg_scatter_with(&d, |p| p % 2, &tmp, 200, 200).unwrap();
+        assert!(tmp.exists());
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let d = gaussian_mixture(10, 2, 1, 1.0, 0.0, 6);
+        let tmp = std::env::temp_dir().join("mudbscan_plot_test3.svg");
+        let result = std::panic::catch_unwind(|| {
+            write_svg_scatter(&d, &[0u32; 3], &tmp, 100, 100).ok();
+        });
+        assert!(result.is_err(), "label length mismatch must panic");
+    }
+}

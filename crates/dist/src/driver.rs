@@ -1,0 +1,299 @@
+//! The generic distributed driver: local clustering per rank inside BSP
+//! supersteps, cross-partition edge collection, and the exact merge
+//! replay.
+
+use cluster_sim::{Bsp, CommModel, Envelope, ExecMode};
+use geom::{Dataset, DbscanParams, PointId};
+use metrics::{Counters, PhaseTimer, Stopwatch};
+use mudbscan::{Clustering, NOISE};
+use partition::Shard;
+use rtree::{RTree, RTreeConfig};
+use unionfind::UnionFind;
+
+/// What a local clustering stage returns for one rank.
+pub struct LocalRun {
+    /// Clustering over the rank's combined (own + halo) points; own
+    /// points come first.
+    pub clustering: Clustering,
+    /// The rank's wall-clock phase split-up.
+    pub phases: PhaseTimer,
+    /// The rank's operation counters.
+    pub counters: Counters,
+    /// The rank's estimated peak structure bytes.
+    pub peak_heap_bytes: usize,
+}
+
+/// A failed distributed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// A rank's local stage failed (message carries rank + cause) — e.g.
+    /// GridDBSCAN exceeding its memory budget.
+    Local(usize, String),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Local(rank, msg) => write!(f, "rank {rank}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Result of a distributed run.
+#[derive(Debug)]
+pub struct DistOutput {
+    /// The global clustering over all `n` points.
+    pub clustering: Clustering,
+    /// Per-phase virtual makespans: `partitioning`, `halo_exchange`,
+    /// the local phases (per-phase maxima over ranks), and `merging`.
+    pub phases: PhaseTimer,
+    /// Total virtual runtime *excluding* partitioning and halo exchange —
+    /// the quantity the paper reports ("we do not include data
+    /// partitioning ... while computing the speedup").
+    pub runtime_secs: f64,
+    /// Bytes communicated (partitioning + halos + merge edges).
+    pub comm_bytes: u64,
+    /// Aggregated operation counters over all ranks.
+    pub counters: Counters,
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Maximum estimated per-rank structure bytes (for capacity claims).
+    pub max_rank_heap_bytes: usize,
+}
+
+/// A cross-partition candidate pair: own point `x` (with its exact core
+/// flag) strictly within ε of halo point `y`.
+type Edge = (PointId, PointId, bool);
+
+struct RankState {
+    shard: Shard,
+    combined: Dataset,
+    own_n: usize,
+    local: Option<Result<LocalRun, String>>,
+    edges: Vec<Edge>,
+    /// Exact core/assigned flags for this rank's own points, filled after
+    /// the local stage.
+    own_core: Vec<bool>,
+    heap_bytes: usize,
+}
+
+/// Run a distributed DBSCAN: `local` clusters one rank's combined
+/// dataset; the driver handles edge collection and the merge.
+///
+/// `shards` comes from a partitioner ([`partition::kd_partition`] or
+/// [`crate::hpdbscan`]'s cell partitioner); `part_phases` are its virtual
+/// times, folded into the output phase report.
+#[allow(clippy::too_many_arguments)] // mirrors the phases of an MPI driver: data, partitioning output, params, engine config, local stage
+pub fn run_distributed(
+    n_total: usize,
+    shards: Vec<Shard>,
+    part_phases: PhaseTimer,
+    part_comm_bytes: u64,
+    params: &DbscanParams,
+    mode: ExecMode,
+    comm: CommModel,
+    local: impl Fn(usize, &Dataset, usize) -> Result<LocalRun, String> + Sync,
+) -> Result<DistOutput, DistError> {
+    let p = shards.len();
+    let states: Vec<RankState> = shards
+        .into_iter()
+        .map(|shard| {
+            let mut combined = shard.data.clone();
+            combined.extend_from(&shard.halo);
+            let own_n = shard.len();
+            RankState {
+                shard,
+                combined,
+                own_n,
+                local: None,
+                edges: Vec::new(),
+                own_core: Vec::new(),
+                heap_bytes: 0,
+            }
+        })
+        .collect();
+
+    let mut bsp = Bsp::new(states).with_mode(mode).with_comm(comm);
+
+    // Local clustering superstep.
+    bsp.phase("local_clustering");
+    bsp.run(|r, s: &mut RankState| {
+        let run = local(r, &s.combined, s.own_n);
+        if let Ok(run) = &run {
+            s.own_core = run.clustering.is_core[..s.own_n].to_vec();
+            s.heap_bytes = run.peak_heap_bytes;
+        }
+        s.local = Some(run);
+    });
+    for (r, s) in bsp.states().iter().enumerate() {
+        if let Some(Err(msg)) = &s.local {
+            return Err(DistError::Local(r, msg.clone()));
+        }
+    }
+
+    // Edge collection superstep: index own points, query each halo point.
+    bsp.phase("merging");
+    bsp.run(|_r, s: &mut RankState| {
+        if s.shard.halo_ids.is_empty() {
+            return;
+        }
+        let own_tree = RTree::bulk_load_points(
+            s.combined.dim(),
+            RTreeConfig::default(),
+            (0..s.own_n).map(|i| (i as u32, s.shard.data.point(i as u32).to_vec())),
+        );
+        let run = match s.local.as_ref() {
+            Some(Ok(run)) => run,
+            _ => return,
+        };
+        for (h, &hid) in s.shard.halo_ids.iter().enumerate() {
+            let coords = s.shard.halo.point(h as u32);
+            let mut hits = Vec::new();
+            own_tree.search_sphere(coords, params.eps, |x| hits.push(x));
+            run.counters.count_range_query();
+            for x in hits {
+                let gx = s.shard.ids[x as usize];
+                let x_core = run.clustering.is_core[x as usize];
+                s.edges.push((gx, hid, x_core));
+            }
+        }
+    });
+
+    // Exchange edges (models the all-to-all of merge pairs; routed to
+    // rank 0, which hosts the union replay in this simulation).
+    bsp.exchange(
+        |_r, s: &mut RankState| {
+            if s.edges.is_empty() {
+                Vec::new()
+            } else {
+                let flat: Vec<u64> = s
+                    .edges
+                    .iter()
+                    .map(|&(x, y, c)| ((x as u64) << 33) | ((y as u64) << 1) | c as u64)
+                    .collect();
+                vec![Envelope::new(0, flat)]
+            }
+        },
+        |_r, _s, _inbox: Vec<(usize, Vec<u64>)>| {},
+    );
+
+    // Global merge replay (orchestrator side, timed into "merging").
+    let sw = Stopwatch::start();
+    let mut is_core = vec![false; n_total];
+    let mut assigned = vec![false; n_total];
+    let mut uf = UnionFind::new(n_total);
+    let counters = Counters::new();
+
+    // Exact flags + seeds from every rank's own points.
+    for s in bsp.states() {
+        let run = match s.local.as_ref() {
+            Some(Ok(run)) => run,
+            _ => unreachable!("checked above"),
+        };
+        let labels = &run.clustering.labels;
+        // Seed the global forest with each local cluster: all OWN members,
+        // plus locally-core HALO members. A locally-core halo point is
+        // truly core (a rank sees a subset of a halo point's true
+        // neighbourhood, so it can only under-mark), and it reached the
+        // local cluster through a chain of truly-core pivots — so these
+        // unions are always valid. Crucially, they carry own *border*
+        // points that were attached via a halo-core pivot into the right
+        // global set; skipping them (and relying on the edge replay) loses
+        // those points, because their `assigned` flag blocks the
+        // border-guarded edge rule.
+        let mut rep: std::collections::HashMap<u32, PointId> = std::collections::HashMap::new();
+        for (i, &gid) in s.shard.ids.iter().enumerate() {
+            is_core[gid as usize] = run.clustering.is_core[i];
+            let l = labels[i];
+            if l == NOISE {
+                continue;
+            }
+            assigned[gid as usize] = true;
+            match rep.entry(l) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    uf.union(*e.get(), gid);
+                    counters.count_union();
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(gid);
+                }
+            }
+        }
+        for (h, &gid) in s.shard.halo_ids.iter().enumerate() {
+            let i = s.own_n + h;
+            if !run.clustering.is_core[i] {
+                continue; // non-core halo points: the owner's word stands
+            }
+            let l = labels[i];
+            if l == NOISE {
+                continue;
+            }
+            match rep.entry(l) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    uf.union(*e.get(), gid);
+                    counters.count_union();
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(gid);
+                }
+            }
+        }
+        counters.absorb(&run.counters);
+    }
+
+    // Replay the cross-partition edges with exact flags.
+    for s in bsp.states() {
+        for &(x, y, x_core) in &s.edges {
+            debug_assert_eq!(is_core[x as usize], x_core);
+            let y_core = is_core[y as usize];
+            if x_core && y_core {
+                uf.union(x, y);
+                counters.count_union();
+            } else if x_core && !assigned[y as usize] {
+                uf.union(x, y);
+                counters.count_union();
+                assigned[y as usize] = true;
+            } else if y_core && !x_core && !assigned[x as usize] {
+                uf.union(y, x);
+                counters.count_union();
+                assigned[x as usize] = true;
+            }
+        }
+    }
+    let replay_secs = sw.secs();
+
+    // Assemble the phase report: partitioning + per-phase local maxima +
+    // merging.
+    let mut phases = part_phases;
+    let mut local_max = PhaseTimer::new();
+    let mut max_heap = 0usize;
+    for s in bsp.states() {
+        if let Some(Ok(run)) = &s.local {
+            local_max.max_merge(&run.phases);
+        }
+        max_heap = max_heap.max(s.heap_bytes);
+    }
+    for (name, d) in local_max.iter() {
+        phases.add(name, d);
+    }
+    let merging_secs = bsp.phase_times().secs("merging") + replay_secs;
+    phases.add_secs("merging", merging_secs);
+
+    let runtime_secs =
+        phases.total_secs() - phases.secs("partitioning") - phases.secs("halo_exchange");
+
+    let comm_bytes = part_comm_bytes + bsp.comm_bytes();
+    let clustering = Clustering::from_union_find(&mut uf, is_core);
+
+    Ok(DistOutput {
+        clustering,
+        phases,
+        runtime_secs,
+        comm_bytes,
+        counters,
+        ranks: p,
+        max_rank_heap_bytes: max_heap,
+    })
+}

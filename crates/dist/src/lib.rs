@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! Distributed DBSCAN algorithms over the BSP cluster simulator.
+//!
+//! * [`MuDbscanD`] — the paper's μDBSCAN-D: sampling-based kd-tree
+//!   partitioning, ε-halo exchange, independent local μDBSCAN per rank,
+//!   and a query-light merge phase over cross-partition ε-pairs.
+//! * [`PdsDbscanD`] — Patwary et al.'s PDSDBSCAN-D: same partitioning and
+//!   merge, but the local stage is classical R-tree DBSCAN (every point
+//!   queried, no wndq-core savings).
+//! * [`GridDbscanD`] — distributed GridDBSCAN (inherits the exponential
+//!   neighbour-cell memory, so high-d runs return the paper's "Mem Err").
+//! * [`HpDbscan`] — HPDBSCAN-style: grid-cell block partitioning with a
+//!   load-cost heuristic instead of kd splits, grid-based local stage.
+//! * [`RpDbscan`] — RP-DBSCAN-style ρ-approximate algorithm on *random*
+//!   (non-spatial) partitioning with a global cell dictionary; the one
+//!   intentionally approximate baseline (its cluster-count deviation is
+//!   reported, mirroring the paper's observations about approximate
+//!   competitors).
+//!
+//! ## Exactness of the merge (paper §V-C)
+//!
+//! Each rank clusters its own points plus the ε-halo. Because a rank sees
+//! a *subset* of any halo point's true neighbourhood, it can only
+//! under-mark halo cores — so every local union is justified by a chain
+//! of truly-core pivots, and local clusterings are globally sound. The
+//! merge pass then (1) queries each halo point against the rank's own
+//! points to enumerate all cross-partition ε-pairs, (2) joins each pair
+//! with the *owner's* exact core flags, and (3) replays the disjoint-set
+//! union rules (core–core always unions; core–border only if the border
+//! point is unassigned). Every cross-partition DBSCAN connection is one
+//! such pair, so the global clustering equals sequential DBSCAN — which
+//! the integration tests verify against `mudbscan::naive_dbscan`.
+
+//! ```
+//! use dist::{DistConfig, MuDbscanD};
+//! use geom::DbscanParams;
+//!
+//! let rows: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| vec![0.1 * (i % 50) as f64 + 10.0 * (i / 50) as f64, 0.0])
+//!     .collect();
+//! let data = geom::Dataset::from_rows(&rows);
+//! let out = MuDbscanD::new(DbscanParams::new(0.3, 4), DistConfig::new(4))
+//!     .run(&data)
+//!     .unwrap();
+//! assert_eq!(out.clustering.n_clusters, 2); // two strips, one per group of 50
+//! assert!(out.runtime_secs > 0.0);
+//! ```
+
+pub mod driver;
+pub mod hpdbscan;
+pub mod mudbscan_d;
+pub mod rpdbscan;
+
+pub use driver::{run_distributed, DistError, DistOutput, LocalRun};
+pub use hpdbscan::HpDbscan;
+pub use mudbscan_d::{DistConfig, GridDbscanD, MuDbscanD, PdsDbscanD};
+pub use rpdbscan::RpDbscan;

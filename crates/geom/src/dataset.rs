@@ -1,0 +1,289 @@
+//! Flat, structure-of-arrays point storage.
+
+use std::fmt;
+
+/// Index of a point inside a [`Dataset`].
+///
+/// `u32` keeps per-point bookkeeping structures (union–find parents, labels,
+/// neighbour lists) half the size of `usize` on 64-bit targets; datasets of
+/// up to ~4.2 billion points fit, which covers the paper's 1B-point runs.
+pub type PointId = u32;
+
+/// An immutable collection of `n` points of dimension `dim`, stored
+/// row-major in one flat buffer (`coords[i * dim .. (i + 1) * dim]` is
+/// point `i`).
+#[derive(Clone, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl Dataset {
+    /// Build a dataset from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `coords.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, coords: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            coords.len().is_multiple_of(dim),
+            "flat buffer length {} is not a multiple of dim {}",
+            coords.len(),
+            dim
+        );
+        Self { dim, coords }
+    }
+
+    /// Build a dataset from per-point rows. All rows must share one length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot infer dimension from zero rows");
+        let dim = rows[0].len();
+        let mut coords = Vec::with_capacity(rows.len() * dim);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), dim, "row {i} has length {} != dim {dim}", r.len());
+            coords.extend_from_slice(r);
+        }
+        Self::from_flat(dim, coords)
+    }
+
+    /// An empty dataset of the given dimension.
+    pub fn empty(dim: usize) -> Self {
+        Self::from_flat(dim, Vec::new())
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// True when the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Point dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow the coordinates of point `id`.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &[f64] {
+        let i = id as usize * self.dim;
+        &self.coords[i..i + self.dim]
+    }
+
+    /// The full flat coordinate buffer.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Iterate over `(id, coords)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
+        self.coords
+            .chunks_exact(self.dim)
+            .enumerate()
+            .map(|(i, c)| (i as PointId, c))
+    }
+
+    /// Iterate over all point ids.
+    pub fn ids(&self) -> std::ops::Range<PointId> {
+        0..self.len() as PointId
+    }
+
+    /// Copy the given points into a new dataset (used by the spatial
+    /// partitioner to materialise per-rank shards).
+    pub fn gather(&self, ids: &[PointId]) -> Dataset {
+        let mut coords = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            coords.extend_from_slice(self.point(id));
+        }
+        Dataset::from_flat(self.dim, coords)
+    }
+
+    /// Append one point, returning its id. Only used during construction
+    /// (generators, halo exchange); algorithms treat datasets as immutable.
+    pub fn push(&mut self, coords: &[f64]) -> PointId {
+        assert_eq!(coords.len(), self.dim);
+        let id = self.len() as PointId;
+        self.coords.extend_from_slice(coords);
+        id
+    }
+
+    /// Append every point of `other` (same dimension), returning the id the
+    /// first appended point received.
+    pub fn extend_from(&mut self, other: &Dataset) -> PointId {
+        assert_eq!(self.dim, other.dim);
+        let first = self.len() as PointId;
+        self.coords.extend_from_slice(&other.coords);
+        first
+    }
+
+    /// Check that every coordinate is finite (no NaN/∞). DBSCAN distances
+    /// are undefined on non-finite inputs; callers ingesting external
+    /// files (the CLI) should validate before clustering.
+    pub fn validate_finite(&self) -> Result<(), String> {
+        for (i, x) in self.coords.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(format!(
+                    "non-finite coordinate {x} at point {}, component {}",
+                    i / self.dim,
+                    i % self.dim
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Component-wise bounding box of all points, as `(lo, hi)` vectors.
+    /// Returns `None` for an empty dataset.
+    pub fn bounding_box(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = self.point(0).to_vec();
+        let mut hi = lo.clone();
+        for (_, p) in self.iter().skip(1) {
+            for k in 0..self.dim {
+                if p[k] < lo[k] {
+                    lo[k] = p[k];
+                }
+                if p[k] > hi[k] {
+                    hi[k] = p[k];
+                }
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+impl fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dataset {{ n: {}, dim: {} }}", self.len(), self.dim)
+    }
+}
+
+/// Incremental builder that avoids intermediate `Vec<Vec<f64>>` rows.
+pub struct DatasetBuilder {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl DatasetBuilder {
+    /// Start a builder for points of dimension `dim`, reserving room for
+    /// `capacity` points.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0);
+        Self { dim, coords: Vec::with_capacity(capacity * dim) }
+    }
+
+    /// Append one point.
+    #[inline]
+    pub fn push(&mut self, coords: &[f64]) {
+        debug_assert_eq!(coords.len(), self.dim);
+        self.coords.extend_from_slice(coords);
+    }
+
+    /// Number of points appended so far.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// True if no point has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Finish, producing the immutable [`Dataset`].
+    pub fn build(self) -> Dataset {
+        Dataset::from_flat(self.dim, self.coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 2.0], vec![-3.0, 4.5]])
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.point(1), &[1.0, 2.0]);
+        assert_eq!(d.point(2), &[-3.0, 4.5]);
+    }
+
+    #[test]
+    fn iter_matches_point() {
+        let d = sample();
+        for (id, p) in d.iter() {
+            assert_eq!(p, d.point(id));
+        }
+        assert_eq!(d.iter().count(), 3);
+    }
+
+    #[test]
+    fn gather_subset() {
+        let d = sample();
+        let g = d.gather(&[2, 0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.point(0), d.point(2));
+        assert_eq!(g.point(1), d.point(0));
+    }
+
+    #[test]
+    fn bounding_box_covers_all() {
+        let d = sample();
+        let (lo, hi) = d.bounding_box().unwrap();
+        assert_eq!(lo, vec![-3.0, 0.0]);
+        assert_eq!(hi, vec![1.0, 4.5]);
+        assert!(Dataset::empty(2).bounding_box().is_none());
+    }
+
+    #[test]
+    fn builder_matches_from_rows() {
+        let mut b = DatasetBuilder::with_capacity(2, 3);
+        assert!(b.is_empty());
+        b.push(&[0.0, 0.0]);
+        b.push(&[1.0, 2.0]);
+        b.push(&[-3.0, 4.5]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.build(), sample());
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut d = Dataset::empty(2);
+        assert_eq!(d.push(&[1.0, 1.0]), 0);
+        assert_eq!(d.push(&[2.0, 2.0]), 1);
+        let other = sample();
+        let first = d.extend_from(&other);
+        assert_eq!(first, 2);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.point(3), other.point(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_validates_len() {
+        Dataset::from_flat(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn validate_finite_catches_bad_values() {
+        assert!(sample().validate_finite().is_ok());
+        let bad = Dataset::from_rows(&[vec![1.0, f64::NAN]]);
+        let err = bad.validate_finite().unwrap_err();
+        assert!(err.contains("point 0"), "{err}");
+        let inf = Dataset::from_rows(&[vec![1.0, 2.0], vec![f64::INFINITY, 0.0]]);
+        assert!(inf.validate_finite().unwrap_err().contains("point 1"));
+    }
+}

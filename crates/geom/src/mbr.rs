@@ -1,0 +1,277 @@
+//! Axis-aligned minimum bounding rectangles (MBRs).
+//!
+//! Used by the R-tree ([`rtree`](https://docs.rs/rtree)) nodes, the μR-tree
+//! level-1 entries (MC bounding boxes) and the spatial partitioner
+//! (partition boxes and ε-halo strips). The paper's `reg_ε(p)` — the
+//! ε-extended box around a point — is [`Mbr::around_point`].
+
+/// An axis-aligned box `[lo, hi]` (inclusive on both ends) in `dim()`
+/// dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    lo: Box<[f64]>,
+    hi: Box<[f64]>,
+}
+
+impl Mbr {
+    /// Construct from corner vectors. `lo[k] <= hi[k]` must hold.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
+        debug_assert!(
+            lo.iter().zip(hi.iter()).all(|(l, h)| l <= h),
+            "lo must be <= hi component-wise: {lo:?} vs {hi:?}"
+        );
+        Self { lo: lo.into_boxed_slice(), hi: hi.into_boxed_slice() }
+    }
+
+    /// Degenerate box containing a single point.
+    pub fn point(p: &[f64]) -> Self {
+        Self::new(p.to_vec(), p.to_vec())
+    }
+
+    /// The box `[p - r, p + r]` — the paper's `reg_r(p)`. A sphere of radius
+    /// `r` around `p` is contained in this box, so box overlap is a sound
+    /// (conservative) filter for sphere queries.
+    pub fn around_point(p: &[f64], r: f64) -> Self {
+        assert!(r >= 0.0);
+        let lo = p.iter().map(|x| x - r).collect();
+        let hi = p.iter().map(|x| x + r).collect();
+        Self::new(lo, hi)
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// `true` iff `p` lies inside the box (inclusive bounds).
+    #[inline]
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        self.lo.iter().zip(p).all(|(l, x)| l <= x) && self.hi.iter().zip(p).all(|(h, x)| x <= h)
+    }
+
+    /// `true` iff the two boxes overlap (closed-interval semantics: touching
+    /// faces count as overlap, which keeps the filter conservative).
+    #[inline]
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        for k in 0..self.dim() {
+            if self.hi[k] < other.lo[k] || other.hi[k] < self.lo[k] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` iff `other` is entirely inside `self`.
+    pub fn contains(&self, other: &Mbr) -> bool {
+        for k in 0..self.dim() {
+            if other.lo[k] < self.lo[k] || other.hi[k] > self.hi[k] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Squared distance from `p` to the nearest point of the box (0 when
+    /// `p` is inside). This makes box/sphere intersection exact:
+    /// the sphere `(c, r)` meets the box iff `min_dist_sq(c) <= r²`.
+    #[inline]
+    pub fn min_dist_sq(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        let mut acc = 0.0;
+        for k in 0..self.dim() {
+            let x = p[k];
+            let d = if x < self.lo[k] {
+                self.lo[k] - x
+            } else if x > self.hi[k] {
+                x - self.hi[k]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// `true` iff the open ball of radius `r` around `c` intersects the box
+    /// (strict: matches the strict `< ε` neighbourhood definition).
+    #[inline]
+    pub fn intersects_sphere(&self, c: &[f64], r: f64) -> bool {
+        self.min_dist_sq(c) < r * r
+    }
+
+    /// Grow the box in place so it also covers `other`.
+    pub fn merge(&mut self, other: &Mbr) {
+        debug_assert_eq!(self.dim(), other.dim());
+        for k in 0..self.dim() {
+            if other.lo[k] < self.lo[k] {
+                self.lo[k] = other.lo[k];
+            }
+            if other.hi[k] > self.hi[k] {
+                self.hi[k] = other.hi[k];
+            }
+        }
+    }
+
+    /// Grow the box in place so it also covers `p`.
+    pub fn merge_point(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for k in 0..self.dim() {
+            if p[k] < self.lo[k] {
+                self.lo[k] = p[k];
+            }
+            if p[k] > self.hi[k] {
+                self.hi[k] = p[k];
+            }
+        }
+    }
+
+    /// The smallest box covering both inputs.
+    pub fn merged(&self, other: &Mbr) -> Mbr {
+        let mut m = self.clone();
+        m.merge(other);
+        m
+    }
+
+    /// Hyper-volume of the box. Degenerate boxes have volume 0; for R-tree
+    /// split heuristics prefer [`Mbr::margin`] when volumes collapse.
+    pub fn volume(&self) -> f64 {
+        self.lo.iter().zip(self.hi.iter()).map(|(l, h)| h - l).product()
+    }
+
+    /// Sum of edge lengths (the "margin"); a robust tie-breaker when
+    /// volumes are zero (collinear points).
+    pub fn margin(&self) -> f64 {
+        self.lo.iter().zip(self.hi.iter()).map(|(l, h)| h - l).sum()
+    }
+
+    /// Volume increase needed for the box to cover `other` — the Guttman
+    /// ChooseLeaf criterion.
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        self.merged(other).volume() - self.volume()
+    }
+
+    /// Center of the box along axis `k`.
+    #[inline]
+    pub fn center(&self, k: usize) -> f64 {
+        0.5 * (self.lo[k] + self.hi[k])
+    }
+
+    /// Expand every face outward by `r` (used to build ε-halo strips of a
+    /// partition box).
+    pub fn expanded(&self, r: f64) -> Mbr {
+        assert!(r >= 0.0);
+        Mbr::new(
+            self.lo.iter().map(|x| x - r).collect(),
+            self.hi.iter().map(|x| x + r).collect(),
+        )
+    }
+
+    /// Estimated heap footprint in bytes (two boxed slices).
+    pub fn heap_bytes(&self) -> usize {
+        2 * self.lo.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Mbr {
+        Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0])
+    }
+
+    #[test]
+    fn contains_point_inclusive() {
+        let m = unit();
+        assert!(m.contains_point(&[0.0, 0.0]));
+        assert!(m.contains_point(&[1.0, 1.0]));
+        assert!(m.contains_point(&[0.5, 0.5]));
+        assert!(!m.contains_point(&[1.0001, 0.5]));
+    }
+
+    #[test]
+    fn intersects_touching_counts() {
+        let m = unit();
+        let touching = Mbr::new(vec![1.0, 0.0], vec![2.0, 1.0]);
+        let apart = Mbr::new(vec![1.1, 0.0], vec![2.0, 1.0]);
+        assert!(m.intersects(&touching));
+        assert!(touching.intersects(&m));
+        assert!(!m.intersects(&apart));
+    }
+
+    #[test]
+    fn min_dist_sq_cases() {
+        let m = unit();
+        assert_eq!(m.min_dist_sq(&[0.5, 0.5]), 0.0); // inside
+        assert_eq!(m.min_dist_sq(&[2.0, 0.5]), 1.0); // face
+        assert_eq!(m.min_dist_sq(&[2.0, 2.0]), 2.0); // corner
+    }
+
+    #[test]
+    fn sphere_intersection_strict() {
+        let m = unit();
+        // Ball centred at (2, 0.5): closest box point at distance 1.
+        assert!(!m.intersects_sphere(&[2.0, 0.5], 1.0)); // open ball misses
+        assert!(m.intersects_sphere(&[2.0, 0.5], 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn merge_and_enlargement() {
+        let mut m = unit();
+        let other = Mbr::new(vec![2.0, 2.0], vec![3.0, 3.0]);
+        assert_eq!(m.enlargement(&other), 9.0 - 1.0);
+        m.merge(&other);
+        assert_eq!(m.lo(), &[0.0, 0.0]);
+        assert_eq!(m.hi(), &[3.0, 3.0]);
+        assert_eq!(m.volume(), 9.0);
+        assert_eq!(m.margin(), 6.0);
+    }
+
+    #[test]
+    fn merge_point_grows() {
+        let mut m = Mbr::point(&[1.0, 1.0]);
+        assert_eq!(m.volume(), 0.0);
+        m.merge_point(&[-1.0, 3.0]);
+        assert_eq!(m.lo(), &[-1.0, 1.0]);
+        assert_eq!(m.hi(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn around_point_covers_ball() {
+        let m = Mbr::around_point(&[1.0, 2.0], 0.5);
+        assert_eq!(m.lo(), &[0.5, 1.5]);
+        assert_eq!(m.hi(), &[1.5, 2.5]);
+        assert!(m.contains_point(&[1.0, 2.4]));
+    }
+
+    #[test]
+    fn expanded_halo() {
+        let m = unit().expanded(0.25);
+        assert_eq!(m.lo(), &[-0.25, -0.25]);
+        assert_eq!(m.hi(), &[1.25, 1.25]);
+        assert!(m.contains(&unit()));
+    }
+
+    #[test]
+    fn containment() {
+        let m = unit();
+        assert!(m.contains(&Mbr::new(vec![0.2, 0.2], vec![0.8, 0.8])));
+        assert!(!m.contains(&Mbr::new(vec![0.2, 0.2], vec![1.8, 0.8])));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the geometric primitives.
+
+use geom::{dist_euclidean, dist_sq, within_sq, Dataset, Mbr};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -1.0e3..1.0e3
+}
+
+fn point(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(coord(), dim)
+}
+
+proptest! {
+    #[test]
+    fn dist_is_symmetric(a in point(5), b in point(5)) {
+        prop_assert!((dist_sq(&a, &b) - dist_sq(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dist_triangle_inequality(a in point(4), b in point(4), c in point(4)) {
+        let ab = dist_euclidean(&a, &b);
+        let bc = dist_euclidean(&b, &c);
+        let ac = dist_euclidean(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn within_sq_agrees_with_dist_sq(a in point(7), b in point(7), t in 0.0..1.0e7) {
+        let exact = dist_sq(&a, &b) < t;
+        prop_assert_eq!(within_sq(&a, &b, t), exact);
+    }
+
+    #[test]
+    fn mbr_merge_contains_both(a in point(3), b in point(3)) {
+        let ma = Mbr::point(&a);
+        let mb = Mbr::point(&b);
+        let m = ma.merged(&mb);
+        prop_assert!(m.contains(&ma));
+        prop_assert!(m.contains(&mb));
+        prop_assert!(m.contains_point(&a));
+        prop_assert!(m.contains_point(&b));
+    }
+
+    #[test]
+    fn mbr_min_dist_zero_iff_inside(p in point(3), q in point(3), r in 0.01..10.0f64) {
+        let m = Mbr::around_point(&p, r);
+        let inside = m.contains_point(&q);
+        let d = m.min_dist_sq(&q);
+        prop_assert_eq!(inside, d == 0.0);
+    }
+
+    #[test]
+    fn sphere_box_filter_is_conservative(c in point(3), p in point(3), r in 0.01..100.0f64) {
+        // Every point strictly within r of c must be inside reg_r(c), and
+        // the ball around c must intersect any box containing such a point.
+        if dist_euclidean(&c, &p) < r {
+            let reg = Mbr::around_point(&c, r);
+            prop_assert!(reg.contains_point(&p));
+            prop_assert!(Mbr::point(&p).intersects_sphere(&c, r));
+        }
+    }
+
+    #[test]
+    fn dataset_bounding_box_contains_all(rows in prop::collection::vec(point(3), 1..40)) {
+        let d = Dataset::from_rows(&rows);
+        let (lo, hi) = d.bounding_box().unwrap();
+        let m = Mbr::new(lo, hi);
+        for (_, p) in d.iter() {
+            prop_assert!(m.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn dataset_gather_preserves_coords(rows in prop::collection::vec(point(2), 1..30)) {
+        let d = Dataset::from_rows(&rows);
+        let ids: Vec<_> = d.ids().rev().collect();
+        let g = d.gather(&ids);
+        for (i, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(g.point(i as u32), d.point(id));
+        }
+    }
+}

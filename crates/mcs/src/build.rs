@@ -1,0 +1,241 @@
+//! Micro-cluster construction — paper Algorithm 3 (BUILD-MICRO-CLUSTERS).
+//!
+//! Single scan over the points:
+//!
+//! 1. if some MC center lies strictly within ε of the point, the point
+//!    joins that MC (first found);
+//! 2. otherwise, if some center lies within 2ε, the point is *deferred* to
+//!    an `unassignedList` — creating a center here would produce a heavily
+//!    overlapping MC, and the paper's 2ε rule keeps the MC count low;
+//! 3. otherwise the point becomes the center of a new MC.
+//!
+//! A second scan assigns the deferred points: join an MC within ε if one
+//! exists by now, else become a new center. Finally each MC gets an STR
+//! bulk-loaded auxiliary R-tree.
+
+use crate::micro::{McId, MicroCluster, NO_MC};
+use crate::murtree::MuRTree;
+use geom::{Dataset, PointId};
+use metrics::Counters;
+use rtree::{RTree, RTreeConfig};
+
+/// Construction options (the knobs the ablation benches turn).
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Apply the 2ε deferral rule (paper default). Disabling it creates an
+    /// MC at every point that is not within ε of an existing center.
+    pub two_eps_deferral: bool,
+    /// Build auxiliary R-trees with STR bulk loading (default) instead of
+    /// repeated insertion.
+    pub str_aux: bool,
+    /// Fan-out of the level-1 tree over MC centers.
+    pub level1_cfg: RTreeConfig,
+    /// Fan-out of the per-MC auxiliary trees.
+    pub aux_cfg: RTreeConfig,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            two_eps_deferral: true,
+            str_aux: true,
+            level1_cfg: RTreeConfig::default(),
+            aux_cfg: RTreeConfig::default(),
+        }
+    }
+}
+
+/// Build all micro-clusters and the μR-tree for `data`.
+pub fn build_micro_clusters(
+    data: &Dataset,
+    eps: f64,
+    opts: &BuildOptions,
+    counters: &Counters,
+) -> MuRTree {
+    let dim = data.dim();
+    let mut level1 = RTree::with_config(dim, opts.level1_cfg);
+    let mut mcs: Vec<MicroCluster> = Vec::new();
+    let mut assignment: Vec<McId> = vec![NO_MC; data.len()];
+    let mut unassigned: Vec<PointId> = Vec::new();
+
+    let create_mc = |p: PointId,
+                         coords: &[f64],
+                         level1: &mut RTree,
+                         mcs: &mut Vec<MicroCluster>,
+                         assignment: &mut Vec<McId>| {
+        let id = mcs.len() as McId;
+        mcs.push(MicroCluster::new(p, coords));
+        level1.insert_point(id, coords);
+        assignment[p as usize] = id;
+    };
+
+    // First scan (Algorithm 3, PROCESS-POINT).
+    for (p, coords) in data.iter() {
+        counters.count_node_visit();
+        if let Some(mc) = level1.first_in_sphere(coords, eps) {
+            counters.count_dists(1);
+            let center = mcs[mc as usize].center;
+            mcs[mc as usize].insert(p, coords, data.point(center), eps);
+            assignment[p as usize] = mc;
+        } else if opts.two_eps_deferral && level1.first_in_sphere(coords, 2.0 * eps).is_some() {
+            counters.count_dists(2);
+            unassigned.push(p);
+        } else {
+            create_mc(p, coords, &mut level1, &mut mcs, &mut assignment);
+        }
+    }
+
+    // Second scan (PROCESS-UNASSIGNED-POINT).
+    for p in unassigned {
+        let coords = data.point(p);
+        if let Some(mc) = level1.first_in_sphere(coords, eps) {
+            counters.count_dists(1);
+            let center = mcs[mc as usize].center;
+            mcs[mc as usize].insert(p, coords, data.point(center), eps);
+            assignment[p as usize] = mc;
+        } else {
+            create_mc(p, coords, &mut level1, &mut mcs, &mut assignment);
+        }
+    }
+
+    // Level 2: auxiliary R-trees.
+    for mc in &mut mcs {
+        if opts.str_aux {
+            mc.build_aux(data, opts.aux_cfg);
+        } else {
+            let mut t = RTree::with_config(dim, opts.aux_cfg);
+            for &m in &mc.members {
+                t.insert_point(m, data.point(m));
+            }
+            mc.aux = Some(t);
+        }
+    }
+
+    MuRTree::from_parts(eps, level1, mcs, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::dist_euclidean;
+
+    fn grid(n: usize, step: f64) -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                rows.push(vec![i as f64 * step, j as f64 * step]);
+            }
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    fn check_partition(data: &Dataset, t: &MuRTree, eps: f64) {
+        // Every point assigned to exactly one MC, within eps of its center.
+        let mut seen = vec![false; data.len()];
+        for (id, mc) in t.mcs.iter().enumerate() {
+            for &m in &mc.members {
+                assert!(!seen[m as usize], "point {m} in two MCs");
+                seen[m as usize] = true;
+                assert_eq!(t.assignment[m as usize], id as McId);
+                assert!(
+                    dist_euclidean(data.point(m), data.point(mc.center)) < eps,
+                    "member outside its MC ball"
+                );
+            }
+            assert_eq!(mc.center, mc.members[0], "center must be first member");
+        }
+        assert!(seen.iter().all(|&s| s), "unassigned point");
+    }
+
+    #[test]
+    fn all_points_partitioned() {
+        let data = grid(10, 0.4);
+        let c = Counters::new();
+        let t = build_micro_clusters(&data, 1.0, &BuildOptions::default(), &c);
+        check_partition(&data, &t, 1.0);
+        assert!(t.mcs.len() < data.len(), "should form far fewer MCs than points");
+        assert!(c.dist_computations() > 0);
+    }
+
+    #[test]
+    fn two_eps_rule_reduces_mc_count() {
+        let data = grid(14, 0.35);
+        let c = Counters::new();
+        let with = build_micro_clusters(&data, 1.0, &BuildOptions::default(), &c);
+        let without = build_micro_clusters(
+            &data,
+            1.0,
+            &BuildOptions { two_eps_deferral: false, ..Default::default() },
+            &c,
+        );
+        check_partition(&data, &with, 1.0);
+        check_partition(&data, &without, 1.0);
+        assert!(
+            with.mcs.len() <= without.mcs.len(),
+            "deferral produced more MCs ({} > {})",
+            with.mcs.len(),
+            without.mcs.len()
+        );
+    }
+
+    #[test]
+    fn centers_are_pairwise_separated() {
+        // After construction no two centers can be within eps of each other:
+        // the later one would have joined the earlier MC.
+        let data = grid(12, 0.3);
+        let c = Counters::new();
+        let t = build_micro_clusters(&data, 1.0, &BuildOptions::default(), &c);
+        for (i, a) in t.mcs.iter().enumerate() {
+            for b in t.mcs.iter().skip(i + 1) {
+                assert!(
+                    dist_euclidean(data.point(a.center), data.point(b.center)) >= 1.0,
+                    "two MC centers within eps"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_aux_matches_str() {
+        let data = grid(8, 0.4);
+        let c = Counters::new();
+        let a = build_micro_clusters(&data, 1.0, &BuildOptions::default(), &c);
+        let b = build_micro_clusters(
+            &data,
+            1.0,
+            &BuildOptions { str_aux: false, ..Default::default() },
+            &c,
+        );
+        assert_eq!(a.mcs.len(), b.mcs.len());
+        for (ma, mb) in a.mcs.iter().zip(&b.mcs) {
+            assert_eq!(ma.members, mb.members);
+            let qa = ma.aux.as_ref().unwrap();
+            let qb = mb.aux.as_ref().unwrap();
+            let mut na = qa.sphere_neighbors(data.point(ma.center), 0.7);
+            let mut nb = qb.sphere_neighbors(data.point(ma.center), 0.7);
+            na.sort_unstable();
+            nb.sort_unstable();
+            assert_eq!(na, nb);
+        }
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let data = Dataset::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let c = Counters::new();
+        let t = build_micro_clusters(&data, 0.5, &BuildOptions::default(), &c);
+        assert_eq!(t.mcs.len(), 1);
+        assert_eq!(t.mcs[0].members, vec![0]);
+        assert_eq!(t.mcs[0].inner_count, 1);
+    }
+
+    #[test]
+    fn duplicate_points_share_one_mc() {
+        let data = Dataset::from_rows(&vec![vec![5.0, 5.0]; 20]);
+        let c = Counters::new();
+        let t = build_micro_clusters(&data, 1.0, &BuildOptions::default(), &c);
+        assert_eq!(t.mcs.len(), 1);
+        assert_eq!(t.mcs[0].len(), 20);
+        assert_eq!(t.mcs[0].inner_count, 20);
+    }
+}

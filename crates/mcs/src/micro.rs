@@ -1,0 +1,183 @@
+//! The micro-cluster record and its classification.
+
+use geom::{dist_sq, Dataset, DbscanParams, Mbr, PointId};
+use rtree::{RTree, RTreeConfig};
+
+/// Index of a micro-cluster in the [`crate::MuRTree`]'s MC list.
+pub type McId = u32;
+
+/// Sentinel for "point not assigned to any MC yet".
+pub const NO_MC: McId = u32::MAX;
+
+/// Classification of a micro-cluster (paper §IV-B definitions ii–iv).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McKind {
+    /// Dense micro-cluster: `|IC| >= MinPts` — every inner-circle point is
+    /// core without a neighbourhood query.
+    Dense,
+    /// Core micro-cluster: `|MC| >= MinPts` — the center is core without a
+    /// neighbourhood query.
+    Core,
+    /// Sparse micro-cluster: nothing can be concluded.
+    Sparse,
+}
+
+/// One micro-cluster: an ε-ball around a center point and its members.
+#[derive(Debug, Clone)]
+pub struct MicroCluster {
+    /// The center point (a dataset point, `MC(p).center == p`).
+    pub center: PointId,
+    /// All member points, center included (assignment is exclusive: each
+    /// dataset point belongs to exactly one MC).
+    pub members: Vec<PointId>,
+    /// Bounding box of the member points (tight, not the ε-ball box).
+    pub mbr: Mbr,
+    /// Number of members strictly within ε/2 of the center (center
+    /// included) — `|IC|`.
+    pub inner_count: u32,
+    /// Auxiliary R-tree over the member points (level 2 of the μR-tree);
+    /// built once membership is final.
+    pub aux: Option<RTree>,
+    /// Ids of reachable MCs — centers strictly within 3ε (self included).
+    pub reach: Vec<McId>,
+}
+
+impl MicroCluster {
+    /// A fresh MC containing only its center.
+    pub fn new(center: PointId, coords: &[f64]) -> Self {
+        Self {
+            center,
+            members: vec![center],
+            mbr: Mbr::point(coords),
+            inner_count: 1, // the center is inside its own inner circle
+            aux: None,
+            reach: Vec::new(),
+        }
+    }
+
+    /// Number of member points.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the MC holds only its center... which cannot happen after
+    /// construction (the center is always a member), so this is `false` in
+    /// practice; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Add a member point, maintaining the MBR and the inner-circle count.
+    pub fn insert(&mut self, p: PointId, coords: &[f64], center_coords: &[f64], eps: f64) {
+        debug_assert!(dist_sq(coords, center_coords) < eps * eps);
+        self.members.push(p);
+        self.mbr.merge_point(coords);
+        let half = eps / 2.0;
+        if dist_sq(coords, center_coords) < half * half {
+            self.inner_count += 1;
+        }
+    }
+
+    /// Classify with respect to `MinPts` (paper Algorithm 4 conditions).
+    pub fn kind(&self, params: &DbscanParams) -> McKind {
+        if self.inner_count as usize >= params.min_pts {
+            McKind::Dense
+        } else if self.members.len() >= params.min_pts {
+            McKind::Core
+        } else {
+            McKind::Sparse
+        }
+    }
+
+    /// Member points strictly within ε/2 of the center (the inner circle),
+    /// center included.
+    pub fn inner_circle<'a>(&'a self, data: &'a Dataset, eps: f64) -> impl Iterator<Item = PointId> + 'a {
+        let half_sq = (eps / 2.0) * (eps / 2.0);
+        let c = data.point(self.center);
+        self.members.iter().copied().filter(move |&m| dist_sq(data.point(m), c) < half_sq)
+    }
+
+    /// Build the auxiliary R-tree over the member points via STR packing.
+    pub fn build_aux(&mut self, data: &Dataset, cfg: RTreeConfig) {
+        let pts = self.members.iter().map(|&m| (m, data.point(m).to_vec()));
+        self.aux = Some(RTree::bulk_load_points(data.dim(), cfg, pts));
+    }
+
+    /// Estimated owned heap bytes (members, reach list, aux tree, MBR).
+    pub fn heap_bytes(&self) -> usize {
+        self.members.capacity() * std::mem::size_of::<PointId>()
+            + self.reach.capacity() * std::mem::size_of::<McId>()
+            + self.mbr.heap_bytes()
+            + self.aux.as_ref().map_or(0, |t| t.heap_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.0, 0.0],  // 0: center
+            vec![0.3, 0.0],  // 1: inner (dist 0.3 < 0.5)
+            vec![0.0, 0.45], // 2: inner
+            vec![0.8, 0.0],  // 3: outer ring
+            vec![0.0, 0.5],  // 4: exactly eps/2 -> NOT inner (strict)
+        ])
+    }
+
+    #[test]
+    fn insert_tracks_inner_circle_strictly() {
+        let d = data();
+        let eps = 1.0;
+        let mut mc = MicroCluster::new(0, d.point(0));
+        for p in 1..5u32 {
+            mc.insert(p, d.point(p), d.point(0), eps);
+        }
+        assert_eq!(mc.len(), 5);
+        assert_eq!(mc.inner_count, 3); // center + points 1, 2
+        let ic: Vec<_> = mc.inner_circle(&d, eps).collect();
+        assert_eq!(ic, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        let d = data();
+        let eps = 1.0;
+        let mut mc = MicroCluster::new(0, d.point(0));
+        for p in 1..5u32 {
+            mc.insert(p, d.point(p), d.point(0), eps);
+        }
+        // inner_count = 3, |MC| = 5.
+        assert_eq!(mc.kind(&DbscanParams::new(eps, 3)), McKind::Dense);
+        assert_eq!(mc.kind(&DbscanParams::new(eps, 4)), McKind::Core);
+        assert_eq!(mc.kind(&DbscanParams::new(eps, 5)), McKind::Core);
+        assert_eq!(mc.kind(&DbscanParams::new(eps, 6)), McKind::Sparse);
+    }
+
+    #[test]
+    fn aux_tree_answers_queries() {
+        let d = data();
+        let mut mc = MicroCluster::new(0, d.point(0));
+        for p in 1..5u32 {
+            mc.insert(p, d.point(p), d.point(0), 1.0);
+        }
+        mc.build_aux(&d, RTreeConfig::default());
+        let aux = mc.aux.as_ref().unwrap();
+        let mut n = aux.sphere_neighbors(&[0.0, 0.0], 0.5);
+        n.sort_unstable();
+        assert_eq!(n, vec![0, 1, 2]); // strict: point 4 at exactly 0.5 excluded
+        assert!(mc.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn mbr_is_tight() {
+        let d = data();
+        let mut mc = MicroCluster::new(0, d.point(0));
+        for p in 1..5u32 {
+            mc.insert(p, d.point(p), d.point(0), 1.0);
+        }
+        assert_eq!(mc.mbr.lo(), &[0.0, 0.0]);
+        assert_eq!(mc.mbr.hi(), &[0.8, 0.5]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Deep-size memory accounting for Table IV ("peak memory consumption").
+//!
+//! The paper reports resident-set peaks of four C++ binaries; we account the
+//! dominant heap structures of each algorithm explicitly. This is
+//! deterministic across allocators and lets the harness enforce a memory
+//! *budget*: GridDBSCAN's neighbour-cell explosion at high dimension then
+//! surfaces as a clean `MemoryLimit` error, reproducing the paper's
+//! "Mem Err" cells instead of actually exhausting the host.
+
+/// Types that can estimate the heap bytes they own (deep size, excluding
+/// `size_of::<Self>()` itself).
+pub trait MemUsage {
+    /// Estimated owned heap bytes.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Heap bytes owned by a `Vec` of plain-old-data elements.
+#[inline]
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Heap bytes owned by a boxed slice of plain-old-data elements.
+#[inline]
+pub fn slice_bytes<T>(s: &[T]) -> usize {
+    std::mem::size_of_val(s)
+}
+
+impl<T> MemUsage for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(self)
+    }
+}
+
+impl MemUsage for String {
+    fn heap_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: MemUsage> MemUsage for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, |v| v.heap_bytes())
+    }
+}
+
+impl<T: MemUsage> MemUsage for Box<T> {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<T>() + (**self).heap_bytes()
+    }
+}
+
+/// Format a byte count the way the paper's Table IV does (MB / GB).
+pub fn human_bytes(bytes: usize) -> String {
+    const MB: f64 = 1024.0 * 1024.0;
+    const GB: f64 = MB * 1024.0;
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.2} GB", b / GB)
+    } else if b >= MB {
+        format!("{:.1} MB", b / MB)
+    } else {
+        format!("{:.1} KB", b / 1024.0)
+    }
+}
+
+/// A memory budget that structures check against while building; exceeding
+/// it reproduces the paper's "Mem Err" outcomes deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct MemBudget {
+    limit: usize,
+}
+
+impl MemBudget {
+    /// A budget of `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        Self { limit }
+    }
+
+    /// Effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Self { limit: usize::MAX }
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// `Err` with the offending size when `bytes` exceeds the budget.
+    pub fn check(&self, bytes: usize) -> Result<(), MemoryLimitExceeded> {
+        if bytes > self.limit {
+            Err(MemoryLimitExceeded { needed: bytes, limit: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Raised when a structure would exceed the configured memory budget —
+/// the reproduction of the paper's "Mem Err" table cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLimitExceeded {
+    /// Bytes the structure would need.
+    pub needed: usize,
+    /// Configured budget in bytes.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for MemoryLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory limit exceeded: needs {} but budget is {}",
+            human_bytes(self.needed),
+            human_bytes(self.limit)
+        )
+    }
+}
+
+impl std::error::Error for MemoryLimitExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_bytes_uses_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(vec_bytes(&v), 16 * 8);
+        assert_eq!(v.heap_bytes(), 16 * 8);
+    }
+
+    #[test]
+    fn slice_bytes_exact() {
+        let s = [0u32; 10];
+        assert_eq!(slice_bytes(&s), 40);
+    }
+
+    #[test]
+    fn human_formats() {
+        assert_eq!(human_bytes(512), "0.5 KB");
+        assert_eq!(human_bytes(150 * 1024 * 1024), "150.0 MB");
+        assert_eq!(human_bytes(21 * 1024 * 1024 * 1024), "21.00 GB");
+    }
+
+    #[test]
+    fn budget_check() {
+        let b = MemBudget::new(1000);
+        assert!(b.check(1000).is_ok());
+        let err = b.check(1001).unwrap_err();
+        assert_eq!(err.needed, 1001);
+        assert_eq!(err.limit, 1000);
+        assert!(err.to_string().contains("memory limit exceeded"));
+        assert!(MemBudget::unlimited().check(usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn nested_mem_usage() {
+        let v: Option<Vec<u8>> = Some(Vec::with_capacity(32));
+        assert_eq!(v.heap_bytes(), 32);
+        let none: Option<Vec<u8>> = None;
+        assert_eq!(none.heap_bytes(), 0);
+        let s = String::with_capacity(10);
+        assert_eq!(s.heap_bytes(), 10);
+    }
+}

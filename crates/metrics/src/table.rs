@@ -1,0 +1,127 @@
+//! Minimal aligned-column table renderer used by the `repro_*` harness
+//! binaries to print paper-style tables to stdout.
+
+use std::fmt::Write as _;
+
+/// A simple text table: a header row plus data rows, rendered with columns
+/// padded to the widest cell.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a data row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with space-padded columns and a separator line.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                let _ = write!(out, "{}{}", c, " ".repeat(pad));
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Print the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with `prec` decimals (harness convenience).
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    format!("{:.*}", prec, x)
+}
+
+/// Format seconds adaptively (ms below 1 s).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{:.2} s", s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_pads_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row_str(&["a", "1"]).row_str(&["longer", "22"]);
+        let out = t.render();
+        let lines: Vec<_> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("longer"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new(&["a", "b"]).row_str(&["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(2.345, 2), "2.35");
+        assert_eq!(fmt_secs(0.0123), "12.3 ms");
+        assert_eq!(fmt_secs(12.3), "12.30 s");
+    }
+}

@@ -1,0 +1,184 @@
+//! Phase timing.
+//!
+//! [`PhaseTimer`] accumulates wall-clock time per named phase and renders
+//! the percentage split-ups reported in Tables III and VII of the paper.
+
+use std::time::{Duration, Instant};
+
+/// A simple restartable stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Elapsed time since start (or last reset).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Reset the start point to now.
+    pub fn reset(&mut self) {
+        self.started = Instant::now();
+    }
+
+    /// Elapsed seconds, then reset — convenient for phase-to-phase timing.
+    pub fn lap(&mut self) -> f64 {
+        let s = self.secs();
+        self.reset();
+        s
+    }
+}
+
+/// Accumulates durations under phase names, preserving first-seen order.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimer {
+    /// Empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `d` to phase `name`, creating the phase on first use.
+    pub fn add(&mut self, name: &str, d: Duration) {
+        if let Some(e) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            e.1 += d;
+        } else {
+            self.phases.push((name.to_string(), d));
+        }
+    }
+
+    /// Add seconds to phase `name`.
+    pub fn add_secs(&mut self, name: &str, secs: f64) {
+        self.add(name, Duration::from_secs_f64(secs.max(0.0)));
+    }
+
+    /// Time the closure and charge it to `name`, returning its result.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.add(name, t.elapsed());
+        out
+    }
+
+    /// Seconds recorded for `name` (0 when absent).
+    pub fn secs(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Total seconds across all phases.
+    pub fn total_secs(&self) -> f64 {
+        self.phases.iter().map(|(_, d)| d.as_secs_f64()).sum()
+    }
+
+    /// `(name, seconds, percent-of-total)` rows in first-seen order.
+    pub fn split_up(&self) -> Vec<(String, f64, f64)> {
+        let total = self.total_secs();
+        self.phases
+            .iter()
+            .map(|(n, d)| {
+                let s = d.as_secs_f64();
+                let pct = if total > 0.0 { 100.0 * s / total } else { 0.0 };
+                (n.clone(), s, pct)
+            })
+            .collect()
+    }
+
+    /// Take the per-phase maxima of two timers — the BSP makespan rule:
+    /// each superstep costs as much as its slowest rank.
+    pub fn max_merge(&mut self, other: &PhaseTimer) {
+        for (name, d) in &other.phases {
+            if let Some(e) = self.phases.iter_mut().find(|(n, _)| n == name) {
+                if *d > e.1 {
+                    e.1 = *d;
+                }
+            } else {
+                self.phases.push((name.clone(), *d));
+            }
+        }
+    }
+
+    /// Iterate phases in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.phases.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotone() {
+        let mut sw = Stopwatch::start();
+        let a = sw.secs();
+        let b = sw.secs();
+        assert!(b >= a);
+        let lap = sw.lap();
+        assert!(lap >= 0.0);
+        assert!(sw.secs() <= lap + 1.0);
+    }
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut t = PhaseTimer::new();
+        t.add_secs("build", 1.0);
+        t.add_secs("query", 3.0);
+        t.add_secs("build", 1.0);
+        assert_eq!(t.secs("build"), 2.0);
+        assert_eq!(t.secs("query"), 3.0);
+        assert_eq!(t.secs("absent"), 0.0);
+        assert_eq!(t.total_secs(), 5.0);
+        let rows = t.split_up();
+        assert_eq!(rows[0].0, "build");
+        assert!((rows[0].2 - 40.0).abs() < 1e-9);
+        assert!((rows[1].2 - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("work", || 42);
+        assert_eq!(v, 42);
+        assert!(t.secs("work") >= 0.0);
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn max_merge_takes_per_phase_max() {
+        let mut a = PhaseTimer::new();
+        a.add_secs("x", 1.0);
+        a.add_secs("y", 5.0);
+        let mut b = PhaseTimer::new();
+        b.add_secs("x", 3.0);
+        b.add_secs("z", 2.0);
+        a.max_merge(&b);
+        assert_eq!(a.secs("x"), 3.0);
+        assert_eq!(a.secs("y"), 5.0);
+        assert_eq!(a.secs("z"), 2.0);
+    }
+
+    #[test]
+    fn empty_split_up() {
+        let t = PhaseTimer::new();
+        assert!(t.split_up().is_empty());
+        assert_eq!(t.total_secs(), 0.0);
+    }
+}

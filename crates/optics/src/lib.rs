@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # optics — density-based cluster ordering on the μR-tree
+//!
+//! OPTICS (Ankerst et al., SIGMOD'99) generalises DBSCAN: instead of one
+//! clustering at a fixed ε, it produces an *ordering* of the points with
+//! per-point **reachability distances**, from which the DBSCAN clustering
+//! at **any** ε′ ≤ ε can be read off with a horizontal cut. The μDBSCAN
+//! authors' group maintains a companion parallel OPTICS (ICDCN'15,
+//! cited as [27] by the paper); this crate brings the same capability to
+//! this workspace, reusing the μR-tree for all neighbourhood queries.
+//!
+//! Semantics follow this workspace's strict conventions: `N_ε(p)` uses
+//! `DIST < ε` and the core distance is the `MinPts`-th smallest distance
+//! among `N_ε(p)` (self included, at distance 0), so
+//! `core_dist(p) < ε′  ⟺  p is a DBSCAN core at ε′` for every ε′ ≤ ε.
+//!
+//! [`extract_dbscan`] at ε′ then yields exactly the DBSCAN cores,
+//! core partition and noise of a direct run at ε′ — which the tests
+//! verify against the naive oracle, cross-validating both
+//! implementations. [`cluster_tree`] goes further and extracts the
+//! *hierarchy* of clusters across all density levels at once (Sander et
+//! al., PAKDD'03).
+//!
+//! ```
+//! use geom::{Dataset, DbscanParams};
+//! use optics::{extract_dbscan, Optics};
+//!
+//! let data = Dataset::from_rows(&[
+//!     vec![0.0], vec![0.2], vec![0.4], // tight clump
+//!     vec![5.0],                       // outlier
+//! ]);
+//! let out = Optics::new(DbscanParams::new(1.0, 3)).run(&data);
+//! assert_eq!(out.order.len(), 4);
+//! let clustering = extract_dbscan(&out, &data, 1.0);
+//! assert_eq!(clustering.n_clusters, 1);
+//! assert!(clustering.is_noise(3));
+//! ```
+
+pub mod algorithm;
+pub mod tree;
+
+pub use algorithm::{extract_dbscan, Optics, OpticsOutput};
+pub use tree::{cluster_tree, ClusterNode, TreeParams};

@@ -1,0 +1,230 @@
+//! Automatic hierarchical cluster extraction from the reachability plot
+//! (Sander, Qin, Lu, Niu, Kovarsky — PAKDD 2003, simplified).
+//!
+//! The reachability plot of an OPTICS ordering is a sequence of
+//! "valleys" (dense regions) separated by "peaks" (sparse gaps). The
+//! cluster tree is built by recursively splitting at the most
+//! significant local maximum: a split point `s` separates two
+//! subclusters when the points around it are substantially denser than
+//! the peak (`avg_reach < ratio · reach[s]`). Unlike a DBSCAN cut at one
+//! ε′, the tree exposes clusters at *every* density level at once.
+
+use crate::algorithm::OpticsOutput;
+
+/// One node of the cluster tree: a contiguous run of the OPTICS order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterNode {
+    /// Start position in the OPTICS order (inclusive).
+    pub start: usize,
+    /// End position in the OPTICS order (exclusive).
+    pub end: usize,
+    /// Nested denser subclusters (possibly empty).
+    pub children: Vec<ClusterNode>,
+}
+
+impl ClusterNode {
+    /// Number of points covered by this node.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the node covers no points (never produced by
+    /// extraction; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The point ids covered by this node, in OPTICS order.
+    pub fn points<'a>(&self, out: &'a OpticsOutput) -> &'a [u32] {
+        &out.order[self.start..self.end]
+    }
+
+    /// Depth-first leaves (the finest clusters).
+    pub fn leaves(&self) -> Vec<&ClusterNode> {
+        if self.children.is_empty() {
+            vec![self]
+        } else {
+            self.children.iter().flat_map(|c| c.leaves()).collect()
+        }
+    }
+
+    /// Total number of nodes in this subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+    }
+}
+
+/// Extraction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Minimum points for a region to count as a cluster.
+    pub min_cluster_size: usize,
+    /// Significance ratio: a peak at `s` splits its region when both
+    /// sides' average reachability is below `ratio * reach[s]`
+    /// (Sander et al. suggest ~0.75).
+    pub ratio: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { min_cluster_size: 5, ratio: 0.75 }
+    }
+}
+
+/// Build the cluster tree of an OPTICS ordering. Returns the forest of
+/// top-level clusters (one tree per connected region of the plot).
+pub fn cluster_tree(out: &OpticsOutput, params: &TreeParams) -> Vec<ClusterNode> {
+    assert!(params.min_cluster_size >= 2, "clusters need at least 2 points");
+    assert!((0.0..1.0).contains(&params.ratio), "ratio must be in (0, 1)");
+    let n = out.order.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Reachability in ORDER position space; position 0 and component
+    // starts carry INFINITY. Split the sequence at infinite peaks first
+    // (separate components / unreachable points), then recurse.
+    let reach_at = |pos: usize| out.reachability[out.order[pos] as usize];
+    let mut forest = Vec::new();
+    let mut lo = 0usize;
+    for hi in 1..=n {
+        if hi == n || reach_at(hi).is_infinite() {
+            if hi - lo >= params.min_cluster_size {
+                if let Some(node) = build(out, lo, hi, params) {
+                    forest.push(node);
+                }
+            }
+            lo = hi;
+        }
+    }
+    forest
+}
+
+fn build(out: &OpticsOutput, lo: usize, hi: usize, params: &TreeParams) -> Option<ClusterNode> {
+    if hi - lo < params.min_cluster_size {
+        return None;
+    }
+    let reach_at = |pos: usize| out.reachability[out.order[pos] as usize];
+
+    // Most significant interior peak. Only positions leaving BOTH sides
+    // viable (>= min_cluster_size) are candidates: this guarantees that
+    // children tile their parent, and it ignores the spurious high
+    // reachability right next to region boundaries (chain endpoints have
+    // inflated core distances).
+    let s_lo = lo + params.min_cluster_size;
+    let s_hi = hi.saturating_sub(params.min_cluster_size);
+    if s_lo > s_hi {
+        return Some(ClusterNode { start: lo, end: hi, children: Vec::new() });
+    }
+    let mut split: Option<(usize, f64)> = None;
+    for pos in s_lo..=s_hi {
+        let r = reach_at(pos);
+        if split.is_none_or(|(_, best)| r > best) {
+            split = Some((pos, r));
+        }
+    }
+    let (s, peak) = split?;
+    if peak <= 0.0 || !peak.is_finite() {
+        return Some(ClusterNode { start: lo, end: hi, children: Vec::new() });
+    }
+
+    // Significance test: both sides denser than the peak by the ratio.
+    let avg = |a: usize, b: usize| -> f64 {
+        let vals: Vec<f64> =
+            ((a + 1).max(lo + 1)..b).map(reach_at).filter(|r| r.is_finite()).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let left_avg = avg(lo, s);
+    let right_avg = avg(s, hi);
+    let significant = left_avg < params.ratio * peak && right_avg < params.ratio * peak;
+
+    if !significant {
+        return Some(ClusterNode { start: lo, end: hi, children: Vec::new() });
+    }
+    let mut children = Vec::new();
+    if let Some(l) = build(out, lo, s, params) {
+        children.push(l);
+    }
+    if let Some(r) = build(out, s, hi, params) {
+        children.push(r);
+    }
+    Some(ClusterNode { start: lo, end: hi, children })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Optics;
+    use geom::{Dataset, DbscanParams};
+
+    /// Two super-clusters; the left one splits into two sub-blobs at a
+    /// finer density level.
+    fn two_scale_data() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            rows.push(vec![0.0 + 0.01 * i as f64]); // sub-blob A: [0, 0.4]
+        }
+        for i in 0..40 {
+            rows.push(vec![2.0 + 0.01 * i as f64]); // sub-blob B: [2, 2.4]
+        }
+        for i in 0..60 {
+            rows.push(vec![50.0 + 0.01 * i as f64]); // far cluster C
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn hierarchy_reflects_two_density_scales() {
+        let data = two_scale_data();
+        // Generating eps large enough to connect A and B but not C.
+        let out = Optics::new(DbscanParams::new(3.0, 4)).run(&data);
+        let forest = cluster_tree(&out, &TreeParams { min_cluster_size: 10, ratio: 0.75 });
+        // Two top-level regions: {A ∪ B} and {C} (C is a separate
+        // component at eps = 3).
+        assert_eq!(forest.len(), 2, "{forest:?}");
+        // The A∪B node must split into exactly two children.
+        let ab = forest.iter().find(|node| node.len() == 80).expect("A∪B node");
+        assert_eq!(ab.children.len(), 2, "A∪B should split: {ab:?}");
+        assert!(ab.children.iter().all(|c| c.len() == 40));
+        // C stays unsplit (uniform density).
+        let c = forest.iter().find(|node| node.len() == 60).expect("C node");
+        assert!(c.children.is_empty(), "C must not split: {c:?}");
+    }
+
+    #[test]
+    fn leaves_partition_their_root() {
+        let data = two_scale_data();
+        let out = Optics::new(DbscanParams::new(3.0, 4)).run(&data);
+        let forest = cluster_tree(&out, &TreeParams::default());
+        for root in &forest {
+            let leaves = root.leaves();
+            let covered: usize = leaves.iter().map(|l| l.len()).sum();
+            assert_eq!(covered, root.len(), "leaves must tile the root");
+            assert!(root.size() >= leaves.len());
+            for l in &leaves {
+                assert!(!l.points(&out).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_data_yields_flat_tree() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![0.05 * i as f64]).collect();
+        let data = Dataset::from_rows(&rows);
+        let out = Optics::new(DbscanParams::new(1.0, 4)).run(&data);
+        let forest = cluster_tree(&out, &TreeParams::default());
+        assert_eq!(forest.len(), 1);
+        assert!(forest[0].children.is_empty(), "uniform chain must not split");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![10.0]]);
+        let out = Optics::new(DbscanParams::new(1.0, 2)).run(&data);
+        let forest = cluster_tree(&out, &TreeParams::default());
+        assert!(forest.is_empty(), "two isolated points form no cluster");
+    }
+}

@@ -1,0 +1,61 @@
+//! Property test: one OPTICS ordering must reproduce the exact DBSCAN
+//! clustering at arbitrary extraction radii ε′ ≤ ε — the defining
+//! property of the ordering.
+
+use geom::{Dataset, DbscanParams};
+use mudbscan::{check_exact, naive_dbscan};
+use optics::{extract_dbscan, Optics};
+use proptest::prelude::*;
+
+fn clustered(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (
+        prop::collection::vec(prop::collection::vec(-6.0..6.0f64, dim), 1..4),
+        prop::collection::vec((0usize..4, prop::collection::vec(-0.8..0.8f64, dim)), 10..90),
+        prop::collection::vec(prop::collection::vec(-8.0..8.0f64, dim), 0..10),
+    )
+        .prop_map(|(centers, offsets, background)| {
+            let mut rows = Vec::new();
+            for (ci, off) in offsets {
+                let c = &centers[ci % centers.len()];
+                rows.push(c.iter().zip(&off).map(|(a, b)| a + b).collect());
+            }
+            rows.extend(background);
+            rows
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn extraction_is_exact_at_any_radius(
+        rows in clustered(2),
+        eps in 0.5..2.5f64,
+        min_pts in 2usize..7,
+        frac in 0.3..1.0f64,
+    ) {
+        let data = Dataset::from_rows(&rows);
+        let out = Optics::new(DbscanParams::new(eps, min_pts)).run(&data);
+        let eps_prime = eps * frac;
+        let got = extract_dbscan(&out, &data, eps_prime);
+        let params_prime = DbscanParams::new(eps_prime, min_pts);
+        let want = naive_dbscan(&data, &params_prime);
+        let rep = check_exact(&got, &want, &data, &params_prime);
+        prop_assert!(rep.is_exact(), "eps'={eps_prime}: {rep:?}");
+    }
+
+    #[test]
+    fn extraction_is_exact_in_3d(
+        rows in clustered(3),
+        eps in 0.6..2.5f64,
+        min_pts in 2usize..6,
+    ) {
+        let data = Dataset::from_rows(&rows);
+        let out = Optics::new(DbscanParams::new(eps, min_pts)).run(&data);
+        let got = extract_dbscan(&out, &data, eps);
+        let params = DbscanParams::new(eps, min_pts);
+        let want = naive_dbscan(&data, &params);
+        let rep = check_exact(&got, &want, &data, &params);
+        prop_assert!(rep.is_exact(), "{rep:?}");
+    }
+}

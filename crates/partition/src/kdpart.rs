@@ -1,0 +1,494 @@
+//! The sampling-based kd-tree partitioner and halo exchange.
+
+use cluster_sim::{Bsp, CommModel, Envelope, ExecMode};
+use geom::{Dataset, Mbr, PointId};
+use metrics::PhaseTimer;
+
+/// A batch of points on the wire: global ids + flat coordinates.
+type PointBatch = (Vec<PointId>, Vec<f64>);
+
+/// Number of sample values each rank contributes per split round.
+const SAMPLES_PER_RANK: usize = 64;
+
+/// One rank's share of the data after partitioning.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Global ids of the owned points (parallel to `data`).
+    pub ids: Vec<PointId>,
+    /// Owned point coordinates.
+    pub data: Dataset,
+    /// Global ids of the halo points (parallel to `halo`).
+    pub halo_ids: Vec<PointId>,
+    /// Halo point coordinates — every remote point strictly within ε of
+    /// this rank's region.
+    pub halo: Dataset,
+    /// The rank's box region (kd-tree cell).
+    pub region: Mbr,
+}
+
+impl Shard {
+    fn empty(dim: usize, region: Mbr) -> Self {
+        Self {
+            ids: Vec::new(),
+            data: Dataset::empty(dim),
+            halo_ids: Vec::new(),
+            halo: Dataset::empty(dim),
+            region,
+        }
+    }
+
+    /// Owned point count.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the shard owns no points.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Result of [`kd_partition`].
+#[derive(Debug)]
+pub struct PartitionOutput {
+    /// Per-rank shards (owned points + halos + region).
+    pub shards: Vec<Shard>,
+    /// Virtual-time split-up of the partitioning steps.
+    pub phases: PhaseTimer,
+    /// Bytes communicated during partitioning + halo exchange.
+    pub comm_bytes: u64,
+}
+
+/// Partition `data` across `p` ranks with the sampling-based kd-tree
+/// scheme and exchange ε-halos.
+///
+/// Deterministic: the same inputs always produce the same shards,
+/// regardless of `mode`.
+pub fn kd_partition(
+    data: &Dataset,
+    p: usize,
+    eps: f64,
+    mode: ExecMode,
+    comm: CommModel,
+) -> PartitionOutput {
+    assert!(p >= 1);
+    let dim = data.dim();
+    let global_box = data
+        .bounding_box()
+        .map(|(lo, hi)| Mbr::new(lo, hi))
+        .unwrap_or_else(|| Mbr::new(vec![0.0; dim], vec![0.0; dim]));
+
+    // Initial distribution: contiguous chunks (simulating parallel I/O).
+    let mut states: Vec<Shard> = Vec::with_capacity(p);
+    let chunk = data.len().div_ceil(p.max(1)).max(1);
+    for r in 0..p {
+        let lo = (r * chunk).min(data.len());
+        let hi = ((r + 1) * chunk).min(data.len());
+        let ids: Vec<PointId> = (lo as PointId..hi as PointId).collect();
+        let mut s = Shard::empty(dim, global_box.clone());
+        s.data = data.gather(&ids);
+        s.ids = ids;
+        states.push(s);
+    }
+
+    let mut bsp = Bsp::new(states).with_mode(mode).with_comm(comm);
+    bsp.phase("partitioning");
+
+    // Active groups of ranks, split until singletons.
+    let mut groups: Vec<(usize, usize)> = vec![(0, p)]; // [lo, hi)
+    let mut regions: Vec<Mbr> = vec![global_box; p];
+
+    while groups.iter().any(|&(lo, hi)| hi - lo > 1) {
+        let group_of: Vec<usize> = rank_to_group(&groups, p);
+
+        // Round step 1: gather per-rank extents and counts; pick, per
+        // group, the axis with the widest spread.
+        let extents = bsp.allgather(|_r, s: &mut Shard| {
+            let bb = s.data.bounding_box();
+            let (lo, hi) = bb.unwrap_or((vec![f64::INFINITY; dim], vec![f64::NEG_INFINITY; dim]));
+            let mut v = lo;
+            v.extend(hi);
+            v.push(s.len() as f64);
+            v
+        });
+        let mut axis_of_group = vec![0usize; groups.len()];
+        for (gi, &(glo, ghi)) in groups.iter().enumerate() {
+            if ghi - glo <= 1 {
+                continue;
+            }
+            let mut best = (f64::NEG_INFINITY, 0usize);
+            for k in 0..dim {
+                let lo = (glo..ghi).map(|r| extents[r][k]).fold(f64::INFINITY, f64::min);
+                let hi = (glo..ghi)
+                    .map(|r| extents[r][dim + k])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let spread = hi - lo;
+                if spread > best.0 {
+                    best = (spread, k);
+                }
+            }
+            axis_of_group[gi] = best.1;
+        }
+
+        // Round step 2: gather samples along the group's axis; compute,
+        // per group, the split value at the left-share quantile.
+        let samples = {
+            let group_of = &group_of;
+            let axis_of_group = &axis_of_group;
+            bsp.allgather(move |r, s: &mut Shard| {
+                let axis = axis_of_group[group_of[r]];
+                sample_axis(&s.data, axis, SAMPLES_PER_RANK)
+            })
+        };
+        let mut split_of_group = vec![f64::NAN; groups.len()];
+        for (gi, &(glo, ghi)) in groups.iter().enumerate() {
+            if ghi - glo <= 1 {
+                continue;
+            }
+            let mut vals: Vec<f64> = (glo..ghi).flat_map(|r| samples[r].iter().copied()).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let left = (ghi - glo).div_ceil(2);
+            let q = left as f64 / (ghi - glo) as f64;
+            let idx = ((vals.len() as f64 * q) as usize).min(vals.len().saturating_sub(1));
+            split_of_group[gi] = if vals.is_empty() { 0.0 } else { vals[idx] };
+        }
+
+        // Round step 3: redistribute points — coord < split goes to the
+        // left sub-group, >= split to the right; round-robin inside the
+        // destination sub-group for balance.
+        {
+            let group_of = &group_of;
+            let axis_of_group = &axis_of_group;
+            let split_of_group = &split_of_group;
+            let groups_ref = &groups;
+            bsp.exchange(
+                move |r, s: &mut Shard| {
+                    let gi = group_of[r];
+                    let (glo, ghi) = groups_ref[gi];
+                    if ghi - glo <= 1 {
+                        return Vec::new();
+                    }
+                    let axis = axis_of_group[gi];
+                    let split = split_of_group[gi];
+                    let mid = glo + (ghi - glo).div_ceil(2);
+                    // Partition local points into per-destination batches.
+                    let mut batches: Vec<(Vec<PointId>, Vec<f64>)> =
+                        vec![(Vec::new(), Vec::new()); ghi - glo];
+                    let (mut li, mut ri) = (0usize, 0usize);
+                    let left_n = mid - glo;
+                    let right_n = ghi - mid;
+                    for (i, &id) in s.ids.iter().enumerate() {
+                        let coords = s.data.point(i as PointId);
+                        let dest = if coords[axis] < split {
+                            let d = glo + li % left_n;
+                            li += 1;
+                            d
+                        } else {
+                            let d = mid + ri % right_n;
+                            ri += 1;
+                            d
+                        };
+                        let b = &mut batches[dest - glo];
+                        b.0.push(id);
+                        b.1.extend_from_slice(coords);
+                    }
+                    s.ids.clear();
+                    s.data = Dataset::empty(s.data.dim());
+                    batches
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(_, (ids, _))| !ids.is_empty())
+                        .map(|(off, batch)| Envelope::new(glo + off, batch))
+                        .collect()
+                },
+                |_r, s: &mut Shard, inbox: Vec<(usize, PointBatch)>| {
+                    let dim = s.data.dim();
+                    let mut coords = s.data.coords().to_vec();
+                    for (_src, (ids, c)) in inbox {
+                        s.ids.extend(ids);
+                        coords.extend(c);
+                    }
+                    s.data = Dataset::from_flat(dim, coords);
+                },
+            );
+        }
+
+        // Refine regions and split the groups.
+        let mut next_groups = Vec::new();
+        for (gi, &(glo, ghi)) in groups.iter().enumerate() {
+            if ghi - glo <= 1 {
+                next_groups.push((glo, ghi));
+                continue;
+            }
+            let axis = axis_of_group[gi];
+            let split = split_of_group[gi];
+            let mid = glo + (ghi - glo).div_ceil(2);
+            for r in glo..ghi {
+                let reg = &regions[r];
+                let mut lo = reg.lo().to_vec();
+                let mut hi = reg.hi().to_vec();
+                if r < mid {
+                    hi[axis] = hi[axis].min(split);
+                } else {
+                    lo[axis] = lo[axis].max(split);
+                }
+                // Guard against inverted intervals from degenerate splits.
+                if lo[axis] > hi[axis] {
+                    hi[axis] = lo[axis];
+                }
+                regions[r] = Mbr::new(lo, hi);
+            }
+            next_groups.push((glo, mid));
+            next_groups.push((mid, ghi));
+        }
+        groups = next_groups;
+    }
+
+    // Store final regions into the shards.
+    for (r, s) in bsp.states_mut().iter_mut().enumerate() {
+        s.region = regions[r].clone();
+    }
+
+    // Halo exchange: every rank receives all remote points strictly within
+    // ε of its region box.
+    bsp.phase("halo_exchange");
+    {
+        let regions = &regions;
+        let eps_sq = eps * eps;
+        bsp.exchange(
+            move |r, s: &mut Shard| {
+                let mut out: Vec<Envelope<PointBatch>> = Vec::new();
+                for (dest, reg) in regions.iter().enumerate() {
+                    if dest == r {
+                        continue;
+                    }
+                    let mut ids = Vec::new();
+                    let mut coords = Vec::new();
+                    for (i, &id) in s.ids.iter().enumerate() {
+                        let c = s.data.point(i as PointId);
+                        if reg.min_dist_sq(c) < eps_sq {
+                            ids.push(id);
+                            coords.extend_from_slice(c);
+                        }
+                    }
+                    if !ids.is_empty() {
+                        out.push(Envelope::new(dest, (ids, coords)));
+                    }
+                }
+                out
+            },
+            |_r, s: &mut Shard, inbox: Vec<(usize, PointBatch)>| {
+                let dim = s.data.dim();
+                let mut coords = Vec::new();
+                for (_src, (ids, c)) in inbox {
+                    s.halo_ids.extend(ids);
+                    coords.extend(c);
+                }
+                s.halo = Dataset::from_flat(dim, coords);
+            },
+        );
+    }
+
+    let comm_bytes = bsp.comm_bytes();
+    let phases = bsp.phase_times().clone();
+    PartitionOutput { shards: bsp.into_states(), phases, comm_bytes }
+}
+
+fn rank_to_group(groups: &[(usize, usize)], p: usize) -> Vec<usize> {
+    let mut v = vec![0usize; p];
+    for (gi, &(lo, hi)) in groups.iter().enumerate() {
+        for r in lo..hi {
+            v[r] = gi;
+        }
+    }
+    v
+}
+
+/// Deterministic stride sampling of axis values.
+fn sample_axis(data: &Dataset, axis: usize, k: usize) -> Vec<f64> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let step = (n / k).max(1);
+    (0..n).step_by(step).map(|i| data.point(i as PointId)[axis]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::dist_euclidean;
+
+    fn blob_data(n: usize) -> Dataset {
+        let mut rows = Vec::new();
+        let mut s = 31u64;
+        let mut r = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(17);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..n {
+            rows.push(vec![10.0 * r(), 10.0 * r(), 10.0 * r()]);
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    fn run(p: usize, n: usize, eps: f64) -> (Dataset, PartitionOutput) {
+        let data = blob_data(n);
+        let out = kd_partition(&data, p, eps, ExecMode::Sequential, CommModel::default());
+        (data, out)
+    }
+
+    #[test]
+    fn every_point_owned_exactly_once() {
+        let (data, out) = run(8, 500, 0.5);
+        let mut seen = vec![false; data.len()];
+        for s in &out.shards {
+            assert_eq!(s.ids.len(), s.data.len());
+            for (i, &id) in s.ids.iter().enumerate() {
+                assert!(!seen[id as usize], "point {id} owned twice");
+                seen[id as usize] = true;
+                assert_eq!(s.data.point(i as u32), data.point(id));
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "some point lost");
+    }
+
+    #[test]
+    fn points_lie_in_their_region() {
+        let (_data, out) = run(8, 400, 0.5);
+        for s in &out.shards {
+            for (i, _) in s.ids.iter().enumerate() {
+                assert!(
+                    s.region.contains_point(s.data.point(i as u32)),
+                    "owned point outside region"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_balanced() {
+        let (data, out) = run(8, 800, 0.5);
+        let ideal = data.len() / 8;
+        for s in &out.shards {
+            assert!(
+                s.len() <= ideal * 2 + 8 && s.len() + ideal / 2 >= ideal / 2,
+                "imbalanced shard: {} vs ideal {}",
+                s.len(),
+                ideal
+            );
+        }
+    }
+
+    #[test]
+    fn halos_are_exactly_the_needed_points() {
+        let (data, out) = run(4, 300, 1.0);
+        let eps = 1.0;
+        for (r, s) in out.shards.iter().enumerate() {
+            // Completeness: every remote point within eps of some owned
+            // point must be in the halo.
+            let halo_set: std::collections::HashSet<u32> = s.halo_ids.iter().copied().collect();
+            for (other_r, other) in out.shards.iter().enumerate() {
+                if other_r == r {
+                    continue;
+                }
+                for (j, &qid) in other.ids.iter().enumerate() {
+                    let q = other.data.point(j as u32);
+                    let needed = s
+                        .ids
+                        .iter()
+                        .enumerate()
+                        .any(|(i, _)| dist_euclidean(s.data.point(i as u32), q) < eps);
+                    if needed {
+                        assert!(halo_set.contains(&qid), "rank {r} missing halo point {qid}");
+                    }
+                }
+            }
+            // Soundness: halo points are remote and near the region.
+            let own: std::collections::HashSet<u32> = s.ids.iter().copied().collect();
+            for (i, &hid) in s.halo_ids.iter().enumerate() {
+                assert!(!own.contains(&hid), "own point in halo");
+                assert!(s.region.min_dist_sq(s.halo.point(i as u32)) < eps * eps);
+                assert_eq!(s.halo.point(i as u32), data.point(hid));
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_trivial() {
+        let (data, out) = run(1, 100, 0.5);
+        assert_eq!(out.shards.len(), 1);
+        assert_eq!(out.shards[0].len(), data.len());
+        assert!(out.shards[0].halo_ids.is_empty());
+    }
+
+    #[test]
+    fn non_power_of_two_ranks() {
+        let (data, out) = run(6, 500, 0.5);
+        let total: usize = out.shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, data.len());
+        // Regions must tile: no owned point may fall in two regions'
+        // interiors (weak check: each owned point in own region).
+        for s in &out.shards {
+            for i in 0..s.len() {
+                assert!(s.region.contains_point(s.data.point(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let data = blob_data(300);
+        let a = kd_partition(&data, 4, 0.8, ExecMode::Sequential, CommModel::default());
+        let b = kd_partition(&data, 4, 0.8, ExecMode::Threaded, CommModel::default());
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(sa.ids, sb.ids);
+            let mut ha = sa.halo_ids.clone();
+            let mut hb = sb.halo_ids.clone();
+            ha.sort_unstable();
+            hb.sort_unstable();
+            assert_eq!(ha, hb);
+        }
+    }
+
+    #[test]
+    fn all_identical_points() {
+        // Degenerate: median splits cannot separate identical coordinates;
+        // everything may land on one side, but nothing may be lost and the
+        // run must terminate.
+        let data = Dataset::from_rows(&vec![vec![5.0, 5.0]; 64]);
+        let out = kd_partition(&data, 4, 0.5, ExecMode::Sequential, CommModel::default());
+        let total: usize = out.shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 0.0, 0.0]).collect();
+        let data = Dataset::from_rows(&rows);
+        let out = kd_partition(&data, 8, 1.5, ExecMode::Sequential, CommModel::default());
+        let total: usize = out.shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 100);
+        // Splits should all land on axis 0 (the only spread axis), giving
+        // reasonable balance.
+        let max = out.shards.iter().map(|s| s.len()).max().unwrap();
+        assert!(max <= 40, "degenerate balance: max shard {max}");
+    }
+
+    #[test]
+    fn more_ranks_than_points_terminates() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let out = kd_partition(&data, 8, 0.5, ExecMode::Sequential, CommModel::default());
+        let total: usize = out.shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(out.shards.len(), 8);
+    }
+
+    #[test]
+    fn phases_and_bytes_reported() {
+        let (_data, out) = run(4, 200, 0.5);
+        assert!(out.comm_bytes > 0);
+        assert!(out.phases.secs("partitioning") >= 0.0);
+        assert!(out.phases.secs("halo_exchange") >= 0.0);
+    }
+}

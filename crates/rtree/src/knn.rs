@@ -1,0 +1,172 @@
+//! Best-first k-nearest-neighbour search.
+//!
+//! Not used by μDBSCAN itself, but a standard R-tree capability that the
+//! workspace exposes for the classic DBSCAN parameter-selection
+//! heuristic: plot the sorted k-dist graph (distance to the k-th
+//! neighbour) and pick ε at its knee (Ester et al. 1996 §4.2). See
+//! [`RTree::kth_neighbor_dist`].
+
+use crate::node::Node;
+use crate::tree::RTree;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by *minimum* distance (min-heap via reversed cmp).
+struct Candidate {
+    dist_sq: f64,
+    /// Node id when `item` is `None`, else a leaf item.
+    node: u32,
+    item: Option<u32>,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist_sq == other.dist_sq
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the smallest first.
+        other
+            .dist_sq
+            .partial_cmp(&self.dist_sq)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl RTree {
+    /// The `k` items nearest to `query` (ties broken arbitrarily),
+    /// returned as `(item, distance)` sorted by ascending distance.
+    /// Returns fewer than `k` pairs when the tree is smaller than `k`.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<(u32, f64)> {
+        debug_assert_eq!(query.len(), self.dim());
+        let mut out = Vec::with_capacity(k);
+        let Some(root) = self.root else { return out };
+        if k == 0 {
+            return out;
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Candidate {
+            dist_sq: self.nodes[root as usize].mbr().min_dist_sq(query),
+            node: root,
+            item: None,
+        });
+        while let Some(c) = heap.pop() {
+            match c.item {
+                Some(item) => {
+                    out.push((item, c.dist_sq.sqrt()));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                None => match &self.nodes[c.node as usize] {
+                    Node::Internal { children, .. } => {
+                        for &ch in children {
+                            heap.push(Candidate {
+                                dist_sq: self.nodes[ch as usize].mbr().min_dist_sq(query),
+                                node: ch,
+                                item: None,
+                            });
+                        }
+                    }
+                    Node::Leaf { entries, .. } => {
+                        for e in entries {
+                            heap.push(Candidate {
+                                dist_sq: e.mbr.min_dist_sq(query),
+                                node: c.node,
+                                item: Some(e.item),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// Distance from `query` to its `k`-th nearest item (1-indexed;
+    /// `k = 1` is the nearest). `None` when the tree holds fewer than `k`
+    /// items. This is the quantity of the k-dist graph used to choose ε.
+    pub fn kth_neighbor_dist(&self, query: &[f64], k: usize) -> Option<f64> {
+        let nn = self.knn(query, k);
+        if nn.len() < k {
+            None
+        } else {
+            Some(nn[k - 1].1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::dist_euclidean;
+
+    fn tree_and_points() -> (RTree, Vec<Vec<f64>>) {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                pts.push(vec![i as f64, j as f64 * 1.3]);
+            }
+        }
+        let mut t = RTree::new(2);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert_point(i as u32, p);
+        }
+        (t, pts)
+    }
+
+    fn brute_knn(pts: &[Vec<f64>], q: &[f64], k: usize) -> Vec<f64> {
+        let mut d: Vec<f64> = pts.iter().map(|p| dist_euclidean(p, q)).collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (t, pts) = tree_and_points();
+        for q in [vec![0.0, 0.0], vec![9.7, 13.1], vec![25.0, -3.0]] {
+            for k in [1usize, 5, 17] {
+                let got: Vec<f64> = t.knn(&q, k).into_iter().map(|(_, d)| d).collect();
+                let want = brute_knn(&pts, &q, k);
+                assert_eq!(got.len(), k);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-9, "{g} vs {w} (q={q:?}, k={k})");
+                }
+                // Ascending order.
+                assert!(got.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_small_tree_and_edge_cases() {
+        let mut t = RTree::new(1);
+        assert!(t.knn(&[0.0], 3).is_empty());
+        t.insert_point(0, &[1.0]);
+        t.insert_point(1, &[5.0]);
+        let nn = t.knn(&[0.0], 5);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].0, 0);
+        assert!(t.knn(&[0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn kth_neighbor_dist_for_eps_selection() {
+        let (t, pts) = tree_and_points();
+        let q = &pts[210];
+        // 1st neighbour of a stored point is itself (distance 0).
+        assert_eq!(t.kth_neighbor_dist(q, 1), Some(0.0));
+        let d5 = t.kth_neighbor_dist(q, 5).unwrap();
+        let want = brute_knn(&pts, q, 5)[4];
+        assert!((d5 - want).abs() < 1e-9);
+        assert_eq!(t.kth_neighbor_dist(q, pts.len() + 1), None);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! An R-tree (Guttman, SIGMOD'84) implemented from scratch.
+//!
+//! This is the spatial index underlying three different roles in the
+//! workspace:
+//!
+//! * the **single flat R-tree** used by the classical R-DBSCAN baseline,
+//! * the **level-1 μR-tree** over micro-cluster centers/MBRs,
+//! * the per-micro-cluster **auxiliary R-trees** over member points.
+//!
+//! Features: ChooseLeaf insertion with quadratic split, Sort-Tile-Recursive
+//! (STR) bulk loading for static point sets, and range queries over both
+//! boxes and open ε-balls with an exact box/sphere distance test — for the
+//! degenerate (point) MBRs stored in leaves, the sphere test *is* the exact
+//! strict `DIST < ε` membership test, so query results need no
+//! re-verification.
+//!
+//! Nodes live in an arena (`Vec<Node>`), children are `u32` indices; no
+//! `Box`/`Rc` pointer chasing.
+//!
+//! ```
+//! use rtree::{RTree, RTreeConfig};
+//!
+//! // Index four 2-d points, query the open ball around the origin.
+//! let mut tree = RTree::new(2);
+//! for (id, p) in [[0.0, 0.0], [1.0, 0.0], [0.0, 2.0], [5.0, 5.0]].iter().enumerate() {
+//!     tree.insert_point(id as u32, p);
+//! }
+//! let mut hits = tree.sphere_neighbors(&[0.0, 0.0], 1.5);
+//! hits.sort_unstable();
+//! assert_eq!(hits, vec![0, 1]); // strict < 1.5: the point at y=2 is out
+//!
+//! // Static sets are better served by STR bulk loading.
+//! let bulk = RTree::bulk_load_points(
+//!     2,
+//!     RTreeConfig::default(),
+//!     (0..100u32).map(|i| (i, vec![i as f64, 0.0])),
+//! );
+//! assert_eq!(bulk.len(), 100);
+//! assert_eq!(bulk.knn(&[42.2, 0.0], 1)[0].0, 42);
+//! ```
+
+pub mod bulk;
+pub mod knn;
+pub mod node;
+pub mod query;
+pub mod rstar;
+pub mod tree;
+
+pub use node::{Entry, Node, NodeId};
+pub use query::QueryCost;
+pub use tree::{RTree, RTreeConfig, SplitStrategy};

@@ -1,0 +1,108 @@
+//! Arena node representation.
+
+use geom::Mbr;
+
+/// Index of a node in the tree arena.
+pub type NodeId = u32;
+
+/// A leaf entry: an item id and its bounding box. For point data the box is
+/// degenerate (`lo == hi == point`).
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Bounding box of the stored item.
+    pub mbr: Mbr,
+    /// Caller-defined item identifier (point id, micro-cluster id, …).
+    pub item: u32,
+}
+
+impl Entry {
+    /// Entry for a point item.
+    pub fn point(item: u32, coords: &[f64]) -> Self {
+        Self { mbr: Mbr::point(coords), item }
+    }
+}
+
+/// One R-tree node: either an internal node with child node ids or a leaf
+/// with item entries. Every node caches the MBR of its contents.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Internal node.
+    Internal {
+        /// Bounding box of all children.
+        mbr: Mbr,
+        /// Child node ids.
+        children: Vec<NodeId>,
+    },
+    /// Leaf node.
+    Leaf {
+        /// Bounding box of all entries.
+        mbr: Mbr,
+        /// Item entries.
+        entries: Vec<Entry>,
+    },
+}
+
+impl Node {
+    /// The node's cached bounding box.
+    pub fn mbr(&self) -> &Mbr {
+        match self {
+            Node::Internal { mbr, .. } | Node::Leaf { mbr, .. } => mbr,
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of children (internal) or entries (leaf).
+    pub fn fanout(&self) -> usize {
+        match self {
+            Node::Internal { children, .. } => children.len(),
+            Node::Leaf { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Estimated owned heap bytes (child vector / entry vector and the MBRs
+    /// they own).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Node::Internal { mbr, children } => {
+                mbr.heap_bytes() + children.capacity() * std::mem::size_of::<NodeId>()
+            }
+            Node::Leaf { mbr, entries } => {
+                mbr.heap_bytes()
+                    + entries.capacity() * std::mem::size_of::<Entry>()
+                    + entries.iter().map(|e| e.mbr.heap_bytes()).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_point_is_degenerate() {
+        let e = Entry::point(7, &[1.0, 2.0]);
+        assert_eq!(e.item, 7);
+        assert_eq!(e.mbr.lo(), e.mbr.hi());
+        assert_eq!(e.mbr.volume(), 0.0);
+    }
+
+    #[test]
+    fn node_accessors() {
+        let leaf = Node::Leaf {
+            mbr: Mbr::point(&[0.0]),
+            entries: vec![Entry::point(0, &[0.0]), Entry::point(1, &[0.5])],
+        };
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.fanout(), 2);
+        assert!(leaf.heap_bytes() > 0);
+
+        let internal = Node::Internal { mbr: Mbr::point(&[0.0]), children: vec![0, 1, 2] };
+        assert!(!internal.is_leaf());
+        assert_eq!(internal.fanout(), 3);
+    }
+}

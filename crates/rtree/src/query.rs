@@ -1,0 +1,273 @@
+//! Range queries: axis-aligned boxes and open ε-balls.
+//!
+//! Ball queries use the exact box/sphere distance test
+//! ([`geom::Mbr::min_dist_sq`]). Because leaf entries for points carry
+//! degenerate MBRs, the same test *is* the strict `DIST(p, q) < r`
+//! membership predicate, so `search_sphere` returns the exact open-ball
+//! neighbourhood with no post-filtering.
+
+use crate::node::Node;
+use crate::tree::RTree;
+use geom::Mbr;
+
+/// Work performed by one query — feeds the paper's query-cost accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Tree nodes whose children/entries were scanned.
+    pub nodes_visited: u64,
+    /// Box/box or box/sphere tests on entries and children.
+    pub mbr_tests: u64,
+    /// Items reported to the visitor.
+    pub matches: u64,
+}
+
+impl QueryCost {
+    /// Accumulate another query's cost.
+    pub fn add(&mut self, other: QueryCost) {
+        self.nodes_visited += other.nodes_visited;
+        self.mbr_tests += other.mbr_tests;
+        self.matches += other.matches;
+    }
+}
+
+impl RTree {
+    /// Visit every item whose MBR intersects `query` (closed-box overlap).
+    pub fn search_box(&self, query: &Mbr, mut visit: impl FnMut(u32)) -> QueryCost {
+        let mut cost = QueryCost::default();
+        let Some(root) = self.root else { return cost };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            cost.nodes_visited += 1;
+            match &self.nodes[n as usize] {
+                Node::Internal { children, .. } => {
+                    for &c in children {
+                        cost.mbr_tests += 1;
+                        if self.nodes[c as usize].mbr().intersects(query) {
+                            stack.push(c);
+                        }
+                    }
+                }
+                Node::Leaf { entries, .. } => {
+                    for e in entries {
+                        cost.mbr_tests += 1;
+                        if e.mbr.intersects(query) {
+                            cost.matches += 1;
+                            visit(e.item);
+                        }
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    /// Visit every item whose MBR intersects the *open* ball of radius `r`
+    /// around `center`. For point entries this is exactly
+    /// `DIST(center, point) < r`.
+    pub fn search_sphere(
+        &self,
+        center: &[f64],
+        r: f64,
+        mut visit: impl FnMut(u32),
+    ) -> QueryCost {
+        debug_assert_eq!(center.len(), self.dim());
+        let r_sq = r * r;
+        let mut cost = QueryCost::default();
+        let Some(root) = self.root else { return cost };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            cost.nodes_visited += 1;
+            match &self.nodes[n as usize] {
+                Node::Internal { children, .. } => {
+                    for &c in children {
+                        cost.mbr_tests += 1;
+                        if self.nodes[c as usize].mbr().min_dist_sq(center) < r_sq {
+                            stack.push(c);
+                        }
+                    }
+                }
+                Node::Leaf { entries, .. } => {
+                    for e in entries {
+                        cost.mbr_tests += 1;
+                        if e.mbr.min_dist_sq(center) < r_sq {
+                            cost.matches += 1;
+                            visit(e.item);
+                        }
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    /// First item found whose MBR intersects the open ball of radius `r`
+    /// around `center`, or `None`. Traversal stops at the first hit —
+    /// this is the short-circuit test micro-cluster construction uses
+    /// ("is there *any* MC center within ε / 2ε of this point?").
+    pub fn first_in_sphere(&self, center: &[f64], r: f64) -> Option<u32> {
+        let r_sq = r * r;
+        let root = self.root?;
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n as usize] {
+                Node::Internal { children, .. } => {
+                    for &c in children {
+                        if self.nodes[c as usize].mbr().min_dist_sq(center) < r_sq {
+                            stack.push(c);
+                        }
+                    }
+                }
+                Node::Leaf { entries, .. } => {
+                    for e in entries {
+                        if e.mbr.min_dist_sq(center) < r_sq {
+                            return Some(e.item);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Collect the ids of all items strictly within `r` of `center`.
+    pub fn sphere_neighbors(&self, center: &[f64], r: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.search_sphere(center, r, |i| out.push(i));
+        out
+    }
+
+    /// Count items strictly within `r` of `center` without materialising
+    /// the neighbour list.
+    pub fn count_sphere(&self, center: &[f64], r: f64) -> (usize, QueryCost) {
+        let mut n = 0usize;
+        let cost = self.search_sphere(center, r, |_| n += 1);
+        (n, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Entry;
+    use geom::dist_euclidean;
+
+    fn build_grid(n: usize) -> (RTree, Vec<Vec<f64>>) {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                pts.push(vec![i as f64, j as f64]);
+            }
+        }
+        let mut t = RTree::new(2);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert_point(i as u32, p);
+        }
+        (t, pts)
+    }
+
+    #[test]
+    fn sphere_query_matches_linear_scan() {
+        let (t, pts) = build_grid(15);
+        for (qi, r) in [(0usize, 1.5), (112, 2.0), (224, 0.5), (37, 3.7)] {
+            let q = &pts[qi];
+            let mut got = t.sphere_neighbors(q, r);
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| dist_euclidean(q, p) < r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi} r={r}");
+        }
+    }
+
+    #[test]
+    fn sphere_query_is_strict() {
+        let mut t = RTree::new(1);
+        t.insert_point(0, &[0.0]);
+        t.insert_point(1, &[1.0]);
+        // Point 1 at distance exactly 1.0 must be excluded for r = 1.0.
+        assert_eq!(t.sphere_neighbors(&[0.0], 1.0), vec![0]);
+        let mut both = t.sphere_neighbors(&[0.0], 1.0 + 1e-9);
+        both.sort_unstable();
+        assert_eq!(both, vec![0, 1]);
+    }
+
+    #[test]
+    fn box_query_matches_linear_scan() {
+        let (t, pts) = build_grid(12);
+        let q = Mbr::new(vec![2.5, 3.0], vec![6.0, 7.25]);
+        let mut got = Vec::new();
+        t.search_box(&q, |i| got.push(i));
+        got.sort_unstable();
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains_point(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn query_cost_reported() {
+        let (t, pts) = build_grid(10);
+        let (n, cost) = t.count_sphere(&pts[55], 2.0);
+        assert!(n > 0);
+        assert!(cost.nodes_visited >= 1);
+        assert!(cost.mbr_tests as usize >= n);
+        assert_eq!(cost.matches as usize, n);
+        // A tight query must visit far fewer nodes than the whole arena.
+        assert!(cost.nodes_visited < t.node_count() as u64);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = RTree::new(2);
+        assert!(t.sphere_neighbors(&[0.0, 0.0], 10.0).is_empty());
+        let mut visited = false;
+        t.search_box(&Mbr::around_point(&[0.0, 0.0], 1.0), |_| visited = true);
+        assert!(!visited);
+    }
+
+    #[test]
+    fn non_point_entries() {
+        // The level-1 μR-tree stores extended boxes (MC MBRs).
+        let mut t = RTree::new(2);
+        t.insert(Entry { mbr: Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]), item: 0 });
+        t.insert(Entry { mbr: Mbr::new(vec![5.0, 5.0], vec![6.0, 6.0]), item: 1 });
+        // Ball centred between them, radius reaching only the first box.
+        let mut got = Vec::new();
+        t.search_sphere(&[3.0, 3.0], 1.5, |i| got.push(i));
+        assert_eq!(got, vec![0]);
+        // Box overlapping only the second.
+        let mut got2 = Vec::new();
+        t.search_box(&Mbr::new(vec![5.5, 5.5], vec![7.0, 7.0]), |i| got2.push(i));
+        assert_eq!(got2, vec![1]);
+    }
+
+    #[test]
+    fn first_in_sphere_short_circuits() {
+        let (t, pts) = build_grid(10);
+        // Dense area: must find something within 1.5 of any grid point.
+        let hit = t.first_in_sphere(&pts[44], 1.5);
+        assert!(hit.is_some());
+        // Far away: nothing within 3.
+        assert_eq!(t.first_in_sphere(&[100.0, 100.0], 3.0), None);
+        // Strictness: point exactly at distance r is not a hit.
+        assert_eq!(t.first_in_sphere(&[-1.0, 0.0], 1.0), None);
+        assert!(t.first_in_sphere(&[-1.0, 0.0], 1.0 + 1e-9).is_some());
+        // Empty tree.
+        assert_eq!(RTree::new(2).first_in_sphere(&[0.0, 0.0], 10.0), None);
+    }
+
+    #[test]
+    fn query_cost_add() {
+        let mut a = QueryCost { nodes_visited: 1, mbr_tests: 2, matches: 3 };
+        a.add(QueryCost { nodes_visited: 10, mbr_tests: 20, matches: 30 });
+        assert_eq!(a, QueryCost { nodes_visited: 11, mbr_tests: 22, matches: 33 });
+    }
+}

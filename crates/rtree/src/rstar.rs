@@ -1,0 +1,157 @@
+//! R*-tree split (Beckmann, Kriegel, Schneider, Seeger — SIGMOD'90),
+//! selectable via [`crate::RTreeConfig::split`].
+//!
+//! Where Guttman's quadratic split picks seed pairs by wasted volume and
+//! greedily assigns the rest, the R* split is deterministic and
+//! distribution-aware:
+//!
+//! 1. **ChooseSplitAxis** — for each axis, sort the boxes by lower then
+//!    by upper coordinate and evaluate every legal distribution
+//!    `(m..=M+1-m)`; the axis with the minimum *margin sum* wins.
+//! 2. **ChooseSplitIndex** — on the winning axis, pick the distribution
+//!    with minimal *overlap* between the two groups (ties: minimal total
+//!    volume).
+//!
+//! The R* split produces lower-overlap trees on skewed data at a small
+//! construction cost — the `queries` criterion bench compares both.
+
+use geom::Mbr;
+
+/// Compute an R* split of `boxes`: returns the two index groups.
+pub(crate) fn rstar_partition(boxes: &[&Mbr], min_entries: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = boxes.len();
+    debug_assert!(n >= 2 * min_entries, "split called on a non-overfull node");
+    let dim = boxes[0].dim();
+    let m = min_entries;
+
+    // ChooseSplitAxis: minimise the margin sum over all distributions,
+    // considering both lower- and upper-sorted orders per axis.
+    let mut best_axis = 0usize;
+    let mut best_axis_margin = f64::INFINITY;
+    let mut best_axis_order: Vec<usize> = Vec::new();
+
+    for axis in 0..dim {
+        for by_upper in [false, true] {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                let (ka, kb) = if by_upper {
+                    (boxes[a].hi()[axis], boxes[b].hi()[axis])
+                } else {
+                    (boxes[a].lo()[axis], boxes[b].lo()[axis])
+                };
+                ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let margin_sum: f64 = distributions(&order, m)
+                .map(|(left, right)| {
+                    mbr_of(boxes, left).margin() + mbr_of(boxes, right).margin()
+                })
+                .sum();
+            if margin_sum < best_axis_margin {
+                best_axis_margin = margin_sum;
+                best_axis = axis;
+                best_axis_order = order;
+            }
+        }
+    }
+    let _ = best_axis;
+
+    // ChooseSplitIndex: minimal overlap, ties by total volume, then by
+    // total margin — the margin tie-break matters for degenerate
+    // (collinear) boxes where every volume is zero.
+    let order = best_axis_order;
+    let mut best: Option<(f64, f64, f64, usize)> = None; // (overlap, volume, margin, k)
+    for (k, (left, right)) in distributions(&order, m).enumerate() {
+        let lb = mbr_of(boxes, left);
+        let rb = mbr_of(boxes, right);
+        let overlap = intersection_volume(&lb, &rb);
+        let volume = lb.volume() + rb.volume();
+        let margin = lb.margin() + rb.margin();
+        if best.is_none_or(|(bo, bv, bm, _)| (overlap, volume, margin) < (bo, bv, bm)) {
+            best = Some((overlap, volume, margin, k));
+        }
+    }
+    let (_, _, _, k) = best.expect("at least one distribution");
+    let split_at = m + k;
+    let ga = order[..split_at].to_vec();
+    let gb = order[split_at..].to_vec();
+    (ga, gb)
+}
+
+/// All legal distributions of a sorted order into a prefix of length
+/// `m + k` and the remaining suffix, for `k in 0..=n - 2m`.
+fn distributions(order: &[usize], m: usize) -> impl Iterator<Item = (&[usize], &[usize])> {
+    let n = order.len();
+    (0..=(n - 2 * m)).map(move |k| order.split_at(m + k))
+}
+
+fn mbr_of(boxes: &[&Mbr], idx: &[usize]) -> Mbr {
+    let mut it = idx.iter();
+    let mut acc = boxes[*it.next().expect("non-empty group")].clone();
+    for &i in it {
+        acc.merge(boxes[i]);
+    }
+    acc
+}
+
+/// Volume of the intersection of two boxes (0 when disjoint).
+fn intersection_volume(a: &Mbr, b: &Mbr) -> f64 {
+    let mut v = 1.0;
+    for k in 0..a.dim() {
+        let lo = a.lo()[k].max(b.lo()[k]);
+        let hi = a.hi()[k].min(b.hi()[k]);
+        if hi <= lo {
+            return 0.0;
+        }
+        v *= hi - lo;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point_boxes(pts: &[[f64; 2]]) -> Vec<Mbr> {
+        pts.iter().map(|p| Mbr::point(p)).collect()
+    }
+
+    #[test]
+    fn splits_clearly_separated_groups() {
+        // Two obvious clusters on the x axis: the split must not mix them.
+        let pts: Vec<[f64; 2]> = (0..4)
+            .map(|i| [i as f64 * 0.1, 0.0])
+            .chain((0..4).map(|i| [100.0 + i as f64 * 0.1, 0.0]))
+            .collect();
+        let boxes = point_boxes(&pts);
+        let refs: Vec<&Mbr> = boxes.iter().collect();
+        let (ga, gb) = rstar_partition(&refs, 2);
+        let left_of = |g: &[usize]| g.iter().all(|&i| pts[i][0] < 50.0);
+        let right_of = |g: &[usize]| g.iter().all(|&i| pts[i][0] > 50.0);
+        assert!(
+            (left_of(&ga) && right_of(&gb)) || (left_of(&gb) && right_of(&ga)),
+            "R* split mixed the clusters: {ga:?} | {gb:?}"
+        );
+    }
+
+    #[test]
+    fn respects_min_entries_and_covers_all() {
+        let pts: Vec<[f64; 2]> = (0..11).map(|i| [(i * 7 % 11) as f64, (i * 3 % 5) as f64]).collect();
+        let boxes = point_boxes(&pts);
+        let refs: Vec<&Mbr> = boxes.iter().collect();
+        let (ga, gb) = rstar_partition(&refs, 4);
+        assert!(ga.len() >= 4 && gb.len() >= 4);
+        let mut all: Vec<usize> = ga.iter().chain(gb.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn intersection_volume_cases() {
+        let a = Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        let b = Mbr::new(vec![1.0, 1.0], vec![3.0, 3.0]);
+        assert_eq!(intersection_volume(&a, &b), 1.0);
+        let c = Mbr::new(vec![5.0, 5.0], vec![6.0, 6.0]);
+        assert_eq!(intersection_volume(&a, &c), 0.0);
+        assert_eq!(intersection_volume(&a, &a), 4.0);
+    }
+}

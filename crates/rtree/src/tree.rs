@@ -1,0 +1,548 @@
+//! The R-tree structure: ChooseLeaf insertion with Guttman's quadratic
+//! split.
+
+use crate::node::{Entry, Node, NodeId};
+use geom::Mbr;
+
+/// Node-split algorithm used on overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// Guttman's quadratic split (SIGMOD'84) — the classic default.
+    #[default]
+    Quadratic,
+    /// The R*-tree split (Beckmann et al., SIGMOD'90): margin-minimising
+    /// axis choice + overlap-minimising distribution. Lower-overlap trees
+    /// on skewed data at some extra construction cost.
+    RStar,
+}
+
+/// Fan-out configuration. `min_entries <= max_entries / 2` must hold so a
+/// split can always produce two valid nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct RTreeConfig {
+    /// Maximum entries/children per node (Guttman's `M`).
+    pub max_entries: usize,
+    /// Minimum entries/children per node after a split (Guttman's `m`).
+    pub min_entries: usize,
+    /// Split algorithm on node overflow.
+    pub split: SplitStrategy,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        Self { max_entries: 32, min_entries: 12, split: SplitStrategy::default() }
+    }
+}
+
+impl RTreeConfig {
+    /// Validated constructor (quadratic split).
+    pub fn new(max_entries: usize, min_entries: usize) -> Self {
+        assert!(max_entries >= 4, "max_entries must be at least 4");
+        assert!(
+            min_entries >= 1 && min_entries <= max_entries / 2,
+            "min_entries must be in 1..=max_entries/2"
+        );
+        Self { max_entries, min_entries, split: SplitStrategy::default() }
+    }
+
+    /// Select the split algorithm.
+    pub fn with_split(mut self, split: SplitStrategy) -> Self {
+        self.split = split;
+        self
+    }
+}
+
+/// An R-tree over items identified by `u32`, each bounded by an [`Mbr`].
+#[derive(Debug, Clone)]
+pub struct RTree {
+    dim: usize,
+    cfg: RTreeConfig,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: Option<NodeId>,
+    pub(crate) len: usize,
+    pub(crate) height: usize, // number of levels; leaf-only tree has height 1
+}
+
+impl RTree {
+    /// Empty tree for `dim`-dimensional data with default fan-out.
+    pub fn new(dim: usize) -> Self {
+        Self::with_config(dim, RTreeConfig::default())
+    }
+
+    /// Empty tree with explicit fan-out configuration.
+    pub fn with_config(dim: usize, cfg: RTreeConfig) -> Self {
+        assert!(dim > 0);
+        Self { dim, cfg, nodes: Vec::new(), root: None, len: 0, height: 0 }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no item is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Data dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Tree height in levels (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of arena nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fan-out configuration.
+    pub fn config(&self) -> RTreeConfig {
+        self.cfg
+    }
+
+    /// Bounding box of the whole tree (`None` when empty).
+    pub fn mbr(&self) -> Option<&Mbr> {
+        self.root.map(|r| self.nodes[r as usize].mbr())
+    }
+
+    /// Insert an item with its bounding box.
+    pub fn insert(&mut self, entry: Entry) {
+        assert_eq!(entry.mbr.dim(), self.dim, "entry dimensionality mismatch");
+        match self.root {
+            None => {
+                let mbr = entry.mbr.clone();
+                let id = self.push_node(Node::Leaf { mbr, entries: vec![entry] });
+                self.root = Some(id);
+                self.height = 1;
+            }
+            Some(root) => {
+                if let Some(sibling) = self.insert_rec(root, entry) {
+                    let mbr =
+                        self.nodes[root as usize].mbr().merged(self.nodes[sibling as usize].mbr());
+                    let new_root =
+                        self.push_node(Node::Internal { mbr, children: vec![root, sibling] });
+                    self.root = Some(new_root);
+                    self.height += 1;
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Insert a point item (degenerate MBR).
+    pub fn insert_point(&mut self, item: u32, coords: &[f64]) {
+        self.insert(Entry::point(item, coords));
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Recursive insert; returns the id of a new sibling when `node` split.
+    fn insert_rec(&mut self, node: NodeId, entry: Entry) -> Option<NodeId> {
+        if self.nodes[node as usize].is_leaf() {
+            let max = self.cfg.max_entries;
+            let Node::Leaf { mbr, entries } = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
+            mbr.merge(&entry.mbr);
+            entries.push(entry);
+            if entries.len() > max {
+                return Some(self.split_leaf(node));
+            }
+            return None;
+        }
+
+        let child = self.choose_subtree(node, &entry.mbr);
+        let entry_mbr = entry.mbr.clone();
+        let split = self.insert_rec(child, entry);
+        // The chosen child's box grew by at most `entry_mbr`; growing our own
+        // box by the same amount keeps it covering.
+        let Node::Internal { mbr, children } = &mut self.nodes[node as usize] else {
+            unreachable!()
+        };
+        mbr.merge(&entry_mbr);
+        if let Some(sibling) = split {
+            children.push(sibling);
+            let sib_mbr = self.nodes[sibling as usize].mbr().clone();
+            let Node::Internal { mbr, children } = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
+            mbr.merge(&sib_mbr);
+            if children.len() > self.cfg.max_entries {
+                return Some(self.split_internal(node));
+            }
+        }
+        None
+    }
+
+    /// Guttman's ChooseLeaf criterion: least enlargement, ties by smallest
+    /// volume, then smallest margin.
+    fn choose_subtree(&self, node: NodeId, mbr: &Mbr) -> NodeId {
+        let Node::Internal { children, .. } = &self.nodes[node as usize] else {
+            unreachable!("choose_subtree on leaf")
+        };
+        let mut best = children[0];
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for &c in children {
+            let cm = self.nodes[c as usize].mbr();
+            let key = (cm.enlargement(mbr), cm.volume(), cm.margin());
+            if key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn split_leaf(&mut self, node: NodeId) -> NodeId {
+        let Node::Leaf { entries, .. } = &mut self.nodes[node as usize] else { unreachable!() };
+        let taken = std::mem::take(entries);
+        let boxes: Vec<&Mbr> = taken.iter().map(|e| &e.mbr).collect();
+        let (ga, gb) = self.partition_boxes(&boxes);
+        let (mut ea, mut eb) = (Vec::with_capacity(ga.len()), Vec::with_capacity(gb.len()));
+        let mut assign = vec![false; taken.len()];
+        for &i in &gb {
+            assign[i] = true;
+        }
+        for (i, e) in taken.into_iter().enumerate() {
+            if assign[i] {
+                eb.push(e);
+            } else {
+                ea.push(e);
+            }
+        }
+        let mbr_a = mbr_of_entries(&ea);
+        let mbr_b = mbr_of_entries(&eb);
+        self.nodes[node as usize] = Node::Leaf { mbr: mbr_a, entries: ea };
+        self.push_node(Node::Leaf { mbr: mbr_b, entries: eb })
+    }
+
+    fn split_internal(&mut self, node: NodeId) -> NodeId {
+        let Node::Internal { children, .. } = &mut self.nodes[node as usize] else {
+            unreachable!()
+        };
+        let taken = std::mem::take(children);
+        let boxes: Vec<Mbr> =
+            taken.iter().map(|&c| self.nodes[c as usize].mbr().clone()).collect();
+        let refs: Vec<&Mbr> = boxes.iter().collect();
+        let (_, gb) = self.partition_boxes(&refs);
+        let mut assign = vec![false; taken.len()];
+        for &i in &gb {
+            assign[i] = true;
+        }
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        for (i, c) in taken.into_iter().enumerate() {
+            if assign[i] {
+                cb.push(c);
+            } else {
+                ca.push(c);
+            }
+        }
+        let mbr_a = self.mbr_of_children(&ca);
+        let mbr_b = self.mbr_of_children(&cb);
+        self.nodes[node as usize] = Node::Internal { mbr: mbr_a, children: ca };
+        self.push_node(Node::Internal { mbr: mbr_b, children: cb })
+    }
+
+    /// Dispatch to the configured split algorithm.
+    fn partition_boxes(&self, boxes: &[&Mbr]) -> (Vec<usize>, Vec<usize>) {
+        match self.cfg.split {
+            SplitStrategy::Quadratic => quadratic_partition(boxes, self.cfg.min_entries),
+            SplitStrategy::RStar => crate::rstar::rstar_partition(boxes, self.cfg.min_entries),
+        }
+    }
+
+    fn mbr_of_children(&self, children: &[NodeId]) -> Mbr {
+        let mut it = children.iter();
+        let first = *it.next().expect("split group cannot be empty");
+        let mut m = self.nodes[first as usize].mbr().clone();
+        for &c in it {
+            m.merge(self.nodes[c as usize].mbr());
+        }
+        m
+    }
+
+    /// Visit every `(item, mbr)` pair (arbitrary order).
+    pub fn for_each_item(&self, mut f: impl FnMut(u32, &Mbr)) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n as usize] {
+                Node::Internal { children, .. } => stack.extend_from_slice(children),
+                Node::Leaf { entries, .. } => {
+                    for e in entries {
+                        f(e.item, &e.mbr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Estimated heap footprint in bytes (arena plus per-node vectors).
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.nodes.iter().map(|n| n.heap_bytes()).sum::<usize>()
+    }
+
+    /// Internal consistency check (used by tests): every node's cached MBR
+    /// covers its contents, fan-out bounds hold, item count matches.
+    pub fn check_invariants(&self) {
+        let Some(root) = self.root else {
+            assert_eq!(self.len, 0);
+            return;
+        };
+        let mut items = 0usize;
+        let mut stack = vec![(root, 1usize)];
+        let mut leaf_depth = None;
+        while let Some((n, depth)) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            if n != root {
+                assert!(
+                    node.fanout() <= self.cfg.max_entries,
+                    "node {n} overfull: {}",
+                    node.fanout()
+                );
+            }
+            match node {
+                Node::Internal { mbr, children } => {
+                    assert!(!children.is_empty());
+                    for &c in children {
+                        assert!(
+                            mbr.contains(self.nodes[c as usize].mbr()),
+                            "parent MBR does not cover child"
+                        );
+                        stack.push((c, depth + 1));
+                    }
+                }
+                Node::Leaf { mbr, entries } => {
+                    match leaf_depth {
+                        None => leaf_depth = Some(depth),
+                        Some(d) => assert_eq!(d, depth, "leaves at different depths"),
+                    }
+                    for e in entries {
+                        assert!(mbr.contains(&e.mbr), "leaf MBR does not cover entry");
+                        items += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(items, self.len, "item count mismatch");
+        assert_eq!(leaf_depth, Some(self.height), "height mismatch");
+    }
+}
+
+fn mbr_of_entries(entries: &[Entry]) -> Mbr {
+    let mut it = entries.iter();
+    let mut m = it.next().expect("split group cannot be empty").mbr.clone();
+    for e in it {
+        m.merge(&e.mbr);
+    }
+    m
+}
+
+/// Guttman's quadratic split over a set of boxes: returns the two index
+/// groups. Each group has at least `min_entries` members (assuming
+/// `boxes.len() > 2 * min_entries`, which holds when splitting an overfull
+/// node).
+pub(crate) fn quadratic_partition(
+    boxes: &[&Mbr],
+    min_entries: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let n = boxes.len();
+    debug_assert!(n >= 2);
+    // PickSeeds: the pair wasting the most volume (margin as tie-breaker so
+    // degenerate point boxes still pick the farthest pair).
+    let (mut sa, mut sb) = (0, 1);
+    let mut worst = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in i + 1..n {
+            let merged = boxes[i].merged(boxes[j]);
+            let key = (
+                merged.volume() - boxes[i].volume() - boxes[j].volume(),
+                merged.margin(),
+            );
+            if key > worst {
+                worst = key;
+                sa = i;
+                sb = j;
+            }
+        }
+    }
+    let mut ga = vec![sa];
+    let mut gb = vec![sb];
+    let mut mbr_a = boxes[sa].clone();
+    let mut mbr_b = boxes[sb].clone();
+    let mut rest: Vec<usize> = (0..n).filter(|&i| i != sa && i != sb).collect();
+
+    while !rest.is_empty() {
+        // If one group needs every remaining box to reach min_entries,
+        // assign them all.
+        if ga.len() + rest.len() == min_entries {
+            ga.append(&mut rest);
+            break;
+        }
+        if gb.len() + rest.len() == min_entries {
+            gb.append(&mut rest);
+            break;
+        }
+        // PickNext: the box with maximal preference difference.
+        let mut best_k = 0;
+        let mut best_diff = f64::NEG_INFINITY;
+        for (k, &i) in rest.iter().enumerate() {
+            let da = mbr_a.enlargement(boxes[i]) + mbr_a.merged(boxes[i]).margin()
+                - mbr_a.margin();
+            let db = mbr_b.enlargement(boxes[i]) + mbr_b.merged(boxes[i]).margin()
+                - mbr_b.margin();
+            let diff = (da - db).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                best_k = k;
+            }
+        }
+        let i = rest.swap_remove(best_k);
+        let da = (mbr_a.enlargement(boxes[i]), mbr_a.merged(boxes[i]).margin());
+        let db = (mbr_b.enlargement(boxes[i]), mbr_b.merged(boxes[i]).margin());
+        if da <= db {
+            ga.push(i);
+            mbr_a.merge(boxes[i]);
+        } else {
+            gb.push(i);
+            mbr_b.merge(boxes[i]);
+        }
+    }
+    (ga, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(nx: usize, ny: usize) -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                v.push(vec![i as f64, j as f64]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::new(3);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.mbr().is_none());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_grows_and_stays_valid() {
+        let mut t = RTree::new(2);
+        for (i, p) in grid_points(20, 20).iter().enumerate() {
+            t.insert_point(i as u32, p);
+            if i % 37 == 0 {
+                t.check_invariants();
+            }
+        }
+        assert_eq!(t.len(), 400);
+        assert!(t.height() >= 2);
+        t.check_invariants();
+        let m = t.mbr().unwrap();
+        assert_eq!(m.lo(), &[0.0, 0.0]);
+        assert_eq!(m.hi(), &[19.0, 19.0]);
+    }
+
+    #[test]
+    fn for_each_item_visits_all_once() {
+        let mut t = RTree::new(2);
+        for (i, p) in grid_points(9, 9).iter().enumerate() {
+            t.insert_point(i as u32, p);
+        }
+        let mut seen = [false; 81];
+        t.for_each_item(|item, mbr| {
+            assert!(!seen[item as usize]);
+            seen[item as usize] = true;
+            assert_eq!(mbr.lo(), mbr.hi());
+        });
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn quadratic_partition_respects_min() {
+        let pts: Vec<Mbr> = (0..10).map(|i| Mbr::point(&[i as f64, 0.0])).collect();
+        let refs: Vec<&Mbr> = pts.iter().collect();
+        let (ga, gb) = quadratic_partition(&refs, 4);
+        assert!(ga.len() >= 4 && gb.len() >= 4);
+        assert_eq!(ga.len() + gb.len(), 10);
+        let mut all: Vec<usize> = ga.iter().chain(gb.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let mut t = RTree::new(2);
+        for i in 0..100u32 {
+            t.insert_point(i, &[1.0, 1.0]);
+        }
+        assert_eq!(t.len(), 100);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn collinear_points_split_fine() {
+        // Zero-volume MBRs exercise the margin tie-breakers.
+        let mut t = RTree::with_config(1, RTreeConfig::new(4, 2));
+        for i in 0..64u32 {
+            t.insert_point(i, &[i as f64]);
+        }
+        t.check_invariants();
+        assert!(t.height() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn config_validation() {
+        RTreeConfig::new(8, 5);
+    }
+
+    #[test]
+    fn rstar_split_tree_is_valid_and_queries_agree() {
+        let pts: Vec<Vec<f64>> = (0..600u32)
+            .map(|i| {
+                let h = |k: u32| {
+                    let x = i.wrapping_mul(2654435761).wrapping_add(k.wrapping_mul(97));
+                    (x % 1000) as f64 / 10.0
+                };
+                vec![h(1), h(2)]
+            })
+            .collect();
+        let mut quad = RTree::with_config(2, RTreeConfig::new(8, 4));
+        let mut rstar =
+            RTree::with_config(2, RTreeConfig::new(8, 4).with_split(SplitStrategy::RStar));
+        for (i, p) in pts.iter().enumerate() {
+            quad.insert_point(i as u32, p);
+            rstar.insert_point(i as u32, p);
+        }
+        quad.check_invariants();
+        rstar.check_invariants();
+        for q in [&pts[0], &pts[123], &pts[599]] {
+            for r in [3.0, 11.0] {
+                let mut a = quad.sphere_neighbors(q, r);
+                let mut b = rstar.sphere_neighbors(q, r);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

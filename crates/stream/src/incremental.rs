@@ -1,0 +1,317 @@
+//! The insertion-incremental algorithm.
+
+use geom::{Dataset, DbscanParams, PointId};
+use metrics::Counters;
+use mudbscan::Clustering;
+use rtree::{RTree, RTreeConfig};
+use unionfind::UnionFind;
+
+/// One online micro-cluster: a center point and an incrementally built
+/// auxiliary R-tree over its members.
+struct StreamMc {
+    /// Kept for diagnostics/debugging even though queries go through `aux`.
+    #[allow(dead_code)]
+    center: PointId,
+    aux: RTree,
+    members: u32,
+}
+
+/// Streaming μDBSCAN: insert points one at a time; the clustering of the
+/// prefix seen so far is always exactly classical DBSCAN's.
+pub struct StreamingMuDbscan {
+    params: DbscanParams,
+    data: Dataset,
+    /// Level-1 R-tree over MC centers (item = MC index).
+    level1: RTree,
+    mcs: Vec<StreamMc>,
+    /// `counts[p] = |N_ε(p)|` over the points inserted so far (self
+    /// included).
+    counts: Vec<u32>,
+    uf: UnionFind,
+    is_core: Vec<bool>,
+    assigned: Vec<bool>,
+    counters: Counters,
+}
+
+impl StreamingMuDbscan {
+    /// Empty stream for `dim`-dimensional points.
+    pub fn new(dim: usize, params: DbscanParams) -> Self {
+        Self {
+            params,
+            data: Dataset::empty(dim),
+            level1: RTree::new(dim),
+            mcs: Vec::new(),
+            counts: Vec::new(),
+            uf: UnionFind::new(0),
+            is_core: Vec::new(),
+            assigned: Vec::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Points ingested so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True before the first insertion.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of micro-clusters currently maintained.
+    pub fn mc_count(&self) -> usize {
+        self.mcs.len()
+    }
+
+    /// The density parameters.
+    pub fn params(&self) -> DbscanParams {
+        self.params
+    }
+
+    /// Operation counters (queries, distances, unions).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Coordinates of an ingested point.
+    pub fn point(&self, p: PointId) -> &[f64] {
+        self.data.point(p)
+    }
+
+    /// ε-neighbourhood of arbitrary coordinates over the current prefix
+    /// (strict `< ε`), via the micro-cluster index.
+    fn query(&self, coords: &[f64]) -> Vec<PointId> {
+        let eps = self.params.eps;
+        let mut mcs_hit: Vec<u32> = Vec::new();
+        self.level1.search_sphere(coords, 2.0 * eps, |mc| mcs_hit.push(mc));
+        let mut out = Vec::new();
+        for mc in mcs_hit {
+            let cost = self.mcs[mc as usize].aux.search_sphere(coords, eps, |q| out.push(q));
+            self.counters.count_dists(cost.mbr_tests);
+        }
+        self.counters.count_range_query();
+        out
+    }
+
+    /// Ingest one point; returns its id. On return, [`Self::snapshot`]
+    /// is exactly the DBSCAN clustering of all points inserted so far.
+    pub fn insert(&mut self, coords: &[f64]) -> PointId {
+        assert_eq!(coords.len(), self.data.dim(), "dimensionality mismatch");
+        let min_pts = self.params.min_pts as u32;
+
+        // Neighbours BEFORE p is added (p joins its own count below).
+        let nbhrs = self.query(coords);
+
+        let p = self.data.push(coords);
+        self.counts.push(nbhrs.len() as u32 + 1);
+        self.is_core.push(false);
+        self.assigned.push(false);
+        let up = self.uf.push();
+        debug_assert_eq!(up, p);
+
+        // Micro-cluster maintenance: join the first MC whose center is
+        // strictly within ε, else start a new one.
+        match self.level1.first_in_sphere(coords, self.params.eps) {
+            Some(mc) => {
+                self.mcs[mc as usize].aux.insert_point(p, coords);
+                self.mcs[mc as usize].members += 1;
+            }
+            None => {
+                let id = self.mcs.len() as u32;
+                let mut aux = RTree::with_config(self.data.dim(), RTreeConfig::default());
+                aux.insert_point(p, coords);
+                self.mcs.push(StreamMc { center: p, aux, members: 1 });
+                self.level1.insert_point(id, coords);
+            }
+        }
+
+        // Bump neighbour counts; collect promotions (count crossing
+        // MinPts exactly now).
+        let mut promoted: Vec<PointId> = Vec::new();
+        for &q in &nbhrs {
+            self.counts[q as usize] += 1;
+            if self.counts[q as usize] == min_pts && !self.is_core[q as usize] {
+                promoted.push(q);
+            }
+        }
+
+        // Process p itself.
+        if self.counts[p as usize] >= min_pts {
+            self.make_core(p, &nbhrs);
+        } else {
+            for &q in &nbhrs {
+                if self.is_core[q as usize] {
+                    self.uf.union(q, p);
+                    self.counters.count_union();
+                    self.assigned[p as usize] = true;
+                    break;
+                }
+            }
+        }
+
+        // Process promotions: each newly-core point wires up its edges
+        // with one ε-query.
+        for q in promoted {
+            if self.is_core[q as usize] {
+                continue; // p's processing might have promoted q already
+            }
+            let qn = self.query(self.data.point(q)).to_vec();
+            // Re-check: the stored count is authoritative, the query must
+            // agree (self included).
+            debug_assert_eq!(qn.len() as u32, self.counts[q as usize]);
+            self.make_core(q, &qn);
+        }
+        p
+    }
+
+    /// Mark `x` core and apply the disjoint-set union rules against its
+    /// neighbour list.
+    fn make_core(&mut self, x: PointId, nbhrs: &[PointId]) {
+        self.is_core[x as usize] = true;
+        self.assigned[x as usize] = true;
+        for &q in nbhrs {
+            if q == x {
+                continue;
+            }
+            if self.is_core[q as usize] {
+                self.uf.union(q, x);
+                self.counters.count_union();
+            } else if !self.assigned[q as usize] {
+                self.uf.union(x, q);
+                self.counters.count_union();
+                self.assigned[q as usize] = true;
+            }
+        }
+    }
+
+    /// Extract the clustering of the points ingested so far.
+    pub fn snapshot(&mut self) -> Clustering {
+        let is_core = self.is_core.clone();
+        Clustering::from_union_find(&mut self.uf, is_core)
+    }
+
+    /// Convenience: bulk-ingest a dataset in row order.
+    pub fn extend_from(&mut self, data: &Dataset) {
+        for (_, coords) in data.iter() {
+            self.insert(coords);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mudbscan::{check_exact, naive_dbscan};
+
+    fn blobs(n_per: usize, seed: u64) -> Dataset {
+        let mut rows = Vec::new();
+        let mut s = seed;
+        let mut r = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for (cx, cy) in [(0.0, 0.0), (6.0, 2.0)] {
+            for _ in 0..n_per {
+                rows.push(vec![cx + 0.7 * r(), cy + 0.7 * r()]);
+            }
+        }
+        for _ in 0..n_per / 4 {
+            rows.push(vec![12.0 * r(), 12.0 * r()]);
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn final_state_matches_batch_dbscan() {
+        let data = blobs(60, 5);
+        let params = DbscanParams::new(0.6, 5);
+        let mut s = StreamingMuDbscan::new(2, params);
+        s.extend_from(&data);
+        let got = s.snapshot();
+        let want = naive_dbscan(&data, &params);
+        let rep = check_exact(&got, &want, &data, &params);
+        assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    fn every_prefix_is_exact() {
+        let data = blobs(25, 9);
+        let params = DbscanParams::new(0.6, 4);
+        let mut s = StreamingMuDbscan::new(2, params);
+        for (i, coords) in data.iter() {
+            s.insert(coords);
+            // Check a sample of prefixes (every 7th) to keep the O(n²)
+            // oracle affordable.
+            if i % 7 != 6 {
+                continue;
+            }
+            let prefix_rows: Vec<Vec<f64>> =
+                (0..=i).map(|j| data.point(j).to_vec()).collect();
+            let prefix = Dataset::from_rows(&prefix_rows);
+            let got = s.snapshot();
+            let want = naive_dbscan(&prefix, &params);
+            let rep = check_exact(&got, &want, &prefix, &params);
+            assert!(rep.is_exact(), "prefix {}: {rep:?}", i + 1);
+        }
+    }
+
+    #[test]
+    fn promotion_on_crossing_minpts() {
+        // Points arrive so that an early point becomes core only later.
+        let params = DbscanParams::new(1.0, 3);
+        let mut s = StreamingMuDbscan::new(1, params);
+        s.insert(&[0.0]); // will become core once 2 more arrive
+        s.insert(&[10.0]); // far away
+        assert_eq!(s.snapshot().n_clusters, 0);
+        s.insert(&[0.5]);
+        assert_eq!(s.snapshot().n_clusters, 0); // counts: 2 < 3
+        s.insert(&[-0.5]);
+        let c = s.snapshot();
+        assert_eq!(c.n_clusters, 1);
+        assert!(c.is_core[0], "point 0 must be promoted to core");
+        assert!(c.is_noise(1));
+    }
+
+    #[test]
+    fn noise_rescued_when_core_appears() {
+        let params = DbscanParams::new(1.0, 3);
+        let mut s = StreamingMuDbscan::new(1, params);
+        s.insert(&[0.9]); // will be border of the core at 0
+        s.insert(&[0.0]);
+        s.insert(&[-0.9]);
+        // All three mutually... 0.9 and -0.9 are 1.8 apart (not
+        // neighbours); point 1 sees all three -> core; 0 and 2 border.
+        let c = s.snapshot();
+        assert_eq!(c.n_clusters, 1);
+        assert!(c.is_core[1]);
+        assert!(c.is_border(0) && c.is_border(2));
+    }
+
+    #[test]
+    fn mc_structure_stays_small() {
+        let data = blobs(80, 13);
+        let params = DbscanParams::new(0.6, 5);
+        let mut s = StreamingMuDbscan::new(2, params);
+        s.extend_from(&data);
+        assert!(s.mc_count() < s.len() / 2, "m = {} vs n = {}", s.mc_count(), s.len());
+        assert!(s.counters().range_queries() > 0);
+    }
+
+    #[test]
+    fn order_independence_of_canonical_quantities() {
+        let data = blobs(40, 21);
+        let params = DbscanParams::new(0.6, 4);
+        let mut fwd = StreamingMuDbscan::new(2, params);
+        fwd.extend_from(&data);
+        let ids: Vec<u32> = data.ids().rev().collect();
+        let rev_data = data.gather(&ids);
+        let mut rev = StreamingMuDbscan::new(2, params);
+        rev.extend_from(&rev_data);
+        let a = fwd.snapshot();
+        let b = rev.snapshot();
+        assert_eq!(a.n_clusters, b.n_clusters);
+        assert_eq!(a.noise_count(), b.noise_count());
+        assert_eq!(a.core_count(), b.core_count());
+    }
+}

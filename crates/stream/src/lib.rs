@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # stream — insertion-incremental μDBSCAN
+//!
+//! The paper closes with "this approach can also be adopted to fast
+//! clustering of data streams". This crate implements that extension:
+//! a [`StreamingMuDbscan`] structure that ingests points one at a time
+//! and, **after every insertion, holds exactly the DBSCAN clustering of
+//! the points seen so far** (validated against the batch oracle in the
+//! tests).
+//!
+//! The incremental semantics follow Ester et al.'s IncrementalDBSCAN
+//! (1998) specialised to insertions, accelerated with the paper's
+//! micro-cluster machinery:
+//!
+//! * points are assigned to ε-ball micro-clusters maintained online
+//!   (level-1 R-tree over centers, one incremental aux R-tree per MC);
+//! * an ε-query for a point only searches MCs whose center is strictly
+//!   within 2ε (a point within ε of `p` is within ε of its own center,
+//!   so its center is within 2ε of `p`);
+//! * per-point ε-neighbour **counts** are maintained instead of lists:
+//!   inserting `p` increments the count of each of its neighbours;
+//!   points whose count crosses `MinPts` are *promoted* to core and run
+//!   one ε-query each to wire up their cluster edges — everything else
+//!   needs no recomputation.
+//!
+//! Deletions are out of scope (they can split clusters and require
+//! connectivity re-checks); for sliding windows, rebuild periodically.
+//!
+//! ```
+//! use geom::DbscanParams;
+//! use stream::StreamingMuDbscan;
+//!
+//! let mut s = StreamingMuDbscan::new(1, DbscanParams::new(1.0, 3));
+//! s.insert(&[0.0]);
+//! s.insert(&[0.5]);
+//! assert_eq!(s.snapshot().n_clusters, 0); // two points, nobody core yet
+//! s.insert(&[-0.5]);
+//! let c = s.snapshot();
+//! assert_eq!(c.n_clusters, 1); // the middle point crossed MinPts
+//! assert!(c.is_core[0]);
+//! ```
+
+pub mod incremental;
+
+pub use incremental::StreamingMuDbscan;

@@ -1,0 +1,228 @@
+//! Lock-free concurrent union–find.
+//!
+//! The classic atomic-parent design (Anderson & Woll; used by Patwary et
+//! al.'s shared-memory PDSDBSCAN): parents live in a `Vec<AtomicU32>`,
+//! `union` links the *smaller-indexed* root under the larger via
+//! compare-exchange and retries on contention, `find` performs lock-free
+//! path splitting with benign racy writes.
+//!
+//! Linking by index order (not rank) gives a total order on roots, which is
+//! what makes the CAS loop ABA-free: a root can only ever be replaced by a
+//! larger root, so progress is guaranteed.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A wait-free-read, lock-free-update disjoint-set forest over `0..len`.
+pub struct ConcurrentUnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentUnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        Self { parent: (0..n as u32).map(AtomicU32::new).collect() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set, with lock-free path splitting.
+    pub fn find(&self, x: u32) -> u32 {
+        let mut x = x;
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Acquire);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if gp == p {
+                return p;
+            }
+            // Path splitting: benign race — any concurrent value is also an
+            // ancestor, so pointing x at gp never breaks the forest.
+            let _ = self.parent[x as usize].compare_exchange_weak(
+                p,
+                gp,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+            x = gp;
+        }
+    }
+
+    /// Merge the sets of `a` and `b`. Returns `true` when this call
+    /// performed the link (i.e. the sets were distinct).
+    pub fn union(&self, a: u32, b: u32) -> bool {
+        let mut ra = self.find(a);
+        let mut rb = self.find(b);
+        loop {
+            if ra == rb {
+                return false;
+            }
+            // Keep ra < rb so the smaller root is linked under the larger.
+            if ra > rb {
+                std::mem::swap(&mut ra, &mut rb);
+            }
+            match self.parent[ra as usize].compare_exchange(
+                ra,
+                rb,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(_) => {
+                    // ra stopped being a root; chase the new roots and retry.
+                    ra = self.find(ra);
+                    rb = self.find(rb);
+                }
+            }
+        }
+    }
+
+    /// True when `a` and `b` currently belong to the same set. Racy under
+    /// concurrent unions (as in any concurrent UF); exact once unions
+    /// quiesce.
+    pub fn same(&self, a: u32, b: u32) -> bool {
+        loop {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return true;
+            }
+            // ra might have been linked mid-check; confirm it is still root.
+            if self.parent[ra as usize].load(Ordering::Acquire) == ra {
+                return false;
+            }
+        }
+    }
+
+    /// Snapshot into a sequential [`crate::UnionFind`]-equivalent dense
+    /// label vector (call after all unions completed).
+    pub fn dense_labels(&self) -> Vec<u32> {
+        let n = self.len();
+        let mut label_of_root = vec![u32::MAX; n];
+        let mut labels = vec![0u32; n];
+        let mut next = 0u32;
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            if label_of_root[r as usize] == u32::MAX {
+                label_of_root[r as usize] = next;
+                next += 1;
+            }
+            labels[x as usize] = label_of_root[r as usize];
+        }
+        labels
+    }
+
+    /// Number of distinct sets (call after all unions completed).
+    pub fn count_sets(&self) -> usize {
+        (0..self.len() as u32).filter(|&x| self.find(x) == x).count()
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.parent.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_usage_matches_semantics() {
+        let uf = ConcurrentUnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(0, 1));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        uf.union(1, 2);
+        assert!(uf.same(0, 3));
+        assert_eq!(uf.count_sets(), 3);
+    }
+
+    #[test]
+    fn concurrent_chain_union() {
+        // Many threads union overlapping chain segments; the result must be
+        // one single set regardless of interleaving.
+        let n = 2048u32;
+        let uf = ConcurrentUnionFind::new(n as usize);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let uf = &uf;
+                s.spawn(move || {
+                    let mut i = t;
+                    while i + 1 < n {
+                        uf.union(i, i + 1);
+                        i += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(uf.count_sets(), 1);
+        assert!(uf.same(0, n - 1));
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_partition() {
+        use crate::UnionFind;
+        // A fixed random-ish edge set applied concurrently and sequentially
+        // must produce the same partition.
+        let n = 512usize;
+        let edges: Vec<(u32, u32)> = (0..2000u64)
+            .map(|i| {
+                let a = (i.wrapping_mul(2654435761) % n as u64) as u32;
+                let b = (i.wrapping_mul(40503) % n as u64) as u32;
+                (a, b)
+            })
+            .collect();
+
+        let mut seq = UnionFind::new(n);
+        for &(a, b) in &edges {
+            seq.union(a, b);
+        }
+
+        let conc = ConcurrentUnionFind::new(n);
+        std::thread::scope(|s| {
+            for chunk in edges.chunks(500) {
+                let conc = &conc;
+                s.spawn(move || {
+                    for &(a, b) in chunk {
+                        conc.union(a, b);
+                    }
+                });
+            }
+        });
+
+        assert_eq!(seq.dense_labels(), conc.dense_labels());
+    }
+
+    #[test]
+    fn union_returns_linked_flag_exactly_once_per_merge() {
+        // n-1 successful links produce one set from n singletons; with
+        // duplicates, exactly n-1 calls must return true in total.
+        let n = 64u32;
+        let uf = ConcurrentUnionFind::new(n as usize);
+        let mut performed = 0;
+        for round in 0..3 {
+            for i in 0..n - 1 {
+                if uf.union(i, i + 1) {
+                    performed += 1;
+                }
+            }
+            if round == 0 {
+                assert_eq!(performed, (n - 1) as usize);
+            }
+        }
+        assert_eq!(performed, (n - 1) as usize);
+    }
+}

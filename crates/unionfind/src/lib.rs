@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Disjoint-set (union–find) structures.
+//!
+//! DBSCAN cluster formation in this workspace follows Patwary et al.
+//! (PDSDBSCAN, SC'12; union–find experiments, SEA'10): clusters are grown by
+//! `UNION` operations instead of sequential breadth-first expansion, which
+//! is what makes the algorithm order-independent and parallelisable.
+//!
+//! Two implementations:
+//!
+//! * [`UnionFind`] — sequential, union by rank + path halving; used by all
+//!   sequential algorithms and by each rank of the distributed simulator.
+//! * [`ConcurrentUnionFind`] — lock-free atomic-parent version (CAS root
+//!   splicing), used by shared-memory baselines and by the merge replay of
+//!   the distributed algorithms.
+//!
+//! ```
+//! use unionfind::{ConcurrentUnionFind, UnionFind};
+//!
+//! let mut uf = UnionFind::new(5);
+//! uf.union(0, 1);
+//! uf.union(1, 2);
+//! assert!(uf.same(0, 2));
+//! assert_eq!(uf.count_sets(), 3); // {0,1,2} {3} {4}
+//!
+//! // The lock-free variant can be driven from many threads.
+//! let cuf = ConcurrentUnionFind::new(4);
+//! std::thread::scope(|s| {
+//!     s.spawn(|| cuf.union(0, 1));
+//!     s.spawn(|| cuf.union(2, 3));
+//! });
+//! assert!(cuf.same(0, 1) && cuf.same(2, 3) && !cuf.same(1, 2));
+//! ```
+
+pub mod concurrent;
+pub mod sequential;
+
+pub use concurrent::ConcurrentUnionFind;
+pub use sequential::UnionFind;

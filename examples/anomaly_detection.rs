@@ -1,0 +1,60 @@
+//! Anomaly-detection scenario: DBSCAN noise points as anomalies in
+//! household power readings (the paper's HHP workload, one of DBSCAN's
+//! marquee applications).
+//!
+//! ```text
+//! cargo run --release --example anomaly_detection
+//! ```
+
+use geom::dist_euclidean;
+use mudbscan_repro::prelude::*;
+
+fn main() {
+    let dataset = data::household(25_000, 99);
+    let params = DbscanParams::new(2.5, 6);
+
+    println!("household power anomaly detection — n={}, dim=5\n", dataset.len());
+
+    let out = MuDbscan::new(params).run(&dataset);
+    let c = &out.clustering;
+
+    println!("operating regimes (clusters): {}", c.n_clusters);
+    println!("anomalous readings (noise)  : {} ({:.2}%)",
+             c.noise_count(), 100.0 * c.noise_count() as f64 / dataset.len() as f64);
+    println!("queries saved               : {:.1}%\n", out.counters.pct_queries_saved());
+
+    // Rank anomalies by isolation: distance to the nearest clustered
+    // reading (larger = more anomalous).
+    let clustered: Vec<u32> = dataset.ids().filter(|&p| !c.is_noise(p)).collect();
+    let mut anomalies: Vec<(f64, u32)> = dataset
+        .ids()
+        .filter(|&p| c.is_noise(p))
+        .map(|p| {
+            let pc = dataset.point(p);
+            let d = clustered
+                .iter()
+                .map(|&q| dist_euclidean(pc, dataset.point(q)))
+                .fold(f64::INFINITY, f64::min);
+            (d, p)
+        })
+        .collect();
+    anomalies.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    println!("top anomalies (isolation = distance to nearest normal reading):");
+    println!("{:<8} {:>10}  features", "reading", "isolation");
+    for &(iso, p) in anomalies.iter().take(8) {
+        let feat: Vec<String> =
+            dataset.point(p).iter().map(|x| format!("{x:6.1}")).collect();
+        println!("#{:<7} {:>10.2}  [{}]", p, iso, feat.join(", "));
+    }
+
+    // Sanity: every anomaly is truly DBSCAN noise (no core neighbour).
+    for &(_, p) in anomalies.iter().take(50) {
+        let pc = dataset.point(p);
+        let near_core = dataset
+            .ids()
+            .any(|q| c.is_core[q as usize] && dist_euclidean(pc, dataset.point(q)) < params.eps);
+        assert!(!near_core, "point {p} misclassified as noise");
+    }
+    println!("\nall sampled anomalies verified to have no core neighbour within ε ✓");
+}

@@ -1,0 +1,90 @@
+//! OPTICS demo: one cluster ordering, many DBSCAN clusterings.
+//!
+//! Computes the OPTICS ordering of a mixed-density dataset, renders the
+//! reachability plot (the classic "valleys are clusters" picture) to an
+//! SVG, and extracts exact DBSCAN clusterings at two different radii
+//! from the same ordering.
+//!
+//! ```text
+//! cargo run --release --example reachability_plot
+//! # -> target/reachability_plot.svg
+//! ```
+
+use geom::{Dataset, DbscanParams};
+use mudbscan_repro::prelude::*;
+use optics::{extract_dbscan, Optics};
+use std::io::Write;
+
+fn mixed_density(seed: u64) -> Dataset {
+    let mut s = seed;
+    let mut r = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let mut rows = Vec::new();
+    // A tight blob, a loose blob, and background noise: only OPTICS shows
+    // both density levels at once.
+    for _ in 0..300 {
+        rows.push(vec![0.0 + 0.3 * r(), 0.0 + 0.3 * r()]);
+    }
+    for _ in 0..300 {
+        rows.push(vec![6.0 + 1.2 * r(), 1.0 + 1.2 * r()]);
+    }
+    for _ in 0..80 {
+        rows.push(vec![10.0 * r() + 3.0, 10.0 * r()]);
+    }
+    Dataset::from_rows(&rows)
+}
+
+fn main() {
+    let data = mixed_density(99);
+    let gen_params = DbscanParams::new(2.0, 5);
+    let out = Optics::new(gen_params).run(&data);
+
+    println!("OPTICS ordering of {} points (generating eps = {})", data.len(), gen_params.eps);
+
+    // Reachability plot -> SVG polyline.
+    let (w, h) = (900.0f64, 300.0f64);
+    let cap = 2.0 * gen_params.eps; // plot ceiling for infinite reach
+    let path = std::path::Path::new("target/reachability_plot.svg");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path).unwrap());
+        writeln!(
+            f,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+        )
+        .unwrap();
+        writeln!(f, r#"<rect width="100%" height="100%" fill="white"/>"#).unwrap();
+        let n = out.order.len() as f64;
+        for (i, &p) in out.order.iter().enumerate() {
+            let reach = out.reachability[p as usize].min(cap);
+            let bar = (reach / cap) * (h - 20.0);
+            let x = 10.0 + (i as f64 / n) * (w - 20.0);
+            let bw = ((w - 20.0) / n).max(0.5);
+            writeln!(
+                f,
+                r##"<rect x="{x:.1}" y="{:.1}" width="{bw:.2}" height="{bar:.1}" fill="#4e79a7"/>"##,
+                h - 10.0 - bar
+            )
+            .unwrap();
+        }
+        writeln!(f, "</svg>").unwrap();
+    }
+    println!("reachability plot written to {}", path.display());
+
+    // One ordering, two exact DBSCAN clusterings.
+    for eps_prime in [0.4, 1.6] {
+        let c = extract_dbscan(&out, &data, eps_prime);
+        let params = DbscanParams::new(eps_prime, gen_params.min_pts);
+        let reference = naive_dbscan(&data, &params);
+        let exact = check_exact(&c, &reference, &data, &params).is_exact();
+        println!(
+            "extract at eps' = {eps_prime}: {} clusters, {} noise — exact vs direct DBSCAN: {}",
+            c.n_clusters,
+            c.noise_count(),
+            if exact { "✓" } else { "✗" }
+        );
+        assert!(exact);
+    }
+    println!("\nthe tight blob appears at BOTH radii; the loose blob only at eps' = 1.6");
+}

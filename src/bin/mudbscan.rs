@@ -1,0 +1,260 @@
+//! `mudbscan` — command-line DBSCAN clustering.
+//!
+//! ```text
+//! mudbscan --input points.csv --eps 0.5 --min-pts 5 [--algorithm mu]
+//!          [--output labels.csv] [--ranks 8] [--threads 4] [--stats]
+//! mudbscan --generate galaxy --n 50000 --dim 3 --output points.csv
+//! ```
+//!
+//! Input formats: CSV (one point per row) or the `MUDB` binary format
+//! (`data::io`), selected by extension (`.bin` = binary). The output is
+//! a CSV with one cluster label per input row (`-1` = noise).
+
+use geom::{Dataset, DbscanParams};
+use mudbscan_repro::prelude::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    input: Option<PathBuf>,
+    output: Option<PathBuf>,
+    eps: f64,
+    min_pts: usize,
+    algorithm: String,
+    ranks: usize,
+    threads: usize,
+    stats: bool,
+    svg: Option<PathBuf>,
+    generate: Option<String>,
+    n: usize,
+    dim: usize,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mudbscan --input <file.csv|file.bin> --eps <f> --min-pts <k>
+         [--algorithm mu|mu-par|mu-dist|r|g|grid|naive]   (default: mu)
+         [--output <labels.csv>] [--ranks <p>] [--threads <t>] [--stats]
+         [--svg <plot.svg>]   (first two dimensions, 2-d+ data only)
+       mudbscan --generate <galaxy|roads|household|kddbio|uniform>
+         --n <points> [--dim <d>] [--seed <s>] --output <file.csv|file.bin>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        input: None,
+        output: None,
+        eps: 0.0,
+        min_pts: 0,
+        algorithm: "mu".into(),
+        ranks: 8,
+        threads: 4,
+        stats: false,
+        svg: None,
+        generate: None,
+        n: 10_000,
+        dim: 3,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--input" => a.input = Some(PathBuf::from(val("--input"))),
+            "--output" => a.output = Some(PathBuf::from(val("--output"))),
+            "--eps" => a.eps = val("--eps").parse().unwrap_or_else(|_| usage()),
+            "--min-pts" => a.min_pts = val("--min-pts").parse().unwrap_or_else(|_| usage()),
+            "--algorithm" => a.algorithm = val("--algorithm"),
+            "--ranks" => a.ranks = val("--ranks").parse().unwrap_or_else(|_| usage()),
+            "--threads" => a.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--stats" => a.stats = true,
+            "--svg" => a.svg = Some(PathBuf::from(val("--svg"))),
+            "--generate" => a.generate = Some(val("--generate")),
+            "--n" => a.n = val("--n").parse().unwrap_or_else(|_| usage()),
+            "--dim" => a.dim = val("--dim").parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    a
+}
+
+fn load(path: &std::path::Path) -> std::io::Result<Dataset> {
+    if path.extension().is_some_and(|e| e == "bin") {
+        data::io::read_bin(path)
+    } else {
+        data::io::read_csv(path)
+    }
+}
+
+fn save(d: &Dataset, path: &std::path::Path) -> std::io::Result<()> {
+    if path.extension().is_some_and(|e| e == "bin") {
+        data::io::write_bin(d, path)
+    } else {
+        data::io::write_csv(d, path)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Generator mode.
+    if let Some(kind) = &args.generate {
+        let d = match kind.as_str() {
+            "galaxy" => data::galaxy(args.n, args.dim, args.seed),
+            "roads" => data::road_network(args.n, args.seed),
+            "household" => data::household(args.n, args.seed),
+            "kddbio" => data::kddbio(args.n, args.dim, args.seed),
+            "uniform" => data::uniform(args.n, args.dim, args.seed),
+            other => {
+                eprintln!("unknown generator: {other}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(out) = &args.output else {
+            eprintln!("--generate requires --output");
+            return ExitCode::from(2);
+        };
+        if let Err(e) = save(&d, out) {
+            eprintln!("write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} points of dimension {} to {}", d.len(), d.dim(), out.display());
+        return ExitCode::SUCCESS;
+    }
+
+    // Clustering mode.
+    let Some(input) = &args.input else { usage() };
+    if args.eps <= 0.0 || args.min_pts == 0 {
+        eprintln!("--eps and --min-pts are required");
+        return ExitCode::from(2);
+    }
+    let dataset = match load(input) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("read failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = dataset.validate_finite() {
+        eprintln!("invalid input: {e}");
+        return ExitCode::FAILURE;
+    }
+    let params = DbscanParams::new(args.eps, args.min_pts);
+    eprintln!(
+        "clustering {} points (dim {}) with {}: eps={}, MinPts={}",
+        dataset.len(),
+        dataset.dim(),
+        args.algorithm,
+        args.eps,
+        args.min_pts
+    );
+
+    let t = std::time::Instant::now();
+    let (clustering, extra): (Clustering, String) = match args.algorithm.as_str() {
+        "mu" => {
+            let out = MuDbscan::new(params).run(&dataset);
+            let x = format!(
+                "micro-clusters: {}, queries saved: {:.1}%",
+                out.mc_count,
+                out.counters.pct_queries_saved()
+            );
+            (out.clustering, x)
+        }
+        "mu-par" => {
+            let out = mudbscan::ParMuDbscan::new(params, args.threads).run(&dataset);
+            (out.clustering, format!("threads: {}", args.threads))
+        }
+        "mu-dist" => {
+            match MuDbscanD::new(params, DistConfig::new(args.ranks)).run(&dataset) {
+                Ok(out) => {
+                    let x = format!(
+                        "ranks: {}, virtual runtime: {:.3}s, comm: {} KiB",
+                        args.ranks,
+                        out.runtime_secs,
+                        out.comm_bytes / 1024
+                    );
+                    (out.clustering, x)
+                }
+                Err(e) => {
+                    eprintln!("distributed run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "r" => (RDbscan::new(params).run(&dataset).clustering, String::new()),
+        "g" => (GDbscan::new(params).run(&dataset).clustering, String::new()),
+        "grid" => match GridDbscan::new(params).run(&dataset) {
+            Ok(out) => (out.clustering, String::new()),
+            Err(e) => {
+                eprintln!("GridDBSCAN failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "naive" => (naive_dbscan(&dataset, &params), String::new()),
+        other => {
+            eprintln!("unknown algorithm: {other}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = t.elapsed().as_secs_f64();
+
+    eprintln!(
+        "{} clusters, {} core, {} noise in {:.3}s {}",
+        clustering.n_clusters,
+        clustering.core_count(),
+        clustering.noise_count(),
+        elapsed,
+        if extra.is_empty() { String::new() } else { format!("({extra})") }
+    );
+
+    if args.stats {
+        let mut sizes = clustering.cluster_sizes();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        eprintln!("largest clusters: {:?}", &sizes[..sizes.len().min(10)]);
+    }
+
+    if let Some(svg_path) = &args.svg {
+        if dataset.dim() >= 2 {
+            match data::plot::write_svg_scatter(&dataset, &clustering.labels, svg_path, 900, 600) {
+                Ok(()) => eprintln!("plot written to {}", svg_path.display()),
+                Err(e) => eprintln!("plot failed: {e}"),
+            }
+        } else {
+            eprintln!("--svg needs at least 2 dimensions");
+        }
+    }
+
+    if let Some(out_path) = &args.output {
+        use std::io::Write;
+        let f = match std::fs::File::create(out_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {}: {e}", out_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut w = std::io::BufWriter::new(f);
+        for &l in &clustering.labels {
+            let v: i64 = if l == NOISE { -1 } else { l as i64 };
+            if writeln!(w, "{v}").is_err() {
+                eprintln!("write failed");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("labels written to {}", out_path.display());
+    }
+    ExitCode::SUCCESS
+}

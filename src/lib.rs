@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # mudbscan-repro — μDBSCAN (CLUSTER 2019) in Rust
+//!
+//! Umbrella crate re-exporting the whole workspace. Most users want:
+//!
+//! * [`mudbscan::MuDbscan`] — the exact sequential algorithm;
+//! * [`dist::MuDbscanD`] — the distributed version on the BSP simulator;
+//! * [`data`] — synthetic dataset generators;
+//! * [`baselines`] — R-DBSCAN / G-DBSCAN / GridDBSCAN comparators.
+//!
+//! ```
+//! use geom::{DbscanParams};
+//! use mudbscan_repro::prelude::*;
+//!
+//! let dataset = data::gaussian_mixture(2_000, 3, 4, 1.5, 0.05, 42);
+//! let out = MuDbscan::new(DbscanParams::new(1.0, 5)).run(&dataset);
+//! println!("{} clusters, {} noise points, {:.1}% queries saved",
+//!          out.clustering.n_clusters,
+//!          out.clustering.noise_count(),
+//!          out.counters.pct_queries_saved());
+//! ```
+
+pub use baselines;
+pub use cluster_sim;
+pub use data;
+pub use dist;
+pub use geom;
+pub use mcs;
+pub use metrics;
+pub use mudbscan;
+pub use optics;
+pub use partition;
+pub use rtree;
+pub use stream;
+pub use unionfind;
+
+/// The items most programs need.
+pub mod prelude {
+    pub use baselines::{GDbscan, GridDbscan, RDbscan};
+    pub use data;
+    pub use dist::{DistConfig, MuDbscanD};
+    pub use geom::{Dataset, DbscanParams};
+    pub use mudbscan::{check_exact, naive_dbscan, Clustering, MuDbscan, NOISE};
+}
