@@ -116,18 +116,24 @@ impl GridDbscan {
         // Hard-capped: enumerating beyond a few million offsets is already
         // hopeless (the per-cell neighbour lists would dwarf any budget),
         // so fail fast instead of burning minutes and gigabytes first.
-        let max_offsets = (self.budget.limit() / (std::mem::size_of::<i32>() * d).max(1))
-            .min(MAX_OFFSETS);
-        let offsets = generate_offsets(d, max_offsets)
-            .map_err(|needed| GridError::Memory(MemoryLimitExceeded {
-                needed: needed.saturating_mul(std::mem::size_of::<i32>() * d).max(self.budget.limit() + 1),
+        let max_offsets =
+            (self.budget.limit() / (std::mem::size_of::<i32>() * d).max(1)).min(MAX_OFFSETS);
+        let offsets = generate_offsets(d, max_offsets).map_err(|needed| {
+            GridError::Memory(MemoryLimitExceeded {
+                needed: needed
+                    .saturating_mul(std::mem::size_of::<i32>() * d)
+                    .max(self.budget.limit() + 1),
                 limit: self.budget.limit(),
-            }))?;
+            })
+        })?;
 
         // Materialise per-cell neighbour-cell lists (the memory hog).
         let mut nbr_cells: Vec<Vec<u32>> = Vec::with_capacity(cells.len());
         let mut bytes = offsets.len() * d * std::mem::size_of::<i32>()
-            + cells.iter().map(|c| 48 + c.points.capacity() * 4 + c.mbr.heap_bytes()).sum::<usize>();
+            + cells
+                .iter()
+                .map(|c| 48 + c.points.capacity() * 4 + c.mbr.heap_bytes())
+                .sum::<usize>();
         for (key, &ci) in &index {
             let mut list = Vec::new();
             for off in &offsets {
@@ -231,7 +237,8 @@ impl GridDbscan {
         }
         phases.add_secs("clustering", sw.lap());
         peak = peak.max(
-            bytes + uf.heap_bytes()
+            bytes
+                + uf.heap_bytes()
                 + pending.iter().map(|(_, v)| 16 + v.capacity() * 4).sum::<usize>(),
         );
 
@@ -395,8 +402,7 @@ mod tests {
         // d = 14 mirrors KDDB145K14D where the paper reports Mem Err.
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 0.1; 14]).collect();
         let data = Dataset::from_rows(&rows);
-        let alg = GridDbscan::new(DbscanParams::new(1.0, 5))
-            .with_budget(MemBudget::new(10 << 20)); // 10 MB
+        let alg = GridDbscan::new(DbscanParams::new(1.0, 5)).with_budget(MemBudget::new(10 << 20)); // 10 MB
         match alg.run(&data) {
             Err(GridError::Memory(e)) => {
                 assert!(e.needed > e.limit);

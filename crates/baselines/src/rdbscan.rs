@@ -40,11 +40,7 @@ impl RDbscan {
         let mut sw = Stopwatch::start();
 
         let tree = if self.bulk_load {
-            RTree::bulk_load_points(
-                data.dim(),
-                self.cfg,
-                data.iter().map(|(i, p)| (i, p.to_vec())),
-            )
+            RTree::bulk_load_points(data.dim(), self.cfg, data.iter().map(|(i, p)| (i, p.to_vec())))
         } else {
             let mut t = RTree::with_config(data.dim(), self.cfg);
             for (i, p) in data.iter() {

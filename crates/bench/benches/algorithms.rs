@@ -35,9 +35,7 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| black_box(alg.run(&dataset).clustering.n_clusters))
     });
     g.bench_function("griddbscan", |b| {
-        b.iter(|| {
-            black_box(GridDbscan::new(params).run(&dataset).unwrap().clustering.n_clusters)
-        })
+        b.iter(|| black_box(GridDbscan::new(params).run(&dataset).unwrap().clustering.n_clusters))
     });
     g.finish();
 }

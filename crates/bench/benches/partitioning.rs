@@ -1,8 +1,8 @@
 //! Ablation: kd-tree partitioning (median splits, μDBSCAN-D) vs
 //! HPDBSCAN-style cell-block partitioning — cost and halo volume.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cluster_sim::{CommModel, ExecMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dist::hpdbscan::cell_partition;
 use partition::kd_partition;
 use std::hint::black_box;

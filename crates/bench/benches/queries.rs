@@ -54,10 +54,7 @@ fn bench_queries(c: &mut Criterion) {
     });
     // Ablation: R*-split flat tree vs the quadratic default.
     let rstar = {
-        let mut t = RTree::with_config(
-            3,
-            RTreeConfig::default().with_split(SplitStrategy::RStar),
-        );
+        let mut t = RTree::with_config(3, RTreeConfig::default().with_split(SplitStrategy::RStar));
         for (i, p) in dataset.iter() {
             t.insert_point(i, p);
         }

@@ -21,11 +21,9 @@ fn bench_unionfind(c: &mut Criterion) {
     let es = edges(n, 400_000);
 
     let mut g = c.benchmark_group("unionfind");
-    for (name, comp) in [
-        ("halving", Compaction::Halving),
-        ("full", Compaction::Full),
-        ("none", Compaction::None),
-    ] {
+    for (name, comp) in
+        [("halving", Compaction::Halving), ("full", Compaction::Full), ("none", Compaction::None)]
+    {
         g.bench_function(BenchmarkId::new("sequential", name), |b| {
             b.iter(|| {
                 let mut uf = UnionFind::with_compaction(n, comp);

@@ -32,16 +32,13 @@ fn main() {
         Variant { name: "default (paper + MC-skip)", alg: base.clone() },
         Variant {
             name: "no 2ε deferral",
-            alg: base.clone().with_options(BuildOptions {
-                two_eps_deferral: false,
-                ..Default::default()
-            }),
+            alg: base
+                .clone()
+                .with_options(BuildOptions { two_eps_deferral: false, ..Default::default() }),
         },
         Variant {
             name: "incremental aux R-trees",
-            alg: base
-                .clone()
-                .with_options(BuildOptions { str_aux: false, ..Default::default() }),
+            alg: base.clone().with_options(BuildOptions { str_aux: false, ..Default::default() }),
         },
         Variant {
             name: "no dynamic promotion",
@@ -62,7 +59,13 @@ fn main() {
     ];
 
     let mut t = Table::new(&[
-        "variant", "time", "vs default", "MCs", "queries run", "% saved", "dists (M)",
+        "variant",
+        "time",
+        "vs default",
+        "MCs",
+        "queries run",
+        "% saved",
+        "dists (M)",
     ]);
     let mut reference = None;
     let mut base_time = 0.0;
@@ -74,11 +77,9 @@ fn main() {
                 reference = Some(out.clustering.clone());
                 base_time = elapsed;
             }
-            Some(r) => assert_eq!(
-                &out.clustering, r,
-                "{}: ablation changed the clustering!",
-                v.name
-            ),
+            Some(r) => {
+                assert_eq!(&out.clustering, r, "{}: ablation changed the clustering!", v.name)
+            }
         }
         t.row(&[
             v.name.to_string(),

@@ -20,7 +20,12 @@ fn main() {
 
     let params = DbscanParams::new(0.8, 5);
     let mut t = Table::new(&[
-        "n", "time (s)", "m (MCs)", "r (avg/MC)", "t / n·(log m + log r) [ns]", "t/n [µs]",
+        "n",
+        "time (s)",
+        "m (MCs)",
+        "r (avg/MC)",
+        "t / n·(log m + log r) [ns]",
+        "t/n [µs]",
     ]);
     let mut normalised = Vec::new();
 

@@ -32,9 +32,8 @@ fn main() {
         let eps = 45.0 * (d as f64 / 14.0).sqrt();
         let dataset = data::kddbio(n, d, SEED);
         eprintln!("[d={d}] eps={eps:.0} ...");
-        let out = MuDbscanD::new(DbscanParams::new(eps, 5), DistConfig::new(32))
-            .run(&dataset)
-            .unwrap();
+        let out =
+            MuDbscanD::new(DbscanParams::new(eps, 5), DistConfig::new(32)).run(&dataset).unwrap();
         let r = out.runtime_secs;
         if first.is_none() {
             first = Some(r);

@@ -30,8 +30,18 @@ fn main() {
     );
 
     let mut ours = Table::new(&[
-        "dataset", "n", "d", "eps", "MinPts", "R-DBSCAN", "G-DBSCAN", "GridDBSCAN", "μDBSCAN",
-        "MCs (m)", "% saved", "μ vs R",
+        "dataset",
+        "n",
+        "d",
+        "eps",
+        "MinPts",
+        "R-DBSCAN",
+        "G-DBSCAN",
+        "GridDBSCAN",
+        "μDBSCAN",
+        "MCs (m)",
+        "% saved",
+        "μ vs R",
     ]);
 
     for spec in data::paper_table2_specs() {
@@ -80,7 +90,13 @@ fn main() {
 
     println!("\npaper values (32 GB node, original datasets):");
     let mut paper = Table::new(&[
-        "dataset", "R-DBSCAN", "G-DBSCAN", "GridDBSCAN", "μDBSCAN", "MCs (m)", "% saved",
+        "dataset",
+        "R-DBSCAN",
+        "G-DBSCAN",
+        "GridDBSCAN",
+        "μDBSCAN",
+        "MCs (m)",
+        "% saved",
     ]);
     for &(name, r, g, grid, mu, m, sv) in PAPER {
         paper.row_str(&[name, r, g, grid, mu, m, sv]);

@@ -27,11 +27,17 @@ fn main() {
     // Two profiles: the paper-faithful per-member post-processing scan
     // (Algorithm 7 as written) and this implementation's MC-granularity
     // skip (see MuDbscan::disable_post_core_mc_skip).
-    for (label, faithful) in
-        [("paper-faithful Algorithm 7 (per-member scan)", true), ("optimised (MC-granularity skip)", false)]
-    {
+    for (label, faithful) in [
+        ("paper-faithful Algorithm 7 (per-member scan)", true),
+        ("optimised (MC-granularity skip)", false),
+    ] {
         let mut ours = Table::new(&[
-            "dataset", "tree constr.", "reachable", "clustering", "post-proc.", "total",
+            "dataset",
+            "tree constr.",
+            "reachable",
+            "clustering",
+            "post-proc.",
+            "total",
         ]);
         for spec in data::paper_table2_specs() {
             if !wanted.contains(&spec.name) {

@@ -78,7 +78,14 @@ fn main() {
     );
 
     let mut ours = Table::new(&[
-        "dataset", "n", "d", "PDSDBSCAN-D", "GridDBSCAN-D", "HPDBSCAN", "RP-DBSCAN", "μDBSCAN-D",
+        "dataset",
+        "n",
+        "d",
+        "PDSDBSCAN-D",
+        "GridDBSCAN-D",
+        "HPDBSCAN",
+        "RP-DBSCAN",
+        "μDBSCAN-D",
         "μ wins?",
     ]);
 
@@ -154,7 +161,12 @@ fn main() {
 
     println!("\npaper values (32 real nodes, seconds; '-' = could not run):");
     let mut paper = Table::new(&[
-        "dataset", "PDSDBSCAN-D", "GridDBSCAN-D", "HPDBSCAN", "RP-DBSCAN", "μDBSCAN-D",
+        "dataset",
+        "PDSDBSCAN-D",
+        "GridDBSCAN-D",
+        "HPDBSCAN",
+        "RP-DBSCAN",
+        "μDBSCAN-D",
     ]);
     for &(name, a, b, c, d_, e) in PAPER {
         paper.row_str(&[name, a, b, c, d_, e]);

@@ -30,7 +30,12 @@ fn main() {
     ];
 
     let mut ours = Table::new(&[
-        "dataset", "tree constr.", "reachable", "clustering", "post-proc.", "merging",
+        "dataset",
+        "tree constr.",
+        "reachable",
+        "clustering",
+        "post-proc.",
+        "merging",
     ]);
 
     for (name, dataset, params) in &workloads {
@@ -55,7 +60,12 @@ fn main() {
 
     println!("\npaper values:");
     let mut paper = Table::new(&[
-        "dataset", "tree constr.", "reachable", "clustering", "post-proc.", "merging",
+        "dataset",
+        "tree constr.",
+        "reachable",
+        "clustering",
+        "post-proc.",
+        "merging",
     ]);
     for &(name, a, b, c, d, e) in PAPER {
         paper.row_str(&[name, a, b, c, d, e]);

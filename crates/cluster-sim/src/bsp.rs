@@ -236,13 +236,7 @@ impl<S: Send> Bsp<S> {
         for inbox in &mut inboxes {
             inbox.sort_by_key(|(src, _)| *src);
         }
-        let h = bytes_out
-            .iter()
-            .zip(&bytes_in)
-            .map(|(o, i)| o.max(i))
-            .max()
-            .copied()
-            .unwrap_or(0);
+        let h = bytes_out.iter().zip(&bytes_in).map(|(o, i)| o.max(i)).max().copied().unwrap_or(0);
         let comm_secs = if total > 0 {
             self.comm.latency_s + h as f64 / self.comm.bandwidth_bytes_per_s
         } else {
@@ -405,10 +399,7 @@ mod tests {
     fn comm_model_charges_latency() {
         let comm = CommModel { latency_s: 1.0, bandwidth_bytes_per_s: 1e9 };
         let mut bsp = Bsp::new(vec![(); 2]).with_comm(comm);
-        bsp.exchange(
-            |_r, _s| vec![Envelope::new(0, 1u32)],
-            |_r, _s, _in| {},
-        );
+        bsp.exchange(|_r, _s| vec![Envelope::new(0, 1u32)], |_r, _s, _in| {});
         assert!(bsp.makespan() >= 1.0, "latency must be charged");
     }
 

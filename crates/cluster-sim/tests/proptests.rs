@@ -6,10 +6,7 @@ use proptest::prelude::*;
 
 /// A communication plan: for each sender, a list of (dest, payload).
 fn plan(p: usize) -> impl Strategy<Value = Vec<Vec<(usize, u64)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0..p, any::<u64>()), 0..12),
-        p..=p,
-    )
+    prop::collection::vec(prop::collection::vec((0..p, any::<u64>()), 0..12), p..=p)
 }
 
 fn run_plan(plan: &[Vec<(usize, u64)>], mode: ExecMode) -> Vec<Vec<(usize, u64)>> {
@@ -17,9 +14,7 @@ fn run_plan(plan: &[Vec<(usize, u64)>], mode: ExecMode) -> Vec<Vec<(usize, u64)>
     let mut bsp = Bsp::new(vec![Vec::<(usize, u64)>::new(); p]).with_mode(mode);
     let plan_ref = plan.to_vec();
     bsp.exchange(
-        move |r, _s| {
-            plan_ref[r].iter().map(|&(to, v)| Envelope::new(to, v)).collect()
-        },
+        move |r, _s| plan_ref[r].iter().map(|&(to, v)| Envelope::new(to, v)).collect(),
         |_r, s: &mut Vec<(usize, u64)>, inbox: Vec<(usize, u64)>| {
             *s = inbox;
         },

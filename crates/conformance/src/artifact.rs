@@ -1,0 +1,347 @@
+//! Replayable failure artifacts.
+//!
+//! When a differential test finds a (minimized) counterexample it is
+//! written to `results/failures/<test>-<seed>.json` at the workspace root.
+//! The artifact is self-contained — the exact rows, the parameters, and
+//! the names of the disagreeing implementations — so `tests/replay.rs`
+//! can re-run it against the current code without re-generating anything.
+//!
+//! The workspace has no serde (offline build), so this module carries its
+//! own writer and a minimal JSON reader sufficient for the artifact
+//! schema. Floats are written with Rust's `{:?}` formatting, which
+//! round-trips `f64` exactly.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A minimized, replayable counterexample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureArtifact {
+    /// Name of the test that found it.
+    pub test: String,
+    /// Generator seed of the failing case (for provenance; the rows are
+    /// stored verbatim, replay does not re-generate).
+    pub seed: u64,
+    /// Dataset family name ([`crate::Family::as_str`]).
+    pub family: String,
+    /// Dimensionality of the rows.
+    pub dim: usize,
+    /// ε of the failing run.
+    pub eps: f64,
+    /// MinPts of the failing run.
+    pub min_pts: usize,
+    /// Registry names of the implementations that disagreed with the
+    /// oracle.
+    pub disagreeing: Vec<String>,
+    /// The minimized dataset.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl FailureArtifact {
+    /// Serialize to the artifact JSON schema.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"test\": {},", quote(&self.test));
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"family\": {},", quote(&self.family));
+        let _ = writeln!(s, "  \"dim\": {},", self.dim);
+        let _ = writeln!(s, "  \"eps\": {:?},", self.eps);
+        let _ = writeln!(s, "  \"min_pts\": {},", self.min_pts);
+        let names: Vec<String> = self.disagreeing.iter().map(|n| quote(n)).collect();
+        let _ = writeln!(s, "  \"disagreeing\": [{}],", names.join(", "));
+        s.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:?}")).collect();
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(s, "    [{}]{}", cells.join(", "), sep);
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse an artifact back from its JSON form.
+    pub fn from_json(text: &str) -> Result<FailureArtifact, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object()?;
+        let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let field = |key: &str| get(key).ok_or_else(|| format!("missing field `{key}`"));
+        let rows = field("rows")?
+            .as_array()?
+            .iter()
+            .map(|row| row.as_array()?.iter().map(Json::as_f64).collect())
+            .collect::<Result<Vec<Vec<f64>>, String>>()?;
+        Ok(FailureArtifact {
+            test: field("test")?.as_string()?,
+            seed: field("seed")?.as_f64()? as u64,
+            family: field("family")?.as_string()?,
+            dim: field("dim")?.as_f64()? as usize,
+            eps: field("eps")?.as_f64()?,
+            min_pts: field("min_pts")?.as_f64()? as usize,
+            disagreeing: field("disagreeing")?
+                .as_array()?
+                .iter()
+                .map(Json::as_string)
+                .collect::<Result<Vec<String>, String>>()?,
+            rows,
+        })
+    }
+
+    /// File name this artifact is stored under.
+    pub fn file_name(&self) -> String {
+        let safe: String = self
+            .test
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '-' })
+            .collect();
+        format!("{safe}-{}.json", self.seed)
+    }
+
+    /// Write the artifact into `dir` (created if needed); returns the path.
+    pub fn dump_into(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Write the artifact to the workspace-default `results/failures/`.
+    pub fn dump(&self) -> std::io::Result<PathBuf> {
+        self.dump_into(&default_dir())
+    }
+}
+
+/// `results/failures/` at the workspace root, resolved relative to this
+/// crate's manifest so it is independent of the test runner's CWD.
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/failures")
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The tiny JSON subset the artifact schema needs: objects, arrays,
+/// strings, and numbers.
+enum Json {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self) -> Result<&Vec<(String, Json)>, String> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            _ => Err("expected object".into()),
+        }
+    }
+
+    fn as_array(&self) -> Result<&Vec<Json>, String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err("expected array".into()),
+        }
+    }
+
+    fn as_string(&self) -> Result<String, String> {
+        match self {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err("expected string".into()),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            _ => Err("expected number".into()),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => return Err(format!("expected `,` or `}}`, got `{}`", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(format!("expected `,` or `]`, got `{}`", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FailureArtifact {
+        FailureArtifact {
+            test: "differential::blobs".into(),
+            seed: 123456789,
+            family: "blobs".into(),
+            dim: 3,
+            eps: 0.30000000000000004, // deliberately un-pretty: must round-trip
+            min_pts: 4,
+            disagreeing: vec!["mu-par/t4".into(), "mu-dist/r2".into()],
+            rows: vec![vec![0.1, -2.5, 1e-12], vec![7.25, 0.0, -0.0]],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let a = sample();
+        let parsed = FailureArtifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn file_name_is_sanitized() {
+        assert_eq!(sample().file_name(), "differential--blobs-123456789.json");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(FailureArtifact::from_json("{").is_err());
+        assert!(FailureArtifact::from_json("{}").is_err()); // missing fields
+        assert!(FailureArtifact::from_json("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn dump_writes_a_parseable_file() {
+        let dir = std::env::temp_dir().join("conformance-artifact-test");
+        let a = sample();
+        let path = a.dump_into(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(FailureArtifact::from_json(&text).unwrap(), a);
+        let _ = std::fs::remove_file(path);
+    }
+}

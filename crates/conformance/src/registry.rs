@@ -1,0 +1,233 @@
+//! The registry of every exact DBSCAN implementation in the workspace.
+//!
+//! Each entry wraps one concrete configuration behind the [`ExactDbscan`]
+//! trait so the differential harness can run them uniformly. The goal is
+//! coverage of *configurations*, not just algorithms: the sequential
+//! μDBSCAN appears once per ablation-knob combination, the parallel
+//! variant once per thread count, and the distributed simulator once per
+//! rank count, because each of those choices takes different code paths
+//! (wndq promotion, border claiming, halo merge) that have historically
+//! been where exactness bugs hide.
+
+use baselines::{GDbscan, GridDbscan, RDbscan};
+use dist::{DistConfig, MuDbscanD};
+use geom::{Dataset, DbscanParams};
+use mcs::BuildOptions;
+use metrics::mem::MemBudget;
+use mudbscan::{Clustering, MuDbscan, ParMuDbscan};
+
+/// An exact DBSCAN implementation under one fixed configuration.
+///
+/// `run` returns `Err` only when the implementation declines the input by
+/// design (e.g. GridDBSCAN's memory budget at high dimension); the harness
+/// records such cases as skips, never as disagreements.
+pub trait ExactDbscan: Sync {
+    /// Stable identifier used in failure artifacts and reports.
+    fn name(&self) -> &'static str;
+    /// Cluster `data` under `params`.
+    fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String>;
+}
+
+/// Sequential μDBSCAN under one ablation-knob / build-option combination.
+struct SeqMu {
+    name: &'static str,
+    disable_dynamic_promotion: bool,
+    disable_post_core_mc_skip: bool,
+    two_eps_deferral: bool,
+    str_aux: bool,
+}
+
+impl ExactDbscan for SeqMu {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
+        let mut algo = MuDbscan::new(*params).with_options(BuildOptions {
+            two_eps_deferral: self.two_eps_deferral,
+            str_aux: self.str_aux,
+            ..BuildOptions::default()
+        });
+        algo.disable_dynamic_promotion = self.disable_dynamic_promotion;
+        algo.disable_post_core_mc_skip = self.disable_post_core_mc_skip;
+        Ok(algo.run(data).clustering)
+    }
+}
+
+/// `ParMuDbscan` at a fixed worker-thread count.
+struct ParMu {
+    name: &'static str,
+    threads: usize,
+}
+
+impl ExactDbscan for ParMu {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
+        Ok(ParMuDbscan::new(*params, self.threads).run(data).clustering)
+    }
+}
+
+/// μDBSCAN-D at a fixed simulated rank count.
+struct DistMu {
+    name: &'static str,
+    ranks: usize,
+}
+
+impl ExactDbscan for DistMu {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
+        MuDbscanD::new(*params, DistConfig::new(self.ranks))
+            .run(data)
+            .map(|out| out.clustering)
+            .map_err(|e| e.to_string())
+    }
+}
+
+struct RBaseline;
+
+impl ExactDbscan for RBaseline {
+    fn name(&self) -> &'static str {
+        "rdbscan"
+    }
+
+    fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
+        Ok(RDbscan::new(*params).run(data).clustering)
+    }
+}
+
+struct GBaseline;
+
+impl ExactDbscan for GBaseline {
+    fn name(&self) -> &'static str {
+        "gdbscan"
+    }
+
+    fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
+        Ok(GDbscan::new(*params).run(data).clustering)
+    }
+}
+
+struct GridBaseline;
+
+impl ExactDbscan for GridBaseline {
+    fn name(&self) -> &'static str {
+        "grid-dbscan"
+    }
+
+    fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
+        // The grid baseline's neighbour-cell lists grow ~(2⌈√d⌉+1)^d; under
+        // its default 4 GB budget a d=8 case still enumerates hundreds of
+        // thousands of offsets before finishing, which would dominate the
+        // whole suite. A 256 KB structure budget keeps it a full
+        // participant through d≈5 and turns higher dimensions into the
+        // paper's "Mem Err" outcome, which the harness records as a skip.
+        GridDbscan::new(*params)
+            .with_budget(MemBudget::new(256 << 10))
+            .run(data)
+            .map(|out| out.clustering)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Every registered implementation/configuration.
+pub fn registry() -> Vec<Box<dyn ExactDbscan>> {
+    vec![
+        // Sequential μDBSCAN: the 2×2 algorithm-knob grid with default
+        // build options...
+        Box::new(SeqMu {
+            name: "mu-seq",
+            disable_dynamic_promotion: false,
+            disable_post_core_mc_skip: false,
+            two_eps_deferral: true,
+            str_aux: true,
+        }),
+        Box::new(SeqMu {
+            name: "mu-seq/no-promotion",
+            disable_dynamic_promotion: true,
+            disable_post_core_mc_skip: false,
+            two_eps_deferral: true,
+            str_aux: true,
+        }),
+        Box::new(SeqMu {
+            name: "mu-seq/no-mc-skip",
+            disable_dynamic_promotion: false,
+            disable_post_core_mc_skip: true,
+            two_eps_deferral: true,
+            str_aux: true,
+        }),
+        Box::new(SeqMu {
+            name: "mu-seq/no-promotion/no-mc-skip",
+            disable_dynamic_promotion: true,
+            disable_post_core_mc_skip: true,
+            two_eps_deferral: true,
+            str_aux: true,
+        }),
+        // ...plus the two build-stage ablations, which change the MC
+        // decomposition itself and therefore every downstream step.
+        Box::new(SeqMu {
+            name: "mu-seq/no-2eps-deferral",
+            disable_dynamic_promotion: false,
+            disable_post_core_mc_skip: false,
+            two_eps_deferral: false,
+            str_aux: true,
+        }),
+        Box::new(SeqMu {
+            name: "mu-seq/inserted-aux",
+            disable_dynamic_promotion: false,
+            disable_post_core_mc_skip: false,
+            two_eps_deferral: true,
+            str_aux: false,
+        }),
+        // Parallel μDBSCAN across thread counts (1 pins the degenerate
+        // single-worker path; 8 usually oversubscribes CI and stresses the
+        // border-claim/promotion interleavings).
+        Box::new(ParMu { name: "mu-par/t1", threads: 1 }),
+        Box::new(ParMu { name: "mu-par/t2", threads: 2 }),
+        Box::new(ParMu { name: "mu-par/t4", threads: 4 }),
+        Box::new(ParMu { name: "mu-par/t8", threads: 8 }),
+        // Sequential baselines.
+        Box::new(RBaseline),
+        Box::new(GBaseline),
+        Box::new(GridBaseline),
+        // μDBSCAN-D across simulated rank counts (1 pins the trivial
+        // partition; 2 and 4 exercise halo exchange and the merge replay).
+        Box::new(DistMu { name: "mu-dist/r1", ranks: 1 }),
+        Box::new(DistMu { name: "mu-dist/r2", ranks: 2 }),
+        Box::new(DistMu { name: "mu-dist/r4", ranks: 4 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let regs = registry();
+        let mut names: Vec<_> = regs.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), regs.len(), "duplicate registry names");
+    }
+
+    #[test]
+    fn every_entry_runs_on_a_tiny_dataset() {
+        let data =
+            Dataset::from_rows(&[vec![0.0, 0.0], vec![0.2, 0.0], vec![0.0, 0.2], vec![8.0, 8.0]]);
+        let params = DbscanParams::new(0.5, 3);
+        let reference = mudbscan::naive_dbscan(&data, &params);
+        for imp in registry() {
+            let clustering = imp
+                .run(&data, &params)
+                .unwrap_or_else(|e| panic!("{} declined a 2-d toy input: {e}", imp.name()));
+            let report = mudbscan::check_exact(&clustering, &reference, &data, &params);
+            assert!(report.is_exact(), "{} inexact on toy input: {report:?}", imp.name());
+        }
+    }
+}

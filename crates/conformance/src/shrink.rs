@@ -1,0 +1,86 @@
+//! Domain-specific counterexample shrinking.
+//!
+//! The vendored proptest shim deliberately has no structural shrinking;
+//! for clustering counterexamples, row-set minimization against the exact
+//! oracle is both simpler and far more effective: almost every interesting
+//! disagreement reduces to a handful of points. [`minimize`] is a greedy
+//! delta-debugging pass — it tries removing progressively smaller blocks
+//! of rows, keeping any removal after which the caller-supplied predicate
+//! (typically "some implementation still disagrees with `naive_dbscan`")
+//! continues to hold.
+
+/// Minimize `rows` while `still_fails` holds.
+///
+/// `still_fails` must be true for the input `rows` (the caller found a
+/// counterexample); it is re-evaluated — i.e. the candidate is re-clustered
+/// and re-checked against the oracle — for every tentative removal, so the
+/// result is always itself a genuine counterexample.
+pub fn minimize<F>(mut rows: Vec<Vec<f64>>, still_fails: F) -> Vec<Vec<f64>>
+where
+    F: Fn(&[Vec<f64>]) -> bool,
+{
+    debug_assert!(still_fails(&rows), "minimize() called on a passing dataset");
+    let mut block = (rows.len() / 2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < rows.len() {
+            if rows.len() <= 1 {
+                break;
+            }
+            let end = (i + block).min(rows.len());
+            let mut candidate = Vec::with_capacity(rows.len() - (end - i));
+            candidate.extend_from_slice(&rows[..i]);
+            candidate.extend_from_slice(&rows[end..]);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                rows = candidate;
+                removed_any = true;
+                // Retry the same index: the block that slid into place may
+                // also be removable.
+            } else {
+                i += block;
+            }
+        }
+        if block == 1 && !removed_any {
+            return rows;
+        }
+        if !removed_any {
+            block = (block / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f64) -> Vec<f64> {
+        vec![v]
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // Predicate: dataset still contains the magic row 42.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| row(i as f64)).collect();
+        let min = minimize(rows, |rs| rs.iter().any(|r| r[0] == 42.0));
+        assert_eq!(min, vec![row(42.0)]);
+    }
+
+    #[test]
+    fn shrinks_a_scattered_pair() {
+        // Two required rows far apart in the input ordering.
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| row(i as f64)).collect();
+        let min =
+            minimize(rows, |rs| rs.iter().any(|r| r[0] == 3.0) && rs.iter().any(|r| r[0] == 60.0));
+        let mut vals: Vec<f64> = min.iter().map(|r| r[0]).collect();
+        vals.sort_by(f64::total_cmp);
+        assert_eq!(vals, vec![3.0, 60.0]);
+    }
+
+    #[test]
+    fn keeps_everything_when_all_rows_matter() {
+        let rows: Vec<Vec<f64>> = (0..7).map(|i| row(i as f64)).collect();
+        let min = minimize(rows.clone(), |rs| rs.len() == 7);
+        assert_eq!(min, rows);
+    }
+}

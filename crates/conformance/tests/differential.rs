@@ -1,0 +1,101 @@
+//! Proptest-driven differential runs: every registered implementation vs
+//! the O(n²) `naive_dbscan` oracle, over randomized datasets from all five
+//! families, 1–8 dimensions, and randomized (ε, MinPts).
+//!
+//! On disagreement the harness minimizes the dataset (re-checking against
+//! the oracle at every shrink step) and dumps a replay artifact to
+//! `results/failures/` — the failure message carries the path. Case counts
+//! are capped in CI via `PROPTEST_CASES`; a failing run prints the
+//! `PROPTEST_SEED` that reproduces it.
+
+use conformance::{differential, DatasetSpec, Family, FAMILIES};
+use geom::DbscanParams;
+use proptest::prelude::*;
+
+/// One differential case; ε is drawn as a multiple of 0.15 so the sweep
+/// crosses the interesting density regimes of every family.
+fn check(
+    test: &str,
+    family: Family,
+    n: usize,
+    dim: usize,
+    seed: u64,
+    eps: f64,
+    min_pts: usize,
+) -> Result<(), TestCaseError> {
+    let spec = DatasetSpec { family, n, dim, seed };
+    let params = DbscanParams::new(eps, min_pts);
+    let result = differential(test, &spec, &params);
+    prop_assert!(result.is_ok(), "{}", result.unwrap_err());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blobs_conform(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                     eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check("blobs_conform", Family::Blobs, n, dim, seed, eps_steps as f64 * 0.15, min_pts)?;
+    }
+
+    #[test]
+    fn uniform_conform(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                       eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check("uniform_conform", Family::Uniform, n, dim, seed, eps_steps as f64 * 0.15, min_pts)?;
+    }
+
+    #[test]
+    fn chains_conform(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                      eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check("chains_conform", Family::Chains, n, dim, seed, eps_steps as f64 * 0.15, min_pts)?;
+    }
+
+    #[test]
+    fn duplicates_conform(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                          eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check("duplicates_conform", Family::Duplicates, n, dim, seed, eps_steps as f64 * 0.15, min_pts)?;
+    }
+
+    #[test]
+    fn mixed_conform(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                     eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check("mixed_conform", Family::Mixed, n, dim, seed, eps_steps as f64 * 0.15, min_pts)?;
+    }
+}
+
+/// A deterministic (ε, MinPts) grid sweep over one fixed dataset per
+/// family: parameter regimes are covered even when `PROPTEST_CASES` is
+/// tiny in CI.
+#[test]
+fn parameter_sweep_all_families() {
+    for family in FAMILIES {
+        for dim in [2usize, 3] {
+            let spec = DatasetSpec { family, n: 40, dim, seed: 0xC0FFEE + dim as u64 };
+            for eps in [0.1, 0.3, 0.7, 1.5] {
+                for min_pts in [1usize, 2, 4, 8] {
+                    let params = DbscanParams::new(eps, min_pts);
+                    if let Err(msg) = differential("parameter_sweep", &spec, &params) {
+                        panic!("{:?} dim={dim} eps={eps} min_pts={min_pts}: {msg}", family);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Degenerate shapes that randomized generation rarely hits.
+#[test]
+fn degenerate_datasets_conform() {
+    let cases: Vec<(&str, Vec<Vec<f64>>, f64, usize)> = vec![
+        ("single-point", vec![vec![1.0, 2.0]], 0.5, 1),
+        ("all-identical", vec![vec![3.0]; 9], 0.5, 4),
+        // Points pairwise exactly ε apart: strict `< ε` means no neighbours.
+        ("exactly-eps-lattice", (0..6).map(|i| vec![i as f64]).collect(), 1.0, 2),
+        ("two-far-points", vec![vec![0.0, 0.0], vec![100.0, 100.0]], 1.0, 1),
+    ];
+    for (name, rows, eps, min_pts) in cases {
+        let outcome = conformance::run_case(&rows, &DbscanParams::new(eps, min_pts));
+        assert!(outcome.disagreements.is_empty(), "{name}: {:?}", outcome.disagreements);
+    }
+}

@@ -1,0 +1,64 @@
+//! Replay previously dumped failure artifacts as regression tests.
+//!
+//! Every counterexample the differential suite ever wrote to
+//! `results/failures/` is re-run here against the current registry; once a
+//! bug is fixed its artifact keeps guarding against reintroduction. An
+//! empty (or absent) directory passes trivially.
+
+use conformance::harness::replay;
+use conformance::{artifact, FailureArtifact};
+
+#[test]
+fn all_dumped_artifacts_stay_fixed() {
+    let dir = artifact::default_dir();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(_) => return, // no failures ever dumped
+    };
+    let mut replayed = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("unreadable artifact {}: {e}", path.display()));
+        let artifact = FailureArtifact::from_json(&text)
+            .unwrap_or_else(|e| panic!("corrupt artifact {}: {e}", path.display()));
+        let outcome = replay(&artifact);
+        assert!(
+            outcome.disagreements.is_empty(),
+            "artifact {} (originally failing: [{}]) still disagrees with the oracle: {:?}",
+            path.display(),
+            artifact.disagreeing.join(", "),
+            outcome.disagreements,
+        );
+        replayed += 1;
+    }
+    // Informational only; `cargo test` swallows stdout unless it fails.
+    println!("replayed {replayed} artifact(s) from {}", dir.display());
+}
+
+/// Hand-pinned seeds that once exercised interesting paths (promotion,
+/// duplicate-heavy MC centers, distributed halo chains). Fixed forever so
+/// a behaviour change here cannot hide behind the randomized suite.
+#[test]
+fn pinned_seed_regressions() {
+    use conformance::{differential, DatasetSpec, Family};
+    use geom::DbscanParams;
+
+    let pins: &[(Family, usize, usize, u64, f64, usize)] = &[
+        (Family::Blobs, 48, 2, 0xDEAD_BEEF, 0.45, 4),
+        (Family::Chains, 56, 3, 0x5EED_0001, 0.30, 3),
+        (Family::Duplicates, 40, 1, 0x5EED_0002, 0.15, 5),
+        (Family::Uniform, 32, 8, 0x5EED_0003, 1.20, 2),
+        (Family::Mixed, 50, 4, 0x5EED_0004, 0.60, 4),
+    ];
+    for &(family, n, dim, seed, eps, min_pts) in pins {
+        let spec = DatasetSpec { family, n, dim, seed };
+        let params = DbscanParams::new(eps, min_pts);
+        if let Err(msg) = differential("pinned_seed_regressions", &spec, &params) {
+            panic!("pinned case {family:?}/{seed:#x}: {msg}");
+        }
+    }
+}

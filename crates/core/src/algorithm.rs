@@ -117,11 +117,7 @@ impl WorkingState {
             + self.wndq.capacity() / 8
             + self.assigned.capacity() / 8
             + self.wndq_list.capacity() * 4
-            + self
-                .noise_list
-                .iter()
-                .map(|(_, v)| 16 + v.capacity() * 4)
-                .sum::<usize>()
+            + self.noise_list.iter().map(|(_, v)| 16 + v.capacity() * 4).sum::<usize>()
     }
 }
 
@@ -286,16 +282,12 @@ pub fn process_rem_points(
         // each other).
         if !disable_promotion {
             let pc = data.point(p);
-            let inner_count = nbhrs
-                .iter()
-                .filter(|&&q| dist_sq(pc, data.point(q)) < half_sq)
-                .count();
+            let inner_count =
+                nbhrs.iter().filter(|&&q| dist_sq(pc, data.point(q)) < half_sq).count();
             counters.count_dists(nbhrs.len() as u64);
             if inner_count >= params.min_pts {
                 for &q in &nbhrs {
-                    if !state.is_core[q as usize]
-                        && dist_sq(pc, data.point(q)) < half_sq
-                    {
+                    if !state.is_core[q as usize] && dist_sq(pc, data.point(q)) < half_sq {
                         state.is_core[q as usize] = true;
                         state.wndq[q as usize] = true;
                         state.wndq_list.push(q);
@@ -534,6 +526,62 @@ mod tests {
         // Identical clustering to the optimised path.
         let opt = MuDbscan::new(params).run(&data);
         assert_eq!(out.clustering, opt.clustering);
+    }
+
+    /// Pin the POST-PROCESSING-NOISE ordering (Algorithm 8): a noise
+    /// candidate whose stored neighbourhood gains a core point only via
+    /// Step 3's *dynamic promotion* — after the candidate was examined —
+    /// must be rescued into that cluster.
+    ///
+    /// Construction (ε = 1, MinPts = 5), ids in scan order:
+    ///   0  p = (1.4, 0)   the noise candidate; N(p) = {p, q}, examined first
+    ///   1  x = (0, 0)     step-3 core whose ε/2-ball holds 5 points → promotes
+    ///   2..4 a, b, c      (±0.3, 0), (0, 0.3): x's inner circle
+    ///   5  q = (0.45, 0)  in p's MC; promoted by x's query, never queried itself
+    ///
+    /// MC structure keeps everything Sparse (MC{p,q} has 2 members,
+    /// MC{x,a,b,c} has 4 < MinPts), so no step-1b wndq shortcut exists: at
+    /// p's turn nothing is core yet and p lands on the noise list. x's
+    /// query then promotes q (inner circle {x,a,b,c,q} reaches MinPts), and
+    /// q's own turn is skipped as a saved query — q is core *only* through
+    /// the promotion. Algorithm 8 must attach p to q's cluster.
+    #[test]
+    fn noise_rescued_after_dynamic_promotion() {
+        let rows = vec![
+            vec![1.4, 0.0],  // 0: p
+            vec![0.0, 0.0],  // 1: x
+            vec![0.3, 0.0],  // 2: a
+            vec![-0.3, 0.0], // 3: b
+            vec![0.0, 0.3],  // 4: c
+            vec![0.45, 0.0], // 5: q
+        ];
+        let data = Dataset::from_rows(&rows);
+        let params = DbscanParams::new(1.0, 5);
+        let out = MuDbscan::new(params).run(&data);
+
+        // The scenario actually exercised the promotion path: only p and x
+        // ran neighbourhood queries; a, b, c, q were all saved by wndq tags.
+        assert_eq!(out.counters.range_queries(), 2, "expected only p and x to query");
+        assert_eq!(out.counters.queries_saved(), 4, "a, b, c, q must skip their queries");
+
+        // p was rescued: border of the single cluster, not noise.
+        assert_eq!(out.clustering.n_clusters, 1);
+        assert_eq!(out.clustering.noise_count(), 0);
+        assert!(out.clustering.is_border(0), "p must be a border point");
+        assert!(!out.clustering.is_core[0]);
+        assert_eq!(out.clustering.labels[0], out.clustering.labels[5], "p joins q's cluster");
+        for i in 1..6 {
+            assert!(out.clustering.is_core[i], "point {i} must be core");
+        }
+
+        // And the full oracle agrees (also under the no-promotion ablation,
+        // where q instead becomes core through its own later query).
+        let reference = naive_dbscan(&data, &params);
+        assert!(check_exact(&out.clustering, &reference, &data, &params).is_exact());
+        let mut no_promo = MuDbscan::new(params);
+        no_promo.disable_dynamic_promotion = true;
+        let out2 = no_promo.run(&data);
+        assert!(check_exact(&out2.clustering, &reference, &data, &params).is_exact());
     }
 
     #[test]

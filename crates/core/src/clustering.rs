@@ -165,7 +165,8 @@ pub fn check_exact(
         }
     }
 
-    let same_noise_set = (0..n).all(|p| candidate.is_noise(p as u32) == reference.is_noise(p as u32));
+    let same_noise_set =
+        (0..n).all(|p| candidate.is_noise(p as u32) == reference.is_noise(p as u32));
 
     let borders_valid = (0..n as u32).all(|p| {
         if !candidate.is_border(p) {
@@ -245,7 +246,11 @@ mod tests {
     #[test]
     fn exactness_rejects_core_mismatch() {
         let (data, params) = line_data();
-        let a = Clustering { labels: vec![0, 0, 0, NOISE], is_core: vec![true, true, true, false], n_clusters: 1 };
+        let a = Clustering {
+            labels: vec![0, 0, 0, NOISE],
+            is_core: vec![true, true, true, false],
+            n_clusters: 1,
+        };
         let mut b = a.clone();
         b.is_core[2] = false;
         let rep = check_exact(&a, &b, &data, &params);
@@ -256,8 +261,16 @@ mod tests {
     #[test]
     fn exactness_rejects_split_cluster() {
         let (data, params) = line_data();
-        let a = Clustering { labels: vec![0, 0, 1, NOISE], is_core: vec![true, true, true, false], n_clusters: 2 };
-        let b = Clustering { labels: vec![0, 0, 0, NOISE], is_core: vec![true, true, true, false], n_clusters: 1 };
+        let a = Clustering {
+            labels: vec![0, 0, 1, NOISE],
+            is_core: vec![true, true, true, false],
+            n_clusters: 2,
+        };
+        let b = Clustering {
+            labels: vec![0, 0, 0, NOISE],
+            is_core: vec![true, true, true, false],
+            n_clusters: 1,
+        };
         let rep = check_exact(&a, &b, &data, &params);
         assert!(!rep.same_core_partition);
     }
@@ -287,8 +300,16 @@ mod tests {
     #[test]
     fn exactness_rejects_noise_mismatch() {
         let (data, params) = line_data();
-        let a = Clustering { labels: vec![0, 0, 0, NOISE], is_core: vec![true, true, true, false], n_clusters: 1 };
-        let b = Clustering { labels: vec![0, 0, 0, 0], is_core: vec![true, true, true, false], n_clusters: 1 };
+        let a = Clustering {
+            labels: vec![0, 0, 0, NOISE],
+            is_core: vec![true, true, true, false],
+            n_clusters: 1,
+        };
+        let b = Clustering {
+            labels: vec![0, 0, 0, 0],
+            is_core: vec![true, true, true, false],
+            n_clusters: 1,
+        };
         let rep = check_exact(&a, &b, &data, &params);
         assert!(!rep.same_noise_set);
     }

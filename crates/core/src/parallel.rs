@@ -72,10 +72,29 @@ impl Flags {
     }
 
     /// CAS-promote a point to core; true when this caller won.
+    ///
+    /// SeqCst is load-bearing, not caution: exactness needs every core–core
+    /// pair within ε to be unioned by at least one side. When threads A and
+    /// B concurrently discover cores r and p with both points already
+    /// `assigned` (step-1b MC membership makes the later `claim` fail and
+    /// with it the fallback union), the only remaining union is the
+    /// `core[x]` check in the scan loop — and "A promotes r then reads
+    /// core[p], B promotes p then reads core[r]" is exactly the
+    /// store-buffering litmus test, where acquire/release (and x86-TSO
+    /// hardware) permit BOTH to read `false`, splitting one cluster in two.
+    /// A single total order over the promotes and core-loads (SeqCst here
+    /// and in [`Flags::is_core`]) forbids that outcome: whichever promote
+    /// comes second in the total order, that thread's subsequent load sees
+    /// the other's promote.
     fn promote(&self, p: PointId) -> bool {
         self.core[p as usize]
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
+    }
+
+    /// SeqCst core-flag read — pairs with [`Flags::promote`]; see there.
+    fn is_core(&self, p: PointId) -> bool {
+        self.core[p as usize].load(Ordering::SeqCst)
     }
 }
 
@@ -118,11 +137,8 @@ impl ParMuDbscan {
                 let mut out = Vec::with_capacity(range.len());
                 for i in range {
                     let mut list = Vec::new();
-                    let cost = level1.search_sphere(
-                        data.point(mcs_ref[i].center),
-                        r,
-                        |mc| list.push(mc),
-                    );
+                    let cost =
+                        level1.search_sphere(data.point(mcs_ref[i].center), r, |mc| list.push(mc));
                     counters.count_dists(cost.mbr_tests);
                     out.push(list);
                 }
@@ -216,7 +232,7 @@ impl ParMuDbscan {
                         if !flags.assigned[pi].load(Ordering::Acquire) {
                             let mut attached = false;
                             for &x in &nbhrs {
-                                if flags.core[x as usize].load(Ordering::Acquire) {
+                                if flags.is_core(x) {
                                     if flags.claim(p) {
                                         uf.union(x, p);
                                         counters.count_union();
@@ -235,20 +251,23 @@ impl ParMuDbscan {
                     flags.promote(p);
                     flags.assigned[pi].store(true, Ordering::Release);
                     for &x in &nbhrs {
-                        if flags.core[x as usize].load(Ordering::Acquire) {
+                        if flags.is_core(x) {
                             uf.union(x, p);
                             counters.count_union();
                         } else if flags.claim(x) {
                             uf.union(p, x);
                             counters.count_union();
+                        } else if flags.is_core(x) {
+                            // x was promoted between the first check and the
+                            // failed claim: the core-core union is mandatory.
+                            uf.union(x, p);
+                            counters.count_union();
                         }
                     }
 
                     let pc = data.point(p);
-                    let inner = nbhrs
-                        .iter()
-                        .filter(|&&q| dist_sq(pc, data.point(q)) < half_sq)
-                        .count();
+                    let inner =
+                        nbhrs.iter().filter(|&&q| dist_sq(pc, data.point(q)) < half_sq).count();
                     counters.count_dists(nbhrs.len() as u64);
                     if inner >= params.min_pts {
                         for &q in &nbhrs {
@@ -296,10 +315,7 @@ impl ParMuDbscan {
                             let aux = mc.aux.as_ref().expect("aux built");
                             let mut hit = None;
                             let cost = aux.search_sphere(pc, params.eps, |q| {
-                                if hit.is_none()
-                                    && q != p
-                                    && flags.core[q as usize].load(Ordering::Acquire)
-                                {
+                                if hit.is_none() && q != p && flags.is_core(q) {
                                     hit = Some(q);
                                 }
                             });
@@ -311,7 +327,7 @@ impl ParMuDbscan {
                             continue;
                         }
                         for &q in &mc.members {
-                            if q == p || !flags.core[q as usize].load(Ordering::Acquire) {
+                            if q == p || !flags.is_core(q) {
                                 continue;
                             }
                             if uf.same(p, q) {
@@ -336,13 +352,11 @@ impl ParMuDbscan {
             parallel_for_chunks(self.threads, noise_list.len(), move |range| {
                 for i in range {
                     let (p, ref nbhrs) = noise_list[i];
-                    if flags.core[p as usize].load(Ordering::Acquire)
-                        || flags.assigned[p as usize].load(Ordering::Acquire)
-                    {
+                    if flags.is_core(p) || flags.assigned[p as usize].load(Ordering::Acquire) {
                         continue;
                     }
                     for &q in nbhrs {
-                        if flags.core[q as usize].load(Ordering::Acquire) {
+                        if flags.is_core(q) {
                             if flags.claim(p) {
                                 uf.union(q, p);
                                 counters.count_union();
@@ -370,11 +384,7 @@ impl ParMuDbscan {
 }
 
 /// Run `f` over disjoint index chunks on `threads` scoped threads.
-fn parallel_for_chunks(
-    threads: usize,
-    len: usize,
-    f: impl Fn(std::ops::Range<usize>) + Sync,
-) {
+fn parallel_for_chunks(threads: usize, len: usize, f: impl Fn(std::ops::Range<usize>) + Sync) {
     if len == 0 {
         return;
     }
@@ -490,6 +500,53 @@ mod tests {
             assert_eq!(out.clustering.n_clusters, first.clustering.n_clusters);
             assert_eq!(out.clustering.is_core, first.clustering.is_core);
             assert_eq!(out.clustering.noise_count(), first.clustering.noise_count());
+        }
+    }
+
+    /// Regression test for the store-buffering race fixed in
+    /// [`Flags::promote`] / [`Flags::is_core`] (see the comment there).
+    ///
+    /// The dataset is engineered to maximise the racy window: many pairs of
+    /// points that (a) are members of *different* core MCs — so step 1b
+    /// marks them `assigned` and the `claim` fallback union is dead — and
+    /// (b) are within ε of each other and only proven core by their own
+    /// step-3 query. Two threads scanning such a pair concurrently must
+    /// still produce the core–core union on at least one side; with the
+    /// old acquire/release promote both sides could miss it and split a
+    /// cluster. The race window is sub-microsecond, so we run many
+    /// repetitions at a high thread count and check full exactness (the
+    /// oracle catches a split cluster as a core-partition mismatch).
+    #[test]
+    fn stress_border_claim_vs_promotion_race() {
+        // Pairs of MCs ~1.3 apart (eps = 1.5): centers of adjacent MCs are
+        // separated by more than eps (so they form distinct MCs) while rim
+        // members of one MC sit within eps of rim members of the next.
+        let mut rows = Vec::new();
+        for g in 0..40 {
+            let x = g as f64 * 10.0;
+            for (cx, cy) in [(x, 0.0), (x + 1.6, 0.0)] {
+                // MinPts members per MC, spread on a rim so inner_count
+                // stays below MinPts (no wndq shortcut: every point is
+                // proven core by its own step-3 query).
+                for k in 0..5 {
+                    let a = k as f64 * std::f64::consts::TAU / 5.0;
+                    rows.push(vec![cx + 0.7 * a.cos(), cy + 0.7 * a.sin()]);
+                }
+            }
+        }
+        let data = Dataset::from_rows(&rows);
+        let params = DbscanParams::new(1.5, 4);
+        let reference = naive_dbscan(&data, &params);
+        let threads = std::thread::available_parallelism().map_or(8, |p| p.get().max(8));
+        for rep in 0..50 {
+            let out = ParMuDbscan::new(params, threads).run(&data);
+            let rep_report = check_exact(&out.clustering, &reference, &data, &params);
+            assert!(
+                rep_report.is_exact(),
+                "rep {rep} threads={threads}: {rep_report:?} (got {} clusters, want {})",
+                out.clustering.n_clusters,
+                reference.n_clusters
+            );
         }
     }
 

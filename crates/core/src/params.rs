@@ -112,11 +112,7 @@ mod tests {
         let c = MuDbscan::new(params).run(&data).clustering;
         // The heuristic must find the three planted blobs (possibly
         // fragmenting slightly, but not collapsing everything).
-        assert!(
-            (2..=6).contains(&c.n_clusters),
-            "eps={eps:.3} found {} clusters",
-            c.n_clusters
-        );
+        assert!((2..=6).contains(&c.n_clusters), "eps={eps:.3} found {} clusters", c.n_clusters);
         assert_eq!(c, naive_dbscan(&data, &params));
     }
 

@@ -21,8 +21,7 @@ fn contingency(a: &Clustering, b: &Clustering) -> (Vec<Vec<u64>>, Vec<u64>, Vec<
         table[map(la, ka)][map(lb, kb)] += 1;
     }
     let row: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
-    let col: Vec<u64> =
-        (0..kb).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    let col: Vec<u64> = (0..kb).map(|j| table.iter().map(|r| r[j]).sum()).collect();
     (table, row, col)
 }
 

@@ -71,7 +71,7 @@ mod tests {
         let data = Dataset::from_rows(&[
             vec![0.0, 0.0],
             vec![0.3, 0.0],
-            vec![0.0, 0.3],   // blob A
+            vec![0.0, 0.3], // blob A
             vec![10.0, 10.0],
             vec![10.3, 10.0],
             vec![10.0, 10.3], // blob B

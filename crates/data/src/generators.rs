@@ -70,9 +70,8 @@ pub fn gaussian_mixture(
     assert!(k >= 1 && (0.0..=1.0).contains(&noise_frac));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut normal = Normal::new();
-    let centers: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..dim).map(|_| rng.gen_range(10.0..90.0)).collect())
-        .collect();
+    let centers: Vec<Vec<f64>> =
+        (0..k).map(|_| (0..dim).map(|_| rng.gen_range(10.0..90.0)).collect()).collect();
     let mut b = DatasetBuilder::with_capacity(dim, n);
     let mut row = vec![0.0; dim];
     for _ in 0..n {
@@ -151,9 +150,8 @@ pub fn road_network(n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut normal = Normal::new();
     let n_nodes = (n / 200).clamp(6, 400);
-    let nodes: Vec<[f64; 2]> = (0..n_nodes)
-        .map(|_| [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
-        .collect();
+    let nodes: Vec<[f64; 2]> =
+        (0..n_nodes).map(|_| [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]).collect();
     // Connect each node to its 2 nearest neighbours — a crude road graph.
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for (i, a) in nodes.iter().enumerate() {
@@ -195,8 +193,7 @@ pub fn household(n: usize, seed: u64) -> Dataset {
     let modes: Vec<(Vec<f64>, Vec<f64>)> = (0..k)
         .map(|_| {
             let center: Vec<f64> = (0..dim).map(|_| rng.gen_range(20.0..80.0)).collect();
-            let mix: Vec<f64> =
-                (0..dim * dim).map(|_| rng.gen_range(-1.0..1.0) * 1.2).collect();
+            let mix: Vec<f64> = (0..dim * dim).map(|_| rng.gen_range(-1.0..1.0) * 1.2).collect();
             (center, mix)
         })
         .collect();
@@ -213,9 +210,7 @@ pub fn household(n: usize, seed: u64) -> Dataset {
             for zi in z.iter_mut() {
                 *zi = normal.sample(&mut rng);
             }
-            for (r, (ci, mrow)) in
-                row.iter_mut().zip(center.iter().zip(mix.chunks_exact(dim)))
-            {
+            for (r, (ci, mrow)) in row.iter_mut().zip(center.iter().zip(mix.chunks_exact(dim))) {
                 *r = ci + mrow.iter().zip(&z).map(|(m, zi)| m * zi).sum::<f64>();
             }
         }
@@ -232,9 +227,8 @@ pub fn kddbio(n: usize, dim: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut normal = Normal::new();
     let k = 6;
-    let centers: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..dim).map(|_| rng.gen_range(25.0..75.0)).collect())
-        .collect();
+    let centers: Vec<Vec<f64>> =
+        (0..k).map(|_| (0..dim).map(|_| rng.gen_range(25.0..75.0)).collect()).collect();
     let mut b = DatasetBuilder::with_capacity(dim, n);
     let mut row = vec![0.0; dim];
     for _ in 0..n {

@@ -124,7 +124,13 @@ pub fn cell_partition(data: &Dataset, p: usize, eps: f64) -> (Vec<Shard>, u64) {
                 .bounding_box()
                 .map(|(lo, hi)| Mbr::new(lo, hi))
                 .unwrap_or_else(|| global_box.clone());
-            Shard { ids: ids.clone(), data: local, halo_ids: Vec::new(), halo: Dataset::empty(dim), region }
+            Shard {
+                ids: ids.clone(),
+                data: local,
+                halo_ids: Vec::new(),
+                halo: Dataset::empty(dim),
+                region,
+            }
         })
         .collect();
 
@@ -206,9 +212,8 @@ mod tests {
                         continue;
                     }
                     let q = other.data.point(j as u32);
-                    let needed = (0..s.len()).any(|i| {
-                        geom::dist_euclidean(s.data.point(i as u32), q) < eps
-                    });
+                    let needed =
+                        (0..s.len()).any(|i| geom::dist_euclidean(s.data.point(i as u32), q) < eps);
                     if needed {
                         assert!(halo.contains(&qid));
                     }

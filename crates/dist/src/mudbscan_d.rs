@@ -265,8 +265,7 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![0.05 * i as f64; 14]).collect();
         let data = Dataset::from_rows(&rows);
         let params = DbscanParams::new(1.0, 4);
-        let alg = GridDbscanD::new(params, DistConfig::new(2))
-            .with_budget(MemBudget::new(5 << 20));
+        let alg = GridDbscanD::new(params, DistConfig::new(2)).with_budget(MemBudget::new(5 << 20));
         match alg.run(&data) {
             Err(DistError::Local(_, msg)) => assert!(msg.contains("memory"), "{msg}"),
             Ok(_) => panic!("expected per-rank memory error"),
@@ -303,9 +302,8 @@ mod tests {
         let data = blob_data(50);
         let params = DbscanParams::new(0.7, 5);
         let reference = naive_dbscan(&data, &params);
-        let out = MuDbscanD::new(params, DistConfig::new(4).with_local_threads(3))
-            .run(&data)
-            .unwrap();
+        let out =
+            MuDbscanD::new(params, DistConfig::new(4).with_local_threads(3)).run(&data).unwrap();
         let rep = check_exact(&out.clustering, &reference, &data, &params);
         assert!(rep.is_exact(), "{rep:?}");
         // Same clustering as single-threaded local stages.

@@ -131,8 +131,7 @@ impl RpDbscan {
             s.dict
                 .iter()
                 .flat_map(|c| {
-                    let mut v: Vec<f64> =
-                        c.key.iter().map(|&k| k as f64).collect();
+                    let mut v: Vec<f64> = c.key.iter().map(|&k| k as f64).collect();
                     v.push(c.count as f64);
                     v.extend_from_slice(&c.centroid);
                     v
@@ -191,8 +190,7 @@ impl RpDbscan {
                 s.cell_of = vec![usize::MAX; s.ids.len()];
                 for (i, coords) in s.data.iter() {
                     // Locate own cell.
-                    let key: Vec<i32> =
-                        coords.iter().map(|&x| (x / side).floor() as i32).collect();
+                    let key: Vec<i32> = coords.iter().map(|&x| (x / side).floor() as i32).collect();
                     let ci = dict.binary_search_by(|c| c.key.cmp(&key)).expect("own cell");
                     s.cell_of[i as usize] = ci;
                     // Candidate cells: centroid within eps + diag.
@@ -202,8 +200,7 @@ impl RpDbscan {
                         let b = cell_box(c);
                         // Fully-inside cells count wholly; partial cells
                         // count when their centroid is within rho*eps.
-                        let far = dist_sq(coords, b.lo())
-                            .max(dist_sq(coords, b.hi()));
+                        let far = dist_sq(coords, b.lo()).max(dist_sq(coords, b.hi()));
                         if far < eps_sq || dist_sq(coords, &c.centroid) < rho_eps_sq {
                             approx += c.count as u64;
                         }
@@ -292,8 +289,7 @@ impl RpDbscan {
             }
         }
 
-        let clustering =
-            Clustering { labels, is_core: is_core_global, n_clusters: next as usize };
+        let clustering = Clustering { labels, is_core: is_core_global, n_clusters: next as usize };
         RpOutput {
             clustering,
             phases: bsp.phase_times().clone(),

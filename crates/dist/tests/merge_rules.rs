@@ -72,7 +72,7 @@ fn cross_rank_noise_rescue() {
     }
     // A lone point within eps of the blob edge only.
     rows.push(vec![0.4 + 0.8, 0.0]); // index 5
-    // Far-away filler so partitioning has something to split.
+                                     // Far-away filler so partitioning has something to split.
     for i in 0..6 {
         rows.push(vec![50.0 + i as f64, 50.0]);
     }

@@ -84,10 +84,7 @@ impl Dataset {
 
     /// Iterate over `(id, coords)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
-        self.coords
-            .chunks_exact(self.dim)
-            .enumerate()
-            .map(|(i, c)| (i as PointId, c))
+        self.coords.chunks_exact(self.dim).enumerate().map(|(i, c)| (i as PointId, c))
     }
 
     /// Iterate over all point ids.

@@ -89,6 +89,54 @@ mod tests {
         assert!(!within_sq(&a, &b, d2 - 1e-12));
     }
 
+    /// Pin the paper's open-ball convention — `DIST(p, q) < ε`, never `<=` —
+    /// for point pairs *exactly* ε apart, across dimensionalities and for
+    /// every comparison surface a query path goes through: `within`,
+    /// `within_sq` against ε², and `Mbr` pruning (`min_dist_sq` /
+    /// `intersects_sphere` on a degenerate point-MBR).
+    ///
+    /// All constructions use distances that are exactly representable in
+    /// binary floating point (axis-aligned offsets and 3-4-5 / all-ones
+    /// diagonals), so `dist_sq == eps_sq` holds with equality, not merely to
+    /// within rounding.
+    #[test]
+    fn open_ball_convention_exactly_eps_apart() {
+        use crate::mbr::Mbr;
+
+        // (a, b, eps) with DIST(a, b) == eps exactly.
+        let cases: Vec<(Vec<f64>, Vec<f64>, f64)> = vec![
+            // 1-d, axis offset.
+            (vec![0.0], vec![2.0], 2.0),
+            // 2-d, 3-4-5 triangle.
+            (vec![0.0, 0.0], vec![3.0, 4.0], 5.0),
+            // 4-d all-ones diagonal: dist_sq = 4, eps = 2.
+            (vec![0.0; 4], vec![1.0; 4], 2.0),
+            // 5-d: exercises chunk + remainder with an exact sum.
+            (vec![0.0; 5], vec![2.0, 0.0, 0.0, 0.0, 0.0], 2.0),
+            // 8-d: ones on four axes → dist_sq = 4, eps = 2; exercises a
+            // full chunk plus an all-zero remainder.
+            (vec![0.0; 8], vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0], 2.0),
+        ];
+        for (a, b, eps) in &cases {
+            let eps_sq = eps * eps;
+            assert_eq!(dist_sq(a, b), eps_sq, "construction broken: distance not exactly eps");
+
+            // Point-to-point: exactly ε apart is OUTSIDE the neighbourhood.
+            assert!(!within(a, b, *eps), "within must be strict at eps={eps}");
+            assert!(!within_sq(a, b, eps_sq), "within_sq must be strict");
+            // Identical points are always inside (distance 0 < ε).
+            assert!(within(a, a, *eps));
+
+            // Index pruning must agree with the point predicate: a point-MBR
+            // exactly ε from the query centre may be pruned — and at any
+            // radius beyond ε it must not be.
+            let leaf = Mbr::point(b);
+            assert!(leaf.min_dist_sq(a) >= eps_sq, "pruning disagrees with within_sq");
+            assert!(!leaf.intersects_sphere(a, *eps), "sphere test must be strict");
+            assert!(leaf.intersects_sphere(a, eps * (1.0 + 1e-9)));
+        }
+    }
+
     #[test]
     fn within_sq_early_exit_correct() {
         // First chunk alone exceeds the bound: must still answer correctly.

@@ -176,10 +176,7 @@ impl Mbr {
     /// partition box).
     pub fn expanded(&self, r: f64) -> Mbr {
         assert!(r >= 0.0);
-        Mbr::new(
-            self.lo.iter().map(|x| x - r).collect(),
-            self.hi.iter().map(|x| x + r).collect(),
-        )
+        Mbr::new(self.lo.iter().map(|x| x - r).collect(), self.hi.iter().map(|x| x + r).collect())
     }
 
     /// Estimated heap footprint in bytes (two boxed slices).

@@ -59,10 +59,10 @@ pub fn build_micro_clusters(
     let mut unassigned: Vec<PointId> = Vec::new();
 
     let create_mc = |p: PointId,
-                         coords: &[f64],
-                         level1: &mut RTree,
-                         mcs: &mut Vec<MicroCluster>,
-                         assignment: &mut Vec<McId>| {
+                     coords: &[f64],
+                     level1: &mut RTree,
+                     mcs: &mut Vec<MicroCluster>,
+                     assignment: &mut Vec<McId>| {
         let id = mcs.len() as McId;
         mcs.push(MicroCluster::new(p, coords));
         level1.insert_point(id, coords);

@@ -91,7 +91,11 @@ impl MicroCluster {
 
     /// Member points strictly within ε/2 of the center (the inner circle),
     /// center included.
-    pub fn inner_circle<'a>(&'a self, data: &'a Dataset, eps: f64) -> impl Iterator<Item = PointId> + 'a {
+    pub fn inner_circle<'a>(
+        &'a self,
+        data: &'a Dataset,
+        eps: f64,
+    ) -> impl Iterator<Item = PointId> + 'a {
         let half_sq = (eps / 2.0) * (eps / 2.0);
         let c = data.point(self.center);
         self.members.iter().copied().filter(move |&m| dist_sq(data.point(m), c) < half_sq)

@@ -114,8 +114,7 @@ impl Counters {
     pub fn absorb(&self, other: &Counters) {
         self.range_queries.set(self.range_queries.get() + other.range_queries.get());
         self.queries_saved.set(self.queries_saved.get() + other.queries_saved.get());
-        self.dist_computations
-            .set(self.dist_computations.get() + other.dist_computations.get());
+        self.dist_computations.set(self.dist_computations.get() + other.dist_computations.get());
         self.node_visits.set(self.node_visits.get() + other.node_visits.get());
         self.union_ops.set(self.union_ops.get() + other.union_ops.get());
     }

@@ -76,11 +76,7 @@ impl PhaseTimer {
 
     /// Seconds recorded for `name` (0 when absent).
     pub fn secs(&self, name: &str) -> f64 {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| d.as_secs_f64())
-            .unwrap_or(0.0)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| d.as_secs_f64()).unwrap_or(0.0)
     }
 
     /// Total seconds across all phases.

@@ -202,15 +202,12 @@ pub fn extract_dbscan(out: &OpticsOutput, data: &Dataset, eps_prime: f64) -> Clu
     }
     // Border rescue: a noise-labelled point with a core point strictly
     // within eps' is actually a border point of that core's cluster.
-    let noise_points: Vec<u32> =
-        (0..n as u32).filter(|&p| labels[p as usize] == NOISE).collect();
+    let noise_points: Vec<u32> = (0..n as u32).filter(|&p| labels[p as usize] == NOISE).collect();
     if !noise_points.is_empty() {
         let core_tree = rtree::RTree::bulk_load_points(
             data.dim(),
             rtree::RTreeConfig::default(),
-            (0..n as u32)
-                .filter(|&p| is_core[p as usize])
-                .map(|p| (p, data.point(p).to_vec())),
+            (0..n as u32).filter(|&p| is_core[p as usize]).map(|p| (p, data.point(p).to_vec())),
         );
         for p in noise_points {
             if let Some(q) = core_tree.first_in_sphere(data.point(p), eps_prime) {
@@ -309,11 +306,8 @@ mod tests {
         // The outlier is unreachable (INFINITY) — it is farther than ε.
         assert!(out.reachability[30].is_infinite());
         // Blob members (apart from the start) have small reachability.
-        let small = out
-            .order
-            .iter()
-            .filter(|&&p| p != 30 && out.reachability[p as usize] < 0.5)
-            .count();
+        let small =
+            out.order.iter().filter(|&&p| p != 30 && out.reachability[p as usize] < 0.5).count();
         assert!(small >= 28, "blob reachability too large: {small}");
     }
 

@@ -119,9 +119,7 @@ pub fn kd_partition(
             let mut best = (f64::NEG_INFINITY, 0usize);
             for k in 0..dim {
                 let lo = (glo..ghi).map(|r| extents[r][k]).fold(f64::INFINITY, f64::min);
-                let hi = (glo..ghi)
-                    .map(|r| extents[r][dim + k])
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let hi = (glo..ghi).map(|r| extents[r][dim + k]).fold(f64::NEG_INFINITY, f64::max);
                 let spread = hi - lo;
                 if spread > best.0 {
                     best = (spread, k);

@@ -73,7 +73,6 @@ impl RTree {
             .collect();
         RTree::bulk_load(dim, cfg, entries)
     }
-
 }
 
 /// Recursively order entries by STR tiling so that consecutive runs of
@@ -83,10 +82,7 @@ fn str_order(entries: &mut [Entry], axis: usize, dim: usize, leaf_cap: usize) {
         return;
     }
     entries.sort_by(|a, b| {
-        a.mbr
-            .center(axis)
-            .partial_cmp(&b.mbr.center(axis))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        a.mbr.center(axis).partial_cmp(&b.mbr.center(axis)).unwrap_or(std::cmp::Ordering::Equal)
     });
     if axis + 1 == dim {
         return;

@@ -33,10 +33,7 @@ impl PartialOrd for Candidate {
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need the smallest first.
-        other
-            .dist_sq
-            .partial_cmp(&self.dist_sq)
-            .unwrap_or(Ordering::Equal)
+        other.dist_sq.partial_cmp(&self.dist_sq).unwrap_or(Ordering::Equal)
     }
 }
 

@@ -64,12 +64,7 @@ impl RTree {
     /// Visit every item whose MBR intersects the *open* ball of radius `r`
     /// around `center`. For point entries this is exactly
     /// `DIST(center, point) < r`.
-    pub fn search_sphere(
-        &self,
-        center: &[f64],
-        r: f64,
-        mut visit: impl FnMut(u32),
-    ) -> QueryCost {
+    pub fn search_sphere(&self, center: &[f64], r: f64, mut visit: impl FnMut(u32)) -> QueryCost {
         debug_assert_eq!(center.len(), self.dim());
         let r_sq = r * r;
         let mut cost = QueryCost::default();

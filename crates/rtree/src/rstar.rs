@@ -42,9 +42,7 @@ pub(crate) fn rstar_partition(boxes: &[&Mbr], min_entries: usize) -> (Vec<usize>
                 ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
             });
             let margin_sum: f64 = distributions(&order, m)
-                .map(|(left, right)| {
-                    mbr_of(boxes, left).margin() + mbr_of(boxes, right).margin()
-                })
+                .map(|(left, right)| mbr_of(boxes, left).margin() + mbr_of(boxes, right).margin())
                 .sum();
             if margin_sum < best_axis_margin {
                 best_axis_margin = margin_sum;
@@ -135,7 +133,8 @@ mod tests {
 
     #[test]
     fn respects_min_entries_and_covers_all() {
-        let pts: Vec<[f64; 2]> = (0..11).map(|i| [(i * 7 % 11) as f64, (i * 3 % 5) as f64]).collect();
+        let pts: Vec<[f64; 2]> =
+            (0..11).map(|i| [(i * 7 % 11) as f64, (i * 3 % 5) as f64]).collect();
         let boxes = point_boxes(&pts);
         let refs: Vec<&Mbr> = boxes.iter().collect();
         let (ga, gb) = rstar_partition(&refs, 4);

@@ -230,8 +230,7 @@ impl RTree {
             unreachable!()
         };
         let taken = std::mem::take(children);
-        let boxes: Vec<Mbr> =
-            taken.iter().map(|&c| self.nodes[c as usize].mbr().clone()).collect();
+        let boxes: Vec<Mbr> = taken.iter().map(|&c| self.nodes[c as usize].mbr().clone()).collect();
         let refs: Vec<&Mbr> = boxes.iter().collect();
         let (_, gb) = self.partition_boxes(&refs);
         let mut assign = vec![false; taken.len()];
@@ -352,10 +351,7 @@ fn mbr_of_entries(entries: &[Entry]) -> Mbr {
 /// groups. Each group has at least `min_entries` members (assuming
 /// `boxes.len() > 2 * min_entries`, which holds when splitting an overfull
 /// node).
-pub(crate) fn quadratic_partition(
-    boxes: &[&Mbr],
-    min_entries: usize,
-) -> (Vec<usize>, Vec<usize>) {
+pub(crate) fn quadratic_partition(boxes: &[&Mbr], min_entries: usize) -> (Vec<usize>, Vec<usize>) {
     let n = boxes.len();
     debug_assert!(n >= 2);
     // PickSeeds: the pair wasting the most volume (margin as tie-breaker so
@@ -365,10 +361,7 @@ pub(crate) fn quadratic_partition(
     for i in 0..n {
         for j in i + 1..n {
             let merged = boxes[i].merged(boxes[j]);
-            let key = (
-                merged.volume() - boxes[i].volume() - boxes[j].volume(),
-                merged.margin(),
-            );
+            let key = (merged.volume() - boxes[i].volume() - boxes[j].volume(), merged.margin());
             if key > worst {
                 worst = key;
                 sa = i;
@@ -397,10 +390,8 @@ pub(crate) fn quadratic_partition(
         let mut best_k = 0;
         let mut best_diff = f64::NEG_INFINITY;
         for (k, &i) in rest.iter().enumerate() {
-            let da = mbr_a.enlargement(boxes[i]) + mbr_a.merged(boxes[i]).margin()
-                - mbr_a.margin();
-            let db = mbr_b.enlargement(boxes[i]) + mbr_b.merged(boxes[i]).margin()
-                - mbr_b.margin();
+            let da = mbr_a.enlargement(boxes[i]) + mbr_a.merged(boxes[i]).margin() - mbr_a.margin();
+            let db = mbr_b.enlargement(boxes[i]) + mbr_b.merged(boxes[i]).margin() - mbr_b.margin();
             let diff = (da - db).abs();
             if diff > best_diff {
                 best_diff = diff;

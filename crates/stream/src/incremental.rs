@@ -246,8 +246,7 @@ mod tests {
             if i % 7 != 6 {
                 continue;
             }
-            let prefix_rows: Vec<Vec<f64>> =
-                (0..=i).map(|j| data.point(j).to_vec()).collect();
+            let prefix_rows: Vec<Vec<f64>> = (0..=i).map(|j| data.point(j).to_vec()).collect();
             let prefix = Dataset::from_rows(&prefix_rows);
             let got = s.snapshot();
             let want = naive_dbscan(&prefix, &params);

@@ -33,7 +33,7 @@ fn exact_under_distribution_drift() {
     for (i, coords) in feed.iter() {
         s.insert(coords);
         let n = i as usize + 1;
-        if n % 400 == 0 {
+        if n.is_multiple_of(400) {
             let prefix_rows: Vec<Vec<f64>> =
                 (0..n).map(|j| feed.point(j as u32).to_vec()).collect();
             let prefix = Dataset::from_rows(&prefix_rows);

@@ -19,8 +19,11 @@ fn main() {
     let c = &out.clustering;
 
     println!("operating regimes (clusters): {}", c.n_clusters);
-    println!("anomalous readings (noise)  : {} ({:.2}%)",
-             c.noise_count(), 100.0 * c.noise_count() as f64 / dataset.len() as f64);
+    println!(
+        "anomalous readings (noise)  : {} ({:.2}%)",
+        c.noise_count(),
+        100.0 * c.noise_count() as f64 / dataset.len() as f64
+    );
     println!("queries saved               : {:.1}%\n", out.counters.pct_queries_saved());
 
     // Rank anomalies by isolation: distance to the nearest clustered
@@ -43,8 +46,7 @@ fn main() {
     println!("top anomalies (isolation = distance to nearest normal reading):");
     println!("{:<8} {:>10}  features", "reading", "isolation");
     for &(iso, p) in anomalies.iter().take(8) {
-        let feat: Vec<String> =
-            dataset.point(p).iter().map(|x| format!("{x:6.1}")).collect();
+        let feat: Vec<String> = dataset.point(p).iter().map(|x| format!("{x:6.1}")).collect();
         println!("#{:<7} {:>10.2}  [{}]", p, iso, feat.join(", "));
     }
 

@@ -21,7 +21,11 @@ fn main() {
     );
     println!(
         "{:>6} {:>12.3} {:>9.2} {:>10} {:>12}",
-        1, base.runtime_secs, 1.0, base.clustering.n_clusters, base.comm_bytes / 1024
+        1,
+        base.runtime_secs,
+        1.0,
+        base.clustering.n_clusters,
+        base.comm_bytes / 1024
     );
 
     for p in [2, 4, 8, 16, 32] {

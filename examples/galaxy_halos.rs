@@ -13,11 +13,7 @@ fn main() {
     let params = DbscanParams::new(0.8, 5);
     let ranks = 8;
 
-    println!(
-        "galaxy halo finding — n={}, dim=3, {} simulated ranks\n",
-        dataset.len(),
-        ranks
-    );
+    println!("galaxy halo finding — n={}, dim=3, {} simulated ranks\n", dataset.len(), ranks);
 
     let out = MuDbscanD::new(params, DistConfig::new(ranks)).run(&dataset).unwrap();
 

@@ -35,6 +35,9 @@ fn main() {
     // The headline guarantee: the clustering equals classical DBSCAN.
     let reference = naive_dbscan(&dataset, &params);
     let report = check_exact(&out.clustering, &reference, &dataset, &params);
-    println!("\nexactness vs naive DBSCAN: {}", if report.is_exact() { "EXACT ✓" } else { "MISMATCH ✗" });
+    println!(
+        "\nexactness vs naive DBSCAN: {}",
+        if report.is_exact() { "EXACT ✓" } else { "MISMATCH ✗" }
+    );
     assert!(report.is_exact());
 }

@@ -26,15 +26,25 @@ fn main() {
     let rd = RDbscan::new(params).run(&dataset);
     let rd_secs = t.elapsed().as_secs_f64();
 
-    println!("{:<12} {:>9} {:>10} {:>8} {:>14}", "algorithm", "time", "clusters", "noise", "queries saved");
+    println!(
+        "{:<12} {:>9} {:>10} {:>8} {:>14}",
+        "algorithm", "time", "clusters", "noise", "queries saved"
+    );
     println!(
         "{:<12} {:>8.2}s {:>10} {:>8} {:>13.1}%",
-        "μDBSCAN", mu_secs, mu.clustering.n_clusters, mu.clustering.noise_count(),
+        "μDBSCAN",
+        mu_secs,
+        mu.clustering.n_clusters,
+        mu.clustering.noise_count(),
         mu.counters.pct_queries_saved()
     );
     println!(
         "{:<12} {:>8.2}s {:>10} {:>8} {:>13.1}%",
-        "R-DBSCAN", rd_secs, rd.clustering.n_clusters, rd.clustering.noise_count(), 0.0
+        "R-DBSCAN",
+        rd_secs,
+        rd.clustering.n_clusters,
+        rd.clustering.noise_count(),
+        0.0
     );
 
     // Both must be exact DBSCAN, so the clusterings agree.

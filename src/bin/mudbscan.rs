@@ -177,23 +177,21 @@ fn main() -> ExitCode {
             let out = mudbscan::ParMuDbscan::new(params, args.threads).run(&dataset);
             (out.clustering, format!("threads: {}", args.threads))
         }
-        "mu-dist" => {
-            match MuDbscanD::new(params, DistConfig::new(args.ranks)).run(&dataset) {
-                Ok(out) => {
-                    let x = format!(
-                        "ranks: {}, virtual runtime: {:.3}s, comm: {} KiB",
-                        args.ranks,
-                        out.runtime_secs,
-                        out.comm_bytes / 1024
-                    );
-                    (out.clustering, x)
-                }
-                Err(e) => {
-                    eprintln!("distributed run failed: {e}");
-                    return ExitCode::FAILURE;
-                }
+        "mu-dist" => match MuDbscanD::new(params, DistConfig::new(args.ranks)).run(&dataset) {
+            Ok(out) => {
+                let x = format!(
+                    "ranks: {}, virtual runtime: {:.3}s, comm: {} KiB",
+                    args.ranks,
+                    out.runtime_secs,
+                    out.comm_bytes / 1024
+                );
+                (out.clustering, x)
             }
-        }
+            Err(e) => {
+                eprintln!("distributed run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         "r" => (RDbscan::new(params).run(&dataset).clustering, String::new()),
         "g" => (GDbscan::new(params).run(&dataset).clustering, String::new()),
         "grid" => match GridDbscan::new(params).run(&dataset) {

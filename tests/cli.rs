@@ -62,11 +62,8 @@ fn algorithms_agree_via_cli() {
             .output()
             .expect("spawn");
         assert!(out.status.success(), "{alg}: {}", String::from_utf8_lossy(&out.stderr));
-        let v = std::fs::read_to_string(&labels)
-            .unwrap()
-            .lines()
-            .map(|l| l.parse().unwrap())
-            .collect();
+        let v =
+            std::fs::read_to_string(&labels).unwrap().lines().map(|l| l.parse().unwrap()).collect();
         std::fs::remove_file(&labels).ok();
         v
     };

@@ -26,10 +26,8 @@ fn five_ways_to_the_same_clustering() {
     let streamed = s.snapshot();
     assert_eq!(canon(&streamed), canon(&batch), "streaming");
 
-    let d = dist::MuDbscanD::new(params, dist::DistConfig::new(6))
-        .run(&dataset)
-        .unwrap()
-        .clustering;
+    let d =
+        dist::MuDbscanD::new(params, dist::DistConfig::new(6)).run(&dataset).unwrap().clustering;
     assert_eq!(canon(&d), canon(&batch), "distributed");
 
     let optics_out = Optics::new(params).run(&dataset);
@@ -86,9 +84,7 @@ fn streaming_matches_distributed_on_catalog_analogue() {
     let mut s = StreamingMuDbscan::new(dataset.dim(), params);
     s.extend_from(&dataset);
     let streamed = s.snapshot();
-    let d = dist::MuDbscanD::new(params, dist::DistConfig::new(4))
-        .run(&dataset)
-        .unwrap()
-        .clustering;
+    let d =
+        dist::MuDbscanD::new(params, dist::DistConfig::new(4)).run(&dataset).unwrap().clustering;
     assert_eq!(canon(&streamed), canon(&d));
 }

@@ -5,7 +5,13 @@ use baselines::{GDbscan, GridDbscan, RDbscan};
 use geom::{Dataset, DbscanParams};
 use mudbscan::{check_exact, naive_dbscan, Clustering, MuDbscan};
 
-fn exactness(c: &Clustering, reference: &Clustering, data: &Dataset, params: &DbscanParams, tag: &str) {
+fn exactness(
+    c: &Clustering,
+    reference: &Clustering,
+    data: &Dataset,
+    params: &DbscanParams,
+    tag: &str,
+) {
     let rep = check_exact(c, reference, data, params);
     assert!(rep.is_exact(), "{tag}: {rep:?}");
 }
@@ -62,12 +68,7 @@ fn micro_cluster_counts_are_far_below_n() {
         let n = 4_000;
         let dataset = spec.generate_n(n, 5);
         let out = MuDbscan::new(spec.params).run(&dataset);
-        assert!(
-            out.mc_count * 2 < n,
-            "{}: m = {} not << n = {n}",
-            spec.name,
-            out.mc_count
-        );
+        assert!(out.mc_count * 2 < n, "{}: m = {} not << n = {n}", spec.name, out.mc_count);
     }
 }
 
@@ -111,8 +112,7 @@ fn clustering_invariant_under_point_order() {
     // Per-point core flags map through the permutation.
     for (new_idx, &old_id) in ids.iter().enumerate() {
         assert_eq!(
-            a.clustering.is_core[old_id as usize],
-            b.clustering.is_core[new_idx],
+            a.clustering.is_core[old_id as usize], b.clustering.is_core[new_idx],
             "core flag changed under reordering"
         );
     }

@@ -1,0 +1,152 @@
+//! Offline shim for the subset of `criterion` used by this workspace's
+//! benches. There is no crates.io access in the build environment, so this
+//! crate provides a minimal wall-clock harness with the same API shape:
+//! `criterion_group! { name = ..; config = ..; targets = .. }`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::iter`, and `BenchmarkId::new`.
+//!
+//! Timing methodology is intentionally simple (median of `sample_size`
+//! timed batches after a short warm-up); it is good enough for the A/B
+//! ablation comparisons the benches make, not for microsecond-accurate
+//! statistics.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        let mut id = name.into();
+        let _ = write!(id, "/{param}");
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up to populate caches / JIT-like effects (allocator pools).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(f());
+        }
+        let n_samples = self.samples.capacity().max(1);
+        for _ in 0..n_samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group_name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.criterion.sample_size),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        b.samples.sort_unstable();
+        let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or_default();
+        println!("bench {}/{}: median {:?}", self.group_name, id.id, median);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, group_name: name.into() }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("default").bench_function(id, f);
+        self
+    }
+}
+
+/// `black_box` re-export (benches mostly use `std::hint::black_box`
+/// directly, but upstream criterion exposes one too).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $config:expr; targets = $( $target:path ),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $( $target:path ),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $( $target ),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ( $( $group:path ),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

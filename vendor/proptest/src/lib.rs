@@ -1,0 +1,266 @@
+//! Offline shim for the subset of `proptest` used by this workspace.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! compatible implementation of the APIs the workspace's property tests
+//! call: the [`proptest!`] macro (with inner `#[test]` attributes and an
+//! optional `#![proptest_config(..)]` line), range/tuple/`vec` strategies,
+//! [`Strategy::prop_map`] / [`Strategy::prop_flat_map`], [`any`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//!
+//! - Case generation is **deterministic**: the RNG seed is derived from the
+//!   test's file/name and the case index, overridable with the
+//!   `PROPTEST_SEED` environment variable. CI runs are therefore
+//!   reproducible by construction.
+//! - There is **no generic shrinking**. On failure the runner reports the
+//!   full failing input (`Debug`) together with the seed that produced it.
+//!   Domain-specific shrinking for clustering counterexamples lives in
+//!   `crates/conformance`, which minimizes datasets against the exact
+//!   oracle before dumping a replay artifact — strictly more effective for
+//!   this workspace than structural shrinking.
+//! - `PROPTEST_CASES`, when set, overrides the per-test case count; CI uses
+//!   it to cap runtime.
+
+pub mod strategy;
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+pub mod test_runner {
+    pub use crate::runner::{Config, TestCaseError, TestRng};
+}
+
+pub mod runner;
+
+pub use runner::{Config as ProptestConfig, TestCaseError};
+
+pub mod arbitrary {
+    use crate::runner::TestRng;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Marker for types with a canonical "any value" strategy.
+    pub trait Arbitrary: Clone + std::fmt::Debug + 'static {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mag: f64 = rng.gen::<f64>() * 1e6;
+            if rng.gen::<bool>() {
+                mag
+            } else {
+                -mag
+            }
+        }
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// `prop::collection::vec(..)` etc., as the real prelude exposes them.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Fails the current test case unless `$cond` holds.
+///
+/// Expands to an early `return Err(TestCaseError)` so it can be used both in
+/// `proptest!` bodies and in helper functions returning
+/// `Result<(), TestCaseError>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (counts as skipped, not failed) unless `$cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// The main property-test macro. Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_prop(x in 0.0..1.0f64, n in 1usize..10) {
+///         prop_assert!(x < n as f64 + 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a config line.
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // Without a config line.
+    ( $(#[$meta:meta])* fn $($rest:tt)* ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $(#[$meta])* fn $($rest)*);
+    };
+    // Per-fn expansion: hand each fn's parameter tokens to the muncher,
+    // which supports both `arg in strategy` and the `arg: Type` sugar
+    // (shorthand for `arg in any::<Type>()`).
+    ( @fns ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($params:tt)* ) $body:block
+    )* ) => {
+        $(
+            $crate::__proptest_case!(
+                @parse [$cfg] [$(#[$meta])*] [$name] [$body] () () $($params)*
+            );
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: emit the test item.
+    ( @parse [$cfg:expr] [$(#[$meta:meta])*] [$name:ident] [$body:block]
+      ( $($strat:expr,)* ) ( $($arg:ident,)* ) ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ( $($strat,)* );
+            $crate::runner::run_property(
+                &config,
+                concat!(file!(), "::", stringify!($name)),
+                &strategy,
+                |( $($arg,)* )| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    };
+    // `arg in strategy` (more parameters follow).
+    ( @parse [$cfg:expr] [$(#[$meta:meta])*] [$name:ident] [$body:block]
+      ( $($strat:expr,)* ) ( $($arg:ident,)* ) $a:ident in $s:expr, $($rest:tt)* ) => {
+        $crate::__proptest_case!(
+            @parse [$cfg] [$(#[$meta])*] [$name] [$body]
+            ( $($strat,)* $s, ) ( $($arg,)* $a, ) $($rest)*
+        );
+    };
+    // `arg in strategy` (final parameter, no trailing comma).
+    ( @parse [$cfg:expr] [$(#[$meta:meta])*] [$name:ident] [$body:block]
+      ( $($strat:expr,)* ) ( $($arg:ident,)* ) $a:ident in $s:expr ) => {
+        $crate::__proptest_case!(
+            @parse [$cfg] [$(#[$meta])*] [$name] [$body]
+            ( $($strat,)* $s, ) ( $($arg,)* $a, )
+        );
+    };
+    // `arg: Type` sugar (more parameters follow).
+    ( @parse [$cfg:expr] [$(#[$meta:meta])*] [$name:ident] [$body:block]
+      ( $($strat:expr,)* ) ( $($arg:ident,)* ) $a:ident : $ty:ty, $($rest:tt)* ) => {
+        $crate::__proptest_case!(
+            @parse [$cfg] [$(#[$meta])*] [$name] [$body]
+            ( $($strat,)* $crate::arbitrary::any::<$ty>(), ) ( $($arg,)* $a, ) $($rest)*
+        );
+    };
+    // `arg: Type` sugar (final parameter).
+    ( @parse [$cfg:expr] [$(#[$meta:meta])*] [$name:ident] [$body:block]
+      ( $($strat:expr,)* ) ( $($arg:ident,)* ) $a:ident : $ty:ty ) => {
+        $crate::__proptest_case!(
+            @parse [$cfg] [$(#[$meta])*] [$name] [$body]
+            ( $($strat,)* $crate::arbitrary::any::<$ty>(), ) ( $($arg,)* $a, )
+        );
+    };
+}

@@ -1,0 +1,189 @@
+//! The test runner: deterministic case generation, failure reporting.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// RNG handed to strategies. Deterministic per (test, case, seed).
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// How a single test case can fail.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — the property does not hold for this input.
+    Fail(String),
+    /// Input rejected by `prop_assume!` — does not count as a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated before erroring out.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// FNV-1a over the fully qualified test name: stable across runs and
+/// platforms, so every CI run replays the same cases unless PROPTEST_SEED
+/// changes it.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    std::env::var(var).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Executes `cases` random cases of `test` over inputs drawn from
+/// `strategy`. Panics (failing the surrounding `#[test]`) on the first
+/// failing case, printing the input and the seed needed to replay it.
+pub fn run_property<S, F>(config: &Config, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let cases = env_u64("PROPTEST_CASES").map(|c| c as u32).unwrap_or(config.cases).max(1);
+    let base_seed = env_u64("PROPTEST_SEED").unwrap_or_else(|| name_seed(name));
+
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut attempts = 0u64;
+    while case < cases {
+        // Mix the case counter in non-trivially so neighbouring cases do
+        // not share RNG prefixes.
+        let seed = base_seed ^ (attempts.wrapping_mul(0x9E3779B97F4A7C15));
+        attempts += 1;
+        let mut rng = TestRng::from_seed(seed);
+        let value = strategy.generate(&mut rng);
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(value.clone())));
+        match outcome {
+            Ok(Ok(())) => case += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!("{name}: too many prop_assume! rejections ({rejects})");
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "{name}: property failed at case {case} (replay with \
+                     PROPTEST_SEED={base_seed}): {msg}\ninput: {value:?}"
+                );
+            }
+            Err(panic_payload) => {
+                let msg = panic_message(&panic_payload);
+                panic!(
+                    "{name}: test panicked at case {case} (replay with \
+                     PROPTEST_SEED={base_seed}): {msg}\ninput: {value:?}"
+                );
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = (crate::collection::vec(0.0..1.0f64, 3..10), 0usize..5);
+        let mut a = TestRng::from_seed(1234);
+        let mut b = TestRng::from_seed(1234);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(xs in crate::collection::vec(-5.0..5.0f64, 0..8), k in 1usize..4) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!((1..4).contains(&k));
+            for x in &xs {
+                prop_assert!((-5.0..5.0).contains(x), "x={x}");
+            }
+        }
+
+        #[test]
+        fn flat_map_and_map_compose(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0..10i32, n..=n)).prop_map(|v| v.len())) {
+            prop_assert!((1..5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_report_input_and_seed() {
+        run_property(
+            &Config::with_cases(50),
+            "runner::tests::failures_report_input_and_seed",
+            &(500usize..1000),
+            |n| {
+                prop_assert!(n < 500, "n={n}");
+                Ok(())
+            },
+        );
+    }
+}
