@@ -48,8 +48,10 @@ impl GDbscan {
         let mut phases = PhaseTimer::new();
         let mut sw = Stopwatch::start();
         let n = data.len();
+        let _run = obs::span!("gdbscan");
 
         // Phase 1: group construction by linear scan over masters.
+        let ph1 = obs::span!("group_construction");
         let mut groups: Vec<Group> = Vec::new();
         let mut group_of: Vec<u32> = vec![u32::MAX; n];
         for (p, coords) in data.iter() {
@@ -68,9 +70,11 @@ impl GDbscan {
                 groups.push(Group { master: p, members: vec![p] });
             }
         }
+        drop(ph1);
         phases.add_secs("group_construction", sw.lap());
 
         // Phase 2: full groups are all-core; union within group.
+        let ph2 = obs::span!("group_classification");
         let mut uf = UnionFind::new(n);
         let mut is_core = vec![false; n];
         let mut assigned = vec![false; n];
@@ -87,9 +91,11 @@ impl GDbscan {
                 }
             }
         }
+        drop(ph2);
         phases.add_secs("group_classification", sw.lap());
 
         // Phase 3: neighbourhood queries restricted to nearby groups.
+        let ph3 = obs::span!("clustering");
         let mut pending: Vec<(PointId, Vec<PointId>)> = Vec::new();
         let mut nbhrs: Vec<PointId> = Vec::new();
         for (p, coords) in data.iter() {
@@ -135,9 +141,11 @@ impl GDbscan {
                 }
             }
         }
+        drop(ph3);
         phases.add_secs("clustering", sw.lap());
 
         // Phase 4: border rescue from stored neighbourhoods.
+        let ph4 = obs::span!("post_processing");
         for (p, nb) in &pending {
             if assigned[*p as usize] {
                 continue;
@@ -151,6 +159,7 @@ impl GDbscan {
                 }
             }
         }
+        drop(ph4);
         phases.add_secs("post_processing", sw.lap());
 
         let peak = groups.iter().map(|g| 16 + g.members.capacity() * 4).sum::<usize>()

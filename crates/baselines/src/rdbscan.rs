@@ -38,7 +38,9 @@ impl RDbscan {
         let counters = Counters::new();
         let mut phases = PhaseTimer::new();
         let mut sw = Stopwatch::start();
+        let _run = obs::span!("rdbscan");
 
+        let step1 = obs::span!("tree_construction");
         let tree = if self.bulk_load {
             RTree::bulk_load_points(data.dim(), self.cfg, data.iter().map(|(i, p)| (i, p.to_vec())))
         } else {
@@ -48,6 +50,7 @@ impl RDbscan {
             }
             t
         };
+        drop(step1);
         phases.add_secs("tree_construction", sw.lap());
         let mut peak = tree.heap_bytes();
 
@@ -61,12 +64,13 @@ impl RDbscan {
         let mut pending: Vec<(PointId, Vec<PointId>)> = Vec::new();
         let mut nbhrs: Vec<PointId> = Vec::new();
 
+        let step2 = obs::span!("clustering");
         for p in data.ids() {
             nbhrs.clear();
             let cost = tree.search_sphere(data.point(p), self.params.eps, |q| nbhrs.push(q));
             counters.count_range_query();
             counters.count_dists(cost.mbr_tests);
-            counters.count_node_visit();
+            counters.count_node_visits(cost.nodes_visited.max(1));
 
             if nbhrs.len() >= self.params.min_pts {
                 is_core[p as usize] = true;
@@ -97,6 +101,7 @@ impl RDbscan {
                 }
             }
         }
+        drop(step2);
         phases.add_secs("clustering", sw.lap());
         peak = peak.max(
             tree.heap_bytes()
@@ -105,6 +110,7 @@ impl RDbscan {
         );
 
         // Border rescue: some neighbours became core after p was examined.
+        let step3 = obs::span!("post_processing");
         for (p, nb) in &pending {
             if assigned[*p as usize] {
                 continue;
@@ -118,6 +124,7 @@ impl RDbscan {
                 }
             }
         }
+        drop(step3);
         phases.add_secs("post_processing", sw.lap());
 
         let clustering = Clustering::from_union_find(&mut uf, is_core);

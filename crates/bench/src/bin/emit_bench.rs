@@ -1,0 +1,243 @@
+//! Machine-readable benchmark pipeline: run a pinned, seeded workload
+//! matrix through sequential μDBSCAN, shared-memory [`ParMuDbscan`] and
+//! distributed [`MuDbscanD`], collect per-phase times and `obs` reports,
+//! verify exactness against the naive oracle, and write the
+//! schema-versioned `BENCH_PR2.json` trajectory file.
+//!
+//! The JSON schema is documented in `docs/BENCH_SCHEMA.md`; the committed
+//! `BENCH_PR2.json` is validated by `crates/bench/tests/bench_schema.rs`
+//! and regenerated with
+//!
+//! ```text
+//! cargo run --release -p bench --bin emit_bench
+//! ```
+//!
+//! Environment knobs (all optional, for the CI perf-smoke job):
+//!
+//! * `EMIT_BENCH_N`     — points per workload (default 4000)
+//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR2.json`)
+//! * `EMIT_BENCH_REPS`  — repetitions for the overhead measurement
+//!   (default 5)
+//!
+//! Exactness drift is fatal: any run whose clustering disagrees with the
+//! naive-DBSCAN oracle aborts the process with a non-zero exit code, so
+//! the CI job fails on behavioural regressions, not just schema ones.
+
+use bench::{secs, timed, SEED};
+use data::paper_table2_specs;
+use dist::{DistConfig, MuDbscanD};
+use geom::{Dataset, DbscanParams};
+use metrics::Counters;
+use mudbscan::{check_exact, naive_dbscan, Clustering, MuDbscan, ParMuDbscan};
+use obs::Json;
+
+/// The JSON schema version written to the trajectory file. Bump when the
+/// structure changes and update `docs/BENCH_SCHEMA.md` in the same PR.
+const SCHEMA_VERSION: i64 = 1;
+
+/// Datasets from the Table II catalog used for the matrix (a subset keeps
+/// the oracle check and the CI smoke run fast while still covering a
+/// road-network, a galaxy and a higher-dimensional analogue).
+const WORKLOAD_NAMES: [&str; 3] = ["3DSRN", "DGB0.5M3D", "HHP0.5M5D"];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn count(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn counters_json(c: &Counters) -> Json {
+    Json::obj_from([
+        ("range_queries".to_string(), count(c.range_queries())),
+        ("queries_saved".to_string(), count(c.queries_saved())),
+        ("pct_queries_saved".to_string(), num(c.pct_queries_saved())),
+        ("dist_computations".to_string(), count(c.dist_computations())),
+        ("node_visits".to_string(), count(c.node_visits())),
+        ("union_ops".to_string(), count(c.union_ops())),
+    ])
+}
+
+fn phases_json(phases: &metrics::PhaseTimer) -> Json {
+    Json::obj_from(phases.split_up().into_iter().map(|(name, secs, _pct)| (name, num(secs))))
+}
+
+/// Verify exactness against the oracle; abort loudly on drift.
+fn must_be_exact(
+    label: &str,
+    dataset: &str,
+    clustering: &Clustering,
+    reference: &Clustering,
+    data: &Dataset,
+    params: &DbscanParams,
+) {
+    let rep = check_exact(clustering, reference, data, params);
+    if !rep.is_exact() {
+        eprintln!("EXACTNESS DRIFT: {label} on {dataset}: {rep:?}");
+        std::process::exit(1);
+    }
+}
+
+/// One algorithm run: returns the JSON record for the `runs` array.
+fn run_one(
+    label: &str,
+    dataset: &str,
+    data: &Dataset,
+    params: &DbscanParams,
+    reference: &Clustering,
+    run: impl FnOnce() -> (Clustering, Counters, metrics::PhaseTimer, Option<f64>, u64),
+) -> Json {
+    obs::reset();
+    obs::enable();
+    let ((clustering, counters, phases, virtual_secs, peak_heap), wall) = timed(run);
+    obs::disable();
+    let report = obs::take_report();
+    must_be_exact(label, dataset, &clustering, reference, data, params);
+
+    let mut rec = Json::obj();
+    rec.set("algorithm", Json::Str(label.to_string()));
+    rec.set("exact", Json::Bool(true));
+    rec.set("clusters", count(clustering.n_clusters as u64));
+    rec.set("noise", count(clustering.noise_count() as u64));
+    rec.set("wall_secs", num(wall));
+    rec.set("phases", phases_json(&phases));
+    if let Some(v) = virtual_secs {
+        rec.set("virtual_secs", num(v));
+    }
+    rec.set("pct_queries_saved", num(counters.pct_queries_saved()));
+    rec.set("counters", counters_json(&counters));
+    rec.set("peak_heap_bytes", count(peak_heap));
+    rec.set("obs", report.to_json());
+    rec
+}
+
+/// Measure the enabled-vs-disabled overhead of the obs instrumentation on
+/// the repro_table2-style workload: median wall time over `reps` runs of
+/// sequential μDBSCAN with collection off, then on.
+fn measure_overhead(data: &Dataset, params: &DbscanParams, reps: usize) -> Json {
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        xs[xs.len() / 2]
+    };
+    let time_runs = |enabled: bool| -> Vec<f64> {
+        (0..reps)
+            .map(|_| {
+                obs::reset();
+                if enabled {
+                    obs::enable();
+                } else {
+                    obs::disable();
+                }
+                let (_, t) = timed(|| MuDbscan::new(*params).run(data));
+                obs::disable();
+                obs::reset();
+                t
+            })
+            .collect()
+    };
+    // Warm-up run so neither side pays first-touch costs.
+    let _ = MuDbscan::new(*params).run(data);
+    let off = median(time_runs(false));
+    let on = median(time_runs(true));
+    let pct = if off > 0.0 { 100.0 * (on - off) / off } else { 0.0 };
+    println!(
+        "instrumentation overhead: disabled {} vs enabled {} ({pct:+.2}%)",
+        secs(off),
+        secs(on)
+    );
+    Json::obj_from([
+        ("reps".to_string(), count(reps as u64)),
+        ("median_disabled_secs".to_string(), num(off)),
+        ("median_enabled_secs".to_string(), num(on)),
+        ("overhead_pct".to_string(), num(pct)),
+    ])
+}
+
+fn main() {
+    let n = env_usize("EMIT_BENCH_N", 4000);
+    let reps = env_usize("EMIT_BENCH_REPS", 5);
+    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+
+    bench::banner(
+        "emit_bench",
+        "machine-readable per-phase trajectory (all tables feed from these quantities)",
+        &format!("{n} points per workload, seed {SEED}"),
+    );
+
+    let specs = paper_table2_specs();
+    let mut workloads = Vec::new();
+    let mut overhead_input: Option<(Dataset, DbscanParams)> = None;
+
+    for name in WORKLOAD_NAMES {
+        let spec = specs.iter().find(|s| s.name == name).expect("catalog spec");
+        let data = spec.generate_n(n, SEED);
+        let params = spec.params;
+        println!("[{name}] n={n} dim={} eps={} min_pts={}", spec.dim, params.eps, params.min_pts);
+        let reference = naive_dbscan(&data, &params);
+
+        let mut runs = Vec::new();
+        runs.push(run_one("mudbscan_seq", name, &data, &params, &reference, || {
+            let out = MuDbscan::new(params).run(&data);
+            (out.clustering, out.counters, out.phases, None, out.peak_heap_bytes as u64)
+        }));
+        for threads in [1usize, 4] {
+            let label = format!("par_mudbscan_t{threads}");
+            runs.push(run_one(&label, name, &data, &params, &reference, || {
+                let out = ParMuDbscan::new(params, threads).run(&data);
+                (out.clustering, out.counters.snapshot(), out.phases, None, 0)
+            }));
+        }
+        for ranks in [1usize, 4] {
+            let label = format!("mudbscan_d_p{ranks}");
+            runs.push(run_one(&label, name, &data, &params, &reference, || {
+                let out =
+                    MuDbscanD::new(params, DistConfig::new(ranks)).run(&data).expect("dist run");
+                (
+                    out.clustering,
+                    out.counters,
+                    out.phases,
+                    Some(out.runtime_secs),
+                    out.max_rank_heap_bytes as u64,
+                )
+            }));
+        }
+
+        let mut w = Json::obj();
+        w.set("dataset", Json::Str(name.to_string()));
+        w.set("n", count(data.len() as u64));
+        w.set("dim", count(spec.dim as u64));
+        w.set("eps", num(params.eps));
+        w.set("min_pts", count(params.min_pts as u64));
+        w.set(
+            "reference",
+            Json::obj_from([
+                ("clusters".to_string(), count(reference.n_clusters as u64)),
+                ("noise".to_string(), count(reference.noise_count() as u64)),
+            ]),
+        );
+        w.set("runs", Json::Arr(runs));
+        workloads.push(w);
+
+        // The largest (last) workload doubles as the overhead probe.
+        overhead_input = Some((data, params));
+    }
+
+    let (od, op) = overhead_input.expect("at least one workload");
+    let overhead = measure_overhead(&od, &op, reps);
+
+    let mut root = Json::obj();
+    root.set("schema_version", Json::Num(SCHEMA_VERSION as f64));
+    root.set("seed", count(SEED));
+    root.set("points_per_workload", count(n as u64));
+    root.set("workloads", Json::Arr(workloads));
+    root.set("overhead", overhead);
+
+    let text = root.render_pretty();
+    std::fs::write(&out_path, &text).expect("write trajectory file");
+    println!("\nwrote {out_path} ({} bytes)", text.len());
+}

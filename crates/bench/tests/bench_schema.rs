@@ -1,0 +1,108 @@
+//! Validate the committed `BENCH_PR2.json` trajectory against the schema
+//! documented in `docs/BENCH_SCHEMA.md`.
+//!
+//! The CI perf-smoke job points `BENCH_SCHEMA_FILE` at a freshly emitted
+//! file, so the same assertions guard both the committed artifact and
+//! every regeneration — a schema change without a doc/test update fails
+//! here, and an exactness drift fails inside `emit_bench` itself (it
+//! exits non-zero and never writes the file).
+
+use obs::Json;
+
+/// The algorithms every workload must cover (the ISSUE's matrix:
+/// sequential μDBSCAN, ParMuDbscan with 1 and 4 threads, μDBSCAN-D with
+/// 1 and 4 ranks).
+const REQUIRED_ALGORITHMS: [&str; 5] =
+    ["mudbscan_seq", "par_mudbscan_t1", "par_mudbscan_t4", "mudbscan_d_p1", "mudbscan_d_p4"];
+
+fn trajectory_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("BENCH_SCHEMA_FILE") {
+        return p.into();
+    }
+    // crates/bench -> repository root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR2.json")
+}
+
+fn get_f64(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing number {key:?}"))
+}
+
+#[test]
+fn committed_trajectory_matches_schema() {
+    let path = trajectory_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let root = Json::parse(&text).expect("BENCH_PR2.json must be valid JSON");
+
+    assert_eq!(get_f64(&root, "schema_version"), 1.0, "schema_version must be 1");
+    assert_eq!(get_f64(&root, "seed"), 2019.0, "pinned seed");
+    assert!(get_f64(&root, "points_per_workload") >= 100.0);
+
+    let workloads = root.get("workloads").and_then(Json::as_array).expect("workloads array");
+    assert!(!workloads.is_empty(), "at least one workload");
+
+    for w in workloads {
+        let name = w.get("dataset").and_then(Json::as_str).expect("dataset name");
+        for key in ["n", "dim", "eps", "min_pts"] {
+            assert!(get_f64(w, key) > 0.0, "{name}: {key} must be positive");
+        }
+        let reference = w.get("reference").expect("reference block");
+        assert!(get_f64(reference, "clusters") >= 1.0, "{name}: oracle found no clusters");
+
+        let runs = w.get("runs").and_then(Json::as_array).expect("runs array");
+        let labels: Vec<&str> =
+            runs.iter().map(|r| r.get("algorithm").and_then(Json::as_str).unwrap()).collect();
+        for required in REQUIRED_ALGORITHMS {
+            assert!(labels.contains(&required), "{name}: missing algorithm {required}");
+        }
+
+        for r in runs {
+            let label = r.get("algorithm").and_then(Json::as_str).unwrap();
+            let ctx = format!("{name}/{label}");
+            assert_eq!(
+                r.get("exact").and_then(Json::as_bool),
+                Some(true),
+                "{ctx}: every committed run must be oracle-exact"
+            );
+            assert!(get_f64(r, "wall_secs") > 0.0, "{ctx}: wall_secs");
+            let phases = r.get("phases").and_then(Json::as_object).expect("phases object");
+            assert!(!phases.is_empty(), "{ctx}: per-phase times required");
+            let pct = get_f64(r, "pct_queries_saved");
+            assert!((0.0..=100.0).contains(&pct), "{ctx}: pct_queries_saved out of range");
+            let counters = r.get("counters").expect("counters block");
+            for key in ["range_queries", "queries_saved", "dist_computations", "node_visits"] {
+                assert!(
+                    counters.get(key).and_then(Json::as_f64).is_some(),
+                    "{ctx}: counter {key} missing"
+                );
+            }
+            // Since the from_raw fix, node visits survive every snapshot
+            // path (sequential, shared, distributed aggregation).
+            assert!(get_f64(counters, "node_visits") > 0.0, "{ctx}: node_visits must be tracked");
+            let obs = r.get("obs").expect("obs report");
+            let spans = obs.get("spans").and_then(Json::as_object).expect("obs spans");
+            assert!(!spans.is_empty(), "{ctx}: obs spans must be recorded");
+            // Distributed runs must carry the virtual clock and the BSP
+            // compute/comm split.
+            if label.starts_with("mudbscan_d") {
+                assert!(get_f64(r, "virtual_secs") > 0.0, "{ctx}: virtual_secs");
+                let values = obs.get("values").and_then(Json::as_object).expect("obs values");
+                assert!(
+                    values.iter().any(|(k, _)| k.ends_with("/compute_virtual_secs")),
+                    "{ctx}: BSP compute split missing"
+                );
+                assert!(
+                    values.iter().any(|(k, _)| k.ends_with("/comm_virtual_secs")),
+                    "{ctx}: BSP comm split missing"
+                );
+            }
+        }
+    }
+
+    // Overhead block: the measured numbers EXPERIMENTS.md quotes.
+    let overhead = root.get("overhead").expect("overhead block");
+    assert!(get_f64(overhead, "reps") >= 3.0);
+    assert!(get_f64(overhead, "median_disabled_secs") > 0.0);
+    assert!(get_f64(overhead, "median_enabled_secs") > 0.0);
+    assert!(overhead.get("overhead_pct").and_then(Json::as_f64).is_some(), "overhead_pct missing");
+}

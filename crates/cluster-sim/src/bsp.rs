@@ -147,6 +147,26 @@ impl<S: Send> Bsp<S> {
         self.phase_times.add_secs(&phase, secs);
     }
 
+    /// Charge a superstep split into its compute and communication shares,
+    /// exporting the split to `obs` when collection is on (the makespan and
+    /// phase accounting are identical to a single [`Bsp::charge`]).
+    fn charge_split(&mut self, compute_secs: f64, comm_secs: f64, comm_bytes: u64) {
+        self.charge(compute_secs + comm_secs);
+        if obs::enabled() {
+            obs::record_value(
+                &format!("bsp/{}/compute_virtual_secs", self.current_phase),
+                compute_secs,
+            );
+            if comm_secs > 0.0 || comm_bytes > 0 {
+                obs::record_value(
+                    &format!("bsp/{}/comm_virtual_secs", self.current_phase),
+                    comm_secs,
+                );
+                obs::record_count(&format!("bsp/{}/comm_bytes", self.current_phase), comm_bytes);
+            }
+        }
+    }
+
     /// A compute-only superstep: run `f` on every rank; the makespan
     /// advances by the slowest rank.
     pub fn run(&mut self, f: impl Fn(usize, &mut S) + Sync) {
@@ -172,7 +192,7 @@ impl<S: Send> Bsp<S> {
             }
         };
         self.steps += 1;
-        self.charge(max);
+        self.charge_split(max, 0.0, 0);
     }
 
     /// A communicating superstep: every rank produces envelopes, the
@@ -268,7 +288,7 @@ impl<S: Send> Bsp<S> {
         };
 
         self.steps += 1;
-        self.charge(produce_max + comm_secs + consume_max);
+        self.charge_split(produce_max + consume_max, comm_secs, total as u64);
     }
 
     /// Allgather collective: every rank contributes one value; the result

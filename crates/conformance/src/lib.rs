@@ -4,7 +4,7 @@
 //! implementations.
 //!
 //! Every algorithm that claims paper-exactness is registered behind the
-//! [`ExactDbscan`] trait ([`registry`] enumerates them all: sequential
+//! [`ExactDbscan`] trait ([`registry()`] enumerates them all: sequential
 //! μDBSCAN under every ablation-knob combination, `ParMuDbscan` at several
 //! thread counts, the three sequential baselines, and μDBSCAN-D at several
 //! simulated rank counts). The harness runs each of them against the O(n²)

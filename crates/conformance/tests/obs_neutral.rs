@@ -1,0 +1,78 @@
+//! Instrumentation must be behaviour-neutral: the `obs` spans and
+//! counters woven through the hot paths only read clocks and write to
+//! their own maps, so clustering output with collection **on** must be
+//! bit-identical to output with collection **off**, for every algorithm
+//! family the trajectory file covers.
+
+use conformance::{DatasetSpec, Family};
+use dist::{DistConfig, MuDbscanD};
+use geom::{Dataset, DbscanParams};
+use mudbscan::{Clustering, MuDbscan, ParMuDbscan};
+
+fn seeded_dataset() -> Dataset {
+    let spec = DatasetSpec { family: Family::Blobs, n: 400, dim: 3, seed: 2019 };
+    Dataset::from_rows(&spec.rows())
+}
+
+/// The obs collector is process-global and the test harness runs tests on
+/// parallel threads: serialize every enable/disable window.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run `f` once with obs disabled and once enabled, asserting identical
+/// clusterings. Leaves the global collector disabled and drained.
+fn assert_neutral(label: &str, f: impl Fn() -> Clustering) {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::disable();
+    obs::reset();
+    let plain = f();
+
+    obs::reset();
+    obs::enable();
+    let instrumented = f();
+    obs::disable();
+    let report = obs::take_report();
+
+    assert_eq!(plain, instrumented, "{label}: clustering changed when obs collection was enabled");
+    assert_eq!(plain.n_clusters, instrumented.n_clusters, "{label}: cluster count drifted");
+    assert!(!report.spans.is_empty(), "{label}: the instrumented run must actually record spans");
+}
+
+#[test]
+fn sequential_mudbscan_is_obs_neutral() {
+    let data = seeded_dataset();
+    let params = DbscanParams::new(0.6, 5);
+    assert_neutral("mudbscan_seq", || MuDbscan::new(params).run(&data).clustering);
+}
+
+#[test]
+fn parallel_mudbscan_is_obs_neutral() {
+    let data = seeded_dataset();
+    let params = DbscanParams::new(0.6, 5);
+    for threads in [1, 4] {
+        assert_neutral(&format!("par_mudbscan_t{threads}"), || {
+            ParMuDbscan::new(params, threads).run(&data).clustering
+        });
+    }
+}
+
+#[test]
+fn distributed_mudbscan_is_obs_neutral() {
+    let data = seeded_dataset();
+    let params = DbscanParams::new(0.6, 5);
+    for ranks in [1, 4] {
+        assert_neutral(&format!("mudbscan_d_p{ranks}"), || {
+            MuDbscanD::new(params, DistConfig::new(ranks)).run(&data).expect("dist run").clustering
+        });
+    }
+}
+
+#[test]
+fn baselines_are_obs_neutral() {
+    let data = seeded_dataset();
+    let params = DbscanParams::new(0.6, 5);
+    assert_neutral("rdbscan", || baselines::RDbscan::new(params).run(&data).clustering);
+    assert_neutral("gdbscan", || baselines::GDbscan::new(params).run(&data).clustering);
+    assert_neutral("griddbscan", || {
+        baselines::GridDbscan::new(params).run(&data).expect("within budget").clustering
+    });
+}

@@ -131,9 +131,11 @@ fn run_mudbscan(
     let counters = Counters::new();
     let mut phases = PhaseTimer::new();
     let mut peak = 0usize;
+    let run_span = obs::span!("mudbscan");
 
     // Step 1: micro-clusters + μR-tree, and preliminary clusters.
     let mut sw = Stopwatch::start();
+    let step1 = obs::span!("tree_construction");
     let tree = build_micro_clusters(data, params.eps, opts, &counters);
     let mut state = WorkingState {
         tree,
@@ -145,23 +147,41 @@ fn run_mudbscan(
         noise_list: Vec::new(),
     };
     process_micro_clusters(data, params, &mut state, &counters);
+    drop(step1);
     phases.add_secs("tree_construction", sw.lap());
     peak = peak.max(state.heap_bytes());
 
     // Step 2: reachable micro-clusters.
+    let step2 = obs::span!("finding_reachable");
     state.tree.compute_reachable(data, &counters);
+    drop(step2);
     phases.add_secs("finding_reachable", sw.lap());
 
     // Step 3: remaining points.
+    let step3 = obs::span!("clustering");
     process_rem_points(data, params, &mut state, &counters, disable_promotion);
+    drop(step3);
     phases.add_secs("clustering", sw.lap());
     peak = peak.max(state.heap_bytes());
 
     // Step 4: final connections.
+    let step4 = obs::span!("post_processing");
     post_processing_core(data, params, &mut state, &counters, disable_post_core_mc_skip);
     post_processing_noise(&mut state, &counters);
+    drop(step4);
     phases.add_secs("post_processing", sw.lap());
     peak = peak.max(state.heap_bytes());
+
+    if obs::enabled() {
+        let (dense, core, sparse) = state.tree.kind_histogram(params);
+        obs::record_count("mc/dense", dense as u64);
+        obs::record_count("mc/core", core as u64);
+        obs::record_count("mc/sparse", sparse as u64);
+        obs::record_count("queries/executed", counters.range_queries());
+        obs::record_count("queries/saved", counters.queries_saved());
+        obs::record_count("peak_heap_bytes", peak as u64);
+    }
+    drop(run_span);
 
     let mc_count = state.tree.mc_count();
     let avg_mc_size = state.tree.avg_mc_size();
@@ -240,7 +260,7 @@ pub fn process_rem_points(
         let cost = state.tree.neighborhood(data, p, &mut nbhrs);
         counters.count_range_query();
         counters.count_dists(cost.mbr_tests);
-        counters.count_node_visit();
+        counters.count_node_visits(cost.nodes_visited.max(1));
 
         if nbhrs.len() < params.min_pts {
             // Non-core: attach to the first core neighbour if unassigned.

@@ -118,16 +118,20 @@ impl ParMuDbscan {
         let counters = SharedCounters::new();
         let mut phases = PhaseTimer::new();
         let mut sw = Stopwatch::start();
+        let run_span = obs::span!("par_mudbscan");
 
         // Step 1 (sequential): μR-tree.
+        let step1 = obs::span!("tree_construction");
         let seq_counters = metrics::Counters::new();
         let mut tree = build_micro_clusters(data, params.eps, &self.opts, &seq_counters);
         counters.absorb(&seq_counters);
+        drop(step1);
         phases.add_secs("tree_construction", sw.lap());
 
         // Step 2 (parallel): reachable lists (independent per MC — but
         // computed via &mut self in the sequential API, so parallelise by
         // computing into a side vector).
+        let step2 = obs::span!("finding_reachable");
         let reach: Vec<Vec<mcs::McId>> = {
             let level1 = tree.level1();
             let r = 3.0 * params.eps;
@@ -140,6 +144,7 @@ impl ParMuDbscan {
                     let cost =
                         level1.search_sphere(data.point(mcs_ref[i].center), r, |mc| list.push(mc));
                     counters.count_dists(cost.mbr_tests);
+                    counters.count_node_visits(cost.nodes_visited.max(1));
                     out.push(list);
                 }
                 out
@@ -148,10 +153,12 @@ impl ParMuDbscan {
         for (mc, list) in tree.mcs.iter_mut().zip(reach) {
             mc.reach = list;
         }
+        drop(step2);
         phases.add_secs("finding_reachable", sw.lap());
 
         // Step 1b (parallel-safe, run after reach for better locality):
         // classify MCs, label wndq-cores, preliminary unions.
+        let step3 = obs::span!("clustering");
         let uf = ConcurrentUnionFind::new(n);
         let flags = Flags::new(n);
         let wndq_list: Mutex<Vec<PointId>> = Mutex::new(Vec::new());
@@ -227,6 +234,7 @@ impl ParMuDbscan {
                     let cost = tree.neighborhood(data, p, &mut nbhrs);
                     counters.count_range_query();
                     counters.count_dists(cost.mbr_tests);
+                    counters.count_node_visits(cost.nodes_visited.max(1));
 
                     if nbhrs.len() < params.min_pts {
                         if !flags.assigned[pi].load(Ordering::Acquire) {
@@ -285,9 +293,11 @@ impl ParMuDbscan {
                 wndq_list.lock().expect("poisoned").extend(local_wndq);
             });
         }
+        drop(step3);
         phases.add_secs("clustering", sw.lap());
 
         // Step 4 (parallel): post-processing.
+        let step4 = obs::span!("post_processing");
         let wndq_list = wndq_list.into_inner().expect("poisoned");
         let eps_sq = params.eps_sq();
         {
@@ -367,7 +377,19 @@ impl ParMuDbscan {
                 }
             });
         }
+        drop(step4);
         phases.add_secs("post_processing", sw.lap());
+
+        if obs::enabled() {
+            let (dense, core, sparse) = tree.kind_histogram(&params);
+            obs::record_count("mc/dense", dense as u64);
+            obs::record_count("mc/core", core as u64);
+            obs::record_count("mc/sparse", sparse as u64);
+            obs::record_count("queries/executed", counters.range_queries());
+            obs::record_count("queries/saved", counters.queries_saved());
+            obs::record_count("threads", self.threads as u64);
+        }
+        drop(run_span);
 
         // Extract the clustering.
         let is_core: Vec<bool> = flags.core.iter().map(|b| b.load(Ordering::Acquire)).collect();

@@ -115,9 +115,11 @@ pub fn run_distributed(
         })
         .collect();
 
+    let run_span = obs::span!("dist");
     let mut bsp = Bsp::new(states).with_mode(mode).with_comm(comm);
 
     // Local clustering superstep.
+    let local_span = obs::span!("local_clustering");
     bsp.phase("local_clustering");
     bsp.run(|r, s: &mut RankState| {
         let run = local(r, &s.combined, s.own_n);
@@ -133,7 +135,10 @@ pub fn run_distributed(
         }
     }
 
+    drop(local_span);
+
     // Edge collection superstep: index own points, query each halo point.
+    let merge_span = obs::span!("merging");
     bsp.phase("merging");
     bsp.run(|_r, s: &mut RankState| {
         if s.shard.halo_ids.is_empty() {
@@ -263,6 +268,7 @@ pub fn run_distributed(
         }
     }
     let replay_secs = sw.secs();
+    drop(merge_span);
 
     // Assemble the phase report: partitioning + per-phase local maxima +
     // merging.
@@ -285,6 +291,18 @@ pub fn run_distributed(
         phases.total_secs() - phases.secs("partitioning") - phases.secs("halo_exchange");
 
     let comm_bytes = part_comm_bytes + bsp.comm_bytes();
+    if obs::enabled() {
+        obs::record_count("dist/ranks", p as u64);
+        obs::record_count("dist/comm_bytes", comm_bytes);
+        obs::record_count("dist/edges", bsp.states().iter().map(|s| s.edges.len() as u64).sum());
+        obs::record_count(
+            "dist/halo_points",
+            bsp.states().iter().map(|s| s.shard.halo_ids.len() as u64).sum(),
+        );
+        obs::record_value("dist/virtual_makespan_secs", bsp.makespan());
+        obs::record_value("dist/merge_replay_secs", replay_secs);
+    }
+    drop(run_span);
     let clustering = Clustering::from_union_find(&mut uf, is_core);
 
     Ok(DistOutput {

@@ -5,6 +5,13 @@
 //! [`within_sq`] additionally abandons the accumulation as soon as the
 //! partial sum exceeds the threshold, which pays off at high dimension
 //! (the paper's KDDB datasets go up to 74-d).
+//!
+//! All comparisons are **strict** (`< ε`, never `≤`): the paper's core
+//! arguments are triangle-inequality chains over strict bounds — Lemma 1
+//! (two points strictly within ε/2 of an MC center are strictly within ε
+//! of each other) and Lemma 3 (a point's ε-neighbours live in MCs whose
+//! centers are strictly within 3ε) — and mixing in a `≤` anywhere would
+//! silently change which points count as neighbours.
 
 /// Squared Euclidean distance between two equal-length coordinate slices.
 #[inline]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![allow(clippy::needless_range_loop)] // dimension-indexed numeric loops are clearer as index loops
 
 //! Geometric primitives shared by every crate in the μDBSCAN workspace.

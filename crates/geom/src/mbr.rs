@@ -3,7 +3,9 @@
 //! Used by the R-tree ([`rtree`](https://docs.rs/rtree)) nodes, the μR-tree
 //! level-1 entries (MC bounding boxes) and the spatial partitioner
 //! (partition boxes and ε-halo strips). The paper's `reg_ε(p)` — the
-//! ε-extended box around a point — is [`Mbr::around_point`].
+//! ε-extended box around a point — is [`Mbr::around_point`], and the
+//! MINDIST pruning bound the restricted query of Algorithm 6 applies to
+//! each reachable MC's member box is [`Mbr::min_dist_sq`].
 
 /// An axis-aligned box `[lo, hi]` (inclusive on both ends) in `dim()`
 /// dimensions.

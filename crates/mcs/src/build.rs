@@ -52,6 +52,7 @@ pub fn build_micro_clusters(
     opts: &BuildOptions,
     counters: &Counters,
 ) -> MuRTree {
+    let _span = obs::span!("mc_build");
     let dim = data.dim();
     let mut level1 = RTree::with_config(dim, opts.level1_cfg);
     let mut mcs: Vec<MicroCluster> = Vec::new();
@@ -70,6 +71,7 @@ pub fn build_micro_clusters(
     };
 
     // First scan (Algorithm 3, PROCESS-POINT).
+    let scan1 = obs::span!("scan_assign");
     for (p, coords) in data.iter() {
         counters.count_node_visit();
         if let Some(mc) = level1.first_in_sphere(coords, eps) {
@@ -85,7 +87,11 @@ pub fn build_micro_clusters(
         }
     }
 
+    drop(scan1);
+    let deferred = unassigned.len();
+
     // Second scan (PROCESS-UNASSIGNED-POINT).
+    let scan2 = obs::span!("scan_unassigned");
     for p in unassigned {
         let coords = data.point(p);
         if let Some(mc) = level1.first_in_sphere(coords, eps) {
@@ -98,7 +104,10 @@ pub fn build_micro_clusters(
         }
     }
 
+    drop(scan2);
+
     // Level 2: auxiliary R-trees.
+    let _aux = obs::span!("aux_trees");
     for mc in &mut mcs {
         if opts.str_aux {
             mc.build_aux(data, opts.aux_cfg);
@@ -111,6 +120,10 @@ pub fn build_micro_clusters(
         }
     }
 
+    if obs::enabled() {
+        obs::record_count("mc/count", mcs.len() as u64);
+        obs::record_count("mc/deferred_points", deferred as u64);
+    }
     MuRTree::from_parts(eps, level1, mcs, assignment)
 }
 

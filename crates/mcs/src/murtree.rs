@@ -56,15 +56,21 @@ impl MuRTree {
     ///
     /// The list always contains the MC itself.
     pub fn compute_reachable(&mut self, data: &Dataset, counters: &Counters) {
+        let _span = obs::span!("find_reachable");
         let r = 3.0 * self.eps;
+        let mut reach_total = 0u64;
         for i in 0..self.mcs.len() {
             let center = self.mcs[i].center;
             let mut reach = Vec::new();
             let cost = self.level1.search_sphere(data.point(center), r, |mc| reach.push(mc));
             counters.count_dists(cost.mbr_tests);
-            counters.count_node_visit();
+            counters.count_node_visits(cost.nodes_visited.max(1));
             debug_assert!(reach.contains(&(i as McId)));
+            reach_total += reach.len() as u64;
             self.mcs[i].reach = reach;
+        }
+        if obs::enabled() {
+            obs::record_count("mc/reach_list_entries", reach_total);
         }
     }
 

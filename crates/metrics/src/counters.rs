@@ -33,11 +33,18 @@ impl Counters {
 
     /// Counters initialised with explicit values (used to snapshot the
     /// atomic [`SharedCounters`]).
-    pub fn from_raw(range_queries: u64, queries_saved: u64, dists: u64, unions: u64) -> Self {
+    pub fn from_raw(
+        range_queries: u64,
+        queries_saved: u64,
+        dists: u64,
+        node_visits: u64,
+        unions: u64,
+    ) -> Self {
         let c = Self::default();
         c.range_queries.set(range_queries);
         c.queries_saved.set(queries_saved);
         c.dist_computations.set(dists);
+        c.node_visits.set(node_visits);
         c.union_ops.set(unions);
         c
     }
@@ -64,6 +71,13 @@ impl Counters {
     #[inline]
     pub fn count_node_visit(&self) {
         self.node_visits.set(self.node_visits.get() + 1);
+    }
+
+    /// Record `n` index-node visits at once (e.g. a whole
+    /// `QueryCost::nodes_visited` batch).
+    #[inline]
+    pub fn count_node_visits(&self, n: u64) {
+        self.node_visits.set(self.node_visits.get() + n);
     }
 
     /// Record one union–find UNION operation.
@@ -126,6 +140,7 @@ pub struct SharedCounters {
     range_queries: AtomicU64,
     queries_saved: AtomicU64,
     dist_computations: AtomicU64,
+    node_visits: AtomicU64,
     union_ops: AtomicU64,
 }
 
@@ -153,6 +168,19 @@ impl SharedCounters {
         self.dist_computations.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one index-node visit.
+    #[inline]
+    pub fn count_node_visit(&self) {
+        self.node_visits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` index-node visits at once (one fetch-add for a whole
+    /// `QueryCost`-sized batch).
+    #[inline]
+    pub fn count_node_visits(&self, n: u64) {
+        self.node_visits.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record one UNION operation.
     #[inline]
     pub fn count_union(&self) {
@@ -174,6 +202,11 @@ impl SharedCounters {
         self.dist_computations.load(Ordering::Relaxed)
     }
 
+    /// Index-node visits.
+    pub fn node_visits(&self) -> u64 {
+        self.node_visits.load(Ordering::Relaxed)
+    }
+
     /// UNION operations.
     pub fn union_ops(&self) -> u64 {
         self.union_ops.load(Ordering::Relaxed)
@@ -190,13 +223,15 @@ impl SharedCounters {
         }
     }
 
-    /// Snapshot into a sequential [`Counters`] (node-visit count is not
-    /// tracked by the shared variant and reads as zero).
+    /// Snapshot into a sequential [`Counters`]. All five fields carry over
+    /// (node visits included — an earlier version of this signature dropped
+    /// them, which the `from_raw_round_trips` test now pins).
     pub fn snapshot(&self) -> Counters {
         Counters::from_raw(
             self.range_queries(),
             self.queries_saved(),
             self.dist_computations(),
+            self.node_visits(),
             self.union_ops(),
         )
     }
@@ -206,6 +241,7 @@ impl SharedCounters {
         self.range_queries.fetch_add(other.range_queries(), Ordering::Relaxed);
         self.queries_saved.fetch_add(other.queries_saved(), Ordering::Relaxed);
         self.dist_computations.fetch_add(other.dist_computations(), Ordering::Relaxed);
+        self.node_visits.fetch_add(other.node_visits(), Ordering::Relaxed);
         self.union_ops.fetch_add(other.union_ops(), Ordering::Relaxed);
     }
 }
@@ -270,6 +306,32 @@ mod tests {
         });
         assert_eq!(c.range_queries(), 400);
         assert_eq!(c.dist_computations(), 800);
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        // Every field survives a SharedCounters -> Counters snapshot —
+        // in particular node_visits, which from_raw used to drop.
+        let s = SharedCounters::new();
+        s.count_range_query();
+        s.count_query_saved();
+        s.count_dists(3);
+        s.count_node_visit();
+        s.count_node_visits(4);
+        s.count_union();
+        let snap = s.snapshot();
+        assert_eq!(snap.range_queries(), 1);
+        assert_eq!(snap.queries_saved(), 1);
+        assert_eq!(snap.dist_computations(), 3);
+        assert_eq!(snap.node_visits(), 5);
+        assert_eq!(snap.union_ops(), 1);
+
+        // And the reverse direction (absorb) keeps node visits too.
+        let s2 = SharedCounters::new();
+        s2.absorb(&snap);
+        assert_eq!(s2.node_visits(), 5);
+        let direct = Counters::from_raw(7, 6, 5, 4, 3);
+        assert_eq!(direct.node_visits(), 4);
     }
 
     #[test]

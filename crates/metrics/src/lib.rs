@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Instrumentation shared by all algorithms: phase timers (Tables III, VII,
 //! VIII), operation counters (the "% queries saved" column of Table II),

@@ -1,0 +1,95 @@
+#![deny(missing_docs)]
+
+//! # obs — phase-level observability for the μDBSCAN workspace
+//!
+//! The paper's whole evaluation (§VI, Tables II–VIII) is about *where time
+//! goes*: micro-cluster construction vs classification vs the restricted
+//! step-3 queries vs post-processing and merge, and how many ε-queries the
+//! wndq-core machinery saves. This crate is the measurement substrate that
+//! turns those quantities into machine-readable data:
+//!
+//! * **hierarchical phase spans** — RAII wall-clock timers that nest via a
+//!   thread-local stack, aggregated (total seconds + enter count) per
+//!   slash-joined path in a process-global, thread-safe collector;
+//! * **named counters and values** — monotone `u64` / additive `f64`
+//!   records for quantities that are not time (DMC/CMC/SMC classification
+//!   counts, halo bytes, wndq query saves, virtual BSP clocks);
+//! * **a JSON emitter and parser** ([`json`]) with no external
+//!   dependencies, used by the `bench` crate's `emit_bench` driver to
+//!   write the schema-versioned `BENCH_*.json` trajectory (see
+//!   `docs/BENCH_SCHEMA.md` at the repository root).
+//!
+//! Collection is **off by default** and controlled by a process-global
+//! switch: every instrumentation point first reads one relaxed atomic and
+//! does nothing else when disabled, so instrumented library code pays a
+//! few nanoseconds per phase when nobody is observing. The spans
+//! themselves are *phase-level* (a handful to a few thousand per run, not
+//! one per point), which keeps the enabled overhead under the 5 % budget
+//! recorded in EXPERIMENTS.md.
+//!
+//! ## Recording spans
+//!
+//! ```
+//! obs::reset();
+//! obs::enable();
+//! {
+//!     let _run = obs::span("mudbscan");
+//!     {
+//!         let _s = obs::span("tree_construction");
+//!         // ... build the micro-clusters ...
+//!     } // dropped: charged to "mudbscan/tree_construction"
+//!     obs::record_count("mc_dense", 17);
+//! }
+//! obs::disable();
+//!
+//! let report = obs::take_report();
+//! assert_eq!(report.span_count("mudbscan/tree_construction"), 1);
+//! assert_eq!(report.count("mc_dense"), 17);
+//! assert!(report.span_secs("mudbscan") >= report.span_secs("mudbscan/tree_construction"));
+//! ```
+//!
+//! ## Exporting a report as JSON
+//!
+//! ```
+//! obs::reset();
+//! obs::enable();
+//! obs::record_value("bsp/local/compute_virtual_secs", 0.25);
+//! obs::disable();
+//!
+//! let js = obs::take_report().to_json();
+//! let text = js.render_pretty();
+//! let back = obs::json::Json::parse(&text).unwrap();
+//! let v = back.get("values").and_then(|v| v.get("bsp/local/compute_virtual_secs"));
+//! assert_eq!(v.and_then(|v| v.as_f64()), Some(0.25));
+//! ```
+
+pub mod json;
+pub mod report;
+pub mod span;
+
+pub use json::Json;
+pub use report::{Report, SpanStat};
+pub use span::{
+    disable, enable, enabled, record_count, record_value, reset, span, take_report, Span,
+};
+
+/// Open a phase span: `span!("name")` is shorthand for [`span()`]`("name")`.
+///
+/// The returned guard must be bound (`let _s = span!(...)`) — binding to
+/// `_` drops it immediately and records a zero-length phase.
+///
+/// ```
+/// obs::reset();
+/// obs::enable();
+/// {
+///     let _s = obs::span!("mc_build");
+/// }
+/// obs::disable();
+/// assert_eq!(obs::take_report().span_count("mc_build"), 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

@@ -1,0 +1,117 @@
+//! The aggregated output of a collection window.
+//!
+//! A [`Report`] is what [`crate::take_report`] returns: every span path
+//! with its accumulated wall seconds and enter count, plus the named
+//! counters and additive values. It converts losslessly to [`crate::Json`]
+//! for the `BENCH_*.json` trajectory files.
+
+use crate::json::Json;
+
+/// Accumulated statistics of one span path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanStat {
+    /// Total wall-clock seconds across all entries of this path.
+    pub secs: f64,
+    /// Number of times the span was entered.
+    pub count: u64,
+}
+
+/// Everything collected between a [`crate::reset`] and a
+/// [`crate::take_report`], sorted by name for deterministic output.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// `(slash-joined path, stats)` for every span, sorted by path.
+    pub spans: Vec<(String, SpanStat)>,
+    /// `(name, total)` for every monotone counter, sorted by name.
+    pub counts: Vec<(String, u64)>,
+    /// `(name, total)` for every additive value, sorted by name.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Total seconds recorded under `path` (0 when absent).
+    pub fn span_secs(&self, path: &str) -> f64 {
+        self.spans.iter().find(|(p, _)| p == path).map_or(0.0, |(_, s)| s.secs)
+    }
+
+    /// Number of times the span at `path` was entered (0 when absent).
+    pub fn span_count(&self, path: &str) -> u64 {
+        self.spans.iter().find(|(p, _)| p == path).map_or(0, |(_, s)| s.count)
+    }
+
+    /// Value of the named counter (0 when absent).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of the named additive value (0.0 when absent).
+    pub fn value(&self, name: &str) -> f64 {
+        self.values.iter().find(|(n, _)| n == name).map_or(0.0, |(_, v)| *v)
+    }
+
+    /// Convert to a JSON object:
+    /// `{"spans": {path: {"secs": s, "count": c}}, "counts": {...},
+    /// "values": {...}}`.
+    pub fn to_json(&self) -> Json {
+        let spans = Json::obj_from(self.spans.iter().map(|(p, s)| {
+            (
+                p.clone(),
+                Json::obj_from([
+                    ("secs".to_string(), Json::Num(s.secs)),
+                    ("count".to_string(), Json::Num(s.count as f64)),
+                ]),
+            )
+        }));
+        let counts =
+            Json::obj_from(self.counts.iter().map(|(n, v)| (n.clone(), Json::Num(*v as f64))));
+        let values = Json::obj_from(self.values.iter().map(|(n, v)| (n.clone(), Json::Num(*v))));
+        Json::obj_from([
+            ("spans".to_string(), spans),
+            ("counts".to_string(), counts),
+            ("values".to_string(), values),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            spans: vec![
+                ("a".into(), SpanStat { secs: 1.5, count: 1 }),
+                ("a/b".into(), SpanStat { secs: 0.5, count: 3 }),
+            ],
+            counts: vec![("mc_dense".into(), 42)],
+            values: vec![("virtual".into(), 2.25)],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample();
+        assert_eq!(r.span_secs("a"), 1.5);
+        assert_eq!(r.span_count("a/b"), 3);
+        assert_eq!(r.count("mc_dense"), 42);
+        assert_eq!(r.value("virtual"), 2.25);
+        assert_eq!(r.span_secs("missing"), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let js = sample().to_json();
+        let text = js.render_pretty();
+        let back = Json::parse(&text).unwrap();
+        let ab = back.get("spans").and_then(|s| s.get("a/b")).unwrap();
+        assert_eq!(ab.get("count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            back.get("counts").and_then(|c| c.get("mc_dense")).and_then(Json::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(
+            back.get("values").and_then(|v| v.get("virtual")).and_then(Json::as_f64),
+            Some(2.25)
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The span collector: a process-global switch, a thread-local span
+//! stack, and mutex-protected aggregation maps.
+//!
+//! Design constraints (in priority order):
+//!
+//! 1. **Zero-cost when off.** Every entry point loads one relaxed
+//!    `AtomicBool` and returns; no allocation, no lock, no clock read.
+//!    Library code can therefore stay permanently instrumented.
+//! 2. **Behaviour-neutral.** Instrumentation only reads clocks and writes
+//!    to its own maps — it never touches algorithm state. The
+//!    `conformance` crate pins this with a differential test (identical
+//!    clustering with collection on and off).
+//! 3. **Thread-safe.** Spans may be opened and dropped on any thread; the
+//!    aggregation maps are shared behind a [`Mutex`]. Spans are
+//!    *phase-level* (coarse), so the lock is uncontended in practice —
+//!    the measured overhead on the repro_table2 workload is recorded in
+//!    EXPERIMENTS.md.
+//!
+//! Hierarchy comes from a thread-local stack of open span names: a span
+//! opened while another is open on the *same thread* is charged to the
+//! slash-joined path (`"mudbscan/tree_construction/aux_trees"`). Spans
+//! opened on freshly spawned worker threads start a new root — worker
+//! phases therefore appear as their own top-level paths, which is what
+//! the per-rank/per-thread breakdowns want anyway.
+
+use crate::report::{Report, SpanStat};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The global aggregation state. One mutex guards all three maps: span
+/// drops, counter adds and value adds are all phase-level events.
+struct Collector {
+    spans: HashMap<String, SpanStat>,
+    counts: HashMap<String, u64>,
+    values: HashMap<String, f64>,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Self { spans: HashMap::new(), counts: HashMap::new(), values: HashMap::new() }
+    }
+}
+
+static COLLECTOR: std::sync::LazyLock<Mutex<Collector>> =
+    std::sync::LazyLock::new(|| Mutex::new(Collector::new()));
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turn collection on. Instrumented code starts recording at the next
+/// span/record call; spans already open keep their (pre-enable) path.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn collection off. Spans currently open will still record on drop
+/// (they captured their start when opened); new ones become no-ops.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether collection is currently on. Callers that must *build* data to
+/// record (format a name, compute a byte count) should check this first.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Discard all collected data (spans, counts, values). Open spans will
+/// still record on drop.
+pub fn reset() {
+    let mut c = COLLECTOR.lock().expect("obs collector poisoned");
+    c.spans.clear();
+    c.counts.clear();
+    c.values.clear();
+}
+
+/// Swap the collected data out into a [`Report`], leaving the collector
+/// empty. The enabled flag is not changed.
+pub fn take_report() -> Report {
+    let mut c = COLLECTOR.lock().expect("obs collector poisoned");
+    let mut spans: Vec<(String, SpanStat)> = c.spans.drain().collect();
+    let mut counts: Vec<(String, u64)> = c.counts.drain().collect();
+    let mut values: Vec<(String, f64)> = c.values.drain().collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    counts.sort_by(|a, b| a.0.cmp(&b.0));
+    values.sort_by(|a, b| a.0.cmp(&b.0));
+    Report { spans, counts, values }
+}
+
+/// Add `n` to the named monotone counter. No-op while disabled.
+///
+/// ```
+/// obs::reset();
+/// obs::enable();
+/// obs::record_count("mc_dense", 3);
+/// obs::record_count("mc_dense", 4);
+/// obs::disable();
+/// assert_eq!(obs::take_report().count("mc_dense"), 7);
+/// ```
+pub fn record_count(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut c = COLLECTOR.lock().expect("obs collector poisoned");
+    *c.counts.entry(name.to_string()).or_insert(0) += n;
+}
+
+/// Add `v` to the named additive value (virtual seconds, ratios, bytes
+/// that want to stay fractional). No-op while disabled.
+pub fn record_value(name: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut c = COLLECTOR.lock().expect("obs collector poisoned");
+    *c.values.entry(name.to_string()).or_insert(0.0) += v;
+}
+
+/// An open phase span. Created by [`span`] / the `span!` macro; records
+/// its wall-clock duration under its hierarchical path when dropped.
+///
+/// The guard is intentionally not `Send`: a span must be dropped on the
+/// thread that opened it, because the hierarchy lives in a thread-local
+/// stack.
+#[must_use = "binding to `_` drops the span immediately; use `let _s = span(..)`"]
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when collection was disabled at open time (no-op guard).
+    start: Option<Instant>,
+    /// Marker making the type `!Send` (raw pointers are not `Send`).
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open a phase span named `name`, nested under the spans currently open
+/// on this thread. See the crate docs for an example.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { start: None, _not_send: std::marker::PhantomData };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    Span { start: Some(Instant::now()), _not_send: std::marker::PhantomData }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let secs = start.elapsed().as_secs_f64();
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut c = COLLECTOR.lock().expect("obs collector poisoned");
+        let stat = c.spans.entry(path).or_insert(SpanStat { secs: 0.0, count: 0 });
+        stat.secs += secs;
+        stat.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The collector is process-global, so tests that toggle it must not
+    /// interleave. One lock shared by every test in this module.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = locked();
+        reset();
+        disable();
+        {
+            let _s = span("ghost");
+            record_count("ghost_count", 5);
+            record_value("ghost_value", 1.0);
+        }
+        let r = take_report();
+        assert!(r.spans.is_empty());
+        assert!(r.counts.is_empty());
+        assert!(r.values.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_join_paths() {
+        let _g = locked();
+        reset();
+        enable();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            {
+                let _inner = span("inner");
+            }
+        }
+        disable();
+        let r = take_report();
+        assert_eq!(r.span_count("outer"), 1);
+        assert_eq!(r.span_count("outer/inner"), 2);
+        assert!(r.span_secs("outer") >= r.span_secs("outer/inner"));
+    }
+
+    #[test]
+    fn spans_from_threads_aggregate() {
+        let _g = locked();
+        reset();
+        enable();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        let _s = span("worker_phase");
+                    }
+                });
+            }
+        });
+        disable();
+        let r = take_report();
+        assert_eq!(r.span_count("worker_phase"), 32);
+    }
+
+    #[test]
+    fn counts_and_values_accumulate() {
+        let _g = locked();
+        reset();
+        enable();
+        record_count("c", 1);
+        record_count("c", 2);
+        record_value("v", 0.5);
+        record_value("v", 0.25);
+        disable();
+        let r = take_report();
+        assert_eq!(r.count("c"), 3);
+        assert!((r.value("v") - 0.75).abs() < 1e-12);
+        // Missing names read as zero.
+        assert_eq!(r.count("absent"), 0);
+        assert_eq!(r.value("absent"), 0.0);
+    }
+
+    #[test]
+    fn take_report_drains() {
+        let _g = locked();
+        reset();
+        enable();
+        record_count("once", 1);
+        disable();
+        assert_eq!(take_report().count("once"), 1);
+        assert_eq!(take_report().count("once"), 0);
+    }
+}

@@ -7,7 +7,7 @@
 //! per-point **reachability distances**, from which the DBSCAN clustering
 //! at **any** ε′ ≤ ε can be read off with a horizontal cut. The μDBSCAN
 //! authors' group maintains a companion parallel OPTICS (ICDCN'15,
-//! cited as [27] by the paper); this crate brings the same capability to
+//! cited as \[27\] by the paper); this crate brings the same capability to
 //! this workspace, reusing the μR-tree for all neighbourhood queries.
 //!
 //! Semantics follow this workspace's strict conventions: `N_ε(p)` uses

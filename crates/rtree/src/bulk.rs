@@ -13,6 +13,7 @@ use geom::Mbr;
 impl RTree {
     /// Build a tree from a static entry set using STR packing.
     pub fn bulk_load(dim: usize, cfg: RTreeConfig, mut entries: Vec<Entry>) -> RTree {
+        let _span = obs::span!("rtree_bulk_load");
         let mut tree = RTree::with_config(dim, cfg);
         if entries.is_empty() {
             return tree;
@@ -58,6 +59,10 @@ impl RTree {
         tree.root = Some(level[0]);
         tree.len = len;
         tree.height = height;
+        if obs::enabled() {
+            obs::record_count("rtree/bulk_loaded_entries", len as u64);
+            obs::record_count("rtree/bulk_loaded_nodes", tree.nodes.len() as u64);
+        }
         tree
     }
 

@@ -4,7 +4,8 @@
 //! compatible implementation of the APIs the workspace's property tests
 //! call: the [`proptest!`] macro (with inner `#[test]` attributes and an
 //! optional `#![proptest_config(..)]` line), range/tuple/`vec` strategies,
-//! [`Strategy::prop_map`] / [`Strategy::prop_flat_map`], [`any`], and the
+//! [`strategy::Strategy::prop_map`] / [`strategy::Strategy::prop_flat_map`],
+//! `any`, and the
 //! `prop_assert*` macros.
 //!
 //! Differences from upstream proptest, deliberately accepted:

@@ -151,7 +151,7 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
-/// Element-count specification for [`vec`]: a fixed size, `lo..hi`, or
+/// Element-count specification for [`vec()`]: a fixed size, `lo..hi`, or
 /// `lo..=hi`.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
