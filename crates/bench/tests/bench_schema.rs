@@ -1,4 +1,4 @@
-//! Validate the committed `BENCH_PR2.json` trajectory against the schema
+//! Validate the committed `BENCH_PR3.json` trajectory against the schema
 //! documented in `docs/BENCH_SCHEMA.md`.
 //!
 //! The CI perf-smoke job points `BENCH_SCHEMA_FILE` at a freshly emitted
@@ -15,12 +15,21 @@ use obs::Json;
 const REQUIRED_ALGORITHMS: [&str; 5] =
     ["mudbscan_seq", "par_mudbscan_t1", "par_mudbscan_t4", "mudbscan_d_p1", "mudbscan_d_p4"];
 
+/// Below this per-workload size the construction critical path is
+/// dominated by fixed costs (thread spawn, tiling) and the t1→t4 speedup
+/// assertion would be noise, so it is only enforced at or above it.
+const MAKESPAN_GATE_MIN_N: f64 = 4000.0;
+
+/// The acceptance bar for the parallel MC build: the t4 construction
+/// critical path must beat t1 by at least this factor.
+const MAKESPAN_MIN_SPEEDUP: f64 = 1.5;
+
 fn trajectory_path() -> std::path::PathBuf {
     if let Ok(p) = std::env::var("BENCH_SCHEMA_FILE") {
         return p.into();
     }
     // crates/bench -> repository root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR2.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json")
 }
 
 fn get_f64(v: &Json, key: &str) -> f64 {
@@ -32,11 +41,12 @@ fn committed_trajectory_matches_schema() {
     let path = trajectory_path();
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let root = Json::parse(&text).expect("BENCH_PR2.json must be valid JSON");
+    let root = Json::parse(&text).expect("BENCH_PR3.json must be valid JSON");
 
-    assert_eq!(get_f64(&root, "schema_version"), 1.0, "schema_version must be 1");
+    assert_eq!(get_f64(&root, "schema_version"), 2.0, "schema_version must be 2");
     assert_eq!(get_f64(&root, "seed"), 2019.0, "pinned seed");
-    assert!(get_f64(&root, "points_per_workload") >= 100.0);
+    let points_per_workload = get_f64(&root, "points_per_workload");
+    assert!(points_per_workload >= 100.0);
 
     let workloads = root.get("workloads").and_then(Json::as_array).expect("workloads array");
     assert!(!workloads.is_empty(), "at least one workload");
@@ -56,6 +66,7 @@ fn committed_trajectory_matches_schema() {
             assert!(labels.contains(&required), "{name}: missing algorithm {required}");
         }
 
+        let mut makespans: Vec<(String, f64)> = Vec::new();
         for r in runs {
             let label = r.get("algorithm").and_then(Json::as_str).unwrap();
             let ctx = format!("{name}/{label}");
@@ -82,6 +93,13 @@ fn committed_trajectory_matches_schema() {
             let obs = r.get("obs").expect("obs report");
             let spans = obs.get("spans").and_then(Json::as_object).expect("obs spans");
             assert!(!spans.is_empty(), "{ctx}: obs spans must be recorded");
+            // Shared-memory parallel runs carry the parallel-build
+            // critical path (schema v2).
+            if label.starts_with("par_mudbscan") {
+                let m = get_f64(r, "tree_construction_makespan");
+                assert!(m > 0.0, "{ctx}: tree_construction_makespan must be positive");
+                makespans.push((label.to_string(), m));
+            }
             // Distributed runs must carry the virtual clock and the BSP
             // compute/comm split.
             if label.starts_with("mudbscan_d") {
@@ -96,6 +114,28 @@ fn committed_trajectory_matches_schema() {
                     "{ctx}: BSP comm split missing"
                 );
             }
+        }
+
+        // The parallel build must actually scale: at bench-sized
+        // workloads, the t4 construction critical path beats t1 by the
+        // acceptance factor. (Skipped for smoke-sized runs where fixed
+        // costs dominate.)
+        if points_per_workload >= MAKESPAN_GATE_MIN_N {
+            let find = |l: &str| {
+                makespans
+                    .iter()
+                    .find(|(label, _)| label == l)
+                    .unwrap_or_else(|| panic!("{name}: no makespan for {l}"))
+                    .1
+            };
+            let t1 = find("par_mudbscan_t1");
+            let t4 = find("par_mudbscan_t4");
+            assert!(
+                t4 * MAKESPAN_MIN_SPEEDUP < t1,
+                "{name}: tree_construction makespan speedup below {MAKESPAN_MIN_SPEEDUP}x \
+                 (t1 {t1:.6}s vs t4 {t4:.6}s = {:.2}x)",
+                t1 / t4
+            );
         }
     }
 

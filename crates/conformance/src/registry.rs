@@ -54,10 +54,13 @@ impl ExactDbscan for SeqMu {
     }
 }
 
-/// `ParMuDbscan` at a fixed worker-thread count.
+/// `ParMuDbscan` at a fixed worker-thread count. `seq_build` pins the
+/// sequential micro-cluster construction (the pre-parallel-build path);
+/// otherwise the default tiled parallel builder runs.
 struct ParMu {
     name: &'static str,
     threads: usize,
+    seq_build: bool,
 }
 
 impl ExactDbscan for ParMu {
@@ -66,7 +69,11 @@ impl ExactDbscan for ParMu {
     }
 
     fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
-        Ok(ParMuDbscan::new(*params, self.threads).run(data).clustering)
+        let mut algo = ParMuDbscan::new(*params, self.threads);
+        if self.seq_build {
+            algo = algo.with_options(BuildOptions::default());
+        }
+        Ok(algo.run(data).clustering)
     }
 }
 
@@ -186,11 +193,14 @@ pub fn registry() -> Vec<Box<dyn ExactDbscan>> {
         }),
         // Parallel μDBSCAN across thread counts (1 pins the degenerate
         // single-worker path; 8 usually oversubscribes CI and stresses the
-        // border-claim/promotion interleavings).
-        Box::new(ParMu { name: "mu-par/t1", threads: 1 }),
-        Box::new(ParMu { name: "mu-par/t2", threads: 2 }),
-        Box::new(ParMu { name: "mu-par/t4", threads: 4 }),
-        Box::new(ParMu { name: "mu-par/t8", threads: 8 }),
+        // border-claim/promotion interleavings). These use the default
+        // tiled parallel MC build; the /seq-build entry keeps the
+        // sequential-construction combination covered too.
+        Box::new(ParMu { name: "mu-par/t1", threads: 1, seq_build: false }),
+        Box::new(ParMu { name: "mu-par/t2", threads: 2, seq_build: false }),
+        Box::new(ParMu { name: "mu-par/t4", threads: 4, seq_build: false }),
+        Box::new(ParMu { name: "mu-par/t8", threads: 8, seq_build: false }),
+        Box::new(ParMu { name: "mu-par/t4/seq-build", threads: 4, seq_build: true }),
         // Sequential baselines.
         Box::new(RBaseline),
         Box::new(GBaseline),

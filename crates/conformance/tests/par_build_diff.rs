@@ -1,0 +1,204 @@
+//! Differential suite for the tiled parallel micro-cluster builder
+//! (`mcs::build_micro_clusters_par`), over the same randomized dataset
+//! families the main conformance sweep uses. Three properties per case:
+//!
+//! 1. **partition invariants** — exclusive membership, every member
+//!    strictly within ε of its center, centers pairwise ≥ ε apart,
+//!    `center == members[0]`, no point unassigned;
+//! 2. **thread-count determinism** — the MC set (centers + member lists)
+//!    and the construction counters are bit-identical for threads ∈
+//!    {1, 2, 4, 8};
+//! 3. **downstream exactness** — `ParMuDbscan` running on top of the
+//!    parallel build still matches the O(n²) `naive_dbscan` oracle.
+//!
+//! Plus two non-proptest anchors: a counter-consistency test pinning the
+//! acceptance criterion that sequential and parallel t1 runs (sequential
+//! build path) report identical `node_visits`/`range_queries` after the
+//! accounting fixes, and a `PROPTEST_CASES`-scaled stress loop for the
+//! tile-boundary reconciliation pass.
+
+use conformance::{DatasetSpec, Family, FAMILIES};
+use geom::{dist_euclidean, Dataset, DbscanParams};
+use mcs::{build_micro_clusters_par, BuildOptions, McId, MuRTree};
+use metrics::Counters;
+use mudbscan::{check_exact, naive_dbscan, MuDbscan, ParMuDbscan};
+use proptest::prelude::*;
+
+/// Assert the μR-tree is a valid MC partition of `data` for `eps`.
+fn assert_partition(label: &str, data: &Dataset, t: &MuRTree, eps: f64) {
+    let mut seen = vec![false; data.len()];
+    for (id, mc) in t.mcs.iter().enumerate() {
+        assert_eq!(mc.center, mc.members[0], "{label}: center must be first member");
+        for &m in &mc.members {
+            assert!(!seen[m as usize], "{label}: point {m} in two MCs");
+            seen[m as usize] = true;
+            assert_eq!(t.assignment[m as usize], id as McId, "{label}: assignment mismatch");
+            assert!(
+                dist_euclidean(data.point(m), data.point(mc.center)) < eps,
+                "{label}: member outside its MC ball"
+            );
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "{label}: unassigned point");
+    for (i, a) in t.mcs.iter().enumerate() {
+        for b in t.mcs.iter().skip(i + 1) {
+            assert!(
+                dist_euclidean(data.point(a.center), data.point(b.center)) >= eps,
+                "{label}: two MC centers within eps"
+            );
+        }
+    }
+}
+
+/// (center, members) per MC — the canonical identity of a build result.
+type Fingerprint = Vec<(u32, Vec<u32>)>;
+
+fn fingerprint(t: &MuRTree) -> Fingerprint {
+    t.mcs.iter().map(|mc| (mc.center, mc.members.clone())).collect()
+}
+
+fn check_case(
+    test: &str,
+    family: Family,
+    n: usize,
+    dim: usize,
+    seed: u64,
+    eps: f64,
+    min_pts: usize,
+) -> Result<(), TestCaseError> {
+    let spec = DatasetSpec { family, n, dim, seed };
+    let data = Dataset::from_rows(&spec.rows());
+    let params = DbscanParams::new(eps, min_pts);
+
+    let mut baseline: Option<(Fingerprint, (u64, u64, u64))> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let c = Counters::new();
+        let (t, _) = build_micro_clusters_par(&data, eps, &BuildOptions::default(), threads, &c);
+        assert_partition(&format!("{test}/t{threads}"), &data, &t, eps);
+        let fp = fingerprint(&t);
+        let cc = (c.node_visits(), c.dist_computations(), c.range_queries());
+        match &baseline {
+            None => baseline = Some((fp, cc)),
+            Some((bfp, bcc)) => {
+                prop_assert_eq!(&fp, bfp, "{}: MC set drifted at t{}", test, threads);
+                prop_assert_eq!(&cc, bcc, "{}: counters drifted at t{}", test, threads);
+            }
+        }
+    }
+
+    // Downstream exactness on top of the parallel build.
+    let reference = naive_dbscan(&data, &params);
+    let out = ParMuDbscan::new(params, 2).run(&data);
+    let rep = check_exact(&out.clustering, &reference, &data, &params);
+    prop_assert!(rep.is_exact(), "{}: parallel-build clustering inexact: {:?}", test, rep);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn blobs_par_build(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                       eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check_case("blobs_par_build", Family::Blobs, n, dim, seed,
+                   eps_steps as f64 * 0.15, min_pts)?;
+    }
+
+    #[test]
+    fn uniform_par_build(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                         eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check_case("uniform_par_build", Family::Uniform, n, dim, seed,
+                   eps_steps as f64 * 0.15, min_pts)?;
+    }
+
+    #[test]
+    fn chains_par_build(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                        eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check_case("chains_par_build", Family::Chains, n, dim, seed,
+                   eps_steps as f64 * 0.15, min_pts)?;
+    }
+
+    #[test]
+    fn duplicates_par_build(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                            eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check_case("duplicates_par_build", Family::Duplicates, n, dim, seed,
+                   eps_steps as f64 * 0.15, min_pts)?;
+    }
+
+    #[test]
+    fn mixed_par_build(seed in 0u64..u64::MAX / 2, n in 4usize..64, dim in 1usize..9,
+                       eps_steps in 1usize..12, min_pts in 1usize..8) {
+        check_case("mixed_par_build", Family::Mixed, n, dim, seed,
+                   eps_steps as f64 * 0.15, min_pts)?;
+    }
+}
+
+/// Acceptance criterion: after the query-accounting fixes, a sequential
+/// `MuDbscan` run and a `ParMuDbscan` t1 run over the *same construction
+/// path* (sequential build pinned) execute the identical counting
+/// sequence — `node_visits` and `range_queries` must agree exactly, on a
+/// fixed seed, across every family.
+#[test]
+fn seq_and_par_t1_counters_agree() {
+    for family in FAMILIES {
+        let spec = DatasetSpec { family, n: 300, dim: 3, seed: 2019 };
+        let data = Dataset::from_rows(&spec.rows());
+        let params = DbscanParams::new(0.6, 5);
+
+        let seq = MuDbscan::new(params).run(&data);
+        let par = ParMuDbscan::new(params, 1).with_options(BuildOptions::default()).run(&data);
+        let par_counters = par.counters.snapshot();
+
+        let label = family.as_str();
+        assert_eq!(
+            seq.counters.node_visits(),
+            par_counters.node_visits(),
+            "{label}: node_visits drifted between seq and par t1"
+        );
+        assert_eq!(
+            seq.counters.range_queries(),
+            par_counters.range_queries(),
+            "{label}: range_queries drifted between seq and par t1"
+        );
+        assert_eq!(
+            seq.counters.queries_saved(),
+            par_counters.queries_saved(),
+            "{label}: queries_saved drifted between seq and par t1"
+        );
+    }
+}
+
+/// Repeated-stress variant of the tile-boundary reconciliation test: a
+/// near-ε-spaced line crosses every tile boundary (maximising candidate
+/// conflicts), jittered per repetition. Scaled by `PROPTEST_CASES` so the
+/// CI stress job can turn it up without a code change.
+#[test]
+fn tile_boundary_reconciliation_stress() {
+    let reps: usize =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let eps = 1.0;
+    for rep in 0..reps.max(1) {
+        // Deterministic per-rep jitter (no RNG: keep replays trivial).
+        let jitter = (rep as f64 * 0.017) % 0.09;
+        let rows: Vec<Vec<f64>> =
+            (0..300).map(|i| vec![i as f64 * (0.11 + jitter), (i % 7) as f64 * 0.05]).collect();
+        let data = Dataset::from_rows(&rows);
+
+        let mut baseline: Option<Fingerprint> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let c = Counters::new();
+            let (t, stats) =
+                build_micro_clusters_par(&data, eps, &BuildOptions::default(), threads, &c);
+            assert_partition(&format!("stress rep {rep} t{threads}"), &data, &t, eps);
+            assert!(stats.tiles > 5, "rep {rep}: the line must cross many tiles");
+            match &baseline {
+                None => baseline = Some(fingerprint(&t)),
+                Some(b) => assert_eq!(
+                    &fingerprint(&t),
+                    b,
+                    "rep {rep} t{threads}: reconciliation outcome drifted"
+                ),
+            }
+        }
+    }
+}

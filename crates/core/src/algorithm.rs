@@ -359,7 +359,11 @@ pub fn post_processing_core(
                         hit = Some(q);
                     }
                 });
+                // Same accounting as the other aux query sites: this IS a
+                // range query, and its node visits count like any other.
+                counters.count_range_query();
                 counters.count_dists(cost.mbr_tests);
+                counters.count_node_visits(cost.nodes_visited.max(1));
                 if let Some(q) = hit {
                     state.uf.union(p, q);
                     counters.count_union();

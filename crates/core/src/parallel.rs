@@ -4,8 +4,13 @@
 //!
 //! The sequential algorithm's steps parallelise as follows:
 //!
-//! * μR-tree construction stays sequential (it is inherently ordered:
-//!   each point's placement depends on the MCs created so far);
+//! * μR-tree construction uses the tiled deterministic parallel builder
+//!   ([`mcs::build_micro_clusters_par`]) by default — the sequential scan
+//!   is inherently ordered, so the parallel path tiles space into 2ε
+//!   cells, scans tiles on workers and reconciles boundary conflicts
+//!   sequentially (pin `BuildOptions::default()` via
+//!   [`ParMuDbscan::with_options`] to recover the paper's exact
+//!   construction order);
 //! * MC classification, `PROCESS-REM-POINTS` and `POST-PROCESSING-*` run
 //!   on a pool of worker threads over disjoint chunks, sharing a
 //!   lock-free [`ConcurrentUnionFind`] and per-point atomic flags.
@@ -21,7 +26,7 @@
 
 use crate::clustering::Clustering;
 use geom::{dist_sq, Dataset, DbscanParams, PointId};
-use mcs::{build_micro_clusters, BuildOptions, McKind};
+use mcs::{build_micro_clusters, build_micro_clusters_par, BuildOptions, McKind, ParBuildStats};
 use metrics::{PhaseTimer, SharedCounters, Stopwatch};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -46,6 +51,13 @@ pub struct ParOutput {
     pub phases: PhaseTimer,
     /// Number of micro-clusters.
     pub mc_count: usize,
+    /// Diagnostics from the parallel construction path (`None` when the
+    /// sequential builder ran, i.e. `BuildOptions::parallel` was off).
+    /// `build_stats.makespan_secs` is the construction critical path:
+    /// sequential stage walls plus the per-worker busy maximum of each
+    /// parallel stage — the number that scales with threads even on
+    /// machines with fewer cores than workers.
+    pub build_stats: Option<ParBuildStats>,
 }
 
 struct Flags {
@@ -99,10 +111,12 @@ impl Flags {
 }
 
 impl ParMuDbscan {
-    /// New instance with `threads` worker threads.
+    /// New instance with `threads` worker threads. Uses the tiled parallel
+    /// micro-cluster builder; override with [`ParMuDbscan::with_options`]
+    /// (e.g. `BuildOptions::default()` for the sequential scan).
     pub fn new(params: DbscanParams, threads: usize) -> Self {
         assert!(threads >= 1);
-        Self { params, opts: BuildOptions::default(), threads }
+        Self { params, opts: BuildOptions { parallel: true, ..Default::default() }, threads }
     }
 
     /// Override micro-cluster construction options.
@@ -120,10 +134,19 @@ impl ParMuDbscan {
         let mut sw = Stopwatch::start();
         let run_span = obs::span!("par_mudbscan");
 
-        // Step 1 (sequential): μR-tree.
+        // Step 1: μR-tree — tiled parallel construction by default, the
+        // sequential Algorithm-3 scan when `opts.parallel` is off. Both
+        // paths count through a sequential `Counters` absorbed once, so
+        // t1 snapshots stay comparable with `MuDbscan`.
         let step1 = obs::span!("tree_construction");
         let seq_counters = metrics::Counters::new();
-        let mut tree = build_micro_clusters(data, params.eps, &self.opts, &seq_counters);
+        let (mut tree, build_stats) = if self.opts.parallel {
+            let (tree, stats) =
+                build_micro_clusters_par(data, params.eps, &self.opts, self.threads, &seq_counters);
+            (tree, Some(stats))
+        } else {
+            (build_micro_clusters(data, params.eps, &self.opts, &seq_counters), None)
+        };
         counters.absorb(&seq_counters);
         drop(step1);
         phases.add_secs("tree_construction", sw.lap());
@@ -329,7 +352,12 @@ impl ParMuDbscan {
                                     hit = Some(q);
                                 }
                             });
+                            // Mirrors the sequential post_processing_core
+                            // site exactly, so seq/par counter snapshots
+                            // stay comparable.
+                            counters.count_range_query();
                             counters.count_dists(cost.mbr_tests);
+                            counters.count_node_visits(cost.nodes_visited.max(1));
                             if let Some(q) = hit {
                                 uf.union(p, q);
                                 counters.count_union();
@@ -401,7 +429,7 @@ impl ParMuDbscan {
             }
         }
         let clustering = Clustering::from_union_find(&mut seq_uf, is_core);
-        ParOutput { clustering, counters, phases, mc_count: tree.mc_count() }
+        ParOutput { clustering, counters, phases, mc_count: tree.mc_count(), build_stats }
     }
 }
 
@@ -500,14 +528,32 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_canon() {
+        // Pin the sequential construction path: with it, the MC partition
+        // (not just the clustering) must match `MuDbscan` exactly.
         let data = blobs(9);
         let params = DbscanParams::new(0.8, 4);
         let seq = crate::MuDbscan::new(params).run(&data);
-        let par = ParMuDbscan::new(params, 4).run(&data);
+        let par = ParMuDbscan::new(params, 4).with_options(BuildOptions::default()).run(&data);
+        assert!(par.build_stats.is_none(), "default BuildOptions must select the sequential build");
         assert_eq!(par.clustering.n_clusters, seq.clustering.n_clusters);
         assert_eq!(par.clustering.is_core, seq.clustering.is_core);
         assert_eq!(par.clustering.noise_count(), seq.clustering.noise_count());
         assert_eq!(par.mc_count, seq.mc_count);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_clustering() {
+        // The tiled parallel build may partition MCs differently, but the
+        // clustering it feeds must still be canon-identical to MuDbscan.
+        let data = blobs(9);
+        let params = DbscanParams::new(0.8, 4);
+        let seq = crate::MuDbscan::new(params).run(&data);
+        let par = ParMuDbscan::new(params, 4).run(&data);
+        let stats = par.build_stats.expect("ParMuDbscan::new must default to the parallel build");
+        assert!(stats.tiles > 0);
+        assert_eq!(par.clustering.n_clusters, seq.clustering.n_clusters);
+        assert_eq!(par.clustering.is_core, seq.clustering.is_core);
+        assert_eq!(par.clustering.noise_count(), seq.clustering.noise_count());
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub struct BuildOptions {
     pub level1_cfg: RTreeConfig,
     /// Fan-out of the per-MC auxiliary trees.
     pub aux_cfg: RTreeConfig,
+    /// Use the tiled parallel construction path
+    /// ([`crate::build_micro_clusters_par`]) instead of the sequential
+    /// Algorithm-3 scan. Off by default so the sequential algorithms keep
+    /// the paper's exact construction order; [`ParMuDbscan`] turns it on.
+    ///
+    /// [`ParMuDbscan`]: ../mudbscan/struct.ParMuDbscan.html
+    pub parallel: bool,
 }
 
 impl Default for BuildOptions {
@@ -41,6 +48,7 @@ impl Default for BuildOptions {
             str_aux: true,
             level1_cfg: RTreeConfig::default(),
             aux_cfg: RTreeConfig::default(),
+            parallel: false,
         }
     }
 }
@@ -70,18 +78,28 @@ pub fn build_micro_clusters(
         assignment[p as usize] = id;
     };
 
-    // First scan (Algorithm 3, PROCESS-POINT).
+    // First scan (Algorithm 3, PROCESS-POINT). Each probe charges the real
+    // traversal cost `first_in_sphere` paid — the old code guessed (a flat
+    // node visit per point, 1–2 dists per hit), skewing every downstream
+    // query-save percentage.
     let scan1 = obs::span!("scan_assign");
     for (p, coords) in data.iter() {
-        counters.count_node_visit();
-        if let Some(mc) = level1.first_in_sphere(coords, eps) {
-            counters.count_dists(1);
+        let (hit, cost) = level1.first_in_sphere(coords, eps);
+        counters.count_node_visits(cost.nodes_visited.max(1));
+        counters.count_dists(cost.mbr_tests);
+        if let Some(mc) = hit {
             let center = mcs[mc as usize].center;
             mcs[mc as usize].insert(p, coords, data.point(center), eps);
             assignment[p as usize] = mc;
-        } else if opts.two_eps_deferral && level1.first_in_sphere(coords, 2.0 * eps).is_some() {
-            counters.count_dists(2);
-            unassigned.push(p);
+        } else if opts.two_eps_deferral {
+            let (near, cost2) = level1.first_in_sphere(coords, 2.0 * eps);
+            counters.count_node_visits(cost2.nodes_visited.max(1));
+            counters.count_dists(cost2.mbr_tests);
+            if near.is_some() {
+                unassigned.push(p);
+            } else {
+                create_mc(p, coords, &mut level1, &mut mcs, &mut assignment);
+            }
         } else {
             create_mc(p, coords, &mut level1, &mut mcs, &mut assignment);
         }
@@ -90,12 +108,14 @@ pub fn build_micro_clusters(
     drop(scan1);
     let deferred = unassigned.len();
 
-    // Second scan (PROCESS-UNASSIGNED-POINT).
+    // Second scan (PROCESS-UNASSIGNED-POINT), same real-cost accounting.
     let scan2 = obs::span!("scan_unassigned");
     for p in unassigned {
         let coords = data.point(p);
-        if let Some(mc) = level1.first_in_sphere(coords, eps) {
-            counters.count_dists(1);
+        let (hit, cost) = level1.first_in_sphere(coords, eps);
+        counters.count_node_visits(cost.nodes_visited.max(1));
+        counters.count_dists(cost.mbr_tests);
+        if let Some(mc) = hit {
             let center = mcs[mc as usize].center;
             mcs[mc as usize].insert(p, coords, data.point(center), eps);
             assignment[p as usize] = mc;

@@ -46,7 +46,9 @@
 pub mod build;
 pub mod micro;
 pub mod murtree;
+pub mod par_build;
 
 pub use build::{build_micro_clusters, BuildOptions};
 pub use micro::{McId, McKind, MicroCluster, NO_MC};
 pub use murtree::MuRTree;
+pub use par_build::{build_micro_clusters_par, ParBuildStats};

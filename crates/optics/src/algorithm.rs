@@ -210,7 +210,7 @@ pub fn extract_dbscan(out: &OpticsOutput, data: &Dataset, eps_prime: f64) -> Clu
             (0..n as u32).filter(|&p| is_core[p as usize]).map(|p| (p, data.point(p).to_vec())),
         );
         for p in noise_points {
-            if let Some(q) = core_tree.first_in_sphere(data.point(p), eps_prime) {
+            if let (Some(q), _cost) = core_tree.first_in_sphere(data.point(p), eps_prime) {
                 labels[p as usize] = labels[q as usize];
             }
         }

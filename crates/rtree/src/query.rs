@@ -96,17 +96,26 @@ impl RTree {
     }
 
     /// First item found whose MBR intersects the open ball of radius `r`
-    /// around `center`, or `None`. Traversal stops at the first hit —
-    /// this is the short-circuit test micro-cluster construction uses
-    /// ("is there *any* MC center within ε / 2ε of this point?").
-    pub fn first_in_sphere(&self, center: &[f64], r: f64) -> Option<u32> {
+    /// around `center` (`None` when nothing qualifies), plus the traversal
+    /// cost actually paid. Traversal stops at the first hit — this is the
+    /// short-circuit test micro-cluster construction uses ("is there *any*
+    /// MC center within ε / 2ε of this point?").
+    ///
+    /// Earlier versions discarded the [`QueryCost`], which forced the two
+    /// construction scan loops to *guess* (a flat one node visit per point
+    /// and 1–2 distance tests per hit) — returning the real cost closes
+    /// that query-accounting hole.
+    pub fn first_in_sphere(&self, center: &[f64], r: f64) -> (Option<u32>, QueryCost) {
         let r_sq = r * r;
-        let root = self.root?;
+        let mut cost = QueryCost::default();
+        let Some(root) = self.root else { return (None, cost) };
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
+            cost.nodes_visited += 1;
             match &self.nodes[n as usize] {
                 Node::Internal { children, .. } => {
                     for &c in children {
+                        cost.mbr_tests += 1;
                         if self.nodes[c as usize].mbr().min_dist_sq(center) < r_sq {
                             stack.push(c);
                         }
@@ -114,14 +123,16 @@ impl RTree {
                 }
                 Node::Leaf { entries, .. } => {
                     for e in entries {
+                        cost.mbr_tests += 1;
                         if e.mbr.min_dist_sq(center) < r_sq {
-                            return Some(e.item);
+                            cost.matches += 1;
+                            return (Some(e.item), cost);
                         }
                     }
                 }
             }
         }
-        None
+        (None, cost)
     }
 
     /// Collect the ids of all items strictly within `r` of `center`.
@@ -248,15 +259,27 @@ mod tests {
     fn first_in_sphere_short_circuits() {
         let (t, pts) = build_grid(10);
         // Dense area: must find something within 1.5 of any grid point.
-        let hit = t.first_in_sphere(&pts[44], 1.5);
+        let (hit, cost) = t.first_in_sphere(&pts[44], 1.5);
         assert!(hit.is_some());
-        // Far away: nothing within 3.
-        assert_eq!(t.first_in_sphere(&[100.0, 100.0], 3.0), None);
+        assert_eq!(cost.matches, 1);
+        assert!(cost.nodes_visited >= 1);
+        assert!(cost.mbr_tests >= 1);
+        // Short-circuiting must cost no more than the full sphere search.
+        let full = t.search_sphere(&pts[44], 1.5, |_| {});
+        assert!(cost.nodes_visited <= full.nodes_visited);
+        assert!(cost.mbr_tests <= full.mbr_tests);
+        // Far away: nothing within 3 — but the root was still inspected.
+        let (miss, miss_cost) = t.first_in_sphere(&[100.0, 100.0], 3.0);
+        assert_eq!(miss, None);
+        assert_eq!(miss_cost.matches, 0);
+        assert!(miss_cost.nodes_visited >= 1);
         // Strictness: point exactly at distance r is not a hit.
-        assert_eq!(t.first_in_sphere(&[-1.0, 0.0], 1.0), None);
-        assert!(t.first_in_sphere(&[-1.0, 0.0], 1.0 + 1e-9).is_some());
-        // Empty tree.
-        assert_eq!(RTree::new(2).first_in_sphere(&[0.0, 0.0], 10.0), None);
+        assert_eq!(t.first_in_sphere(&[-1.0, 0.0], 1.0).0, None);
+        assert!(t.first_in_sphere(&[-1.0, 0.0], 1.0 + 1e-9).0.is_some());
+        // Empty tree: no hit, zero cost.
+        let (none, empty_cost) = RTree::new(2).first_in_sphere(&[0.0, 0.0], 10.0);
+        assert_eq!(none, None);
+        assert_eq!(empty_cost, QueryCost::default());
     }
 
     #[test]

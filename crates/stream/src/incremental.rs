@@ -112,7 +112,10 @@ impl StreamingMuDbscan {
 
         // Micro-cluster maintenance: join the first MC whose center is
         // strictly within ε, else start a new one.
-        match self.level1.first_in_sphere(coords, self.params.eps) {
+        let (hit, probe_cost) = self.level1.first_in_sphere(coords, self.params.eps);
+        self.counters.count_node_visits(probe_cost.nodes_visited.max(1));
+        self.counters.count_dists(probe_cost.mbr_tests);
+        match hit {
             Some(mc) => {
                 self.mcs[mc as usize].aux.insert_point(p, coords);
                 self.mcs[mc as usize].members += 1;
