@@ -1,0 +1,90 @@
+//! Compare two `BENCH_*.json` trajectory files and fail on perf or
+//! behaviour regressions.
+//!
+//! ```text
+//! bench_diff BASELINE.json CANDIDATE.json [options]
+//!
+//!   --time-tol <rel>       slowdown tolerance on timing metrics
+//!                          (default 0.5 = +50%)
+//!   --counter-tol <rel>    drift tolerance on deterministic work metrics
+//!                          (default 0 — they are bit-stable at fixed n)
+//!   --pct-saved-tol <pts>  absolute tolerance on pct_queries_saved
+//!                          (default 5 points)
+//!   --overhead-tol <pts>   absolute tolerance on overhead_pct
+//!                          (default 5 points)
+//!   --scale-free           allow different points_per_workload; compare
+//!                          only scale-insensitive observables
+//! ```
+//!
+//! Exit codes: 0 — no regressions; 1 — at least one regression; 2 —
+//! usage or unreadable/unparseable input.
+
+use bench::diff::{diff, DiffConfig};
+use obs::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff BASELINE.json CANDIDATE.json \
+         [--time-tol REL] [--counter-tol REL] [--pct-saved-tol PTS] \
+         [--overhead-tol PTS] [--scale-free]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut cfg = DiffConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut tol = |cfgv: &mut f64| {
+            i += 1;
+            let Some(v) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else { usage() };
+            *cfgv = v;
+        };
+        match arg {
+            "--time-tol" => tol(&mut cfg.time_rel),
+            "--counter-tol" => tol(&mut cfg.counter_rel),
+            "--pct-saved-tol" => tol(&mut cfg.pct_saved_abs),
+            "--overhead-tol" => tol(&mut cfg.overhead_abs),
+            "--scale-free" => cfg.scale_free = true,
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with("--") => usage(),
+            _ => paths.push(arg),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+
+    let baseline = load(paths[0]);
+    let candidate = load(paths[1]);
+    let report = match diff(&baseline, &candidate, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    print!("{}", report.render());
+    if report.has_regressions() {
+        eprintln!("bench_diff: FAIL — {} regression(s)", report.regressions().len());
+        std::process::exit(1);
+    }
+    println!("bench_diff: OK ({} vs {})", paths[0], paths[1]);
+}

@@ -2,7 +2,7 @@
 //! matrix through sequential μDBSCAN, shared-memory [`ParMuDbscan`] and
 //! distributed [`MuDbscanD`], collect per-phase times and `obs` reports,
 //! verify exactness against the naive oracle, and write the
-//! schema-versioned `BENCH_PR3.json` trajectory file.
+//! schema-versioned `BENCH_PR4.json` trajectory file.
 //!
 //! Parallel runs use the tiled parallel micro-cluster builder and carry a
 //! `tree_construction_makespan` field: the construction critical path
@@ -13,7 +13,7 @@
 //! convention the distributed simulator uses for per-rank phase maxima.
 //!
 //! The JSON schema is documented in `docs/BENCH_SCHEMA.md`; the committed
-//! `BENCH_PR3.json` is validated by `crates/bench/tests/bench_schema.rs`
+//! `BENCH_PR4.json` is validated by `crates/bench/tests/bench_schema.rs`
 //! and regenerated with
 //!
 //! ```text
@@ -23,13 +23,17 @@
 //! Environment knobs (all optional, for the CI perf-smoke job):
 //!
 //! * `EMIT_BENCH_N`     — points per workload (default 4000)
-//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR3.json`)
+//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR4.json`)
 //! * `EMIT_BENCH_REPS`  — repetitions for the overhead measurement
 //!   (default 5)
 //! * `EMIT_BENCH_MAKESPAN_REPS` — constructions per parallel run for the
 //!   makespan statistic; the reported `tree_construction_makespan` is the
 //!   minimum over these, which strips scheduler noise from a quantity
 //!   measured in single-digit milliseconds (default 5)
+//! * `EMIT_BENCH_TRACE_OUT` — when set, additionally run one fully traced
+//!   distributed run on the last workload and write the event trace as
+//!   Chrome trace-event JSON (Perfetto-loadable; viewable with the
+//!   `trace_view` binary) to this path
 //!
 //! Exactness drift is fatal: any run whose clustering disagrees with the
 //! naive-DBSCAN oracle aborts the process with a non-zero exit code, so
@@ -47,7 +51,11 @@ use obs::Json;
 /// structure changes and update `docs/BENCH_SCHEMA.md` in the same PR.
 /// v2: parallel runs gained `tree_construction_makespan` (the parallel
 /// MC-build critical path) next to the wall-clock phase times.
-const SCHEMA_VERSION: i64 = 2;
+/// v3: every run carries a `histograms` block (log-bucketed percentile
+/// summaries of per-query costs, span durations and comm bytes),
+/// distributed runs carry a per-rank `bsp_timeline`, and the overhead
+/// probe gained a tracing-enabled arm.
+const SCHEMA_VERSION: i64 = 3;
 
 /// Datasets from the Table II catalog used for the matrix (a subset keeps
 /// the oracle check and the CI smoke run fast while still covering a
@@ -105,7 +113,30 @@ struct RunMeta {
     virtual_secs: Option<f64>,
     /// Parallel MC-build critical path (parallel runs only).
     tree_construction_makespan: Option<f64>,
+    /// Per-rank virtual-clock summaries + superstep count (distributed
+    /// runs only) — rendered as the schema-v3 `bsp_timeline` block.
+    bsp_timeline: Option<(Vec<cluster_sim::RankClock>, usize)>,
     peak_heap: u64,
+}
+
+fn bsp_timeline_json(clocks: &[cluster_sim::RankClock], supersteps: usize) -> Json {
+    let ranks: Vec<Json> = clocks
+        .iter()
+        .enumerate()
+        .map(|(r, c)| {
+            Json::obj_from([
+                ("rank".to_string(), count(r as u64)),
+                ("compute_virtual_secs".to_string(), num(c.compute_secs)),
+                ("comm_virtual_secs".to_string(), num(c.comm_secs)),
+                ("bytes_sent".to_string(), count(c.bytes_sent)),
+                ("bytes_received".to_string(), count(c.bytes_received)),
+            ])
+        })
+        .collect();
+    Json::obj_from([
+        ("supersteps".to_string(), count(supersteps as u64)),
+        ("ranks".to_string(), Json::Arr(ranks)),
+    ])
 }
 
 /// One algorithm run: returns the JSON record for the `runs` array.
@@ -123,7 +154,14 @@ fn run_one(
     obs::disable();
     let report = obs::take_report();
     must_be_exact(label, dataset, &clustering, reference, data, params);
-    let RunMeta { counters, phases, virtual_secs, tree_construction_makespan, peak_heap } = meta;
+    let RunMeta {
+        counters,
+        phases,
+        virtual_secs,
+        tree_construction_makespan,
+        bsp_timeline,
+        peak_heap,
+    } = meta;
 
     let mut rec = Json::obj();
     rec.set("algorithm", Json::Str(label.to_string()));
@@ -138,59 +176,95 @@ fn run_one(
     if let Some(m) = tree_construction_makespan {
         rec.set("tree_construction_makespan", num(m));
     }
+    if let Some((clocks, steps)) = &bsp_timeline {
+        rec.set("bsp_timeline", bsp_timeline_json(clocks, *steps));
+    }
     rec.set("pct_queries_saved", num(counters.pct_queries_saved()));
     rec.set("counters", counters_json(&counters));
     rec.set("peak_heap_bytes", count(peak_heap));
+    // Schema v3: log-bucketed percentile summaries of the per-query
+    // costs, comm bytes and any other histograms the run recorded.
+    rec.set(
+        "histograms",
+        Json::obj_from(report.hists.iter().map(|(k, h)| (k.clone(), h.summary_json()))),
+    );
     rec.set("obs", report.to_json());
     rec
 }
 
-/// Measure the enabled-vs-disabled overhead of the obs instrumentation on
-/// the repro_table2-style workload: median wall time over `reps` runs of
-/// sequential μDBSCAN with collection off, then on.
+/// Measure the overhead of the obs instrumentation on the
+/// repro_table2-style workload: median wall time over `reps` runs of
+/// sequential μDBSCAN with collection off, with aggregate collection
+/// (spans + counters + histograms) on, and with event tracing on top.
 fn measure_overhead(data: &Dataset, params: &DbscanParams, reps: usize) -> Json {
     let median = |mut xs: Vec<f64>| -> f64 {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
         xs[xs.len() / 2]
     };
-    let time_runs = |enabled: bool| -> Vec<f64> {
+    let time_runs = |enabled: bool, tracing: bool| -> Vec<f64> {
         (0..reps)
             .map(|_| {
                 obs::reset();
                 if enabled {
                     obs::enable();
-                } else {
-                    obs::disable();
+                }
+                if tracing {
+                    obs::enable_tracing();
                 }
                 let (_, t) = timed(|| MuDbscan::new(*params).run(data));
+                obs::disable_tracing();
                 obs::disable();
+                let _ = obs::take_trace();
                 obs::reset();
                 t
             })
             .collect()
     };
-    // Warm-up run so neither side pays first-touch costs.
+    // Warm-up run so no arm pays first-touch costs.
     let _ = MuDbscan::new(*params).run(data);
-    let off = median(time_runs(false));
-    let on = median(time_runs(true));
+    let off = median(time_runs(false, false));
+    let on = median(time_runs(true, false));
+    let traced = median(time_runs(true, true));
     let pct = if off > 0.0 { 100.0 * (on - off) / off } else { 0.0 };
+    let tracing_pct = if off > 0.0 { 100.0 * (traced - off) / off } else { 0.0 };
     println!(
-        "instrumentation overhead: disabled {} vs enabled {} ({pct:+.2}%)",
+        "instrumentation overhead: disabled {} vs enabled {} ({pct:+.2}%) vs traced {} ({tracing_pct:+.2}%)",
         secs(off),
-        secs(on)
+        secs(on),
+        secs(traced)
     );
     Json::obj_from([
         ("reps".to_string(), count(reps as u64)),
         ("median_disabled_secs".to_string(), num(off)),
         ("median_enabled_secs".to_string(), num(on)),
+        ("median_traced_secs".to_string(), num(traced)),
         ("overhead_pct".to_string(), num(pct)),
+        ("tracing_overhead_pct".to_string(), num(tracing_pct)),
     ])
+}
+
+/// Optional trace export: one fully traced distributed run (wall spans on
+/// pid 1, per-rank BSP virtual timeline on pid 2), written as Chrome
+/// trace-event JSON.
+fn export_trace(path: &str, data: &Dataset, params: &DbscanParams) {
+    obs::reset();
+    obs::enable();
+    obs::enable_tracing();
+    let _ = MuDbscanD::new(*params, DistConfig::new(4)).run(data).expect("traced dist run");
+    obs::disable_tracing();
+    obs::disable();
+    let trace = obs::take_trace();
+    obs::reset();
+    trace.validate().expect("emitted trace must be internally consistent");
+    let text = trace.to_chrome_json().render_pretty();
+    std::fs::write(path, &text).expect("write trace file");
+    println!("wrote {path} ({} events, {} bytes)", trace.len(), text.len());
 }
 
 fn main() {
     let n = env_usize("EMIT_BENCH_N", 4000);
     let reps = env_usize("EMIT_BENCH_REPS", 5);
-    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
 
     bench::banner(
         "emit_bench",
@@ -217,6 +291,7 @@ fn main() {
                 phases: out.phases,
                 virtual_secs: None,
                 tree_construction_makespan: None,
+                bsp_timeline: None,
                 peak_heap: out.peak_heap_bytes as u64,
             };
             (out.clustering, meta)
@@ -244,6 +319,7 @@ fn main() {
                     phases: out.phases,
                     virtual_secs: None,
                     tree_construction_makespan: makespan,
+                    bsp_timeline: None,
                     peak_heap: 0,
                 };
                 (out.clustering, meta)
@@ -259,6 +335,7 @@ fn main() {
                     phases: out.phases,
                     virtual_secs: Some(out.runtime_secs),
                     tree_construction_makespan: None,
+                    bsp_timeline: Some((out.rank_clocks, out.supersteps)),
                     peak_heap: out.max_rank_heap_bytes as u64,
                 };
                 (out.clustering, meta)
@@ -287,6 +364,9 @@ fn main() {
 
     let (od, op) = overhead_input.expect("at least one workload");
     let overhead = measure_overhead(&od, &op, reps);
+    if let Ok(trace_path) = std::env::var("EMIT_BENCH_TRACE_OUT") {
+        export_trace(&trace_path, &od, &op);
+    }
 
     let mut root = Json::obj();
     root.set("schema_version", Json::Num(SCHEMA_VERSION as f64));

@@ -1,0 +1,91 @@
+//! Render a Chrome trace-event JSON file (as exported by
+//! `obs::Trace::to_chrome_json`, e.g. via `emit_bench`'s
+//! `EMIT_BENCH_TRACE_OUT` knob) as an ASCII timeline or flamegraph, or
+//! validate its internal consistency.
+//!
+//! ```text
+//! trace_view TRACE.json [--flame] [--check] [--width N] [--rows N]
+//! ```
+//!
+//! * default  — per-thread wall timeline plus the per-rank BSP virtual
+//!   timeline (compute `#` vs comm `~` segments)
+//! * `--flame` — aggregated span-path flamegraph instead
+//! * `--check` — parse the file back into a [`obs::Trace`] and run
+//!   [`obs::Trace::validate`]; exit 1 on any inconsistency (the CI trace
+//!   smoke step)
+//!
+//! Exit codes: 0 — ok; 1 — validation failure; 2 — usage/parse error.
+
+use obs::{Json, Trace};
+
+fn usage() -> ! {
+    eprintln!("usage: trace_view TRACE.json [--flame] [--check] [--width N] [--rows N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut flame = false;
+    let mut check = false;
+    let mut width = 100usize;
+    let mut rows = 40usize;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--flame" => flame = true,
+            "--check" => check = true,
+            "--width" => {
+                i += 1;
+                width = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--rows" => {
+                i += 1;
+                rows = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            a if a.starts_with("--") => usage(),
+            a => {
+                if path.is_some() {
+                    usage();
+                }
+                path = Some(a);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else { usage() };
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("trace_view: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let js = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("trace_view: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let trace = Trace::from_chrome_json(&js).unwrap_or_else(|e| {
+        eprintln!("trace_view: {path} is not a Chrome trace export: {e}");
+        std::process::exit(2);
+    });
+
+    if check {
+        match trace.validate() {
+            Ok(()) => {
+                println!("trace_view: {path} OK ({} events)", trace.len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("trace_view: {path} INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if flame {
+        print!("{}", obs::render::render_flame(&trace, width));
+    } else {
+        print!("{}", obs::render::render_timeline(&trace, width, rows));
+    }
+}

@@ -1,0 +1,573 @@
+//! Perf-regression diffing over two `BENCH_*.json` trajectory files.
+//!
+//! The trajectory's stability contract (docs/BENCH_SCHEMA.md) is what
+//! makes this gate possible: at a fixed `points_per_workload` everything
+//! except timings is deterministic, so counters, cluster shapes and
+//! histogram percentiles compare exactly, while timing metrics get a
+//! relative tolerance. The `bench_diff` binary wraps [`diff`] and exits
+//! non-zero when any [`Severity::Regression`] finding survives, which is
+//! how CI turns the committed trajectory into a perf gate.
+//!
+//! Two modes:
+//!
+//! * **same-scale** (default) — both files must have the same
+//!   `points_per_workload`; every metric is compared.
+//! * **scale-free** (`DiffConfig::scale_free`) — the candidate may have a
+//!   different `n` (the CI smoke job emits a small instance against the
+//!   committed full-size one); only scale-insensitive observables are
+//!   compared: run presence, oracle exactness, and `pct_queries_saved`
+//!   within a loose absolute tolerance.
+
+use obs::Json;
+
+/// Per-metric tolerances. All defaults are deliberately loose enough for
+/// shared CI runners; tighten locally when hunting a specific regression.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Relative slowdown allowed on timing metrics (`wall_secs`,
+    /// `virtual_secs`, `tree_construction_makespan`, per-phase seconds):
+    /// `candidate > baseline * (1 + time_rel)` is a regression. Timings
+    /// only regress by getting *slower* — speedups are reported as
+    /// improvements.
+    pub time_rel: f64,
+    /// Relative drift allowed on deterministic work metrics (counters,
+    /// cluster/noise shape, histogram percentiles). The stability
+    /// contract says these are bit-stable at fixed `n`, so the default
+    /// is 0 — any drift is a behaviour change that must be explained.
+    pub counter_rel: f64,
+    /// Absolute percentage-point drop allowed on `pct_queries_saved`
+    /// (higher is better; the paper's headline observable).
+    pub pct_saved_abs: f64,
+    /// Absolute percentage-point increase allowed on the instrumentation
+    /// `overhead_pct`.
+    pub overhead_abs: f64,
+    /// Compare across different `points_per_workload` values, restricting
+    /// the comparison to scale-insensitive observables.
+    pub scale_free: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            time_rel: 0.5,
+            counter_rel: 0.0,
+            pct_saved_abs: 5.0,
+            overhead_abs: 5.0,
+            scale_free: false,
+        }
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The candidate is worse than the baseline beyond tolerance — the
+    /// gate fails.
+    Regression,
+    /// The candidate is measurably better (informational).
+    Improvement,
+    /// Structural note (schema bump, new run, skipped comparison).
+    Note,
+}
+
+/// One compared metric that deviated (or could not be compared).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// `workload/algorithm` (or a structural location).
+    pub context: String,
+    /// Metric name, e.g. `wall_secs` or `counters/node_visits`.
+    pub metric: String,
+    /// Baseline value (`NaN` when absent).
+    pub baseline: f64,
+    /// Candidate value (`NaN` when absent).
+    pub candidate: f64,
+    /// Classification.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// The full comparison result.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// All findings, in comparison order.
+    pub findings: Vec<Finding>,
+    /// Metrics compared (including the ones that matched).
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// True when at least one regression was found.
+    pub fn has_regressions(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Regression)
+    }
+
+    /// The regression findings only.
+    pub fn regressions(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Regression).collect()
+    }
+
+    /// Render a terminal summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let tag = match f.severity {
+                Severity::Regression => "REGRESSION",
+                Severity::Improvement => "improvement",
+                Severity::Note => "note",
+            };
+            out.push_str(&format!(
+                "{tag:>11}  {} :: {} — {} (baseline {}, candidate {})\n",
+                f.context,
+                f.metric,
+                f.detail,
+                fmt_val(f.baseline),
+                fmt_val(f.candidate),
+            ));
+        }
+        out.push_str(&format!(
+            "{} metrics compared, {} regressions, {} improvements\n",
+            self.compared,
+            self.findings.iter().filter(|f| f.severity == Severity::Regression).count(),
+            self.findings.iter().filter(|f| f.severity == Severity::Improvement).count(),
+        ));
+        out
+    }
+}
+
+fn fmt_val(v: f64) -> String {
+    if v.is_nan() {
+        "absent".to_string()
+    } else if v == v.trunc() && v.abs() < 9e15 {
+        format!("{v}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+struct Differ<'a> {
+    cfg: &'a DiffConfig,
+    report: DiffReport,
+}
+
+impl Differ<'_> {
+    fn push(
+        &mut self,
+        ctx: &str,
+        metric: &str,
+        base: f64,
+        cand: f64,
+        sev: Severity,
+        detail: String,
+    ) {
+        self.report.findings.push(Finding {
+            context: ctx.to_string(),
+            metric: metric.to_string(),
+            baseline: base,
+            candidate: cand,
+            severity: sev,
+            detail,
+        });
+    }
+
+    /// A "lower is better" timing metric with relative tolerance.
+    fn time_metric(&mut self, ctx: &str, metric: &str, base: f64, cand: f64) {
+        self.report.compared += 1;
+        if base <= 0.0 {
+            return; // nothing meaningful to compare against
+        }
+        let ratio = cand / base;
+        if ratio > 1.0 + self.cfg.time_rel {
+            self.push(
+                ctx,
+                metric,
+                base,
+                cand,
+                Severity::Regression,
+                format!("{:.2}x slower (tolerance {:.0}%)", ratio, self.cfg.time_rel * 100.0),
+            );
+        } else if ratio < 1.0 / (1.0 + self.cfg.time_rel) {
+            self.push(ctx, metric, base, cand, Severity::Improvement, format!("{ratio:.2}x"));
+        }
+    }
+
+    /// A deterministic work metric: relative drift beyond `counter_rel`
+    /// in either direction is a regression (a silent behaviour change).
+    fn work_metric(&mut self, ctx: &str, metric: &str, base: f64, cand: f64) {
+        self.report.compared += 1;
+        let denom = base.abs().max(1.0);
+        let drift = (cand - base).abs() / denom;
+        if drift > self.cfg.counter_rel {
+            self.push(
+                ctx,
+                metric,
+                base,
+                cand,
+                Severity::Regression,
+                format!(
+                    "deterministic metric drifted {:+.2}% (tolerance {:.2}%)",
+                    100.0 * (cand - base) / denom,
+                    self.cfg.counter_rel * 100.0
+                ),
+            );
+        }
+    }
+
+    /// A "higher is better" percentage with absolute tolerance.
+    fn pct_saved(&mut self, ctx: &str, base: f64, cand: f64) {
+        self.report.compared += 1;
+        if cand < base - self.cfg.pct_saved_abs {
+            self.push(
+                ctx,
+                "pct_queries_saved",
+                base,
+                cand,
+                Severity::Regression,
+                format!(
+                    "query savings dropped {:.1} points (tolerance {:.1})",
+                    base - cand,
+                    self.cfg.pct_saved_abs
+                ),
+            );
+        } else if cand > base + self.cfg.pct_saved_abs {
+            self.push(
+                ctx,
+                "pct_queries_saved",
+                base,
+                cand,
+                Severity::Improvement,
+                format!("+{:.1} points", cand - base),
+            );
+        }
+    }
+}
+
+fn f(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+fn runs_by_algorithm(w: &Json) -> Vec<(String, &Json)> {
+    w.get("runs")
+        .and_then(Json::as_array)
+        .map(|runs| {
+            runs.iter()
+                .filter_map(|r| {
+                    r.get("algorithm").and_then(Json::as_str).map(|a| (a.to_string(), r))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare `candidate` against `baseline`. Returns an error only for
+/// structurally unusable inputs (not JSON trajectories at all); shape
+/// mismatches inside valid trajectories become findings instead.
+pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffReport, String> {
+    let mut d = Differ { cfg, report: DiffReport::default() };
+
+    let (bv, cv) = (f(baseline, "schema_version"), f(candidate, "schema_version"));
+    let (bv, cv) = (
+        bv.ok_or("baseline: missing schema_version (not a trajectory file?)")?,
+        cv.ok_or("candidate: missing schema_version (not a trajectory file?)")?,
+    );
+    if bv != cv {
+        d.push(
+            "schema",
+            "schema_version",
+            bv,
+            cv,
+            Severity::Note,
+            "schema versions differ; comparing the shared subset".to_string(),
+        );
+    }
+
+    let bn = f(baseline, "points_per_workload").ok_or("baseline: missing points_per_workload")?;
+    let cn = f(candidate, "points_per_workload").ok_or("candidate: missing points_per_workload")?;
+    let same_scale = bn == cn;
+    if !same_scale && !cfg.scale_free {
+        return Err(format!(
+            "points_per_workload differs ({bn} vs {cn}); pass --scale-free to compare \
+             scale-insensitive observables only"
+        ));
+    }
+    let full = same_scale && !cfg.scale_free;
+
+    let empty = Vec::new();
+    let b_workloads = baseline.get("workloads").and_then(Json::as_array).unwrap_or(&empty);
+    let c_workloads = candidate.get("workloads").and_then(Json::as_array).unwrap_or(&empty);
+
+    for bw in b_workloads {
+        let Some(name) = bw.get("dataset").and_then(Json::as_str) else { continue };
+        let Some(cw) =
+            c_workloads.iter().find(|w| w.get("dataset").and_then(Json::as_str) == Some(name))
+        else {
+            d.push(
+                name,
+                "dataset",
+                1.0,
+                f64::NAN,
+                Severity::Regression,
+                "workload missing from candidate".to_string(),
+            );
+            continue;
+        };
+
+        let b_runs = runs_by_algorithm(bw);
+        let c_runs = runs_by_algorithm(cw);
+        for (algo, br) in &b_runs {
+            let ctx = format!("{name}/{algo}");
+            let Some((_, cr)) = c_runs.iter().find(|(a, _)| a == algo) else {
+                d.push(
+                    &ctx,
+                    "run",
+                    1.0,
+                    f64::NAN,
+                    Severity::Regression,
+                    "algorithm run missing from candidate".to_string(),
+                );
+                continue;
+            };
+
+            // Exactness is non-negotiable in every mode.
+            d.report.compared += 1;
+            if cr.get("exact").and_then(Json::as_bool) != Some(true) {
+                d.push(
+                    &ctx,
+                    "exact",
+                    1.0,
+                    0.0,
+                    Severity::Regression,
+                    "candidate run is not oracle-exact".to_string(),
+                );
+            }
+
+            if let (Some(b), Some(c)) = (f(br, "pct_queries_saved"), f(cr, "pct_queries_saved")) {
+                d.pct_saved(&ctx, b, c);
+            }
+
+            if !full {
+                continue;
+            }
+
+            for metric in ["wall_secs", "virtual_secs", "tree_construction_makespan"] {
+                if let (Some(b), Some(c)) = (f(br, metric), f(cr, metric)) {
+                    d.time_metric(&ctx, metric, b, c);
+                }
+            }
+            if let (Some(bp), Some(cp)) = (
+                br.get("phases").and_then(Json::as_object),
+                cr.get("phases").and_then(Json::as_object),
+            ) {
+                for (phase, bval) in bp {
+                    if let (Some(b), Some(c)) = (
+                        bval.as_f64(),
+                        cp.iter().find(|(k, _)| k == phase).and_then(|(_, v)| v.as_f64()),
+                    ) {
+                        d.time_metric(&ctx, &format!("phases/{phase}"), b, c);
+                    }
+                }
+            }
+
+            for metric in ["clusters", "noise"] {
+                if let (Some(b), Some(c)) = (f(br, metric), f(cr, metric)) {
+                    d.work_metric(&ctx, metric, b, c);
+                }
+            }
+            if let (Some(bc), Some(cc)) = (br.get("counters"), cr.get("counters")) {
+                for key in [
+                    "range_queries",
+                    "queries_saved",
+                    "dist_computations",
+                    "node_visits",
+                    "union_ops",
+                ] {
+                    if let (Some(b), Some(c)) = (f(bc, key), f(cc, key)) {
+                        d.work_metric(&ctx, &format!("counters/{key}"), b, c);
+                    }
+                }
+            }
+
+            // Histogram percentile blocks (schema v3): deterministic at
+            // fixed n, so they compare like work metrics.
+            if let (Some(bh), Some(ch)) = (
+                br.get("histograms").and_then(Json::as_object),
+                cr.get("histograms").and_then(Json::as_object),
+            ) {
+                for (key, bsum) in bh {
+                    let Some(csum) = ch.iter().find(|(k, _)| k == key).map(|(_, v)| v) else {
+                        d.push(
+                            &ctx,
+                            &format!("histograms/{key}"),
+                            1.0,
+                            f64::NAN,
+                            Severity::Regression,
+                            "histogram missing from candidate".to_string(),
+                        );
+                        continue;
+                    };
+                    for q in ["count", "p50", "p95", "p99", "max"] {
+                        if let (Some(b), Some(c)) = (f(bsum, q), f(csum, q)) {
+                            d.work_metric(&ctx, &format!("histograms/{key}/{q}"), b, c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Instrumentation overhead: absolute percentage points, same-scale
+    // only (tiny smoke runs make the percentage meaningless).
+    if full {
+        if let (Some(b), Some(c)) = (
+            baseline.get("overhead").and_then(|o| f(o, "overhead_pct")),
+            candidate.get("overhead").and_then(|o| f(o, "overhead_pct")),
+        ) {
+            d.report.compared += 1;
+            if c > b + cfg.overhead_abs {
+                d.push(
+                    "overhead",
+                    "overhead_pct",
+                    b,
+                    c,
+                    Severity::Regression,
+                    format!(
+                        "instrumentation overhead grew {:.1} points (tolerance {:.1})",
+                        c - b,
+                        cfg.overhead_abs
+                    ),
+                );
+            }
+        }
+    }
+
+    Ok(d.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini(n: f64, wall: f64, visits: f64, pct: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "schema_version": 3,
+              "seed": 2019,
+              "points_per_workload": {n},
+              "workloads": [
+                {{
+                  "dataset": "W",
+                  "runs": [
+                    {{
+                      "algorithm": "mudbscan_seq",
+                      "exact": true,
+                      "clusters": 7,
+                      "noise": 20,
+                      "wall_secs": {wall},
+                      "pct_queries_saved": {pct},
+                      "phases": {{"tree_construction": {wall}}},
+                      "counters": {{"range_queries": 100, "queries_saved": 50,
+                                    "dist_computations": 999, "node_visits": {visits},
+                                    "union_ops": 42}},
+                      "histograms": {{"query/node_visits": {{"count": 100, "p50": 8,
+                                      "p95": 16, "p99": 24, "max": 32}}}}
+                    }}
+                  ]
+                }}
+              ],
+              "overhead": {{"overhead_pct": 1.0}}
+            }}"#
+        ))
+        .expect("valid mini trajectory")
+    }
+
+    #[test]
+    fn identical_files_produce_no_findings() {
+        let a = mini(1000.0, 0.5, 4000.0, 80.0);
+        let rep = diff(&a, &a, &DiffConfig::default()).unwrap();
+        assert!(!rep.has_regressions(), "{}", rep.render());
+        assert!(rep.findings.is_empty());
+        assert!(rep.compared > 5);
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_is_a_regression() {
+        let base = mini(1000.0, 0.5, 4000.0, 80.0);
+        let slow = mini(1000.0, 1.0, 4000.0, 80.0);
+        let rep = diff(&base, &slow, &DiffConfig::default()).unwrap();
+        assert!(rep.has_regressions());
+        assert!(rep.regressions().iter().any(|f| f.metric == "wall_secs"));
+        // And the mirror image is an improvement, not a regression.
+        let rep2 = diff(&slow, &base, &DiffConfig::default()).unwrap();
+        assert!(!rep2.has_regressions(), "{}", rep2.render());
+        assert!(rep2.findings.iter().any(|f| f.severity == Severity::Improvement));
+    }
+
+    #[test]
+    fn counter_drift_is_a_regression_in_both_directions() {
+        let base = mini(1000.0, 0.5, 4000.0, 80.0);
+        for drifted in [3990.0, 4010.0] {
+            let cand = mini(1000.0, 0.5, drifted, 80.0);
+            let rep = diff(&base, &cand, &DiffConfig::default()).unwrap();
+            assert!(
+                rep.regressions().iter().any(|f| f.metric == "counters/node_visits"),
+                "drift to {drifted} must regress: {}",
+                rep.render()
+            );
+        }
+    }
+
+    #[test]
+    fn query_savings_drop_is_a_regression() {
+        let base = mini(1000.0, 0.5, 4000.0, 80.0);
+        let cand = mini(1000.0, 0.5, 4000.0, 60.0);
+        let rep = diff(&base, &cand, &DiffConfig::default()).unwrap();
+        assert!(rep.regressions().iter().any(|f| f.metric == "pct_queries_saved"));
+    }
+
+    #[test]
+    fn scale_mismatch_requires_scale_free_mode() {
+        let base = mini(4000.0, 0.5, 4000.0, 80.0);
+        let small = mini(500.0, 0.1, 900.0, 78.0);
+        assert!(diff(&base, &small, &DiffConfig::default()).is_err());
+        let rep =
+            diff(&base, &small, &DiffConfig { scale_free: true, ..DiffConfig::default() }).unwrap();
+        assert!(!rep.has_regressions(), "{}", rep.render());
+    }
+
+    #[test]
+    fn scale_free_still_gates_exactness_and_savings() {
+        let base = mini(4000.0, 0.5, 4000.0, 80.0);
+        let bad = mini(500.0, 0.1, 900.0, 40.0);
+        let rep =
+            diff(&base, &bad, &DiffConfig { scale_free: true, ..DiffConfig::default() }).unwrap();
+        assert!(rep.regressions().iter().any(|f| f.metric == "pct_queries_saved"));
+    }
+
+    #[test]
+    fn missing_run_is_a_regression() {
+        let base = mini(1000.0, 0.5, 4000.0, 80.0);
+        let mut cand = mini(1000.0, 0.5, 4000.0, 80.0);
+        // Drop the only run from the candidate's workload.
+        let workloads = cand.get("workloads").and_then(Json::as_array).unwrap();
+        let mut w0 = workloads[0].clone();
+        w0.set("runs", Json::Arr(Vec::new()));
+        cand.set("workloads", Json::Arr(vec![w0]));
+        let rep = diff(&base, &cand, &DiffConfig::default()).unwrap();
+        assert!(rep.regressions().iter().any(|f| f.metric == "run"));
+    }
+
+    #[test]
+    fn histogram_percentile_drift_is_a_regression() {
+        let base = mini(1000.0, 0.5, 4000.0, 80.0);
+        let mut cand = mini(1000.0, 0.5, 4000.0, 80.0);
+        // Bump the p99 inside the candidate's histogram block.
+        let text = cand.render().replace("\"p99\": 24", "\"p99\": 48");
+        cand = Json::parse(&text).unwrap();
+        let rep = diff(&base, &cand, &DiffConfig::default()).unwrap();
+        assert!(
+            rep.regressions().iter().any(|f| f.metric == "histograms/query/node_visits/p99"),
+            "{}",
+            rep.render()
+        );
+    }
+}

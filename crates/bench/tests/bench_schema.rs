@@ -1,4 +1,4 @@
-//! Validate the committed `BENCH_PR3.json` trajectory against the schema
+//! Validate the committed `BENCH_PR4.json` trajectory against the schema
 //! documented in `docs/BENCH_SCHEMA.md`.
 //!
 //! The CI perf-smoke job points `BENCH_SCHEMA_FILE` at a freshly emitted
@@ -29,7 +29,7 @@ fn trajectory_path() -> std::path::PathBuf {
         return p.into();
     }
     // crates/bench -> repository root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json")
 }
 
 fn get_f64(v: &Json, key: &str) -> f64 {
@@ -41,9 +41,9 @@ fn committed_trajectory_matches_schema() {
     let path = trajectory_path();
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let root = Json::parse(&text).expect("BENCH_PR3.json must be valid JSON");
+    let root = Json::parse(&text).expect("BENCH_PR4.json must be valid JSON");
 
-    assert_eq!(get_f64(&root, "schema_version"), 2.0, "schema_version must be 2");
+    assert_eq!(get_f64(&root, "schema_version"), 3.0, "schema_version must be 3");
     assert_eq!(get_f64(&root, "seed"), 2019.0, "pinned seed");
     let points_per_workload = get_f64(&root, "points_per_workload");
     assert!(points_per_workload >= 100.0);
@@ -93,6 +93,27 @@ fn committed_trajectory_matches_schema() {
             let obs = r.get("obs").expect("obs report");
             let spans = obs.get("spans").and_then(Json::as_object).expect("obs spans");
             assert!(!spans.is_empty(), "{ctx}: obs spans must be recorded");
+            // Schema v3: per-run histogram percentile summaries. Every
+            // run performs range queries, so query/node_visits is always
+            // present and its percentiles are ordered.
+            let hists = r.get("histograms").and_then(Json::as_object).expect("histograms block");
+            assert!(!hists.is_empty(), "{ctx}: histograms block must be non-empty");
+            let qnv = hists
+                .iter()
+                .find(|(k, _)| k == "query/node_visits")
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("{ctx}: query/node_visits histogram missing"));
+            assert!(get_f64(qnv, "count") > 0.0, "{ctx}: empty query/node_visits histogram");
+            let (p50, p95, p99, max) = (
+                get_f64(qnv, "p50"),
+                get_f64(qnv, "p95"),
+                get_f64(qnv, "p99"),
+                get_f64(qnv, "max"),
+            );
+            assert!(
+                p50 <= p95 && p95 <= p99 && p99 <= max,
+                "{ctx}: percentiles must be monotone (p50 {p50} p95 {p95} p99 {p99} max {max})"
+            );
             // Shared-memory parallel runs carry the parallel-build
             // critical path (schema v2).
             if label.starts_with("par_mudbscan") {
@@ -113,6 +134,34 @@ fn committed_trajectory_matches_schema() {
                     values.iter().any(|(k, _)| k.ends_with("/comm_virtual_secs")),
                     "{ctx}: BSP comm split missing"
                 );
+                // Schema v3: the per-rank BSP timeline summary.
+                let tl = r.get("bsp_timeline").expect("bsp_timeline block");
+                assert!(get_f64(tl, "supersteps") > 0.0, "{ctx}: supersteps");
+                let ranks = tl.get("ranks").and_then(Json::as_array).expect("ranks array");
+                let nranks: f64 = label.strip_prefix("mudbscan_d_p").unwrap().parse().unwrap();
+                assert_eq!(ranks.len() as f64, nranks, "{ctx}: one timeline entry per rank");
+                for rank in ranks {
+                    assert!(
+                        get_f64(rank, "compute_virtual_secs") > 0.0,
+                        "{ctx}: rank compute time"
+                    );
+                    for key in ["rank", "comm_virtual_secs", "bytes_sent", "bytes_received"] {
+                        assert!(
+                            rank.get(key).and_then(Json::as_f64).is_some(),
+                            "{ctx}: rank field {key} missing"
+                        );
+                    }
+                }
+                // Distributed runs also carry the per-superstep
+                // comm-volume histogram; halo queries only happen with
+                // more than one rank.
+                let mut required = vec!["bsp/comm_bytes_per_superstep"];
+                if nranks > 1.0 {
+                    required.push("halo/node_visits");
+                }
+                for key in required {
+                    assert!(hists.iter().any(|(k, _)| k == key), "{ctx}: histogram {key} missing");
+                }
             }
         }
 
@@ -144,5 +193,10 @@ fn committed_trajectory_matches_schema() {
     assert!(get_f64(overhead, "reps") >= 3.0);
     assert!(get_f64(overhead, "median_disabled_secs") > 0.0);
     assert!(get_f64(overhead, "median_enabled_secs") > 0.0);
+    assert!(get_f64(overhead, "median_traced_secs") > 0.0, "schema v3: traced arm");
     assert!(overhead.get("overhead_pct").and_then(Json::as_f64).is_some(), "overhead_pct missing");
+    assert!(
+        overhead.get("tracing_overhead_pct").and_then(Json::as_f64).is_some(),
+        "tracing_overhead_pct missing"
+    );
 }

@@ -1,0 +1,89 @@
+//! Registry audit: every obs key emitted by an instrumented full run
+//! must be documented in `docs/BENCH_SCHEMA.md`.
+//!
+//! The doc's "## Key registry" section lists every counter, value,
+//! histogram, and span name as a backticked entry. Entries may use
+//! `<...>`-style wildcard segments (e.g. `bsp/<phase>/comm_bytes`) for
+//! families keyed by a dynamic name. A new `obs::record_*` call or span
+//! whose key is not in the registry fails here, keeping the docs and the
+//! instrumentation in lock-step.
+
+use data::paper_table2_specs;
+use dist::{DistConfig, MuDbscanD};
+use mudbscan::{MuDbscan, ParMuDbscan};
+use std::collections::BTreeSet;
+
+/// `key` matches `entry` if they are equal segment-by-segment, with
+/// `<...>` entry segments matching any single key segment.
+fn matches(entry: &str, key: &str) -> bool {
+    let es: Vec<&str> = entry.split('/').collect();
+    let ks: Vec<&str> = key.split('/').collect();
+    es.len() == ks.len()
+        && es.iter().zip(&ks).all(|(e, k)| *e == *k || (e.starts_with('<') && e.ends_with('>')))
+}
+
+/// All backticked strings in the doc's "## Key registry" section.
+fn registry_entries(doc: &str) -> Vec<String> {
+    let section = doc
+        .split("## Key registry")
+        .nth(1)
+        .expect("docs/BENCH_SCHEMA.md must have a '## Key registry' section");
+    let mut out = Vec::new();
+    for chunk in section.split('`').skip(1).step_by(2) {
+        if !chunk.is_empty() && !chunk.contains('\n') {
+            out.push(chunk.to_string());
+        }
+    }
+    assert!(!out.is_empty(), "key registry section has no backticked entries");
+    out
+}
+
+#[test]
+fn every_emitted_key_is_documented() {
+    let doc_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/BENCH_SCHEMA.md");
+    let doc = std::fs::read_to_string(&doc_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc_path.display()));
+    let entries = registry_entries(&doc);
+
+    // One instrumented run of each execution mode on a small workload
+    // exercises every emission site: sequential, shared-memory parallel
+    // (tiling + reconcile paths), and distributed (BSP + halo).
+    let spec = &paper_table2_specs()[0];
+    let data = spec.generate_n(600, 2019);
+    obs::reset();
+    obs::enable();
+    let _ = MuDbscan::new(spec.params).run(&data);
+    let _ = ParMuDbscan::new(spec.params, 2).run(&data);
+    let _ = MuDbscanD::new(spec.params, DistConfig::new(2)).run(&data).expect("dist run");
+    obs::disable();
+    let report = obs::take_report();
+    obs::reset();
+
+    let mut keys: BTreeSet<String> = BTreeSet::new();
+    keys.extend(report.counts.iter().map(|(k, _)| k.clone()));
+    keys.extend(report.values.iter().map(|(k, _)| k.clone()));
+    keys.extend(report.hists.iter().map(|(k, _)| k.clone()));
+    // Span paths are compositional (`dist/local_clustering/mudbscan/...`),
+    // so the registry lists span *names*; audit each unique segment.
+    for (path, _) in &report.spans {
+        keys.extend(path.split('/').map(str::to_string));
+    }
+    assert!(keys.len() > 20, "instrumented run emitted suspiciously few keys: {keys:?}");
+
+    let undocumented: Vec<&String> =
+        keys.iter().filter(|k| !entries.iter().any(|e| matches(e, k))).collect();
+    assert!(
+        undocumented.is_empty(),
+        "obs keys missing from the '## Key registry' section of docs/BENCH_SCHEMA.md: \
+         {undocumented:?}"
+    );
+}
+
+#[test]
+fn wildcard_matching_rules() {
+    assert!(matches("query/node_visits", "query/node_visits"));
+    assert!(matches("bsp/<phase>/comm_bytes", "bsp/halo_exchange/comm_bytes"));
+    assert!(!matches("bsp/<phase>/comm_bytes", "bsp/comm_bytes"));
+    assert!(!matches("query/node_visits", "query/candidates"));
+}

@@ -51,6 +51,24 @@ impl<M> Envelope<M> {
     }
 }
 
+/// Per-rank virtual-clock totals, accumulated across supersteps. The
+/// BSP barrier model charges every rank the same communication time per
+/// superstep, but compute time is each rank's own — the spread across
+/// ranks IS the load imbalance the paper's kd-tree partitioning argues
+/// about, and what the per-rank BSP timeline in the bench schema (v3)
+/// summarises.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankClock {
+    /// Virtual seconds this rank spent computing.
+    pub compute_secs: f64,
+    /// Virtual seconds this rank spent in communication/barrier.
+    pub comm_secs: f64,
+    /// Bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Bytes this rank received.
+    pub bytes_received: u64,
+}
+
 /// The engine: `p` rank states, virtual clocks, makespan accounting.
 pub struct Bsp<S> {
     states: Vec<S>,
@@ -65,12 +83,15 @@ pub struct Bsp<S> {
     comm_bytes: u64,
     /// Number of supersteps executed.
     steps: usize,
+    /// Per-rank virtual-clock totals.
+    rank_clocks: Vec<RankClock>,
 }
 
 impl<S: Send> Bsp<S> {
     /// Engine over the given per-rank states.
     pub fn new(states: Vec<S>) -> Self {
         assert!(!states.is_empty(), "need at least one rank");
+        let p = states.len();
         Self {
             states,
             mode: ExecMode::Sequential,
@@ -80,6 +101,7 @@ impl<S: Send> Bsp<S> {
             current_phase: "unphased".to_string(),
             comm_bytes: 0,
             steps: 0,
+            rank_clocks: vec![RankClock::default(); p],
         }
     }
 
@@ -125,6 +147,12 @@ impl<S: Send> Bsp<S> {
         self.steps
     }
 
+    /// Per-rank virtual-clock totals (compute/comm seconds, bytes
+    /// sent/received), indexed by rank.
+    pub fn rank_clocks(&self) -> &[RankClock] {
+        &self.rank_clocks
+    }
+
     /// Immutable view of the rank states.
     pub fn states(&self) -> &[S] {
         &self.states
@@ -163,6 +191,70 @@ impl<S: Send> Bsp<S> {
                     comm_secs,
                 );
                 obs::record_count(&format!("bsp/{}/comm_bytes", self.current_phase), comm_bytes);
+                // Per-superstep comm volume distribution (merging across
+                // ranks/steps is exact: fixed bucket layout).
+                obs::record_hist("bsp/comm_bytes_per_superstep", comm_bytes);
+            }
+        }
+    }
+
+    /// Emit one virtual-clock trace slice per rank starting at virtual
+    /// time `start` (seconds). No-op unless tracing is on.
+    fn trace_rank_slices(&self, start: f64, per_rank: &[f64], cat: &str) {
+        if !obs::enabled() || !obs::tracing_enabled() {
+            return;
+        }
+        for (r, &secs) in per_rank.iter().enumerate() {
+            obs::trace::virtual_slice(r as u32, &self.current_phase, cat, start, secs);
+        }
+    }
+
+    /// Time `f(r, &mut states[r])` for every rank, honouring the
+    /// execution mode, and return the per-rank wall seconds plus the
+    /// value the makespan should advance by (per-rank max in Sequential
+    /// mode, the scope wall — including spawn overhead — in Threaded
+    /// mode, exactly as before per-rank clocks existed).
+    fn timed_ranks<T: Send>(
+        mode: ExecMode,
+        states: &mut [S],
+        f: impl Fn(usize, &mut S) -> T + Sync,
+    ) -> (Vec<T>, Vec<f64>, f64) {
+        match mode {
+            ExecMode::Sequential => {
+                let mut out = Vec::with_capacity(states.len());
+                let mut secs = Vec::with_capacity(states.len());
+                for (r, s) in states.iter_mut().enumerate() {
+                    let sw = Stopwatch::start();
+                    out.push(f(r, s));
+                    secs.push(sw.secs());
+                }
+                let max = secs.iter().cloned().fold(0.0f64, f64::max);
+                (out, secs, max)
+            }
+            ExecMode::Threaded => {
+                let sw = Stopwatch::start();
+                let mut out = Vec::with_capacity(states.len());
+                let mut secs = Vec::with_capacity(states.len());
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = states
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(r, s)| {
+                            let f = &f;
+                            scope.spawn(move || {
+                                let sw = Stopwatch::start();
+                                let v = f(r, s);
+                                (v, sw.secs())
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        let (v, t) = h.join().expect("rank thread panicked");
+                        out.push(v);
+                        secs.push(t);
+                    }
+                });
+                (out, secs, sw.secs())
             }
         }
     }
@@ -170,27 +262,11 @@ impl<S: Send> Bsp<S> {
     /// A compute-only superstep: run `f` on every rank; the makespan
     /// advances by the slowest rank.
     pub fn run(&mut self, f: impl Fn(usize, &mut S) + Sync) {
-        let max = match self.mode {
-            ExecMode::Sequential => {
-                let mut max = 0.0f64;
-                for (r, s) in self.states.iter_mut().enumerate() {
-                    let sw = Stopwatch::start();
-                    f(r, s);
-                    max = max.max(sw.secs());
-                }
-                max
-            }
-            ExecMode::Threaded => {
-                let sw = Stopwatch::start();
-                std::thread::scope(|scope| {
-                    for (r, s) in self.states.iter_mut().enumerate() {
-                        let f = &f;
-                        scope.spawn(move || f(r, s));
-                    }
-                });
-                sw.secs()
-            }
-        };
+        let (_, secs, max) = Self::timed_ranks(self.mode, &mut self.states, f);
+        self.trace_rank_slices(self.makespan, &secs, "compute");
+        for (clock, s) in self.rank_clocks.iter_mut().zip(&secs) {
+            clock.compute_secs += s;
+        }
         self.steps += 1;
         self.charge_split(max, 0.0, 0);
     }
@@ -206,37 +282,9 @@ impl<S: Send> Bsp<S> {
         let p = self.size();
 
         // Produce sub-phase.
-        let (outboxes, produce_max) = match self.mode {
-            ExecMode::Sequential => {
-                let mut out = Vec::with_capacity(p);
-                let mut max = 0.0f64;
-                for (r, s) in self.states.iter_mut().enumerate() {
-                    let sw = Stopwatch::start();
-                    out.push(produce(r, s));
-                    max = max.max(sw.secs());
-                }
-                (out, max)
-            }
-            ExecMode::Threaded => {
-                let sw = Stopwatch::start();
-                let mut out: Vec<Vec<Envelope<M>>> = Vec::with_capacity(p);
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .states
-                        .iter_mut()
-                        .enumerate()
-                        .map(|(r, s)| {
-                            let produce = &produce;
-                            scope.spawn(move || produce(r, s))
-                        })
-                        .collect();
-                    for h in handles {
-                        out.push(h.join().expect("rank thread panicked"));
-                    }
-                });
-                (out, sw.secs())
-            }
-        };
+        let (outboxes, produce_secs, produce_max) =
+            Self::timed_ranks(self.mode, &mut self.states, &produce);
+        self.trace_rank_slices(self.makespan, &produce_secs, "compute");
 
         // Route: h-relation cost = max over ranks of bytes in/out.
         let mut bytes_out = vec![0usize; p];
@@ -264,28 +312,31 @@ impl<S: Send> Bsp<S> {
         };
         self.comm_bytes += total as u64;
 
+        // The comm segment occupies the barrier interval after the
+        // slowest producer, identically on every rank (BSP h-relation).
+        let comm_start = self.makespan + produce_max;
+        if obs::enabled() && obs::tracing_enabled() {
+            self.trace_rank_slices(comm_start, &vec![comm_secs; p], "comm");
+        }
+
         // Consume sub-phase.
-        let consume_max = match self.mode {
-            ExecMode::Sequential => {
-                let mut max = 0.0f64;
-                for ((r, s), inbox) in self.states.iter_mut().enumerate().zip(inboxes) {
-                    let sw = Stopwatch::start();
-                    consume(r, s, inbox);
-                    max = max.max(sw.secs());
-                }
-                max
-            }
-            ExecMode::Threaded => {
-                let sw = Stopwatch::start();
-                std::thread::scope(|scope| {
-                    for ((r, s), inbox) in self.states.iter_mut().enumerate().zip(inboxes) {
-                        let consume = &consume;
-                        scope.spawn(move || consume(r, s, inbox));
-                    }
-                });
-                sw.secs()
-            }
-        };
+        let inboxes = std::sync::Mutex::new(
+            inboxes.into_iter().map(Some).collect::<Vec<Option<Vec<(usize, M)>>>>(),
+        );
+        let (_, consume_secs, consume_max) =
+            Self::timed_ranks(self.mode, &mut self.states, |r, s| {
+                let inbox =
+                    inboxes.lock().expect("poisoned")[r].take().expect("inbox consumed once");
+                consume(r, s, inbox)
+            });
+        self.trace_rank_slices(comm_start + comm_secs, &consume_secs, "compute");
+
+        for (r, clock) in self.rank_clocks.iter_mut().enumerate() {
+            clock.compute_secs += produce_secs[r] + consume_secs[r];
+            clock.comm_secs += comm_secs;
+            clock.bytes_sent += bytes_out[r] as u64;
+            clock.bytes_received += bytes_in[r] as u64;
+        }
 
         self.steps += 1;
         self.charge_split(produce_max + consume_max, comm_secs, total as u64);
@@ -421,6 +472,57 @@ mod tests {
         let mut bsp = Bsp::new(vec![(); 2]).with_comm(comm);
         bsp.exchange(|_r, _s| vec![Envelope::new(0, 1u32)], |_r, _s, _in| {});
         assert!(bsp.makespan() >= 1.0, "latency must be charged");
+    }
+
+    #[test]
+    fn rank_clocks_and_virtual_trace_slices() {
+        obs::enable();
+        obs::enable_tracing();
+        let mut bsp = Bsp::new(vec![0u64; 3]);
+        bsp.phase("rc_probe_compute");
+        bsp.run(|r, s| *s = r as u64);
+        bsp.phase("rc_probe_exchange");
+        bsp.exchange(
+            |r, _s| vec![Envelope::new((r + 1) % 3, vec![0u8; 64])],
+            |_r, s, inbox: Vec<(usize, Vec<u8>)>| *s += inbox.len() as u64,
+        );
+        obs::disable_tracing();
+        obs::disable();
+
+        let clocks = bsp.rank_clocks();
+        assert_eq!(clocks.len(), 3);
+        for c in clocks {
+            assert!(c.compute_secs > 0.0, "per-rank compute must accumulate");
+            assert!(c.comm_secs > 0.0, "per-rank comm must accumulate");
+            // The ring shift is symmetric: everyone sends and receives one
+            // 64-byte payload.
+            assert!(c.bytes_sent > 0);
+            assert_eq!(c.bytes_sent, c.bytes_received);
+        }
+
+        // The virtual timeline carries one compute slice per rank for the
+        // run, one produce + one consume compute slice and one comm slice
+        // per rank for the exchange. Filter by this test's phase names:
+        // other tests in the binary may trace concurrently.
+        let trace = obs::take_trace();
+        let (mut compute, mut comm) = (0usize, 0usize);
+        let mut tracks = std::collections::BTreeSet::new();
+        for e in trace.virtual_slices() {
+            if let obs::trace::Event::Virtual { track, name, cat, .. } = &e.event {
+                if !name.starts_with("rc_probe_") {
+                    continue;
+                }
+                tracks.insert(*track);
+                match cat.as_str() {
+                    "compute" => compute += 1,
+                    "comm" => comm += 1,
+                    other => panic!("unexpected category {other:?}"),
+                }
+            }
+        }
+        assert_eq!(tracks.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(comm, 3, "one comm slice per rank for the exchange");
+        assert_eq!(compute, 9, "run (3) + exchange produce (3) + consume (3)");
     }
 
     #[test]

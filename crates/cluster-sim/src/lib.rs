@@ -46,5 +46,5 @@
 pub mod bsp;
 pub mod msgsize;
 
-pub use bsp::{Bsp, CommModel, Envelope, ExecMode};
+pub use bsp::{Bsp, CommModel, Envelope, ExecMode, RankClock};
 pub use msgsize::MsgSize;

@@ -1,0 +1,159 @@
+//! Determinism of the obs histograms at the conformance level.
+//!
+//! The histogram layer promises *exact, order-independent merges*: every
+//! per-thread recording drains into the same fixed bucket layout, so the
+//! final buckets (and therefore every reported percentile) must be
+//! bit-identical no matter how work was interleaved. Three pins:
+//!
+//! 1. concurrent per-thread recording of a fixed sample multiset equals
+//!    sequential recording of the same samples;
+//! 2. sequential `MuDbscan` and `ParMuDbscan` t=1 on the sequential build
+//!    path produce identical query-cost histograms (the histogram-level
+//!    extension of `seq_and_par_t1_counters_agree`);
+//! 3. `ParMuDbscan` at t ∈ {1, 2, 4} produces identical `query/*`
+//!    histograms on a promotion-free dataset, where the step-3 query set
+//!    is thread-count-invariant by construction.
+//!
+//! (`postproc/node_visits` is deliberately excluded from pin 3: the
+//! post-processing aux queries' execution depends on the union order,
+//! which is interleaving-dependent at t > 1.)
+
+use conformance::{DatasetSpec, FAMILIES};
+use geom::{Dataset, DbscanParams};
+use mcs::BuildOptions;
+use mudbscan::{MuDbscan, ParMuDbscan};
+use obs::Histogram;
+
+/// The obs collector is process-global and the test harness runs tests on
+/// parallel threads: serialize every enable/disable window.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run `f` in a fresh enabled window (caller must hold `OBS_LOCK`) and
+/// return the drained histograms.
+fn hists_of(f: impl FnOnce()) -> Vec<(String, Histogram)> {
+    obs::disable_tracing();
+    obs::disable();
+    obs::reset();
+    obs::enable();
+    f();
+    obs::disable();
+    obs::take_report().hists
+}
+
+fn hist<'a>(hists: &'a [(String, Histogram)], key: &str) -> &'a Histogram {
+    &hists.iter().find(|(k, _)| k == key).unwrap_or_else(|| panic!("missing hist {key}")).1
+}
+
+fn hist_opt<'a>(hists: &'a [(String, Histogram)], key: &str) -> Option<&'a Histogram> {
+    hists.iter().find(|(k, _)| k == key).map(|(_, h)| h)
+}
+
+#[test]
+fn threaded_recording_matches_sequential_recording() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // A spread of magnitudes crossing many octaves, recorded twice: once
+    // sequentially, once split over 8 threads in racy order.
+    let samples: Vec<u64> = (0..4000u64).map(|i| (i * i * 2654435761) % 1_000_003 + 1).collect();
+
+    let seq = hists_of(|| {
+        for &v in &samples {
+            obs::record_hist("pin/threaded_vs_seq", v);
+        }
+    });
+
+    let par = hists_of(|| {
+        std::thread::scope(|scope| {
+            for chunk in samples.chunks(samples.len().div_ceil(8)) {
+                scope.spawn(move || {
+                    for &v in chunk {
+                        obs::record_hist("pin/threaded_vs_seq", v);
+                    }
+                });
+            }
+        });
+    });
+
+    let (a, b) = (hist(&seq, "pin/threaded_vs_seq"), hist(&par, "pin/threaded_vs_seq"));
+    assert_eq!(a, b, "concurrent merge drifted from sequential recording");
+    assert_eq!(a.count(), samples.len() as u64);
+    for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+        assert_eq!(a.percentile(q), b.percentile(q));
+    }
+}
+
+#[test]
+fn seq_and_par_t1_histograms_agree() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for family in FAMILIES {
+        let spec = DatasetSpec { family, n: 300, dim: 3, seed: 2019 };
+        let data = Dataset::from_rows(&spec.rows());
+        let params = DbscanParams::new(0.6, 5);
+
+        let seq = hists_of(|| {
+            MuDbscan::new(params).run(&data);
+        });
+        // `with_options(BuildOptions::default())` puts t=1 on the
+        // sequential build path, making the whole pipeline step-for-step
+        // comparable to `MuDbscan`.
+        let par = hists_of(|| {
+            ParMuDbscan::new(params, 1).with_options(BuildOptions::default()).run(&data);
+        });
+
+        let label = family.as_str();
+        for key in ["query/node_visits", "query/candidates", "rtree/bulk_load_entries"] {
+            assert_eq!(
+                hist(&seq, key),
+                hist(&par, key),
+                "{label}: histogram {key} drifted between seq and par t1"
+            );
+        }
+        // Post-processing aux queries only run when deferred points exist,
+        // so the key may legitimately be absent — but seq and par t1 must
+        // agree on that too.
+        assert_eq!(
+            hist_opt(&seq, "postproc/node_visits"),
+            hist_opt(&par, "postproc/node_visits"),
+            "{label}: histogram postproc/node_visits drifted between seq and par t1"
+        );
+    }
+}
+
+/// A 2-d grid with 0.45 spacing at ε = 0.6: axis neighbours are within ε,
+/// diagonals (≈0.636) are not, and **no** point other than itself lies
+/// within ε/2 = 0.3 — so the step-3 dynamic wndq promotion rule can never
+/// fire and the saved-query set is identical for every thread count.
+fn promotion_free_grid() -> Dataset {
+    let mut rows = Vec::new();
+    for i in 0..18 {
+        for j in 0..18 {
+            rows.push(vec![0.45 * i as f64, 0.45 * j as f64]);
+        }
+    }
+    Dataset::from_rows(&rows)
+}
+
+#[test]
+fn par_query_histograms_identical_across_thread_counts() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let data = promotion_free_grid();
+    let params = DbscanParams::new(0.6, 5);
+
+    let runs: Vec<(usize, Vec<(String, Histogram)>)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let h = hists_of(|| {
+                ParMuDbscan::new(params, threads).run(&data);
+            });
+            (threads, h)
+        })
+        .collect();
+
+    let (_, base) = &runs[0];
+    for (threads, h) in &runs[1..] {
+        for key in ["query/node_visits", "query/candidates", "rtree/bulk_load_entries"] {
+            let (a, b) = (hist(base, key), hist(h, key));
+            assert_eq!(a, b, "t={threads}: histogram {key} drifted from t=1");
+            assert!(a.count() > 0, "{key} must have samples");
+        }
+    }
+}

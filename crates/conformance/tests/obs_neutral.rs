@@ -18,10 +18,12 @@ fn seeded_dataset() -> Dataset {
 /// parallel threads: serialize every enable/disable window.
 static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
-/// Run `f` once with obs disabled and once enabled, asserting identical
-/// clusterings. Leaves the global collector disabled and drained.
+/// Run `f` with obs disabled, with aggregate collection enabled, and with
+/// aggregates + event tracing enabled, asserting identical clusterings in
+/// all three arms. Leaves the global collector disabled and drained.
 fn assert_neutral(label: &str, f: impl Fn() -> Clustering) {
     let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::disable_tracing();
     obs::disable();
     obs::reset();
     let plain = f();
@@ -32,9 +34,29 @@ fn assert_neutral(label: &str, f: impl Fn() -> Clustering) {
     obs::disable();
     let report = obs::take_report();
 
+    // Third arm: everything on at once — aggregates, histograms (span
+    // durations and hot-path samples feed them automatically) and the
+    // event-trace ring. Must still be bit-identical.
+    obs::reset();
+    obs::enable();
+    obs::enable_tracing();
+    let traced = f();
+    obs::disable_tracing();
+    obs::disable();
+    let trace = obs::take_trace();
+    obs::reset();
+
     assert_eq!(plain, instrumented, "{label}: clustering changed when obs collection was enabled");
     assert_eq!(plain.n_clusters, instrumented.n_clusters, "{label}: cluster count drifted");
     assert!(!report.spans.is_empty(), "{label}: the instrumented run must actually record spans");
+    assert_eq!(plain, traced, "{label}: clustering changed when event tracing was enabled");
+    assert!(!trace.is_empty(), "{label}: the traced run must actually record events");
+    trace.validate().unwrap_or_else(|e| panic!("{label}: emitted trace is inconsistent: {e}"));
+    let span_paths: Vec<&str> = report.spans.iter().map(|(k, _)| k.as_str()).collect();
+    assert!(
+        report.spans.iter().any(|(_, s)| !s.dur_ns.is_empty()),
+        "{label}: span durations must feed a histogram; spans: {span_paths:?}"
+    );
 }
 
 #[test]

@@ -261,6 +261,10 @@ pub fn process_rem_points(
         counters.count_range_query();
         counters.count_dists(cost.mbr_tests);
         counters.count_node_visits(cost.nodes_visited.max(1));
+        if obs::enabled() {
+            obs::record_hist("query/node_visits", cost.nodes_visited.max(1));
+            obs::record_hist("query/candidates", nbhrs.len() as u64);
+        }
 
         if nbhrs.len() < params.min_pts {
             // Non-core: attach to the first core neighbour if unassigned.
@@ -364,6 +368,12 @@ pub fn post_processing_core(
                 counters.count_range_query();
                 counters.count_dists(cost.mbr_tests);
                 counters.count_node_visits(cost.nodes_visited.max(1));
+                // Separate histogram key: which aux queries execute here
+                // depends on union order, which is interleaving-dependent
+                // at t>1 — keep `query/*` strictly deterministic.
+                if obs::enabled() {
+                    obs::record_hist("postproc/node_visits", cost.nodes_visited.max(1));
+                }
                 if let Some(q) = hit {
                     state.uf.union(p, q);
                     counters.count_union();

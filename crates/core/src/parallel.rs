@@ -258,6 +258,14 @@ impl ParMuDbscan {
                     counters.count_range_query();
                     counters.count_dists(cost.mbr_tests);
                     counters.count_node_visits(cost.nodes_visited.max(1));
+                    // Mirrors the sequential `process_rem_points` site:
+                    // histogram merging is commutative, so as long as the
+                    // executed query set is identical the merged
+                    // histograms are bit-identical across thread counts.
+                    if obs::enabled() {
+                        obs::record_hist("query/node_visits", cost.nodes_visited.max(1));
+                        obs::record_hist("query/candidates", nbhrs.len() as u64);
+                    }
 
                     if nbhrs.len() < params.min_pts {
                         if !flags.assigned[pi].load(Ordering::Acquire) {
@@ -358,6 +366,9 @@ impl ParMuDbscan {
                             counters.count_range_query();
                             counters.count_dists(cost.mbr_tests);
                             counters.count_node_visits(cost.nodes_visited.max(1));
+                            if obs::enabled() {
+                                obs::record_hist("postproc/node_visits", cost.nodes_visited.max(1));
+                            }
                             if let Some(q) = hit {
                                 uf.union(p, q);
                                 counters.count_union();

@@ -2,7 +2,7 @@
 //! supersteps, cross-partition edge collection, and the exact merge
 //! replay.
 
-use cluster_sim::{Bsp, CommModel, Envelope, ExecMode};
+use cluster_sim::{Bsp, CommModel, Envelope, ExecMode, RankClock};
 use geom::{Dataset, DbscanParams, PointId};
 use metrics::{Counters, PhaseTimer, Stopwatch};
 use mudbscan::{Clustering, NOISE};
@@ -61,6 +61,12 @@ pub struct DistOutput {
     pub ranks: usize,
     /// Maximum estimated per-rank structure bytes (for capacity claims).
     pub max_rank_heap_bytes: usize,
+    /// Per-rank virtual-clock totals (compute/comm split and bytes),
+    /// indexed by rank — the per-rank BSP timeline summary the bench
+    /// schema (v3) reports.
+    pub rank_clocks: Vec<RankClock>,
+    /// BSP supersteps executed.
+    pub supersteps: usize,
 }
 
 /// A cross-partition candidate pair: own point `x` (with its exact core
@@ -156,8 +162,15 @@ pub fn run_distributed(
         for (h, &hid) in s.shard.halo_ids.iter().enumerate() {
             let coords = s.shard.halo.point(h as u32);
             let mut hits = Vec::new();
-            own_tree.search_sphere(coords, params.eps, |x| hits.push(x));
+            let cost = own_tree.search_sphere(coords, params.eps, |x| hits.push(x));
+            // Halo probes are range queries like any other: count their
+            // node visits and MBR tests too (accounting hole until v3).
             run.counters.count_range_query();
+            run.counters.count_dists(cost.mbr_tests);
+            run.counters.count_node_visits(cost.nodes_visited.max(1));
+            if obs::enabled() {
+                obs::record_hist("halo/node_visits", cost.nodes_visited.max(1));
+            }
             for x in hits {
                 let gx = s.shard.ids[x as usize];
                 let x_core = run.clustering.is_core[x as usize];
@@ -303,6 +316,8 @@ pub fn run_distributed(
         obs::record_value("dist/merge_replay_secs", replay_secs);
     }
     drop(run_span);
+    let rank_clocks = bsp.rank_clocks().to_vec();
+    let supersteps = bsp.steps();
     let clustering = Clustering::from_union_find(&mut uf, is_core);
 
     Ok(DistOutput {
@@ -313,5 +328,7 @@ pub fn run_distributed(
         counters,
         ranks: p,
         max_rank_heap_bytes: max_heap,
+        rank_clocks,
+        supersteps,
     })
 }

@@ -1,0 +1,318 @@
+//! Mergeable log-bucketed histograms (HDR-style) with a **fixed bucket
+//! layout**, so merging per-thread or per-rank histograms is exact,
+//! commutative and deterministic: the merged bucket vector — and every
+//! percentile derived from it — is bit-identical regardless of merge
+//! order.
+//!
+//! ## Bucket layout
+//!
+//! Values are non-negative integers (node visits, candidate counts,
+//! nanoseconds, bytes). The layout is log-linear with 8 sub-buckets per
+//! octave (power of two):
+//!
+//! * `v < 8` maps to bucket `v` exactly (one bucket per value);
+//! * otherwise, with `exp = floor(log2 v) ≥ 3`, the three bits below the
+//!   leading bit select one of 8 sub-buckets:
+//!   `index = 8·(exp − 2) + ((v >> (exp − 3)) & 7)`.
+//!
+//! Every `u64` maps to one of [`NUM_BUCKETS`] = 496 buckets, and a
+//! bucket's width is 1/8 of its octave, so any reported quantile is at
+//! most 12.5 % below the true value. Percentiles are reported as the
+//! **lower bound** of the bucket containing the requested rank — a
+//! deterministic function of the bucket vector alone, which is what makes
+//! cross-thread and cross-rank comparisons in `bench-diff` exact.
+//!
+//! The exact `count`, `sum` and `max` are carried alongside the buckets
+//! (they are cheap and merge exactly), so `max` in reports is never
+//! quantised.
+
+use crate::json::Json;
+
+/// Sub-buckets per octave: 2³ = 8, giving ≤ 12.5 % quantisation error.
+const SUB_BITS: u32 = 3;
+
+/// Total number of buckets in the fixed layout (indices `0..496`).
+pub const NUM_BUCKETS: usize = 8 * 62;
+
+/// Map a value to its bucket index in the fixed layout.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = (v >> (exp - SUB_BITS)) & 7;
+        (8 * (exp - 2) + sub as u32) as usize
+    }
+}
+
+/// Lower bound (smallest value) of bucket `i`. Inverse of
+/// [`bucket_index`] up to quantisation: `bucket_lower_bound(bucket_index(v)) <= v`.
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < 8 {
+        i as u64
+    } else {
+        let exp = (i / 8 + 2) as u32;
+        let sub = (i % 8) as u64;
+        (1u64 << exp) + (sub << (exp - SUB_BITS))
+    }
+}
+
+/// A mergeable log-bucketed histogram over `u64` samples.
+///
+/// ```
+/// use obs::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 2, 100, 10_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 10_000);
+/// assert_eq!(h.percentile(0.50), 2); // exact below 8
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Bucket counts, lazily grown; logical length is [`NUM_BUCKETS`].
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Bucket-wise addition:
+    /// commutative and associative, so any merge order over any grouping
+    /// of per-thread/per-rank histograms yields bit-identical state.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, ascending by index.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c))
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), reported as the lower bound of
+    /// the bucket containing rank `ceil(q·count)` — a deterministic
+    /// function of the bucket vector. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        self.max
+    }
+
+    /// Percentile summary as JSON:
+    /// `{"count", "sum", "max", "mean", "p50", "p90", "p95", "p99"}`.
+    pub fn summary_json(&self) -> Json {
+        Json::obj_from([
+            ("count".to_string(), Json::Num(self.count as f64)),
+            ("sum".to_string(), Json::Num(self.sum as f64)),
+            ("max".to_string(), Json::Num(self.max as f64)),
+            ("mean".to_string(), Json::Num(self.mean())),
+            ("p50".to_string(), Json::Num(self.percentile(0.50) as f64)),
+            ("p90".to_string(), Json::Num(self.percentile(0.90) as f64)),
+            ("p95".to_string(), Json::Num(self.percentile(0.95) as f64)),
+            ("p99".to_string(), Json::Num(self.percentile(0.99) as f64)),
+        ])
+    }
+
+    /// Full JSON: the summary plus the sparse bucket vector as
+    /// `"buckets": [[index, count], ...]` (non-empty buckets only).
+    pub fn to_json(&self) -> Json {
+        let mut js = self.summary_json();
+        let buckets: Vec<Json> = self
+            .nonzero_buckets()
+            .map(|(i, c)| Json::Arr(vec![Json::Num(i as f64), Json::Num(c as f64)]))
+            .collect();
+        js.set("buckets", Json::Arr(buckets));
+        js
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_round_trips() {
+        for v in (0u64..4096).chain([1u64 << 20, (1 << 20) + 12345, u64::MAX / 3, u64::MAX]) {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            let lb = bucket_lower_bound(i);
+            assert!(lb <= v, "lower bound {lb} above value {v}");
+            if i + 1 < NUM_BUCKETS {
+                assert!(bucket_lower_bound(i + 1) > v, "value {v} not below next bucket");
+            }
+            // ≤ 12.5 % quantisation error.
+            assert!((v - lb) as f64 <= 0.125 * v as f64 + 1e-9, "bucket too wide at {v}");
+        }
+    }
+
+    #[test]
+    fn lower_bounds_strictly_increase() {
+        for i in 1..NUM_BUCKETS {
+            assert!(bucket_lower_bound(i) > bucket_lower_bound(i - 1), "not monotone at {i}");
+        }
+        assert_eq!(bucket_index(bucket_lower_bound(NUM_BUCKETS - 1)), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_below_eight() {
+        let mut h = Histogram::new();
+        for v in 0..8u64 {
+            h.record_n(v, v + 1);
+        }
+        assert_eq!(h.count(), 36);
+        assert_eq!(h.percentile(1.0 / 36.0), 0);
+        assert_eq!(h.percentile(1.0), 7);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.sum(), (0..8u64).map(|v| (v * (v + 1)) as u128).sum());
+    }
+
+    #[test]
+    fn percentiles_are_bucket_lower_bounds() {
+        let mut h = Histogram::new();
+        for v in [10u64, 100, 1000, 10_000, 100_000] {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert_eq!(p, bucket_lower_bound(bucket_index(p)), "q={q} not a lower bound");
+        }
+        assert_eq!(h.percentile(0.2), bucket_lower_bound(bucket_index(10)));
+        assert_eq!(h.percentile(1.0), bucket_lower_bound(bucket_index(100_000)));
+        assert_eq!(h.max(), 100_000);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        // Three shards with interleaved values; every merge order (and a
+        // pairwise tree) must produce bit-identical state.
+        let mut shards = Vec::new();
+        for s in 0..3u64 {
+            let mut h = Histogram::new();
+            for k in 0..200u64 {
+                h.record(s * 7 + k * k % 5000);
+            }
+            shards.push(h);
+        }
+        let orders: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let mut merged: Vec<Histogram> = Vec::new();
+        for order in orders {
+            let mut acc = Histogram::new();
+            for i in order {
+                acc.merge(&shards[i]);
+            }
+            merged.push(acc);
+        }
+        // Tree-shaped merge: (0+1) + 2 with the pair pre-merged.
+        let mut pair = shards[0].clone();
+        pair.merge(&shards[1]);
+        pair.merge(&shards[2]);
+        merged.push(pair);
+        for m in &merged[1..] {
+            assert_eq!(m, &merged[0], "merge order changed histogram state");
+            assert_eq!(m.percentile(0.5), merged[0].percentile(0.5));
+            assert_eq!(m.percentile(0.99), merged[0].percentile(0.99));
+        }
+    }
+
+    #[test]
+    fn json_summary_shape() {
+        let mut h = Histogram::new();
+        h.record_n(3, 10);
+        h.record(500);
+        let js = h.to_json();
+        assert_eq!(js.get("count").and_then(Json::as_f64), Some(11.0));
+        assert_eq!(js.get("max").and_then(Json::as_f64), Some(500.0));
+        assert_eq!(js.get("p50").and_then(Json::as_f64), Some(3.0));
+        let buckets = js.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), 2);
+        let text = js.render_pretty();
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

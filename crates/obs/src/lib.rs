@@ -1,28 +1,40 @@
 #![deny(missing_docs)]
 
-//! # obs — phase-level observability for the μDBSCAN workspace
+//! # obs — three-layer observability for the μDBSCAN workspace
 //!
 //! The paper's whole evaluation (§VI, Tables II–VIII) is about *where time
 //! goes*: micro-cluster construction vs classification vs the restricted
 //! step-3 queries vs post-processing and merge, and how many ε-queries the
 //! wndq-core machinery saves. This crate is the measurement substrate that
-//! turns those quantities into machine-readable data:
+//! turns those quantities into machine-readable data, in three layers
+//! (see `docs/OBSERVABILITY.md` at the repository root):
 //!
-//! * **hierarchical phase spans** — RAII wall-clock timers that nest via a
-//!   thread-local stack, aggregated (total seconds + enter count) per
-//!   slash-joined path in a process-global, thread-safe collector;
-//! * **named counters and values** — monotone `u64` / additive `f64`
-//!   records for quantities that are not time (DMC/CMC/SMC classification
-//!   counts, halo bytes, wndq query saves, virtual BSP clocks);
-//! * **a JSON emitter and parser** ([`json`]) with no external
-//!   dependencies, used by the `bench` crate's `emit_bench` driver to
-//!   write the schema-versioned `BENCH_*.json` trajectory (see
-//!   `docs/BENCH_SCHEMA.md` at the repository root).
+//! * **aggregates** — hierarchical RAII phase spans that nest via a
+//!   thread-local stack (total seconds + enter count per slash-joined
+//!   path), monotone `u64` counters and additive `f64` values
+//!   (DMC/CMC/SMC classification counts, halo bytes, wndq query saves,
+//!   virtual BSP clocks);
+//! * **mergeable log-bucketed histograms** ([`hist`]) — HDR-style fixed
+//!   bucket layout so per-thread/per-rank merges are exact and
+//!   deterministic; span durations feed one automatically, and hot paths
+//!   record per-query node visits, candidate counts and per-superstep
+//!   comm bytes via [`record_hist`];
+//! * **event tracing** ([`trace`]) — per-thread append-only buffers of
+//!   span begin/end and instant events plus virtual-clock BSP rank
+//!   segments, drained into a [`Trace`] and exported as Chrome
+//!   trace-event JSON (Perfetto-loadable) or rendered as an ASCII
+//!   timeline/flamegraph ([`render`]).
+//!
+//! A dependency-free **JSON emitter and parser** ([`json`]) underpins the
+//! exports; the `bench` crate's `emit_bench` driver uses it to write the
+//! schema-versioned `BENCH_*.json` trajectory (see `docs/BENCH_SCHEMA.md`).
 //!
 //! Collection is **off by default** and controlled by a process-global
 //! switch: every instrumentation point first reads one relaxed atomic and
 //! does nothing else when disabled, so instrumented library code pays a
-//! few nanoseconds per phase when nobody is observing. The spans
+//! few nanoseconds per phase when nobody is observing. Event tracing has
+//! a second switch ([`trace::enable_tracing`]) checked only inside the
+//! already-enabled branch, so it costs nothing when off. The spans
 //! themselves are *phase-level* (a handful to a few thousand per run, not
 //! one per point), which keeps the enabled overhead under the 5 % budget
 //! recorded in EXPERIMENTS.md.
@@ -63,15 +75,21 @@
 //! assert_eq!(v.and_then(|v| v.as_f64()), Some(0.25));
 //! ```
 
+pub mod hist;
 pub mod json;
+pub mod render;
 pub mod report;
 pub mod span;
+pub mod trace;
 
+pub use hist::Histogram;
 pub use json::Json;
 pub use report::{Report, SpanStat};
 pub use span::{
-    disable, enable, enabled, record_count, record_value, reset, span, take_report, Span,
+    disable, enable, enabled, record_count, record_hist, record_value, reset, span, take_report,
+    Span,
 };
+pub use trace::{disable_tracing, enable_tracing, take_trace, tracing_enabled, Trace};
 
 /// Open a phase span: `span!("name")` is shorthand for [`span()`]`("name")`.
 ///

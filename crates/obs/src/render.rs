@@ -1,0 +1,280 @@
+//! ASCII rendering of traces: a per-lane timeline and a flamegraph-style
+//! aggregation, so a trace is readable in the terminal without loading
+//! it into Perfetto.
+//!
+//! Both renderers consume a drained [`Trace`]. The timeline draws one
+//! row per reconstructed wall span (grouped by thread, nested spans
+//! indented by depth) plus one row per BSP rank on the virtual clock
+//! (`#` = compute, `~` = comm), which makes per-rank load imbalance
+//! visible as ragged bar ends. The flamegraph aggregates wall slices by
+//! slash-joined path and prints an indented tree with bars scaled to the
+//! total.
+
+use crate::trace::{Event, Trace, WallSlice};
+use std::collections::BTreeMap;
+
+/// Per-rank accumulator for the virtual-clock section: `(start, end,
+/// is_comm)` slices plus total compute and comm nanoseconds.
+type RankLane = (Vec<(u64, u64, bool)>, u64, u64);
+
+fn fmt_secs(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Draw `[start, end)` (clamped) as `ch` into a row of `width` cells
+/// covering `[t0, t1)`. Always marks at least one cell so short slices
+/// stay visible.
+fn fill(row: &mut [u8], ch: u8, start: u64, end: u64, t0: u64, t1: u64) {
+    let width = row.len();
+    if width == 0 || t1 <= t0 {
+        return;
+    }
+    let scale = width as f64 / (t1 - t0) as f64;
+    let a = ((start.saturating_sub(t0)) as f64 * scale) as usize;
+    let b = ((end.saturating_sub(t0)) as f64 * scale).ceil() as usize;
+    let (a, b) = (a.min(width - 1), b.clamp(a + 1, width));
+    for cell in &mut row[a..b] {
+        *cell = ch;
+    }
+}
+
+/// Render a per-span timeline: wall section (one row per span, grouped
+/// by thread) then a virtual-clock section (one row per BSP rank).
+/// `width` is the bar width in characters. At most `max_rows` wall rows
+/// are printed (longest-first within each thread); the rest are elided
+/// with a note, so huge traces stay terminal-sized.
+pub fn render_timeline(trace: &Trace, width: usize, max_rows: usize) -> String {
+    let width = width.max(8);
+    let mut out = String::new();
+
+    // ---- wall section -------------------------------------------------
+    let slices = trace.wall_slices();
+    if !slices.is_empty() {
+        let t0 = slices.iter().map(|s| s.start_ns).min().unwrap();
+        let t1 = slices.iter().map(|s| s.end_ns).max().unwrap().max(t0 + 1);
+        out.push_str(&format!(
+            "wall clock — {} span(s), window {}\n",
+            slices.len(),
+            fmt_secs(t1 - t0)
+        ));
+        let mut by_tid: BTreeMap<u32, Vec<&WallSlice>> = BTreeMap::new();
+        for s in &slices {
+            by_tid.entry(s.tid).or_default().push(s);
+        }
+        let mut printed = 0usize;
+        let mut elided = 0usize;
+        let label_w = slices
+            .iter()
+            .map(|s| s.path.rsplit('/').next().unwrap_or(&s.path).len() + 2 * s.depth)
+            .max()
+            .unwrap_or(8)
+            .min(40);
+        for (tid, rows) in &by_tid {
+            out.push_str(&format!("thread t{tid}\n"));
+            for s in rows {
+                if printed >= max_rows {
+                    elided += 1;
+                    continue;
+                }
+                printed += 1;
+                let mut bar = vec![b' '; width];
+                fill(&mut bar, b'=', s.start_ns, s.end_ns, t0, t1);
+                let leaf = s.path.rsplit('/').next().unwrap_or(&s.path);
+                let label = format!("{}{}", "  ".repeat(s.depth), leaf);
+                out.push_str(&format!(
+                    "  {label:<label_w$} |{}| {}\n",
+                    String::from_utf8_lossy(&bar),
+                    fmt_secs(s.end_ns - s.start_ns)
+                ));
+            }
+        }
+        if elided > 0 {
+            out.push_str(&format!("  … {elided} more span(s) elided\n"));
+        }
+    }
+
+    // ---- virtual (BSP rank) section -----------------------------------
+    let virt = trace.virtual_slices();
+    if !virt.is_empty() {
+        let mut t1 = 1u64;
+        let mut ranks: BTreeMap<u32, RankLane> = BTreeMap::new();
+        for ev in &virt {
+            if let Event::Virtual { track, cat, start_ns, dur_ns, .. } = &ev.event {
+                let end = start_ns + dur_ns;
+                t1 = t1.max(end);
+                let e = ranks.entry(*track).or_default();
+                let is_comm = cat == "comm";
+                e.0.push((*start_ns, end, is_comm));
+                if is_comm {
+                    e.2 += dur_ns;
+                } else {
+                    e.1 += dur_ns;
+                }
+            }
+        }
+        out.push_str(&format!(
+            "bsp virtual clock — {} rank(s), makespan {} (# compute, ~ comm)\n",
+            ranks.len(),
+            fmt_secs(t1)
+        ));
+        for (rank, (segs, compute, comm)) in &ranks {
+            let mut bar = vec![b' '; width];
+            // Draw compute first so comm (the barrier tail) stays visible
+            // where they quantise to the same cell.
+            for &(a, b, _) in segs.iter().filter(|s| !s.2) {
+                fill(&mut bar, b'#', a, b, 0, t1);
+            }
+            for &(a, b, _) in segs.iter().filter(|s| s.2) {
+                fill(&mut bar, b'~', a, b, 0, t1);
+            }
+            out.push_str(&format!(
+                "  rank {rank:<3} |{}| compute {} comm {}\n",
+                String::from_utf8_lossy(&bar),
+                fmt_secs(*compute),
+                fmt_secs(*comm)
+            ));
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(empty trace)\n");
+    }
+    out
+}
+
+/// Render a flamegraph-style aggregation of the wall spans: paths merged
+/// across threads, children indented under parents, bars scaled to the
+/// largest root total.
+pub fn render_flame(trace: &Trace, width: usize) -> String {
+    let width = width.max(8);
+    let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // path -> (ns, count)
+    for s in trace.wall_slices() {
+        let e = totals.entry(s.path.clone()).or_default();
+        e.0 += s.end_ns - s.start_ns;
+        e.1 += 1;
+    }
+    if totals.is_empty() {
+        return "(no wall spans)\n".to_string();
+    }
+    let root_max = totals
+        .iter()
+        .filter(|(p, _)| !p.contains('/'))
+        .map(|(_, (ns, _))| *ns)
+        .max()
+        .unwrap_or_else(|| totals.values().map(|(ns, _)| *ns).max().unwrap())
+        .max(1);
+    let label_w = totals
+        .keys()
+        .map(|p| {
+            let depth = p.matches('/').count();
+            p.rsplit('/').next().unwrap().len() + 2 * depth
+        })
+        .max()
+        .unwrap()
+        .min(48);
+    let mut out = String::new();
+    // BTreeMap order is lexicographic on the full path, which places
+    // children directly under their parent.
+    for (path, (ns, count)) in &totals {
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap();
+        let label = format!("{}{}", "  ".repeat(depth), leaf);
+        let bar_len = ((*ns as f64 / root_max as f64) * width as f64).round() as usize;
+        let bar = "█".repeat(bar_len.clamp(1, width));
+        out.push_str(&format!("{label:<label_w$} {bar:<width$} {:>10}  ×{count}\n", fmt_secs(*ns)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TaggedEvent;
+
+    fn mk(tid: u32, seq: u64, event: Event) -> TaggedEvent {
+        TaggedEvent { tid, seq, event }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                mk(0, 0, Event::Begin { t_ns: 0, name: "mudbscan".into() }),
+                mk(0, 1, Event::Begin { t_ns: 100, name: "tree_construction".into() }),
+                mk(0, 2, Event::End { t_ns: 4_000 }),
+                mk(0, 3, Event::End { t_ns: 10_000 }),
+                mk(
+                    0,
+                    4,
+                    Event::Virtual {
+                        track: 0,
+                        name: "local".into(),
+                        cat: "compute".into(),
+                        start_ns: 0,
+                        dur_ns: 8_000,
+                    },
+                ),
+                mk(
+                    0,
+                    5,
+                    Event::Virtual {
+                        track: 1,
+                        name: "local".into(),
+                        cat: "compute".into(),
+                        start_ns: 0,
+                        dur_ns: 2_000,
+                    },
+                ),
+                mk(
+                    0,
+                    6,
+                    Event::Virtual {
+                        track: 0,
+                        name: "local".into(),
+                        cat: "comm".into(),
+                        start_ns: 8_000,
+                        dur_ns: 1_000,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn timeline_has_wall_and_virtual_sections() {
+        let text = render_timeline(&sample(), 40, 100);
+        assert!(text.contains("wall clock"), "{text}");
+        assert!(text.contains("tree_construction"), "{text}");
+        assert!(text.contains("bsp virtual clock"), "{text}");
+        assert!(text.contains("rank 0"), "{text}");
+        assert!(text.contains("rank 1"), "{text}");
+        assert!(text.contains('#'), "{text}");
+        assert!(text.contains('~'), "{text}");
+    }
+
+    #[test]
+    fn timeline_elides_past_max_rows() {
+        let text = render_timeline(&sample(), 40, 1);
+        assert!(text.contains("elided"), "{text}");
+    }
+
+    #[test]
+    fn flame_aggregates_by_path() {
+        let text = render_flame(&sample(), 30);
+        assert!(text.contains("mudbscan"), "{text}");
+        assert!(text.contains("  tree_construction"), "{text}");
+        assert!(text.contains("×1"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert!(render_timeline(&Trace::default(), 40, 10).contains("empty"));
+        assert!(render_flame(&Trace::default(), 40).contains("no wall spans"));
+    }
+}

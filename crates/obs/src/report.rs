@@ -1,19 +1,24 @@
 //! The aggregated output of a collection window.
 //!
 //! A [`Report`] is what [`crate::take_report`] returns: every span path
-//! with its accumulated wall seconds and enter count, plus the named
-//! counters and additive values. It converts losslessly to [`crate::Json`]
-//! for the `BENCH_*.json` trajectory files.
+//! with its accumulated wall seconds, enter count and duration
+//! histogram, plus the named counters, additive values and explicit
+//! histograms. It converts losslessly to [`crate::Json`] for the
+//! `BENCH_*.json` trajectory files.
 
+use crate::hist::Histogram;
 use crate::json::Json;
 
 /// Accumulated statistics of one span path.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SpanStat {
     /// Total wall-clock seconds across all entries of this path.
     pub secs: f64,
     /// Number of times the span was entered.
     pub count: u64,
+    /// Per-entry durations (nanoseconds) in the fixed log-bucket layout,
+    /// so span-latency percentiles merge exactly across threads.
+    pub dur_ns: Histogram,
 }
 
 /// Everything collected between a [`crate::reset`] and a
@@ -26,6 +31,9 @@ pub struct Report {
     pub counts: Vec<(String, u64)>,
     /// `(name, total)` for every additive value, sorted by name.
     pub values: Vec<(String, f64)>,
+    /// `(name, histogram)` for every explicitly recorded histogram
+    /// ([`crate::record_hist`]), sorted by name.
+    pub hists: Vec<(String, Histogram)>,
 }
 
 impl Report {
@@ -49,26 +57,39 @@ impl Report {
         self.values.iter().find(|(n, _)| n == name).map_or(0.0, |(_, v)| *v)
     }
 
+    /// The named histogram, when one was recorded.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
     /// Convert to a JSON object:
-    /// `{"spans": {path: {"secs": s, "count": c}}, "counts": {...},
-    /// "values": {...}}`.
+    /// `{"spans": {path: {"secs": s, "count": c, "dur_ns": {...}}},
+    /// "counts": {...}, "values": {...}, "hists": {name: {...}}}`.
+    ///
+    /// Span entries carry their duration-percentile summary only when
+    /// samples were recorded (hand-built reports may have empty
+    /// histograms). Explicit histograms are emitted in full (summary +
+    /// sparse buckets).
     pub fn to_json(&self) -> Json {
         let spans = Json::obj_from(self.spans.iter().map(|(p, s)| {
-            (
-                p.clone(),
-                Json::obj_from([
-                    ("secs".to_string(), Json::Num(s.secs)),
-                    ("count".to_string(), Json::Num(s.count as f64)),
-                ]),
-            )
+            let mut js = Json::obj_from([
+                ("secs".to_string(), Json::Num(s.secs)),
+                ("count".to_string(), Json::Num(s.count as f64)),
+            ]);
+            if !s.dur_ns.is_empty() {
+                js.set("dur_ns", s.dur_ns.summary_json());
+            }
+            (p.clone(), js)
         }));
         let counts =
             Json::obj_from(self.counts.iter().map(|(n, v)| (n.clone(), Json::Num(*v as f64))));
         let values = Json::obj_from(self.values.iter().map(|(n, v)| (n.clone(), Json::Num(*v))));
+        let hists = Json::obj_from(self.hists.iter().map(|(n, h)| (n.clone(), h.to_json())));
         Json::obj_from([
             ("spans".to_string(), spans),
             ("counts".to_string(), counts),
             ("values".to_string(), values),
+            ("hists".to_string(), hists),
         ])
     }
 }
@@ -78,13 +99,20 @@ mod tests {
     use super::*;
 
     fn sample() -> Report {
+        let mut qh = Histogram::new();
+        for v in [4u64, 4, 9, 120] {
+            qh.record(v);
+        }
+        let mut dur = Histogram::new();
+        dur.record(1_500_000);
         Report {
             spans: vec![
-                ("a".into(), SpanStat { secs: 1.5, count: 1 }),
-                ("a/b".into(), SpanStat { secs: 0.5, count: 3 }),
+                ("a".into(), SpanStat { secs: 1.5, count: 1, dur_ns: dur }),
+                ("a/b".into(), SpanStat { secs: 0.5, count: 3, dur_ns: Histogram::new() }),
             ],
             counts: vec![("mc_dense".into(), 42)],
             values: vec![("virtual".into(), 2.25)],
+            hists: vec![("query/node_visits".into(), qh)],
         }
     }
 
@@ -96,6 +124,8 @@ mod tests {
         assert_eq!(r.count("mc_dense"), 42);
         assert_eq!(r.value("virtual"), 2.25);
         assert_eq!(r.span_secs("missing"), 0.0);
+        assert_eq!(r.hist("query/node_visits").unwrap().count(), 4);
+        assert!(r.hist("missing").is_none());
     }
 
     #[test]
@@ -105,6 +135,9 @@ mod tests {
         let back = Json::parse(&text).unwrap();
         let ab = back.get("spans").and_then(|s| s.get("a/b")).unwrap();
         assert_eq!(ab.get("count").and_then(Json::as_f64), Some(3.0));
+        assert!(ab.get("dur_ns").is_none(), "empty duration histograms are omitted");
+        let a = back.get("spans").and_then(|s| s.get("a")).unwrap();
+        assert_eq!(a.get("dur_ns").and_then(|d| d.get("count")).and_then(Json::as_f64), Some(1.0));
         assert_eq!(
             back.get("counts").and_then(|c| c.get("mc_dense")).and_then(Json::as_f64),
             Some(42.0)
@@ -113,5 +146,9 @@ mod tests {
             back.get("values").and_then(|v| v.get("virtual")).and_then(Json::as_f64),
             Some(2.25)
         );
+        let qh = back.get("hists").and_then(|h| h.get("query/node_visits")).unwrap();
+        assert_eq!(qh.get("count").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(qh.get("p50").and_then(Json::as_f64), Some(4.0));
+        assert!(qh.get("buckets").and_then(Json::as_array).is_some());
     }
 }

@@ -23,31 +23,48 @@
 //! phases therefore appear as their own top-level paths, which is what
 //! the per-rank/per-thread breakdowns want anyway.
 
+use crate::hist::Histogram;
 use crate::report::{Report, SpanStat};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-/// The global aggregation state. One mutex guards all three maps: span
-/// drops, counter adds and value adds are all phase-level events.
+/// The global aggregation state. One mutex guards all four maps: span
+/// drops, counter adds, value adds and histogram records are all
+/// phase-level (or at most per-query) events.
 struct Collector {
     spans: HashMap<String, SpanStat>,
     counts: HashMap<String, u64>,
     values: HashMap<String, f64>,
+    hists: HashMap<String, Histogram>,
 }
 
 impl Collector {
     fn new() -> Self {
-        Self { spans: HashMap::new(), counts: HashMap::new(), values: HashMap::new() }
+        Self {
+            spans: HashMap::new(),
+            counts: HashMap::new(),
+            values: HashMap::new(),
+            hists: HashMap::new(),
+        }
     }
 }
 
 static COLLECTOR: std::sync::LazyLock<Mutex<Collector>> =
     std::sync::LazyLock::new(|| Mutex::new(Collector::new()));
+
+/// Lock the collector, recovering from poisoning: the maps are only ever
+/// mutated by short, panic-free sections, so a poisoned lock (a panic
+/// elsewhere while a span guard was live) leaves them consistent. This
+/// is what keeps `obs` usable after a `catch_unwind` — see the
+/// `unwind_safety` tests.
+fn collector() -> MutexGuard<'static, Collector> {
+    COLLECTOR.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 thread_local! {
     /// Names of the spans currently open on this thread, outermost first.
@@ -73,26 +90,32 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Discard all collected data (spans, counts, values). Open spans will
-/// still record on drop.
+/// Discard all collected data (spans, counts, values, histograms) and
+/// any buffered trace events. Open spans will still record on drop.
 pub fn reset() {
-    let mut c = COLLECTOR.lock().expect("obs collector poisoned");
+    let mut c = collector();
     c.spans.clear();
     c.counts.clear();
     c.values.clear();
+    c.hists.clear();
+    drop(c);
+    crate::trace::clear();
 }
 
 /// Swap the collected data out into a [`Report`], leaving the collector
-/// empty. The enabled flag is not changed.
+/// empty. The enabled flag is not changed; the event-trace buffers are
+/// separate (see [`crate::trace::take_trace`]).
 pub fn take_report() -> Report {
-    let mut c = COLLECTOR.lock().expect("obs collector poisoned");
+    let mut c = collector();
     let mut spans: Vec<(String, SpanStat)> = c.spans.drain().collect();
     let mut counts: Vec<(String, u64)> = c.counts.drain().collect();
     let mut values: Vec<(String, f64)> = c.values.drain().collect();
+    let mut hists: Vec<(String, Histogram)> = c.hists.drain().collect();
     spans.sort_by(|a, b| a.0.cmp(&b.0));
     counts.sort_by(|a, b| a.0.cmp(&b.0));
     values.sort_by(|a, b| a.0.cmp(&b.0));
-    Report { spans, counts, values }
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+    Report { spans, counts, values, hists }
 }
 
 /// Add `n` to the named monotone counter. No-op while disabled.
@@ -109,8 +132,7 @@ pub fn record_count(name: &str, n: u64) {
     if !enabled() {
         return;
     }
-    let mut c = COLLECTOR.lock().expect("obs collector poisoned");
-    *c.counts.entry(name.to_string()).or_insert(0) += n;
+    *collector().counts.entry(name.to_string()).or_insert(0) += n;
 }
 
 /// Add `v` to the named additive value (virtual seconds, ratios, bytes
@@ -119,8 +141,27 @@ pub fn record_value(name: &str, v: f64) {
     if !enabled() {
         return;
     }
-    let mut c = COLLECTOR.lock().expect("obs collector poisoned");
-    *c.values.entry(name.to_string()).or_insert(0.0) += v;
+    *collector().values.entry(name.to_string()).or_insert(0.0) += v;
+}
+
+/// Record one sample into the named log-bucketed [`Histogram`]
+/// (per-query node visits, candidate counts, per-superstep comm bytes).
+/// No-op while disabled.
+///
+/// ```
+/// obs::reset();
+/// obs::enable();
+/// obs::record_hist("query/node_visits", 12);
+/// obs::record_hist("query/node_visits", 300);
+/// obs::disable();
+/// let r = obs::take_report();
+/// assert_eq!(r.hist("query/node_visits").unwrap().count(), 2);
+/// ```
+pub fn record_hist(name: &str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    collector().hists.entry(name.to_string()).or_default().record(v);
 }
 
 /// An open phase span. Created by [`span`] / the `span!` macro; records
@@ -134,6 +175,9 @@ pub fn record_value(name: &str, v: f64) {
 pub struct Span {
     /// `None` when collection was disabled at open time (no-op guard).
     start: Option<Instant>,
+    /// Whether a trace begin event was emitted (so the drop emits the
+    /// balancing end even if tracing is toggled off mid-span).
+    traced: bool,
     /// Marker making the type `!Send` (raw pointers are not `Send`).
     _not_send: std::marker::PhantomData<*const ()>,
 }
@@ -142,26 +186,34 @@ pub struct Span {
 /// on this thread. See the crate docs for an example.
 pub fn span(name: &'static str) -> Span {
     if !enabled() {
-        return Span { start: None, _not_send: std::marker::PhantomData };
+        return Span { start: None, traced: false, _not_send: std::marker::PhantomData };
     }
     STACK.with(|s| s.borrow_mut().push(name));
-    Span { start: Some(Instant::now()), _not_send: std::marker::PhantomData }
+    let traced = crate::trace::tracing_enabled();
+    if traced {
+        crate::trace::span_begin(name);
+    }
+    Span { start: Some(Instant::now()), traced, _not_send: std::marker::PhantomData }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        let secs = start.elapsed().as_secs_f64();
+        let elapsed = start.elapsed();
+        if self.traced {
+            crate::trace::span_end();
+        }
         let path = STACK.with(|s| {
             let mut stack = s.borrow_mut();
             let path = stack.join("/");
             stack.pop();
             path
         });
-        let mut c = COLLECTOR.lock().expect("obs collector poisoned");
-        let stat = c.spans.entry(path).or_insert(SpanStat { secs: 0.0, count: 0 });
-        stat.secs += secs;
+        let mut c = collector();
+        let stat = c.spans.entry(path).or_default();
+        stat.secs += elapsed.as_secs_f64();
         stat.count += 1;
+        stat.dur_ns.record(elapsed.as_nanos() as u64);
     }
 }
 
@@ -260,5 +312,106 @@ mod tests {
         disable();
         assert_eq!(take_report().count("once"), 1);
         assert_eq!(take_report().count("once"), 0);
+    }
+
+    #[test]
+    fn histograms_accumulate_and_drain() {
+        let _g = locked();
+        reset();
+        enable();
+        for v in [1u64, 2, 3, 1000] {
+            record_hist("h", v);
+        }
+        disable();
+        record_hist("h", 99); // ignored: disabled
+        let r = take_report();
+        let h = r.hist("h").expect("histogram recorded");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 1000);
+        assert!(take_report().hist("h").is_none(), "take_report drains hists");
+    }
+
+    #[test]
+    fn span_durations_feed_a_histogram() {
+        let _g = locked();
+        reset();
+        enable();
+        for _ in 0..5 {
+            let _s = span("timed");
+        }
+        disable();
+        let r = take_report();
+        let (_, stat) = r.spans.iter().find(|(p, _)| p == "timed").unwrap();
+        assert_eq!(stat.dur_ns.count(), 5);
+        assert!(stat.dur_ns.percentile(0.5) <= stat.dur_ns.max());
+    }
+
+    /// Satellite: a panic inside a nested span (caught with
+    /// `catch_unwind`) must leave the thread-local span stack and the
+    /// global collector consistent — later spans get correct
+    /// slash-joined paths and no lock stays poisoned.
+    #[test]
+    fn unwind_through_nested_spans_keeps_state_consistent() {
+        let _g = locked();
+        reset();
+        enable();
+        let _outer = crate::span!("outer");
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _mid = crate::span!("mid");
+            let _inner = crate::span!("inner");
+            // Take the collector lock mid-panic path: record something,
+            // then panic while the guards are live.
+            record_count("before_panic", 1);
+            panic!("injected");
+        }));
+        std::panic::set_hook(prev_hook);
+        assert!(result.is_err(), "the injected panic must propagate to catch_unwind");
+
+        // The unwound guards popped themselves: a new span nests directly
+        // under "outer", and every record call still works (no poison).
+        {
+            let _after = crate::span!("after");
+            record_count("after_panic", 1);
+            record_value("after_value", 1.5);
+            record_hist("after_hist", 7);
+        }
+        drop(_outer);
+        disable();
+        let r = take_report();
+        assert_eq!(r.span_count("outer"), 1);
+        assert_eq!(r.span_count("outer/mid"), 1, "unwound span still recorded");
+        assert_eq!(r.span_count("outer/mid/inner"), 1);
+        assert_eq!(r.span_count("outer/after"), 1, "stack must be clean after unwind");
+        assert_eq!(r.span_count("after"), 0, "path must still nest under outer");
+        assert_eq!(r.count("before_panic"), 1);
+        assert_eq!(r.count("after_panic"), 1);
+        assert_eq!(r.value("after_value"), 1.5);
+        assert_eq!(r.hist("after_hist").unwrap().count(), 1);
+    }
+
+    /// A panic on a worker thread (poisoning scenario for plain mutexes)
+    /// must not wedge the global collector for other threads.
+    #[test]
+    fn panic_on_worker_thread_does_not_poison_collector() {
+        let _g = locked();
+        reset();
+        enable();
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+        let worker = std::thread::spawn(|| {
+            let _s = span("doomed");
+            panic!("worker dies with a span open");
+        });
+        assert!(worker.join().is_err());
+        std::panic::set_hook(prev_hook);
+        {
+            let _s = span("survivor");
+        }
+        disable();
+        let r = take_report();
+        assert_eq!(r.span_count("doomed"), 1, "unwound worker span recorded");
+        assert_eq!(r.span_count("survivor"), 1);
     }
 }

@@ -1,7 +1,7 @@
 //! The OPTICS ordering algorithm and DBSCAN extraction.
 
 use geom::{dist_euclidean, Dataset, DbscanParams, PointId};
-use mcs::{build_micro_clusters, BuildOptions};
+use mcs::{build_micro_clusters, build_micro_clusters_par, BuildOptions};
 use metrics::{Counters, PhaseTimer, Stopwatch};
 use mudbscan::{Clustering, NOISE};
 use std::cmp::Ordering;
@@ -65,12 +65,18 @@ impl Ord for Seed {
 }
 
 impl Optics {
-    /// New instance.
+    /// New instance. OPTICS always sees the full dataset up front, so the
+    /// μR-tree is built with the tiled parallel constructor by default;
+    /// the ordering itself is unaffected because every ε-neighbourhood is
+    /// exact under either construction. Use
+    /// `with_options(BuildOptions::default())` to restore the sequential
+    /// Algorithm-3 scan.
     pub fn new(params: DbscanParams) -> Self {
-        Self { params, opts: BuildOptions::default() }
+        Self { params, opts: BuildOptions { parallel: true, ..BuildOptions::default() } }
     }
 
-    /// Override μR-tree construction options.
+    /// Override μR-tree construction options (`opts.parallel` selects the
+    /// tiled parallel constructor vs the sequential scan).
     pub fn with_options(mut self, opts: BuildOptions) -> Self {
         self.opts = opts;
         self
@@ -84,7 +90,12 @@ impl Optics {
         let mut phases = PhaseTimer::new();
         let mut sw = Stopwatch::start();
 
-        let mut tree = build_micro_clusters(data, params.eps, &self.opts, &counters);
+        let mut tree = if self.opts.parallel {
+            let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+            build_micro_clusters_par(data, params.eps, &self.opts, threads, &counters).0
+        } else {
+            build_micro_clusters(data, params.eps, &self.opts, &counters)
+        };
         tree.compute_reachable(data, &counters);
         phases.add_secs("tree_construction", sw.lap());
 

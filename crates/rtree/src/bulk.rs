@@ -62,6 +62,10 @@ impl RTree {
         if obs::enabled() {
             obs::record_count("rtree/bulk_loaded_entries", len as u64);
             obs::record_count("rtree/bulk_loaded_nodes", tree.nodes.len() as u64);
+            // Distribution of bulk-load sizes: one sample per tree, so the
+            // μR-tree's many small auxiliary trees vs the one level-1 tree
+            // show up as separate modes.
+            obs::record_hist("rtree/bulk_load_entries", len as u64);
         }
         tree
     }

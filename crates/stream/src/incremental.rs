@@ -1,6 +1,7 @@
 //! The insertion-incremental algorithm.
 
 use geom::{Dataset, DbscanParams, PointId};
+use mcs::{build_micro_clusters_par, BuildOptions};
 use metrics::Counters;
 use mudbscan::Clustering;
 use rtree::{RTree, RTreeConfig};
@@ -47,6 +48,111 @@ impl StreamingMuDbscan {
             assigned: Vec::new(),
             counters: Counters::new(),
         }
+    }
+
+    /// Bulk-load a dataset that is fully available up front, then keep
+    /// streaming: the μR-tree is built with the tiled parallel
+    /// constructor ([`build_micro_clusters_par`]), every ε-neighbourhood
+    /// is computed in parallel against it, and the disjoint-set union
+    /// rules are replayed sequentially in id order. The resulting
+    /// structure is a valid streaming state — [`Self::snapshot`] is
+    /// exactly the batch DBSCAN clustering, and later [`Self::insert`]
+    /// calls continue incrementally from it. Point-at-a-time ingestion
+    /// via [`Self::new`] + [`Self::extend_from`] remains the sequential
+    /// path.
+    pub fn from_dataset(data: &Dataset, params: DbscanParams) -> Self {
+        let n = data.len();
+        let dim = data.dim();
+        let counters = Counters::new();
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+        let opts = BuildOptions { parallel: true, ..BuildOptions::default() };
+        let (mut tree, _stats) =
+            build_micro_clusters_par(data, params.eps, &opts, threads, &counters);
+        tree.compute_reachable(data, &counters);
+
+        // Exact ε-neighbourhoods (self included) for every point, in
+        // parallel over disjoint id ranges.
+        let mut nbhd: Vec<Vec<PointId>> = vec![Vec::new(); n];
+        if n > 0 {
+            let chunk = n.div_ceil(threads).max(1);
+            let tree_ref = &tree;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (c, slot) in nbhd.chunks_mut(chunk).enumerate() {
+                    handles.push(scope.spawn(move || {
+                        let local = Counters::new();
+                        for (k, dst) in slot.iter_mut().enumerate() {
+                            let p = (c * chunk + k) as PointId;
+                            let cost = tree_ref.neighborhood(data, p, dst);
+                            local.count_range_query();
+                            local.count_dists(cost.mbr_tests);
+                            local.count_node_visits(cost.nodes_visited.max(1));
+                        }
+                        local
+                    }));
+                }
+                for h in handles {
+                    counters.absorb(&h.join().expect("neighborhood worker panicked"));
+                }
+            });
+        }
+
+        // Replay the same union rules `insert`/`make_core` apply, in id
+        // order: deterministic, and exact by the classical DBSCAN
+        // argument (border ties may attach differently than some other
+        // insertion order, which DBSCAN itself leaves unspecified).
+        let min_pts = params.min_pts as u32;
+        let counts: Vec<u32> = nbhd.iter().map(|nb| nb.len() as u32).collect();
+        let is_core: Vec<bool> = counts.iter().map(|&c| c >= min_pts).collect();
+        let mut uf = UnionFind::new(n);
+        let mut assigned = vec![false; n];
+        for p in 0..n {
+            if !is_core[p] {
+                continue;
+            }
+            assigned[p] = true;
+            for &q in &nbhd[p] {
+                let qi = q as usize;
+                if qi == p {
+                    continue;
+                }
+                if is_core[qi] {
+                    uf.union(q, p as PointId);
+                    counters.count_union();
+                } else if !assigned[qi] {
+                    uf.union(p as PointId, q);
+                    counters.count_union();
+                    assigned[qi] = true;
+                }
+            }
+        }
+
+        // Convert the μR-tree into the online representation: the level-1
+        // tree maps to MC indices, each MC keeps its (STR-packed) aux
+        // tree, and both keep accepting incremental insertions. Every
+        // member sits strictly within ε of its MC center, so the online
+        // 2ε center-search invariant holds.
+        let level1 = RTree::bulk_load_points(
+            dim,
+            RTreeConfig::default(),
+            tree.mcs.iter().enumerate().map(|(i, mc)| (i as u32, data.point(mc.center).to_vec())),
+        );
+        let mcs = std::mem::take(&mut tree.mcs)
+            .into_iter()
+            .map(|mc| {
+                let members = mc.members.len() as u32;
+                let aux = mc.aux.unwrap_or_else(|| {
+                    let mut t = RTree::with_config(dim, RTreeConfig::default());
+                    for &p in &mc.members {
+                        t.insert_point(p, data.point(p));
+                    }
+                    t
+                });
+                StreamMc { center: mc.center, aux, members }
+            })
+            .collect();
+
+        Self { params, data: data.clone(), level1, mcs, counts, uf, is_core, assigned, counters }
     }
 
     /// Points ingested so far.
@@ -298,6 +404,60 @@ mod tests {
         s.extend_from(&data);
         assert!(s.mc_count() < s.len() / 2, "m = {} vs n = {}", s.mc_count(), s.len());
         assert!(s.counters().range_queries() > 0);
+    }
+
+    #[test]
+    fn bulk_load_matches_batch_dbscan() {
+        let data = blobs(60, 33);
+        let params = DbscanParams::new(0.6, 5);
+        let mut s = StreamingMuDbscan::from_dataset(&data, params);
+        assert_eq!(s.len(), data.len());
+        assert!(s.mc_count() > 0);
+        let got = s.snapshot();
+        let want = naive_dbscan(&data, &params);
+        let rep = check_exact(&got, &want, &data, &params);
+        assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    fn bulk_load_agrees_with_point_at_a_time_ingestion() {
+        let data = blobs(40, 37);
+        let params = DbscanParams::new(0.6, 4);
+        let mut bulk = StreamingMuDbscan::from_dataset(&data, params);
+        let mut seq = StreamingMuDbscan::new(2, params);
+        seq.extend_from(&data);
+        let a = bulk.snapshot();
+        let b = seq.snapshot();
+        assert_eq!(a.n_clusters, b.n_clusters);
+        assert_eq!(a.is_core, b.is_core);
+        assert_eq!(a.noise_count(), b.noise_count());
+    }
+
+    #[test]
+    fn inserts_after_bulk_load_stay_exact() {
+        let data = blobs(40, 41);
+        let split = data.len() - 15;
+        let head_rows: Vec<Vec<f64>> = (0..split).map(|j| data.point(j as u32).to_vec()).collect();
+        let head = Dataset::from_rows(&head_rows);
+        let params = DbscanParams::new(0.6, 4);
+        let mut s = StreamingMuDbscan::from_dataset(&head, params);
+        for j in split..data.len() {
+            s.insert(data.point(j as u32));
+        }
+        let got = s.snapshot();
+        let want = naive_dbscan(&data, &params);
+        let rep = check_exact(&got, &want, &data, &params);
+        assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    fn bulk_load_empty_dataset() {
+        let data = Dataset::empty(3);
+        let mut s = StreamingMuDbscan::from_dataset(&data, DbscanParams::new(1.0, 4));
+        assert!(s.is_empty());
+        assert_eq!(s.snapshot().n_clusters, 0);
+        s.insert(&[0.0, 0.0, 0.0]);
+        assert_eq!(s.len(), 1);
     }
 
     #[test]
