@@ -1,0 +1,43 @@
+//! The shared error type of the facade.
+
+use dist::DistError;
+
+/// Everything a facade-driven run can fail with.
+///
+/// Algorithms in this workspace are total over valid inputs — the only
+/// runtime failures are configuration mistakes caught by
+/// [`crate::prelude::Runner::build`] and distributed local-stage errors
+/// (e.g. a rank's GridDBSCAN exceeding its memory budget) surfaced as
+/// [`DistError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MuDbscanError {
+    /// The builder was given an inconsistent configuration (the message
+    /// names the offending knob and the family it clashes with).
+    InvalidConfig(String),
+    /// A distributed run failed.
+    Dist(DistError),
+}
+
+impl std::fmt::Display for MuDbscanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MuDbscanError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MuDbscanError::Dist(e) => write!(f, "distributed run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MuDbscanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MuDbscanError::Dist(e) => Some(e),
+            MuDbscanError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<DistError> for MuDbscanError {
+    fn from(e: DistError) -> Self {
+        MuDbscanError::Dist(e)
+    }
+}

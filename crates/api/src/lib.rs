@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # μDBSCAN — unified entry-point facade
+//!
+//! This crate is the single front door to the μDBSCAN reproduction. It
+//! re-exports the whole core API (`mudbscan-core`: [`MuDbscan`],
+//! [`ParMuDbscan`], [`Clustering`], [`naive_dbscan`], …) so existing
+//! `use mudbscan::…` code keeps compiling unchanged, and adds:
+//!
+//! * [`prelude::Runner`] — one fluent builder that constructs any of the
+//!   five algorithm families (sequential, parallel, distributed,
+//!   streaming, OPTICS) behind the common [`prelude::Cluster`] trait;
+//! * [`MuDbscanError`] — the shared error enum every facade-driven `run`
+//!   returns (wrapping [`dist::DistError`] and configuration errors).
+//!
+//! The historical per-family constructors (`MuDbscan::new`,
+//! `ParMuDbscan::new(params, threads)`, `MuDbscanD::new(params, cfg)`,
+//! `StreamingMuDbscan::new(dim, params)`, `Optics::new`) are deprecated
+//! shims kept for one PR; see `docs/API.md` for the migration table.
+//!
+//! ```
+//! use mudbscan::prelude::*;
+//!
+//! let data = Dataset::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1], // a small blob
+//!     vec![9.0, 9.0],                                  // an outlier
+//! ]);
+//! let out = Runner::new(DbscanParams::new(0.5, 3)).run(&data).unwrap();
+//! assert_eq!(out.clustering.n_clusters, 1);
+//! assert!(out.clustering.is_noise(3));
+//! ```
+
+pub mod error;
+pub mod prelude;
+
+pub use error::MuDbscanError;
+pub use mudbscan_core::*;

@@ -1,0 +1,520 @@
+//! One fluent builder over all five algorithm families.
+//!
+//! [`Runner`] replaces the four divergent constructor shapes
+//! (`new(params)`, `new(params, threads)`, `new(dim, params)`,
+//! `new(params, cfg)`) with a single chain:
+//!
+//! ```
+//! use mudbscan::prelude::*;
+//!
+//! let data = Dataset::from_rows(&[vec![0.0], vec![0.05], vec![0.1], vec![9.0]]);
+//! let params = DbscanParams::new(0.2, 3);
+//!
+//! // Sequential (the default family)…
+//! let seq = Runner::new(params).run(&data).unwrap();
+//! // …shared-memory parallel…
+//! let par = Runner::new(params).threads(4).run(&data).unwrap();
+//! // …and distributed over 2 simulated ranks.
+//! let dist = Runner::new(params).ranks(2).run(&data).unwrap();
+//! assert_eq!(seq.clustering, par.clustering);
+//! assert_eq!(seq.clustering, dist.clustering);
+//! ```
+//!
+//! The family is inferred — `.ranks(p)` selects [`Family::Distributed`],
+//! otherwise `.threads(t > 1)` selects [`Family::Parallel`], otherwise
+//! [`Family::Sequential`] — or forced with [`Runner::family`] (the only
+//! way to reach [`Family::Streaming`] and [`Family::Optics`]).
+//! Configuration that a family cannot honour (a fault plan outside
+//! `Distributed`, worker threads on the inherently sequential families,
+//! ablation knobs outside `Sequential`) is an [`MuDbscanError::InvalidConfig`]
+//! at build time, never silently ignored.
+
+pub use crate::error::MuDbscanError;
+pub use cluster_sim::{Fault, FaultPlan, FaultStats, RankClock, RetryConfig};
+pub use dist::{DistError, FaultConfig};
+pub use geom::{Dataset, DbscanParams, PointId};
+pub use mcs::{BuildOptions, ParBuildStats};
+pub use metrics::{Counters, PhaseTimer};
+pub use mudbscan_core::{naive_dbscan, Clustering, NOISE};
+
+use dist::{DistConfig, MuDbscanD};
+use mudbscan_core::{MuDbscan, ParMuDbscan};
+use optics::{extract_dbscan, Optics};
+use stream::StreamingMuDbscan;
+
+/// The five algorithm families the facade can construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Sequential μDBSCAN (paper §IV).
+    Sequential,
+    /// Shared-memory parallel μDBSCAN.
+    Parallel,
+    /// μDBSCAN-D over the BSP cluster simulator (paper §V).
+    Distributed,
+    /// Insertion-incremental μDBSCAN, bulk-loaded from the dataset.
+    Streaming,
+    /// OPTICS ordering with DBSCAN extraction at the generating ε.
+    Optics,
+}
+
+impl Family {
+    fn name(self) -> &'static str {
+        match self {
+            Family::Sequential => "Sequential",
+            Family::Parallel => "Parallel",
+            Family::Distributed => "Distributed",
+            Family::Streaming => "Streaming",
+            Family::Optics => "Optics",
+        }
+    }
+}
+
+/// Family-specific extras accompanying a [`RunOutput`].
+#[derive(Debug)]
+pub enum RunDetails {
+    /// Sequential μDBSCAN reporting quantities (paper Tables II–IV).
+    Sequential {
+        /// Number of micro-clusters formed.
+        mc_count: usize,
+        /// Average points per micro-cluster.
+        avg_mc_size: f64,
+        /// Estimated peak structure bytes.
+        peak_heap_bytes: usize,
+    },
+    /// Parallel-run extras.
+    Parallel {
+        /// Number of micro-clusters formed.
+        mc_count: usize,
+        /// Tiled-construction diagnostics (`None` when the sequential
+        /// builder was pinned via options).
+        build_stats: Option<ParBuildStats>,
+    },
+    /// Distributed-run extras.
+    Distributed {
+        /// Virtual runtime excluding partitioning and halo exchange.
+        runtime_secs: f64,
+        /// Bytes communicated.
+        comm_bytes: u64,
+        /// Simulated rank count.
+        ranks: usize,
+        /// Maximum per-rank structure bytes.
+        max_rank_heap_bytes: usize,
+        /// Per-rank virtual-clock totals.
+        rank_clocks: Vec<RankClock>,
+        /// BSP supersteps executed.
+        supersteps: usize,
+        /// Fault/recovery counters (all zero on a fault-free run).
+        fault_stats: FaultStats,
+    },
+    /// Streaming runs have no extras beyond the snapshot clustering.
+    Streaming,
+    /// The OPTICS ordering the clustering was extracted from.
+    Optics {
+        /// Point ids in processing order.
+        order: Vec<PointId>,
+        /// Per-point reachability distances.
+        reachability: Vec<f64>,
+        /// Per-point core distances at the generating ε.
+        core_distance: Vec<f64>,
+    },
+}
+
+/// Uniform output of any facade-driven run.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The exact DBSCAN clustering.
+    pub clustering: Clustering,
+    /// Aggregated operation counters.
+    pub counters: Counters,
+    /// Wall-clock (or, for `Distributed`, virtual) phase split-up.
+    pub phases: PhaseTimer,
+    /// Family-specific extras.
+    pub details: RunDetails,
+}
+
+/// A configured clustering algorithm, ready to run. Everything a
+/// [`Runner`] builds implements this, so downstream drivers (the
+/// conformance registry, the bench harness) hold `Box<dyn Cluster>`
+/// instead of per-family glue.
+pub trait Cluster: Sync {
+    /// Cluster `data`.
+    fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError>;
+}
+
+/// Fluent builder over the five families. See the [module docs](self)
+/// for the inference rules; every knob is validated against the resolved
+/// family by [`Runner::build`].
+#[derive(Debug, Clone)]
+pub struct Runner {
+    params: DbscanParams,
+    family: Option<Family>,
+    threads: usize,
+    ranks: Option<usize>,
+    opts: Option<BuildOptions>,
+    faults: Option<FaultConfig>,
+    threaded_ranks: bool,
+    disable_dynamic_promotion: bool,
+    disable_post_core_mc_skip: bool,
+}
+
+impl Runner {
+    /// Start a builder with the given density parameters.
+    pub fn new(params: DbscanParams) -> Self {
+        Self {
+            params,
+            family: None,
+            threads: 1,
+            ranks: None,
+            opts: None,
+            faults: None,
+            threaded_ranks: false,
+            disable_dynamic_promotion: false,
+            disable_post_core_mc_skip: false,
+        }
+    }
+
+    /// Force a family instead of inferring it from `threads`/`ranks`.
+    pub fn family(mut self, family: Family) -> Self {
+        self.family = Some(family);
+        self
+    }
+
+    /// Worker threads: the thread-pool size for [`Family::Parallel`], or
+    /// the per-rank local threads for [`Family::Distributed`]. Selects
+    /// `Parallel` when `> 1` and no other family is implied.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be >= 1");
+        self.threads = threads;
+        self
+    }
+
+    /// Simulated rank count; selects [`Family::Distributed`] unless a
+    /// family was forced.
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        assert!(ranks >= 1, "ranks must be >= 1");
+        self.ranks = Some(ranks);
+        self
+    }
+
+    /// Override micro-cluster construction options.
+    pub fn options(mut self, opts: BuildOptions) -> Self {
+        self.opts = Some(opts);
+        self
+    }
+
+    /// Inject a fault plan (under the default retry policy) into a
+    /// distributed run; see [`FaultPlan`].
+    pub fn fault_plan(self, plan: FaultPlan) -> Self {
+        self.faults_config(FaultConfig::new(plan))
+    }
+
+    /// Inject a full fault configuration (plan + retry policy).
+    pub fn faults_config(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Run the distributed rank programs on real threads
+    /// ([`cluster_sim::ExecMode::Threaded`]).
+    pub fn threaded_ranks(mut self) -> Self {
+        self.threaded_ranks = true;
+        self
+    }
+
+    /// Ablation knob of [`Family::Sequential`]: skip the dynamic
+    /// wndq-core promotion (Algorithm 6 step (iii)).
+    pub fn disable_dynamic_promotion(mut self, disable: bool) -> Self {
+        self.disable_dynamic_promotion = disable;
+        self
+    }
+
+    /// Ablation knob of [`Family::Sequential`]: disable the
+    /// MC-granularity skip in POST-PROCESSING-CORE (Algorithm 7).
+    pub fn disable_post_core_mc_skip(mut self, disable: bool) -> Self {
+        self.disable_post_core_mc_skip = disable;
+        self
+    }
+
+    /// The family this configuration resolves to.
+    pub fn resolved_family(&self) -> Family {
+        self.family.unwrap_or({
+            if self.ranks.is_some() {
+                Family::Distributed
+            } else if self.threads > 1 {
+                Family::Parallel
+            } else {
+                Family::Sequential
+            }
+        })
+    }
+
+    /// Validate the configuration and construct the concrete algorithm.
+    pub fn build(&self) -> Result<Box<dyn Cluster>, MuDbscanError> {
+        let family = self.resolved_family();
+        let bad = |knob: &str| {
+            Err(MuDbscanError::InvalidConfig(format!(
+                "{knob} is not supported by the {} family",
+                family.name()
+            )))
+        };
+        if !matches!(family, Family::Distributed) {
+            if self.faults.is_some() {
+                return bad("a fault plan");
+            }
+            if self.ranks.is_some() {
+                return bad("a rank count");
+            }
+            if self.threaded_ranks {
+                return bad("threaded rank execution");
+            }
+        }
+        if !matches!(family, Family::Sequential)
+            && (self.disable_dynamic_promotion || self.disable_post_core_mc_skip)
+        {
+            return bad("an ablation knob");
+        }
+        if !matches!(family, Family::Parallel | Family::Distributed) && self.threads > 1 {
+            return bad("a worker-thread count");
+        }
+        if matches!(family, Family::Streaming) && self.opts.is_some() {
+            return bad("a build-options override");
+        }
+
+        // The historical constructors are deprecated shims; the facade is
+        // their one sanctioned caller until they are removed next PR.
+        #[allow(deprecated)]
+        Ok(match family {
+            Family::Sequential => {
+                let mut algo = MuDbscan::new(self.params);
+                if let Some(opts) = self.opts {
+                    algo = algo.with_options(opts);
+                }
+                algo.disable_dynamic_promotion = self.disable_dynamic_promotion;
+                algo.disable_post_core_mc_skip = self.disable_post_core_mc_skip;
+                Box::new(Seq { algo })
+            }
+            Family::Parallel => {
+                let mut algo = ParMuDbscan::new(self.params, self.threads);
+                if let Some(opts) = self.opts {
+                    algo = algo.with_options(opts);
+                }
+                Box::new(Par { algo })
+            }
+            Family::Distributed => {
+                let mut cfg = DistConfig::new(self.ranks.unwrap_or(1));
+                if self.threaded_ranks {
+                    cfg = cfg.threaded();
+                }
+                cfg = cfg.with_local_threads(self.threads);
+                let mut algo = MuDbscanD::new(self.params, cfg);
+                if let Some(opts) = self.opts {
+                    algo = algo.with_options(opts);
+                }
+                if let Some(faults) = self.faults.clone() {
+                    algo = algo.with_faults(faults);
+                }
+                Box::new(DistRun { algo })
+            }
+            Family::Streaming => Box::new(Streaming { params: self.params }),
+            Family::Optics => {
+                let mut algo = Optics::new(self.params);
+                if let Some(opts) = self.opts {
+                    algo = algo.with_options(opts);
+                }
+                Box::new(OpticsRun { algo, eps: self.params.eps })
+            }
+        })
+    }
+
+    /// Build and run in one step.
+    pub fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
+        self.build()?.run(data)
+    }
+}
+
+impl Cluster for Runner {
+    fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
+        Runner::run(self, data)
+    }
+}
+
+struct Seq {
+    algo: MuDbscan,
+}
+
+impl Cluster for Seq {
+    fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
+        let out = self.algo.run(data);
+        Ok(RunOutput {
+            clustering: out.clustering,
+            counters: out.counters,
+            phases: out.phases,
+            details: RunDetails::Sequential {
+                mc_count: out.mc_count,
+                avg_mc_size: out.avg_mc_size,
+                peak_heap_bytes: out.peak_heap_bytes,
+            },
+        })
+    }
+}
+
+struct Par {
+    algo: ParMuDbscan,
+}
+
+impl Cluster for Par {
+    fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
+        let out = self.algo.run(data);
+        Ok(RunOutput {
+            clustering: out.clustering,
+            counters: out.counters.snapshot(),
+            phases: out.phases,
+            details: RunDetails::Parallel { mc_count: out.mc_count, build_stats: out.build_stats },
+        })
+    }
+}
+
+struct DistRun {
+    algo: MuDbscanD,
+}
+
+impl Cluster for DistRun {
+    fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
+        let out = self.algo.run(data)?;
+        Ok(RunOutput {
+            clustering: out.clustering,
+            counters: out.counters,
+            phases: out.phases,
+            details: RunDetails::Distributed {
+                runtime_secs: out.runtime_secs,
+                comm_bytes: out.comm_bytes,
+                ranks: out.ranks,
+                max_rank_heap_bytes: out.max_rank_heap_bytes,
+                rank_clocks: out.rank_clocks,
+                supersteps: out.supersteps,
+                fault_stats: out.fault_stats,
+            },
+        })
+    }
+}
+
+struct Streaming {
+    params: DbscanParams,
+}
+
+impl Cluster for Streaming {
+    fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
+        let mut s = StreamingMuDbscan::from_dataset(data, self.params);
+        let clustering = s.snapshot();
+        let counters = Counters::new();
+        counters.absorb(s.counters());
+        Ok(RunOutput {
+            clustering,
+            counters,
+            phases: PhaseTimer::new(),
+            details: RunDetails::Streaming,
+        })
+    }
+}
+
+struct OpticsRun {
+    algo: Optics,
+    eps: f64,
+}
+
+impl Cluster for OpticsRun {
+    fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
+        let out = self.algo.run(data);
+        let clustering = extract_dbscan(&out, data, self.eps);
+        Ok(RunOutput {
+            clustering,
+            counters: out.counters,
+            phases: out.phases,
+            details: RunDetails::Optics {
+                order: out.order,
+                reachability: out.reachability,
+                core_distance: out.core_distance,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::from_rows(&[vec![0.0, 0.0], vec![0.2, 0.0], vec![0.0, 0.2], vec![8.0, 8.0]])
+    }
+
+    #[test]
+    fn family_inference() {
+        let p = DbscanParams::new(0.5, 3);
+        assert_eq!(Runner::new(p).resolved_family(), Family::Sequential);
+        assert_eq!(Runner::new(p).threads(4).resolved_family(), Family::Parallel);
+        assert_eq!(Runner::new(p).ranks(4).resolved_family(), Family::Distributed);
+        assert_eq!(Runner::new(p).threads(4).ranks(4).resolved_family(), Family::Distributed);
+        assert_eq!(Runner::new(p).family(Family::Streaming).resolved_family(), Family::Streaming);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let p = DbscanParams::new(0.5, 3);
+        let plan = FaultPlan::new(1).with(Fault::Straggler { rank: 0, slowdown: 2.0 });
+        for bad in [
+            Runner::new(p).fault_plan(plan.clone()), // faults w/o ranks
+            Runner::new(p).threads(4).fault_plan(plan), // faults on Parallel
+            Runner::new(p).family(Family::Sequential).ranks(2), // ranks on forced Seq
+            Runner::new(p).family(Family::Optics).threads(4), // threads on Optics
+            Runner::new(p).family(Family::Streaming).threads(2), // threads on Streaming
+            Runner::new(p).family(Family::Streaming).options(BuildOptions::default()),
+            Runner::new(p).threads(2).disable_dynamic_promotion(true), // knob on Parallel
+            Runner::new(p).ranks(2).disable_post_core_mc_skip(true),   // knob on Distributed
+            Runner::new(p).family(Family::Sequential).threaded_ranks(),
+        ] {
+            match bad.build() {
+                Err(MuDbscanError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("not supported"), "unexpected message: {msg}")
+                }
+                other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+            }
+        }
+    }
+
+    #[test]
+    fn all_five_families_run_and_agree() {
+        let data = tiny();
+        let p = DbscanParams::new(0.5, 3);
+        let reference = naive_dbscan(&data, &p);
+        for runner in [
+            Runner::new(p),
+            Runner::new(p).threads(2),
+            Runner::new(p).ranks(2),
+            Runner::new(p).family(Family::Streaming),
+            Runner::new(p).family(Family::Optics),
+        ] {
+            let family = runner.resolved_family();
+            let out = runner.run(&data).unwrap_or_else(|e| panic!("{family:?}: {e}"));
+            assert_eq!(out.clustering, reference, "{family:?} disagrees with the oracle");
+        }
+    }
+
+    #[test]
+    fn details_match_family() {
+        let data = tiny();
+        let p = DbscanParams::new(0.5, 3);
+        let out = Runner::new(p).ranks(2).run(&data).unwrap();
+        match out.details {
+            RunDetails::Distributed { ranks, fault_stats, .. } => {
+                assert_eq!(ranks, 2);
+                assert!(fault_stats.is_quiet());
+            }
+            other => panic!("expected Distributed details, got {other:?}"),
+        }
+        let out = Runner::new(p).family(Family::Optics).run(&data).unwrap();
+        match out.details {
+            RunDetails::Optics { order, .. } => assert_eq!(order.len(), data.len()),
+            other => panic!("expected Optics details, got {other:?}"),
+        }
+    }
+}

@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Property-based exactness for every sequential baseline: R-DBSCAN,
 //! G-DBSCAN and GridDBSCAN must all reproduce naive DBSCAN on arbitrary
 //! inputs — and therefore agree with μDBSCAN and with each other.

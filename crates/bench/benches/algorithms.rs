@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! End-to-end algorithm micro-bench: μDBSCAN vs the sequential baselines
 //! on one galaxy analogue (Criterion view of Table II's headline), plus
 //! the dynamic-promotion ablation.

@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Benchmarks of the extension algorithms: streaming ingestion, OPTICS
 //! ordering, and the shared-memory parallel variant — all against the
 //! batch sequential μDBSCAN on the same workload.

@@ -1,8 +1,9 @@
 //! Machine-readable benchmark pipeline: run a pinned, seeded workload
-//! matrix through sequential μDBSCAN, shared-memory [`ParMuDbscan`] and
-//! distributed [`MuDbscanD`], collect per-phase times and `obs` reports,
-//! verify exactness against the naive oracle, and write the
-//! schema-versioned `BENCH_PR4.json` trajectory file.
+//! matrix through sequential μDBSCAN, the shared-memory parallel variant
+//! and the distributed simulator (all constructed via
+//! [`mudbscan::prelude::Runner`]), collect per-phase times and `obs`
+//! reports, verify exactness against the naive oracle, and write the
+//! schema-versioned `BENCH_PR5.json` trajectory file.
 //!
 //! Parallel runs use the tiled parallel micro-cluster builder and carry a
 //! `tree_construction_makespan` field: the construction critical path
@@ -13,7 +14,7 @@
 //! convention the distributed simulator uses for per-rank phase maxima.
 //!
 //! The JSON schema is documented in `docs/BENCH_SCHEMA.md`; the committed
-//! `BENCH_PR4.json` is validated by `crates/bench/tests/bench_schema.rs`
+//! `BENCH_PR5.json` is validated by `crates/bench/tests/bench_schema.rs`
 //! and regenerated with
 //!
 //! ```text
@@ -23,7 +24,7 @@
 //! Environment knobs (all optional, for the CI perf-smoke job):
 //!
 //! * `EMIT_BENCH_N`     — points per workload (default 4000)
-//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR4.json`)
+//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR5.json`)
 //! * `EMIT_BENCH_REPS`  — repetitions for the overhead measurement
 //!   (default 5)
 //! * `EMIT_BENCH_MAKESPAN_REPS` — constructions per parallel run for the
@@ -38,13 +39,15 @@
 //! Exactness drift is fatal: any run whose clustering disagrees with the
 //! naive-DBSCAN oracle aborts the process with a non-zero exit code, so
 //! the CI job fails on behavioural regressions, not just schema ones.
+//! The faulted distributed arm is additionally required to match its
+//! fault-free twin bit-for-bit — the recovery-exactness contract.
 
 use bench::{secs, timed, SEED};
 use data::paper_table2_specs;
-use dist::{DistConfig, MuDbscanD};
 use geom::{Dataset, DbscanParams};
 use metrics::Counters;
-use mudbscan::{check_exact, naive_dbscan, Clustering, MuDbscan, ParMuDbscan};
+use mudbscan::prelude::{Family, Fault, FaultPlan, FaultStats, RunDetails, RunOutput, Runner};
+use mudbscan::{check_exact, naive_dbscan, Clustering};
 use obs::Json;
 
 /// The JSON schema version written to the trajectory file. Bump when the
@@ -55,12 +58,35 @@ use obs::Json;
 /// summaries of per-query costs, span durations and comm bytes),
 /// distributed runs carry a per-rank `bsp_timeline`, and the overhead
 /// probe gained a tracing-enabled arm.
-const SCHEMA_VERSION: i64 = 3;
+/// v4: each workload gains a faulted distributed arm
+/// (`mudbscan_d_p4_faults`) carrying a `fault` block — the replay
+/// signature of the injected plan plus the recovery-overhead quantities —
+/// whose clustering must stay bit-identical to the fault-free arm.
+const SCHEMA_VERSION: i64 = 4;
 
 /// Datasets from the Table II catalog used for the matrix (a subset keeps
 /// the oracle check and the CI smoke run fast while still covering a
 /// road-network, a galaxy and a higher-dimensional analogue).
 const WORKLOAD_NAMES: [&str; 3] = ["3DSRN", "DGB0.5M3D", "HHP0.5M5D"];
+
+/// The pinned fault plan of the `mudbscan_d_p4_faults` arm: one of every
+/// fault class, all recoverable under the default retry budget. Superstep
+/// 0 is the local-clustering compute step; superstep 2 is the
+/// edge-exchange communication step (see `dist::driver`).
+fn bench_fault_plan() -> FaultPlan {
+    // Drops cover every inbound link of the merge root: whether a given
+    // rank sends edges depends on the dataset's cross-partition structure
+    // (an edge-free rank sends nothing), so dropping on all three links
+    // guarantees the retry path is exercised at any workload size.
+    FaultPlan::new(SEED)
+        .with(Fault::Crash { rank: 1, superstep: 0 })
+        .with(Fault::Drop { superstep: 2, from: 1, to: 0, attempts: 3 })
+        .with(Fault::Drop { superstep: 2, from: 2, to: 0, attempts: 3 })
+        .with(Fault::Drop { superstep: 2, from: 3, to: 0, attempts: 3 })
+        .with(Fault::Duplicate { superstep: 2, from: 3, to: 0 })
+        .with(Fault::Reorder { superstep: 2, to: 0 })
+        .with(Fault::Straggler { rank: 2, slowdown: 4.0 })
+}
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -117,6 +143,45 @@ struct RunMeta {
     /// runs only) — rendered as the schema-v3 `bsp_timeline` block.
     bsp_timeline: Option<(Vec<cluster_sim::RankClock>, usize)>,
     peak_heap: u64,
+    /// Schema-v4 fault/recovery block (the faulted arm only).
+    fault: Option<Json>,
+}
+
+impl RunMeta {
+    /// Meta of a facade run, shared across all five arm shapes.
+    fn from_output(out: &RunOutput) -> Self {
+        let mut meta = RunMeta {
+            counters: Counters::new(),
+            phases: out.phases.clone(),
+            virtual_secs: None,
+            tree_construction_makespan: None,
+            bsp_timeline: None,
+            peak_heap: 0,
+            fault: None,
+        };
+        meta.counters.absorb(&out.counters);
+        match &out.details {
+            RunDetails::Sequential { peak_heap_bytes, .. } => {
+                meta.peak_heap = *peak_heap_bytes as u64;
+            }
+            RunDetails::Parallel { build_stats, .. } => {
+                meta.tree_construction_makespan = build_stats.as_ref().map(|s| s.makespan_secs);
+            }
+            RunDetails::Distributed {
+                runtime_secs,
+                max_rank_heap_bytes,
+                rank_clocks,
+                supersteps,
+                ..
+            } => {
+                meta.virtual_secs = Some(*runtime_secs);
+                meta.peak_heap = *max_rank_heap_bytes as u64;
+                meta.bsp_timeline = Some((rank_clocks.clone(), *supersteps));
+            }
+            RunDetails::Streaming | RunDetails::Optics { .. } => {}
+        }
+        meta
+    }
 }
 
 fn bsp_timeline_json(clocks: &[cluster_sim::RankClock], supersteps: usize) -> Json {
@@ -136,6 +201,44 @@ fn bsp_timeline_json(clocks: &[cluster_sim::RankClock], supersteps: usize) -> Js
     Json::obj_from([
         ("supersteps".to_string(), count(supersteps as u64)),
         ("ranks".to_string(), Json::Arr(ranks)),
+    ])
+}
+
+/// The schema-v4 `fault` block: the plan seed, every replay-deterministic
+/// integer counter of [`FaultStats`] (diffed with zero tolerance by
+/// `bench_diff`), the virtual-second recovery costs, and the
+/// recovery-overhead comparison against the fault-free twin arm.
+fn fault_json(
+    plan_seed: u64,
+    stats: &FaultStats,
+    recovery_virtual_secs: f64,
+    faulted_runtime: f64,
+    fault_free_runtime: f64,
+    clusters_match: bool,
+) -> Json {
+    let overhead_pct = if fault_free_runtime > 0.0 {
+        100.0 * (faulted_runtime - fault_free_runtime) / fault_free_runtime
+    } else {
+        0.0
+    };
+    Json::obj_from([
+        ("plan_seed".to_string(), count(plan_seed)),
+        ("crashes".to_string(), count(stats.crashes)),
+        ("recoveries".to_string(), count(stats.recoveries)),
+        ("drops_injected".to_string(), count(stats.drops_injected)),
+        ("retries".to_string(), count(stats.retries)),
+        ("messages_lost".to_string(), count(stats.messages_lost)),
+        ("duplicates_injected".to_string(), count(stats.duplicates_injected)),
+        ("duplicates_discarded".to_string(), count(stats.duplicates_discarded)),
+        ("reorders_injected".to_string(), count(stats.reorders_injected)),
+        ("straggled_steps".to_string(), count(stats.straggled_steps)),
+        ("recovery_comm_bytes".to_string(), count(stats.recovery_comm_bytes)),
+        ("retry_delay_virtual_secs".to_string(), num(stats.retry_delay_secs)),
+        ("recovery_compute_virtual_secs".to_string(), num(stats.recovery_compute_secs)),
+        ("recovery_comm_virtual_secs".to_string(), num(stats.recovery_comm_secs)),
+        ("recovery_virtual_secs".to_string(), num(recovery_virtual_secs)),
+        ("overhead_vs_fault_free_pct".to_string(), num(overhead_pct)),
+        ("clusters_match_fault_free".to_string(), Json::Bool(clusters_match)),
     ])
 }
 
@@ -161,6 +264,7 @@ fn run_one(
         tree_construction_makespan,
         bsp_timeline,
         peak_heap,
+        fault,
     } = meta;
 
     let mut rec = Json::obj();
@@ -178,6 +282,9 @@ fn run_one(
     }
     if let Some((clocks, steps)) = &bsp_timeline {
         rec.set("bsp_timeline", bsp_timeline_json(clocks, *steps));
+    }
+    if let Some(f) = fault {
+        rec.set("fault", f);
     }
     rec.set("pct_queries_saved", num(counters.pct_queries_saved()));
     rec.set("counters", counters_json(&counters));
@@ -197,6 +304,7 @@ fn run_one(
 /// sequential μDBSCAN with collection off, with aggregate collection
 /// (spans + counters + histograms) on, and with event tracing on top.
 fn measure_overhead(data: &Dataset, params: &DbscanParams, reps: usize) -> Json {
+    let runner = Runner::new(*params);
     let median = |mut xs: Vec<f64>| -> f64 {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
         xs[xs.len() / 2]
@@ -211,7 +319,7 @@ fn measure_overhead(data: &Dataset, params: &DbscanParams, reps: usize) -> Json 
                 if tracing {
                     obs::enable_tracing();
                 }
-                let (_, t) = timed(|| MuDbscan::new(*params).run(data));
+                let (_, t) = timed(|| runner.run(data).expect("sequential run"));
                 obs::disable_tracing();
                 obs::disable();
                 let _ = obs::take_trace();
@@ -221,7 +329,7 @@ fn measure_overhead(data: &Dataset, params: &DbscanParams, reps: usize) -> Json 
             .collect()
     };
     // Warm-up run so no arm pays first-touch costs.
-    let _ = MuDbscan::new(*params).run(data);
+    let _ = runner.run(data).expect("sequential run");
     let off = median(time_runs(false, false));
     let on = median(time_runs(true, false));
     let traced = median(time_runs(true, true));
@@ -250,7 +358,7 @@ fn export_trace(path: &str, data: &Dataset, params: &DbscanParams) {
     obs::reset();
     obs::enable();
     obs::enable_tracing();
-    let _ = MuDbscanD::new(*params, DistConfig::new(4)).run(data).expect("traced dist run");
+    let _ = Runner::new(*params).ranks(4).run(data).expect("traced dist run");
     obs::disable_tracing();
     obs::disable();
     let trace = obs::take_trace();
@@ -264,7 +372,7 @@ fn export_trace(path: &str, data: &Dataset, params: &DbscanParams) {
 fn main() {
     let n = env_usize("EMIT_BENCH_N", 4000);
     let reps = env_usize("EMIT_BENCH_REPS", 5);
-    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
 
     bench::banner(
         "emit_bench",
@@ -285,62 +393,80 @@ fn main() {
 
         let mut runs = Vec::new();
         runs.push(run_one("mudbscan_seq", name, &data, &params, &reference, || {
-            let out = MuDbscan::new(params).run(&data);
-            let meta = RunMeta {
-                counters: out.counters,
-                phases: out.phases,
-                virtual_secs: None,
-                tree_construction_makespan: None,
-                bsp_timeline: None,
-                peak_heap: out.peak_heap_bytes as u64,
-            };
+            let out = Runner::new(params).run(&data).expect("sequential run");
+            let meta = RunMeta::from_output(&out);
             (out.clustering, meta)
         }));
         let makespan_reps = env_usize("EMIT_BENCH_MAKESPAN_REPS", 5);
         for threads in [1usize, 4] {
             let label = format!("par_mudbscan_t{threads}");
+            let runner = Runner::new(params).family(Family::Parallel).threads(threads);
             runs.push(run_one(&label, name, &data, &params, &reference, || {
-                let out = ParMuDbscan::new(params, threads).run(&data);
-                let mut makespan = out.build_stats.as_ref().map(|s| s.makespan_secs);
+                let out = runner.run(&data).expect("parallel run");
+                let mut meta = RunMeta::from_output(&out);
                 // The makespan is a single-digit-millisecond quantity, so a
                 // single shot is at the mercy of the scheduler. Repeat the
                 // construction (observability paused: counters and obs must
                 // reflect exactly one run) and keep the minimum.
                 obs::disable();
                 for _ in 1..makespan_reps.max(1) {
-                    let extra = ParMuDbscan::new(params, threads).run(&data);
-                    if let (Some(m), Some(s)) = (makespan.as_mut(), extra.build_stats.as_ref()) {
+                    let extra = runner.run(&data).expect("parallel run");
+                    if let (Some(m), RunDetails::Parallel { build_stats: Some(s), .. }) =
+                        (meta.tree_construction_makespan.as_mut(), &extra.details)
+                    {
                         *m = m.min(s.makespan_secs);
                     }
                 }
                 obs::enable();
-                let meta = RunMeta {
-                    counters: out.counters.snapshot(),
-                    phases: out.phases,
-                    virtual_secs: None,
-                    tree_construction_makespan: makespan,
-                    bsp_timeline: None,
-                    peak_heap: 0,
-                };
                 (out.clustering, meta)
             }));
         }
+        let mut fault_free_p4: Option<(Clustering, f64)> = None;
         for ranks in [1usize, 4] {
             let label = format!("mudbscan_d_p{ranks}");
             runs.push(run_one(&label, name, &data, &params, &reference, || {
-                let out =
-                    MuDbscanD::new(params, DistConfig::new(ranks)).run(&data).expect("dist run");
-                let meta = RunMeta {
-                    counters: out.counters,
-                    phases: out.phases,
-                    virtual_secs: Some(out.runtime_secs),
-                    tree_construction_makespan: None,
-                    bsp_timeline: Some((out.rank_clocks, out.supersteps)),
-                    peak_heap: out.max_rank_heap_bytes as u64,
-                };
+                let out = Runner::new(params).ranks(ranks).run(&data).expect("dist run");
+                let meta = RunMeta::from_output(&out);
+                if ranks == 4 {
+                    fault_free_p4 =
+                        Some((out.clustering.clone(), meta.virtual_secs.unwrap_or(0.0)));
+                }
                 (out.clustering, meta)
             }));
         }
+        // Schema v4: the faulted arm. Same 4-rank run under the pinned
+        // all-classes fault plan; recovery must reproduce the fault-free
+        // clustering bit-for-bit, and the fault block records what it cost.
+        let (clean_clustering, clean_runtime) =
+            fault_free_p4.expect("the p4 arm ran before the faulted arm");
+        runs.push(run_one("mudbscan_d_p4_faults", name, &data, &params, &reference, || {
+            let plan = bench_fault_plan();
+            let out = Runner::new(params)
+                .ranks(4)
+                .fault_plan(plan.clone())
+                .run(&data)
+                .expect("faulted run");
+            let mut meta = RunMeta::from_output(&out);
+            let RunDetails::Distributed { runtime_secs, ref fault_stats, .. } = out.details else {
+                unreachable!("a ranks(4) run is Distributed");
+            };
+            let clusters_match = out.clustering == clean_clustering;
+            if !clusters_match {
+                eprintln!(
+                    "RECOVERY DRIFT: faulted p4 clustering diverged from fault-free on {name}"
+                );
+                std::process::exit(1);
+            }
+            meta.fault = Some(fault_json(
+                plan.seed,
+                fault_stats,
+                out.phases.secs("recovery"),
+                runtime_secs,
+                clean_runtime,
+                clusters_match,
+            ));
+            (out.clustering, meta)
+        }));
 
         let mut w = Json::obj();
         w.set("dataset", Json::Str(name.to_string()));

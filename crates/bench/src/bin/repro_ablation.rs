@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Ablation study of μDBSCAN's design choices (DESIGN.md §7–§8): each
 //! knob toggled in isolation on one galaxy analogue, reporting runtime,
 //! query counts and micro-cluster statistics. Clustering equality with

@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Table I support: empirical validation of the O(n log m + n log r)
 //! complexity claim — runtime normalised by n·(log m + log r) should stay
 //! roughly constant as n grows, and clearly flatter than t/n (which would

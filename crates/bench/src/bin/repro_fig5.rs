@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Fig. 5 reproduction: effect of varying ε on PDSDBSCAN-D,
 //! GridDBSCAN-D and μDBSCAN-D (32 ranks) for the MPAGD100M3D and
 //! FOF56M3D analogues.

@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Fig. 6 reproduction: μDBSCAN-D runtime as dimensionality grows
 //! (KDDBIO samples at d = 14 / 24 / 44 / 74), 32 ranks.
 //!

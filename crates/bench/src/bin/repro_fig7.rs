@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Fig. 7 reproduction: μDBSCAN-D speedup over sequential μDBSCAN as the
 //! number of ranks grows (4 → 32), for several datasets.
 //!

@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Table II reproduction: sequential runtime of R-DBSCAN, G-DBSCAN,
 //! GridDBSCAN and μDBSCAN on the eight dataset analogues, plus the
 //! number of micro-clusters and the % of queries saved.

@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Table III reproduction: percentage split-up of μDBSCAN's execution
 //! time over its four steps.
 //!

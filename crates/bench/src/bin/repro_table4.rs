@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Table IV reproduction: peak memory consumption of the four sequential
 //! algorithms (deterministic deep-size accounting of each algorithm's
 //! structures; see metrics::mem).

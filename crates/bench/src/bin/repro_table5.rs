@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Table V reproduction: distributed runtime on 32 (simulated) ranks —
 //! PDSDBSCAN-D, GridDBSCAN-D, HPDBSCAN, RP-DBSCAN and μDBSCAN-D.
 //!

@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Table VI reproduction: μDBSCAN-D runtime with increasing core counts
 //! (32 → 64 → 128) on the two largest workloads.
 //!

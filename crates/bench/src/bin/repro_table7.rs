@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Table VII reproduction: percentage split-up of μDBSCAN-D's phases
 //! (including the merge) on 32 simulated ranks.
 //!

@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Table VIII reproduction: per-step execution time and speedup of
 //! μDBSCAN-D (32 ranks) over sequential μDBSCAN on the MPAGD8M3D
 //! analogue.

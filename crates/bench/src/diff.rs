@@ -387,6 +387,60 @@ pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffR
                 }
             }
 
+            // Fault block (schema v4): the integer counters are the fault
+            // layer's replay signature — deterministic for a pinned plan,
+            // so any drift is a behaviour change in injection, retry or
+            // recovery. The virtual-second costs compare like timings.
+            if let (Some(bf), Some(cf)) = (br.get("fault"), cr.get("fault")) {
+                d.report.compared += 1;
+                if cf.get("clusters_match_fault_free").and_then(Json::as_bool) != Some(true) {
+                    d.push(
+                        &ctx,
+                        "fault/clusters_match_fault_free",
+                        1.0,
+                        0.0,
+                        Severity::Regression,
+                        "recovery no longer reproduces the fault-free clustering".to_string(),
+                    );
+                }
+                for key in [
+                    "plan_seed",
+                    "crashes",
+                    "recoveries",
+                    "drops_injected",
+                    "retries",
+                    "messages_lost",
+                    "duplicates_injected",
+                    "duplicates_discarded",
+                    "reorders_injected",
+                    "straggled_steps",
+                    "recovery_comm_bytes",
+                ] {
+                    if let (Some(b), Some(c)) = (f(bf, key), f(cf, key)) {
+                        d.work_metric(&ctx, &format!("fault/{key}"), b, c);
+                    }
+                }
+                for key in [
+                    "retry_delay_virtual_secs",
+                    "recovery_compute_virtual_secs",
+                    "recovery_comm_virtual_secs",
+                    "recovery_virtual_secs",
+                ] {
+                    if let (Some(b), Some(c)) = (f(bf, key), f(cf, key)) {
+                        d.time_metric(&ctx, &format!("fault/{key}"), b, c);
+                    }
+                }
+            } else if br.get("fault").is_some() {
+                d.push(
+                    &ctx,
+                    "fault",
+                    1.0,
+                    f64::NAN,
+                    Severity::Regression,
+                    "fault block missing from candidate".to_string(),
+                );
+            }
+
             // Histogram percentile blocks (schema v3): deterministic at
             // fixed n, so they compare like work metrics.
             if let (Some(bh), Some(ch)) = (
@@ -405,9 +459,19 @@ pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffR
                         );
                         continue;
                     };
+                    // `recovery/compute_us` is the one wall-clock histogram
+                    // (Stopwatch-timed re-execution of the lost rank); its
+                    // percentiles jitter run to run, so they compare like
+                    // timings. Counts stay exact for every histogram.
+                    let wall_clock = key == "recovery/compute_us";
                     for q in ["count", "p50", "p95", "p99", "max"] {
                         if let (Some(b), Some(c)) = (f(bsum, q), f(csum, q)) {
-                            d.work_metric(&ctx, &format!("histograms/{key}/{q}"), b, c);
+                            let metric = format!("histograms/{key}/{q}");
+                            if wall_clock && q != "count" {
+                                d.time_metric(&ctx, &metric, b, c);
+                            } else {
+                                d.work_metric(&ctx, &metric, b, c);
+                            }
                         }
                     }
                 }
@@ -554,6 +618,54 @@ mod tests {
         cand.set("workloads", Json::Arr(vec![w0]));
         let rep = diff(&base, &cand, &DiffConfig::default()).unwrap();
         assert!(rep.regressions().iter().any(|f| f.metric == "run"));
+    }
+
+    fn mini_with_fault(retries: f64, matches: bool) -> Json {
+        let mut j = mini(1000.0, 0.5, 4000.0, 80.0);
+        let fault = Json::parse(&format!(
+            r#"{{"plan_seed": 2019, "crashes": 1, "recoveries": 1,
+                 "drops_injected": 3, "retries": {retries}, "messages_lost": 0,
+                 "duplicates_injected": 1, "duplicates_discarded": 1,
+                 "reorders_injected": 1, "straggled_steps": 4,
+                 "recovery_comm_bytes": 512,
+                 "retry_delay_virtual_secs": 0.001,
+                 "recovery_virtual_secs": 0.002,
+                 "overhead_vs_fault_free_pct": 10.0,
+                 "clusters_match_fault_free": {matches}}}"#
+        ))
+        .unwrap();
+        let workloads = j.get("workloads").and_then(Json::as_array).unwrap();
+        let mut w0 = workloads[0].clone();
+        let runs = w0.get("runs").and_then(Json::as_array).unwrap();
+        let mut r0 = runs[0].clone();
+        r0.set("fault", fault);
+        w0.set("runs", Json::Arr(vec![r0]));
+        j.set("workloads", Json::Arr(vec![w0]));
+        j
+    }
+
+    #[test]
+    fn fault_signature_drift_is_a_regression() {
+        let base = mini_with_fault(3.0, true);
+        let rep = diff(&base, &base, &DiffConfig::default()).unwrap();
+        assert!(!rep.has_regressions(), "{}", rep.render());
+
+        let drifted = mini_with_fault(5.0, true);
+        let rep = diff(&base, &drifted, &DiffConfig::default()).unwrap();
+        assert!(rep.regressions().iter().any(|f| f.metric == "fault/retries"), "{}", rep.render());
+
+        let broken = mini_with_fault(3.0, false);
+        let rep = diff(&base, &broken, &DiffConfig::default()).unwrap();
+        assert!(
+            rep.regressions().iter().any(|f| f.metric == "fault/clusters_match_fault_free"),
+            "{}",
+            rep.render()
+        );
+
+        // Dropping the block entirely is a regression too.
+        let plain = mini(1000.0, 0.5, 4000.0, 80.0);
+        let rep = diff(&base, &plain, &DiffConfig::default()).unwrap();
+        assert!(rep.regressions().iter().any(|f| f.metric == "fault"), "{}", rep.render());
     }
 
     #[test]

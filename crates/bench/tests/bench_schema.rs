@@ -1,4 +1,4 @@
-//! Validate the committed `BENCH_PR4.json` trajectory against the schema
+//! Validate the committed `BENCH_PR5.json` trajectory against the schema
 //! documented in `docs/BENCH_SCHEMA.md`.
 //!
 //! The CI perf-smoke job points `BENCH_SCHEMA_FILE` at a freshly emitted
@@ -9,11 +9,17 @@
 
 use obs::Json;
 
-/// The algorithms every workload must cover (the ISSUE's matrix:
-/// sequential μDBSCAN, ParMuDbscan with 1 and 4 threads, μDBSCAN-D with
-/// 1 and 4 ranks).
-const REQUIRED_ALGORITHMS: [&str; 5] =
-    ["mudbscan_seq", "par_mudbscan_t1", "par_mudbscan_t4", "mudbscan_d_p1", "mudbscan_d_p4"];
+/// The algorithms every workload must cover: sequential μDBSCAN, the
+/// parallel variant with 1 and 4 threads, μDBSCAN-D with 1 and 4 ranks,
+/// and (schema v4) the fault-injected 4-rank recovery arm.
+const REQUIRED_ALGORITHMS: [&str; 6] = [
+    "mudbscan_seq",
+    "par_mudbscan_t1",
+    "par_mudbscan_t4",
+    "mudbscan_d_p1",
+    "mudbscan_d_p4",
+    "mudbscan_d_p4_faults",
+];
 
 /// Below this per-workload size the construction critical path is
 /// dominated by fixed costs (thread spawn, tiling) and the t1→t4 speedup
@@ -29,7 +35,7 @@ fn trajectory_path() -> std::path::PathBuf {
         return p.into();
     }
     // crates/bench -> repository root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json")
 }
 
 fn get_f64(v: &Json, key: &str) -> f64 {
@@ -41,9 +47,9 @@ fn committed_trajectory_matches_schema() {
     let path = trajectory_path();
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let root = Json::parse(&text).expect("BENCH_PR4.json must be valid JSON");
+    let root = Json::parse(&text).expect("BENCH_PR5.json must be valid JSON");
 
-    assert_eq!(get_f64(&root, "schema_version"), 3.0, "schema_version must be 3");
+    assert_eq!(get_f64(&root, "schema_version"), 4.0, "schema_version must be 4");
     assert_eq!(get_f64(&root, "seed"), 2019.0, "pinned seed");
     let points_per_workload = get_f64(&root, "points_per_workload");
     assert!(points_per_workload >= 100.0);
@@ -138,7 +144,14 @@ fn committed_trajectory_matches_schema() {
                 let tl = r.get("bsp_timeline").expect("bsp_timeline block");
                 assert!(get_f64(tl, "supersteps") > 0.0, "{ctx}: supersteps");
                 let ranks = tl.get("ranks").and_then(Json::as_array).expect("ranks array");
-                let nranks: f64 = label.strip_prefix("mudbscan_d_p").unwrap().parse().unwrap();
+                let nranks: f64 = label
+                    .strip_prefix("mudbscan_d_p")
+                    .unwrap()
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .unwrap();
                 assert_eq!(ranks.len() as f64, nranks, "{ctx}: one timeline entry per rank");
                 for rank in ranks {
                     assert!(
@@ -162,6 +175,49 @@ fn committed_trajectory_matches_schema() {
                 for key in required {
                     assert!(hists.iter().any(|(k, _)| k == key), "{ctx}: histogram {key} missing");
                 }
+            }
+            // Schema v4: the faulted arm carries the fault block — the
+            // plan's replay signature plus the recovery-overhead costs —
+            // and must have recovered exactly (the emitter is fail-closed
+            // on recovery drift, so a committed file can only say true).
+            if label == "mudbscan_d_p4_faults" {
+                let fault = r.get("fault").expect("fault block on the faulted arm");
+                assert_eq!(get_f64(fault, "plan_seed"), 2019.0, "{ctx}: pinned plan seed");
+                assert!(get_f64(fault, "crashes") >= 1.0, "{ctx}: the plan crashes a rank");
+                assert_eq!(
+                    get_f64(fault, "recoveries"),
+                    get_f64(fault, "crashes"),
+                    "{ctx}: every crash must be recovered"
+                );
+                assert!(get_f64(fault, "drops_injected") >= 1.0, "{ctx}: drops injected");
+                assert!(get_f64(fault, "retries") >= 1.0, "{ctx}: retries performed");
+                assert_eq!(
+                    get_f64(fault, "messages_lost"),
+                    0.0,
+                    "{ctx}: the default retry budget redelivers everything"
+                );
+                assert_eq!(
+                    get_f64(fault, "duplicates_discarded"),
+                    get_f64(fault, "duplicates_injected"),
+                    "{ctx}: every duplicate must be discarded"
+                );
+                assert!(get_f64(fault, "reorders_injected") >= 1.0, "{ctx}: reorders injected");
+                assert!(get_f64(fault, "straggled_steps") >= 1.0, "{ctx}: straggled steps");
+                assert!(get_f64(fault, "recovery_comm_bytes") > 0.0, "{ctx}: recovery bytes");
+                assert!(get_f64(fault, "retry_delay_virtual_secs") > 0.0, "{ctx}: retry delay");
+                assert!(
+                    get_f64(fault, "recovery_virtual_secs") > 0.0,
+                    "{ctx}: recovery phase time"
+                );
+                assert!(
+                    fault.get("overhead_vs_fault_free_pct").and_then(Json::as_f64).is_some(),
+                    "{ctx}: overhead_vs_fault_free_pct missing"
+                );
+                assert_eq!(
+                    fault.get("clusters_match_fault_free").and_then(Json::as_bool),
+                    Some(true),
+                    "{ctx}: recovery must reproduce the fault-free clustering"
+                );
             }
         }
 

@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Registry audit: every obs key emitted by an instrumented full run
 //! must be documented in `docs/BENCH_SCHEMA.md`.
 //!

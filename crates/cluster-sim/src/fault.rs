@@ -1,0 +1,397 @@
+//! Deterministic fault injection for the BSP engine.
+//!
+//! A [`FaultPlan`] is a seed-addressed list of faults the engine's router
+//! injects while a program runs: fail-stop rank crashes at a given
+//! superstep, per-link message drops (retried with backoff by the
+//! reliable-delivery layer), duplicated and reordered deliveries, and
+//! straggler ranks whose virtual compute time is scaled. Every fault is
+//! addressed by the engine's superstep counter, so replaying the same
+//! plan against the same program yields the same injected faults and the
+//! same integer [`FaultStats`] — CI replays are stable by construction.
+//!
+//! The delivery layer restores exactly-once in-order semantics: each
+//! message carries a `(source, sequence)` tag, duplicates are discarded
+//! and reordered inboxes are re-sorted before the consumer sees them, so
+//! a program running under a plan whose drops stay within the retry
+//! budget observes the *same inbox* as the fault-free run — only the
+//! virtual clock (retry backoff, recovery work) differs. Crashes are the
+//! exception: the orchestrator must revive the rank via [`Bsp::recover`]
+//! before the next superstep.
+//!
+//! [`Bsp::recover`]: crate::Bsp::recover
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Fail-stop crash: `rank` performs no work at compute superstep
+    /// `superstep` and is marked down until recovered. A rank crashes at
+    /// most once; crashes scheduled on communicating supersteps never
+    /// fire (the driver contract recovers crashes before any barrier).
+    Crash {
+        /// The rank that fails.
+        rank: usize,
+        /// The compute superstep (engine step counter) at which it fails.
+        superstep: usize,
+    },
+    /// Every message from `from` to `to` at superstep `superstep` has its
+    /// first `attempts` transmissions dropped. If `attempts` exceeds the
+    /// retry budget the message is lost (only possible with a crippled
+    /// [`RetryConfig`]; the default budget always redelivers).
+    Drop {
+        /// The communicating superstep the drop applies to.
+        superstep: usize,
+        /// Source rank of the affected link.
+        from: usize,
+        /// Destination rank of the affected link.
+        to: usize,
+        /// Number of transmissions dropped per message on the link.
+        attempts: u32,
+    },
+    /// Every message from `from` to `to` at superstep `superstep` is
+    /// delivered twice; the delivery layer discards the extra copy.
+    Duplicate {
+        /// The communicating superstep the duplication applies to.
+        superstep: usize,
+        /// Source rank of the affected link.
+        from: usize,
+        /// Destination rank of the affected link.
+        to: usize,
+    },
+    /// Rank `to`'s inbox at superstep `superstep` arrives in a
+    /// deterministically shuffled order; the delivery layer re-sorts it.
+    Reorder {
+        /// The communicating superstep the reorder applies to.
+        superstep: usize,
+        /// The destination rank whose inbox is shuffled.
+        to: usize,
+    },
+    /// Rank `rank` computes `slowdown`× slower (virtual-clock skew) on
+    /// every superstep.
+    Straggler {
+        /// The slow rank.
+        rank: usize,
+        /// Multiplicative compute slowdown (> 1).
+        slowdown: f64,
+    },
+}
+
+/// A deterministic, seed-addressed fault schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (also keys the deterministic
+    /// reorder shuffle). Replaying the same seed reproduces the plan.
+    pub seed: u64,
+    /// The injected faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed (add faults with [`Self::with`]).
+    pub fn new(seed: u64) -> Self {
+        Self { seed, faults: Vec::new() }
+    }
+
+    /// Append a fault (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The superstep at which `rank` crashes, if any (first crash wins —
+    /// a rank crashes at most once).
+    pub fn crash_step(&self, rank: usize) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::Crash { rank: r, superstep } if *r == rank => Some(*superstep),
+            _ => None,
+        })
+    }
+
+    /// Compute slowdown factor for `rank` (1.0 when not a straggler).
+    pub fn straggler_factor(&self, rank: usize) -> f64 {
+        self.faults
+            .iter()
+            .find_map(|f| match f {
+                Fault::Straggler { rank: r, slowdown } if *r == rank => Some(*slowdown),
+                _ => None,
+            })
+            .unwrap_or(1.0)
+    }
+
+    /// Total dropped transmissions per message on link `from → to` at
+    /// `superstep`.
+    pub fn drop_attempts(&self, superstep: usize, from: usize, to: usize) -> u32 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                Fault::Drop { superstep: s, from: a, to: b, attempts }
+                    if *s == superstep && *a == from && *b == to =>
+                {
+                    *attempts
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Whether messages on link `from → to` at `superstep` are duplicated.
+    pub fn duplicates(&self, superstep: usize, from: usize, to: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::Duplicate { superstep: s, from: a, to: b }
+                if *s == superstep && *a == from && *b == to)
+        })
+    }
+
+    /// Whether rank `to`'s inbox at `superstep` is shuffled.
+    pub fn reorders(&self, superstep: usize, to: usize) -> bool {
+        self.faults.iter().any(
+            |f| matches!(f, Fault::Reorder { superstep: s, to: b } if *s == superstep && *b == to),
+        )
+    }
+
+    /// Generate a plan from a seed: one fault of every class the program
+    /// shape admits, addressed into the given compute and communicating
+    /// supersteps. Deterministic — the same `(seed, ranks, steps)` always
+    /// yields the same plan. Drop/duplicate/reorder destinations are
+    /// biased toward rank 0 (merge trees funnel there) so injected
+    /// message faults usually hit a live link.
+    pub fn generate(
+        seed: u64,
+        ranks: usize,
+        compute_steps: &[usize],
+        exchange_steps: &[usize],
+    ) -> Self {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = || splitmix64(&mut state);
+        let mut plan = FaultPlan::new(seed);
+        let pick = |v: u64, n: usize| (v % n.max(1) as u64) as usize;
+
+        if !compute_steps.is_empty() && next() % 4 != 0 {
+            plan.faults.push(Fault::Crash {
+                rank: pick(next(), ranks),
+                superstep: compute_steps[pick(next(), compute_steps.len())],
+            });
+        }
+        if !exchange_steps.is_empty() {
+            let dest = |v: u64, w: u64| if !w.is_multiple_of(4) { 0 } else { pick(v, ranks) };
+            if next() % 4 != 0 {
+                let (v, w) = (next(), next());
+                plan.faults.push(Fault::Drop {
+                    superstep: exchange_steps[pick(next(), exchange_steps.len())],
+                    from: pick(next(), ranks),
+                    to: dest(v, w),
+                    attempts: 1 + (next() % 3) as u32,
+                });
+            }
+            if next() % 4 != 0 {
+                let (v, w) = (next(), next());
+                plan.faults.push(Fault::Duplicate {
+                    superstep: exchange_steps[pick(next(), exchange_steps.len())],
+                    from: pick(next(), ranks),
+                    to: dest(v, w),
+                });
+            }
+            if next() % 4 != 0 {
+                let (v, w) = (next(), next());
+                plan.faults.push(Fault::Reorder {
+                    superstep: exchange_steps[pick(next(), exchange_steps.len())],
+                    to: dest(v, w),
+                });
+            }
+        }
+        if next() % 2 == 0 {
+            plan.faults.push(Fault::Straggler {
+                rank: pick(next(), ranks),
+                slowdown: 1.25 + (next() % 12) as f64 * 0.25,
+            });
+        }
+        if plan.faults.is_empty() {
+            // Never generate a no-op plan: fall back to the mildest fault
+            // the program shape admits.
+            if let Some(&s) = compute_steps.first() {
+                plan.faults.push(Fault::Crash { rank: pick(next(), ranks), superstep: s });
+            } else {
+                plan.faults.push(Fault::Straggler { rank: pick(next(), ranks), slowdown: 1.5 });
+            }
+        }
+        plan
+    }
+}
+
+/// Timeout/retry-with-backoff policy of the reliable delivery layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryConfig {
+    /// Seconds the sender waits before the first retransmission (also
+    /// the failure-detection timeout charged by [`Bsp::recover`]).
+    ///
+    /// [`Bsp::recover`]: crate::Bsp::recover
+    pub timeout_s: f64,
+    /// Multiplicative backoff applied to the timeout per retransmission.
+    pub backoff: f64,
+    /// Retransmissions after the first attempt before the message is
+    /// declared lost. The default budget (3) redelivers every generated
+    /// drop fault; `0` disables reliability entirely.
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        // 4× the default CommModel latency: a plausible RTO for a
+        // cluster interconnect, and small enough that retries perturb
+        // the makespan visibly without dominating it.
+        Self { timeout_s: 100e-6, backoff: 2.0, max_retries: 3 }
+    }
+}
+
+impl RetryConfig {
+    /// No reliability at all: any dropped transmission loses the message.
+    /// Used by negative tests proving the injected faults are real.
+    pub fn none() -> Self {
+        Self { timeout_s: 0.0, backoff: 1.0, max_retries: 0 }
+    }
+}
+
+/// Integer fault/recovery counters plus virtual-time overhead totals.
+///
+/// The integer fields are a pure function of `(program, data, plan,
+/// retry config)` — replaying a plan reproduces them exactly (pinned by
+/// [`Self::replay_signature`]). The `*_secs` fields carry measured or
+/// virtual time and are excluded from the signature.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Ranks that crashed.
+    pub crashes: u64,
+    /// Crashed ranks revived via recovery.
+    pub recoveries: u64,
+    /// Failed transmissions injected by drop faults.
+    pub drops_injected: u64,
+    /// Retransmissions performed by the delivery layer.
+    pub retries: u64,
+    /// Messages lost after exhausting the retry budget.
+    pub messages_lost: u64,
+    /// Extra copies injected by duplicate faults.
+    pub duplicates_injected: u64,
+    /// Extra copies discarded by the delivery layer.
+    pub duplicates_discarded: u64,
+    /// Inboxes shuffled by reorder faults.
+    pub reorders_injected: u64,
+    /// (superstep, rank) pairs whose compute time was straggler-scaled.
+    pub straggled_steps: u64,
+    /// Bytes re-requested during crash recovery (halos, checkpoints).
+    pub recovery_comm_bytes: u64,
+    /// Virtual seconds of retry backoff added to communication.
+    pub retry_delay_secs: f64,
+    /// Seconds of re-executed compute during recovery.
+    pub recovery_compute_secs: f64,
+    /// Virtual seconds of recovery communication (detection + transfer).
+    pub recovery_comm_secs: f64,
+}
+
+impl FaultStats {
+    /// The replay-deterministic integer counters, in declaration order.
+    /// Two runs of the same program under the same plan and retry config
+    /// must produce equal signatures.
+    pub fn replay_signature(&self) -> [u64; 10] {
+        [
+            self.crashes,
+            self.recoveries,
+            self.drops_injected,
+            self.retries,
+            self.messages_lost,
+            self.duplicates_injected,
+            self.duplicates_discarded,
+            self.reorders_injected,
+            self.straggled_steps,
+            self.recovery_comm_bytes,
+        ]
+    }
+
+    /// True when no fault fired and no recovery work was charged.
+    pub fn is_quiet(&self) -> bool {
+        self.replay_signature() == [0; 10]
+    }
+}
+
+/// SplitMix64 step — the workspace's standard offline PRNG kernel.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_and_non_empty() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::generate(seed, 4, &[0, 1], &[2]);
+            let b = FaultPlan::generate(seed, 4, &[0, 1], &[2]);
+            assert_eq!(a, b, "seed {seed}: replay must reproduce the plan");
+            assert!(!a.is_empty(), "seed {seed}: generated plan must inject something");
+            for f in &a.faults {
+                match *f {
+                    Fault::Crash { rank, superstep } => {
+                        assert!(rank < 4);
+                        assert!(superstep <= 1);
+                    }
+                    Fault::Drop { superstep, from, to, attempts } => {
+                        assert_eq!(superstep, 2);
+                        assert!(from < 4 && to < 4);
+                        assert!((1..=3).contains(&attempts), "generated drops stay redeliverable");
+                    }
+                    Fault::Duplicate { superstep, from, to } => {
+                        assert_eq!(superstep, 2);
+                        assert!(from < 4 && to < 4);
+                    }
+                    Fault::Reorder { superstep, to } => {
+                        assert_eq!(superstep, 2);
+                        assert!(to < 4);
+                    }
+                    Fault::Straggler { rank, slowdown } => {
+                        assert!(rank < 4);
+                        assert!(slowdown > 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_lookups() {
+        let plan = FaultPlan::new(7)
+            .with(Fault::Crash { rank: 1, superstep: 0 })
+            .with(Fault::Drop { superstep: 2, from: 3, to: 0, attempts: 2 })
+            .with(Fault::Duplicate { superstep: 2, from: 2, to: 0 })
+            .with(Fault::Reorder { superstep: 2, to: 0 })
+            .with(Fault::Straggler { rank: 2, slowdown: 2.0 });
+        assert_eq!(plan.crash_step(1), Some(0));
+        assert_eq!(plan.crash_step(0), None);
+        assert_eq!(plan.drop_attempts(2, 3, 0), 2);
+        assert_eq!(plan.drop_attempts(2, 3, 1), 0);
+        assert_eq!(plan.drop_attempts(1, 3, 0), 0);
+        assert!(plan.duplicates(2, 2, 0));
+        assert!(!plan.duplicates(2, 3, 0));
+        assert!(plan.reorders(2, 0));
+        assert!(!plan.reorders(2, 1));
+        assert_eq!(plan.straggler_factor(2), 2.0);
+        assert_eq!(plan.straggler_factor(0), 1.0);
+    }
+
+    #[test]
+    fn stats_signature_excludes_timing() {
+        let mut a = FaultStats { retries: 3, ..Default::default() };
+        let b = FaultStats { retries: 3, retry_delay_secs: 0.5, ..Default::default() };
+        a.recovery_compute_secs = 1.0;
+        assert_eq!(a.replay_signature(), b.replay_signature());
+        assert!(!a.is_quiet());
+        assert!(FaultStats::default().is_quiet());
+    }
+}

@@ -42,9 +42,24 @@
 //! assert!(bsp.makespan() > 0.0);
 //! assert!(bsp.phase_times().secs("shift") > 0.0);
 //! ```
+//!
+//! ## Fault injection
+//!
+//! The [`fault`] module injects deterministic, seed-addressed
+//! [`FaultPlan`]s at the router: fail-stop crashes at a chosen
+//! superstep, message drop/duplication/reorder on chosen links, and
+//! stragglers that skew a rank's virtual clock. A reliable delivery
+//! layer (timeout/retry-with-backoff, [`RetryConfig`]) and
+//! [`Bsp::recover`] (re-execute a crashed rank without advancing the
+//! superstep counter) let the distributed algorithms produce
+//! bit-identical output under faults; [`FaultStats::replay_signature`]
+//! pins the exact counter trace for replay gating. See
+//! `docs/API.md` for the cookbook.
 
 pub mod bsp;
+pub mod fault;
 pub mod msgsize;
 
 pub use bsp::{Bsp, CommModel, Envelope, ExecMode, RankClock};
+pub use fault::{Fault, FaultPlan, FaultStats, RetryConfig};
 pub use msgsize::MsgSize;

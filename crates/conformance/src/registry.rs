@@ -8,13 +8,16 @@
 //! rank count, because each of those choices takes different code paths
 //! (wndq promotion, border claiming, halo merge) that have historically
 //! been where exactness bugs hide.
+//!
+//! All μDBSCAN families are constructed through
+//! [`mudbscan::prelude::Runner`]; only the non-μDBSCAN baselines
+//! (R-tree, G-, Grid-DBSCAN) call their own constructors.
 
 use baselines::{GDbscan, GridDbscan, RDbscan};
-use dist::{DistConfig, MuDbscanD};
 use geom::{Dataset, DbscanParams};
-use mcs::BuildOptions;
 use metrics::mem::MemBudget;
-use mudbscan::{Clustering, MuDbscan, ParMuDbscan};
+use mudbscan::prelude::{BuildOptions, Family, Runner};
+use mudbscan::Clustering;
 
 /// An exact DBSCAN implementation under one fixed configuration.
 ///
@@ -28,68 +31,20 @@ pub trait ExactDbscan: Sync {
     fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String>;
 }
 
-/// Sequential μDBSCAN under one ablation-knob / build-option combination.
-struct SeqMu {
+/// Any μDBSCAN family, via the facade: `configure` turns the fresh
+/// per-run `Runner::new(params)` into this entry's configuration.
+struct Facade {
     name: &'static str,
-    disable_dynamic_promotion: bool,
-    disable_post_core_mc_skip: bool,
-    two_eps_deferral: bool,
-    str_aux: bool,
+    configure: fn(Runner) -> Runner,
 }
 
-impl ExactDbscan for SeqMu {
+impl ExactDbscan for Facade {
     fn name(&self) -> &'static str {
         self.name
     }
 
     fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
-        let mut algo = MuDbscan::new(*params).with_options(BuildOptions {
-            two_eps_deferral: self.two_eps_deferral,
-            str_aux: self.str_aux,
-            ..BuildOptions::default()
-        });
-        algo.disable_dynamic_promotion = self.disable_dynamic_promotion;
-        algo.disable_post_core_mc_skip = self.disable_post_core_mc_skip;
-        Ok(algo.run(data).clustering)
-    }
-}
-
-/// `ParMuDbscan` at a fixed worker-thread count. `seq_build` pins the
-/// sequential micro-cluster construction (the pre-parallel-build path);
-/// otherwise the default tiled parallel builder runs.
-struct ParMu {
-    name: &'static str,
-    threads: usize,
-    seq_build: bool,
-}
-
-impl ExactDbscan for ParMu {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
-        let mut algo = ParMuDbscan::new(*params, self.threads);
-        if self.seq_build {
-            algo = algo.with_options(BuildOptions::default());
-        }
-        Ok(algo.run(data).clustering)
-    }
-}
-
-/// μDBSCAN-D at a fixed simulated rank count.
-struct DistMu {
-    name: &'static str,
-    ranks: usize,
-}
-
-impl ExactDbscan for DistMu {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    fn run(&self, data: &Dataset, params: &DbscanParams) -> Result<Clustering, String> {
-        MuDbscanD::new(*params, DistConfig::new(self.ranks))
+        (self.configure)(Runner::new(*params))
             .run(data)
             .map(|out| out.clustering)
             .map_err(|e| e.to_string())
@@ -142,74 +97,66 @@ impl ExactDbscan for GridBaseline {
     }
 }
 
+fn seq_opts(two_eps_deferral: bool, str_aux: bool) -> BuildOptions {
+    BuildOptions { two_eps_deferral, str_aux, ..BuildOptions::default() }
+}
+
 /// Every registered implementation/configuration.
 pub fn registry() -> Vec<Box<dyn ExactDbscan>> {
     vec![
         // Sequential μDBSCAN: the 2×2 algorithm-knob grid with default
         // build options...
-        Box::new(SeqMu {
-            name: "mu-seq",
-            disable_dynamic_promotion: false,
-            disable_post_core_mc_skip: false,
-            two_eps_deferral: true,
-            str_aux: true,
-        }),
-        Box::new(SeqMu {
+        Box::new(Facade { name: "mu-seq", configure: |r| r }),
+        Box::new(Facade {
             name: "mu-seq/no-promotion",
-            disable_dynamic_promotion: true,
-            disable_post_core_mc_skip: false,
-            two_eps_deferral: true,
-            str_aux: true,
+            configure: |r| r.disable_dynamic_promotion(true),
         }),
-        Box::new(SeqMu {
+        Box::new(Facade {
             name: "mu-seq/no-mc-skip",
-            disable_dynamic_promotion: false,
-            disable_post_core_mc_skip: true,
-            two_eps_deferral: true,
-            str_aux: true,
+            configure: |r| r.disable_post_core_mc_skip(true),
         }),
-        Box::new(SeqMu {
+        Box::new(Facade {
             name: "mu-seq/no-promotion/no-mc-skip",
-            disable_dynamic_promotion: true,
-            disable_post_core_mc_skip: true,
-            two_eps_deferral: true,
-            str_aux: true,
+            configure: |r| r.disable_dynamic_promotion(true).disable_post_core_mc_skip(true),
         }),
         // ...plus the two build-stage ablations, which change the MC
         // decomposition itself and therefore every downstream step.
-        Box::new(SeqMu {
+        Box::new(Facade {
             name: "mu-seq/no-2eps-deferral",
-            disable_dynamic_promotion: false,
-            disable_post_core_mc_skip: false,
-            two_eps_deferral: false,
-            str_aux: true,
+            configure: |r| r.options(seq_opts(false, true)),
         }),
-        Box::new(SeqMu {
+        Box::new(Facade {
             name: "mu-seq/inserted-aux",
-            disable_dynamic_promotion: false,
-            disable_post_core_mc_skip: false,
-            two_eps_deferral: true,
-            str_aux: false,
+            configure: |r| r.options(seq_opts(true, false)),
         }),
         // Parallel μDBSCAN across thread counts (1 pins the degenerate
         // single-worker path; 8 usually oversubscribes CI and stresses the
         // border-claim/promotion interleavings). These use the default
         // tiled parallel MC build; the /seq-build entry keeps the
         // sequential-construction combination covered too.
-        Box::new(ParMu { name: "mu-par/t1", threads: 1, seq_build: false }),
-        Box::new(ParMu { name: "mu-par/t2", threads: 2, seq_build: false }),
-        Box::new(ParMu { name: "mu-par/t4", threads: 4, seq_build: false }),
-        Box::new(ParMu { name: "mu-par/t8", threads: 8, seq_build: false }),
-        Box::new(ParMu { name: "mu-par/t4/seq-build", threads: 4, seq_build: true }),
+        Box::new(Facade { name: "mu-par/t1", configure: |r| r.family(Family::Parallel) }),
+        Box::new(Facade { name: "mu-par/t2", configure: |r| r.threads(2) }),
+        Box::new(Facade { name: "mu-par/t4", configure: |r| r.threads(4) }),
+        Box::new(Facade { name: "mu-par/t8", configure: |r| r.threads(8) }),
+        Box::new(Facade {
+            name: "mu-par/t4/seq-build",
+            configure: |r| r.threads(4).options(BuildOptions::default()),
+        }),
         // Sequential baselines.
         Box::new(RBaseline),
         Box::new(GBaseline),
         Box::new(GridBaseline),
         // μDBSCAN-D across simulated rank counts (1 pins the trivial
         // partition; 2 and 4 exercise halo exchange and the merge replay).
-        Box::new(DistMu { name: "mu-dist/r1", ranks: 1 }),
-        Box::new(DistMu { name: "mu-dist/r2", ranks: 2 }),
-        Box::new(DistMu { name: "mu-dist/r4", ranks: 4 }),
+        Box::new(Facade { name: "mu-dist/r1", configure: |r| r.ranks(1) }),
+        Box::new(Facade { name: "mu-dist/r2", configure: |r| r.ranks(2) }),
+        Box::new(Facade { name: "mu-dist/r4", configure: |r| r.ranks(4) }),
+        // The remaining two families of the facade: the incremental
+        // algorithm bulk-loaded from the dataset, and DBSCAN extracted
+        // from the OPTICS ordering at the generating ε. Both must agree
+        // bit-for-bit with everything above.
+        Box::new(Facade { name: "mu-stream", configure: |r| r.family(Family::Streaming) }),
+        Box::new(Facade { name: "optics-extract", configure: |r| r.family(Family::Optics) }),
     ]
 }
 

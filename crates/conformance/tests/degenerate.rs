@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Degenerate-input audit: `n = 0`, `n < MinPts`, and all-points-identical
 //! at n ≥ 10⁴, pushed through micro-cluster construction (sequential and
 //! parallel), `MuDbscan`, `ParMuDbscan` and `MuDbscanD`.

@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Determinism of the obs histograms at the conformance level.
 //!
 //! The histogram layer promises *exact, order-independent merges*: every

@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Instrumentation must be behaviour-neutral: the `obs` spans and
 //! counters woven through the hot paths only read clocks and write to
 //! their own maps, so clustering output with collection **on** must be

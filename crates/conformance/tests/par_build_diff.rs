@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Differential suite for the tiled parallel micro-cluster builder
 //! (`mcs::build_micro_clusters_par`), over the same randomized dataset
 //! families the main conformance sweep uses. Three properties per case:

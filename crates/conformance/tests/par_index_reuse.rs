@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! The `stream` and `optics` front-ends now build their μR-tree with the
 //! tiled parallel constructor when the full dataset is available up
 //! front. Neither algorithm's *output* may depend on which construction

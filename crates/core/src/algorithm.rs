@@ -60,6 +60,7 @@ pub struct MuDbscanOutput {
 impl MuDbscan {
     /// New instance with the given density parameters and default build
     /// options.
+    #[deprecated(note = "use mudbscan::prelude::Runner::new(params) instead")]
     pub fn new(params: DbscanParams) -> Self {
         Self {
             params: Some(params),
@@ -421,6 +422,7 @@ pub fn post_processing_noise(state: &mut WorkingState, counters: &Counters) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use crate::clustering::check_exact;

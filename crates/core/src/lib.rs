@@ -26,7 +26,7 @@
 //!
 //! ```
 //! use geom::{Dataset, DbscanParams};
-//! use mudbscan::MuDbscan;
+//! use mudbscan_core::MuDbscan;
 //!
 //! let data = Dataset::from_rows(&[
 //!     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1], // a small blob

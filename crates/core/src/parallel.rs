@@ -114,6 +114,7 @@ impl ParMuDbscan {
     /// New instance with `threads` worker threads. Uses the tiled parallel
     /// micro-cluster builder; override with [`ParMuDbscan::with_options`]
     /// (e.g. `BuildOptions::default()` for the sequential scan).
+    #[deprecated(note = "use mudbscan::prelude::Runner::new(params).threads(threads) instead")]
     pub fn new(params: DbscanParams, threads: usize) -> Self {
         assert!(threads >= 1);
         Self { params, opts: BuildOptions { parallel: true, ..Default::default() }, threads }
@@ -502,6 +503,7 @@ fn parallel_map_chunks<T: Send>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use crate::clustering::check_exact;

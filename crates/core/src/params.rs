@@ -69,6 +69,7 @@ pub(crate) fn knee_of(curve: &[f64]) -> Option<f64> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use crate::{naive_dbscan, MuDbscan};

@@ -1,9 +1,12 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Property-based exactness: for ANY dataset and ANY (ε, MinPts),
 //! μDBSCAN must produce the classical DBSCAN clustering (paper Theorem 1).
 //! This is the strongest single test in the repository.
 
 use geom::{Dataset, DbscanParams};
-use mudbscan::{check_exact, naive_dbscan, MuDbscan};
+use mudbscan_core::{check_exact, naive_dbscan, MuDbscan};
 use proptest::prelude::*;
 
 fn points(dim: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
@@ -72,7 +75,7 @@ proptest! {
     fn parallel_exact(rows in clustered(2), eps in 0.2..2.0f64, min_pts in 2usize..7, threads in 1usize..6) {
         let data = Dataset::from_rows(&rows);
         let params = DbscanParams::new(eps, min_pts);
-        let out = mudbscan::ParMuDbscan::new(params, threads).run(&data);
+        let out = mudbscan_core::ParMuDbscan::new(params, threads).run(&data);
         let reference = naive_dbscan(&data, &params);
         let rep = check_exact(&out.clustering, &reference, &data, &params);
         prop_assert!(rep.is_exact(), "threads={threads}: {rep:?}");

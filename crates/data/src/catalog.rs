@@ -126,6 +126,7 @@ pub fn paper_table2_specs() -> Vec<DatasetSpec> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
 

@@ -2,13 +2,15 @@
 //! supersteps, cross-partition edge collection, and the exact merge
 //! replay.
 
-use cluster_sim::{Bsp, CommModel, Envelope, ExecMode, RankClock};
+use cluster_sim::{Bsp, CommModel, Envelope, ExecMode, FaultStats, RankClock};
 use geom::{Dataset, DbscanParams, PointId};
 use metrics::{Counters, PhaseTimer, Stopwatch};
 use mudbscan::{Clustering, NOISE};
 use partition::Shard;
 use rtree::{RTree, RTreeConfig};
 use unionfind::UnionFind;
+
+use crate::recovery::{Checkpoint, FaultConfig};
 
 /// What a local clustering stage returns for one rank.
 pub struct LocalRun {
@@ -67,6 +69,9 @@ pub struct DistOutput {
     pub rank_clocks: Vec<RankClock>,
     /// BSP supersteps executed.
     pub supersteps: usize,
+    /// Fault/recovery counters (all zero on a fault-free run). The
+    /// integer fields replay deterministically for a fixed plan seed.
+    pub fault_stats: FaultStats,
 }
 
 /// A cross-partition candidate pair: own point `x` (with its exact core
@@ -83,6 +88,11 @@ struct RankState {
     /// the local stage.
     own_core: Vec<bool>,
     heap_bytes: usize,
+    /// Decoded cross-partition edges received during the merge exchange
+    /// (only rank 0, which hosts the union replay, fills this). The
+    /// replay consumes THESE edges — delivery faults on the exchange are
+    /// load-bearing, not cosmetic.
+    merge_edges: Vec<Edge>,
 }
 
 /// Run a distributed DBSCAN: `local` clusters one rank's combined
@@ -91,7 +101,16 @@ struct RankState {
 /// `shards` comes from a partitioner ([`partition::kd_partition`] or
 /// [`crate::hpdbscan`]'s cell partitioner); `part_phases` are its virtual
 /// times, folded into the output phase report.
-#[allow(clippy::too_many_arguments)] // mirrors the phases of an MPI driver: data, partitioning output, params, engine config, local stage
+///
+/// With `faults`, the BSP engine injects the configured [`FaultConfig`]
+/// and this driver recovers every crash: a rank lost during the local
+/// stage re-requests its ε-halo (idempotent — the merge is query-free)
+/// and re-executes the deterministic `local` closure; a rank lost during
+/// edge collection restores its post-local-stage [`Checkpoint`] and
+/// re-runs only the edge queries. Either way the recovered output is
+/// bit-identical to the fault-free run, and all recovery work is charged
+/// to the virtual clock under a `recovery` phase.
+#[allow(clippy::too_many_arguments)] // mirrors the phases of an MPI driver: data, partitioning output, params, engine config, fault options, local stage
 pub fn run_distributed(
     n_total: usize,
     shards: Vec<Shard>,
@@ -100,6 +119,7 @@ pub fn run_distributed(
     params: &DbscanParams,
     mode: ExecMode,
     comm: CommModel,
+    faults: Option<&FaultConfig>,
     local: impl Fn(usize, &Dataset, usize) -> Result<LocalRun, String> + Sync,
 ) -> Result<DistOutput, DistError> {
     let p = shards.len();
@@ -117,24 +137,45 @@ pub fn run_distributed(
                 edges: Vec::new(),
                 own_core: Vec::new(),
                 heap_bytes: 0,
+                merge_edges: Vec::new(),
             }
         })
         .collect();
 
     let run_span = obs::span!("dist");
     let mut bsp = Bsp::new(states).with_mode(mode).with_comm(comm);
+    if let Some(fc) = faults {
+        bsp = bsp.with_fault_plan(fc.plan.clone()).with_retry(fc.retry);
+    }
 
-    // Local clustering superstep.
-    let local_span = obs::span!("local_clustering");
-    bsp.phase("local_clustering");
-    bsp.run(|r, s: &mut RankState| {
+    // The local-stage superstep body — shared with crash recovery, which
+    // re-executes exactly this closure on the replacement rank.
+    let local_step = |r: usize, s: &mut RankState| {
         let run = local(r, &s.combined, s.own_n);
         if let Ok(run) = &run {
             s.own_core = run.clustering.is_core[..s.own_n].to_vec();
             s.heap_bytes = run.peak_heap_bytes;
         }
         s.local = Some(run);
-    });
+    };
+
+    // Local clustering superstep.
+    let local_span = obs::span!("local_clustering");
+    bsp.phase("local_clustering");
+    bsp.run(local_step);
+
+    // Recover ranks that crashed during local clustering: the
+    // replacement re-requests the ε-halo (its owned partition is
+    // durable) and re-runs the deterministic local stage from scratch.
+    for r in bsp.crashed_ranks() {
+        bsp.phase("recovery");
+        let halo_bytes = {
+            let s = &bsp.states()[r];
+            (s.shard.halo.len() * s.shard.halo.dim() * 8 + s.shard.halo_ids.len() * 4) as u64
+        };
+        bsp.charge_recovery_comm(r, halo_bytes);
+        bsp.recover(r, local_step);
+    }
     for (r, s) in bsp.states().iter().enumerate() {
         if let Some(Err(msg)) = &s.local {
             return Err(DistError::Local(r, msg.clone()));
@@ -143,10 +184,26 @@ pub fn run_distributed(
 
     drop(local_span);
 
+    // Snapshot every rank's local result so a crash later in the
+    // program restores state instead of recomputing the whole local
+    // stage (capture itself models an async write to stable storage and
+    // is not charged; the restore transfer is).
+    let checkpoints: Vec<Option<Checkpoint>> = if faults.is_some() {
+        bsp.states()
+            .iter()
+            .map(|s| match &s.local {
+                Some(Ok(run)) => Some(Checkpoint::capture(run)),
+                _ => None,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     // Edge collection superstep: index own points, query each halo point.
     let merge_span = obs::span!("merging");
     bsp.phase("merging");
-    bsp.run(|_r, s: &mut RankState| {
+    let edge_step = |_r: usize, s: &mut RankState| {
         if s.shard.halo_ids.is_empty() {
             return;
         }
@@ -177,10 +234,38 @@ pub fn run_distributed(
                 s.edges.push((gx, hid, x_core));
             }
         }
-    });
+    };
+    bsp.run(edge_step);
+
+    // Recover ranks that crashed during edge collection: fail-stop lost
+    // the rank's volatile memory, so restore the post-local-stage
+    // checkpoint (charged as a transfer) and re-run only the edge
+    // queries.
+    for r in bsp.crashed_ranks() {
+        bsp.phase("recovery");
+        let ck = checkpoints[r].as_ref().expect("rank checkpointed after the local stage").clone();
+        {
+            let s = &mut bsp.states_mut()[r];
+            s.local = None;
+            s.own_core.clear();
+            s.edges.clear();
+        }
+        bsp.charge_recovery_comm(r, ck.byte_size() as u64);
+        bsp.recover(r, |r, s| {
+            let run = ck.restore();
+            s.own_core = run.clustering.is_core[..s.own_n].to_vec();
+            s.heap_bytes = run.peak_heap_bytes;
+            s.local = Some(Ok(run));
+            edge_step(r, s);
+        });
+    }
 
     // Exchange edges (models the all-to-all of merge pairs; routed to
-    // rank 0, which hosts the union replay in this simulation).
+    // rank 0, which hosts the union replay in this simulation). Rank 0
+    // decodes what it actually RECEIVED — the merge below runs over the
+    // delivered edges, so drops/duplicates/reorders must be healed by
+    // the delivery layer for the replay to stay exact.
+    bsp.phase("merging");
     bsp.exchange(
         |_r, s: &mut RankState| {
             if s.edges.is_empty() {
@@ -194,7 +279,15 @@ pub fn run_distributed(
                 vec![Envelope::new(0, flat)]
             }
         },
-        |_r, _s, _inbox: Vec<(usize, Vec<u64>)>| {},
+        |r, s: &mut RankState, inbox: Vec<(usize, Vec<u64>)>| {
+            if r == 0 {
+                for (_src, flat) in inbox {
+                    s.merge_edges.extend(flat.into_iter().map(|v| {
+                        ((v >> 33) as PointId, ((v >> 1) & 0xffff_ffff) as PointId, v & 1 == 1)
+                    }));
+                }
+            }
+        },
     );
 
     // Global merge replay (orchestrator side, timed into "merging").
@@ -261,23 +354,24 @@ pub fn run_distributed(
         counters.absorb(&run.counters);
     }
 
-    // Replay the cross-partition edges with exact flags.
-    for s in bsp.states() {
-        for &(x, y, x_core) in &s.edges {
-            debug_assert_eq!(is_core[x as usize], x_core);
-            let y_core = is_core[y as usize];
-            if x_core && y_core {
-                uf.union(x, y);
-                counters.count_union();
-            } else if x_core && !assigned[y as usize] {
-                uf.union(x, y);
-                counters.count_union();
-                assigned[y as usize] = true;
-            } else if y_core && !x_core && !assigned[x as usize] {
-                uf.union(y, x);
-                counters.count_union();
-                assigned[x as usize] = true;
-            }
+    // Replay the cross-partition edges with exact flags — over the edges
+    // rank 0 actually received in the exchange (delivery order is the
+    // per-sender send order, so the border-guarded unions replay
+    // identically to a fault-free run).
+    for &(x, y, x_core) in &bsp.states()[0].merge_edges {
+        debug_assert_eq!(is_core[x as usize], x_core);
+        let y_core = is_core[y as usize];
+        if x_core && y_core {
+            uf.union(x, y);
+            counters.count_union();
+        } else if x_core && !assigned[y as usize] {
+            uf.union(x, y);
+            counters.count_union();
+            assigned[y as usize] = true;
+        } else if y_core && !x_core && !assigned[x as usize] {
+            uf.union(y, x);
+            counters.count_union();
+            assigned[x as usize] = true;
         }
     }
     let replay_secs = sw.secs();
@@ -299,6 +393,10 @@ pub fn run_distributed(
     }
     let merging_secs = bsp.phase_times().secs("merging") + replay_secs;
     phases.add_secs("merging", merging_secs);
+    let recovery_secs = bsp.phase_times().secs("recovery");
+    if recovery_secs > 0.0 {
+        phases.add_secs("recovery", recovery_secs);
+    }
 
     let runtime_secs =
         phases.total_secs() - phases.secs("partitioning") - phases.secs("halo_exchange");
@@ -315,6 +413,11 @@ pub fn run_distributed(
         obs::record_value("dist/virtual_makespan_secs", bsp.makespan());
         obs::record_value("dist/merge_replay_secs", replay_secs);
     }
+    let fault_stats = bsp.fault_stats().clone();
+    if obs::enabled() && !fault_stats.is_quiet() {
+        obs::record_value("recovery/virtual_secs", phases.secs("recovery"));
+        obs::record_count("recovery/bytes", fault_stats.recovery_comm_bytes);
+    }
     drop(run_span);
     let rank_clocks = bsp.rank_clocks().to_vec();
     let supersteps = bsp.steps();
@@ -330,5 +433,6 @@ pub fn run_distributed(
         max_rank_heap_bytes: max_heap,
         rank_clocks,
         supersteps,
+        fault_stats,
     })
 }

@@ -65,6 +65,7 @@ impl HpDbscan {
             &params,
             self.mode,
             self.comm,
+            None,
             move |_rank, combined, _own_n| {
                 let out = GridDbscan::new(params)
                     .with_budget(budget)

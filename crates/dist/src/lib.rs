@@ -50,9 +50,11 @@
 pub mod driver;
 pub mod hpdbscan;
 pub mod mudbscan_d;
+pub mod recovery;
 pub mod rpdbscan;
 
 pub use driver::{run_distributed, DistError, DistOutput, LocalRun};
 pub use hpdbscan::HpDbscan;
 pub use mudbscan_d::{DistConfig, GridDbscanD, MuDbscanD, PdsDbscanD};
+pub use recovery::{Checkpoint, FaultConfig};
 pub use rpdbscan::RpDbscan;

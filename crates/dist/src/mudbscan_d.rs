@@ -3,7 +3,9 @@
 //! local stage differs).
 
 use crate::driver::{run_distributed, DistError, DistOutput, LocalRun};
+use crate::recovery::FaultConfig;
 use baselines::{GridDbscan, RDbscan};
+use cluster_sim::FaultPlan;
 use cluster_sim::{CommModel, ExecMode};
 use geom::{Dataset, DbscanParams};
 use mcs::BuildOptions;
@@ -53,12 +55,14 @@ pub struct MuDbscanD {
     params: DbscanParams,
     cfg: DistConfig,
     opts: BuildOptions,
+    faults: Option<FaultConfig>,
 }
 
 impl MuDbscanD {
     /// New instance.
+    #[deprecated(note = "use mudbscan::prelude::Runner::new(params).ranks(p) instead")]
     pub fn new(params: DbscanParams, cfg: DistConfig) -> Self {
-        Self { params, cfg, opts: BuildOptions::default() }
+        Self { params, cfg, opts: BuildOptions::default(), faults: None }
     }
 
     /// Override micro-cluster construction options.
@@ -67,7 +71,24 @@ impl MuDbscanD {
         self
     }
 
+    /// Inject a fault schedule with retry/recovery options; the run stays
+    /// bit-identical to fault-free as long as drops fit the retry budget
+    /// (see [`crate::recovery`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Inject `plan` under the default retry policy.
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        self.with_faults(FaultConfig::new(plan))
+    }
+
     /// Run on `data`.
+    // The local stage drives the core constructors directly rather than
+    // going through the facade — depending on `mudbscan` (the api crate)
+    // here would be a dependency cycle.
+    #[allow(deprecated)]
     pub fn run(&self, data: &Dataset) -> Result<DistOutput, DistError> {
         let part =
             kd_partition(data, self.cfg.ranks, self.params.eps, self.cfg.mode, self.cfg.comm);
@@ -82,6 +103,7 @@ impl MuDbscanD {
             &params,
             self.cfg.mode,
             self.cfg.comm,
+            self.faults.as_ref(),
             move |_rank, combined, _own_n| {
                 if local_threads > 1 {
                     let out = mudbscan::ParMuDbscan::new(params, local_threads)
@@ -134,6 +156,7 @@ impl PdsDbscanD {
             &params,
             self.cfg.mode,
             self.cfg.comm,
+            None,
             move |_rank, combined, _own_n| {
                 let out = RDbscan::new(params).run(combined);
                 Ok(LocalRun {
@@ -185,6 +208,7 @@ impl GridDbscanD {
             &params,
             self.cfg.mode,
             self.cfg.comm,
+            None,
             move |_rank, combined, _own_n| {
                 let out = GridDbscan::new(params)
                     .with_budget(budget)
@@ -202,6 +226,7 @@ impl GridDbscanD {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use mudbscan::{check_exact, naive_dbscan};

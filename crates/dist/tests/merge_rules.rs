@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Focused tests of the distributed merge semantics on hand-built
 //! geometries where the correct cross-partition behaviour is known by
 //! construction.

@@ -7,7 +7,11 @@
 //! the bench trajectory. This module replaces it with a tiled pipeline:
 //!
 //! 1. **Tile** the space into disjoint axis-aligned cells keyed purely on
-//!    geometry (`floor((x_d − lo_d) / side)` per dimension). The side is
+//!    geometry (`floor((x_d − lo_d) / side)` per dimension). Keying runs
+//!    on worker threads — each keys a contiguous id chunk into a local
+//!    map, and merging the worker maps in chunk order concatenates each
+//!    tile's ascending id runs in order, so the grouped result is
+//!    bit-identical to a sequential scan. The side is
 //!    `2ε · 2^k` with the smallest `k` such that the number of *occupied*
 //!    tiles drops to `max(16, n/64)` — at the minimum side of 2ε every
 //!    Algorithm-3 membership/deferral test (strict `< 2ε`) is confined to
@@ -101,6 +105,8 @@ pub struct ParBuildStats {
     pub boundary_conflicts: usize,
     /// Member points re-scanned because their candidate MC dissolved.
     pub orphans: usize,
+    /// Per-worker busy seconds of the point-keying sub-stage of tiling.
+    pub keying_busy: Vec<f64>,
     /// Per-worker busy seconds of the tile-scan stage.
     pub tile_scan_busy: Vec<f64>,
     /// Per-worker busy seconds of the boundary conflict-probe stage.
@@ -158,21 +164,43 @@ pub fn build_micro_clusters_par(
         return (MuRTree::from_parts(eps, level1, Vec::new(), Vec::new()), stats);
     };
 
-    // Stage 1 (sequential): geometric tiling. BTreeMap keys give a
-    // deterministic (lexicographic cell-coordinate) tile order for free,
-    // and iterating points in id order keeps each tile's list ascending.
-    // The coarsening factor depends only on the dataset geometry and n —
+    // Stage 1 (parallel keying, sequential merge + coarsen): geometric
+    // tiling. Each worker keys a contiguous id chunk into a local map;
+    // merging the worker maps in chunk order concatenates each tile's
+    // ascending id runs in order, so the grouped result is identical to
+    // a sequential id-order scan. BTreeMap keys give a deterministic
+    // (lexicographic cell-coordinate) tile order for free. The
+    // coarsening factor depends only on the dataset geometry and n —
     // never on the thread count — so the tile set (and everything
     // downstream) stays thread-count-independent.
     let tiling = obs::span!("tiling");
     let base_side = 2.0 * eps;
-    let mut base: BTreeMap<Vec<i64>, Vec<PointId>> = BTreeMap::new();
-    let mut key = vec![0i64; dim];
-    for (p, coords) in data.iter() {
-        for (k, (&x, &l)) in key.iter_mut().zip(coords.iter().zip(&lo)) {
-            *k = ((x - l) / base_side).floor() as i64;
+    type TileMap = BTreeMap<Vec<i64>, Vec<PointId>>;
+    let chunk = data.len().div_ceil(threads).max(1);
+    let worker_maps: Vec<Mutex<Option<TileMap>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+    {
+        let lo = &lo;
+        let worker_maps = &worker_maps;
+        stats.keying_busy = run_workers(threads, &|worker| {
+            let ids = (worker * chunk).min(data.len())..((worker + 1) * chunk).min(data.len());
+            let mut local = TileMap::new();
+            let mut key = vec![0i64; dim];
+            for p in ids {
+                let coords = data.point(p as PointId);
+                for (k, (&x, &l)) in key.iter_mut().zip(coords.iter().zip(lo)) {
+                    *k = ((x - l) / base_side).floor() as i64;
+                }
+                local.entry(key.clone()).or_default().push(p as PointId);
+            }
+            *worker_maps[worker].lock().expect("poisoned") = Some(local);
+        });
+    }
+    let keying_wall = sw.lap();
+    let mut base = TileMap::new();
+    for m in worker_maps {
+        for (k, pts) in m.into_inner().expect("poisoned").expect("chunk keyed") {
+            base.entry(k).or_default().extend(pts);
         }
-        base.entry(key.clone()).or_default().push(p);
     }
     // Coarsen on the key set only: floor(x / (s·2^k)) == floor(key / 2^k),
     // so doubling the side maps straight onto integer key division.
@@ -574,12 +602,14 @@ pub fn build_micro_clusters_par(
     let aux_wall = sw.lap();
 
     let max = |xs: &[f64]| xs.iter().cloned().fold(0.0f64, f64::max);
+    let key_crit = if threads > 1 { max(&stats.keying_busy).min(keying_wall) } else { keying_wall };
     let scan_crit = if threads > 1 { max(&stats.tile_scan_busy).min(scan_wall) } else { scan_wall };
     let conflict_crit =
         if threads > 1 { max(&stats.conflict_busy).min(conflict_wall) } else { conflict_wall };
     let probe_crit = if threads > 1 { max(&stats.orphan_busy).min(probe_wall) } else { probe_wall };
     let aux_crit = if threads > 1 { max(&stats.aux_busy).min(aux_wall) } else { aux_wall };
-    stats.makespan_secs = tiling_wall
+    stats.makespan_secs = key_crit
+        + tiling_wall
         + scan_crit
         + classify_wall
         + conflict_crit
@@ -599,6 +629,7 @@ pub fn build_micro_clusters_par(
         obs::record_value("mc_build_par/tiling_wall_secs", tiling_wall);
         obs::record_value("mc_build_par/reconcile_keep_wall_secs", classify_wall + keep_wall);
         obs::record_value("mc_build_par/reconcile_apply_wall_secs", apply_wall);
+        obs::record_value("mc_build_par/keying_busy_max_secs", max(&stats.keying_busy));
         obs::record_value("mc_build_par/tile_scan_busy_max_secs", max(&stats.tile_scan_busy));
         obs::record_value("mc_build_par/conflict_busy_max_secs", max(&stats.conflict_busy));
         obs::record_value("mc_build_par/orphan_busy_max_secs", max(&stats.orphan_busy));
@@ -901,6 +932,7 @@ mod tests {
         let data = grid(12, 0.4);
         let c = Counters::new();
         let (_, stats) = build_micro_clusters_par(&data, 1.0, &BuildOptions::default(), 3, &c);
+        assert_eq!(stats.keying_busy.len(), 3);
         assert_eq!(stats.tile_scan_busy.len(), 3);
         assert_eq!(stats.conflict_busy.len(), 3);
         assert_eq!(stats.orphan_busy.len(), 3);

@@ -71,6 +71,9 @@ impl Optics {
     /// exact under either construction. Use
     /// `with_options(BuildOptions::default())` to restore the sequential
     /// Algorithm-3 scan.
+    #[deprecated(
+        note = "use mudbscan::prelude::Runner::new(params).family(Family::Optics) instead"
+    )]
     pub fn new(params: DbscanParams) -> Self {
         Self { params, opts: BuildOptions { parallel: true, ..BuildOptions::default() } }
     }
@@ -231,6 +234,7 @@ pub fn extract_dbscan(out: &OpticsOutput, data: &Dataset, eps_prime: f64) -> Clu
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use mudbscan::{check_exact, naive_dbscan};

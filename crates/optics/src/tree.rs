@@ -155,6 +155,7 @@ fn build(out: &OpticsOutput, lo: usize, hi: usize, params: &TreeParams) -> Optio
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use crate::algorithm::Optics;

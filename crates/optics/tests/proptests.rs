@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Property test: one OPTICS ordering must reproduce the exact DBSCAN
 //! clustering at arbitrary extraction radii ε′ ≤ ε — the defining
 //! property of the ordering.

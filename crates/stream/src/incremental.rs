@@ -36,6 +36,10 @@ pub struct StreamingMuDbscan {
 
 impl StreamingMuDbscan {
     /// Empty stream for `dim`-dimensional points.
+    #[deprecated(
+        note = "use mudbscan::prelude::Runner::new(params).family(Family::Streaming), or \
+                StreamingMuDbscan::from_dataset, instead"
+    )]
     pub fn new(dim: usize, params: DbscanParams) -> Self {
         Self {
             params,
@@ -309,6 +313,7 @@ impl StreamingMuDbscan {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use mudbscan::{check_exact, naive_dbscan};

@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Property test: streaming μDBSCAN equals batch DBSCAN on the full
 //! stream and on random prefixes, for arbitrary inputs and parameters.
 

@@ -14,7 +14,16 @@ fn main() {
 
     println!("μDBSCAN-D scaling — n={}, dim=3 (virtual BSP makespans)\n", dataset.len());
 
-    let base = MuDbscanD::new(params, DistConfig::new(1)).run(&dataset).unwrap();
+    // Pull the distributed-only quantities out of a facade run.
+    let dist_run = |p: usize| -> (Clustering, f64, u64) {
+        let out = Runner::new(params).ranks(p).run(&dataset).unwrap();
+        let RunDetails::Distributed { runtime_secs, comm_bytes, .. } = out.details else {
+            unreachable!("a ranks(p) run is Distributed")
+        };
+        (out.clustering, runtime_secs, comm_bytes)
+    };
+
+    let (base, base_runtime, base_comm) = dist_run(1);
     println!(
         "{:>6} {:>12} {:>9} {:>10} {:>12}",
         "ranks", "runtime (s)", "speedup", "clusters", "comm (KiB)"
@@ -22,25 +31,25 @@ fn main() {
     println!(
         "{:>6} {:>12.3} {:>9.2} {:>10} {:>12}",
         1,
-        base.runtime_secs,
+        base_runtime,
         1.0,
-        base.clustering.n_clusters,
-        base.comm_bytes / 1024
+        base.n_clusters,
+        base_comm / 1024
     );
 
     for p in [2, 4, 8, 16, 32] {
-        let out = MuDbscanD::new(params, DistConfig::new(p)).run(&dataset).unwrap();
+        let (clustering, runtime_secs, comm_bytes) = dist_run(p);
         assert_eq!(
-            out.clustering.n_clusters, base.clustering.n_clusters,
+            clustering.n_clusters, base.n_clusters,
             "clustering must be identical at every rank count"
         );
         println!(
             "{:>6} {:>12.3} {:>9.2} {:>10} {:>12}",
             p,
-            out.runtime_secs,
-            base.runtime_secs / out.runtime_secs,
-            out.clustering.n_clusters,
-            out.comm_bytes / 1024
+            runtime_secs,
+            base_runtime / runtime_secs,
+            clustering.n_clusters,
+            comm_bytes / 1024
         );
     }
 

@@ -15,12 +15,14 @@ fn main() {
     println!("μDBSCAN quickstart — n={}, dim={}", dataset.len(), dataset.dim());
     println!("parameters: eps={}, MinPts={}\n", params.eps, params.min_pts);
 
-    let out = MuDbscan::new(params).run(&dataset);
+    let out = Runner::new(params).run(&dataset).unwrap();
 
     println!("clusters found   : {}", out.clustering.n_clusters);
     println!("core points      : {}", out.clustering.core_count());
     println!("noise points     : {}", out.clustering.noise_count());
-    println!("micro-clusters   : {} (avg {:.1} points each)", out.mc_count, out.avg_mc_size);
+    if let RunDetails::Sequential { mc_count, avg_mc_size, .. } = out.details {
+        println!("micro-clusters   : {mc_count} (avg {avg_mc_size:.1} points each)");
+    }
     println!("queries saved    : {:.1}% (wndq-core labelling)", out.counters.pct_queries_saved());
 
     let mut sizes = out.clustering.cluster_sizes();

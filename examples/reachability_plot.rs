@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! OPTICS demo: one cluster ordering, many DBSCAN clusterings.
 //!
 //! Computes the OPTICS ordering of a mixed-density dataset, renders the

@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Geospatial scenario: cluster a vehicular-GPS-style road network
 //! (the paper's 3DSRN workload). Road data forms long, thin,
 //! arbitrary-shaped clusters — exactly what DBSCAN handles and k-means

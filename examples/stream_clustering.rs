@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Streaming scenario: points arrive one at a time (e.g. live GPS
 //! pings) and the clustering is kept **exactly** up to date after every
 //! insertion — the paper's future-work extension implemented in the

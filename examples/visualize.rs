@@ -1,3 +1,6 @@
+// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
+// constructors stay supported for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Render the classic DBSCAN picture: arbitrary-shaped clusters (two
 //! interleaved moons + a ring + blobs) found exactly by μDBSCAN, written
 //! to an SVG scatter.

@@ -4,17 +4,17 @@
 //!
 //! Umbrella crate re-exporting the whole workspace. Most users want:
 //!
-//! * [`mudbscan::MuDbscan`] — the exact sequential algorithm;
-//! * [`dist::MuDbscanD`] — the distributed version on the BSP simulator;
+//! * [`mudbscan::prelude::Runner`] — the unified entry point over all
+//!   five algorithm families (sequential, parallel, distributed,
+//!   streaming, OPTICS);
 //! * [`data`] — synthetic dataset generators;
 //! * [`baselines`] — R-DBSCAN / G-DBSCAN / GridDBSCAN comparators.
 //!
 //! ```
-//! use geom::{DbscanParams};
 //! use mudbscan_repro::prelude::*;
 //!
 //! let dataset = data::gaussian_mixture(2_000, 3, 4, 1.5, 0.05, 42);
-//! let out = MuDbscan::new(DbscanParams::new(1.0, 5)).run(&dataset);
+//! let out = Runner::new(DbscanParams::new(1.0, 5)).run(&dataset).unwrap();
 //! println!("{} clusters, {} noise points, {:.1}% queries saved",
 //!          out.clustering.n_clusters,
 //!          out.clustering.noise_count(),
@@ -39,7 +39,15 @@ pub use unionfind;
 pub mod prelude {
     pub use baselines::{GDbscan, GridDbscan, RDbscan};
     pub use data;
+    pub use mudbscan::prelude::{
+        Cluster, Clustering, Counters, Dataset, DbscanParams, Family, Fault, FaultConfig,
+        FaultPlan, FaultStats, MuDbscanError, RetryConfig, RunDetails, RunOutput, Runner, NOISE,
+    };
+    pub use mudbscan::{check_exact, naive_dbscan};
+    // Deprecated shims of the pre-facade API, re-exported for one PR so
+    // downstream code migrates on its own schedule (see docs/API.md).
+    #[allow(deprecated)]
     pub use dist::{DistConfig, MuDbscanD};
-    pub use geom::{Dataset, DbscanParams};
-    pub use mudbscan::{check_exact, naive_dbscan, Clustering, MuDbscan, NOISE};
+    #[allow(deprecated)]
+    pub use mudbscan::MuDbscan;
 }

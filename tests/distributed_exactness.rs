@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Integration: distributed algorithms vs the sequential oracle across
 //! rank counts, generators, execution modes and parameters.
 

@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Integration across the extension algorithms: batch, parallel,
 //! streaming, distributed and OPTICS-extracted clusterings must all
 //! coincide on the canonical quantities for the same data + parameters.

@@ -1,0 +1,106 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
+//! Facade round-trip: for every family, a [`Runner`]-built instance must
+//! produce a clustering bit-identical to the directly-built (pre-facade)
+//! construction it replaces, and the deprecated constructor shims must
+//! keep compiling and running for one more PR.
+
+use dist::{DistConfig, MuDbscanD};
+use mudbscan::prelude::{Family, RunDetails, Runner};
+use mudbscan::{Clustering, MuDbscan, ParMuDbscan};
+use optics::{extract_dbscan, Optics};
+use stream::StreamingMuDbscan;
+
+/// Runs `runner` and returns its clustering, panicking with `tag` context
+/// on any facade-level error.
+fn via_runner(runner: Runner, data: &geom::Dataset, tag: &str) -> Clustering {
+    runner.run(data).unwrap_or_else(|e| panic!("{tag}: facade run failed: {e}")).clustering
+}
+
+#[test]
+fn runner_output_is_bit_identical_to_direct_construction() {
+    for spec in data::paper_table2_specs().iter().take(3) {
+        let dataset = spec.generate_n(600, 13);
+        let params = spec.params;
+        let tag = spec.name;
+
+        // Sequential: Runner::new(params) vs MuDbscan::new(params).
+        let direct = MuDbscan::new(params).run(&dataset).clustering;
+        assert_eq!(via_runner(Runner::new(params), &dataset, tag), direct, "{tag}: sequential");
+
+        // Parallel: .threads(4) vs ParMuDbscan::new(params, 4).
+        let direct = ParMuDbscan::new(params, 4).run(&dataset).clustering;
+        assert_eq!(
+            via_runner(Runner::new(params).threads(4), &dataset, tag),
+            direct,
+            "{tag}: parallel"
+        );
+
+        // Distributed: .ranks(4) vs MuDbscanD::new(params, DistConfig::new(4)).
+        let direct = MuDbscanD::new(params, DistConfig::new(4)).run(&dataset).unwrap().clustering;
+        assert_eq!(
+            via_runner(Runner::new(params).ranks(4), &dataset, tag),
+            direct,
+            "{tag}: distributed"
+        );
+
+        // Streaming: .family(Family::Streaming) vs bulk-loaded snapshot.
+        let direct = StreamingMuDbscan::from_dataset(&dataset, params).snapshot();
+        assert_eq!(
+            via_runner(Runner::new(params).family(Family::Streaming), &dataset, tag),
+            direct,
+            "{tag}: streaming"
+        );
+
+        // OPTICS: .family(Family::Optics) vs extract_dbscan at eps' = eps.
+        let direct = extract_dbscan(&Optics::new(params).run(&dataset), &dataset, params.eps);
+        assert_eq!(
+            via_runner(Runner::new(params).family(Family::Optics), &dataset, tag),
+            direct,
+            "{tag}: optics"
+        );
+    }
+}
+
+#[test]
+fn run_details_report_the_resolved_family() {
+    let spec = &data::paper_table2_specs()[0];
+    let dataset = spec.generate_n(200, 5);
+    let params = spec.params;
+
+    let out = Runner::new(params).ranks(2).run(&dataset).unwrap();
+    let RunDetails::Distributed { ranks, supersteps, ref fault_stats, .. } = out.details else {
+        panic!("expected distributed details");
+    };
+    assert_eq!(ranks, 2);
+    assert!(supersteps > 0);
+    assert!(fault_stats.is_quiet(), "fault-free run must report quiet fault stats");
+
+    let out = Runner::new(params).threads(2).run(&dataset).unwrap();
+    assert!(matches!(out.details, RunDetails::Parallel { .. }));
+}
+
+#[test]
+fn deprecated_shims_still_compile_and_run() {
+    let spec = &data::paper_table2_specs()[0];
+    let dataset = spec.generate_n(120, 3);
+    let params = spec.params;
+    let oracle = mudbscan::naive_dbscan(&dataset, &params);
+
+    // Each pre-facade constructor must remain usable until the shims are
+    // dropped next PR.
+    assert_eq!(MuDbscan::new(params).run(&dataset).clustering, oracle);
+    assert_eq!(ParMuDbscan::new(params, 2).run(&dataset).clustering, oracle);
+    assert_eq!(
+        MuDbscanD::new(params, DistConfig::new(2)).run(&dataset).unwrap().clustering,
+        oracle
+    );
+    let mut stream = StreamingMuDbscan::new(dataset.dim(), params);
+    for p in 0..dataset.len() {
+        stream.insert(dataset.point(p as geom::PointId));
+    }
+    assert_eq!(stream.snapshot(), oracle);
+    let optics_out = Optics::new(params).run(&dataset);
+    assert_eq!(extract_dbscan(&optics_out, &dataset, params.eps), oracle);
+}

@@ -1,3 +1,6 @@
+// Exercises the deprecated pre-facade constructors on purpose: the shims
+// must keep compiling and behaving for one more PR (see docs/API.md).
+#![allow(deprecated)]
 //! Cross-crate integration: every exact algorithm in the workspace must
 //! produce the identical DBSCAN clustering on every catalog analogue.
 
