@@ -13,10 +13,13 @@
 //! * [`MuDbscanError`] — the shared error enum every facade-driven `run`
 //!   returns (wrapping [`dist::DistError`] and configuration errors).
 //!
-//! The historical per-family constructors (`MuDbscan::new`,
-//! `ParMuDbscan::new(params, threads)`, `MuDbscanD::new(params, cfg)`,
-//! `StreamingMuDbscan::new(dim, params)`, `Optics::new`) are deprecated
-//! shims kept for one PR; see `docs/API.md` for the migration table.
+//! The per-family constructors (`MuDbscan::from_params`,
+//! `ParMuDbscan::from_params`, `MuDbscanD::from_params`,
+//! `StreamingMuDbscan::empty` / `from_dataset`, `Optics::from_params`)
+//! remain available as low-level entry points — the facade itself and
+//! crates that cannot depend on `mudbscan` (e.g. `dist`) build on them —
+//! but applications should reach for [`prelude::Runner`] first; see
+//! `docs/API.md`.
 //!
 //! ```
 //! use mudbscan::prelude::*;

@@ -280,12 +280,9 @@ impl Runner {
             return bad("a build-options override");
         }
 
-        // The historical constructors are deprecated shims; the facade is
-        // their one sanctioned caller until they are removed next PR.
-        #[allow(deprecated)]
         Ok(match family {
             Family::Sequential => {
-                let mut algo = MuDbscan::new(self.params);
+                let mut algo = MuDbscan::from_params(self.params);
                 if let Some(opts) = self.opts {
                     algo = algo.with_options(opts);
                 }
@@ -294,7 +291,7 @@ impl Runner {
                 Box::new(Seq { algo })
             }
             Family::Parallel => {
-                let mut algo = ParMuDbscan::new(self.params, self.threads);
+                let mut algo = ParMuDbscan::from_params(self.params, self.threads);
                 if let Some(opts) = self.opts {
                     algo = algo.with_options(opts);
                 }
@@ -306,7 +303,7 @@ impl Runner {
                     cfg = cfg.threaded();
                 }
                 cfg = cfg.with_local_threads(self.threads);
-                let mut algo = MuDbscanD::new(self.params, cfg);
+                let mut algo = MuDbscanD::from_params(self.params, cfg);
                 if let Some(opts) = self.opts {
                     algo = algo.with_options(opts);
                 }
@@ -317,7 +314,7 @@ impl Runner {
             }
             Family::Streaming => Box::new(Streaming { params: self.params }),
             Family::Optics => {
-                let mut algo = Optics::new(self.params);
+                let mut algo = Optics::from_params(self.params);
                 if let Some(opts) = self.opts {
                     algo = algo.with_options(opts);
                 }

@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Property-based exactness for every sequential baseline: R-DBSCAN,
 //! G-DBSCAN and GridDBSCAN must all reproduce naive DBSCAN on arbitrary
 //! inputs — and therefore agree with μDBSCAN and with each other.
@@ -67,7 +64,7 @@ proptest! {
         let a = RDbscan::new(params).run(&data).clustering;
         let b = GDbscan::new(params).run(&data).clustering;
         let c = GridDbscan::new(params).run(&data).unwrap().clustering;
-        let d = mudbscan::MuDbscan::new(params).run(&data).clustering;
+        let d = mudbscan::MuDbscan::from_params(params).run(&data).clustering;
         prop_assert_eq!(a.n_clusters, b.n_clusters);
         prop_assert_eq!(b.n_clusters, c.n_clusters);
         prop_assert_eq!(c.n_clusters, d.n_clusters);

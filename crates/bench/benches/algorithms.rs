@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! End-to-end algorithm micro-bench: μDBSCAN vs the sequential baselines
 //! on one galaxy analogue (Criterion view of Table II's headline), plus
 //! the dynamic-promotion ablation.
@@ -17,15 +14,15 @@ fn bench_algorithms(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("end_to_end");
     g.bench_function("mudbscan", |b| {
-        b.iter(|| black_box(MuDbscan::new(params).run(&dataset).clustering.n_clusters))
+        b.iter(|| black_box(MuDbscan::from_params(params).run(&dataset).clustering.n_clusters))
     });
     g.bench_function("mudbscan_no_promotion", |b| {
-        let mut alg = MuDbscan::new(params);
+        let mut alg = MuDbscan::from_params(params);
         alg.disable_dynamic_promotion = true;
         b.iter(|| black_box(alg.run(&dataset).clustering.n_clusters))
     });
     g.bench_function("mudbscan_paper_postproc", |b| {
-        let mut alg = MuDbscan::new(params);
+        let mut alg = MuDbscan::from_params(params);
         alg.disable_post_core_mc_skip = true;
         b.iter(|| black_box(alg.run(&dataset).clustering.n_clusters))
     });

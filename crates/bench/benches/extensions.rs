@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Benchmarks of the extension algorithms: streaming ingestion, OPTICS
 //! ordering, and the shared-memory parallel variant — all against the
 //! batch sequential μDBSCAN on the same workload.
@@ -18,20 +15,22 @@ fn bench_extensions(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("extensions");
     g.bench_function("batch_mudbscan", |b| {
-        b.iter(|| black_box(MuDbscan::new(params).run(&dataset).clustering.n_clusters))
+        b.iter(|| black_box(MuDbscan::from_params(params).run(&dataset).clustering.n_clusters))
     });
     g.bench_function("parallel_mudbscan_4t", |b| {
-        b.iter(|| black_box(ParMuDbscan::new(params, 4).run(&dataset).clustering.n_clusters))
+        b.iter(|| {
+            black_box(ParMuDbscan::from_params(params, 4).run(&dataset).clustering.n_clusters)
+        })
     });
     g.bench_function("streaming_ingest_all", |b| {
         b.iter(|| {
-            let mut s = StreamingMuDbscan::new(3, params);
+            let mut s = StreamingMuDbscan::empty(3, params);
             s.extend_from(&dataset);
             black_box(s.snapshot().n_clusters)
         })
     });
     g.bench_function("optics_ordering", |b| {
-        b.iter(|| black_box(Optics::new(params).run(&dataset).order.len()))
+        b.iter(|| black_box(Optics::from_params(params).run(&dataset).order.len()))
     });
     g.finish();
 }

@@ -8,6 +8,9 @@
 //!                          (default 0.5 = +50%)
 //!   --counter-tol <rel>    drift tolerance on deterministic work metrics
 //!                          (default 0 — they are bit-stable at fixed n)
+//!   --interleaved-tol <rel> drift tolerance on the query-work metrics of
+//!                          t ≥ 2 parallel arms, whose executed-query set
+//!                          is thread-interleaving-dependent (default 0.25)
 //!   --pct-saved-tol <pts>  absolute tolerance on pct_queries_saved
 //!                          (default 5 points)
 //!   --overhead-tol <pts>   absolute tolerance on overhead_pct
@@ -25,8 +28,8 @@ use obs::Json;
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff BASELINE.json CANDIDATE.json \
-         [--time-tol REL] [--counter-tol REL] [--pct-saved-tol PTS] \
-         [--overhead-tol PTS] [--scale-free]"
+         [--time-tol REL] [--counter-tol REL] [--interleaved-tol REL] \
+         [--pct-saved-tol PTS] [--overhead-tol PTS] [--scale-free]"
     );
     std::process::exit(2);
 }
@@ -58,6 +61,7 @@ fn main() {
         match arg {
             "--time-tol" => tol(&mut cfg.time_rel),
             "--counter-tol" => tol(&mut cfg.counter_rel),
+            "--interleaved-tol" => tol(&mut cfg.interleaved_rel),
             "--pct-saved-tol" => tol(&mut cfg.pct_saved_abs),
             "--overhead-tol" => tol(&mut cfg.overhead_abs),
             "--scale-free" => cfg.scale_free = true,

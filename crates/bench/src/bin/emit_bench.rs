@@ -3,7 +3,7 @@
 //! and the distributed simulator (all constructed via
 //! [`mudbscan::prelude::Runner`]), collect per-phase times and `obs`
 //! reports, verify exactness against the naive oracle, and write the
-//! schema-versioned `BENCH_PR5.json` trajectory file.
+//! schema-versioned `BENCH_PR6.json` trajectory file.
 //!
 //! Parallel runs use the tiled parallel micro-cluster builder and carry a
 //! `tree_construction_makespan` field: the construction critical path
@@ -14,7 +14,7 @@
 //! convention the distributed simulator uses for per-rank phase maxima.
 //!
 //! The JSON schema is documented in `docs/BENCH_SCHEMA.md`; the committed
-//! `BENCH_PR5.json` is validated by `crates/bench/tests/bench_schema.rs`
+//! `BENCH_PR6.json` is validated by `crates/bench/tests/bench_schema.rs`
 //! and regenerated with
 //!
 //! ```text
@@ -24,7 +24,7 @@
 //! Environment knobs (all optional, for the CI perf-smoke job):
 //!
 //! * `EMIT_BENCH_N`     — points per workload (default 4000)
-//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR5.json`)
+//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR6.json`)
 //! * `EMIT_BENCH_REPS`  — repetitions for the overhead measurement
 //!   (default 5)
 //! * `EMIT_BENCH_MAKESPAN_REPS` — constructions per parallel run for the
@@ -62,7 +62,10 @@ use obs::Json;
 /// (`mudbscan_d_p4_faults`) carrying a `fault` block — the replay
 /// signature of the injected plan plus the recovery-overhead quantities —
 /// whose clustering must stay bit-identical to the fault-free arm.
-const SCHEMA_VERSION: i64 = 4;
+/// v5: the `histograms` block gains `query/leaf_evals` (exact point–point
+/// distance evaluations charged per restricted ε-query, recorded by the
+/// SoA leaf kernels); the committed trajectory file is `BENCH_PR6.json`.
+const SCHEMA_VERSION: i64 = 5;
 
 /// Datasets from the Table II catalog used for the matrix (a subset keeps
 /// the oracle check and the CI smoke run fast while still covering a
@@ -109,10 +112,6 @@ fn counters_json(c: &Counters) -> Json {
         ("node_visits".to_string(), count(c.node_visits())),
         ("union_ops".to_string(), count(c.union_ops())),
     ])
-}
-
-fn phases_json(phases: &metrics::PhaseTimer) -> Json {
-    Json::obj_from(phases.split_up().into_iter().map(|(name, secs, _pct)| (name, num(secs))))
 }
 
 /// Verify exactness against the oracle; abort loudly on drift.
@@ -243,29 +242,62 @@ fn fault_json(
 }
 
 /// One algorithm run: returns the JSON record for the `runs` array.
+///
+/// Wall and per-phase times are single-digit-millisecond quantities at
+/// bench size, so a single shot is at the mercy of the scheduler. The
+/// run repeats `EMIT_BENCH_TIME_REPS` times (observability off after the
+/// first — counters, obs and histograms reflect exactly one run) and the
+/// reported `wall_secs` and `phases` are the per-metric minima, the same
+/// noise-stripping convention `tree_construction_makespan` uses.
 fn run_one(
     label: &str,
     dataset: &str,
     data: &Dataset,
     params: &DbscanParams,
     reference: &Clustering,
-    run: impl FnOnce() -> (Clustering, RunMeta),
+    mut run: impl FnMut() -> (Clustering, RunMeta),
 ) -> Json {
     obs::reset();
     obs::enable();
-    let ((clustering, meta), wall) = timed(run);
+    let ((clustering, meta), mut wall) = timed(&mut run);
     obs::disable();
     let report = obs::take_report();
     must_be_exact(label, dataset, &clustering, reference, data, params);
     let RunMeta {
         counters,
         phases,
-        virtual_secs,
+        mut virtual_secs,
         tree_construction_makespan,
         bsp_timeline,
         peak_heap,
         fault,
     } = meta;
+
+    let mut phase_mins: Vec<(String, f64)> =
+        phases.split_up().into_iter().map(|(name, secs, _pct)| (name, secs)).collect();
+    let mut makespan_min = tree_construction_makespan;
+    for _ in 1..env_usize("EMIT_BENCH_TIME_REPS", 3).max(1) {
+        obs::disable();
+        let ((extra_clustering, extra), w) = timed(&mut run);
+        must_be_exact(label, dataset, &extra_clustering, reference, data, params);
+        wall = wall.min(w);
+        for (name, secs, _pct) in extra.phases.split_up() {
+            if let Some((_, m)) = phase_mins.iter_mut().find(|(n, _)| *n == name) {
+                *m = m.min(secs);
+            }
+        }
+        if let (Some(v), Some(ev)) = (virtual_secs.as_mut(), extra.virtual_secs) {
+            *v = v.min(ev);
+        }
+        if let (Some(m), Some(em)) = (makespan_min.as_mut(), extra.tree_construction_makespan) {
+            *m = m.min(em);
+        }
+    }
+    // Drop anything the timing reps recorded (a rerun closure may toggle
+    // the collector); the emitted report is the first run's.
+    obs::disable();
+    obs::reset();
+    let tree_construction_makespan = makespan_min;
 
     let mut rec = Json::obj();
     rec.set("algorithm", Json::Str(label.to_string()));
@@ -273,7 +305,7 @@ fn run_one(
     rec.set("clusters", count(clustering.n_clusters as u64));
     rec.set("noise", count(clustering.noise_count() as u64));
     rec.set("wall_secs", num(wall));
-    rec.set("phases", phases_json(&phases));
+    rec.set("phases", Json::obj_from(phase_mins.into_iter().map(|(name, secs)| (name, num(secs)))));
     if let Some(v) = virtual_secs {
         rec.set("virtual_secs", num(v));
     }
@@ -372,7 +404,7 @@ fn export_trace(path: &str, data: &Dataset, params: &DbscanParams) {
 fn main() {
     let n = env_usize("EMIT_BENCH_N", 4000);
     let reps = env_usize("EMIT_BENCH_REPS", 5);
-    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
 
     bench::banner(
         "emit_bench",

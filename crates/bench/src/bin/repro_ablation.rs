@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Ablation study of μDBSCAN's design choices (DESIGN.md §7–§8): each
 //! knob toggled in isolation on one galaxy analogue, reporting runtime,
 //! query counts and micro-cluster statistics. Clustering equality with
@@ -11,10 +8,8 @@
 //! ```
 
 use bench::{banner, secs, timed, SEED};
-use geom::DbscanParams;
-use mcs::BuildOptions;
 use metrics::Table;
-use mudbscan::MuDbscan;
+use mudbscan::prelude::*;
 
 fn main() {
     banner(
@@ -28,36 +23,28 @@ fn main() {
 
     struct Variant {
         name: &'static str,
-        alg: MuDbscan,
+        runner: Runner,
     }
-    let base = MuDbscan::new(params);
+    let base = Runner::new(params);
     let variants = vec![
-        Variant { name: "default (paper + MC-skip)", alg: base.clone() },
+        Variant { name: "default (paper + MC-skip)", runner: base.clone() },
         Variant {
             name: "no 2ε deferral",
-            alg: base
+            runner: base
                 .clone()
-                .with_options(BuildOptions { two_eps_deferral: false, ..Default::default() }),
+                .options(BuildOptions { two_eps_deferral: false, ..Default::default() }),
         },
         Variant {
             name: "incremental aux R-trees",
-            alg: base.clone().with_options(BuildOptions { str_aux: false, ..Default::default() }),
+            runner: base.clone().options(BuildOptions { str_aux: false, ..Default::default() }),
         },
         Variant {
             name: "no dynamic promotion",
-            alg: {
-                let mut a = base.clone();
-                a.disable_dynamic_promotion = true;
-                a
-            },
+            runner: base.clone().disable_dynamic_promotion(true),
         },
         Variant {
             name: "paper-faithful post-core",
-            alg: {
-                let mut a = base.clone();
-                a.disable_post_core_mc_skip = true;
-                a
-            },
+            runner: base.clone().disable_post_core_mc_skip(true),
         },
     ];
 
@@ -74,7 +61,7 @@ fn main() {
     let mut base_time = 0.0;
     for v in variants {
         eprintln!("[{}] ...", v.name);
-        let (out, elapsed) = timed(|| v.alg.run(&dataset));
+        let (out, elapsed) = timed(|| v.runner.run(&dataset).expect("sequential run"));
         match &reference {
             None => {
                 reference = Some(out.clustering.clone());
@@ -84,11 +71,15 @@ fn main() {
                 assert_eq!(&out.clustering, r, "{}: ablation changed the clustering!", v.name)
             }
         }
+        let mc_count = match out.details {
+            RunDetails::Sequential { mc_count, .. } => mc_count,
+            ref other => panic!("expected Sequential details, got {other:?}"),
+        };
         t.row(&[
             v.name.to_string(),
             secs(elapsed),
             format!("{:+.1}%", 100.0 * (elapsed - base_time) / base_time),
-            out.mc_count.to_string(),
+            mc_count.to_string(),
             out.counters.range_queries().to_string(),
             format!("{:.1}%", out.counters.pct_queries_saved()),
             format!("{:.1}", out.counters.dist_computations() as f64 / 1e6),

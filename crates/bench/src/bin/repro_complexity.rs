@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Table I support: empirical validation of the O(n log m + n log r)
 //! complexity claim — runtime normalised by n·(log m + log r) should stay
 //! roughly constant as n grows, and clearly flatter than t/n (which would
@@ -11,8 +8,8 @@
 //! ```
 
 use bench::{banner, timed, SEED};
-use geom::DbscanParams;
 use metrics::Table;
+use mudbscan::prelude::*;
 
 fn main() {
     banner(
@@ -22,6 +19,7 @@ fn main() {
     );
 
     let params = DbscanParams::new(0.8, 5);
+    let runner = Runner::new(params);
     let mut t = Table::new(&[
         "n",
         "time (s)",
@@ -35,17 +33,21 @@ fn main() {
     for &n in &[12_500usize, 25_000, 50_000, 100_000] {
         let dataset = data::galaxy(n, 3, SEED);
         eprintln!("[n={n}] ...");
-        let (out, secs) = timed(|| mudbscan::MuDbscan::new(params).run(&dataset));
-        let m = out.mc_count as f64;
-        let r = out.avg_mc_size.max(1.0);
+        let (out, secs) = timed(|| runner.run(&dataset).expect("sequential run"));
+        let (mc_count, avg_mc_size) = match out.details {
+            RunDetails::Sequential { mc_count, avg_mc_size, .. } => (mc_count, avg_mc_size),
+            ref other => panic!("expected Sequential details, got {other:?}"),
+        };
+        let m = mc_count as f64;
+        let r = avg_mc_size.max(1.0);
         let denom = n as f64 * (m.log2() + r.log2());
         let norm_ns = secs / denom * 1e9;
         normalised.push(norm_ns);
         t.row(&[
             n.to_string(),
             format!("{secs:.3}"),
-            out.mc_count.to_string(),
-            format!("{:.1}", out.avg_mc_size),
+            mc_count.to_string(),
+            format!("{avg_mc_size:.1}"),
             format!("{norm_ns:.2}"),
             format!("{:.2}", secs / n as f64 * 1e6),
         ]);

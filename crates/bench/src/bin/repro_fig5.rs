@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Fig. 5 reproduction: effect of varying ε on PDSDBSCAN-D,
 //! GridDBSCAN-D and μDBSCAN-D (32 ranks) for the MPAGD100M3D and
 //! FOF56M3D analogues.
@@ -10,9 +7,18 @@
 //! ```
 
 use bench::{banner, secs, SEED};
-use dist::{DistConfig, GridDbscanD, MuDbscanD, PdsDbscanD};
-use geom::DbscanParams;
+use dist::{DistConfig, GridDbscanD, PdsDbscanD};
 use metrics::Table;
+use mudbscan::prelude::*;
+
+/// μDBSCAN-D virtual runtime via the facade.
+fn mu_runtime(params: DbscanParams, dataset: &Dataset) -> f64 {
+    let out = Runner::new(params).ranks(32).run(dataset).expect("distributed run");
+    match out.details {
+        RunDetails::Distributed { runtime_secs, .. } => runtime_secs,
+        ref other => panic!("expected Distributed details, got {other:?}"),
+    }
+}
 
 fn main() {
     banner(
@@ -34,7 +40,7 @@ fn main() {
             eprintln!("[{name}] eps={eps} ...");
             let params = DbscanParams::new(eps, *min_pts);
             let cfg = DistConfig::new(32);
-            let mu = MuDbscanD::new(params, cfg).run(dataset).unwrap().runtime_secs;
+            let mu = mu_runtime(params, dataset);
             let pds = PdsDbscanD::new(params, cfg).run(dataset).unwrap().runtime_secs;
             let grid = match GridDbscanD::new(params, cfg).run(dataset) {
                 Ok(out) => secs(out.runtime_secs),

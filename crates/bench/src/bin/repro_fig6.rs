@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Fig. 6 reproduction: μDBSCAN-D runtime as dimensionality grows
 //! (KDDBIO samples at d = 14 / 24 / 44 / 74), 32 ranks.
 //!
@@ -9,9 +6,8 @@
 //! ```
 
 use bench::{banner, secs, SEED};
-use dist::{DistConfig, MuDbscanD};
-use geom::DbscanParams;
 use metrics::Table;
+use mudbscan::prelude::*;
 
 /// Paper series: 8.15 s (14d) → 460.83 s (74d), a 56x growth.
 const PAPER: &[(usize, &str)] = &[(14, "8.15"), (24, "~60"), (44, "~200"), (74, "460.83")];
@@ -35,9 +31,14 @@ fn main() {
         let eps = 45.0 * (d as f64 / 14.0).sqrt();
         let dataset = data::kddbio(n, d, SEED);
         eprintln!("[d={d}] eps={eps:.0} ...");
-        let out =
-            MuDbscanD::new(DbscanParams::new(eps, 5), DistConfig::new(32)).run(&dataset).unwrap();
-        let r = out.runtime_secs;
+        let out = Runner::new(DbscanParams::new(eps, 5))
+            .ranks(32)
+            .run(&dataset)
+            .expect("distributed run");
+        let r = match out.details {
+            RunDetails::Distributed { runtime_secs, .. } => runtime_secs,
+            ref other => panic!("expected Distributed details, got {other:?}"),
+        };
         if first.is_none() {
             first = Some(r);
         }

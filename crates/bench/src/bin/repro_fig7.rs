@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Fig. 7 reproduction: μDBSCAN-D speedup over sequential μDBSCAN as the
 //! number of ranks grows (4 → 32), for several datasets.
 //!
@@ -9,9 +6,8 @@
 //! ```
 
 use bench::{banner, SEED};
-use dist::{DistConfig, MuDbscanD};
-use geom::DbscanParams;
 use metrics::Table;
+use mudbscan::prelude::*;
 
 fn main() {
     banner(
@@ -33,14 +29,18 @@ fn main() {
 
     for (name, dataset, params) in &workloads {
         eprintln!("[{name}] sequential ...");
-        let seq = mudbscan::MuDbscan::new(*params).run(dataset);
+        let seq = Runner::new(*params).run(dataset).expect("sequential run");
         let seq_secs = seq.phases.total_secs();
         let mut cells = vec![name.to_string(), format!("{seq_secs:.2}")];
         for &p in &ps {
             eprintln!("[{name}] p={p} ...");
-            let out = MuDbscanD::new(*params, DistConfig::new(p)).run(dataset).unwrap();
+            let out = Runner::new(*params).ranks(p).run(dataset).expect("distributed run");
             assert_eq!(out.clustering.n_clusters, seq.clustering.n_clusters, "{name} p={p}");
-            let sp = seq_secs / out.runtime_secs;
+            let runtime_secs = match out.details {
+                RunDetails::Distributed { runtime_secs, .. } => runtime_secs,
+                ref other => panic!("expected Distributed details, got {other:?}"),
+            };
+            let sp = seq_secs / runtime_secs;
             max_speedup = max_speedup.max(sp);
             cells.push(format!("{sp:.1}x"));
         }

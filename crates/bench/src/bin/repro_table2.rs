@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Table II reproduction: sequential runtime of R-DBSCAN, G-DBSCAN,
 //! GridDBSCAN and μDBSCAN on the eight dataset analogues, plus the
 //! number of micro-clusters and the % of queries saved.
@@ -12,6 +9,7 @@
 use baselines::{GDbscan, GridDbscan, RDbscan};
 use bench::{banner, secs, timed, SEED};
 use metrics::Table;
+use mudbscan::prelude::{RunDetails, Runner};
 
 /// Paper row: (R-DBSCAN s, G-DBSCAN s, GridDBSCAN s, μDBSCAN s, m, %saved).
 const PAPER: &[(&str, &str, &str, &str, &str, &str, &str)] = &[
@@ -55,7 +53,12 @@ fn main() {
         let (r_out, r_secs) = timed(|| RDbscan::new(params).run(&dataset));
         let (g_out, g_secs) = timed(|| GDbscan::new(params).run(&dataset));
         let (grid_res, grid_secs) = timed(|| GridDbscan::new(params).run(&dataset));
-        let (mu_out, mu_secs) = timed(|| mudbscan::MuDbscan::new(params).run(&dataset));
+        let (mu_out, mu_secs) =
+            timed(|| Runner::new(params).run(&dataset).expect("sequential run"));
+        let mc_count = match mu_out.details {
+            RunDetails::Sequential { mc_count, .. } => mc_count,
+            ref other => panic!("expected Sequential details, got {other:?}"),
+        };
 
         // All exact algorithms must agree (cheap structural check; full
         // exactness is covered by the test suite).
@@ -82,7 +85,7 @@ fn main() {
             secs(g_secs),
             grid_cell,
             secs(mu_secs),
-            mu_out.mc_count.to_string(),
+            mc_count.to_string(),
             format!("{:.2}%", mu_out.counters.pct_queries_saved()),
             format!("{:.2}x", r_secs / mu_secs),
         ]);

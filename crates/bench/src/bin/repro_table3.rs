@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Table III reproduction: percentage split-up of μDBSCAN's execution
 //! time over its four steps.
 //!
@@ -10,6 +7,7 @@
 
 use bench::{banner, SEED};
 use metrics::Table;
+use mudbscan::prelude::Runner;
 
 const PAPER: &[(&str, &str, &str, &str, &str)] = &[
     ("3DSRN", "31.49%", "0.08%", "10.06%", "63.09%"),
@@ -29,7 +27,7 @@ fn main() {
 
     // Two profiles: the paper-faithful per-member post-processing scan
     // (Algorithm 7 as written) and this implementation's MC-granularity
-    // skip (see MuDbscan::disable_post_core_mc_skip).
+    // skip (see Runner::disable_post_core_mc_skip).
     for (label, faithful) in [
         ("paper-faithful Algorithm 7 (per-member scan)", true),
         ("optimised (MC-granularity skip)", false),
@@ -48,9 +46,10 @@ fn main() {
             }
             let dataset = spec.generate(SEED);
             eprintln!("[{} / {label}] ...", spec.name);
-            let mut alg = mudbscan::MuDbscan::new(spec.params);
-            alg.disable_post_core_mc_skip = faithful;
-            let out = alg.run(&dataset);
+            let out = Runner::new(spec.params)
+                .disable_post_core_mc_skip(faithful)
+                .run(&dataset)
+                .expect("sequential run");
             let pct = |name: &str| {
                 let total = out.phases.total_secs();
                 if total > 0.0 {

@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Table IV reproduction: peak memory consumption of the four sequential
 //! algorithms (deterministic deep-size accounting of each algorithm's
 //! structures; see metrics::mem).
@@ -13,6 +10,7 @@ use baselines::{GDbscan, GridDbscan, RDbscan};
 use bench::{banner, SEED};
 use metrics::mem::human_bytes;
 use metrics::Table;
+use mudbscan::prelude::{RunDetails, Runner};
 
 const PAPER: &[(&str, &str, &str, &str, &str)] = &[
     ("3DSRN", "125 MB", "50 MB", "458 MB", "158 MB"),
@@ -42,7 +40,11 @@ fn main() {
 
         let r = RDbscan::new(params).run(&dataset).peak_heap_bytes;
         let g = GDbscan::new(params).run(&dataset).peak_heap_bytes;
-        let mu = mudbscan::MuDbscan::new(params).run(&dataset).peak_heap_bytes;
+        let mu_out = Runner::new(params).run(&dataset).expect("sequential run");
+        let mu = match mu_out.details {
+            RunDetails::Sequential { peak_heap_bytes, .. } => peak_heap_bytes,
+            ref other => panic!("expected Sequential details, got {other:?}"),
+        };
         let (grid_str, ratio) = match GridDbscan::new(params).run(&dataset) {
             Ok(out) => (
                 human_bytes(out.peak_heap_bytes),

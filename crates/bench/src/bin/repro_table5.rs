@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Table V reproduction: distributed runtime on 32 (simulated) ranks —
 //! PDSDBSCAN-D, GridDBSCAN-D, HPDBSCAN, RP-DBSCAN and μDBSCAN-D.
 //!
@@ -9,9 +6,10 @@
 //! ```
 
 use bench::{banner, secs, timed, SEED};
-use dist::{DistConfig, GridDbscanD, HpDbscan, MuDbscanD, PdsDbscanD, RpDbscan};
+use dist::{DistConfig, GridDbscanD, HpDbscan, PdsDbscanD, RpDbscan};
 use geom::DbscanParams;
 use metrics::Table;
+use mudbscan::prelude::{RunDetails, Runner};
 
 const RANKS: usize = 32;
 
@@ -98,8 +96,11 @@ fn main() {
         eprintln!("[{name}] n={n} d={d} ...");
         let cfg = DistConfig::new(RANKS);
 
-        let mu = MuDbscanD::new(params, cfg).run(&dataset).expect("μDBSCAN-D must run");
-        let mu_t = mu.runtime_secs;
+        let mu = Runner::new(params).ranks(RANKS).run(&dataset).expect("μDBSCAN-D must run");
+        let mu_t = match mu.details {
+            RunDetails::Distributed { runtime_secs, .. } => runtime_secs,
+            ref other => panic!("expected Distributed details, got {other:?}"),
+        };
 
         let (pds_cell, pds_t) = if wl.paper_ran_pds {
             let pds = PdsDbscanD::new(params, cfg).run(&dataset).expect("PDSDBSCAN-D must run");

@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Table VI reproduction: μDBSCAN-D runtime with increasing core counts
 //! (32 → 64 → 128) on the two largest workloads.
 //!
@@ -9,9 +6,9 @@
 //! ```
 
 use bench::{banner, secs, SEED};
-use dist::{DistConfig, MuDbscanD};
 use geom::DbscanParams;
 use metrics::Table;
+use mudbscan::prelude::{RunDetails, Runner};
 
 const PAPER: &[(&str, &str, &str, &str)] = &[
     ("FOF500M3D", "4229.81", "2641.03", "1800.62"),
@@ -36,12 +33,15 @@ fn main() {
         let mut runtimes = Vec::new();
         let mut clusters = None;
         for p in [32usize, 64, 128] {
-            let out = MuDbscanD::new(*params, DistConfig::new(p)).run(dataset).unwrap();
+            let out = Runner::new(*params).ranks(p).run(dataset).expect("distributed run");
             match clusters {
                 None => clusters = Some(out.clustering.n_clusters),
                 Some(k) => assert_eq!(k, out.clustering.n_clusters, "{name} p={p}"),
             }
-            runtimes.push(out.runtime_secs);
+            match out.details {
+                RunDetails::Distributed { runtime_secs, .. } => runtimes.push(runtime_secs),
+                ref other => panic!("expected Distributed details, got {other:?}"),
+            }
         }
         ours.row(&[
             name.to_string(),

@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Table VII reproduction: percentage split-up of μDBSCAN-D's phases
 //! (including the merge) on 32 simulated ranks.
 //!
@@ -9,9 +6,9 @@
 //! ```
 
 use bench::{banner, SEED};
-use dist::{DistConfig, MuDbscanD};
 use geom::DbscanParams;
 use metrics::Table;
+use mudbscan::prelude::{RunDetails, Runner};
 
 const PAPER: &[(&str, &str, &str, &str, &str, &str)] = &[
     ("FOF28M14D", "4.19%", "1.04%", "80.94%", "8.52%", "3.88%"),
@@ -43,10 +40,13 @@ fn main() {
 
     for (name, dataset, params) in &workloads {
         eprintln!("[{name}] ...");
-        let out = MuDbscanD::new(*params, DistConfig::new(32)).run(dataset).unwrap();
+        let out = Runner::new(*params).ranks(32).run(dataset).expect("distributed run");
         // Percentages over the reported runtime (partitioning excluded,
         // as in the paper).
-        let total = out.runtime_secs;
+        let total = match out.details {
+            RunDetails::Distributed { runtime_secs, .. } => runtime_secs,
+            ref other => panic!("expected Distributed details, got {other:?}"),
+        };
         let pct = |phase: &str| format!("{:.2}%", 100.0 * out.phases.secs(phase) / total);
         ours.row(&[
             name.to_string(),

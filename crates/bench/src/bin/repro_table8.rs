@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Table VIII reproduction: per-step execution time and speedup of
 //! μDBSCAN-D (32 ranks) over sequential μDBSCAN on the MPAGD8M3D
 //! analogue.
@@ -10,9 +7,9 @@
 //! ```
 
 use bench::{banner, secs, SEED};
-use dist::{DistConfig, MuDbscanD};
 use geom::DbscanParams;
 use metrics::Table;
+use mudbscan::prelude::{RunDetails, Runner};
 
 const PAPER: &[(&str, &str, &str, &str)] = &[
     ("tree construction", "157.46", "1.89", "83.12"),
@@ -34,9 +31,9 @@ fn main() {
     let params = DbscanParams::new(0.8, 5);
 
     eprintln!("[sequential] ...");
-    let seq = mudbscan::MuDbscan::new(params).run(&dataset);
+    let seq = Runner::new(params).run(&dataset).expect("sequential run");
     eprintln!("[distributed p=32] ...");
-    let dist = MuDbscanD::new(params, DistConfig::new(32)).run(&dataset).unwrap();
+    let dist = Runner::new(params).ranks(32).run(&dataset).expect("distributed run");
     assert_eq!(seq.clustering.n_clusters, dist.clustering.n_clusters);
 
     let steps = [
@@ -60,7 +57,10 @@ fn main() {
     let merge = dist.phases.secs("merging");
     ours.row(&["merging".into(), "-".into(), secs(merge), "-".into()]);
     let seq_total = seq.phases.total_secs();
-    let dist_total = dist.runtime_secs;
+    let dist_total = match dist.details {
+        RunDetails::Distributed { runtime_secs, .. } => runtime_secs,
+        ref other => panic!("expected Distributed details, got {other:?}"),
+    };
     ours.row(&[
         "total".into(),
         secs(seq_total),

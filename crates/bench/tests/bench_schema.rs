@@ -1,4 +1,4 @@
-//! Validate the committed `BENCH_PR5.json` trajectory against the schema
+//! Validate the committed `BENCH_PR6.json` trajectory against the schema
 //! documented in `docs/BENCH_SCHEMA.md`.
 //!
 //! The CI perf-smoke job points `BENCH_SCHEMA_FILE` at a freshly emitted
@@ -35,7 +35,7 @@ fn trajectory_path() -> std::path::PathBuf {
         return p.into();
     }
     // crates/bench -> repository root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json")
 }
 
 fn get_f64(v: &Json, key: &str) -> f64 {
@@ -47,9 +47,9 @@ fn committed_trajectory_matches_schema() {
     let path = trajectory_path();
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let root = Json::parse(&text).expect("BENCH_PR5.json must be valid JSON");
+    let root = Json::parse(&text).expect("BENCH_PR6.json must be valid JSON");
 
-    assert_eq!(get_f64(&root, "schema_version"), 4.0, "schema_version must be 4");
+    assert_eq!(get_f64(&root, "schema_version"), 5.0, "schema_version must be 5");
     assert_eq!(get_f64(&root, "seed"), 2019.0, "pinned seed");
     let points_per_workload = get_f64(&root, "points_per_workload");
     assert!(points_per_workload >= 100.0);
@@ -119,6 +119,12 @@ fn committed_trajectory_matches_schema() {
             assert!(
                 p50 <= p95 && p95 <= p99 && p99 <= max,
                 "{ctx}: percentiles must be monotone (p50 {p50} p95 {p95} p99 {p99} max {max})"
+            );
+            // Schema v5: the leaf kernels charge every exact point–point
+            // distance evaluation to query/leaf_evals.
+            assert!(
+                hists.iter().any(|(k, _)| k == "query/leaf_evals"),
+                "{ctx}: query/leaf_evals histogram missing (schema v5)"
             );
             // Shared-memory parallel runs carry the parallel-build
             // critical path (schema v2).

@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Registry audit: every obs key emitted by an instrumented full run
 //! must be documented in `docs/BENCH_SCHEMA.md`.
 //!
@@ -56,9 +53,9 @@ fn every_emitted_key_is_documented() {
     let data = spec.generate_n(600, 2019);
     obs::reset();
     obs::enable();
-    let _ = MuDbscan::new(spec.params).run(&data);
-    let _ = ParMuDbscan::new(spec.params, 2).run(&data);
-    let _ = MuDbscanD::new(spec.params, DistConfig::new(2)).run(&data).expect("dist run");
+    let _ = MuDbscan::from_params(spec.params).run(&data);
+    let _ = ParMuDbscan::from_params(spec.params, 2).run(&data);
+    let _ = MuDbscanD::from_params(spec.params, DistConfig::new(2)).run(&data).expect("dist run");
     obs::disable();
     let report = obs::take_report();
     obs::reset();

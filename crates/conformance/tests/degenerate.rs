@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Degenerate-input audit: `n = 0`, `n < MinPts`, and all-points-identical
 //! at n ≥ 10⁴, pushed through micro-cluster construction (sequential and
 //! parallel), `MuDbscan`, `ParMuDbscan` and `MuDbscanD`.
@@ -22,15 +19,15 @@ fn params() -> DbscanParams {
 
 /// Run every algorithm family and hand each clustering to `verify`.
 fn all_algorithms(data: &Dataset, params: &DbscanParams, mut verify: impl FnMut(&str, Clustering)) {
-    verify("mu-seq", MuDbscan::new(*params).run(data).clustering);
+    verify("mu-seq", MuDbscan::from_params(*params).run(data).clustering);
     for threads in [1, 4] {
         verify(
             &format!("mu-par/t{threads}"),
-            ParMuDbscan::new(*params, threads).run(data).clustering,
+            ParMuDbscan::from_params(*params, threads).run(data).clustering,
         );
         verify(
             &format!("mu-par/t{threads}/seq-build"),
-            ParMuDbscan::new(*params, threads)
+            ParMuDbscan::from_params(*params, threads)
                 .with_options(BuildOptions::default())
                 .run(data)
                 .clustering,
@@ -39,7 +36,7 @@ fn all_algorithms(data: &Dataset, params: &DbscanParams, mut verify: impl FnMut(
     for ranks in [1, 4] {
         verify(
             &format!("mu-dist/r{ranks}"),
-            MuDbscanD::new(*params, DistConfig::new(ranks))
+            MuDbscanD::from_params(*params, DistConfig::new(ranks))
                 .run(data)
                 .expect("dist run on degenerate input")
                 .clustering,

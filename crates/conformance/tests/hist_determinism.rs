@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Determinism of the obs histograms at the conformance level.
 //!
 //! The histogram layer promises *exact, order-independent merges*: every
@@ -93,17 +90,19 @@ fn seq_and_par_t1_histograms_agree() {
         let params = DbscanParams::new(0.6, 5);
 
         let seq = hists_of(|| {
-            MuDbscan::new(params).run(&data);
+            MuDbscan::from_params(params).run(&data);
         });
         // `with_options(BuildOptions::default())` puts t=1 on the
         // sequential build path, making the whole pipeline step-for-step
         // comparable to `MuDbscan`.
         let par = hists_of(|| {
-            ParMuDbscan::new(params, 1).with_options(BuildOptions::default()).run(&data);
+            ParMuDbscan::from_params(params, 1).with_options(BuildOptions::default()).run(&data);
         });
 
         let label = family.as_str();
-        for key in ["query/node_visits", "query/candidates", "rtree/bulk_load_entries"] {
+        for key in
+            ["query/node_visits", "query/candidates", "query/leaf_evals", "rtree/bulk_load_entries"]
+        {
             assert_eq!(
                 hist(&seq, key),
                 hist(&par, key),
@@ -145,7 +144,7 @@ fn par_query_histograms_identical_across_thread_counts() {
         .into_iter()
         .map(|threads| {
             let h = hists_of(|| {
-                ParMuDbscan::new(params, threads).run(&data);
+                ParMuDbscan::from_params(params, threads).run(&data);
             });
             (threads, h)
         })
@@ -153,7 +152,9 @@ fn par_query_histograms_identical_across_thread_counts() {
 
     let (_, base) = &runs[0];
     for (threads, h) in &runs[1..] {
-        for key in ["query/node_visits", "query/candidates", "rtree/bulk_load_entries"] {
+        for key in
+            ["query/node_visits", "query/candidates", "query/leaf_evals", "rtree/bulk_load_entries"]
+        {
             let (a, b) = (hist(base, key), hist(h, key));
             assert_eq!(a, b, "t={threads}: histogram {key} drifted from t=1");
             assert!(a.count() > 0, "{key} must have samples");

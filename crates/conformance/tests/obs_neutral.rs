@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Instrumentation must be behaviour-neutral: the `obs` spans and
 //! counters woven through the hot paths only read clocks and write to
 //! their own maps, so clustering output with collection **on** must be
@@ -66,7 +63,7 @@ fn assert_neutral(label: &str, f: impl Fn() -> Clustering) {
 fn sequential_mudbscan_is_obs_neutral() {
     let data = seeded_dataset();
     let params = DbscanParams::new(0.6, 5);
-    assert_neutral("mudbscan_seq", || MuDbscan::new(params).run(&data).clustering);
+    assert_neutral("mudbscan_seq", || MuDbscan::from_params(params).run(&data).clustering);
 }
 
 #[test]
@@ -75,7 +72,7 @@ fn parallel_mudbscan_is_obs_neutral() {
     let params = DbscanParams::new(0.6, 5);
     for threads in [1, 4] {
         assert_neutral(&format!("par_mudbscan_t{threads}"), || {
-            ParMuDbscan::new(params, threads).run(&data).clustering
+            ParMuDbscan::from_params(params, threads).run(&data).clustering
         });
     }
 }
@@ -86,7 +83,10 @@ fn distributed_mudbscan_is_obs_neutral() {
     let params = DbscanParams::new(0.6, 5);
     for ranks in [1, 4] {
         assert_neutral(&format!("mudbscan_d_p{ranks}"), || {
-            MuDbscanD::new(params, DistConfig::new(ranks)).run(&data).expect("dist run").clustering
+            MuDbscanD::from_params(params, DistConfig::new(ranks))
+                .run(&data)
+                .expect("dist run")
+                .clustering
         });
     }
 }

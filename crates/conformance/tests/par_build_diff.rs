@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Differential suite for the tiled parallel micro-cluster builder
 //! (`mcs::build_micro_clusters_par`), over the same randomized dataset
 //! families the main conformance sweep uses. Three properties per case:
@@ -91,7 +88,7 @@ fn check_case(
 
     // Downstream exactness on top of the parallel build.
     let reference = naive_dbscan(&data, &params);
-    let out = ParMuDbscan::new(params, 2).run(&data);
+    let out = ParMuDbscan::from_params(params, 2).run(&data);
     let rep = check_exact(&out.clustering, &reference, &data, &params);
     prop_assert!(rep.is_exact(), "{}: parallel-build clustering inexact: {:?}", test, rep);
     Ok(())
@@ -148,8 +145,9 @@ fn seq_and_par_t1_counters_agree() {
         let data = Dataset::from_rows(&spec.rows());
         let params = DbscanParams::new(0.6, 5);
 
-        let seq = MuDbscan::new(params).run(&data);
-        let par = ParMuDbscan::new(params, 1).with_options(BuildOptions::default()).run(&data);
+        let seq = MuDbscan::from_params(params).run(&data);
+        let par =
+            ParMuDbscan::from_params(params, 1).with_options(BuildOptions::default()).run(&data);
         let par_counters = par.counters.snapshot();
 
         let label = family.as_str();
@@ -167,6 +165,20 @@ fn seq_and_par_t1_counters_agree() {
             seq.counters.queries_saved(),
             par_counters.queries_saved(),
             "{label}: queries_saved drifted between seq and par t1"
+        );
+        // The best-first + batched-leaf query path must charge the exact
+        // same distance-test totals as well: the visited node set (and so
+        // every per-entry evaluation) is pruning-determined, not
+        // traversal-order-determined.
+        assert_eq!(
+            seq.counters.dist_computations(),
+            par_counters.dist_computations(),
+            "{label}: dist_computations drifted between seq and par t1"
+        );
+        assert_eq!(
+            seq.counters.union_ops(),
+            par_counters.union_ops(),
+            "{label}: union_ops drifted between seq and par t1"
         );
     }
 }

@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! The `stream` and `optics` front-ends now build their μR-tree with the
 //! tiled parallel constructor when the full dataset is available up
 //! front. Neither algorithm's *output* may depend on which construction
@@ -24,8 +21,8 @@ fn optics_parallel_build_output_equals_sequential_build() {
         let data = Dataset::from_rows(&spec.rows());
         let params = DbscanParams::new(0.6, 5);
 
-        let par = Optics::new(params).run(&data); // parallel build default
-        let seq = Optics::new(params).with_options(BuildOptions::default()).run(&data);
+        let par = Optics::from_params(params).run(&data); // parallel build default
+        let seq = Optics::from_params(params).with_options(BuildOptions::default()).run(&data);
 
         let label = family.as_str();
         assert_eq!(par.order, seq.order, "{label}: OPTICS order depends on the build path");
@@ -38,7 +35,7 @@ fn optics_parallel_build_output_equals_sequential_build() {
 fn optics_parallel_build_extraction_stays_exact() {
     let spec = DatasetSpec { family: FAMILIES[0], n: 250, dim: 3, seed: 7 };
     let data = Dataset::from_rows(&spec.rows());
-    let out = Optics::new(DbscanParams::new(0.8, 5)).run(&data);
+    let out = Optics::from_params(DbscanParams::new(0.8, 5)).run(&data);
     for eps_prime in [0.4, 0.8] {
         let got = optics::extract_dbscan(&out, &data, eps_prime);
         let params = DbscanParams::new(eps_prime, 5);
@@ -56,7 +53,7 @@ fn stream_bulk_load_equals_incremental_ingestion() {
         let params = DbscanParams::new(0.6, 5);
 
         let mut bulk = StreamingMuDbscan::from_dataset(&data, params);
-        let mut incr = StreamingMuDbscan::new(data.dim(), params);
+        let mut incr = StreamingMuDbscan::empty(data.dim(), params);
         incr.extend_from(&data);
 
         let a = bulk.snapshot();

@@ -60,8 +60,11 @@ pub struct MuDbscanOutput {
 impl MuDbscan {
     /// New instance with the given density parameters and default build
     /// options.
-    #[deprecated(note = "use mudbscan::prelude::Runner::new(params) instead")]
-    pub fn new(params: DbscanParams) -> Self {
+    ///
+    /// This is the low-level entry point used by the facade and by crates
+    /// that cannot depend on `mudbscan` (e.g. `dist`); applications should
+    /// prefer `mudbscan::prelude::Runner::new(params)`.
+    pub fn from_params(params: DbscanParams) -> Self {
         Self {
             params: Some(params),
             opts: BuildOptions::default(),
@@ -265,6 +268,10 @@ pub fn process_rem_points(
         if obs::enabled() {
             obs::record_hist("query/node_visits", cost.nodes_visited.max(1));
             obs::record_hist("query/candidates", nbhrs.len() as u64);
+            // Leaf entries whose exact distance the batched kernels
+            // evaluated — the numerator of the kernel-efficiency ratio
+            // (leaf_evals / candidates) tracked since schema v5.
+            obs::record_hist("query/leaf_evals", cost.candidates);
         }
 
         if nbhrs.len() < params.min_pts {
@@ -422,7 +429,6 @@ pub fn post_processing_noise(state: &mut WorkingState, counters: &Counters) {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use crate::clustering::check_exact;
@@ -431,7 +437,7 @@ mod tests {
     fn check_dataset(rows: Vec<Vec<f64>>, eps: f64, min_pts: usize) {
         let data = Dataset::from_rows(&rows);
         let params = DbscanParams::new(eps, min_pts);
-        let out = MuDbscan::new(params).run(&data);
+        let out = MuDbscan::from_params(params).run(&data);
         let reference = naive_dbscan(&data, &params);
         let rep = check_exact(&out.clustering, &reference, &data, &params);
         assert!(
@@ -524,7 +530,7 @@ mod tests {
     fn saves_queries_on_dense_data() {
         let data = Dataset::from_rows(&grid(20, 0.1));
         let params = DbscanParams::new(0.5, 5);
-        let out = MuDbscan::new(params).run(&data);
+        let out = MuDbscan::from_params(params).run(&data);
         assert!(
             out.counters.pct_queries_saved() > 50.0,
             "dense data should save most queries, saved {:.1}%",
@@ -540,13 +546,13 @@ mod tests {
     fn promotion_ablation_stays_exact() {
         let data = Dataset::from_rows(&blobs());
         let params = DbscanParams::new(0.5, 5);
-        let mut alg = MuDbscan::new(params);
+        let mut alg = MuDbscan::from_params(params);
         alg.disable_dynamic_promotion = true;
         let out = alg.run(&data);
         let reference = naive_dbscan(&data, &params);
         assert!(check_exact(&out.clustering, &reference, &data, &params).is_exact());
         // Without promotion at least as many queries are executed.
-        let with = MuDbscan::new(params).run(&data);
+        let with = MuDbscan::from_params(params).run(&data);
         assert!(out.counters.range_queries() >= with.counters.range_queries());
     }
 
@@ -554,13 +560,13 @@ mod tests {
     fn paper_faithful_postprocessing_stays_exact() {
         let data = Dataset::from_rows(&blobs());
         let params = DbscanParams::new(0.5, 5);
-        let mut alg = MuDbscan::new(params);
+        let mut alg = MuDbscan::from_params(params);
         alg.disable_post_core_mc_skip = true;
         let out = alg.run(&data);
         let reference = naive_dbscan(&data, &params);
         assert!(check_exact(&out.clustering, &reference, &data, &params).is_exact());
         // Identical clustering to the optimised path.
-        let opt = MuDbscan::new(params).run(&data);
+        let opt = MuDbscan::from_params(params).run(&data);
         assert_eq!(out.clustering, opt.clustering);
     }
 
@@ -593,7 +599,7 @@ mod tests {
         ];
         let data = Dataset::from_rows(&rows);
         let params = DbscanParams::new(1.0, 5);
-        let out = MuDbscan::new(params).run(&data);
+        let out = MuDbscan::from_params(params).run(&data);
 
         // The scenario actually exercised the promotion path: only p and x
         // ran neighbourhood queries; a, b, c, q were all saved by wndq tags.
@@ -614,7 +620,7 @@ mod tests {
         // where q instead becomes core through its own later query).
         let reference = naive_dbscan(&data, &params);
         assert!(check_exact(&out.clustering, &reference, &data, &params).is_exact());
-        let mut no_promo = MuDbscan::new(params);
+        let mut no_promo = MuDbscan::from_params(params);
         no_promo.disable_dynamic_promotion = true;
         let out2 = no_promo.run(&data);
         assert!(check_exact(&out2.clustering, &reference, &data, &params).is_exact());
@@ -623,7 +629,7 @@ mod tests {
     #[test]
     fn empty_and_singleton() {
         let data = Dataset::from_rows(&[vec![1.0, 2.0]]);
-        let out = MuDbscan::new(DbscanParams::new(0.5, 2)).run(&data);
+        let out = MuDbscan::from_params(DbscanParams::new(0.5, 2)).run(&data);
         assert_eq!(out.clustering.n_clusters, 0);
         assert!(out.clustering.is_noise(0));
     }

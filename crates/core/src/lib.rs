@@ -32,7 +32,7 @@
 //!     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1], // a small blob
 //!     vec![9.0, 9.0],                                  // an outlier
 //! ]);
-//! let out = MuDbscan::new(DbscanParams::new(0.5, 3)).run(&data);
+//! let out = MuDbscan::from_params(DbscanParams::new(0.5, 3)).run(&data);
 //! assert_eq!(out.clustering.n_clusters, 1);
 //! assert!(out.clustering.is_noise(3));
 //! ```

@@ -114,8 +114,10 @@ impl ParMuDbscan {
     /// New instance with `threads` worker threads. Uses the tiled parallel
     /// micro-cluster builder; override with [`ParMuDbscan::with_options`]
     /// (e.g. `BuildOptions::default()` for the sequential scan).
-    #[deprecated(note = "use mudbscan::prelude::Runner::new(params).threads(threads) instead")]
-    pub fn new(params: DbscanParams, threads: usize) -> Self {
+    ///
+    /// Low-level entry point; applications should prefer
+    /// `mudbscan::prelude::Runner::new(params).threads(threads)`.
+    pub fn from_params(params: DbscanParams, threads: usize) -> Self {
         assert!(threads >= 1);
         Self { params, opts: BuildOptions { parallel: true, ..Default::default() }, threads }
     }
@@ -266,6 +268,10 @@ impl ParMuDbscan {
                     if obs::enabled() {
                         obs::record_hist("query/node_visits", cost.nodes_visited.max(1));
                         obs::record_hist("query/candidates", nbhrs.len() as u64);
+                        // Same key as the sequential site: leaf_evals is a
+                        // function of the visited node set, so it stays
+                        // bit-identical across thread counts.
+                        obs::record_hist("query/leaf_evals", cost.candidates);
                     }
 
                     if nbhrs.len() < params.min_pts {
@@ -503,7 +509,6 @@ fn parallel_map_chunks<T: Send>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use crate::clustering::check_exact;
@@ -533,7 +538,7 @@ mod tests {
         let params = DbscanParams::new(0.6, 5);
         let reference = naive_dbscan(&data, &params);
         for threads in [1, 2, 4, 8] {
-            let out = ParMuDbscan::new(params, threads).run(&data);
+            let out = ParMuDbscan::from_params(params, threads).run(&data);
             let rep = check_exact(&out.clustering, &reference, &data, &params);
             assert!(rep.is_exact(), "threads={threads}: {rep:?}");
         }
@@ -545,8 +550,9 @@ mod tests {
         // (not just the clustering) must match `MuDbscan` exactly.
         let data = blobs(9);
         let params = DbscanParams::new(0.8, 4);
-        let seq = crate::MuDbscan::new(params).run(&data);
-        let par = ParMuDbscan::new(params, 4).with_options(BuildOptions::default()).run(&data);
+        let seq = crate::MuDbscan::from_params(params).run(&data);
+        let par =
+            ParMuDbscan::from_params(params, 4).with_options(BuildOptions::default()).run(&data);
         assert!(par.build_stats.is_none(), "default BuildOptions must select the sequential build");
         assert_eq!(par.clustering.n_clusters, seq.clustering.n_clusters);
         assert_eq!(par.clustering.is_core, seq.clustering.is_core);
@@ -560,9 +566,10 @@ mod tests {
         // clustering it feeds must still be canon-identical to MuDbscan.
         let data = blobs(9);
         let params = DbscanParams::new(0.8, 4);
-        let seq = crate::MuDbscan::new(params).run(&data);
-        let par = ParMuDbscan::new(params, 4).run(&data);
-        let stats = par.build_stats.expect("ParMuDbscan::new must default to the parallel build");
+        let seq = crate::MuDbscan::from_params(params).run(&data);
+        let par = ParMuDbscan::from_params(params, 4).run(&data);
+        let stats =
+            par.build_stats.expect("ParMuDbscan::from_params must default to the parallel build");
         assert!(stats.tiles > 0);
         assert_eq!(par.clustering.n_clusters, seq.clustering.n_clusters);
         assert_eq!(par.clustering.is_core, seq.clustering.is_core);
@@ -575,9 +582,9 @@ mod tests {
         // quantities must not.
         let data = blobs(33);
         let params = DbscanParams::new(0.5, 4);
-        let first = ParMuDbscan::new(params, 4).run(&data);
+        let first = ParMuDbscan::from_params(params, 4).run(&data);
         for _ in 0..5 {
-            let out = ParMuDbscan::new(params, 4).run(&data);
+            let out = ParMuDbscan::from_params(params, 4).run(&data);
             assert_eq!(out.clustering.n_clusters, first.clustering.n_clusters);
             assert_eq!(out.clustering.is_core, first.clustering.is_core);
             assert_eq!(out.clustering.noise_count(), first.clustering.noise_count());
@@ -620,7 +627,7 @@ mod tests {
         let reference = naive_dbscan(&data, &params);
         let threads = std::thread::available_parallelism().map_or(8, |p| p.get().max(8));
         for rep in 0..50 {
-            let out = ParMuDbscan::new(params, threads).run(&data);
+            let out = ParMuDbscan::from_params(params, threads).run(&data);
             let rep_report = check_exact(&out.clustering, &reference, &data, &params);
             assert!(
                 rep_report.is_exact(),
@@ -634,7 +641,7 @@ mod tests {
     #[test]
     fn counters_and_phases_populated() {
         let data = blobs(5);
-        let out = ParMuDbscan::new(DbscanParams::new(0.6, 5), 3).run(&data);
+        let out = ParMuDbscan::from_params(DbscanParams::new(0.6, 5), 3).run(&data);
         assert!(out.counters.range_queries() > 0);
         assert!(out.counters.union_ops() > 0);
         assert!(out.phases.total_secs() > 0.0);

@@ -69,7 +69,6 @@ pub(crate) fn knee_of(curve: &[f64]) -> Option<f64> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use crate::{naive_dbscan, MuDbscan};
@@ -110,7 +109,7 @@ mod tests {
         let eps = suggest_eps(&data, min_pts, 1).expect("knee must exist");
         assert!(eps > 0.0);
         let params = DbscanParams::new(eps, min_pts);
-        let c = MuDbscan::new(params).run(&data).clustering;
+        let c = MuDbscan::from_params(params).run(&data).clustering;
         // The heuristic must find the three planted blobs (possibly
         // fragmenting slightly, but not collapsing everything).
         assert!((2..=6).contains(&c.n_clusters), "eps={eps:.3} found {} clusters", c.n_clusters);

@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Property-based exactness: for ANY dataset and ANY (ε, MinPts),
 //! μDBSCAN must produce the classical DBSCAN clustering (paper Theorem 1).
 //! This is the strongest single test in the repository.
@@ -35,7 +32,7 @@ fn clustered(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
 fn run_check(rows: Vec<Vec<f64>>, eps: f64, min_pts: usize) -> Result<(), TestCaseError> {
     let data = Dataset::from_rows(&rows);
     let params = DbscanParams::new(eps, min_pts);
-    let out = MuDbscan::new(params).run(&data);
+    let out = MuDbscan::from_params(params).run(&data);
     let reference = naive_dbscan(&data, &params);
     let rep = check_exact(&out.clustering, &reference, &data, &params);
     prop_assert!(
@@ -75,7 +72,7 @@ proptest! {
     fn parallel_exact(rows in clustered(2), eps in 0.2..2.0f64, min_pts in 2usize..7, threads in 1usize..6) {
         let data = Dataset::from_rows(&rows);
         let params = DbscanParams::new(eps, min_pts);
-        let out = mudbscan_core::ParMuDbscan::new(params, threads).run(&data);
+        let out = mudbscan_core::ParMuDbscan::from_params(params, threads).run(&data);
         let reference = naive_dbscan(&data, &params);
         let rep = check_exact(&out.clustering, &reference, &data, &params);
         prop_assert!(rep.is_exact(), "threads={threads}: {rep:?}");
@@ -85,7 +82,7 @@ proptest! {
     fn exact_without_promotion(rows in clustered(2), eps in 0.2..2.0f64, min_pts in 2usize..7) {
         let data = Dataset::from_rows(&rows);
         let params = DbscanParams::new(eps, min_pts);
-        let mut alg = MuDbscan::new(params);
+        let mut alg = MuDbscan::from_params(params);
         alg.disable_dynamic_promotion = true;
         let out = alg.run(&data);
         let reference = naive_dbscan(&data, &params);

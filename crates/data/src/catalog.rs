@@ -126,7 +126,6 @@ pub fn paper_table2_specs() -> Vec<DatasetSpec> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
 
@@ -155,7 +154,7 @@ mod tests {
         for spec in paper_table2_specs() {
             let n = 3_000.min(spec.default_n);
             let d = spec.generate_n(n, 1);
-            let out = mudbscan::MuDbscan::new(spec.params).run(&d);
+            let out = mudbscan::MuDbscan::from_params(spec.params).run(&d);
             assert!(
                 out.clustering.n_clusters >= 1,
                 "{}: no clusters at eps={}",

@@ -40,7 +40,7 @@
 //!     .map(|i| vec![0.1 * (i % 50) as f64 + 10.0 * (i / 50) as f64, 0.0])
 //!     .collect();
 //! let data = geom::Dataset::from_rows(&rows);
-//! let out = MuDbscanD::new(DbscanParams::new(0.3, 4), DistConfig::new(4))
+//! let out = MuDbscanD::from_params(DbscanParams::new(0.3, 4), DistConfig::new(4))
 //!     .run(&data)
 //!     .unwrap();
 //! assert_eq!(out.clustering.n_clusters, 2); // two strips, one per group of 50

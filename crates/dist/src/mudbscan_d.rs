@@ -60,8 +60,10 @@ pub struct MuDbscanD {
 
 impl MuDbscanD {
     /// New instance.
-    #[deprecated(note = "use mudbscan::prelude::Runner::new(params).ranks(p) instead")]
-    pub fn new(params: DbscanParams, cfg: DistConfig) -> Self {
+    ///
+    /// Low-level entry point; applications should prefer
+    /// `mudbscan::prelude::Runner::new(params).ranks(p)`.
+    pub fn from_params(params: DbscanParams, cfg: DistConfig) -> Self {
         Self { params, cfg, opts: BuildOptions::default(), faults: None }
     }
 
@@ -88,7 +90,6 @@ impl MuDbscanD {
     // The local stage drives the core constructors directly rather than
     // going through the facade — depending on `mudbscan` (the api crate)
     // here would be a dependency cycle.
-    #[allow(deprecated)]
     pub fn run(&self, data: &Dataset) -> Result<DistOutput, DistError> {
         let part =
             kd_partition(data, self.cfg.ranks, self.params.eps, self.cfg.mode, self.cfg.comm);
@@ -106,7 +107,7 @@ impl MuDbscanD {
             self.faults.as_ref(),
             move |_rank, combined, _own_n| {
                 if local_threads > 1 {
-                    let out = mudbscan::ParMuDbscan::new(params, local_threads)
+                    let out = mudbscan::ParMuDbscan::from_params(params, local_threads)
                         .with_options(opts)
                         .run(combined);
                     Ok(LocalRun {
@@ -116,7 +117,7 @@ impl MuDbscanD {
                         peak_heap_bytes: 0,
                     })
                 } else {
-                    let out = MuDbscan::new(params).with_options(opts).run(combined);
+                    let out = MuDbscan::from_params(params).with_options(opts).run(combined);
                     Ok(LocalRun {
                         clustering: out.clustering,
                         phases: out.phases,
@@ -226,7 +227,6 @@ impl GridDbscanD {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use mudbscan::{check_exact, naive_dbscan};
@@ -255,7 +255,7 @@ mod tests {
         let params = DbscanParams::new(0.7, 5);
         let reference = naive_dbscan(&data, &params);
         for p in [1, 2, 4, 7, 8] {
-            let out = MuDbscanD::new(params, DistConfig::new(p)).run(&data).unwrap();
+            let out = MuDbscanD::from_params(params, DistConfig::new(p)).run(&data).unwrap();
             let rep = check_exact(&out.clustering, &reference, &data, &params);
             assert!(rep.is_exact(), "p={p}: {rep:?}");
             assert_eq!(out.ranks, p);
@@ -301,8 +301,8 @@ mod tests {
     fn mudbscan_d_threaded_matches_sequential() {
         let data = blob_data(40);
         let params = DbscanParams::new(0.7, 5);
-        let a = MuDbscanD::new(params, DistConfig::new(4)).run(&data).unwrap();
-        let b = MuDbscanD::new(params, DistConfig::new(4).threaded()).run(&data).unwrap();
+        let a = MuDbscanD::from_params(params, DistConfig::new(4)).run(&data).unwrap();
+        let b = MuDbscanD::from_params(params, DistConfig::new(4).threaded()).run(&data).unwrap();
         assert_eq!(a.clustering, b.clustering);
     }
 
@@ -310,7 +310,7 @@ mod tests {
     fn query_savings_survive_distribution() {
         let data = blob_data(80);
         let params = DbscanParams::new(0.9, 5);
-        let out = MuDbscanD::new(params, DistConfig::new(4)).run(&data).unwrap();
+        let out = MuDbscanD::from_params(params, DistConfig::new(4)).run(&data).unwrap();
         assert!(
             out.counters.pct_queries_saved() > 20.0,
             "saved only {:.1}%",
@@ -327,12 +327,13 @@ mod tests {
         let data = blob_data(50);
         let params = DbscanParams::new(0.7, 5);
         let reference = naive_dbscan(&data, &params);
-        let out =
-            MuDbscanD::new(params, DistConfig::new(4).with_local_threads(3)).run(&data).unwrap();
+        let out = MuDbscanD::from_params(params, DistConfig::new(4).with_local_threads(3))
+            .run(&data)
+            .unwrap();
         let rep = check_exact(&out.clustering, &reference, &data, &params);
         assert!(rep.is_exact(), "{rep:?}");
         // Same clustering as single-threaded local stages.
-        let single = MuDbscanD::new(params, DistConfig::new(4)).run(&data).unwrap();
+        let single = MuDbscanD::from_params(params, DistConfig::new(4)).run(&data).unwrap();
         assert_eq!(out.clustering, single.clustering);
     }
 
@@ -340,8 +341,8 @@ mod tests {
     fn agrees_with_sequential_mudbscan() {
         let data = blob_data(45);
         let params = DbscanParams::new(0.6, 4);
-        let seq = MuDbscan::new(params).run(&data);
-        let dist = MuDbscanD::new(params, DistConfig::new(5)).run(&data).unwrap();
+        let seq = MuDbscan::from_params(params).run(&data);
+        let dist = MuDbscanD::from_params(params, DistConfig::new(5)).run(&data).unwrap();
         let rep = check_exact(&dist.clustering, &seq.clustering, &data, &params);
         assert!(rep.is_exact(), "{rep:?}");
     }

@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Exact-recovery integration tests: every fault class injected into
 //! μDBSCAN-D must leave the final clustering bit-identical to the
 //! fault-free run (the ISSUE's hard guarantee), and a crippled retry
@@ -54,9 +51,11 @@ fn run_pair(
     ranks: usize,
     faults: FaultConfig,
 ) -> (dist::DistOutput, dist::DistOutput) {
-    let clean = MuDbscanD::new(params, DistConfig::new(ranks)).run(data).unwrap();
-    let faulted =
-        MuDbscanD::new(params, DistConfig::new(ranks)).with_faults(faults).run(data).unwrap();
+    let clean = MuDbscanD::from_params(params, DistConfig::new(ranks)).run(data).unwrap();
+    let faulted = MuDbscanD::from_params(params, DistConfig::new(ranks))
+        .with_faults(faults)
+        .run(data)
+        .unwrap();
     (clean, faulted)
 }
 
@@ -154,7 +153,7 @@ fn replaying_a_plan_seed_reproduces_the_counters() {
     let params = DbscanParams::new(0.7, 5);
     let plan = FaultPlan::generate(2019, 4, &[0, 1], &[2]);
     let run = |plan: FaultPlan| {
-        MuDbscanD::new(params, DistConfig::new(4))
+        MuDbscanD::from_params(params, DistConfig::new(4))
             .with_faults(FaultConfig::new(plan))
             .run(&data)
             .unwrap()
@@ -179,14 +178,14 @@ fn dropping_merge_edges_without_retries_loses_the_border_point() {
     // test would fail).
     let data = border_bridge_data();
     let params = DbscanParams::new(0.1, 3);
-    let clean = MuDbscanD::new(params, DistConfig::new(2)).run(&data).unwrap();
+    let clean = MuDbscanD::from_params(params, DistConfig::new(2)).run(&data).unwrap();
     assert_eq!(clean.clustering.n_clusters, 2, "precondition: S∪{{x,y}} and R");
     assert_ne!(clean.clustering.labels[BORDER_ID as usize], mudbscan::NOISE);
 
     let plan = FaultPlan::new(29)
         .with(Fault::Drop { superstep: 2, from: 0, to: 0, attempts: 1 })
         .with(Fault::Drop { superstep: 2, from: 1, to: 0, attempts: 1 });
-    let faulted = MuDbscanD::new(params, DistConfig::new(2))
+    let faulted = MuDbscanD::from_params(params, DistConfig::new(2))
         .with_faults(FaultConfig::new(plan).with_retry(RetryConfig::none()))
         .run(&data)
         .unwrap();

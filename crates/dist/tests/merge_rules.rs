@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Focused tests of the distributed merge semantics on hand-built
 //! geometries where the correct cross-partition behaviour is known by
 //! construction.
@@ -17,7 +14,7 @@ fn chain_across_partition_boundary_merges() {
     let data = Dataset::from_rows(&rows);
     let params = DbscanParams::new(0.5, 3);
     for p in [2, 3, 4, 8] {
-        let out = MuDbscanD::new(params, DistConfig::new(p)).run(&data).unwrap();
+        let out = MuDbscanD::from_params(params, DistConfig::new(p)).run(&data).unwrap();
         assert_eq!(out.clustering.n_clusters, 1, "p={p}: chain split by partitioning");
         assert_eq!(out.clustering.noise_count(), 0);
     }
@@ -34,7 +31,7 @@ fn separate_blobs_stay_separate() {
     }
     let data = Dataset::from_rows(&rows);
     let params = DbscanParams::new(0.5, 4);
-    let out = MuDbscanD::new(params, DistConfig::new(4)).run(&data).unwrap();
+    let out = MuDbscanD::from_params(params, DistConfig::new(4)).run(&data).unwrap();
     assert_eq!(out.clustering.n_clusters, 2);
 }
 
@@ -56,7 +53,7 @@ fn shared_border_point_does_not_merge_clusters() {
     let reference = naive_dbscan(&data, &params);
     assert_eq!(reference.n_clusters, 2);
     for p in [2, 3, 5] {
-        let out = MuDbscanD::new(params, DistConfig::new(p)).run(&data).unwrap();
+        let out = MuDbscanD::from_params(params, DistConfig::new(p)).run(&data).unwrap();
         let rep = check_exact(&out.clustering, &reference, &data, &params);
         assert!(rep.is_exact(), "p={p}: {rep:?}");
         assert_eq!(out.clustering.n_clusters, 2, "p={p}: clusters merged via border");
@@ -84,7 +81,7 @@ fn cross_rank_noise_rescue() {
     let reference = naive_dbscan(&data, &params);
     assert!(reference.is_border(5), "test geometry: point 5 should be border");
     for p in [2, 4] {
-        let out = MuDbscanD::new(params, DistConfig::new(p)).run(&data).unwrap();
+        let out = MuDbscanD::from_params(params, DistConfig::new(p)).run(&data).unwrap();
         let rep = check_exact(&out.clustering, &reference, &data, &params);
         assert!(rep.is_exact(), "p={p}: {rep:?}");
         assert!(out.clustering.is_border(5), "p={p}: border point lost to noise");
@@ -102,7 +99,7 @@ fn duplicate_points_across_ranks() {
     let params = DbscanParams::new(0.5, 5);
     let reference = naive_dbscan(&data, &params);
     for p in [2, 5] {
-        let out = MuDbscanD::new(params, DistConfig::new(p)).run(&data).unwrap();
+        let out = MuDbscanD::from_params(params, DistConfig::new(p)).run(&data).unwrap();
         let rep = check_exact(&out.clustering, &reference, &data, &params);
         assert!(rep.is_exact(), "p={p}: {rep:?}");
         assert_eq!(out.clustering.n_clusters, 2);
@@ -116,7 +113,7 @@ fn more_ranks_than_points() {
     let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![0.2 * i as f64]).collect();
     let data = Dataset::from_rows(&rows);
     let params = DbscanParams::new(0.5, 2);
-    let out = MuDbscanD::new(params, DistConfig::new(8)).run(&data).unwrap();
+    let out = MuDbscanD::from_params(params, DistConfig::new(8)).run(&data).unwrap();
     let reference = naive_dbscan(&data, &params);
     assert!(check_exact(&out.clustering, &reference, &data, &params).is_exact());
 }

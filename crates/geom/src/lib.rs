@@ -31,11 +31,14 @@
 
 pub mod dataset;
 pub mod dist;
+pub mod kernels;
 pub mod mbr;
+pub mod soa;
 
 pub use dataset::{Dataset, DatasetBuilder, PointId};
 pub use dist::{dist_euclidean, dist_sq, within, within_sq};
 pub use mbr::Mbr;
+pub use soa::{PointBlock, SoaDataset};
 
 /// DBSCAN density parameters, shared by every algorithm in the workspace.
 ///

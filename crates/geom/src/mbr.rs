@@ -59,6 +59,13 @@ impl Mbr {
         &self.hi
     }
 
+    /// True when the box is a single point (`lo == hi` in every
+    /// dimension) — the shape of an R-tree point entry.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.lo.iter().zip(self.hi.iter()).all(|(l, h)| l == h)
+    }
+
     /// `true` iff `p` lies inside the box (inclusive bounds).
     #[inline]
     pub fn contains_point(&self, p: &[f64]) -> bool {
@@ -90,8 +97,11 @@ impl Mbr {
     }
 
     /// Squared distance from `p` to the nearest point of the box (0 when
-    /// `p` is inside). This makes box/sphere intersection exact:
-    /// the sphere `(c, r)` meets the box iff `min_dist_sq(c) <= r²`.
+    /// `p` is inside). This makes box/sphere intersection exact: the
+    /// *open* ball `(c, r)` meets the box iff `min_dist_sq(c) < r²` —
+    /// strict, matching the workspace's open-ball neighbourhood
+    /// convention, so a box whose nearest face sits exactly ε away can
+    /// never contain an ε-neighbour and must be pruned.
     #[inline]
     pub fn min_dist_sq(&self, p: &[f64]) -> f64 {
         debug_assert_eq!(p.len(), self.dim());
@@ -228,6 +238,36 @@ mod tests {
         // Ball centred at (2, 0.5): closest box point at distance 1.
         assert!(!m.intersects_sphere(&[2.0, 0.5], 1.0)); // open ball misses
         assert!(m.intersects_sphere(&[2.0, 0.5], 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn face_exactly_eps_away_is_pruned() {
+        // The ε-boundary pruning contract on an *extended* (non-point)
+        // box: when the nearest face sits exactly ε from the query, the
+        // open ε-ball cannot reach any content, so `min_dist_sq == ε²`
+        // must not pass the strict filter. All offsets are powers of two,
+        // so every quantity is exactly representable.
+        let m = Mbr::new(vec![1.0, -8.0], vec![3.0, 8.0]);
+        for eps in [0.25f64, 0.5, 1.0, 2.0] {
+            let q = [1.0 - eps, 0.0]; // face of x = 1 is exactly eps away
+            assert_eq!(m.min_dist_sq(&q), eps * eps);
+            assert!(!m.intersects_sphere(&q, eps), "face at exactly eps must be pruned");
+            assert!(m.intersects_sphere(&q, eps * (1.0 + 1e-12)));
+        }
+        // Corner case: query diagonal from a corner with per-axis gaps
+        // (3, 4) — min_dist² = 25, so ε = 5 exactly must still prune.
+        let q = [1.0 - 3.0, -8.0 - 4.0];
+        assert_eq!(m.min_dist_sq(&q), 25.0);
+        assert!(!m.intersects_sphere(&q, 5.0));
+        assert!(m.intersects_sphere(&q, 5.0 + 1e-9));
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(Mbr::point(&[1.0, 2.0]).is_degenerate());
+        assert!(!unit().is_degenerate());
+        // Degenerate in one axis only is still not a point box.
+        assert!(!Mbr::new(vec![0.0, 0.0], vec![0.0, 1.0]).is_degenerate());
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Structure-of-arrays (column-major) coordinate storage.
+//!
+//! [`Dataset`] stores points row-major — point `i`'s
+//! coordinates are contiguous — which is the right layout for handing a
+//! single point to a distance call. The ε-query hot path has the opposite
+//! access pattern: *one* query point against *many* stored points. The
+//! types here hold the same coordinates column-major — all `x₀`s
+//! contiguous, then all `x₁`s, … — so the batched kernels in
+//! [`crate::kernels`] stream unit-stride columns and autovectorize.
+//!
+//! * [`PointBlock`] — a fixed-capacity block sized for one R-tree leaf
+//!   (tens of points). Columns share one allocation at a fixed stride, so
+//!   a leaf carries exactly one heap block instead of two boxed bounds
+//!   slices per entry.
+//! * [`SoaDataset`] — a whole-dataset column view for full-scan
+//!   consumers and the kernel micro-benchmarks.
+
+use crate::kernels;
+use crate::{Dataset, Mbr};
+
+/// A fixed-capacity column-major block of points with `u32` item ids —
+/// the storage behind an R-tree point leaf.
+///
+/// Column `k` lives at `cols[k*cap .. k*cap + len]`; slots past `len`
+/// are uninitialised padding that no kernel reads. The capacity is fixed
+/// at construction (a leaf's capacity is known from the tree's fan-out
+/// config), so pushes never reallocate or re-stride.
+#[derive(Debug, Clone)]
+pub struct PointBlock {
+    dim: usize,
+    cap: usize,
+    items: Vec<u32>,
+    cols: Box<[f64]>,
+}
+
+impl PointBlock {
+    /// Empty block for `dim`-dimensional points holding up to `cap`.
+    pub fn with_capacity(dim: usize, cap: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(cap > 0, "capacity must be positive");
+        Self { dim, cap, items: Vec::with_capacity(cap), cols: vec![0.0; dim * cap].into() }
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no point is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Fixed capacity (also the column stride).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Point dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Item ids in insertion order.
+    #[inline]
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Item id of the point at row `i`.
+    #[inline]
+    pub fn item(&self, i: usize) -> u32 {
+        self.items[i]
+    }
+
+    /// Coordinate `k` of the point at row `i`.
+    #[inline]
+    pub fn coord(&self, i: usize, k: usize) -> f64 {
+        debug_assert!(i < self.len() && k < self.dim);
+        self.cols[k * self.cap + i]
+    }
+
+    /// The filled part of column `k` (unit-stride, length [`len`](Self::len)).
+    #[inline]
+    pub fn col(&self, k: usize) -> &[f64] {
+        &self.cols[k * self.cap..k * self.cap + self.len()]
+    }
+
+    /// Raw column storage plus its stride, for handing to the
+    /// [`crate::kernels`] primitives.
+    #[inline]
+    pub fn raw_cols(&self) -> (&[f64], usize) {
+        (&self.cols, self.cap)
+    }
+
+    /// Append a point. Panics when full or on a dimensionality mismatch.
+    pub fn push(&mut self, item: u32, coords: &[f64]) {
+        assert_eq!(coords.len(), self.dim, "point dimensionality mismatch");
+        let i = self.items.len();
+        assert!(i < self.cap, "PointBlock full");
+        for (k, &x) in coords.iter().enumerate() {
+            self.cols[k * self.cap + i] = x;
+        }
+        self.items.push(item);
+    }
+
+    /// Copy the point at row `i` into `buf` (which must be `dim` long).
+    pub fn write_point(&self, i: usize, buf: &mut [f64]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        for (k, b) in buf.iter_mut().enumerate() {
+            *b = self.coord(i, k);
+        }
+    }
+
+    /// Squared distance from `q` to the point at row `i` — ascending
+    /// dimension order, bit-identical to [`crate::dist_sq`] on the
+    /// row-major copy.
+    #[inline]
+    pub fn dist_sq_to(&self, i: usize, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.dim);
+        kernels::dist_sq_strided(&self.cols, self.cap, self.dim, i, q)
+    }
+
+    /// Batched squared distances from `q` to every stored point, written
+    /// to `out[..len]` with the autovectorizing column kernel.
+    #[inline]
+    pub fn dist_sq_batch(&self, q: &[f64], out: &mut [f64]) {
+        kernels::dist_sq_batch(&self.cols, self.cap, self.len(), self.dim, q, out);
+    }
+
+    /// Per-point scalar-loop variant of [`Self::dist_sq_batch`] —
+    /// bit-identical results, kept as the equivalence reference.
+    #[inline]
+    pub fn dist_sq_scalar(&self, q: &[f64], out: &mut [f64]) {
+        kernels::dist_sq_scalar(&self.cols, self.cap, self.len(), self.dim, q, out);
+    }
+
+    /// Tight bounding box of the stored points (`None` when empty).
+    pub fn mbr(&self) -> Option<Mbr> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = vec![f64::INFINITY; self.dim];
+        let mut hi = vec![f64::NEG_INFINITY; self.dim];
+        for k in 0..self.dim {
+            for &x in self.col(k) {
+                if x < lo[k] {
+                    lo[k] = x;
+                }
+                if x > hi[k] {
+                    hi[k] = x;
+                }
+            }
+        }
+        Some(Mbr::new(lo, hi))
+    }
+
+    /// Owned heap bytes (id vector plus the shared column block).
+    pub fn heap_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<u32>()
+            + self.cols.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// A whole [`Dataset`] transposed to column-major storage: column `k`
+/// occupies `cols[k*len .. (k+1)*len]`. Used by full-scan consumers and
+/// the kernel micro-benchmarks; the per-leaf analogue is [`PointBlock`].
+#[derive(Debug, Clone)]
+pub struct SoaDataset {
+    dim: usize,
+    len: usize,
+    cols: Box<[f64]>,
+}
+
+impl SoaDataset {
+    /// Transpose `data` into column-major storage.
+    pub fn from_dataset(data: &Dataset) -> Self {
+        let (dim, len) = (data.dim(), data.len());
+        let mut cols = vec![0.0; dim * len].into_boxed_slice();
+        for i in 0..len {
+            let p = data.point(i as u32);
+            for (k, &x) in p.iter().enumerate() {
+                cols[k * len + i] = x;
+            }
+        }
+        Self { dim, len, cols }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the dataset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Point dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Column `k` (all points' `k`-th coordinate, unit stride).
+    #[inline]
+    pub fn col(&self, k: usize) -> &[f64] {
+        &self.cols[k * self.len..(k + 1) * self.len]
+    }
+
+    /// Batched squared distances from `q` to every point, written to
+    /// `out[..len]`.
+    #[inline]
+    pub fn dist_sq_batch(&self, q: &[f64], out: &mut [f64]) {
+        kernels::dist_sq_batch(&self.cols, self.len, self.len, self.dim, q, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist_sq;
+
+    #[test]
+    fn point_block_round_trips() {
+        let mut b = PointBlock::with_capacity(3, 8);
+        assert!(b.is_empty());
+        assert!(b.mbr().is_none());
+        for i in 0..5u32 {
+            b.push(i * 10, &[i as f64, -(i as f64), 0.5]);
+        }
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.items(), &[0, 10, 20, 30, 40]);
+        assert_eq!(b.coord(3, 0), 3.0);
+        assert_eq!(b.coord(3, 1), -3.0);
+        let mut buf = [0.0; 3];
+        b.write_point(4, &mut buf);
+        assert_eq!(buf, [4.0, -4.0, 0.5]);
+        let m = b.mbr().unwrap();
+        assert_eq!(m.lo(), &[0.0, -4.0, 0.5]);
+        assert_eq!(m.hi(), &[4.0, 0.0, 0.5]);
+        assert!(b.heap_bytes() >= 8 * 3 * 8);
+    }
+
+    #[test]
+    fn point_block_distances_match_row_major() {
+        let mut b = PointBlock::with_capacity(2, 4);
+        let rows = [[0.0, 0.0], [3.0, 4.0], [-1.0, 2.5]];
+        for (i, r) in rows.iter().enumerate() {
+            b.push(i as u32, r);
+        }
+        let q = [1.0, -2.0];
+        let mut batch = [0.0; 3];
+        let mut scalar = [0.0; 3];
+        b.dist_sq_batch(&q, &mut batch);
+        b.dist_sq_scalar(&q, &mut scalar);
+        for i in 0..3 {
+            let want = dist_sq(&rows[i], &q);
+            assert_eq!(batch[i].to_bits(), want.to_bits());
+            assert_eq!(scalar[i].to_bits(), want.to_bits());
+            assert_eq!(b.dist_sq_to(i, &q).to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PointBlock full")]
+    fn point_block_capacity_enforced() {
+        let mut b = PointBlock::with_capacity(1, 2);
+        b.push(0, &[0.0]);
+        b.push(1, &[1.0]);
+        b.push(2, &[2.0]);
+    }
+
+    #[test]
+    fn soa_dataset_matches_rows() {
+        let data = Dataset::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]]);
+        let soa = SoaDataset::from_dataset(&data);
+        assert_eq!(soa.len(), 3);
+        assert_eq!(soa.dim(), 2);
+        assert_eq!(soa.col(0), &[0.0, 2.0, 4.0]);
+        assert_eq!(soa.col(1), &[1.0, 3.0, 5.0]);
+        let q = [1.5, -0.5];
+        let mut out = [0.0; 3];
+        soa.dist_sq_batch(&q, &mut out);
+        for i in 0..3 {
+            assert_eq!(out[i].to_bits(), dist_sq(data.point(i as u32), &q).to_bits());
+        }
+        assert!(!soa.is_empty());
+        assert!(SoaDataset::from_dataset(&Dataset::empty(2)).is_empty());
+    }
+}

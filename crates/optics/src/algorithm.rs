@@ -71,10 +71,10 @@ impl Optics {
     /// exact under either construction. Use
     /// `with_options(BuildOptions::default())` to restore the sequential
     /// Algorithm-3 scan.
-    #[deprecated(
-        note = "use mudbscan::prelude::Runner::new(params).family(Family::Optics) instead"
-    )]
-    pub fn new(params: DbscanParams) -> Self {
+    ///
+    /// Low-level entry point; applications should prefer
+    /// `mudbscan::prelude::Runner::new(params).family(Family::Optics)`.
+    pub fn from_params(params: DbscanParams) -> Self {
         Self { params, opts: BuildOptions { parallel: true, ..BuildOptions::default() } }
     }
 
@@ -234,7 +234,6 @@ pub fn extract_dbscan(out: &OpticsOutput, data: &Dataset, eps_prime: f64) -> Clu
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use mudbscan::{check_exact, naive_dbscan};
@@ -260,7 +259,7 @@ mod tests {
     #[test]
     fn ordering_covers_every_point_once() {
         let data = blobs(3);
-        let out = Optics::new(DbscanParams::new(1.0, 5)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(1.0, 5)).run(&data);
         let mut seen = vec![false; data.len()];
         for &p in &out.order {
             assert!(!seen[p as usize]);
@@ -274,7 +273,7 @@ mod tests {
     fn extraction_at_generating_eps_matches_dbscan() {
         let data = blobs(7);
         let params = DbscanParams::new(0.8, 5);
-        let out = Optics::new(params).run(&data);
+        let out = Optics::from_params(params).run(&data);
         let got = extract_dbscan(&out, &data, params.eps);
         let want = naive_dbscan(&data, &params);
         let rep = check_exact(&got, &want, &data, &params);
@@ -285,7 +284,7 @@ mod tests {
     fn extraction_below_generating_eps_matches_dbscan() {
         // ONE ordering, MANY clusterings: the whole point of OPTICS.
         let data = blobs(11);
-        let out = Optics::new(DbscanParams::new(1.2, 5)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(1.2, 5)).run(&data);
         for eps_prime in [0.4, 0.6, 0.9, 1.2] {
             let got = extract_dbscan(&out, &data, eps_prime);
             let params_prime = DbscanParams::new(eps_prime, 5);
@@ -299,7 +298,7 @@ mod tests {
     fn core_distance_characterises_core_points() {
         let data = blobs(13);
         let params = DbscanParams::new(0.9, 6);
-        let out = Optics::new(params).run(&data);
+        let out = Optics::from_params(params).run(&data);
         let reference = naive_dbscan(&data, &params);
         for p in 0..data.len() {
             let is_core = out.core_distance[p] < params.eps;
@@ -317,7 +316,7 @@ mod tests {
         let mut rows: Vec<Vec<f64>> = (0..30).map(|i| vec![0.05 * i as f64]).collect();
         rows.push(vec![50.0]);
         let data = Dataset::from_rows(&rows);
-        let out = Optics::new(DbscanParams::new(2.0, 4)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(2.0, 4)).run(&data);
         // The outlier is unreachable (INFINITY) — it is farther than ε.
         assert!(out.reachability[30].is_infinite());
         // Blob members (apart from the start) have small reachability.
@@ -330,7 +329,7 @@ mod tests {
     #[should_panic(expected = "exceeds the generating eps")]
     fn extraction_above_eps_rejected() {
         let data = blobs(1);
-        let out = Optics::new(DbscanParams::new(0.5, 5)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(0.5, 5)).run(&data);
         extract_dbscan(&out, &data, 1.0);
     }
 
@@ -338,8 +337,8 @@ mod tests {
     fn deterministic() {
         let data = blobs(21);
         let params = DbscanParams::new(0.8, 5);
-        let a = Optics::new(params).run(&data);
-        let b = Optics::new(params).run(&data);
+        let a = Optics::from_params(params).run(&data);
+        let b = Optics::from_params(params).run(&data);
         assert_eq!(a.order, b.order);
         assert_eq!(a.reachability, b.reachability);
     }

@@ -30,7 +30,7 @@
 //!     vec![0.0], vec![0.2], vec![0.4], // tight clump
 //!     vec![5.0],                       // outlier
 //! ]);
-//! let out = Optics::new(DbscanParams::new(1.0, 3)).run(&data);
+//! let out = Optics::from_params(DbscanParams::new(1.0, 3)).run(&data);
 //! assert_eq!(out.order.len(), 4);
 //! let clustering = extract_dbscan(&out, &data, 1.0);
 //! assert_eq!(clustering.n_clusters, 1);

@@ -155,7 +155,6 @@ fn build(out: &OpticsOutput, lo: usize, hi: usize, params: &TreeParams) -> Optio
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use crate::algorithm::Optics;
@@ -181,7 +180,7 @@ mod tests {
     fn hierarchy_reflects_two_density_scales() {
         let data = two_scale_data();
         // Generating eps large enough to connect A and B but not C.
-        let out = Optics::new(DbscanParams::new(3.0, 4)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(3.0, 4)).run(&data);
         let forest = cluster_tree(&out, &TreeParams { min_cluster_size: 10, ratio: 0.75 });
         // Two top-level regions: {A ∪ B} and {C} (C is a separate
         // component at eps = 3).
@@ -198,7 +197,7 @@ mod tests {
     #[test]
     fn leaves_partition_their_root() {
         let data = two_scale_data();
-        let out = Optics::new(DbscanParams::new(3.0, 4)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(3.0, 4)).run(&data);
         let forest = cluster_tree(&out, &TreeParams::default());
         for root in &forest {
             let leaves = root.leaves();
@@ -215,7 +214,7 @@ mod tests {
     fn uniform_data_yields_flat_tree() {
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![0.05 * i as f64]).collect();
         let data = Dataset::from_rows(&rows);
-        let out = Optics::new(DbscanParams::new(1.0, 4)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(1.0, 4)).run(&data);
         let forest = cluster_tree(&out, &TreeParams::default());
         assert_eq!(forest.len(), 1);
         assert!(forest[0].children.is_empty(), "uniform chain must not split");
@@ -224,7 +223,7 @@ mod tests {
     #[test]
     fn empty_and_tiny_inputs() {
         let data = Dataset::from_rows(&[vec![0.0], vec![10.0]]);
-        let out = Optics::new(DbscanParams::new(1.0, 2)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(1.0, 2)).run(&data);
         let forest = cluster_tree(&out, &TreeParams::default());
         assert!(forest.is_empty(), "two isolated points form no cluster");
     }

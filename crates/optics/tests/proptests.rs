@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Property test: one OPTICS ordering must reproduce the exact DBSCAN
 //! clustering at arbitrary extraction radii ε′ ≤ ε — the defining
 //! property of the ordering.
@@ -38,7 +35,7 @@ proptest! {
         frac in 0.3..1.0f64,
     ) {
         let data = Dataset::from_rows(&rows);
-        let out = Optics::new(DbscanParams::new(eps, min_pts)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(eps, min_pts)).run(&data);
         let eps_prime = eps * frac;
         let got = extract_dbscan(&out, &data, eps_prime);
         let params_prime = DbscanParams::new(eps_prime, min_pts);
@@ -54,7 +51,7 @@ proptest! {
         min_pts in 2usize..6,
     ) {
         let data = Dataset::from_rows(&rows);
-        let out = Optics::new(DbscanParams::new(eps, min_pts)).run(&data);
+        let out = Optics::from_params(DbscanParams::new(eps, min_pts)).run(&data);
         let got = extract_dbscan(&out, &data, eps);
         let params = DbscanParams::new(eps, min_pts);
         let want = naive_dbscan(&data, &params);

@@ -6,7 +6,7 @@
 //! build and faster to query than repeated insertion. The incremental vs
 //! STR choice is one of the ablation benches.
 
-use crate::node::{Entry, Node};
+use crate::node::{Entry, LeafData, Node};
 use crate::tree::{RTree, RTreeConfig};
 use geom::Mbr;
 
@@ -21,12 +21,13 @@ impl RTree {
         let len = entries.len();
         str_order(&mut entries, 0, dim, cfg.max_entries);
 
-        // Pack leaves.
+        // Pack leaves. Blocks get the same capacity insertion-built leaves
+        // use (max + 1) so later incremental pushes behave identically.
+        let leaf_cap = tree.leaf_cap();
         let mut level: Vec<u32> = Vec::with_capacity(entries.len() / cfg.max_entries + 1);
         let mut iter = entries.into_iter().peekable();
-        let mut buf: Vec<Entry> = Vec::with_capacity(cfg.max_entries);
         while iter.peek().is_some() {
-            buf.clear();
+            let mut buf: Vec<Entry> = Vec::with_capacity(cfg.max_entries);
             while buf.len() < cfg.max_entries {
                 match iter.next() {
                     Some(e) => buf.push(e),
@@ -35,7 +36,7 @@ impl RTree {
             }
             let mbr = mbr_of(&buf);
             let id = tree.nodes.len() as u32;
-            tree.nodes.push(Node::Leaf { mbr, entries: buf.clone() });
+            tree.nodes.push(Node::Leaf { mbr, data: LeafData::from_entries(dim, leaf_cap, buf) });
             level.push(id);
         }
         let mut height = 1;

@@ -5,37 +5,16 @@
 //! heuristic: plot the sorted k-dist graph (distance to the k-th
 //! neighbour) and pick ε at its knee (Ester et al. 1996 §4.2). See
 //! [`RTree::kth_neighbor_dist`].
+//!
+//! Runs on the same MINDIST heap (`traversal::Candidate`) as the
+//! best-first ε-range query; point-layout leaves compute exact point
+//! distances straight from the column block instead of materialising a
+//! degenerate MBR per entry.
 
-use crate::node::Node;
+use crate::node::{LeafData, Node};
+use crate::traversal::Candidate;
 use crate::tree::RTree;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-
-/// Heap entry ordered by *minimum* distance (min-heap via reversed cmp).
-struct Candidate {
-    dist_sq: f64,
-    /// Node id when `item` is `None`, else a leaf item.
-    node: u32,
-    item: Option<u32>,
-}
-
-impl PartialEq for Candidate {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist_sq == other.dist_sq
-    }
-}
-impl Eq for Candidate {}
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need the smallest first.
-        other.dist_sq.partial_cmp(&self.dist_sq).unwrap_or(Ordering::Equal)
-    }
-}
 
 impl RTree {
     /// The `k` items nearest to `query` (ties broken arbitrarily),
@@ -49,11 +28,7 @@ impl RTree {
             return out;
         }
         let mut heap = BinaryHeap::new();
-        heap.push(Candidate {
-            dist_sq: self.nodes[root as usize].mbr().min_dist_sq(query),
-            node: root,
-            item: None,
-        });
+        heap.push(Candidate::node(self.nodes[root as usize].mbr().min_dist_sq(query), root));
         while let Some(c) = heap.pop() {
             match c.item {
                 Some(item) => {
@@ -65,20 +40,24 @@ impl RTree {
                 None => match &self.nodes[c.node as usize] {
                     Node::Internal { children, .. } => {
                         for &ch in children {
-                            heap.push(Candidate {
-                                dist_sq: self.nodes[ch as usize].mbr().min_dist_sq(query),
-                                node: ch,
-                                item: None,
-                            });
+                            heap.push(Candidate::node(
+                                self.nodes[ch as usize].mbr().min_dist_sq(query),
+                                ch,
+                            ));
                         }
                     }
-                    Node::Leaf { entries, .. } => {
+                    Node::Leaf { data: LeafData::Boxes(entries), .. } => {
                         for e in entries {
-                            heap.push(Candidate {
-                                dist_sq: e.mbr.min_dist_sq(query),
-                                node: c.node,
-                                item: Some(e.item),
-                            });
+                            heap.push(Candidate::item(e.mbr.min_dist_sq(query), c.node, e.item));
+                        }
+                    }
+                    Node::Leaf { data: LeafData::Points(block), .. } => {
+                        for i in 0..block.len() {
+                            heap.push(Candidate::item(
+                                block.dist_sq_to(i, query),
+                                c.node,
+                                block.item(i),
+                            ));
                         }
                     }
                 },
@@ -139,6 +118,33 @@ mod tests {
                 }
                 // Ascending order.
                 assert!(got.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_on_bulk_loaded_point_leaves() {
+        // Bulk-loaded trees use the column-block leaf layout; results must
+        // match brute force there too.
+        let pts: Vec<Vec<f64>> = (0..300u32)
+            .map(|i| {
+                let h = |k: u32| {
+                    let x = i.wrapping_mul(2654435761).wrapping_add(k.wrapping_mul(40503));
+                    (x % 1000) as f64 / 10.0
+                };
+                vec![h(1), h(2), h(3)]
+            })
+            .collect();
+        let t = RTree::bulk_load_points(
+            3,
+            crate::RTreeConfig::default(),
+            pts.iter().enumerate().map(|(i, p)| (i as u32, p.clone())),
+        );
+        for q in [&pts[0], &pts[157]] {
+            let got: Vec<f64> = t.knn(q, 7).into_iter().map(|(_, d)| d).collect();
+            let want = brute_knn(&pts, q, 7);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9);
             }
         }
     }

@@ -17,7 +17,12 @@
 //! re-verification.
 //!
 //! Nodes live in an arena (`Vec<Node>`), children are `u32` indices; no
-//! `Box`/`Rc` pointer chasing.
+//! `Box`/`Rc` pointer chasing. Leaves holding only point entries store
+//! their coordinates column-major in one shared block
+//! ([`geom::soa::PointBlock`]), so sphere queries evaluate a whole leaf
+//! with one batched, autovectorizing distance-kernel call; ε-range and
+//! k-NN queries share a best-first MINDIST-heap traversal
+//! ([`traversal`]).
 //!
 //! ```
 //! use rtree::{RTree, RTreeConfig};
@@ -46,8 +51,10 @@ pub mod knn;
 pub mod node;
 pub mod query;
 pub mod rstar;
+pub mod traversal;
 pub mod tree;
 
-pub use node::{Entry, Node, NodeId};
+pub use node::{Entry, LeafData, Node, NodeId};
 pub use query::QueryCost;
+pub use traversal::{force_scalar_leaf_eval, scalar_leaf_eval_forced};
 pub use tree::{RTree, RTreeConfig, SplitStrategy};

@@ -1,5 +1,15 @@
 //! Arena node representation.
+//!
+//! Leaves distinguish two storage layouts: arbitrary-box entries
+//! ([`LeafData::Boxes`] — the level-1 μR-tree over MC MBRs, partition
+//! cell trees) and degenerate point entries packed column-major
+//! ([`LeafData::Points`] — aux trees, center trees, every flat point
+//! index). The point layout is the structure-of-arrays half of the
+//! distance-kernel fast path: one shared coordinate block per leaf
+//! instead of two boxed corner slices per entry, so a leaf scan is a
+//! batched [`geom::kernels`] call over unit-stride columns.
 
+use geom::soa::PointBlock;
 use geom::Mbr;
 
 /// Index of a node in the tree arena.
@@ -22,6 +32,113 @@ impl Entry {
     }
 }
 
+/// Storage behind one leaf node.
+#[derive(Debug, Clone)]
+pub enum LeafData {
+    /// Arbitrary (possibly extended) boxes, one [`Entry`] each.
+    Boxes(Vec<Entry>),
+    /// Degenerate point entries in a column-major [`PointBlock`].
+    Points(PointBlock),
+}
+
+impl LeafData {
+    /// Build leaf storage from entries, choosing the point layout when
+    /// every entry is degenerate and fits a block of `cap` slots.
+    /// Entry order is preserved in both layouts — query charging and
+    /// short-circuit semantics depend on it.
+    pub fn from_entries(dim: usize, cap: usize, entries: Vec<Entry>) -> Self {
+        if entries.len() <= cap && entries.iter().all(|e| e.mbr.is_degenerate()) {
+            let mut block = PointBlock::with_capacity(dim, cap);
+            for e in &entries {
+                block.push(e.item, e.mbr.lo());
+            }
+            LeafData::Points(block)
+        } else {
+            LeafData::Boxes(entries)
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        match self {
+            LeafData::Boxes(entries) => entries.len(),
+            LeafData::Points(block) => block.len(),
+        }
+    }
+
+    /// True when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Item id of the entry at position `i`.
+    pub fn item(&self, i: usize) -> u32 {
+        match self {
+            LeafData::Boxes(entries) => entries[i].item,
+            LeafData::Points(block) => block.item(i),
+        }
+    }
+
+    /// Append an entry, preserving order. A non-degenerate entry (or a
+    /// full block) demotes a point leaf to the box layout.
+    pub fn push(&mut self, entry: Entry, dim: usize) {
+        match self {
+            LeafData::Boxes(entries) => entries.push(entry),
+            LeafData::Points(block) => {
+                if entry.mbr.is_degenerate() && block.len() < block.capacity() {
+                    block.push(entry.item, entry.mbr.lo());
+                } else {
+                    let mut entries =
+                        std::mem::replace(self, LeafData::Boxes(Vec::new())).into_entries(dim);
+                    entries.push(entry);
+                    *self = LeafData::Boxes(entries);
+                }
+            }
+        }
+    }
+
+    /// Materialise the entries in storage order (degenerate boxes for the
+    /// point layout) — used by node splits, which repartition via boxes.
+    pub fn into_entries(self, dim: usize) -> Vec<Entry> {
+        match self {
+            LeafData::Boxes(entries) => entries,
+            LeafData::Points(block) => {
+                let mut buf = vec![0.0; dim];
+                (0..block.len())
+                    .map(|i| {
+                        block.write_point(i, &mut buf);
+                        Entry::point(block.item(i), &buf)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The bounding box of the entry at position `i` (materialised for
+    /// the point layout).
+    pub fn entry_mbr(&self, i: usize) -> Mbr {
+        match self {
+            LeafData::Boxes(entries) => entries[i].mbr.clone(),
+            LeafData::Points(block) => {
+                let mut buf = vec![0.0; block.dim()];
+                block.write_point(i, &mut buf);
+                Mbr::point(&buf)
+            }
+        }
+    }
+
+    /// Estimated owned heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            LeafData::Boxes(entries) => {
+                entries.capacity() * std::mem::size_of::<Entry>()
+                    + entries.iter().map(|e| e.mbr.heap_bytes()).sum::<usize>()
+            }
+            LeafData::Points(block) => block.heap_bytes(),
+        }
+    }
+}
+
 /// One R-tree node: either an internal node with child node ids or a leaf
 /// with item entries. Every node caches the MBR of its contents.
 #[derive(Debug, Clone)]
@@ -37,8 +154,8 @@ pub enum Node {
     Leaf {
         /// Bounding box of all entries.
         mbr: Mbr,
-        /// Item entries.
-        entries: Vec<Entry>,
+        /// Entry storage (boxes or a column-major point block).
+        data: LeafData,
     },
 }
 
@@ -59,22 +176,18 @@ impl Node {
     pub fn fanout(&self) -> usize {
         match self {
             Node::Internal { children, .. } => children.len(),
-            Node::Leaf { entries, .. } => entries.len(),
+            Node::Leaf { data, .. } => data.len(),
         }
     }
 
-    /// Estimated owned heap bytes (child vector / entry vector and the MBRs
-    /// they own).
+    /// Estimated owned heap bytes (child vector / entry storage and the
+    /// MBRs they own).
     pub fn heap_bytes(&self) -> usize {
         match self {
             Node::Internal { mbr, children } => {
                 mbr.heap_bytes() + children.capacity() * std::mem::size_of::<NodeId>()
             }
-            Node::Leaf { mbr, entries } => {
-                mbr.heap_bytes()
-                    + entries.capacity() * std::mem::size_of::<Entry>()
-                    + entries.iter().map(|e| e.mbr.heap_bytes()).sum::<usize>()
-            }
+            Node::Leaf { mbr, data } => mbr.heap_bytes() + data.heap_bytes(),
         }
     }
 }
@@ -95,7 +208,11 @@ mod tests {
     fn node_accessors() {
         let leaf = Node::Leaf {
             mbr: Mbr::point(&[0.0]),
-            entries: vec![Entry::point(0, &[0.0]), Entry::point(1, &[0.5])],
+            data: LeafData::from_entries(
+                1,
+                4,
+                vec![Entry::point(0, &[0.0]), Entry::point(1, &[0.5])],
+            ),
         };
         assert!(leaf.is_leaf());
         assert_eq!(leaf.fanout(), 2);
@@ -104,5 +221,40 @@ mod tests {
         let internal = Node::Internal { mbr: Mbr::point(&[0.0]), children: vec![0, 1, 2] };
         assert!(!internal.is_leaf());
         assert_eq!(internal.fanout(), 3);
+    }
+
+    #[test]
+    fn point_entries_pick_the_block_layout() {
+        let entries = vec![Entry::point(0, &[0.0, 1.0]), Entry::point(1, &[2.0, 3.0])];
+        let data = LeafData::from_entries(2, 8, entries);
+        assert!(matches!(data, LeafData::Points(_)), "all-point leaves must pack column-major");
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.item(1), 1);
+        assert_eq!(data.entry_mbr(1), Mbr::point(&[2.0, 3.0]));
+        // Round trip preserves order and coordinates.
+        let back = data.into_entries(2);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].item, 0);
+        assert_eq!(back[1].mbr.lo(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn extended_boxes_pick_the_box_layout() {
+        let entries = vec![
+            Entry::point(0, &[0.0, 0.0]),
+            Entry { mbr: Mbr::new(vec![1.0, 1.0], vec![2.0, 2.0]), item: 1 },
+        ];
+        let data = LeafData::from_entries(2, 8, entries);
+        assert!(matches!(data, LeafData::Boxes(_)));
+    }
+
+    #[test]
+    fn pushing_a_box_demotes_a_point_leaf() {
+        let mut data = LeafData::from_entries(2, 8, vec![Entry::point(0, &[0.0, 0.0])]);
+        assert!(matches!(data, LeafData::Points(_)));
+        data.push(Entry { mbr: Mbr::new(vec![1.0, 1.0], vec![2.0, 2.0]), item: 1 }, 2);
+        assert!(matches!(data, LeafData::Boxes(_)), "mixed content must fall back to boxes");
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.item(0), 0, "demotion must preserve entry order");
     }
 }

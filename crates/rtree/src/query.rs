@@ -5,10 +5,21 @@
 //! degenerate MBRs, the same test *is* the strict `DIST(p, q) < r`
 //! membership predicate, so `search_sphere` returns the exact open-ball
 //! neighbourhood with no post-filtering.
+//!
+//! `search_sphere` expands nodes best-first from the shared MINDIST heap
+//! ([`crate::traversal`]) and evaluates point-layout leaves with one
+//! batched column-kernel call. Both changes preserve the query's work
+//! profile exactly — same node-visit set, same per-entry distance tests,
+//! same matches — they only reorder emission and let the distance loop
+//! vectorize. `first_in_sphere` intentionally stays depth-first with
+//! per-entry evaluation: its result is *which* item is found first, and
+//! the short-circuit accounting charges exactly the entries examined.
 
-use crate::node::Node;
+use crate::node::{LeafData, Node};
+use crate::traversal::{scalar_leaf_eval_forced, Candidate};
 use crate::tree::RTree;
 use geom::Mbr;
+use std::collections::BinaryHeap;
 
 /// Work performed by one query — feeds the paper's query-cost accounting.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +28,11 @@ pub struct QueryCost {
     pub nodes_visited: u64,
     /// Box/box or box/sphere tests on entries and children.
     pub mbr_tests: u64,
+    /// Leaf entries whose exact distance was evaluated (the candidate set
+    /// the leaf kernels ran over). A batched leaf charges one per stored
+    /// point; a short-circuiting scan charges only the entries it
+    /// examined before stopping.
+    pub candidates: u64,
     /// Items reported to the visitor.
     pub matches: u64,
 }
@@ -26,6 +42,7 @@ impl QueryCost {
     pub fn add(&mut self, other: QueryCost) {
         self.nodes_visited += other.nodes_visited;
         self.mbr_tests += other.mbr_tests;
+        self.candidates += other.candidates;
         self.matches += other.matches;
     }
 }
@@ -47,12 +64,30 @@ impl RTree {
                         }
                     }
                 }
-                Node::Leaf { entries, .. } => {
+                Node::Leaf { data: LeafData::Boxes(entries), .. } => {
                     for e in entries {
                         cost.mbr_tests += 1;
+                        cost.candidates += 1;
                         if e.mbr.intersects(query) {
                             cost.matches += 1;
                             visit(e.item);
+                        }
+                    }
+                }
+                Node::Leaf { data: LeafData::Points(block), .. } => {
+                    // A degenerate box intersects `query` iff the point is
+                    // inside it (closed bounds) — test coordinates directly.
+                    let (lo, hi) = (query.lo(), query.hi());
+                    for i in 0..block.len() {
+                        cost.mbr_tests += 1;
+                        cost.candidates += 1;
+                        let inside = (0..block.dim()).all(|k| {
+                            let x = block.coord(i, k);
+                            lo[k] <= x && x <= hi[k]
+                        });
+                        if inside {
+                            cost.matches += 1;
+                            visit(block.item(i));
                         }
                     }
                 }
@@ -64,29 +99,57 @@ impl RTree {
     /// Visit every item whose MBR intersects the *open* ball of radius `r`
     /// around `center`. For point entries this is exactly
     /// `DIST(center, point) < r`.
+    ///
+    /// Nodes are expanded best-first (ascending MINDIST); point-layout
+    /// leaves are evaluated with one batched kernel call over the leaf's
+    /// column block. Matches arrive roughly near-to-far, but the visited
+    /// node set — and therefore every [`QueryCost`] counter — is identical
+    /// to a depth-first scan with the same strict pruning.
     pub fn search_sphere(&self, center: &[f64], r: f64, mut visit: impl FnMut(u32)) -> QueryCost {
         debug_assert_eq!(center.len(), self.dim());
         let r_sq = r * r;
         let mut cost = QueryCost::default();
         let Some(root) = self.root else { return cost };
-        let mut stack = vec![root];
-        while let Some(n) = stack.pop() {
+        let scalar = scalar_leaf_eval_forced();
+        let mut heap = BinaryHeap::new();
+        heap.push(Candidate::node(0.0, root));
+        let mut dists: Vec<f64> = Vec::new();
+        while let Some(c) = heap.pop() {
             cost.nodes_visited += 1;
-            match &self.nodes[n as usize] {
+            match &self.nodes[c.node as usize] {
                 Node::Internal { children, .. } => {
-                    for &c in children {
+                    for &ch in children {
                         cost.mbr_tests += 1;
-                        if self.nodes[c as usize].mbr().min_dist_sq(center) < r_sq {
-                            stack.push(c);
+                        let d = self.nodes[ch as usize].mbr().min_dist_sq(center);
+                        if d < r_sq {
+                            heap.push(Candidate::node(d, ch));
                         }
                     }
                 }
-                Node::Leaf { entries, .. } => {
+                Node::Leaf { data: LeafData::Boxes(entries), .. } => {
                     for e in entries {
                         cost.mbr_tests += 1;
+                        cost.candidates += 1;
                         if e.mbr.min_dist_sq(center) < r_sq {
                             cost.matches += 1;
                             visit(e.item);
+                        }
+                    }
+                }
+                Node::Leaf { data: LeafData::Points(block), .. } => {
+                    let len = block.len();
+                    dists.resize(len, 0.0);
+                    if scalar {
+                        block.dist_sq_scalar(center, &mut dists);
+                    } else {
+                        block.dist_sq_batch(center, &mut dists);
+                    }
+                    cost.mbr_tests += len as u64;
+                    cost.candidates += len as u64;
+                    for (i, &d) in dists[..len].iter().enumerate() {
+                        if d < r_sq {
+                            cost.matches += 1;
+                            visit(block.item(i));
                         }
                     }
                 }
@@ -105,6 +168,11 @@ impl RTree {
     /// construction scan loops to *guess* (a flat one node visit per point
     /// and 1–2 distance tests per hit) — returning the real cost closes
     /// that query-accounting hole.
+    ///
+    /// Deliberately depth-first with per-entry evaluation: the identity of
+    /// the hit seeds micro-cluster construction, and per-entry early exit
+    /// charges exactly the entries examined (a batched leaf would either
+    /// over-charge past the hit or mis-report the scan cost).
     pub fn first_in_sphere(&self, center: &[f64], r: f64) -> (Option<u32>, QueryCost) {
         let r_sq = r * r;
         let mut cost = QueryCost::default();
@@ -121,12 +189,23 @@ impl RTree {
                         }
                     }
                 }
-                Node::Leaf { entries, .. } => {
+                Node::Leaf { data: LeafData::Boxes(entries), .. } => {
                     for e in entries {
                         cost.mbr_tests += 1;
+                        cost.candidates += 1;
                         if e.mbr.min_dist_sq(center) < r_sq {
                             cost.matches += 1;
                             return (Some(e.item), cost);
+                        }
+                    }
+                }
+                Node::Leaf { data: LeafData::Points(block), .. } => {
+                    for i in 0..block.len() {
+                        cost.mbr_tests += 1;
+                        cost.candidates += 1;
+                        if block.dist_sq_to(i, center) < r_sq {
+                            cost.matches += 1;
+                            return (Some(block.item(i)), cost);
                         }
                     }
                 }
@@ -155,6 +234,7 @@ impl RTree {
 mod tests {
     use super::*;
     use crate::node::Entry;
+    use crate::traversal::force_scalar_leaf_eval;
     use geom::dist_euclidean;
 
     fn build_grid(n: usize) -> (RTree, Vec<Vec<f64>>) {
@@ -202,6 +282,34 @@ mod tests {
     }
 
     #[test]
+    fn node_exactly_eps_away_is_pruned() {
+        // ε-boundary pruning at *node* level: a subtree whose MBR face
+        // sits exactly ε from the query holds no open-ball member, so
+        // best-first expansion must not even visit it. Build two spatially
+        // separate leaves by bulk-loading two tight clusters; query from
+        // a point exactly ε left of the far cluster's nearest face.
+        let cfg = crate::RTreeConfig::new(4, 2);
+        let mut pts: Vec<(u32, Vec<f64>)> = Vec::new();
+        // Near cluster around x ∈ [0, 3] (ids 0..4), far cluster x ∈ [64, 67].
+        for i in 0..4u32 {
+            pts.push((i, vec![i as f64, 0.0]));
+            pts.push((4 + i, vec![64.0 + i as f64, 0.0]));
+        }
+        let t = RTree::bulk_load_points(2, cfg, pts);
+        // Query exactly eps = 32 left of x = 64 (all powers of two: exact).
+        let q = [32.0, 0.0];
+        let eps = 32.0;
+        let full = t.search_sphere(&q, eps, |i| assert!(i < 4, "far-cluster item {i} leaked"));
+        // The far subtree's MBR has min_dist_sq == eps² and must be pruned
+        // without a visit; only its parent paid one mbr test for it.
+        let wide = t.search_sphere(&q, eps * (1.0 + 1e-9), |_| {});
+        assert!(full.nodes_visited < wide.nodes_visited, "exactly-ε subtree must not be visited");
+        // Points at x=0 and x=64 are both exactly ε away: excluded (strict).
+        assert_eq!(full.matches, 3);
+        assert_eq!(wide.matches, 5, "nudging ε outward admits both boundary points");
+    }
+
+    #[test]
     fn box_query_matches_linear_scan() {
         let (t, pts) = build_grid(12);
         let q = Mbr::new(vec![2.5, 3.0], vec![6.0, 7.25]);
@@ -225,9 +333,28 @@ mod tests {
         assert!(n > 0);
         assert!(cost.nodes_visited >= 1);
         assert!(cost.mbr_tests as usize >= n);
+        assert!(cost.candidates as usize >= n);
+        assert!(cost.candidates <= cost.mbr_tests);
         assert_eq!(cost.matches as usize, n);
         // A tight query must visit far fewer nodes than the whole arena.
         assert!(cost.nodes_visited < t.node_count() as u64);
+    }
+
+    #[test]
+    fn scalar_and_batched_leaf_eval_agree_bitwise() {
+        let (t, pts) = build_grid(13);
+        for (qi, r) in [(0usize, 2.5), (84, 3.7), (168, 1.0)] {
+            let q = &pts[qi];
+            let mut batched = Vec::new();
+            let batched_cost = t.search_sphere(q, r, |i| batched.push(i));
+            force_scalar_leaf_eval(true);
+            let mut scalar = Vec::new();
+            let scalar_cost = t.search_sphere(q, r, |i| scalar.push(i));
+            force_scalar_leaf_eval(false);
+            // Same visit order, same matches, same cost — bit-identical path.
+            assert_eq!(batched, scalar, "query {qi} r={r}");
+            assert_eq!(batched_cost, scalar_cost);
+        }
     }
 
     #[test]
@@ -264,10 +391,13 @@ mod tests {
         assert_eq!(cost.matches, 1);
         assert!(cost.nodes_visited >= 1);
         assert!(cost.mbr_tests >= 1);
-        // Short-circuiting must cost no more than the full sphere search.
+        // Every leaf entry examined was charged as a candidate, and the
+        // short circuit must charge no more than a full evaluation.
+        assert!(cost.candidates >= 1);
         let full = t.search_sphere(&pts[44], 1.5, |_| {});
         assert!(cost.nodes_visited <= full.nodes_visited);
         assert!(cost.mbr_tests <= full.mbr_tests);
+        assert!(cost.candidates <= full.candidates);
         // Far away: nothing within 3 — but the root was still inspected.
         let (miss, miss_cost) = t.first_in_sphere(&[100.0, 100.0], 3.0);
         assert_eq!(miss, None);
@@ -284,8 +414,8 @@ mod tests {
 
     #[test]
     fn query_cost_add() {
-        let mut a = QueryCost { nodes_visited: 1, mbr_tests: 2, matches: 3 };
-        a.add(QueryCost { nodes_visited: 10, mbr_tests: 20, matches: 30 });
-        assert_eq!(a, QueryCost { nodes_visited: 11, mbr_tests: 22, matches: 33 });
+        let mut a = QueryCost { nodes_visited: 1, mbr_tests: 2, candidates: 1, matches: 3 };
+        a.add(QueryCost { nodes_visited: 10, mbr_tests: 20, candidates: 15, matches: 30 });
+        assert_eq!(a, QueryCost { nodes_visited: 11, mbr_tests: 22, candidates: 16, matches: 33 });
     }
 }

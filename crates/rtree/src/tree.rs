@@ -1,7 +1,7 @@
 //! The R-tree structure: ChooseLeaf insertion with Guttman's quadratic
 //! split.
 
-use crate::node::{Entry, Node, NodeId};
+use crate::node::{Entry, LeafData, Node, NodeId};
 use geom::Mbr;
 
 /// Node-split algorithm used on overflow.
@@ -110,13 +110,20 @@ impl RTree {
         self.root.map(|r| self.nodes[r as usize].mbr())
     }
 
+    /// Capacity of a leaf's storage block: one slot beyond `max_entries`
+    /// so the overflowing entry fits in place before the split runs.
+    pub(crate) fn leaf_cap(&self) -> usize {
+        self.cfg.max_entries + 1
+    }
+
     /// Insert an item with its bounding box.
     pub fn insert(&mut self, entry: Entry) {
         assert_eq!(entry.mbr.dim(), self.dim, "entry dimensionality mismatch");
         match self.root {
             None => {
                 let mbr = entry.mbr.clone();
-                let id = self.push_node(Node::Leaf { mbr, entries: vec![entry] });
+                let data = LeafData::from_entries(self.dim, self.leaf_cap(), vec![entry]);
+                let id = self.push_node(Node::Leaf { mbr, data });
                 self.root = Some(id);
                 self.height = 1;
             }
@@ -149,12 +156,11 @@ impl RTree {
     fn insert_rec(&mut self, node: NodeId, entry: Entry) -> Option<NodeId> {
         if self.nodes[node as usize].is_leaf() {
             let max = self.cfg.max_entries;
-            let Node::Leaf { mbr, entries } = &mut self.nodes[node as usize] else {
-                unreachable!()
-            };
+            let dim = self.dim;
+            let Node::Leaf { mbr, data } = &mut self.nodes[node as usize] else { unreachable!() };
             mbr.merge(&entry.mbr);
-            entries.push(entry);
-            if entries.len() > max {
+            data.push(entry, dim);
+            if data.len() > max {
                 return Some(self.split_leaf(node));
             }
             return None;
@@ -203,8 +209,9 @@ impl RTree {
     }
 
     fn split_leaf(&mut self, node: NodeId) -> NodeId {
-        let Node::Leaf { entries, .. } = &mut self.nodes[node as usize] else { unreachable!() };
-        let taken = std::mem::take(entries);
+        let (dim, cap) = (self.dim, self.leaf_cap());
+        let Node::Leaf { data, .. } = &mut self.nodes[node as usize] else { unreachable!() };
+        let taken = std::mem::replace(data, LeafData::Boxes(Vec::new())).into_entries(dim);
         let boxes: Vec<&Mbr> = taken.iter().map(|e| &e.mbr).collect();
         let (ga, gb) = self.partition_boxes(&boxes);
         let (mut ea, mut eb) = (Vec::with_capacity(ga.len()), Vec::with_capacity(gb.len()));
@@ -221,8 +228,9 @@ impl RTree {
         }
         let mbr_a = mbr_of_entries(&ea);
         let mbr_b = mbr_of_entries(&eb);
-        self.nodes[node as usize] = Node::Leaf { mbr: mbr_a, entries: ea };
-        self.push_node(Node::Leaf { mbr: mbr_b, entries: eb })
+        self.nodes[node as usize] =
+            Node::Leaf { mbr: mbr_a, data: LeafData::from_entries(dim, cap, ea) };
+        self.push_node(Node::Leaf { mbr: mbr_b, data: LeafData::from_entries(dim, cap, eb) })
     }
 
     fn split_internal(&mut self, node: NodeId) -> NodeId {
@@ -269,16 +277,24 @@ impl RTree {
         m
     }
 
-    /// Visit every `(item, mbr)` pair (arbitrary order).
+    /// Visit every `(item, mbr)` pair (arbitrary order). Point-layout
+    /// leaves materialise a degenerate box per entry into a reused buffer.
     pub fn for_each_item(&self, mut f: impl FnMut(u32, &Mbr)) {
         let Some(root) = self.root else { return };
+        let mut buf = vec![0.0; self.dim];
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
             match &self.nodes[n as usize] {
                 Node::Internal { children, .. } => stack.extend_from_slice(children),
-                Node::Leaf { entries, .. } => {
+                Node::Leaf { data: LeafData::Boxes(entries), .. } => {
                     for e in entries {
                         f(e.item, &e.mbr);
+                    }
+                }
+                Node::Leaf { data: LeafData::Points(block), .. } => {
+                    for i in 0..block.len() {
+                        block.write_point(i, &mut buf);
+                        f(block.item(i), &Mbr::point(&buf));
                     }
                 }
             }
@@ -321,14 +337,20 @@ impl RTree {
                         stack.push((c, depth + 1));
                     }
                 }
-                Node::Leaf { mbr, entries } => {
+                Node::Leaf { mbr, data } => {
                     match leaf_depth {
                         None => leaf_depth = Some(depth),
                         Some(d) => assert_eq!(d, depth, "leaves at different depths"),
                     }
-                    for e in entries {
-                        assert!(mbr.contains(&e.mbr), "leaf MBR does not cover entry");
+                    for i in 0..data.len() {
+                        assert!(mbr.contains(&data.entry_mbr(i)), "leaf MBR does not cover entry");
                         items += 1;
+                    }
+                    if let LeafData::Points(block) = data {
+                        assert!(
+                            block.capacity() > self.cfg.max_entries,
+                            "point leaf block too small to absorb an overflow entry"
+                        );
                     }
                 }
             }

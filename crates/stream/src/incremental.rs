@@ -35,12 +35,12 @@ pub struct StreamingMuDbscan {
 }
 
 impl StreamingMuDbscan {
-    /// Empty stream for `dim`-dimensional points.
-    #[deprecated(
-        note = "use mudbscan::prelude::Runner::new(params).family(Family::Streaming), or \
-                StreamingMuDbscan::from_dataset, instead"
-    )]
-    pub fn new(dim: usize, params: DbscanParams) -> Self {
+    /// Empty stream for `dim`-dimensional points, for point-at-a-time
+    /// ingestion via [`Self::insert`] / [`Self::extend_from`]. When the
+    /// whole dataset is available up front, prefer
+    /// [`Self::from_dataset`] (parallel bulk load) or the
+    /// `mudbscan::prelude::Runner` facade.
+    pub fn empty(dim: usize, params: DbscanParams) -> Self {
         Self {
             params,
             data: Dataset::empty(dim),
@@ -62,7 +62,7 @@ impl StreamingMuDbscan {
     /// structure is a valid streaming state — [`Self::snapshot`] is
     /// exactly the batch DBSCAN clustering, and later [`Self::insert`]
     /// calls continue incrementally from it. Point-at-a-time ingestion
-    /// via [`Self::new`] + [`Self::extend_from`] remains the sequential
+    /// via [`Self::empty`] + [`Self::extend_from`] remains the sequential
     /// path.
     pub fn from_dataset(data: &Dataset, params: DbscanParams) -> Self {
         let n = data.len();
@@ -313,7 +313,6 @@ impl StreamingMuDbscan {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // tests pin the deprecated shims' behaviour for one more PR
 mod tests {
     use super::*;
     use mudbscan::{check_exact, naive_dbscan};
@@ -340,7 +339,7 @@ mod tests {
     fn final_state_matches_batch_dbscan() {
         let data = blobs(60, 5);
         let params = DbscanParams::new(0.6, 5);
-        let mut s = StreamingMuDbscan::new(2, params);
+        let mut s = StreamingMuDbscan::empty(2, params);
         s.extend_from(&data);
         let got = s.snapshot();
         let want = naive_dbscan(&data, &params);
@@ -352,7 +351,7 @@ mod tests {
     fn every_prefix_is_exact() {
         let data = blobs(25, 9);
         let params = DbscanParams::new(0.6, 4);
-        let mut s = StreamingMuDbscan::new(2, params);
+        let mut s = StreamingMuDbscan::empty(2, params);
         for (i, coords) in data.iter() {
             s.insert(coords);
             // Check a sample of prefixes (every 7th) to keep the O(n²)
@@ -373,7 +372,7 @@ mod tests {
     fn promotion_on_crossing_minpts() {
         // Points arrive so that an early point becomes core only later.
         let params = DbscanParams::new(1.0, 3);
-        let mut s = StreamingMuDbscan::new(1, params);
+        let mut s = StreamingMuDbscan::empty(1, params);
         s.insert(&[0.0]); // will become core once 2 more arrive
         s.insert(&[10.0]); // far away
         assert_eq!(s.snapshot().n_clusters, 0);
@@ -389,7 +388,7 @@ mod tests {
     #[test]
     fn noise_rescued_when_core_appears() {
         let params = DbscanParams::new(1.0, 3);
-        let mut s = StreamingMuDbscan::new(1, params);
+        let mut s = StreamingMuDbscan::empty(1, params);
         s.insert(&[0.9]); // will be border of the core at 0
         s.insert(&[0.0]);
         s.insert(&[-0.9]);
@@ -405,7 +404,7 @@ mod tests {
     fn mc_structure_stays_small() {
         let data = blobs(80, 13);
         let params = DbscanParams::new(0.6, 5);
-        let mut s = StreamingMuDbscan::new(2, params);
+        let mut s = StreamingMuDbscan::empty(2, params);
         s.extend_from(&data);
         assert!(s.mc_count() < s.len() / 2, "m = {} vs n = {}", s.mc_count(), s.len());
         assert!(s.counters().range_queries() > 0);
@@ -429,7 +428,7 @@ mod tests {
         let data = blobs(40, 37);
         let params = DbscanParams::new(0.6, 4);
         let mut bulk = StreamingMuDbscan::from_dataset(&data, params);
-        let mut seq = StreamingMuDbscan::new(2, params);
+        let mut seq = StreamingMuDbscan::empty(2, params);
         seq.extend_from(&data);
         let a = bulk.snapshot();
         let b = seq.snapshot();
@@ -469,11 +468,11 @@ mod tests {
     fn order_independence_of_canonical_quantities() {
         let data = blobs(40, 21);
         let params = DbscanParams::new(0.6, 4);
-        let mut fwd = StreamingMuDbscan::new(2, params);
+        let mut fwd = StreamingMuDbscan::empty(2, params);
         fwd.extend_from(&data);
         let ids: Vec<u32> = data.ids().rev().collect();
         let rev_data = data.gather(&ids);
-        let mut rev = StreamingMuDbscan::new(2, params);
+        let mut rev = StreamingMuDbscan::empty(2, params);
         rev.extend_from(&rev_data);
         let a = fwd.snapshot();
         let b = rev.snapshot();

@@ -31,7 +31,7 @@
 //! use geom::DbscanParams;
 //! use stream::StreamingMuDbscan;
 //!
-//! let mut s = StreamingMuDbscan::new(1, DbscanParams::new(1.0, 3));
+//! let mut s = StreamingMuDbscan::empty(1, DbscanParams::new(1.0, 3));
 //! s.insert(&[0.0]);
 //! s.insert(&[0.5]);
 //! assert_eq!(s.snapshot().n_clusters, 0); // two points, nobody core yet

@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Property test: streaming μDBSCAN equals batch DBSCAN on the full
 //! stream and on random prefixes, for arbitrary inputs and parameters.
 
@@ -32,7 +29,7 @@ fn exact_under_distribution_drift() {
     // still equal batch DBSCAN of everything seen, at several cut points.
     let feed = data::drifting_stream(1_200, 2, 77);
     let params = DbscanParams::new(1.5, 5);
-    let mut s = StreamingMuDbscan::new(2, params);
+    let mut s = StreamingMuDbscan::empty(2, params);
     for (i, coords) in feed.iter() {
         s.insert(coords);
         let n = i as usize + 1;
@@ -55,7 +52,7 @@ proptest! {
     fn stream_equals_batch(rows in clustered(2), eps in 0.3..2.0f64, min_pts in 2usize..7) {
         let data = Dataset::from_rows(&rows);
         let params = DbscanParams::new(eps, min_pts);
-        let mut s = StreamingMuDbscan::new(2, params);
+        let mut s = StreamingMuDbscan::empty(2, params);
         s.extend_from(&data);
         let got = s.snapshot();
         let want = naive_dbscan(&data, &params);
@@ -68,7 +65,7 @@ proptest! {
         let data = Dataset::from_rows(&rows);
         let params = DbscanParams::new(eps, min_pts);
         let k = ((data.len() as f64 * cut) as usize).max(1);
-        let mut s = StreamingMuDbscan::new(3, params);
+        let mut s = StreamingMuDbscan::empty(3, params);
         for (i, coords) in data.iter() {
             if (i as usize) >= k {
                 break;

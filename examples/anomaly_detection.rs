@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Anomaly-detection scenario: DBSCAN noise points as anomalies in
 //! household power readings (the paper's HHP workload, one of DBSCAN's
 //! marquee applications).
@@ -18,7 +15,7 @@ fn main() {
 
     println!("household power anomaly detection — n={}, dim=5\n", dataset.len());
 
-    let out = MuDbscan::new(params).run(&dataset);
+    let out = Runner::new(params).run(&dataset).expect("sequential run");
     let c = &out.clustering;
 
     println!("operating regimes (clusters): {}", c.n_clusters);

@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Astronomy scenario: friends-of-friends-style halo finding on a galaxy
 //! catalogue (the paper's Millennium-run workloads), run **distributed**
 //! with μDBSCAN-D over simulated cluster ranks.
@@ -18,12 +15,16 @@ fn main() {
 
     println!("galaxy halo finding — n={}, dim=3, {} simulated ranks\n", dataset.len(), ranks);
 
-    let out = MuDbscanD::new(params, DistConfig::new(ranks)).run(&dataset).unwrap();
+    let out = Runner::new(params).ranks(ranks).run(&dataset).expect("distributed run");
+    let (runtime_secs, comm_bytes) = match out.details {
+        RunDetails::Distributed { runtime_secs, comm_bytes, .. } => (runtime_secs, comm_bytes),
+        ref other => panic!("expected Distributed details, got {other:?}"),
+    };
 
     println!("halos (clusters) found : {}", out.clustering.n_clusters);
     println!("field galaxies (noise) : {}", out.clustering.noise_count());
-    println!("virtual runtime        : {:.3}s (partitioning excluded)", out.runtime_secs);
-    println!("communication volume   : {} KiB", out.comm_bytes / 1024);
+    println!("virtual runtime        : {runtime_secs:.3}s (partitioning excluded)");
+    println!("communication volume   : {} KiB", comm_bytes / 1024);
     println!("queries saved          : {:.1}%", out.counters.pct_queries_saved());
 
     println!("\nphase makespans:");
@@ -50,7 +51,7 @@ fn main() {
 
     // Verify against the sequential algorithm (exactness across the
     // distributed merge).
-    let seq = MuDbscan::new(params).run(&dataset);
+    let seq = Runner::new(params).run(&dataset).expect("sequential run");
     assert_eq!(out.clustering.n_clusters, seq.clustering.n_clusters);
     assert_eq!(out.clustering.is_core, seq.clustering.is_core);
     println!("\ndistributed result equals sequential μDBSCAN ✓");

@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! OPTICS demo: one cluster ordering, many DBSCAN clusterings.
 //!
 //! Computes the OPTICS ordering of a mixed-density dataset, renders the
@@ -42,7 +39,7 @@ fn mixed_density(seed: u64) -> Dataset {
 fn main() {
     let data = mixed_density(99);
     let gen_params = DbscanParams::new(2.0, 5);
-    let out = Optics::new(gen_params).run(&data);
+    let out = Optics::from_params(gen_params).run(&data);
 
     println!("OPTICS ordering of {} points (generating eps = {})", data.len(), gen_params.eps);
 

@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Geospatial scenario: cluster a vehicular-GPS-style road network
 //! (the paper's 3DSRN workload). Road data forms long, thin,
 //! arbitrary-shaped clusters — exactly what DBSCAN handles and k-means
@@ -21,7 +18,7 @@ fn main() {
 
     // μDBSCAN.
     let t = Instant::now();
-    let mu = MuDbscan::new(params).run(&dataset);
+    let mu = Runner::new(params).run(&dataset).expect("sequential run");
     let mu_secs = t.elapsed().as_secs_f64();
 
     // Classical R-tree DBSCAN for comparison.

@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Streaming scenario: points arrive one at a time (e.g. live GPS
 //! pings) and the clustering is kept **exactly** up to date after every
 //! insertion — the paper's future-work extension implemented in the
@@ -19,7 +16,7 @@ fn main() {
     let feed = data::road_network(12_000, 77);
 
     println!("streaming μDBSCAN — ingesting {} GPS points one by one\n", feed.len());
-    let mut s = StreamingMuDbscan::new(3, params);
+    let mut s = StreamingMuDbscan::empty(3, params);
 
     println!("{:>8} {:>10} {:>8} {:>7} {:>8}", "ingested", "clusters", "noise", "cores", "MCs");
     let mut t = std::time::Instant::now();
@@ -44,7 +41,7 @@ fn main() {
 
     // The headline guarantee, live: the final state equals batch DBSCAN.
     let final_snapshot = s.snapshot();
-    let batch = MuDbscan::new(params).run(&feed);
+    let batch = Runner::new(params).run(&feed).expect("sequential run");
     assert_eq!(final_snapshot.n_clusters, batch.clustering.n_clusters);
     assert_eq!(final_snapshot.is_core, batch.clustering.is_core);
     assert_eq!(final_snapshot.noise_count(), batch.clustering.noise_count());

@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Render the classic DBSCAN picture: arbitrary-shaped clusters (two
 //! interleaved moons + a ring + blobs) found exactly by μDBSCAN, written
 //! to an SVG scatter.
@@ -55,7 +52,7 @@ fn main() {
     let dataset = shapes(6_000, 2019);
     let params = DbscanParams::new(0.13, 8);
 
-    let out = MuDbscan::new(params).run(&dataset);
+    let out = Runner::new(params).run(&dataset).expect("sequential run");
     println!(
         "{} points -> {} clusters, {} noise ({:.1}% queries saved)",
         dataset.len(),

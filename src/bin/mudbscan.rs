@@ -1,6 +1,3 @@
-// Not yet migrated to `mudbscan::prelude::Runner`; the deprecated
-// constructors stay supported for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! `mudbscan` — command-line DBSCAN clustering.
 //!
 //! ```text
@@ -168,25 +165,36 @@ fn main() -> ExitCode {
     let t = std::time::Instant::now();
     let (clustering, extra): (Clustering, String) = match args.algorithm.as_str() {
         "mu" => {
-            let out = MuDbscan::new(params).run(&dataset);
+            let out = Runner::new(params).run(&dataset).expect("sequential run");
+            let mc_count = match out.details {
+                RunDetails::Sequential { mc_count, .. } => mc_count,
+                ref other => panic!("expected Sequential details, got {other:?}"),
+            };
             let x = format!(
                 "micro-clusters: {}, queries saved: {:.1}%",
-                out.mc_count,
+                mc_count,
                 out.counters.pct_queries_saved()
             );
             (out.clustering, x)
         }
         "mu-par" => {
-            let out = mudbscan::ParMuDbscan::new(params, args.threads).run(&dataset);
+            let out =
+                Runner::new(params).threads(args.threads).run(&dataset).expect("parallel run");
             (out.clustering, format!("threads: {}", args.threads))
         }
-        "mu-dist" => match MuDbscanD::new(params, DistConfig::new(args.ranks)).run(&dataset) {
+        "mu-dist" => match Runner::new(params).ranks(args.ranks).run(&dataset) {
             Ok(out) => {
+                let (runtime_secs, comm_bytes) = match out.details {
+                    RunDetails::Distributed { runtime_secs, comm_bytes, .. } => {
+                        (runtime_secs, comm_bytes)
+                    }
+                    ref other => panic!("expected Distributed details, got {other:?}"),
+                };
                 let x = format!(
                     "ranks: {}, virtual runtime: {:.3}s, comm: {} KiB",
                     args.ranks,
-                    out.runtime_secs,
-                    out.comm_bytes / 1024
+                    runtime_secs,
+                    comm_bytes / 1024
                 );
                 (out.clustering, x)
             }

@@ -39,15 +39,10 @@ pub use unionfind;
 pub mod prelude {
     pub use baselines::{GDbscan, GridDbscan, RDbscan};
     pub use data;
+    pub use dist::DistConfig;
     pub use mudbscan::prelude::{
         Cluster, Clustering, Counters, Dataset, DbscanParams, Family, Fault, FaultConfig,
         FaultPlan, FaultStats, MuDbscanError, RetryConfig, RunDetails, RunOutput, Runner, NOISE,
     };
     pub use mudbscan::{check_exact, naive_dbscan};
-    // Deprecated shims of the pre-facade API, re-exported for one PR so
-    // downstream code migrates on its own schedule (see docs/API.md).
-    #[allow(deprecated)]
-    pub use dist::{DistConfig, MuDbscanD};
-    #[allow(deprecated)]
-    pub use mudbscan::MuDbscan;
 }

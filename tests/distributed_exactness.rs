@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Integration: distributed algorithms vs the sequential oracle across
 //! rank counts, generators, execution modes and parameters.
 
@@ -19,7 +16,7 @@ fn mudbscan_d_exact_across_generators_and_ranks() {
     for (i, (dataset, params)) in cases.iter().enumerate() {
         let reference = naive_dbscan(dataset, params);
         for p in [2, 5, 8] {
-            let out = MuDbscanD::new(*params, DistConfig::new(p)).run(dataset).unwrap();
+            let out = MuDbscanD::from_params(*params, DistConfig::new(p)).run(dataset).unwrap();
             let rep = check_exact(&out.clustering, &reference, dataset, params);
             assert!(rep.is_exact(), "case {i} p={p}: {rep:?}");
         }
@@ -30,9 +27,9 @@ fn mudbscan_d_exact_across_generators_and_ranks() {
 fn all_exact_distributed_algorithms_agree() {
     let dataset = data::galaxy(3_000, 3, 9);
     let params = DbscanParams::new(0.8, 5);
-    let seq = MuDbscan::new(params).run(&dataset).clustering;
+    let seq = MuDbscan::from_params(params).run(&dataset).clustering;
 
-    let mu = MuDbscanD::new(params, DistConfig::new(6)).run(&dataset).unwrap().clustering;
+    let mu = MuDbscanD::from_params(params, DistConfig::new(6)).run(&dataset).unwrap().clustering;
     let pds = PdsDbscanD::new(params, DistConfig::new(6)).run(&dataset).unwrap().clustering;
     let hp = HpDbscan::new(params, 6).run(&dataset).unwrap().clustering;
 
@@ -47,8 +44,8 @@ fn all_exact_distributed_algorithms_agree() {
 fn threaded_executor_reproduces_sequential_executor() {
     let dataset = data::road_network(2_000, 5);
     let params = DbscanParams::new(0.4, 5);
-    let a = MuDbscanD::new(params, DistConfig::new(4)).run(&dataset).unwrap();
-    let b = MuDbscanD::new(params, DistConfig::new(4).threaded()).run(&dataset).unwrap();
+    let a = MuDbscanD::from_params(params, DistConfig::new(4)).run(&dataset).unwrap();
+    let b = MuDbscanD::from_params(params, DistConfig::new(4).threaded()).run(&dataset).unwrap();
     assert_eq!(a.clustering, b.clustering);
     assert_eq!(a.comm_bytes, b.comm_bytes);
 }
@@ -59,8 +56,8 @@ fn virtual_speedup_shape_holds() {
     // Fig. 7 shape at miniature scale.
     let dataset = data::galaxy(12_000, 3, 13);
     let params = DbscanParams::new(0.8, 5);
-    let t1 = MuDbscanD::new(params, DistConfig::new(1)).run(&dataset).unwrap().runtime_secs;
-    let t8 = MuDbscanD::new(params, DistConfig::new(8)).run(&dataset).unwrap().runtime_secs;
+    let t1 = MuDbscanD::from_params(params, DistConfig::new(1)).run(&dataset).unwrap().runtime_secs;
+    let t8 = MuDbscanD::from_params(params, DistConfig::new(8)).run(&dataset).unwrap().runtime_secs;
     assert!(
         t8 < t1 * 0.6,
         "8 ranks should be much faster than 1 in virtual time: t1={t1:.3}s t8={t8:.3}s"
@@ -93,7 +90,7 @@ fn rpdbscan_quality_quantified_by_ari() {
     assert!(ari > 0.5, "ARI {ari:.3} too low — approximation broken");
     assert!(nmi > 0.5, "NMI {nmi:.3} too low");
     // And the exact algorithms must score a perfect 1.0.
-    let mu = MuDbscan::new(params).run(&dataset).clustering;
+    let mu = MuDbscan::from_params(params).run(&dataset).clustering;
     assert!((mudbscan::adjusted_rand_index(&mu, &exact) - 1.0).abs() < 1e-12);
 }
 
@@ -101,7 +98,7 @@ fn rpdbscan_quality_quantified_by_ari() {
 fn merge_counters_aggregate_rank_work() {
     let dataset = data::galaxy(4_000, 3, 17);
     let params = DbscanParams::new(0.8, 5);
-    let out = MuDbscanD::new(params, DistConfig::new(4)).run(&dataset).unwrap();
+    let out = MuDbscanD::from_params(params, DistConfig::new(4)).run(&dataset).unwrap();
     // Every non-saved local point (own + halo copies) ran one query, plus
     // one per halo point during edge collection.
     assert!(out.counters.range_queries() > 0);

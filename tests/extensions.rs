@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Integration across the extension algorithms: batch, parallel,
 //! streaming, distributed and OPTICS-extracted clusterings must all
 //! coincide on the canonical quantities for the same data + parameters.
@@ -19,21 +16,23 @@ fn five_ways_to_the_same_clustering() {
     let dataset = data::galaxy(3_000, 3, 101);
     let params = DbscanParams::new(0.8, 5);
 
-    let batch = MuDbscan::new(params).run(&dataset).clustering;
+    let batch = MuDbscan::from_params(params).run(&dataset).clustering;
 
-    let par = ParMuDbscan::new(params, 3).run(&dataset).clustering;
+    let par = ParMuDbscan::from_params(params, 3).run(&dataset).clustering;
     assert_eq!(canon(&par), canon(&batch), "parallel");
 
-    let mut s = StreamingMuDbscan::new(3, params);
+    let mut s = StreamingMuDbscan::empty(3, params);
     s.extend_from(&dataset);
     let streamed = s.snapshot();
     assert_eq!(canon(&streamed), canon(&batch), "streaming");
 
-    let d =
-        dist::MuDbscanD::new(params, dist::DistConfig::new(6)).run(&dataset).unwrap().clustering;
+    let d = dist::MuDbscanD::from_params(params, dist::DistConfig::new(6))
+        .run(&dataset)
+        .unwrap()
+        .clustering;
     assert_eq!(canon(&d), canon(&batch), "distributed");
 
-    let optics_out = Optics::new(params).run(&dataset);
+    let optics_out = Optics::from_params(params).run(&dataset);
     let extracted = extract_dbscan(&optics_out, &dataset, params.eps);
     assert_eq!(canon(&extracted), canon(&batch), "optics extraction");
 }
@@ -42,8 +41,8 @@ fn five_ways_to_the_same_clustering() {
 fn quality_indices_confirm_equivalence() {
     let dataset = data::road_network(2_500, 33);
     let params = DbscanParams::new(0.4, 5);
-    let a = MuDbscan::new(params).run(&dataset).clustering;
-    let b = ParMuDbscan::new(params, 4).run(&dataset).clustering;
+    let a = MuDbscan::from_params(params).run(&dataset).clustering;
+    let b = ParMuDbscan::from_params(params, 4).run(&dataset).clustering;
     // Border assignment is order-dependent (threads race for contested
     // borders), so compare the CANONICAL core partition: mask non-core
     // points to noise on both sides; the masked partitions must then be
@@ -71,7 +70,7 @@ fn eps_suggestion_feeds_the_pipeline() {
     let min_pts = 5;
     let eps = mudbscan::suggest_eps(&dataset, min_pts, 2).expect("knee exists");
     assert!(eps > 0.0 && eps.is_finite());
-    let c = MuDbscan::new(DbscanParams::new(eps, min_pts)).run(&dataset).clustering;
+    let c = MuDbscan::from_params(DbscanParams::new(eps, min_pts)).run(&dataset).clustering;
     // The k-dist knee on three well-separated blobs must find real
     // structure: at least one cluster, and the blobs not all merged with
     // the background into a single everything-cluster.
@@ -84,10 +83,12 @@ fn streaming_matches_distributed_on_catalog_analogue() {
     let spec = &data::paper_table2_specs()[0]; // 3DSRN
     let dataset = spec.generate_n(2_000, 5);
     let params = spec.params;
-    let mut s = StreamingMuDbscan::new(dataset.dim(), params);
+    let mut s = StreamingMuDbscan::empty(dataset.dim(), params);
     s.extend_from(&dataset);
     let streamed = s.snapshot();
-    let d =
-        dist::MuDbscanD::new(params, dist::DistConfig::new(4)).run(&dataset).unwrap().clustering;
+    let d = dist::MuDbscanD::from_params(params, dist::DistConfig::new(4))
+        .run(&dataset)
+        .unwrap()
+        .clustering;
     assert_eq!(canon(&streamed), canon(&d));
 }

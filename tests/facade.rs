@@ -1,10 +1,7 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Facade round-trip: for every family, a [`Runner`]-built instance must
-//! produce a clustering bit-identical to the directly-built (pre-facade)
-//! construction it replaces, and the deprecated constructor shims must
-//! keep compiling and running for one more PR.
+//! produce a clustering bit-identical to the directly-built (low-level)
+//! construction it wraps, and every low-level constructor must remain
+//! usable on its own.
 
 use dist::{DistConfig, MuDbscanD};
 use mudbscan::prelude::{Family, RunDetails, Runner};
@@ -25,20 +22,21 @@ fn runner_output_is_bit_identical_to_direct_construction() {
         let params = spec.params;
         let tag = spec.name;
 
-        // Sequential: Runner::new(params) vs MuDbscan::new(params).
-        let direct = MuDbscan::new(params).run(&dataset).clustering;
+        // Sequential: Runner::new(params) vs MuDbscan::from_params(params).
+        let direct = MuDbscan::from_params(params).run(&dataset).clustering;
         assert_eq!(via_runner(Runner::new(params), &dataset, tag), direct, "{tag}: sequential");
 
-        // Parallel: .threads(4) vs ParMuDbscan::new(params, 4).
-        let direct = ParMuDbscan::new(params, 4).run(&dataset).clustering;
+        // Parallel: .threads(4) vs ParMuDbscan::from_params(params, 4).
+        let direct = ParMuDbscan::from_params(params, 4).run(&dataset).clustering;
         assert_eq!(
             via_runner(Runner::new(params).threads(4), &dataset, tag),
             direct,
             "{tag}: parallel"
         );
 
-        // Distributed: .ranks(4) vs MuDbscanD::new(params, DistConfig::new(4)).
-        let direct = MuDbscanD::new(params, DistConfig::new(4)).run(&dataset).unwrap().clustering;
+        // Distributed: .ranks(4) vs MuDbscanD::from_params(params, DistConfig::new(4)).
+        let direct =
+            MuDbscanD::from_params(params, DistConfig::new(4)).run(&dataset).unwrap().clustering;
         assert_eq!(
             via_runner(Runner::new(params).ranks(4), &dataset, tag),
             direct,
@@ -54,7 +52,8 @@ fn runner_output_is_bit_identical_to_direct_construction() {
         );
 
         // OPTICS: .family(Family::Optics) vs extract_dbscan at eps' = eps.
-        let direct = extract_dbscan(&Optics::new(params).run(&dataset), &dataset, params.eps);
+        let direct =
+            extract_dbscan(&Optics::from_params(params).run(&dataset), &dataset, params.eps);
         assert_eq!(
             via_runner(Runner::new(params).family(Family::Optics), &dataset, tag),
             direct,
@@ -82,25 +81,25 @@ fn run_details_report_the_resolved_family() {
 }
 
 #[test]
-fn deprecated_shims_still_compile_and_run() {
+fn low_level_constructors_compile_and_run() {
     let spec = &data::paper_table2_specs()[0];
     let dataset = spec.generate_n(120, 3);
     let params = spec.params;
     let oracle = mudbscan::naive_dbscan(&dataset, &params);
 
-    // Each pre-facade constructor must remain usable until the shims are
-    // dropped next PR.
-    assert_eq!(MuDbscan::new(params).run(&dataset).clustering, oracle);
-    assert_eq!(ParMuDbscan::new(params, 2).run(&dataset).clustering, oracle);
+    // Each per-family type must remain usable without the facade (the
+    // facade and crates like `dist` build on these entry points).
+    assert_eq!(MuDbscan::from_params(params).run(&dataset).clustering, oracle);
+    assert_eq!(ParMuDbscan::from_params(params, 2).run(&dataset).clustering, oracle);
     assert_eq!(
-        MuDbscanD::new(params, DistConfig::new(2)).run(&dataset).unwrap().clustering,
+        MuDbscanD::from_params(params, DistConfig::new(2)).run(&dataset).unwrap().clustering,
         oracle
     );
-    let mut stream = StreamingMuDbscan::new(dataset.dim(), params);
+    let mut stream = StreamingMuDbscan::empty(dataset.dim(), params);
     for p in 0..dataset.len() {
         stream.insert(dataset.point(p as geom::PointId));
     }
     assert_eq!(stream.snapshot(), oracle);
-    let optics_out = Optics::new(params).run(&dataset);
+    let optics_out = Optics::from_params(params).run(&dataset);
     assert_eq!(extract_dbscan(&optics_out, &dataset, params.eps), oracle);
 }

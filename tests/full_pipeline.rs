@@ -1,6 +1,3 @@
-// Exercises the deprecated pre-facade constructors on purpose: the shims
-// must keep compiling and behaving for one more PR (see docs/API.md).
-#![allow(deprecated)]
 //! Cross-crate integration: every exact algorithm in the workspace must
 //! produce the identical DBSCAN clustering on every catalog analogue.
 
@@ -28,7 +25,7 @@ fn all_exact_algorithms_agree_on_catalog_analogues() {
         let params = spec.params;
         let reference = naive_dbscan(&dataset, &params);
 
-        let mu = MuDbscan::new(params).run(&dataset);
+        let mu = MuDbscan::from_params(params).run(&dataset);
         exactness(&mu.clustering, &reference, &dataset, &params, spec.name);
 
         let rd = RDbscan::new(params).run(&dataset);
@@ -55,7 +52,7 @@ fn query_savings_match_paper_regimes() {
     let mut savings = std::collections::HashMap::new();
     for spec in &specs {
         let dataset = spec.generate_n(4_000, 3);
-        let out = MuDbscan::new(spec.params).run(&dataset);
+        let out = MuDbscan::from_params(spec.params).run(&dataset);
         savings.insert(spec.name, out.counters.pct_queries_saved());
     }
     assert!(savings["KDDB145K14D"] > 60.0, "KDDB14 saved {:.1}%", savings["KDDB145K14D"]);
@@ -70,7 +67,7 @@ fn micro_cluster_counts_are_far_below_n() {
     for spec in data::paper_table2_specs().into_iter().take(4) {
         let n = 4_000;
         let dataset = spec.generate_n(n, 5);
-        let out = MuDbscan::new(spec.params).run(&dataset);
+        let out = MuDbscan::from_params(spec.params).run(&dataset);
         assert!(out.mc_count * 2 < n, "{}: m = {} not << n = {n}", spec.name, out.mc_count);
     }
 }
@@ -83,8 +80,8 @@ fn io_roundtrip_preserves_clustering() {
     data::io::write_bin(&dataset, &tmp).unwrap();
     let back = data::io::read_bin(&tmp).unwrap();
     std::fs::remove_file(&tmp).ok();
-    let a = MuDbscan::new(params).run(&dataset);
-    let b = MuDbscan::new(params).run(&back);
+    let a = MuDbscan::from_params(params).run(&dataset);
+    let b = MuDbscan::from_params(params).run(&back);
     assert_eq!(a.clustering, b.clustering);
 }
 
@@ -107,8 +104,8 @@ fn clustering_invariant_under_point_order() {
     };
     let shuffled = dataset.gather(&ids);
 
-    let a = MuDbscan::new(params).run(&dataset);
-    let b = MuDbscan::new(params).run(&shuffled);
+    let a = MuDbscan::from_params(params).run(&dataset);
+    let b = MuDbscan::from_params(params).run(&shuffled);
     assert_eq!(a.clustering.n_clusters, b.clustering.n_clusters);
     assert_eq!(a.clustering.noise_count(), b.clustering.noise_count());
     assert_eq!(a.clustering.core_count(), b.clustering.core_count());
