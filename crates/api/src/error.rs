@@ -1,14 +1,17 @@
 //! The shared error type of the facade.
 
 use dist::DistError;
+use stream::ServeError;
 
 /// Everything a facade-driven run can fail with.
 ///
-/// Algorithms in this workspace are total over valid inputs — the only
+/// Algorithms in this workspace are total over valid inputs — the
 /// runtime failures are configuration mistakes caught by
-/// [`crate::prelude::Runner::build`] and distributed local-stage errors
+/// [`crate::prelude::Runner::build`], distributed local-stage errors
 /// (e.g. a rank's GridDBSCAN exceeding its memory budget) surfaced as
-/// [`DistError`].
+/// [`DistError`], and serving-layer failures surfaced as
+/// [`ServeError`] (a dimension mismatch at ingest/query time, or a
+/// handle used after its writer thread shut down).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MuDbscanError {
     /// The builder was given an inconsistent configuration (the message
@@ -16,6 +19,8 @@ pub enum MuDbscanError {
     InvalidConfig(String),
     /// A distributed run failed.
     Dist(DistError),
+    /// A serving-layer operation failed.
+    Serve(ServeError),
 }
 
 impl std::fmt::Display for MuDbscanError {
@@ -23,6 +28,7 @@ impl std::fmt::Display for MuDbscanError {
         match self {
             MuDbscanError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MuDbscanError::Dist(e) => write!(f, "distributed run failed: {e}"),
+            MuDbscanError::Serve(e) => write!(f, "serving operation failed: {e}"),
         }
     }
 }
@@ -31,6 +37,7 @@ impl std::error::Error for MuDbscanError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MuDbscanError::Dist(e) => Some(e),
+            MuDbscanError::Serve(e) => Some(e),
             MuDbscanError::InvalidConfig(_) => None,
         }
     }
@@ -39,5 +46,11 @@ impl std::error::Error for MuDbscanError {
 impl From<DistError> for MuDbscanError {
     fn from(e: DistError) -> Self {
         MuDbscanError::Dist(e)
+    }
+}
+
+impl From<ServeError> for MuDbscanError {
+    fn from(e: ServeError) -> Self {
+        MuDbscanError::Serve(e)
     }
 }

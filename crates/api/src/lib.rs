@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # μDBSCAN — unified entry-point facade
 //!
@@ -8,10 +8,13 @@
 //! `use mudbscan::…` code keeps compiling unchanged, and adds:
 //!
 //! * [`prelude::Runner`] — one fluent builder that constructs any of the
-//!   five algorithm families (sequential, parallel, distributed,
-//!   streaming, OPTICS) behind the common [`prelude::Cluster`] trait;
+//!   six algorithm families (sequential, parallel, distributed,
+//!   streaming, OPTICS, serving) behind the common [`prelude::Cluster`]
+//!   trait, plus [`prelude::Runner::serve`] for the long-running
+//!   concurrent service shape (`docs/SERVING.md`);
 //! * [`MuDbscanError`] — the shared error enum every facade-driven `run`
-//!   returns (wrapping [`dist::DistError`] and configuration errors).
+//!   returns (wrapping [`dist::DistError`], `stream::ServeError`, and
+//!   configuration errors).
 //!
 //! The per-family constructors (`MuDbscan::from_params`,
 //! `ParMuDbscan::from_params`, `MuDbscanD::from_params`,
@@ -35,6 +38,13 @@
 
 pub mod error;
 pub mod prelude;
+
+/// Compiles and runs the worked example in `docs/SERVING.md` as a
+/// doctest, so the serving-layer documentation cannot drift from the
+/// real API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/SERVING.md")]
+mod serving_doc {}
 
 pub use error::MuDbscanError;
 pub use mudbscan_core::*;

@@ -1,4 +1,4 @@
-//! One fluent builder over all five algorithm families.
+//! One fluent builder over all six algorithm families.
 //!
 //! [`Runner`] replaces the four divergent constructor shapes
 //! (`new(params)`, `new(params, threads)`, `new(dim, params)`,
@@ -23,11 +23,17 @@
 //! The family is inferred — `.ranks(p)` selects [`Family::Distributed`],
 //! otherwise `.threads(t > 1)` selects [`Family::Parallel`], otherwise
 //! [`Family::Sequential`] — or forced with [`Runner::family`] (the only
-//! way to reach [`Family::Streaming`] and [`Family::Optics`]).
-//! Configuration that a family cannot honour (a fault plan outside
-//! `Distributed`, worker threads on the inherently sequential families,
-//! ablation knobs outside `Sequential`) is an [`MuDbscanError::InvalidConfig`]
-//! at build time, never silently ignored.
+//! way to reach [`Family::Streaming`], [`Family::Optics`], and the
+//! batch shape of [`Family::Serving`]). Configuration that a family
+//! cannot honour (a fault plan outside `Distributed`, worker threads on
+//! the inherently sequential families, ablation knobs outside
+//! `Sequential`) is an [`MuDbscanError::InvalidConfig`] at build time,
+//! never silently ignored.
+//!
+//! The sixth family is special: besides the one-shot batch shape above,
+//! [`Runner::serve`] starts the long-running concurrent service and
+//! hands back a [`ServeHandle`] for batched ingest (inserts, deletions,
+//! TTL expiry) and snapshot-isolated queries — see `docs/SERVING.md`.
 
 pub use crate::error::MuDbscanError;
 pub use cluster_sim::{Fault, FaultPlan, FaultStats, RankClock, RetryConfig};
@@ -36,13 +42,16 @@ pub use geom::{Dataset, DbscanParams, PointId};
 pub use mcs::{BuildOptions, ParBuildStats};
 pub use metrics::{Counters, PhaseTimer};
 pub use mudbscan_core::{naive_dbscan, Clustering, NOISE};
+pub use stream::{
+    Drained, ExtId, Membership, ServeError, ServeHandle, ServeOp, ServingMuDbscan, Snapshot,
+};
 
 use dist::{DistConfig, MuDbscanD};
 use mudbscan_core::{MuDbscan, ParMuDbscan};
 use optics::{extract_dbscan, Optics};
 use stream::StreamingMuDbscan;
 
-/// The five algorithm families the facade can construct.
+/// The six algorithm families the facade can construct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Sequential μDBSCAN (paper §IV).
@@ -55,6 +64,10 @@ pub enum Family {
     Streaming,
     /// OPTICS ordering with DBSCAN extraction at the generating ε.
     Optics,
+    /// The concurrent serving layer over the streaming engine: as a
+    /// batch family it ingests the dataset in one epoch and drains; the
+    /// long-running handle shape is [`Runner::serve`].
+    Serving,
 }
 
 impl Family {
@@ -65,6 +78,7 @@ impl Family {
             Family::Distributed => "Distributed",
             Family::Streaming => "Streaming",
             Family::Optics => "Optics",
+            Family::Serving => "Serving",
         }
     }
 }
@@ -108,6 +122,13 @@ pub enum RunDetails {
     },
     /// Streaming runs have no extras beyond the snapshot clustering.
     Streaming,
+    /// Serving-run extras (batch shape: one ingest epoch, then drain).
+    Serving {
+        /// Epochs published by the writer (1 for the batch shape).
+        epochs: u64,
+        /// Points live in the drained snapshot.
+        final_points: usize,
+    },
     /// The OPTICS ordering the clustering was extracted from.
     Optics {
         /// Point ids in processing order.
@@ -141,7 +162,7 @@ pub trait Cluster: Sync {
     fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError>;
 }
 
-/// Fluent builder over the five families. See the [module docs](self)
+/// Fluent builder over the six families. See the [module docs](self)
 /// for the inference rules; every knob is validated against the resolved
 /// family by [`Runner::build`].
 #[derive(Debug, Clone)]
@@ -248,9 +269,9 @@ impl Runner {
         })
     }
 
-    /// Validate the configuration and construct the concrete algorithm.
-    pub fn build(&self) -> Result<Box<dyn Cluster>, MuDbscanError> {
-        let family = self.resolved_family();
+    /// Validate every knob against `family`; the `Err` message names
+    /// the offending knob and the family it clashes with.
+    fn validate(&self, family: Family) -> Result<(), MuDbscanError> {
         let bad = |knob: &str| {
             Err(MuDbscanError::InvalidConfig(format!(
                 "{knob} is not supported by the {} family",
@@ -276,9 +297,16 @@ impl Runner {
         if !matches!(family, Family::Parallel | Family::Distributed) && self.threads > 1 {
             return bad("a worker-thread count");
         }
-        if matches!(family, Family::Streaming) && self.opts.is_some() {
+        if matches!(family, Family::Streaming | Family::Serving) && self.opts.is_some() {
             return bad("a build-options override");
         }
+        Ok(())
+    }
+
+    /// Validate the configuration and construct the concrete algorithm.
+    pub fn build(&self) -> Result<Box<dyn Cluster>, MuDbscanError> {
+        let family = self.resolved_family();
+        self.validate(family)?;
 
         Ok(match family {
             Family::Sequential => {
@@ -313,6 +341,7 @@ impl Runner {
                 Box::new(DistRun { algo })
             }
             Family::Streaming => Box::new(Streaming { params: self.params }),
+            Family::Serving => Box::new(ServeRun { params: self.params }),
             Family::Optics => {
                 let mut algo = Optics::from_params(self.params);
                 if let Some(opts) = self.opts {
@@ -326,6 +355,32 @@ impl Runner {
     /// Build and run in one step.
     pub fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
         self.build()?.run(data)
+    }
+
+    /// Start the long-running serving engine ([`Family::Serving`]) for
+    /// `dim`-dimensional points and return a [`ServeHandle`] for
+    /// batched ingest (inserts, deletions, TTL expiry) and
+    /// snapshot-isolated queries. The configuration is validated like
+    /// any other build: forcing a different family first, or setting a
+    /// knob the serving engine cannot honour, is an
+    /// [`MuDbscanError::InvalidConfig`]. See `docs/SERVING.md` for the
+    /// architecture and the exactness contract.
+    pub fn serve(&self, dim: usize) -> Result<ServeHandle, MuDbscanError> {
+        if let Some(f) = self.family {
+            if !matches!(f, Family::Serving) {
+                return Err(MuDbscanError::InvalidConfig(format!(
+                    "serve() starts the Serving family, but the {} family was forced",
+                    f.name()
+                )));
+            }
+        }
+        self.validate(Family::Serving)?;
+        if dim == 0 {
+            return Err(MuDbscanError::InvalidConfig(
+                "the served point dimension must be positive".into(),
+            ));
+        }
+        Ok(ServingMuDbscan::spawn(dim, self.params))
     }
 }
 
@@ -414,6 +469,27 @@ impl Cluster for Streaming {
     }
 }
 
+struct ServeRun {
+    params: DbscanParams,
+}
+
+impl Cluster for ServeRun {
+    fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
+        let handle = ServingMuDbscan::spawn(data.dim(), self.params);
+        handle.ingest(data.iter().map(|(_, c)| ServeOp::insert(c.to_vec())).collect())?;
+        let drained = handle.shutdown()?;
+        Ok(RunOutput {
+            clustering: drained.snapshot.clustering().clone(),
+            counters: drained.counters,
+            phases: PhaseTimer::new(),
+            details: RunDetails::Serving {
+                epochs: drained.snapshot.epoch(),
+                final_points: drained.snapshot.len(),
+            },
+        })
+    }
+}
+
 struct OpticsRun {
     algo: Optics,
     eps: f64,
@@ -465,6 +541,8 @@ mod tests {
             Runner::new(p).family(Family::Optics).threads(4), // threads on Optics
             Runner::new(p).family(Family::Streaming).threads(2), // threads on Streaming
             Runner::new(p).family(Family::Streaming).options(BuildOptions::default()),
+            Runner::new(p).family(Family::Serving).threads(2), // threads on Serving
+            Runner::new(p).family(Family::Serving).options(BuildOptions::default()),
             Runner::new(p).threads(2).disable_dynamic_promotion(true), // knob on Parallel
             Runner::new(p).ranks(2).disable_post_core_mc_skip(true),   // knob on Distributed
             Runner::new(p).family(Family::Sequential).threaded_ranks(),
@@ -479,7 +557,7 @@ mod tests {
     }
 
     #[test]
-    fn all_five_families_run_and_agree() {
+    fn all_six_families_run_and_agree() {
         let data = tiny();
         let p = DbscanParams::new(0.5, 3);
         let reference = naive_dbscan(&data, &p);
@@ -489,11 +567,44 @@ mod tests {
             Runner::new(p).ranks(2),
             Runner::new(p).family(Family::Streaming),
             Runner::new(p).family(Family::Optics),
+            Runner::new(p).family(Family::Serving),
         ] {
             let family = runner.resolved_family();
             let out = runner.run(&data).unwrap_or_else(|e| panic!("{family:?}: {e}"));
             assert_eq!(out.clustering, reference, "{family:?} disagrees with the oracle");
         }
+    }
+
+    #[test]
+    fn serve_handle_round_trip() {
+        let data = tiny();
+        let p = DbscanParams::new(0.5, 3);
+        let handle = Runner::new(p).serve(2).unwrap();
+        let ids =
+            handle.ingest(data.iter().map(|(_, c)| ServeOp::insert(c.to_vec())).collect()).unwrap();
+        assert_eq!(ids.len(), data.len());
+        let drained = handle.drain().unwrap();
+        assert_eq!(drained.snapshot.epoch(), 1);
+        // The served epoch is bit-identical to the batch family's answer.
+        let batch = Runner::new(p).family(Family::Serving).run(&data).unwrap();
+        assert_eq!(*drained.snapshot.clustering(), batch.clustering);
+        assert_eq!(handle.membership(ids[0]), Some(Membership { cluster: Some(0), is_core: true }));
+        assert_eq!(handle.membership(ids[3]), Some(Membership { cluster: None, is_core: false }));
+    }
+
+    #[test]
+    fn serve_rejects_bad_configurations() {
+        let p = DbscanParams::new(0.5, 3);
+        for bad in [
+            Runner::new(p).family(Family::Optics).serve(2),
+            Runner::new(p).ranks(2).serve(2),
+            Runner::new(p).threads(4).serve(2),
+            Runner::new(p).serve(0),
+        ] {
+            assert!(matches!(bad, Err(MuDbscanError::InvalidConfig(_))));
+        }
+        // Forcing Serving explicitly is fine.
+        assert!(Runner::new(p).family(Family::Serving).serve(3).is_ok());
     }
 
     #[test]

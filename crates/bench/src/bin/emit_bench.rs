@@ -3,7 +3,10 @@
 //! and the distributed simulator (all constructed via
 //! [`mudbscan::prelude::Runner`]), collect per-phase times and `obs`
 //! reports, verify exactness against the naive oracle, and write the
-//! schema-versioned `BENCH_PR6.json` trajectory file.
+//! schema-versioned `BENCH_PR7.json` trajectory file. Schema v6 adds a
+//! served-traffic arm per workload: a seeded trace of batched inserts,
+//! TTL expiries and deletions replayed through `Runner::serve` while
+//! reader threads race the writer (see [`run_serve_traffic`]).
 //!
 //! Parallel runs use the tiled parallel micro-cluster builder and carry a
 //! `tree_construction_makespan` field: the construction critical path
@@ -14,7 +17,7 @@
 //! convention the distributed simulator uses for per-rank phase maxima.
 //!
 //! The JSON schema is documented in `docs/BENCH_SCHEMA.md`; the committed
-//! `BENCH_PR6.json` is validated by `crates/bench/tests/bench_schema.rs`
+//! `BENCH_PR7.json` is validated by `crates/bench/tests/bench_schema.rs`
 //! and regenerated with
 //!
 //! ```text
@@ -24,7 +27,7 @@
 //! Environment knobs (all optional, for the CI perf-smoke job):
 //!
 //! * `EMIT_BENCH_N`     — points per workload (default 4000)
-//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR6.json`)
+//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR7.json`)
 //! * `EMIT_BENCH_REPS`  — repetitions for the overhead measurement
 //!   (default 5)
 //! * `EMIT_BENCH_MAKESPAN_REPS` — constructions per parallel run for the
@@ -46,7 +49,9 @@ use bench::{secs, timed, SEED};
 use data::paper_table2_specs;
 use geom::{Dataset, DbscanParams};
 use metrics::Counters;
-use mudbscan::prelude::{Family, Fault, FaultPlan, FaultStats, RunDetails, RunOutput, Runner};
+use mudbscan::prelude::{
+    Family, Fault, FaultPlan, FaultStats, RunDetails, RunOutput, Runner, ServeOp,
+};
 use mudbscan::{check_exact, naive_dbscan, Clustering};
 use obs::Json;
 
@@ -65,7 +70,14 @@ use obs::Json;
 /// v5: the `histograms` block gains `query/leaf_evals` (exact point–point
 /// distance evaluations charged per restricted ε-query, recorded by the
 /// SoA leaf kernels); the committed trajectory file is `BENCH_PR6.json`.
-const SCHEMA_VERSION: i64 = 5;
+/// v6: each workload gains a served-traffic arm (`serve_traffic`): a
+/// deterministic trace of batched inserts, TTLs and deletions replayed
+/// through the concurrent serving layer while reader threads race the
+/// writer. The run record carries `final_matches_batch`, `epochs`,
+/// `live_points`, an `ops` block of trace-determined operation totals,
+/// and the wall-clock `serve/*_us` latency histograms; the committed
+/// trajectory file is `BENCH_PR7.json`.
+const SCHEMA_VERSION: i64 = 6;
 
 /// Datasets from the Table II catalog used for the matrix (a subset keeps
 /// the oracle check and the CI smoke run fast while still covering a
@@ -147,7 +159,7 @@ struct RunMeta {
 }
 
 impl RunMeta {
-    /// Meta of a facade run, shared across all five arm shapes.
+    /// Meta of a facade run, shared across every arm shape.
     fn from_output(out: &RunOutput) -> Self {
         let mut meta = RunMeta {
             counters: Counters::new(),
@@ -177,7 +189,7 @@ impl RunMeta {
                 meta.peak_heap = *max_rank_heap_bytes as u64;
                 meta.bsp_timeline = Some((rank_clocks.clone(), *supersteps));
             }
-            RunDetails::Streaming | RunDetails::Optics { .. } => {}
+            RunDetails::Streaming | RunDetails::Optics { .. } | RunDetails::Serving { .. } => {}
         }
         meta
     }
@@ -331,6 +343,149 @@ fn run_one(
     rec
 }
 
+/// Batches in the served-traffic trace (also its final logical epoch).
+const SERVE_BATCHES: usize = 8;
+/// Reader threads racing the writer in the served-traffic arm.
+const SERVE_READERS: usize = 4;
+
+/// The schema-v6 served-traffic arm: replay a deterministic trace of
+/// batched inserts, TTL expiries and deletions through the concurrent
+/// serving layer (`Runner::serve`) while reader threads race the writer
+/// with ε-queries and membership lookups against whatever epoch happens
+/// to be published.
+///
+/// The trace is a pure function of the workload: points are ingested in
+/// [`SERVE_BATCHES`] contiguous batches in id order (single-handle
+/// ingest, so external ids equal dataset ids), every id ≡ 3 (mod 11)
+/// carries a two-epoch TTL, and each batch `b ≥ 2` deletes the ids
+/// ≡ 5 (mod 13) inserted exactly two batches earlier (the ones whose
+/// TTL already fired count as `deletes_ignored` — also
+/// trace-determined). Reader *answers* depend on which epoch each query
+/// pins — that is the point of snapshot isolation — so only
+/// trace-determined totals are emitted as work metrics, while the
+/// `serve/*_us` histograms are wall-clock and compare like timings in
+/// `bench_diff`.
+///
+/// Exactness is fail-closed twice over: the drained final snapshot must
+/// be oracle-exact on the live set and bit-identical to a batch
+/// streaming run over the same points (`final_matches_batch`).
+fn run_serve_traffic(name: &str, data: &Dataset, params: &DbscanParams) -> Json {
+    let n = data.len();
+    let chunk = n.div_ceil(SERVE_BATCHES).max(1);
+    let batch_ops = |b: usize| -> Vec<ServeOp> {
+        let mut ops = Vec::new();
+        if b >= 2 {
+            let (lo, hi) = (((b - 2) * chunk).min(n), ((b - 1) * chunk).min(n));
+            ops.extend((lo..hi).filter(|id| id % 13 == 5).map(|id| ServeOp::delete(id as u64)));
+        }
+        let (lo, hi) = ((b * chunk).min(n), ((b + 1) * chunk).min(n));
+        ops.extend((lo..hi).map(|id| {
+            let coords = data.point(id as u32).to_vec();
+            if id % 11 == 3 {
+                ServeOp::insert_ttl(coords, 2)
+            } else {
+                ServeOp::insert(coords)
+            }
+        }));
+        ops
+    };
+
+    // One replay of the whole trace: spawn the engine, race the readers
+    // against the ingest loop, rendezvous via `drain`. The handle drop
+    // at the end joins the writer thread.
+    let replay = || {
+        let handle = Runner::new(*params).serve(data.dim()).expect("serving configuration");
+        let t0 = std::time::Instant::now();
+        let drained = std::thread::scope(|s| {
+            for r in 0..SERVE_READERS {
+                let h = handle.clone();
+                s.spawn(move || {
+                    let quota = n / SERVE_READERS + usize::from(r < n % SERVE_READERS);
+                    for i in 0..quota {
+                        let k = r + i * SERVE_READERS;
+                        let mut probe =
+                            data.point(((k.wrapping_mul(104_729) + 12_345) % n) as u32).to_vec();
+                        // Deterministic jitter keeps the probes off the
+                        // ingested points without leaving the ε-scale.
+                        for (d, x) in probe.iter_mut().enumerate() {
+                            *x += params.eps * 0.25 * ((((k + d) % 7) as f64) - 3.0) / 3.0;
+                        }
+                        let _ = h.query(&probe).expect("probe dimension matches");
+                        let _ = h.membership((k.wrapping_mul(7_919) % n) as u64);
+                    }
+                });
+            }
+            for b in 0..SERVE_BATCHES {
+                handle.ingest(batch_ops(b)).expect("writer alive");
+            }
+            handle.drain().expect("writer alive")
+        });
+        (drained, t0.elapsed().as_secs_f64())
+    };
+
+    // One instrumented shot (the reported ops, counters and histograms
+    // reflect exactly one replay), then untraced reruns for the minimum
+    // wall — the same noise-stripping convention `run_one` uses.
+    obs::reset();
+    obs::enable();
+    let (drained, mut wall) = replay();
+    obs::disable();
+    let report = obs::take_report();
+    obs::reset();
+    for _ in 1..env_usize("EMIT_BENCH_TIME_REPS", 3).max(1) {
+        wall = wall.min(replay().1);
+    }
+
+    // Fail-closed exactness on the final live set, checked with
+    // instrumentation off so the verification runs stay out of the
+    // report: oracle-exact AND bit-identical to the batch twin.
+    let live = drained.snapshot.dataset();
+    let reference = naive_dbscan(live, params);
+    must_be_exact("serve_traffic", name, drained.snapshot.clustering(), &reference, live, params);
+    let batch =
+        Runner::new(*params).family(Family::Streaming).run(live).expect("batch streaming twin");
+    if *drained.snapshot.clustering() != batch.clustering {
+        eprintln!(
+            "EPOCH DRIFT: serve_traffic final snapshot diverged from its batch twin on {name}"
+        );
+        std::process::exit(1);
+    }
+
+    let hist_count =
+        |key: &str| report.hists.iter().find(|(k, _)| k == key).map_or(0, |(_, h)| h.count());
+    let mut rec = Json::obj();
+    rec.set("algorithm", Json::Str("serve_traffic".to_string()));
+    rec.set("exact", Json::Bool(true));
+    rec.set("final_matches_batch", Json::Bool(true));
+    rec.set("clusters", count(drained.snapshot.clustering().n_clusters as u64));
+    rec.set("noise", count(drained.snapshot.clustering().noise_count() as u64));
+    rec.set("epochs", count(drained.snapshot.epoch()));
+    rec.set("live_points", count(live.len() as u64));
+    rec.set("wall_secs", num(wall));
+    rec.set("phases", Json::obj_from([("serve_replay".to_string(), num(wall))]));
+    rec.set(
+        "ops",
+        Json::obj_from([
+            ("inserts".to_string(), count(report.count("serve/inserts"))),
+            ("deletes".to_string(), count(report.count("serve/deletes"))),
+            ("deletes_ignored".to_string(), count(report.count("serve/deletes_ignored"))),
+            ("expiries".to_string(), count(report.count("serve/expiries"))),
+            ("rebuilds".to_string(), count(report.count("serve/rebuilds"))),
+            ("reader_queries".to_string(), count(hist_count("serve/query_us"))),
+            ("reader_memberships".to_string(), count(hist_count("serve/membership_us"))),
+            ("reader_threads".to_string(), count(SERVE_READERS as u64)),
+        ]),
+    );
+    rec.set("pct_queries_saved", num(drained.counters.pct_queries_saved()));
+    rec.set("counters", counters_json(&drained.counters));
+    rec.set(
+        "histograms",
+        Json::obj_from(report.hists.iter().map(|(k, h)| (k.clone(), h.summary_json()))),
+    );
+    rec.set("obs", report.to_json());
+    rec
+}
+
 /// Measure the overhead of the obs instrumentation on the
 /// repro_table2-style workload: median wall time over `reps` runs of
 /// sequential μDBSCAN with collection off, with aggregate collection
@@ -404,7 +559,7 @@ fn export_trace(path: &str, data: &Dataset, params: &DbscanParams) {
 fn main() {
     let n = env_usize("EMIT_BENCH_N", 4000);
     let reps = env_usize("EMIT_BENCH_REPS", 5);
-    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
 
     bench::banner(
         "emit_bench",
@@ -499,6 +654,9 @@ fn main() {
             ));
             (out.clustering, meta)
         }));
+        // Schema v6: the served-traffic arm (own harness — its exactness
+        // checks run against the final *live* set, not the full dataset).
+        runs.push(run_serve_traffic(name, &data, &params));
 
         let mut w = Json::obj();
         w.set("dataset", Json::Str(name.to_string()));

@@ -20,8 +20,9 @@
 //! * **scale-free** (`DiffConfig::scale_free`) — the candidate may have a
 //!   different `n` (the CI smoke job emits a small instance against the
 //!   committed full-size one); only scale-insensitive observables are
-//!   compared: run presence, oracle exactness, and `pct_queries_saved`
-//!   within a loose absolute tolerance.
+//!   compared: run presence, oracle exactness (including the serving
+//!   arm's `final_matches_batch` bit), and `pct_queries_saved` within a
+//!   loose absolute tolerance.
 
 use obs::Json;
 
@@ -369,6 +370,25 @@ pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffR
                 );
             }
 
+            // The serving arm's second exactness bit (schema v6): the
+            // drained final snapshot must stay bit-identical to a batch
+            // run on the same live points. Checked fail-closed at
+            // emission, so a committed file can only say true — compared
+            // in every mode, like `exact`.
+            if br.get("final_matches_batch").is_some() {
+                d.report.compared += 1;
+                if cr.get("final_matches_batch").and_then(Json::as_bool) != Some(true) {
+                    d.push(
+                        &ctx,
+                        "final_matches_batch",
+                        1.0,
+                        0.0,
+                        Severity::Regression,
+                        "drained snapshot no longer matches its batch twin".to_string(),
+                    );
+                }
+            }
+
             if let (Some(b), Some(c)) = (f(br, "pct_queries_saved"), f(cr, "pct_queries_saved")) {
                 d.pct_saved(&ctx, b, c);
             }
@@ -407,7 +427,9 @@ pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffR
                 cfg.counter_rel
             };
 
-            for metric in ["clusters", "noise"] {
+            // `epochs` and `live_points` exist only on the serving arm
+            // (schema v6) and are trace-determined, like cluster shapes.
+            for metric in ["clusters", "noise", "epochs", "live_points"] {
                 if let (Some(b), Some(c)) = (f(br, metric), f(cr, metric)) {
                     d.work_metric(&ctx, metric, b, c);
                 }
@@ -424,6 +446,36 @@ pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffR
                         d.work_metric_banded(&ctx, &format!("counters/{key}"), b, c, band);
                     }
                 }
+            }
+
+            // Ops block (schema v6, the serving arm): the replayed
+            // trace's operation totals are a pure function of the
+            // workload — drift means the trace generator or the serving
+            // layer's expiry/delete semantics changed.
+            if let (Some(bo), Some(co)) = (br.get("ops"), cr.get("ops")) {
+                for key in [
+                    "inserts",
+                    "deletes",
+                    "deletes_ignored",
+                    "expiries",
+                    "rebuilds",
+                    "reader_queries",
+                    "reader_memberships",
+                    "reader_threads",
+                ] {
+                    if let (Some(b), Some(c)) = (f(bo, key), f(co, key)) {
+                        d.work_metric(&ctx, &format!("ops/{key}"), b, c);
+                    }
+                }
+            } else if br.get("ops").is_some() {
+                d.push(
+                    &ctx,
+                    "ops",
+                    1.0,
+                    f64::NAN,
+                    Severity::Regression,
+                    "ops block missing from candidate".to_string(),
+                );
             }
 
             // Fault block (schema v4): the integer counters are the fault
@@ -498,11 +550,13 @@ pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffR
                         );
                         continue;
                     };
-                    // `recovery/compute_us` is the one wall-clock histogram
-                    // (Stopwatch-timed re-execution of the lost rank); its
-                    // percentiles jitter run to run, so they compare like
-                    // timings. Counts stay exact for every histogram.
-                    let wall_clock = key == "recovery/compute_us";
+                    // `recovery/compute_us` (Stopwatch-timed re-execution
+                    // of the lost rank) and the serving arm's `serve/*_us`
+                    // per-operation latencies are wall-clock histograms:
+                    // their percentiles jitter run to run, so they compare
+                    // like timings. Counts stay exact for every histogram.
+                    let wall_clock = key == "recovery/compute_us"
+                        || (key.starts_with("serve/") && key.ends_with("_us"));
                     for q in ["count", "p50", "p95", "p99", "max"] {
                         if let (Some(b), Some(c)) = (f(bsum, q), f(csum, q)) {
                             let metric = format!("histograms/{key}/{q}");
@@ -738,6 +792,91 @@ mod tests {
         let reshaped = Json::parse(&text).unwrap();
         let rep = diff(&base, &reshaped, &DiffConfig::default()).unwrap();
         assert!(rep.regressions().iter().any(|f| f.metric == "clusters"), "{}", rep.render());
+    }
+
+    /// A one-run trajectory shaped like the schema-v6 serving arm:
+    /// trace-determined ops totals, wall-clock latency histograms, the
+    /// batch-twin exactness bit.
+    fn mini_serve(inserts: f64, query_p99: f64, matches: bool) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "schema_version": 6,
+              "seed": 2019,
+              "points_per_workload": 1000,
+              "workloads": [
+                {{
+                  "dataset": "W",
+                  "runs": [
+                    {{
+                      "algorithm": "serve_traffic",
+                      "exact": true,
+                      "final_matches_batch": {matches},
+                      "clusters": 5,
+                      "noise": 12,
+                      "epochs": 8,
+                      "live_points": 860,
+                      "wall_secs": 0.4,
+                      "pct_queries_saved": 80.0,
+                      "phases": {{"serve_replay": 0.4}},
+                      "ops": {{"inserts": {inserts}, "deletes": 60,
+                              "deletes_ignored": 6, "expiries": 74,
+                              "rebuilds": 6, "reader_queries": 1000,
+                              "reader_memberships": 1000, "reader_threads": 4}},
+                      "counters": {{"range_queries": 100, "queries_saved": 50,
+                                    "dist_computations": 999, "node_visits": 4000,
+                                    "union_ops": 42}},
+                      "histograms": {{"serve/query_us": {{"count": 1000, "p50": 4,
+                                      "p95": 10, "p99": {query_p99}, "max": 40}}}}
+                    }}
+                  ]
+                }}
+              ],
+              "overhead": {{"overhead_pct": 1.0}}
+            }}"#
+        ))
+        .expect("valid mini serving trajectory")
+    }
+
+    #[test]
+    fn serve_latencies_compare_as_timings_but_ops_compare_exactly() {
+        let base = mini_serve(1000.0, 20.0, true);
+        let rep = diff(&base, &base, &DiffConfig::default()).unwrap();
+        assert!(!rep.has_regressions(), "{}", rep.render());
+
+        // A 25% p99 latency bump is inside the 50% timing tolerance —
+        // under the zero-tolerance work-metric contract it would fail.
+        let jittered = mini_serve(1000.0, 25.0, true);
+        let rep = diff(&base, &jittered, &DiffConfig::default()).unwrap();
+        assert!(!rep.has_regressions(), "{}", rep.render());
+
+        // Beyond the timing tolerance it is a regression again.
+        let slow = mini_serve(1000.0, 80.0, true);
+        let rep = diff(&base, &slow, &DiffConfig::default()).unwrap();
+        assert!(
+            rep.regressions().iter().any(|f| f.metric == "histograms/serve/query_us/p99"),
+            "{}",
+            rep.render()
+        );
+
+        // The trace-determined op totals stay zero-tolerance.
+        let drifted = mini_serve(999.0, 20.0, true);
+        let rep = diff(&base, &drifted, &DiffConfig::default()).unwrap();
+        assert!(rep.regressions().iter().any(|f| f.metric == "ops/inserts"), "{}", rep.render());
+    }
+
+    #[test]
+    fn serve_batch_twin_drift_is_a_regression_even_scale_free() {
+        let base = mini_serve(1000.0, 20.0, true);
+        let broken = mini_serve(1000.0, 20.0, false);
+        for cfg in [DiffConfig::default(), DiffConfig { scale_free: true, ..DiffConfig::default() }]
+        {
+            let rep = diff(&base, &broken, &cfg).unwrap();
+            assert!(
+                rep.regressions().iter().any(|f| f.metric == "final_matches_batch"),
+                "{}",
+                rep.render()
+            );
+        }
     }
 
     #[test]

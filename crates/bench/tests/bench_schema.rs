@@ -1,4 +1,4 @@
-//! Validate the committed `BENCH_PR6.json` trajectory against the schema
+//! Validate the committed `BENCH_PR7.json` trajectory against the schema
 //! documented in `docs/BENCH_SCHEMA.md`.
 //!
 //! The CI perf-smoke job points `BENCH_SCHEMA_FILE` at a freshly emitted
@@ -11,14 +11,16 @@ use obs::Json;
 
 /// The algorithms every workload must cover: sequential μDBSCAN, the
 /// parallel variant with 1 and 4 threads, μDBSCAN-D with 1 and 4 ranks,
-/// and (schema v4) the fault-injected 4-rank recovery arm.
-const REQUIRED_ALGORITHMS: [&str; 6] = [
+/// (schema v4) the fault-injected 4-rank recovery arm, and (schema v6)
+/// the served-traffic arm through the concurrent serving layer.
+const REQUIRED_ALGORITHMS: [&str; 7] = [
     "mudbscan_seq",
     "par_mudbscan_t1",
     "par_mudbscan_t4",
     "mudbscan_d_p1",
     "mudbscan_d_p4",
     "mudbscan_d_p4_faults",
+    "serve_traffic",
 ];
 
 /// Below this per-workload size the construction critical path is
@@ -35,7 +37,7 @@ fn trajectory_path() -> std::path::PathBuf {
         return p.into();
     }
     // crates/bench -> repository root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json")
 }
 
 fn get_f64(v: &Json, key: &str) -> f64 {
@@ -47,9 +49,9 @@ fn committed_trajectory_matches_schema() {
     let path = trajectory_path();
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let root = Json::parse(&text).expect("BENCH_PR6.json must be valid JSON");
+    let root = Json::parse(&text).expect("BENCH_PR7.json must be valid JSON");
 
-    assert_eq!(get_f64(&root, "schema_version"), 5.0, "schema_version must be 5");
+    assert_eq!(get_f64(&root, "schema_version"), 6.0, "schema_version must be 6");
     assert_eq!(get_f64(&root, "seed"), 2019.0, "pinned seed");
     let points_per_workload = get_f64(&root, "points_per_workload");
     assert!(points_per_workload >= 100.0);
@@ -96,6 +98,55 @@ fn committed_trajectory_matches_schema() {
             // Since the from_raw fix, node visits survive every snapshot
             // path (sequential, shared, distributed aggregation).
             assert!(get_f64(counters, "node_visits") > 0.0, "{ctx}: node_visits must be tracked");
+            // The served-traffic arm (schema v6) is structurally its own
+            // shape: no batch R-tree query histograms or spans — its
+            // histograms are wall-clock per-operation latencies — plus
+            // the batch-twin exactness bit, the epoch count, and the
+            // trace-determined ops block.
+            if label == "serve_traffic" {
+                assert_eq!(
+                    r.get("final_matches_batch").and_then(Json::as_bool),
+                    Some(true),
+                    "{ctx}: drained snapshot must match its batch twin"
+                );
+                assert!(get_f64(r, "epochs") >= 3.0, "{ctx}: the trace must span several epochs");
+                assert!(get_f64(r, "live_points") > 0.0, "{ctx}: live points");
+                let ops = r.get("ops").expect("ops block");
+                for key in
+                    ["inserts", "deletes", "expiries", "reader_queries", "reader_memberships"]
+                {
+                    assert!(get_f64(ops, key) > 0.0, "{ctx}: ops/{key} must be positive");
+                }
+                assert!(get_f64(ops, "rebuilds") >= 1.0, "{ctx}: removals must trigger rebuilds");
+                assert!(get_f64(ops, "reader_threads") >= 2.0, "{ctx}: concurrent readers");
+                // The live-set accounting must close: every insert is
+                // still live, expired, or explicitly deleted.
+                assert_eq!(
+                    get_f64(r, "live_points"),
+                    get_f64(ops, "inserts") - get_f64(ops, "expiries") - get_f64(ops, "deletes"),
+                    "{ctx}: live-set accounting must close"
+                );
+                let hists = r.get("histograms").and_then(Json::as_object).expect("histograms");
+                for key in [
+                    "serve/ingest_batch_us",
+                    "serve/publish_us",
+                    "serve/query_us",
+                    "serve/membership_us",
+                ] {
+                    let h = hists
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map(|(_, v)| v)
+                        .unwrap_or_else(|| panic!("{ctx}: {key} histogram missing"));
+                    assert!(get_f64(h, "count") > 0.0, "{ctx}: empty {key} histogram");
+                    let (p50, p99, max) = (get_f64(h, "p50"), get_f64(h, "p99"), get_f64(h, "max"));
+                    assert!(
+                        p50 <= p99 && p99 <= max,
+                        "{ctx}: {key} percentiles must be monotone (p50 {p50} p99 {p99} max {max})"
+                    );
+                }
+                continue;
+            }
             let obs = r.get("obs").expect("obs report");
             let spans = obs.get("spans").and_then(Json::as_object).expect("obs spans");
             assert!(!spans.is_empty(), "{ctx}: obs spans must be recorded");

@@ -1,0 +1,97 @@
+//! Doc integrity: every relative markdown link in `README.md`,
+//! `EXPERIMENTS.md` and `docs/*.md` must resolve to a file that exists
+//! in the repository. Renaming or deleting a doc (or a trajectory file
+//! like `BENCH_PR7.json`) without updating the pages that reference it
+//! fails here — the CI docs job runs this as its link-integrity step.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> repository root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+fn audited_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md"), root.join("EXPERIMENTS.md")];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs directory") {
+        let p = entry.expect("docs entry").path();
+        if p.extension().is_some_and(|e| e == "md") {
+            files.push(p);
+        }
+    }
+    files
+}
+
+/// The target of every markdown link in `text`: inline `[text](target)`
+/// links plus reference-style definitions (`[label]: target`). Good
+/// enough for this repo's docs, which use no nested parentheses. Fenced
+/// code blocks are skipped so `vec[i](x)` in an example is not read as
+/// a link.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Reference definition: the line is `[label]: target`.
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('[') {
+            if let Some(close) = trimmed.find("]:") {
+                if !trimmed[..close].contains(']') {
+                    out.push(trimmed[close + 2..].trim().to_string());
+                    continue;
+                }
+            }
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            out.push(tail[..close].to_string());
+            rest = &tail[close + 1..];
+        }
+    }
+    out
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in audited_files() {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let dir = file.parent().expect("audited file has a parent");
+        for target in link_targets(&text) {
+            // `[text](path "title")` → keep the path part only.
+            let target = target.split_whitespace().next().unwrap_or("");
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            checked += 1;
+            let path = target.split('#').next().expect("split never yields nothing");
+            if !dir.join(path).exists() {
+                broken.push(format!("{}: ({target})", file.display()));
+            }
+        }
+    }
+    assert!(checked > 0, "the audited pages contain no relative links — parser broken?");
+    assert!(broken.is_empty(), "broken intra-repo links:\n{}", broken.join("\n"));
+}
+
+#[test]
+fn link_parser_handles_fences_and_titles() {
+    let text = "see [a](docs/A.md) and [b](B.md#sec)\n```\nnot [a](link.md)\n```\n[c](C.md \"t\")\n[`Ref`]: D.md";
+    assert_eq!(link_targets(text), vec!["docs/A.md", "B.md#sec", "C.md \"t\"", "D.md"]);
+}

@@ -157,6 +157,12 @@ pub fn registry() -> Vec<Box<dyn ExactDbscan>> {
         // bit-for-bit with everything above.
         Box::new(Facade { name: "mu-stream", configure: |r| r.family(Family::Streaming) }),
         Box::new(Facade { name: "optics-extract", configure: |r| r.family(Family::Optics) }),
+        // The serving layer run as a one-shot: every point ingested as a
+        // single batch through the writer thread, then drained. The
+        // concurrent-epoch behaviour has its own linearizability suite
+        // (tests/serve_linearizability.rs); this entry keeps the
+        // snapshot-canonicalization path inside the differential sweep.
+        Box::new(Facade { name: "mu-serve", configure: |r| r.family(Family::Serving) }),
     ]
 }
 

@@ -1,0 +1,288 @@
+//! Linearizability of the concurrent serving layer.
+//!
+//! The serving contract (`docs/SERVING.md`) is *snapshot isolation over
+//! a linear epoch history*: the writer applies one ingested batch per
+//! epoch and publishes an immutable snapshot, so every answer any
+//! reader ever observes — no matter how its pins interleave with the
+//! writer — must be explained by some published prefix of the op trace.
+//! Because answers are pure functions of the pinned [`Snapshot`], it
+//! suffices to show that **every observable epoch is bit-identical to
+//! the batch oracle replayed over the corresponding trace prefix**,
+//! including the deletion and TTL-expiry semantics of the logical epoch
+//! clock.
+//!
+//! Three layers of evidence:
+//!
+//! * a deterministic seeded trace where *every* epoch is captured via
+//!   per-batch `drain` rendezvous and validated in full;
+//! * a proptest over random traces where racing reader threads pin
+//!   whatever epochs they happen to catch, all of which must validate;
+//! * reader-side probe answers re-derived from the model prefix.
+
+use geom::{Dataset, DbscanParams};
+use mudbscan::prelude::{Family, Runner, ServeOp, Snapshot};
+use mudbscan::{check_exact, naive_dbscan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const DIM: usize = 2;
+
+fn params() -> DbscanParams {
+    DbscanParams::new(0.3, 3)
+}
+
+/// One raw operation of a generated trace, before external ids are
+/// resolved. `Delete(raw)` targets `raw % inserted_before_this_batch`
+/// (skipped when nothing was inserted yet), so deletes always reference
+/// ids assigned in *earlier* batches — the single-handle ingest order
+/// makes those ids deterministic.
+#[derive(Debug, Clone)]
+enum RawOp {
+    Insert { coords: Vec<f64>, ttl: Option<u64> },
+    Delete { raw: u64 },
+}
+
+/// The sequential model of the serving semantics: one entry per live
+/// point, in insertion order, mirroring the engine's compacting rebuild.
+#[derive(Default, Clone)]
+struct Model {
+    /// `(ext_id, coords, first_dead_epoch)` for each live point.
+    live: Vec<(u64, Vec<f64>, u64)>,
+    next_ext: u64,
+    epoch: u64,
+}
+
+impl Model {
+    /// Apply one batch under the engine's rules: bump the epoch, expire
+    /// (TTL first), then delete, then insert. Returns the resolved
+    /// `ServeOp` batch to feed the real engine.
+    fn apply(&mut self, raw: &[RawOp]) -> Vec<ServeOp> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.live.retain(|(_, _, dead_at)| *dead_at > epoch);
+        let inserted_before = self.next_ext;
+        let mut ops = Vec::new();
+        for op in raw {
+            match op {
+                RawOp::Delete { raw } => {
+                    if inserted_before == 0 {
+                        continue;
+                    }
+                    let target = raw % inserted_before;
+                    ops.push(ServeOp::delete(target));
+                    self.live.retain(|(ext, _, _)| *ext != target);
+                }
+                RawOp::Insert { coords, ttl } => {
+                    let dead_at = ttl.map_or(u64::MAX, |d| epoch.saturating_add(d.max(1)));
+                    ops.push(match ttl {
+                        Some(d) => ServeOp::insert_ttl(coords.clone(), *d),
+                        None => ServeOp::insert(coords.clone()),
+                    });
+                    self.live.push((self.next_ext, coords.clone(), dead_at));
+                    self.next_ext += 1;
+                }
+            }
+        }
+        ops
+    }
+
+    fn dataset(&self) -> Dataset {
+        let mut d = Dataset::empty(DIM);
+        for (_, coords, _) in &self.live {
+            d.push(coords);
+        }
+        d
+    }
+
+    fn ext_ids(&self) -> Vec<u64> {
+        self.live.iter().map(|(e, _, _)| *e).collect()
+    }
+}
+
+/// Validate one observed snapshot against the model state for its epoch:
+/// same live ids in the same order, same coordinates, and a clustering
+/// bit-identical to the batch oracle (the facade's one-shot streaming
+/// family) on the live prefix — which is itself checked exact against
+/// naive DBSCAN. Also spot-checks reader-visible answers: ε-queries and
+/// membership lookups must match what the model's live set implies.
+fn validate_epoch(snapshot: &Snapshot, model: &Model, ctx: &str) {
+    assert_eq!(snapshot.epoch(), model.epoch, "{ctx}: epoch mismatch");
+    assert_eq!(snapshot.live_ids(), model.ext_ids().as_slice(), "{ctx}: live ids diverged");
+    let expected_data = model.dataset();
+    assert_eq!(snapshot.dataset().len(), expected_data.len(), "{ctx}: live point count diverged");
+    for (p, coords) in expected_data.iter() {
+        assert_eq!(snapshot.dataset().point(p), coords, "{ctx}: point {p} coords diverged");
+    }
+
+    let p = params();
+    let batch =
+        Runner::new(p).family(Family::Streaming).run(&expected_data).expect("batch oracle run");
+    assert_eq!(
+        *snapshot.clustering(),
+        batch.clustering,
+        "{ctx}: snapshot clustering is not bit-identical to the batch prefix run"
+    );
+    if !expected_data.is_empty() {
+        let reference = naive_dbscan(&expected_data, &p);
+        let report = check_exact(snapshot.clustering(), &reference, &expected_data, &p);
+        assert!(report.is_exact(), "{ctx}: snapshot inexact vs naive oracle: {report:?}");
+    }
+
+    // Reader-visible answers, re-derived from the model: a published
+    // epoch must answer ε-queries with exactly the live ids within ε,
+    // and membership with exactly the clustering's label for that id.
+    for (i, (ext, coords, _)) in model.live.iter().enumerate().step_by(3) {
+        let mut expected: Vec<u64> = model
+            .live
+            .iter()
+            .filter(|(_, c, _)| {
+                c.iter().zip(coords).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() < p.eps
+            })
+            .map(|(e, _, _)| *e)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(
+            snapshot.query(coords).expect("probe dimension matches"),
+            expected,
+            "{ctx}: ε-query answer diverged from the model prefix"
+        );
+        let m = snapshot.membership(*ext).expect("live id has a membership");
+        assert_eq!(m.is_core, snapshot.clustering().is_core[i], "{ctx}: is_core diverged");
+        let label = snapshot.clustering().labels[i];
+        assert_eq!(
+            m.cluster,
+            (label != mudbscan::NOISE).then_some(label),
+            "{ctx}: cluster label diverged"
+        );
+    }
+}
+
+/// A seeded trace with all three op classes: clustered inserts (blob
+/// centers close enough for ε-chains), a TTL on every fifth insert, and
+/// deletes of earlier ids sprinkled through the later batches.
+fn seeded_trace(seed: u64, batches: usize, per_batch: usize) -> Vec<Vec<RawOp>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inserted = 0u64;
+    (0..batches)
+        .map(|_| {
+            (0..per_batch)
+                .map(|_| {
+                    if inserted > 0 && rng.gen_range(0..5) == 0 {
+                        RawOp::Delete { raw: rng.gen_range(0..inserted * 2) }
+                    } else {
+                        let cx = rng.gen_range(0..3) as f64;
+                        let coords =
+                            vec![cx + rng.gen_range(-0.25..0.25), cx + rng.gen_range(-0.25..0.25)];
+                        let ttl = (rng.gen_range(0..5) == 0).then(|| rng.gen_range(1..3u64));
+                        inserted += 1;
+                        RawOp::Insert { coords, ttl }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Replay a trace against the real engine with `readers` threads racing
+/// the writer, capturing every epoch deterministically via per-batch
+/// drain *and* whatever epochs the racing readers happen to pin. Every
+/// captured epoch is validated against the model prefix.
+fn run_and_validate(trace: &[Vec<RawOp>], readers: usize, ctx: &str) {
+    let handle = Runner::new(params()).serve(DIM).expect("serving configuration");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let mut pinned = Vec::new();
+        for _ in 0..readers {
+            let h = handle.clone();
+            let stop = Arc::clone(&stop);
+            pinned.push(s.spawn(move || {
+                let mut seen: BTreeMap<u64, Arc<Snapshot>> = BTreeMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = h.pin();
+                    seen.entry(snap.epoch()).or_insert(snap);
+                    std::thread::yield_now();
+                }
+                seen
+            }));
+        }
+
+        // The writer side: one model step and one ingest per batch, with
+        // a drain rendezvous capturing each epoch as it is published.
+        let mut model = Model::default();
+        let mut prefixes: Vec<Model> = Vec::new();
+        for raw in trace {
+            let ops = model.apply(raw);
+            handle.ingest(ops).expect("writer alive");
+            let drained = handle.drain().expect("writer alive");
+            validate_epoch(&drained.snapshot, &model, &format!("{ctx}/epoch{}", model.epoch));
+            prefixes.push(model.clone());
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        // Whatever the racing readers pinned must be one of the published
+        // prefixes, bit-identical — epoch 0 is the empty pre-ingest state.
+        for (r, t) in pinned.into_iter().enumerate() {
+            let seen = t.join().expect("reader thread");
+            for (epoch, snap) in seen {
+                if epoch == 0 {
+                    assert!(snap.is_empty(), "{ctx}: epoch 0 must be empty");
+                    continue;
+                }
+                let model = &prefixes[(epoch - 1) as usize];
+                validate_epoch(&snap, model, &format!("{ctx}/reader{r}/epoch{epoch}"));
+            }
+        }
+    });
+
+    let final_epochs = handle.snapshot_epoch();
+    assert_eq!(final_epochs, trace.len() as u64, "{ctx}: one epoch per batch");
+}
+
+#[test]
+fn every_epoch_of_a_seeded_trace_is_linearizable() {
+    let trace = seeded_trace(2019, 6, 40);
+    assert!(trace.len() >= 3, "the trace must span at least three epochs");
+    run_and_validate(&trace, 4, "seeded");
+}
+
+/// Raw-op strategy: mostly inserts on a coarse lattice (so ε-relations
+/// and duplicate coordinates actually occur), occasional TTLs, and a
+/// 20% sprinkle of raw deletes.
+fn raw_op() -> impl Strategy<Value = RawOp> {
+    (0u32..5, proptest::collection::vec(0u32..12, DIM), 0u64..5, 0u64..1_000).prop_map(
+        |(kind, grid, ttl, raw)| {
+            if kind == 0 {
+                RawOp::Delete { raw }
+            } else {
+                RawOp::Insert {
+                    coords: grid.into_iter().map(|g| g as f64 * 0.18).collect(),
+                    // ttl ∈ {3, 4} → Some(1 | 2): a TTL on 40% of inserts.
+                    ttl: (ttl >= 3).then_some(ttl - 2),
+                }
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// N readers race the writer over a random multi-epoch trace; every
+    /// epoch anyone observes — plus every epoch captured at the drain
+    /// rendezvous — must be bit-identical to the batch oracle on the
+    /// corresponding trace prefix, TTLs and deletions included.
+    #[test]
+    fn racing_readers_only_observe_published_prefixes(
+        trace in proptest::collection::vec(
+            proptest::collection::vec(raw_op(), 0..10),
+            3..6,
+        )
+    ) {
+        run_and_validate(&trace, 3, "prop");
+    }
+}

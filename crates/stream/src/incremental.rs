@@ -61,9 +61,15 @@ impl StreamingMuDbscan {
     /// rules are replayed sequentially in id order. The resulting
     /// structure is a valid streaming state — [`Self::snapshot`] is
     /// exactly the batch DBSCAN clustering, and later [`Self::insert`]
-    /// calls continue incrementally from it. Point-at-a-time ingestion
-    /// via [`Self::empty`] + [`Self::extend_from`] remains the sequential
-    /// path.
+    /// calls continue incrementally from it.
+    ///
+    /// This is the low-level entry point the facade builds on:
+    /// applications should run `Runner::new(params)
+    /// .family(Family::Streaming)` (one-shot batch) or `Runner::serve`
+    /// (long-running concurrent service, `docs/SERVING.md`) and only
+    /// reach for this constructor when embedding the engine directly.
+    /// Point-at-a-time ingestion via [`Self::empty`] +
+    /// [`Self::extend_from`] remains the sequential path.
     pub fn from_dataset(data: &Dataset, params: DbscanParams) -> Self {
         let n = data.len();
         let dim = data.dim();
@@ -189,6 +195,11 @@ impl StreamingMuDbscan {
         self.data.point(p)
     }
 
+    /// The ingested points, in insertion order.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
     /// ε-neighbourhood of arbitrary coordinates over the current prefix
     /// (strict `< ε`), via the micro-cluster index.
     fn query(&self, coords: &[f64]) -> Vec<PointId> {
@@ -302,6 +313,61 @@ impl StreamingMuDbscan {
     pub fn snapshot(&mut self) -> Clustering {
         let is_core = self.is_core.clone();
         Clustering::from_union_find(&mut self.uf, is_core)
+    }
+
+    /// The clustering of the current prefix with border ties resolved
+    /// canonically: every border point joins the cluster of its
+    /// **minimum-id core neighbour**, which is exactly the attachment
+    /// [`Self::from_dataset`] produces when it replays the union rules
+    /// in id order. [`Self::snapshot`]'s border attachment depends on
+    /// insertion order (classical DBSCAN leaves the tie unspecified),
+    /// so two orders of the same points can disagree on borders while
+    /// both being exact. This method re-resolves the ties, making the
+    /// result compare `==` against a batch run on the same points —
+    /// the serving layer ([`crate::serve`]) publishes canonical
+    /// snapshots for precisely that bit-identical epoch contract.
+    ///
+    /// Costs one ε-query per captured border point; core components
+    /// are copied from the incremental union–find (they are already
+    /// order-independent).
+    pub fn canonical_snapshot(&self) -> Clustering {
+        use std::collections::hash_map::Entry;
+        let n = self.data.len();
+        let mut uf = UnionFind::new(n);
+        // Each incremental union–find set holds exactly one core
+        // component plus the borders it captured; restricted to cores
+        // the partition is order-independent. Copy it by unioning every
+        // core point with the first core seen in its set.
+        let mut rep: std::collections::HashMap<PointId, PointId> = std::collections::HashMap::new();
+        for p in 0..n {
+            if !self.is_core[p] {
+                continue;
+            }
+            match rep.entry(self.uf.find_const(p as PointId)) {
+                Entry::Occupied(e) => {
+                    uf.union(*e.get(), p as PointId);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(p as PointId);
+                }
+            }
+        }
+        // Re-attach each captured border to its minimum-id core
+        // neighbour (fresh unions only: the incremental attachment is
+        // deliberately not copied).
+        for p in 0..n {
+            if self.is_core[p] || !self.assigned[p] {
+                continue;
+            }
+            let anchor = self
+                .query(self.data.point(p as PointId))
+                .into_iter()
+                .filter(|&q| self.is_core[q as usize])
+                .min()
+                .expect("assigned border point must have a core neighbour");
+            uf.union(anchor, p as PointId);
+        }
+        Clustering::from_union_find(&mut uf, self.is_core.clone())
     }
 
     /// Convenience: bulk-ingest a dataset in row order.
@@ -451,6 +517,25 @@ mod tests {
         let got = s.snapshot();
         let want = naive_dbscan(&data, &params);
         let rep = check_exact(&got, &want, &data, &params);
+        assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    fn canonical_snapshot_is_bit_identical_to_bulk_load() {
+        let data = blobs(40, 37);
+        let params = DbscanParams::new(0.6, 4);
+        let mut bulk = StreamingMuDbscan::from_dataset(&data, params);
+        let mut seq = StreamingMuDbscan::empty(2, params);
+        seq.extend_from(&data);
+        let want = bulk.snapshot();
+        // Point-at-a-time ingestion may attach border ties differently;
+        // the canonical snapshot re-resolves them to the bulk answer.
+        assert_eq!(seq.canonical_snapshot(), want);
+        // The bulk state is already canonical.
+        assert_eq!(bulk.canonical_snapshot(), want);
+        // And canonicalisation must itself be exact DBSCAN.
+        let rep =
+            check_exact(&seq.canonical_snapshot(), &naive_dbscan(&data, &params), &data, &params);
         assert!(rep.is_exact(), "{rep:?}");
     }
 

@@ -1,13 +1,21 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
-//! # stream — insertion-incremental μDBSCAN
+//! # stream — insertion-incremental μDBSCAN and its serving layer
 //!
 //! The paper closes with "this approach can also be adopted to fast
-//! clustering of data streams". This crate implements that extension:
-//! a [`StreamingMuDbscan`] structure that ingests points one at a time
-//! and, **after every insertion, holds exactly the DBSCAN clustering of
-//! the points seen so far** (validated against the batch oracle in the
-//! tests).
+//! clustering of data streams". This crate implements that extension
+//! twice over:
+//!
+//! * [`StreamingMuDbscan`] — the single-owner engine: ingest points one
+//!   at a time and, **after every insertion, hold exactly the DBSCAN
+//!   clustering of the points seen so far** (validated against the
+//!   batch oracle in the tests);
+//! * [`serve::ServingMuDbscan`] — the concurrent serving layer on top:
+//!   a writer thread applies batched inserts **plus deletions and
+//!   TTL expiry**, publishing immutable epoch [`serve::Snapshot`]s that
+//!   any number of reader threads answer from without blocking on
+//!   writers. Reach it through `Runner::serve` on the facade (see
+//!   `docs/SERVING.md`).
 //!
 //! The incremental semantics follow Ester et al.'s IncrementalDBSCAN
 //! (1998) specialised to insertions, accelerated with the paper's
@@ -24,8 +32,11 @@
 //!   one ε-query each to wire up their cluster edges — everything else
 //!   needs no recomputation.
 //!
-//! Deletions are out of scope (they can split clusters and require
-//! connectivity re-checks); for sliding windows, rebuild periodically.
+//! Deletions can split clusters and would need connectivity re-checks
+//! to handle incrementally, so [`StreamingMuDbscan`] itself remains
+//! insert-only; the serving layer supports them by exact rebuild over
+//! the compacted live set (see [`serve`]), which keeps every published
+//! epoch bit-identical to a batch run on the same points.
 //!
 //! ```
 //! use geom::DbscanParams;
@@ -42,5 +53,9 @@
 //! ```
 
 pub mod incremental;
+pub mod serve;
 
 pub use incremental::StreamingMuDbscan;
+pub use serve::{
+    Drained, ExtId, Membership, ServeError, ServeHandle, ServeOp, ServingMuDbscan, Snapshot,
+};

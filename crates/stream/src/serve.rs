@@ -1,0 +1,729 @@
+//! The concurrent serving layer: snapshot-isolated ingest/query engine.
+//!
+//! [`ServingMuDbscan`] turns the insertion-incremental engine into a
+//! long-running service. A single **writer thread** owns a private
+//! [`StreamingMuDbscan`] and applies batched operations — inserts plus
+//! the deletion/TTL-expiry capability the bare streaming engine does
+//! not have — then publishes an immutable epoch [`Snapshot`] through an
+//! RCU-style pointer swap. Any number of concurrent readers answer
+//! ε-neighbourhood and cluster-membership lookups against the snapshot
+//! they pinned, never blocking on writer compute; an old epoch is freed
+//! when its last pinned reader releases it (plain [`Arc`] reclamation).
+//!
+//! **Exactness contract.** Every published epoch's clustering is
+//! *bit-identical* (`==` on [`Clustering`]) to a batch
+//! `Runner`/[`StreamingMuDbscan::from_dataset`] run on the points live
+//! at that epoch, in insertion order. Two mechanisms pay for this:
+//!
+//! * inserts are applied incrementally, then the writer publishes
+//!   [`StreamingMuDbscan::canonical_snapshot`], which re-resolves
+//!   border ties to the batch answer;
+//! * a batch containing deletions or TTL expiries triggers an **exact
+//!   rebuild** over the compacted live set (deletions can split
+//!   clusters, so incremental maintenance would be approximate — the
+//!   rebuild keeps the contract honest and is itself the parallel bulk
+//!   loader).
+//!
+//! **Epochs and TTL.** The epoch counter is a deterministic logical
+//! clock: it advances by one per applied batch, never by wall time. A
+//! point inserted in epoch `e` with `ttl = d` (clamped to ≥ 1) is
+//! excluded from every snapshot of epoch ≥ `e + d`. Deletes refer to
+//! the external ids handed out by [`ServeHandle::ingest`] and apply to
+//! points live at the start of the batch; unknown or already-dead ids
+//! are counted (`serve/deletes_ignored`) and skipped, because ingest is
+//! asynchronous and cannot report per-op errors.
+//!
+//! Per-operation latencies are recorded into `obs` histograms
+//! (`serve/ingest_batch_us`, `serve/publish_us`, `serve/query_us`,
+//! `serve/membership_us`) when collection is enabled — the bench
+//! harness reports their p50/p99.
+//!
+//! Entry points: `Runner::serve` on the facade (preferred; see
+//! `docs/SERVING.md`) or [`ServingMuDbscan::spawn`] directly.
+
+use crate::incremental::StreamingMuDbscan;
+use geom::{Dataset, DbscanParams, PointId};
+use metrics::Counters;
+use mudbscan::Clustering;
+use rtree::{RTree, RTreeConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// External id of a served point: assigned at [`ServeHandle::ingest`]
+/// time, stable across rebuilds (internal [`PointId`]s are not).
+pub type ExtId = u64;
+
+/// One operation inside an ingest batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeOp {
+    /// Insert a point, optionally expiring after `ttl` epochs (clamped
+    /// to ≥ 1): inserted in epoch `e`, it is live in snapshots
+    /// `e .. e + ttl` and gone from epoch `e + ttl` on.
+    Insert {
+        /// Point coordinates (must match the engine dimension).
+        coords: Vec<f64>,
+        /// Expiry in logical epochs, `None` to live forever.
+        ttl: Option<u64>,
+    },
+    /// Delete a previously ingested point by external id. Unknown or
+    /// already-dead ids are skipped (and counted under
+    /// `serve/deletes_ignored`).
+    Delete {
+        /// The external id returned by [`ServeHandle::ingest`].
+        id: ExtId,
+    },
+}
+
+impl ServeOp {
+    /// An insert with no expiry.
+    pub fn insert(coords: Vec<f64>) -> Self {
+        ServeOp::Insert { coords, ttl: None }
+    }
+
+    /// An insert expiring `ttl` epochs after its batch (clamped ≥ 1).
+    pub fn insert_ttl(coords: Vec<f64>, ttl: u64) -> Self {
+        ServeOp::Insert { coords, ttl: Some(ttl) }
+    }
+
+    /// A delete by external id.
+    pub fn delete(id: ExtId) -> Self {
+        ServeOp::Delete { id }
+    }
+}
+
+/// Cluster membership of one live point inside a [`Snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Membership {
+    /// Dense cluster label of the snapshot's clustering, `None` for
+    /// noise.
+    pub cluster: Option<u32>,
+    /// Whether the point is a core point.
+    pub is_core: bool,
+}
+
+/// Everything the serving layer can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Coordinates of the wrong dimensionality were passed to ingest or
+    /// query.
+    DimensionMismatch {
+        /// The engine dimension fixed at spawn time.
+        expected: usize,
+        /// The offending slice length.
+        got: usize,
+    },
+    /// The writer thread is gone: every handle was dropped and
+    /// re-created impossibly, or the writer panicked. Pinned snapshots
+    /// remain readable; ingest/drain cannot proceed.
+    WriterGone,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: engine serves {expected}-d points, got {got}-d")
+            }
+            ServeError::WriterGone => write!(f, "the serving writer thread has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// An immutable published epoch: the live points, their canonical
+/// clustering, and an R-tree for ε-queries. Cheap to pin (one `Arc`
+/// clone) and safe to read from any thread; it never changes after
+/// publication.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    params: DbscanParams,
+    data: Dataset,
+    ext: Vec<ExtId>,
+    lookup: HashMap<ExtId, PointId>,
+    clustering: Clustering,
+    index: RTree,
+}
+
+impl Snapshot {
+    fn empty(dim: usize, params: DbscanParams) -> Self {
+        Snapshot {
+            epoch: 0,
+            params,
+            data: Dataset::empty(dim),
+            ext: Vec::new(),
+            lookup: HashMap::new(),
+            clustering: Clustering::from_union_find(&mut unionfind::UnionFind::new(0), Vec::new()),
+            index: RTree::new(dim),
+        }
+    }
+
+    /// The logical epoch this snapshot was published at (0 = the empty
+    /// pre-ingest snapshot; +1 per applied batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The density parameters the engine serves.
+    pub fn params(&self) -> DbscanParams {
+        self.params
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no points are live.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The live points, in insertion order. Running a batch `Runner` on
+    /// this dataset reproduces [`Self::clustering`] bit-identically —
+    /// that is the serving exactness contract, pinned by the
+    /// conformance suite.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// External ids of the live points, parallel to [`Self::dataset`].
+    pub fn live_ids(&self) -> &[ExtId] {
+        &self.ext
+    }
+
+    /// The canonical clustering of the live points (labels indexed by
+    /// dataset position, not external id).
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// External ids strictly within ε of `coords`, in insertion order.
+    pub fn query(&self, coords: &[f64]) -> Result<Vec<ExtId>, ServeError> {
+        if coords.len() != self.data.dim() {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.data.dim(),
+                got: coords.len(),
+            });
+        }
+        let mut hits: Vec<PointId> = Vec::new();
+        self.index.search_sphere(coords, self.params.eps, |p| hits.push(p));
+        hits.sort_unstable();
+        Ok(hits.into_iter().map(|p| self.ext[p as usize]).collect())
+    }
+
+    /// Cluster membership of a live point, `None` when the id is
+    /// unknown, deleted, or expired in this epoch.
+    pub fn membership(&self, id: ExtId) -> Option<Membership> {
+        let p = *self.lookup.get(&id)?;
+        let label = self.clustering.labels[p as usize];
+        Some(Membership {
+            cluster: (label != mudbscan::NOISE).then_some(label),
+            is_core: self.clustering.is_core[p as usize],
+        })
+    }
+}
+
+/// What [`ServeHandle::drain`] returns: the snapshot current once every
+/// previously enqueued batch was applied, plus a copy of the writer's
+/// operation counters up to that point.
+#[derive(Debug)]
+pub struct Drained {
+    /// The post-drain snapshot (also installed as current).
+    pub snapshot: Arc<Snapshot>,
+    /// Writer-side operation counters (queries, distances, unions)
+    /// accumulated by the streaming engine, rebuilds included.
+    pub counters: Counters,
+}
+
+enum Cmd {
+    Batch { ops: Vec<ServeOp>, ids: Vec<ExtId> },
+    Flush { ack: Sender<Drained> },
+}
+
+struct Shared {
+    dim: usize,
+    current: Mutex<Arc<Snapshot>>,
+    next_id: AtomicU64,
+}
+
+/// Joins the writer thread when the last [`ServeHandle`] drops. The
+/// handle's command sender is declared before this guard, so by the
+/// time the final guard drops the channel is closed and the writer is
+/// already exiting.
+struct WriterGuard {
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for WriterGuard {
+    fn drop(&mut self) {
+        if let Ok(mut slot) = self.handle.lock() {
+            if let Some(h) = slot.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// A clonable, thread-safe handle to a running [`ServingMuDbscan`].
+///
+/// Ingest enqueues to the writer and returns immediately with the
+/// assigned external ids; queries and membership lookups pin the
+/// current [`Snapshot`] and answer from it without ever waiting on
+/// writer compute. Dropping the last handle shuts the writer down and
+/// joins it.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    // Field order matters: `tx` must drop before `writer` so the last
+    // handle closes the channel (stopping the writer) before joining.
+    tx: Sender<Cmd>,
+    // Held only for its drop-on-last-handle join; never read.
+    #[allow(dead_code)]
+    writer: Arc<WriterGuard>,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle").field("dim", &self.shared.dim).finish_non_exhaustive()
+    }
+}
+
+impl ServeHandle {
+    /// Enqueue one batch of operations; the batch becomes one epoch.
+    /// Returns the external ids assigned to the batch's inserts, in op
+    /// order, without waiting for the batch to be applied (see
+    /// [`Self::drain`] for the rendezvous).
+    pub fn ingest(&self, ops: Vec<ServeOp>) -> Result<Vec<ExtId>, ServeError> {
+        let mut ids = Vec::new();
+        for op in &ops {
+            if let ServeOp::Insert { coords, .. } = op {
+                if coords.len() != self.shared.dim {
+                    return Err(ServeError::DimensionMismatch {
+                        expected: self.shared.dim,
+                        got: coords.len(),
+                    });
+                }
+                ids.push(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+            }
+        }
+        self.tx.send(Cmd::Batch { ops, ids: ids.clone() }).map_err(|_| ServeError::WriterGone)?;
+        Ok(ids)
+    }
+
+    /// Pin the current snapshot: one `Arc` clone under a lock held for
+    /// two reference-count operations — readers never wait on writer
+    /// compute, and the epoch stays alive (and immutable) for as long
+    /// as the returned `Arc` does.
+    pub fn pin(&self) -> Arc<Snapshot> {
+        self.shared.current.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.pin().epoch()
+    }
+
+    /// ε-neighbourhood lookup against the current snapshot: external
+    /// ids strictly within ε of `coords`. Records `serve/query_us`.
+    pub fn query(&self, coords: &[f64]) -> Result<Vec<ExtId>, ServeError> {
+        let t = obs::enabled().then(Instant::now);
+        let out = self.pin().query(coords);
+        if let Some(t) = t {
+            obs::record_hist("serve/query_us", t.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    /// Cluster membership of `id` in the current snapshot (`None` for
+    /// unknown, deleted, or expired ids). Records `serve/membership_us`.
+    pub fn membership(&self, id: ExtId) -> Option<Membership> {
+        let t = obs::enabled().then(Instant::now);
+        let out = self.pin().membership(id);
+        if let Some(t) = t {
+            obs::record_hist("serve/membership_us", t.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    /// Rendezvous with the writer: blocks until every batch enqueued
+    /// before this call has been applied and published, then returns
+    /// that snapshot plus the writer's counters. Batches enqueued
+    /// concurrently by other handles may or may not be included.
+    pub fn drain(&self) -> Result<Drained, ServeError> {
+        let (ack, rx) = mpsc::channel();
+        self.tx.send(Cmd::Flush { ack }).map_err(|_| ServeError::WriterGone)?;
+        rx.recv().map_err(|_| ServeError::WriterGone)
+    }
+
+    /// Drain, then drop this handle. When it is the last handle the
+    /// writer thread exits and is joined before this returns.
+    pub fn shutdown(self) -> Result<Drained, ServeError> {
+        let out = self.drain()?;
+        drop(self);
+        Ok(out)
+    }
+}
+
+/// The writer-side engine: owns the private [`StreamingMuDbscan`] plus
+/// the external-id / TTL bookkeeping, applies one enqueued batch per
+/// epoch, and publishes immutable [`Snapshot`]s. Constructed only via
+/// [`ServingMuDbscan::spawn`], which moves it onto its writer thread.
+pub struct ServingMuDbscan {
+    shared: Arc<Shared>,
+    rx: Receiver<Cmd>,
+    stream: StreamingMuDbscan,
+    /// Internal id → external id, parallel to the stream's dataset.
+    ext: Vec<ExtId>,
+    /// Internal id → first epoch the point is dead in (`u64::MAX` =
+    /// lives forever).
+    expire_at: Vec<u64>,
+    lookup: HashMap<ExtId, PointId>,
+    epoch: u64,
+}
+
+impl ServingMuDbscan {
+    /// Spawn the writer thread for a `dim`-dimensional engine and
+    /// return the first handle to it. Prefer `Runner::serve` on the
+    /// facade, which validates the configuration first.
+    pub fn spawn(dim: usize, params: DbscanParams) -> ServeHandle {
+        assert!(dim > 0, "dimension must be positive");
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            dim,
+            current: Mutex::new(Arc::new(Snapshot::empty(dim, params))),
+            next_id: AtomicU64::new(0),
+        });
+        let writer = ServingMuDbscan {
+            shared: Arc::clone(&shared),
+            rx,
+            stream: StreamingMuDbscan::empty(dim, params),
+            ext: Vec::new(),
+            expire_at: Vec::new(),
+            lookup: HashMap::new(),
+            epoch: 0,
+        };
+        let handle = std::thread::Builder::new()
+            .name("mudbscan-serve-writer".into())
+            .spawn(move || writer.run())
+            .expect("failed to spawn the serving writer thread");
+        ServeHandle {
+            shared,
+            tx,
+            writer: Arc::new(WriterGuard { handle: Mutex::new(Some(handle)) }),
+        }
+    }
+
+    fn run(mut self) {
+        while let Ok(cmd) = self.rx.recv() {
+            match cmd {
+                Cmd::Batch { ops, ids } => {
+                    let t = obs::enabled().then(Instant::now);
+                    self.apply(ops, ids);
+                    if let Some(t) = t {
+                        obs::record_hist("serve/ingest_batch_us", t.elapsed().as_micros() as u64);
+                    }
+                }
+                Cmd::Flush { ack } => {
+                    let counters = Counters::new();
+                    counters.absorb(self.stream.counters());
+                    let snapshot =
+                        self.shared.current.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                    let _ = ack.send(Drained { snapshot, counters });
+                }
+            }
+        }
+    }
+
+    /// Apply one batch as one epoch: expiries and deletes first
+    /// (against the points live at the start of the batch), then
+    /// inserts, then publish.
+    fn apply(&mut self, ops: Vec<ServeOp>, ids: Vec<ExtId>) {
+        self.epoch += 1;
+
+        let n = self.stream.len();
+        let mut dead = vec![false; n];
+        let mut expiries = 0u64;
+        let mut deletes = 0u64;
+        let mut ignored = 0u64;
+        for (p, &at) in self.expire_at.iter().enumerate() {
+            if at <= self.epoch {
+                dead[p] = true;
+                expiries += 1;
+            }
+        }
+        for op in &ops {
+            if let ServeOp::Delete { id } = op {
+                match self.lookup.get(id) {
+                    Some(&p) if !dead[p as usize] => {
+                        dead[p as usize] = true;
+                        deletes += 1;
+                    }
+                    _ => ignored += 1,
+                }
+            }
+        }
+        if expiries + deletes > 0 {
+            self.rebuild(&dead);
+            obs::record_count("serve/rebuilds", 1);
+        }
+        obs::record_count("serve/expiries", expiries);
+        obs::record_count("serve/deletes", deletes);
+        obs::record_count("serve/deletes_ignored", ignored);
+
+        let mut next = ids.into_iter();
+        let mut inserts = 0u64;
+        for op in ops {
+            if let ServeOp::Insert { coords, ttl } = op {
+                let ext = next.next().expect("one pre-assigned id per insert");
+                let p = self.stream.insert(&coords);
+                debug_assert_eq!(p as usize, self.ext.len());
+                self.ext.push(ext);
+                self.expire_at.push(ttl.map_or(u64::MAX, |d| self.epoch.saturating_add(d.max(1))));
+                self.lookup.insert(ext, p);
+                inserts += 1;
+            }
+        }
+        obs::record_count("serve/inserts", inserts);
+
+        self.publish();
+    }
+
+    /// Exact rebuild over the compacted live set. Deletions can split
+    /// clusters, so no incremental shortcut is taken: the surviving
+    /// points (insertion order preserved) go back through the parallel
+    /// bulk loader, whose result is exact by construction.
+    fn rebuild(&mut self, dead: &[bool]) {
+        let dim = self.shared.dim;
+        let mut data = Dataset::empty(dim);
+        let mut ext = Vec::new();
+        let mut expire_at = Vec::new();
+        for (p, &is_dead) in dead.iter().enumerate() {
+            if is_dead {
+                self.lookup.remove(&self.ext[p]);
+                continue;
+            }
+            data.push(self.stream.point(p as PointId));
+            ext.push(self.ext[p]);
+            expire_at.push(self.expire_at[p]);
+        }
+        let counters = Counters::new();
+        counters.absorb(self.stream.counters());
+        self.stream = StreamingMuDbscan::from_dataset(&data, self.stream.params());
+        // Carry the pre-rebuild operation counts forward so `drain`
+        // reports totals across the engine's whole life.
+        self.stream.counters().absorb(&counters);
+        self.lookup = ext.iter().enumerate().map(|(p, &e)| (e, p as PointId)).collect();
+        self.ext = ext;
+        self.expire_at = expire_at;
+    }
+
+    fn publish(&mut self) {
+        let t = obs::enabled().then(Instant::now);
+        let data = self.stream.dataset().clone();
+        let index = RTree::bulk_load_points(
+            self.shared.dim,
+            RTreeConfig::default(),
+            data.iter().map(|(p, c)| (p, c.to_vec())),
+        );
+        let snap = Arc::new(Snapshot {
+            epoch: self.epoch,
+            params: self.stream.params(),
+            clustering: self.stream.canonical_snapshot(),
+            ext: self.ext.clone(),
+            lookup: self.lookup.clone(),
+            data,
+            index,
+        });
+        *self.shared.current.lock().unwrap_or_else(|e| e.into_inner()) = snap;
+        obs::record_count("serve/epochs", 1);
+        if let Some(t) = t {
+            obs::record_hist("serve/publish_us", t.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mudbscan::{check_exact, naive_dbscan};
+
+    fn params() -> DbscanParams {
+        DbscanParams::new(1.0, 3)
+    }
+
+    fn batch_oracle(data: &Dataset, p: DbscanParams) -> Clustering {
+        let mut s = StreamingMuDbscan::from_dataset(data, p);
+        s.snapshot()
+    }
+
+    #[test]
+    fn empty_engine_serves_epoch_zero() {
+        let h = ServingMuDbscan::spawn(2, params());
+        let snap = h.pin();
+        assert_eq!(snap.epoch(), 0);
+        assert!(snap.is_empty());
+        assert_eq!(h.query(&[0.0, 0.0]).unwrap(), Vec::<ExtId>::new());
+        assert_eq!(h.membership(7), None);
+    }
+
+    #[test]
+    fn ingest_then_drain_matches_batch() {
+        let h = ServingMuDbscan::spawn(1, params());
+        let rows = [[0.0], [0.5], [-0.5], [10.0]];
+        let ids = h.ingest(rows.iter().map(|r| ServeOp::insert(r.to_vec())).collect()).unwrap();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.epoch(), 1);
+        let want = batch_oracle(d.snapshot.dataset(), params());
+        assert_eq!(*d.snapshot.clustering(), want, "epoch not bit-identical to batch");
+        assert_eq!(h.membership(0), Some(Membership { cluster: Some(0), is_core: true }));
+        assert_eq!(h.membership(3), Some(Membership { cluster: None, is_core: false }));
+        assert_eq!(h.query(&[0.1]).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_epoch_is_bit_identical_to_its_prefix_batch() {
+        let h = ServingMuDbscan::spawn(2, params());
+        let batches: Vec<Vec<Vec<f64>>> = vec![
+            vec![vec![0.0, 0.0], vec![0.5, 0.0], vec![0.0, 0.5]],
+            vec![vec![5.0, 5.0], vec![5.5, 5.0]],
+            vec![vec![5.0, 5.5], vec![0.5, 0.5], vec![9.0, -9.0]],
+        ];
+        for batch in batches {
+            h.ingest(batch.into_iter().map(ServeOp::insert).collect()).unwrap();
+            let d = h.drain().unwrap();
+            let want = batch_oracle(d.snapshot.dataset(), params());
+            assert_eq!(*d.snapshot.clustering(), want, "epoch {}", d.snapshot.epoch());
+            let rep = check_exact(
+                d.snapshot.clustering(),
+                &naive_dbscan(d.snapshot.dataset(), &params()),
+                d.snapshot.dataset(),
+                &params(),
+            );
+            assert!(rep.is_exact(), "epoch {}: {rep:?}", d.snapshot.epoch());
+        }
+        assert_eq!(h.snapshot_epoch(), 3);
+    }
+
+    #[test]
+    fn deletes_remove_points_and_stay_exact() {
+        let h = ServingMuDbscan::spawn(1, params());
+        let ids = h
+            .ingest(
+                [[0.0], [0.5], [-0.5], [0.2]].iter().map(|r| ServeOp::insert(r.to_vec())).collect(),
+            )
+            .unwrap();
+        assert_eq!(h.drain().unwrap().snapshot.clustering().n_clusters, 1);
+        // Delete two members; the survivors can no longer form a cluster.
+        h.ingest(vec![ServeOp::delete(ids[1]), ServeOp::delete(ids[2])]).unwrap();
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.len(), 2);
+        assert_eq!(d.snapshot.clustering().n_clusters, 0);
+        assert_eq!(d.snapshot.membership(ids[1]), None);
+        assert!(d.snapshot.membership(ids[0]).is_some());
+        let want = batch_oracle(d.snapshot.dataset(), params());
+        assert_eq!(*d.snapshot.clustering(), want);
+        // Deleting again is an ignored no-op, not an error.
+        h.ingest(vec![ServeOp::delete(ids[1])]).unwrap();
+        assert_eq!(h.drain().unwrap().snapshot.len(), 2);
+    }
+
+    #[test]
+    fn ttl_expires_on_the_logical_clock() {
+        let h = ServingMuDbscan::spawn(1, params());
+        // Epoch 1: a point with ttl 2 (dead from epoch 3 on) + one forever.
+        let ids =
+            h.ingest(vec![ServeOp::insert_ttl(vec![0.0], 2), ServeOp::insert(vec![0.5])]).unwrap();
+        assert_eq!(h.drain().unwrap().snapshot.len(), 2);
+        // Epoch 2: still live.
+        h.ingest(vec![ServeOp::insert(vec![-0.5])]).unwrap();
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.len(), 3);
+        assert_eq!(d.snapshot.clustering().n_clusters, 1);
+        // Epoch 3: the TTL point expires before the batch's insert.
+        h.ingest(vec![ServeOp::insert(vec![9.0])]).unwrap();
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.len(), 3);
+        assert_eq!(d.snapshot.membership(ids[0]), None);
+        let want = batch_oracle(d.snapshot.dataset(), params());
+        assert_eq!(*d.snapshot.clustering(), want);
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_later_epochs() {
+        let h = ServingMuDbscan::spawn(1, params());
+        h.ingest(vec![ServeOp::insert(vec![0.0])]).unwrap();
+        h.drain().unwrap();
+        let pinned = h.pin();
+        h.ingest(vec![ServeOp::insert(vec![0.5]), ServeOp::insert(vec![-0.5])]).unwrap();
+        h.drain().unwrap();
+        // The pinned epoch is unchanged even though the engine moved on.
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(pinned.len(), 1);
+        assert_eq!(h.pin().epoch(), 2);
+        assert_eq!(h.pin().len(), 3);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected_up_front() {
+        let h = ServingMuDbscan::spawn(2, params());
+        let err = h.ingest(vec![ServeOp::insert(vec![0.0])]).unwrap_err();
+        assert_eq!(err, ServeError::DimensionMismatch { expected: 2, got: 1 });
+        let err = h.query(&[0.0]).unwrap_err();
+        assert_eq!(err, ServeError::DimensionMismatch { expected: 2, got: 1 });
+        // The failed batch assigned no ids and changed no state.
+        assert_eq!(h.drain().unwrap().snapshot.epoch(), 0);
+        assert_eq!(h.ingest(vec![ServeOp::insert(vec![0.0, 0.0])]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn handles_clone_and_shutdown_joins() {
+        let h = ServingMuDbscan::spawn(1, params());
+        let h2 = h.clone();
+        h2.ingest(vec![ServeOp::insert(vec![0.0])]).unwrap();
+        drop(h2);
+        let d = h.shutdown().unwrap();
+        assert_eq!(d.snapshot.len(), 1);
+        assert!(d.counters.range_queries() > 0);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_a_torn_epoch() {
+        let h = ServingMuDbscan::spawn(1, params());
+        std::thread::scope(|s| {
+            let mut readers = Vec::new();
+            for _ in 0..3 {
+                let r = h.clone();
+                readers.push(s.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..200 {
+                        let snap = r.pin();
+                        // Epochs advance monotonically per reader, and a
+                        // snapshot is internally consistent: parallel
+                        // arrays agree in length.
+                        assert!(snap.epoch() >= last);
+                        last = snap.epoch();
+                        assert_eq!(snap.live_ids().len(), snap.len());
+                        assert_eq!(snap.clustering().labels.len(), snap.len());
+                        let _ = r.query(&[0.25]);
+                    }
+                    last
+                }));
+            }
+            for i in 0..20 {
+                h.ingest(vec![ServeOp::insert(vec![i as f64 * 0.1])]).unwrap();
+            }
+            h.drain().unwrap();
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+        assert_eq!(h.snapshot_epoch(), 20);
+    }
+}

@@ -5,8 +5,9 @@
 //! Umbrella crate re-exporting the whole workspace. Most users want:
 //!
 //! * [`mudbscan::prelude::Runner`] — the unified entry point over all
-//!   five algorithm families (sequential, parallel, distributed,
-//!   streaming, OPTICS);
+//!   six algorithm families (sequential, parallel, distributed,
+//!   streaming, OPTICS, serving — the last via
+//!   [`mudbscan::prelude::Runner::serve`], see `docs/SERVING.md`);
 //! * [`data`] — synthetic dataset generators;
 //! * [`baselines`] — R-DBSCAN / G-DBSCAN / GridDBSCAN comparators.
 //!
@@ -42,7 +43,8 @@ pub mod prelude {
     pub use dist::DistConfig;
     pub use mudbscan::prelude::{
         Cluster, Clustering, Counters, Dataset, DbscanParams, Family, Fault, FaultConfig,
-        FaultPlan, FaultStats, MuDbscanError, RetryConfig, RunDetails, RunOutput, Runner, NOISE,
+        FaultPlan, FaultStats, Membership, MuDbscanError, RetryConfig, RunDetails, RunOutput,
+        Runner, ServeHandle, ServeOp, Snapshot, NOISE,
     };
     pub use mudbscan::{check_exact, naive_dbscan};
 }
