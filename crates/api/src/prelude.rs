@@ -43,7 +43,8 @@ pub use mcs::{BuildOptions, ParBuildStats};
 pub use metrics::{Counters, PhaseTimer};
 pub use mudbscan_core::{naive_dbscan, Clustering, NOISE};
 pub use stream::{
-    Drained, ExtId, Membership, ServeError, ServeHandle, ServeOp, ServingMuDbscan, Snapshot,
+    Drained, ExtId, Membership, RemoveOutcome, ServeError, ServeHandle, ServeOp, ServeOptions,
+    ServingMuDbscan, Snapshot,
 };
 
 use dist::{DistConfig, MuDbscanD};
@@ -366,6 +367,17 @@ impl Runner {
     /// [`MuDbscanError::InvalidConfig`]. See `docs/SERVING.md` for the
     /// architecture and the exactness contract.
     pub fn serve(&self, dim: usize) -> Result<ServeHandle, MuDbscanError> {
+        self.serve_with(dim, ServeOptions::default())
+    }
+
+    /// [`Runner::serve`] with explicit serving-layer options — today the
+    /// deletion-repair budget ([`ServeOptions::repair_budget`]), which
+    /// bounds how many points a single removal may locally re-cluster
+    /// before the writer falls back to an exact rebuild. The default
+    /// (`None`) adapts the budget to the live set size; `Some(0)`
+    /// disables repair and rebuilds on every structural deletion (the
+    /// baseline the benchmark suite compares against).
+    pub fn serve_with(&self, dim: usize, opts: ServeOptions) -> Result<ServeHandle, MuDbscanError> {
         if let Some(f) = self.family {
             if !matches!(f, Family::Serving) {
                 return Err(MuDbscanError::InvalidConfig(format!(
@@ -380,7 +392,7 @@ impl Runner {
                 "the served point dimension must be positive".into(),
             ));
         }
-        Ok(ServingMuDbscan::spawn(dim, self.params))
+        Ok(ServingMuDbscan::spawn_with(dim, self.params, opts))
     }
 }
 
@@ -590,6 +602,23 @@ mod tests {
         assert_eq!(*drained.snapshot.clustering(), batch.clustering);
         assert_eq!(handle.membership(ids[0]), Some(Membership { cluster: Some(0), is_core: true }));
         assert_eq!(handle.membership(ids[3]), Some(Membership { cluster: None, is_core: false }));
+    }
+
+    #[test]
+    fn serve_with_budget_zero_still_serves_exactly() {
+        // `repair_budget: Some(0)` (rebuild on every structural delete)
+        // must be reachable from the facade and stay exact.
+        let data = tiny();
+        let p = DbscanParams::new(0.5, 3);
+        let handle = Runner::new(p).serve_with(2, ServeOptions { repair_budget: Some(0) }).unwrap();
+        let ids =
+            handle.ingest(data.iter().map(|(_, c)| ServeOp::insert(c.to_vec())).collect()).unwrap();
+        handle.ingest(vec![ServeOp::delete(ids[0])]).unwrap();
+        let drained = handle.shutdown().unwrap();
+        let survivors =
+            Dataset::from_rows(&data.iter().skip(1).map(|(_, c)| c.to_vec()).collect::<Vec<_>>());
+        let oracle = naive_dbscan(&survivors, &p);
+        assert_eq!(*drained.snapshot.clustering(), oracle);
     }
 
     #[test]

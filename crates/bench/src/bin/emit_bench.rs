@@ -3,10 +3,15 @@
 //! and the distributed simulator (all constructed via
 //! [`mudbscan::prelude::Runner`]), collect per-phase times and `obs`
 //! reports, verify exactness against the naive oracle, and write the
-//! schema-versioned `BENCH_PR7.json` trajectory file. Schema v6 adds a
+//! schema-versioned `BENCH_PR8.json` trajectory file. Schema v6 added a
 //! served-traffic arm per workload: a seeded trace of batched inserts,
 //! TTL expiries and deletions replayed through `Runner::serve` while
-//! reader threads race the writer (see [`run_serve_traffic`]).
+//! reader threads race the writer (see [`run_serve_traffic`]). Schema v7
+//! adds the delete-heavy twin arms ([`run_serve_delete_heavy`]): the
+//! same workload driven through delete-only epochs once with the
+//! micro-cluster-local repair path and once with repair disabled
+//! (rebuild on every structural deletion), gated on the repair arm's
+//! batch-latency p99 beating the rebuild baseline by ≥ 2×.
 //!
 //! Parallel runs use the tiled parallel micro-cluster builder and carry a
 //! `tree_construction_makespan` field: the construction critical path
@@ -17,7 +22,7 @@
 //! convention the distributed simulator uses for per-rank phase maxima.
 //!
 //! The JSON schema is documented in `docs/BENCH_SCHEMA.md`; the committed
-//! `BENCH_PR7.json` is validated by `crates/bench/tests/bench_schema.rs`
+//! `BENCH_PR8.json` is validated by `crates/bench/tests/bench_schema.rs`
 //! and regenerated with
 //!
 //! ```text
@@ -27,7 +32,7 @@
 //! Environment knobs (all optional, for the CI perf-smoke job):
 //!
 //! * `EMIT_BENCH_N`     — points per workload (default 4000)
-//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR7.json`)
+//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR8.json`)
 //! * `EMIT_BENCH_REPS`  — repetitions for the overhead measurement
 //!   (default 5)
 //! * `EMIT_BENCH_MAKESPAN_REPS` — constructions per parallel run for the
@@ -50,7 +55,7 @@ use data::paper_table2_specs;
 use geom::{Dataset, DbscanParams};
 use metrics::Counters;
 use mudbscan::prelude::{
-    Family, Fault, FaultPlan, FaultStats, RunDetails, RunOutput, Runner, ServeOp,
+    Family, Fault, FaultPlan, FaultStats, RunDetails, RunOutput, Runner, ServeOp, ServeOptions,
 };
 use mudbscan::{check_exact, naive_dbscan, Clustering};
 use obs::Json;
@@ -76,8 +81,19 @@ use obs::Json;
 /// writer. The run record carries `final_matches_batch`, `epochs`,
 /// `live_points`, an `ops` block of trace-determined operation totals,
 /// and the wall-clock `serve/*_us` latency histograms; the committed
-/// trajectory file is `BENCH_PR7.json`.
-const SCHEMA_VERSION: i64 = 6;
+/// trajectory file was `BENCH_PR7.json`.
+/// v7: deletions repair locally instead of rebuilding every epoch. The
+/// serving `ops` block gains the repair census (`repairs`,
+/// `repair_touched_points`, `fallback_rebuilds`), and each workload
+/// gains two delete-heavy arms replaying the same delete-only trace —
+/// `serve_delete_heavy` through the micro-cluster-local repair path and
+/// `serve_delete_heavy_rebuild` with repair disabled
+/// (`repair_budget: Some(0)`, the rebuild-every-structural-delete
+/// baseline). At full bench size the repair arm's
+/// `serve/ingest_batch_us` p99 must beat the baseline's by ≥ 2×
+/// (fail-closed at emission); the committed trajectory file is
+/// `BENCH_PR8.json`.
+const SCHEMA_VERSION: i64 = 7;
 
 /// Datasets from the Table II catalog used for the matrix (a subset keeps
 /// the oracle check and the CI smoke run fast while still covering a
@@ -471,6 +487,12 @@ fn run_serve_traffic(name: &str, data: &Dataset, params: &DbscanParams) -> Json 
             ("deletes_ignored".to_string(), count(report.count("serve/deletes_ignored"))),
             ("expiries".to_string(), count(report.count("serve/expiries"))),
             ("rebuilds".to_string(), count(report.count("serve/rebuilds"))),
+            ("repairs".to_string(), count(report.count("serve/repairs"))),
+            (
+                "repair_touched_points".to_string(),
+                count(report.count("serve/repair_touched_points")),
+            ),
+            ("fallback_rebuilds".to_string(), count(report.count("serve/fallback_rebuilds"))),
             ("reader_queries".to_string(), count(hist_count("serve/query_us"))),
             ("reader_memberships".to_string(), count(hist_count("serve/membership_us"))),
             ("reader_threads".to_string(), count(SERVE_READERS as u64)),
@@ -484,6 +506,139 @@ fn run_serve_traffic(name: &str, data: &Dataset, params: &DbscanParams) -> Json 
     );
     rec.set("obs", report.to_json());
     rec
+}
+
+/// Delete-only epochs in the delete-heavy twin arms (after the single
+/// insert epoch that loads the whole workload).
+const DELETE_HEAVY_BATCHES: usize = 48;
+/// Deletions per delete-only epoch. Kept small so a batch measures
+/// per-deletion repair latency: the rebuild baseline's fallback absorbs
+/// a whole batch into one rebuild, so large delete batches would
+/// amortise the rebuild instead of exposing the per-op contrast.
+const DELETE_HEAVY_PER_BATCH: usize = 2;
+
+/// The schema-v7 delete-heavy arm: load the workload in one epoch, then
+/// drive [`DELETE_HEAVY_BATCHES`] delete-only epochs of
+/// [`DELETE_HEAVY_PER_BATCH`] evenly-strided deletions each (single
+/// handle ingest, so external ids equal dataset ids — the stride
+/// scatters the deletions across the workload's clusters). Run once per
+/// budget: `None` (adaptive — the micro-cluster-local repair path) and
+/// `Some(0)` (repair disabled: every structural deletion falls back to
+/// a compacting full rebuild, the baseline the repair path is measured
+/// against). Returns the run record plus the `serve/ingest_batch_us`
+/// p99 for the ≥ 2× emission gate.
+///
+/// No racing readers here: the arm isolates *writer* deletion latency,
+/// and a reader-free trace keeps every ops total and engine counter
+/// replay-deterministic for `bench_diff`'s zero-tolerance gate.
+fn run_serve_delete_heavy(
+    label: &str,
+    name: &str,
+    data: &Dataset,
+    params: &DbscanParams,
+    budget: Option<usize>,
+) -> (Json, f64) {
+    let n = data.len();
+    let total = (DELETE_HEAVY_BATCHES * DELETE_HEAVY_PER_BATCH).min(n / 2).max(1);
+    let stride = (n / total).max(1);
+    let targets: Vec<u64> = (0..total).map(|j| (j * stride) as u64).collect();
+    let batches = 1 + total.div_ceil(DELETE_HEAVY_PER_BATCH);
+    let batch_ops = |b: usize| -> Vec<ServeOp> {
+        if b == 0 {
+            (0..n).map(|id| ServeOp::insert(data.point(id as u32).to_vec())).collect()
+        } else {
+            let lo = ((b - 1) * DELETE_HEAVY_PER_BATCH).min(total);
+            let hi = (b * DELETE_HEAVY_PER_BATCH).min(total);
+            targets[lo..hi].iter().map(|&id| ServeOp::delete(id)).collect()
+        }
+    };
+
+    // The load epoch runs *outside* the measured window (obs off, wall
+    // clock not started): the arm isolates the delete-only epochs, so
+    // `serve/ingest_batch_us` percentiles compare repair vs rebuild
+    // latency instead of being dominated by the one big insert epoch
+    // both arms share. The census consequently takes `inserts` from the
+    // trace itself (it is trace-determined either way).
+    let replay = |instrument: bool| {
+        let handle = Runner::new(*params)
+            .serve_with(data.dim(), ServeOptions { repair_budget: budget })
+            .expect("serving configuration");
+        handle.ingest(batch_ops(0)).expect("writer alive");
+        handle.drain().expect("writer alive");
+        if instrument {
+            obs::enable();
+        }
+        let t0 = std::time::Instant::now();
+        for b in 1..batches {
+            handle.ingest(batch_ops(b)).expect("writer alive");
+        }
+        let drained = handle.drain().expect("writer alive");
+        let wall = t0.elapsed().as_secs_f64();
+        if instrument {
+            obs::disable();
+        }
+        (drained, wall)
+    };
+
+    // One instrumented shot, then untraced reruns for the minimum wall —
+    // the same noise-stripping convention the other serving arm uses.
+    obs::reset();
+    let (drained, mut wall) = replay(true);
+    let report = obs::take_report();
+    obs::reset();
+    for _ in 1..env_usize("EMIT_BENCH_TIME_REPS", 3).max(1) {
+        wall = wall.min(replay(false).1);
+    }
+
+    // Fail-closed exactness on the surviving live set: oracle-exact AND
+    // bit-identical to the batch twin (instrumentation already off).
+    let live = drained.snapshot.dataset();
+    let reference = naive_dbscan(live, params);
+    must_be_exact(label, name, drained.snapshot.clustering(), &reference, live, params);
+    let batch =
+        Runner::new(*params).family(Family::Streaming).run(live).expect("batch streaming twin");
+    if *drained.snapshot.clustering() != batch.clustering {
+        eprintln!("EPOCH DRIFT: {label} final snapshot diverged from its batch twin on {name}");
+        std::process::exit(1);
+    }
+
+    let p99 = report.hist("serve/ingest_batch_us").map_or(0.0, |h| h.percentile(0.99) as f64);
+    let mut rec = Json::obj();
+    rec.set("algorithm", Json::Str(label.to_string()));
+    rec.set("exact", Json::Bool(true));
+    rec.set("final_matches_batch", Json::Bool(true));
+    rec.set("clusters", count(drained.snapshot.clustering().n_clusters as u64));
+    rec.set("noise", count(drained.snapshot.clustering().noise_count() as u64));
+    rec.set("epochs", count(drained.snapshot.epoch()));
+    rec.set("live_points", count(live.len() as u64));
+    rec.set("wall_secs", num(wall));
+    rec.set("phases", Json::obj_from([("serve_replay".to_string(), num(wall))]));
+    rec.set(
+        "ops",
+        Json::obj_from([
+            // The load epoch sits outside the obs window; its size is a
+            // trace constant.
+            ("inserts".to_string(), count(n as u64)),
+            ("deletes".to_string(), count(report.count("serve/deletes"))),
+            ("deletes_ignored".to_string(), count(report.count("serve/deletes_ignored"))),
+            ("expiries".to_string(), count(report.count("serve/expiries"))),
+            ("rebuilds".to_string(), count(report.count("serve/rebuilds"))),
+            ("repairs".to_string(), count(report.count("serve/repairs"))),
+            (
+                "repair_touched_points".to_string(),
+                count(report.count("serve/repair_touched_points")),
+            ),
+            ("fallback_rebuilds".to_string(), count(report.count("serve/fallback_rebuilds"))),
+        ]),
+    );
+    rec.set("pct_queries_saved", num(drained.counters.pct_queries_saved()));
+    rec.set("counters", counters_json(&drained.counters));
+    rec.set(
+        "histograms",
+        Json::obj_from(report.hists.iter().map(|(k, h)| (k.clone(), h.summary_json()))),
+    );
+    rec.set("obs", report.to_json());
+    (rec, p99)
 }
 
 /// Measure the overhead of the obs instrumentation on the
@@ -559,7 +714,7 @@ fn export_trace(path: &str, data: &Dataset, params: &DbscanParams) {
 fn main() {
     let n = env_usize("EMIT_BENCH_N", 4000);
     let reps = env_usize("EMIT_BENCH_REPS", 5);
-    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
 
     bench::banner(
         "emit_bench",
@@ -657,6 +812,28 @@ fn main() {
         // Schema v6: the served-traffic arm (own harness — its exactness
         // checks run against the final *live* set, not the full dataset).
         runs.push(run_serve_traffic(name, &data, &params));
+        // Schema v7: the delete-heavy twin arms. The repair arm must
+        // beat the rebuild-every-structural-delete baseline ≥ 2× on the
+        // per-batch latency p99 — gated fail-closed at full bench size
+        // (the tiny CI smoke run only prints the ratio).
+        let (repair_rec, repair_p99) =
+            run_serve_delete_heavy("serve_delete_heavy", name, &data, &params, None);
+        let (rebuild_rec, rebuild_p99) =
+            run_serve_delete_heavy("serve_delete_heavy_rebuild", name, &data, &params, Some(0));
+        println!(
+            "[{name}] delete-heavy ingest_batch_us p99: repair {repair_p99:.0}us vs rebuild \
+             {rebuild_p99:.0}us ({:.1}x)",
+            rebuild_p99 / repair_p99.max(1.0)
+        );
+        if n >= 2000 && repair_p99 * 2.0 > rebuild_p99 {
+            eprintln!(
+                "REPAIR REGRESSION: delete-heavy ingest p99 {repair_p99:.0}us is not ≥2× better \
+                 than the rebuild baseline {rebuild_p99:.0}us on {name}"
+            );
+            std::process::exit(1);
+        }
+        runs.push(repair_rec);
+        runs.push(rebuild_rec);
 
         let mut w = Json::obj();
         w.set("dataset", Json::Str(name.to_string()));

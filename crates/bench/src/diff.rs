@@ -448,10 +448,14 @@ pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffR
                 }
             }
 
-            // Ops block (schema v6, the serving arm): the replayed
+            // Ops block (schema v6, the serving arms): the replayed
             // trace's operation totals are a pure function of the
             // workload — drift means the trace generator or the serving
-            // layer's expiry/delete semantics changed.
+            // layer's expiry/delete semantics changed. The repair census
+            // (schema v7) is equally replay-deterministic: which deletes
+            // repair locally, how many points each repair touches, and
+            // which fall back to a rebuild are functions of the budget
+            // and the seeded data, so they diff at zero tolerance too.
             if let (Some(bo), Some(co)) = (br.get("ops"), cr.get("ops")) {
                 for key in [
                     "inserts",
@@ -459,6 +463,9 @@ pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffR
                     "deletes_ignored",
                     "expiries",
                     "rebuilds",
+                    "repairs",
+                    "repair_touched_points",
+                    "fallback_rebuilds",
                     "reader_queries",
                     "reader_memberships",
                     "reader_threads",

@@ -1,4 +1,4 @@
-//! Validate the committed `BENCH_PR7.json` trajectory against the schema
+//! Validate the committed `BENCH_PR8.json` trajectory against the schema
 //! documented in `docs/BENCH_SCHEMA.md`.
 //!
 //! The CI perf-smoke job points `BENCH_SCHEMA_FILE` at a freshly emitted
@@ -11,9 +11,11 @@ use obs::Json;
 
 /// The algorithms every workload must cover: sequential μDBSCAN, the
 /// parallel variant with 1 and 4 threads, μDBSCAN-D with 1 and 4 ranks,
-/// (schema v4) the fault-injected 4-rank recovery arm, and (schema v6)
-/// the served-traffic arm through the concurrent serving layer.
-const REQUIRED_ALGORITHMS: [&str; 7] = [
+/// (schema v4) the fault-injected 4-rank recovery arm, (schema v6) the
+/// served-traffic arm through the concurrent serving layer, and
+/// (schema v7) the delete-heavy twin arms — the micro-cluster-local
+/// repair path vs the rebuild-every-structural-delete baseline.
+const REQUIRED_ALGORITHMS: [&str; 9] = [
     "mudbscan_seq",
     "par_mudbscan_t1",
     "par_mudbscan_t4",
@@ -21,6 +23,8 @@ const REQUIRED_ALGORITHMS: [&str; 7] = [
     "mudbscan_d_p4",
     "mudbscan_d_p4_faults",
     "serve_traffic",
+    "serve_delete_heavy",
+    "serve_delete_heavy_rebuild",
 ];
 
 /// Below this per-workload size the construction critical path is
@@ -37,7 +41,7 @@ fn trajectory_path() -> std::path::PathBuf {
         return p.into();
     }
     // crates/bench -> repository root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR8.json")
 }
 
 fn get_f64(v: &Json, key: &str) -> f64 {
@@ -49,9 +53,9 @@ fn committed_trajectory_matches_schema() {
     let path = trajectory_path();
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let root = Json::parse(&text).expect("BENCH_PR7.json must be valid JSON");
+    let root = Json::parse(&text).expect("BENCH_PR8.json must be valid JSON");
 
-    assert_eq!(get_f64(&root, "schema_version"), 6.0, "schema_version must be 6");
+    assert_eq!(get_f64(&root, "schema_version"), 7.0, "schema_version must be 7");
     assert_eq!(get_f64(&root, "seed"), 2019.0, "pinned seed");
     let points_per_workload = get_f64(&root, "points_per_workload");
     assert!(points_per_workload >= 100.0);
@@ -98,12 +102,12 @@ fn committed_trajectory_matches_schema() {
             // Since the from_raw fix, node visits survive every snapshot
             // path (sequential, shared, distributed aggregation).
             assert!(get_f64(counters, "node_visits") > 0.0, "{ctx}: node_visits must be tracked");
-            // The served-traffic arm (schema v6) is structurally its own
-            // shape: no batch R-tree query histograms or spans — its
+            // The serving arms (schema v6/v7) are structurally their own
+            // shape: no batch R-tree query histograms or spans — their
             // histograms are wall-clock per-operation latencies — plus
             // the batch-twin exactness bit, the epoch count, and the
-            // trace-determined ops block.
-            if label == "serve_traffic" {
+            // trace-determined ops block with the repair census.
+            if label.starts_with("serve") {
                 assert_eq!(
                     r.get("final_matches_batch").and_then(Json::as_bool),
                     Some(true),
@@ -112,13 +116,46 @@ fn committed_trajectory_matches_schema() {
                 assert!(get_f64(r, "epochs") >= 3.0, "{ctx}: the trace must span several epochs");
                 assert!(get_f64(r, "live_points") > 0.0, "{ctx}: live points");
                 let ops = r.get("ops").expect("ops block");
-                for key in
-                    ["inserts", "deletes", "expiries", "reader_queries", "reader_memberships"]
-                {
+                for key in ["inserts", "deletes"] {
                     assert!(get_f64(ops, key) > 0.0, "{ctx}: ops/{key} must be positive");
                 }
-                assert!(get_f64(ops, "rebuilds") >= 1.0, "{ctx}: removals must trigger rebuilds");
-                assert!(get_f64(ops, "reader_threads") >= 2.0, "{ctx}: concurrent readers");
+                // Schema v7: the repair census exists on every serving
+                // arm. Repair-enabled arms must actually repair; the
+                // rebuild baseline must actually fall back.
+                for key in ["repairs", "repair_touched_points", "fallback_rebuilds"] {
+                    assert!(
+                        ops.get(key).and_then(Json::as_f64).is_some(),
+                        "{ctx}: ops/{key} missing (schema v7 repair census)"
+                    );
+                }
+                if label == "serve_delete_heavy_rebuild" {
+                    assert!(
+                        get_f64(ops, "fallback_rebuilds") >= 1.0,
+                        "{ctx}: the budget-0 baseline must rebuild on structural deletes"
+                    );
+                    assert!(get_f64(ops, "rebuilds") >= 1.0, "{ctx}: rebuild count");
+                } else {
+                    assert!(
+                        get_f64(ops, "repairs") >= 1.0,
+                        "{ctx}: deletions must go through the local repair path"
+                    );
+                }
+                if label == "serve_delete_heavy" {
+                    assert!(
+                        get_f64(ops, "repair_touched_points") >= 1.0,
+                        "{ctx}: structural repairs must touch points"
+                    );
+                }
+                // The served-traffic arm additionally races readers and
+                // exercises TTL expiry.
+                let mut required_hists = vec!["serve/ingest_batch_us", "serve/publish_us"];
+                if label == "serve_traffic" {
+                    for key in ["expiries", "reader_queries", "reader_memberships"] {
+                        assert!(get_f64(ops, key) > 0.0, "{ctx}: ops/{key} must be positive");
+                    }
+                    assert!(get_f64(ops, "reader_threads") >= 2.0, "{ctx}: concurrent readers");
+                    required_hists.extend(["serve/query_us", "serve/membership_us"]);
+                }
                 // The live-set accounting must close: every insert is
                 // still live, expired, or explicitly deleted.
                 assert_eq!(
@@ -127,12 +164,7 @@ fn committed_trajectory_matches_schema() {
                     "{ctx}: live-set accounting must close"
                 );
                 let hists = r.get("histograms").and_then(Json::as_object).expect("histograms");
-                for key in [
-                    "serve/ingest_batch_us",
-                    "serve/publish_us",
-                    "serve/query_us",
-                    "serve/membership_us",
-                ] {
+                for key in required_hists {
                     let h = hists
                         .iter()
                         .find(|(k, _)| k == key)
@@ -276,6 +308,34 @@ fn committed_trajectory_matches_schema() {
                     "{ctx}: recovery must reproduce the fault-free clustering"
                 );
             }
+        }
+
+        // Schema v7 acceptance gate on the committed file: at bench
+        // size, the repair arm's per-batch ingest latency p99 beats the
+        // rebuild-every-structural-delete baseline by ≥ 2×. (Skipped for
+        // smoke-sized runs, where a rebuild costs microseconds and the
+        // ratio is noise.)
+        if points_per_workload >= MAKESPAN_GATE_MIN_N {
+            let ingest_p99 = |l: &str| {
+                let r = runs
+                    .iter()
+                    .find(|r| r.get("algorithm").and_then(Json::as_str) == Some(l))
+                    .unwrap_or_else(|| panic!("{name}: missing {l} run"));
+                let hists = r.get("histograms").and_then(Json::as_object).expect("histograms");
+                hists
+                    .iter()
+                    .find(|(k, _)| k == "serve/ingest_batch_us")
+                    .map(|(_, h)| get_f64(h, "p99"))
+                    .unwrap_or_else(|| panic!("{name}/{l}: ingest_batch_us histogram missing"))
+            };
+            let repair = ingest_p99("serve_delete_heavy");
+            let rebuild = ingest_p99("serve_delete_heavy_rebuild");
+            assert!(
+                repair * 2.0 <= rebuild,
+                "{name}: delete-heavy ingest p99 speedup below 2x \
+                 (repair {repair:.0}us vs rebuild {rebuild:.0}us = {:.2}x)",
+                rebuild / repair.max(1.0)
+            );
         }
 
         // The parallel build must actually scale: at bench-sized

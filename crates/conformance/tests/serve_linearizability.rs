@@ -250,6 +250,40 @@ fn every_epoch_of_a_seeded_trace_is_linearizable() {
     run_and_validate(&trace, 4, "seeded");
 }
 
+/// Delete-heavy variant: a pure-insert warm-up epoch followed by
+/// batches that are ~60% deletions. This drives the writer through the
+/// micro-cluster-local repair path (core demotions, component splits,
+/// border re-attachment) and — as the live set shrinks under the
+/// tombstone count — through the compaction rebuild, while racing
+/// readers keep pinning epochs.
+fn delete_heavy_trace(seed: u64, batches: usize, per_batch: usize) -> Vec<Vec<RawOp>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inserted = 0u64;
+    (0..batches)
+        .map(|b| {
+            (0..per_batch)
+                .map(|_| {
+                    if b > 0 && inserted > 0 && rng.gen_range(0..5) < 3 {
+                        RawOp::Delete { raw: rng.gen_range(0..inserted * 2) }
+                    } else {
+                        let cx = rng.gen_range(0..3) as f64;
+                        let coords =
+                            vec![cx + rng.gen_range(-0.25..0.25), cx + rng.gen_range(-0.25..0.25)];
+                        inserted += 1;
+                        RawOp::Insert { coords, ttl: None }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn delete_heavy_traffic_stays_linearizable() {
+    let trace = delete_heavy_trace(77, 6, 40);
+    run_and_validate(&trace, 3, "delete-heavy");
+}
+
 /// Raw-op strategy: mostly inserts on a coarse lattice (so ε-relations
 /// and duplicate coordinates actually occur), occasional TTLs, and a
 /// 20% sprinkle of raw deletes.
@@ -262,7 +296,10 @@ fn raw_op() -> impl Strategy<Value = RawOp> {
                 RawOp::Insert {
                     coords: grid.into_iter().map(|g| g as f64 * 0.18).collect(),
                     // ttl ∈ {3, 4} → Some(1 | 2): a TTL on 40% of inserts.
-                    ttl: (ttl >= 3).then_some(ttl - 2),
+                    // NB `then` (lazy), not `then_some`: the eager form
+                    // evaluates `ttl - 2` even when the guard is false
+                    // and underflows for ttl ∈ {0, 1}.
+                    ttl: (ttl >= 3).then(|| ttl - 2),
                 }
             }
         },

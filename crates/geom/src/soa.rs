@@ -108,6 +108,19 @@ impl PointBlock {
         self.items.push(item);
     }
 
+    /// Remove the point at row `i`, shifting later rows left so
+    /// insertion order is preserved. Returns the removed item id.
+    /// Panics when `i` is out of range.
+    pub fn remove(&mut self, i: usize) -> u32 {
+        let n = self.len();
+        assert!(i < n, "PointBlock::remove out of range");
+        for k in 0..self.dim {
+            let col = &mut self.cols[k * self.cap..k * self.cap + n];
+            col.copy_within(i + 1..n, i);
+        }
+        self.items.remove(i)
+    }
+
     /// Copy the point at row `i` into `buf` (which must be `dim` long).
     pub fn write_point(&self, i: usize, buf: &mut [f64]) {
         debug_assert_eq!(buf.len(), self.dim);
@@ -266,6 +279,30 @@ mod tests {
             assert_eq!(scalar[i].to_bits(), want.to_bits());
             assert_eq!(b.dist_sq_to(i, &q).to_bits(), want.to_bits());
         }
+    }
+
+    #[test]
+    fn point_block_remove_shifts_rows() {
+        let mut b = PointBlock::with_capacity(2, 8);
+        for i in 0..5u32 {
+            b.push(i, &[i as f64, 10.0 + i as f64]);
+        }
+        assert_eq!(b.remove(1), 1);
+        assert_eq!(b.items(), &[0, 2, 3, 4]);
+        assert_eq!(b.col(0), &[0.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.col(1), &[10.0, 12.0, 13.0, 14.0]);
+        // Remove last, then first.
+        assert_eq!(b.remove(3), 4);
+        assert_eq!(b.remove(0), 0);
+        assert_eq!(b.items(), &[2, 3]);
+        assert_eq!(b.col(0), &[2.0, 3.0]);
+        let m = b.mbr().unwrap();
+        assert_eq!(m.lo(), &[2.0, 12.0]);
+        assert_eq!(m.hi(), &[3.0, 13.0]);
+        // Freed slots are reusable.
+        b.push(9, &[9.0, 19.0]);
+        assert_eq!(b.items(), &[2, 3, 9]);
+        assert_eq!(b.coord(2, 1), 19.0);
     }
 
     #[test]

@@ -97,6 +97,15 @@ impl LeafData {
         }
     }
 
+    /// Remove the entry at position `i`, preserving the order of the
+    /// remaining entries in both layouts. Returns the removed item id.
+    pub fn remove(&mut self, i: usize) -> u32 {
+        match self {
+            LeafData::Boxes(entries) => entries.remove(i).item,
+            LeafData::Points(block) => block.remove(i),
+        }
+    }
+
     /// Materialise the entries in storage order (degenerate boxes for the
     /// point layout) — used by node splits, which repartition via boxes.
     pub fn into_entries(self, dim: usize) -> Vec<Entry> {

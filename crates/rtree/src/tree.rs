@@ -146,6 +146,88 @@ impl RTree {
         self.insert(Entry::point(item, coords));
     }
 
+    /// Remove the point item `item` stored at `coords` (degenerate MBR).
+    /// Returns `true` when the item was found and removed.
+    pub fn remove_point(&mut self, item: u32, coords: &[f64]) -> bool {
+        assert_eq!(coords.len(), self.dim, "point dimensionality mismatch");
+        self.remove(item, &Mbr::point(coords))
+    }
+
+    /// Remove the item `item` whose stored bounding box equals `mbr`.
+    /// Returns `true` when the item was found and removed.
+    ///
+    /// The descent only visits subtrees whose box contains `mbr`; on the
+    /// unwind every ancestor's cached MBR is recomputed exactly from its
+    /// surviving children, so boxes *shrink* — queries after a removal
+    /// pay no dead-volume penalty. Nodes emptied by the removal are
+    /// unlinked from their parent (their arena slots are reclaimed only
+    /// when the tree empties entirely). No minimum-fan-out reinsertion
+    /// is performed: underfull nodes are legal in this tree, deletion
+    /// merely trades a little query balance for O(height) cost.
+    pub fn remove(&mut self, item: u32, mbr: &Mbr) -> bool {
+        assert_eq!(mbr.dim(), self.dim, "entry dimensionality mismatch");
+        let Some(root) = self.root else { return false };
+        match self.remove_rec(root, item, mbr) {
+            Removal::NotFound => false,
+            Removal::Removed { empty } => {
+                self.len -= 1;
+                if empty {
+                    // Last item gone: reset to the pristine empty state
+                    // and reclaim the whole arena.
+                    self.nodes.clear();
+                    self.root = None;
+                    self.height = 0;
+                }
+                true
+            }
+        }
+    }
+
+    fn remove_rec(&mut self, node: NodeId, item: u32, mbr: &Mbr) -> Removal {
+        if self.nodes[node as usize].is_leaf() {
+            let Node::Leaf { data, .. } = &mut self.nodes[node as usize] else { unreachable!() };
+            let Some(i) =
+                (0..data.len()).find(|&i| data.item(i) == item && data.entry_mbr(i) == *mbr)
+            else {
+                return Removal::NotFound;
+            };
+            data.remove(i);
+            if data.is_empty() {
+                return Removal::Removed { empty: true };
+            }
+            let shrunk = leaf_mbr(data);
+            let Node::Leaf { mbr: m, .. } = &mut self.nodes[node as usize] else { unreachable!() };
+            *m = shrunk;
+            return Removal::Removed { empty: false };
+        }
+
+        let Node::Internal { children, .. } = &self.nodes[node as usize] else { unreachable!() };
+        let kids = children.clone();
+        for (k, &c) in kids.iter().enumerate() {
+            if !self.nodes[c as usize].mbr().contains(mbr) {
+                continue;
+            }
+            let Removal::Removed { empty } = self.remove_rec(c, item, mbr) else { continue };
+            let Node::Internal { children, .. } = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
+            if empty {
+                children.remove(k);
+            }
+            if children.is_empty() {
+                return Removal::Removed { empty: true };
+            }
+            let remaining = children.clone();
+            let shrunk = self.mbr_of_children(&remaining);
+            let Node::Internal { mbr: m, .. } = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
+            *m = shrunk;
+            return Removal::Removed { empty: false };
+        }
+        Removal::NotFound
+    }
+
     fn push_node(&mut self, node: Node) -> NodeId {
         let id = self.nodes.len() as NodeId;
         self.nodes.push(node);
@@ -360,6 +442,23 @@ impl RTree {
     }
 }
 
+/// Outcome of a recursive removal below one node.
+enum Removal {
+    NotFound,
+    Removed {
+        /// The child subtree is now empty and must be unlinked.
+        empty: bool,
+    },
+}
+
+/// Exact bounding box of a non-empty leaf's contents.
+fn leaf_mbr(data: &LeafData) -> Mbr {
+    match data {
+        LeafData::Boxes(entries) => mbr_of_entries(entries),
+        LeafData::Points(block) => block.mbr().expect("leaf cannot be empty here"),
+    }
+}
+
 fn mbr_of_entries(entries: &[Entry]) -> Mbr {
     let mut it = entries.iter();
     let mut m = it.next().expect("split group cannot be empty").mbr.clone();
@@ -526,6 +625,116 @@ mod tests {
     #[should_panic(expected = "min_entries")]
     fn config_validation() {
         RTreeConfig::new(8, 5);
+    }
+
+    #[test]
+    fn remove_point_shrinks_and_stays_valid() {
+        let mut t = RTree::with_config(2, RTreeConfig::new(4, 2));
+        let pts = grid_points(8, 8);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert_point(i as u32, p);
+        }
+        t.check_invariants();
+        // Remove the whole x == 7 boundary column: the root MBR must
+        // shrink to x <= 6 (exact recompute, not a stale cover).
+        for (i, p) in pts.iter().enumerate() {
+            if p[0] == 7.0 {
+                assert!(t.remove_point(i as u32, p));
+            }
+        }
+        assert_eq!(t.len(), 56);
+        t.check_invariants();
+        let m = t.mbr().unwrap().clone();
+        assert_eq!(m.hi(), &[6.0, 7.0], "root MBR did not shrink: {m:?}");
+        // Removing again (or a never-inserted item) is a no-op.
+        assert!(!t.remove_point(63, &[7.0, 7.0]));
+        assert!(!t.remove_point(999, &[3.0, 3.0]));
+        assert_eq!(t.len(), 56);
+    }
+
+    #[test]
+    fn remove_to_empty_then_reinsert() {
+        let mut t = RTree::with_config(2, RTreeConfig::new(4, 2));
+        let pts = grid_points(5, 5);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert_point(i as u32, p);
+        }
+        for (i, p) in pts.iter().enumerate() {
+            assert!(t.remove_point(i as u32, p));
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.mbr().is_none());
+        assert_eq!(t.node_count(), 0, "empty tree must reclaim its arena");
+        for (i, p) in pts.iter().enumerate() {
+            t.insert_point(i as u32, p);
+        }
+        assert_eq!(t.len(), 25);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn interleaved_insert_remove_queries_match_linear_scan() {
+        // Deterministic pseudo-random interleaving of inserts and removals;
+        // after every phase, sphere queries must match a linear scan over
+        // the live set.
+        let mut t = RTree::with_config(2, RTreeConfig::new(8, 4));
+        let coords = |i: u32| {
+            let h = |k: u32| {
+                let x = i.wrapping_mul(2654435761).wrapping_add(k.wrapping_mul(913));
+                (x % 997) as f64 / 31.0
+            };
+            vec![h(1), h(2)]
+        };
+        let mut live: Vec<u32> = Vec::new();
+        for i in 0..400u32 {
+            t.insert_point(i, &coords(i));
+            live.push(i);
+            // Every third insert, remove a pseudo-random live point.
+            if i % 3 == 2 {
+                let k = (i.wrapping_mul(48271) as usize) % live.len();
+                let victim = live.swap_remove(k);
+                assert!(t.remove_point(victim, &coords(victim)));
+            }
+            if i % 53 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), live.len());
+        for q in [&coords(7), &coords(123), &coords(399)] {
+            for r in [2.0, 9.0] {
+                let mut got = t.sphere_neighbors(q, r);
+                got.sort_unstable();
+                let r_sq = r * r;
+                let mut want: Vec<u32> = live
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        let c = coords(p);
+                        let d = (c[0] - q[0]).powi(2) + (c[1] - q[1]).powi(2);
+                        d < r_sq
+                    })
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_duplicate_coordinate_points_one_at_a_time() {
+        let mut t = RTree::new(2);
+        for i in 0..20u32 {
+            t.insert_point(i, &[1.0, 1.0]);
+        }
+        for i in (0..20u32).rev() {
+            assert!(t.remove_point(i, &[1.0, 1.0]));
+            assert!(!t.remove_point(i, &[1.0, 1.0]), "id {i} removed twice");
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
     }
 
     #[test]

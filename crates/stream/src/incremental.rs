@@ -17,20 +17,61 @@ struct StreamMc {
     members: u32,
 }
 
+/// Outcome of [`StreamingMuDbscan::try_remove`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveOutcome {
+    /// The point was removed and connectivity over the affected
+    /// component(s) was repaired locally.
+    Removed {
+        /// Number of surviving points the repair examined: the cores
+        /// walked by the no-split probe plus the re-anchored borders
+        /// and demoted cores when the fast path commits
+        /// ([`StreamingMuDbscan::try_remove`]), or the members of the
+        /// affected component(s) when the union replay runs. 0 when
+        /// the removed point was noise or an unanchoring border.
+        touched: usize,
+    },
+    /// The affected region holds more than `budget` surviving points;
+    /// **nothing was mutated**. The caller should fall back to a full
+    /// rebuild ([`StreamingMuDbscan::from_dataset`] over the live set).
+    ExceedsBudget {
+        /// Size of the region a repair would have to replay.
+        component: usize,
+    },
+}
+
 /// Streaming μDBSCAN: insert points one at a time; the clustering of the
-/// prefix seen so far is always exactly classical DBSCAN's.
+/// prefix seen so far is always exactly classical DBSCAN's. Points can
+/// also be removed exactly ([`Self::try_remove`]): a removal tombstones
+/// the internal id and repairs connectivity locally over the affected
+/// component instead of rebuilding the whole structure.
 pub struct StreamingMuDbscan {
     params: DbscanParams,
     data: Dataset,
     /// Level-1 R-tree over MC centers (item = MC index).
     level1: RTree,
     mcs: Vec<StreamMc>,
-    /// `counts[p] = |N_ε(p)|` over the points inserted so far (self
-    /// included).
+    /// `counts[p] = |N_ε(p)|` over the live points inserted so far (self
+    /// included; 0 for tombstoned points).
     counts: Vec<u32>,
     uf: UnionFind,
+    /// Union–find element of every point. Insertions mint the element
+    /// in lock-step with the id; excision ([`Self::uf_excise`]) swaps
+    /// in a fresh singleton element and leaves the old one behind as
+    /// an unreferenced *ghost* inside its set, which is how the
+    /// no-split fast path detaches a point from a set that cannot be
+    /// reset member-by-member.
+    uf_slot: Vec<PointId>,
     is_core: Vec<bool>,
     assigned: Vec<bool>,
+    /// `live[p]` is false once `p` has been removed. Tombstoned points
+    /// keep their internal id (dataset slots are never compacted) but
+    /// are deleted from their MC's aux tree, so no ε-query returns them.
+    live: Vec<bool>,
+    dead_count: usize,
+    /// Micro-cluster index of every point (tombstones keep their last
+    /// value; it is only read for live points).
+    mc_of: Vec<u32>,
     counters: Counters,
 }
 
@@ -48,8 +89,12 @@ impl StreamingMuDbscan {
             mcs: Vec::new(),
             counts: Vec::new(),
             uf: UnionFind::new(0),
+            uf_slot: Vec::new(),
             is_core: Vec::new(),
             assigned: Vec::new(),
+            live: Vec::new(),
+            dead_count: 0,
+            mc_of: Vec::new(),
             counters: Counters::new(),
         }
     }
@@ -147,6 +192,13 @@ impl StreamingMuDbscan {
             RTreeConfig::default(),
             tree.mcs.iter().enumerate().map(|(i, mc)| (i as u32, data.point(mc.center).to_vec())),
         );
+        let mut mc_of = vec![u32::MAX; n];
+        for (i, mc) in tree.mcs.iter().enumerate() {
+            for &p in &mc.members {
+                mc_of[p as usize] = i as u32;
+            }
+        }
+        debug_assert!(mc_of.iter().all(|&m| m != u32::MAX), "MCs must partition the dataset");
         let mcs = std::mem::take(&mut tree.mcs)
             .into_iter()
             .map(|mc| {
@@ -162,10 +214,26 @@ impl StreamingMuDbscan {
             })
             .collect();
 
-        Self { params, data: data.clone(), level1, mcs, counts, uf, is_core, assigned, counters }
+        Self {
+            params,
+            data: data.clone(),
+            level1,
+            mcs,
+            counts,
+            uf,
+            uf_slot: (0..n as PointId).collect(),
+            is_core,
+            assigned,
+            live: vec![true; n],
+            dead_count: 0,
+            mc_of,
+            counters,
+        }
     }
 
-    /// Points ingested so far.
+    /// Points ingested so far, tombstoned removals included — this is
+    /// the size of the internal id space, not the live population (see
+    /// [`Self::live_len`]).
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -173,6 +241,22 @@ impl StreamingMuDbscan {
     /// True before the first insertion.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// True when `p` has been ingested and not removed.
+    pub fn is_live(&self, p: PointId) -> bool {
+        self.live[p as usize]
+    }
+
+    /// Number of live (never-removed) points.
+    pub fn live_len(&self) -> usize {
+        self.data.len() - self.dead_count
+    }
+
+    /// Number of tombstoned removals still occupying internal ids.
+    /// Grows until the owner compacts by rebuilding from the live set.
+    pub fn dead_len(&self) -> usize {
+        self.dead_count
     }
 
     /// Number of micro-clusters currently maintained.
@@ -198,6 +282,29 @@ impl StreamingMuDbscan {
     /// The ingested points, in insertion order.
     pub fn dataset(&self) -> &Dataset {
         &self.data
+    }
+
+    /// Root of `p`'s disjoint set, through the slot indirection.
+    fn uf_root(&self, p: PointId) -> PointId {
+        self.uf.find_const(self.uf_slot[p as usize])
+    }
+
+    /// Union the sets of points `a` and `b`, through the slot
+    /// indirection.
+    fn uf_union(&mut self, a: PointId, b: PointId) {
+        let (sa, sb) = (self.uf_slot[a as usize], self.uf_slot[b as usize]);
+        self.uf.union(sa, sb);
+    }
+
+    /// Detach `p` from its disjoint set by minting it a fresh singleton
+    /// element. The old element stays behind as an unreferenced ghost
+    /// inside its set — nothing maps to it, so it can never leak the
+    /// set's identity — which makes excision sound where
+    /// [`UnionFind::reset_to_singleton`] (a whole-set contract) is
+    /// not: other members' parent chains may run through the old
+    /// element, and they keep doing so harmlessly.
+    fn uf_excise(&mut self, p: PointId) {
+        self.uf_slot[p as usize] = self.uf.push();
     }
 
     /// ε-neighbourhood of arbitrary coordinates over the current prefix
@@ -228,11 +335,14 @@ impl StreamingMuDbscan {
         self.counts.push(nbhrs.len() as u32 + 1);
         self.is_core.push(false);
         self.assigned.push(false);
-        let up = self.uf.push();
-        debug_assert_eq!(up, p);
+        self.live.push(true);
+        let slot = self.uf.push();
+        self.uf_slot.push(slot);
 
         // Micro-cluster maintenance: join the first MC whose center is
-        // strictly within ε, else start a new one.
+        // strictly within ε, else start a new one. (A removed center
+        // leaves its MC behind as a *virtual* center: the level-1 entry
+        // and the members-within-ε invariant both stay valid.)
         let (hit, probe_cost) = self.level1.first_in_sphere(coords, self.params.eps);
         self.counters.count_node_visits(probe_cost.nodes_visited.max(1));
         self.counters.count_dists(probe_cost.mbr_tests);
@@ -240,6 +350,7 @@ impl StreamingMuDbscan {
             Some(mc) => {
                 self.mcs[mc as usize].aux.insert_point(p, coords);
                 self.mcs[mc as usize].members += 1;
+                self.mc_of.push(mc);
             }
             None => {
                 let id = self.mcs.len() as u32;
@@ -247,6 +358,7 @@ impl StreamingMuDbscan {
                 aux.insert_point(p, coords);
                 self.mcs.push(StreamMc { center: p, aux, members: 1 });
                 self.level1.insert_point(id, coords);
+                self.mc_of.push(id);
             }
         }
 
@@ -266,7 +378,7 @@ impl StreamingMuDbscan {
         } else {
             for &q in &nbhrs {
                 if self.is_core[q as usize] {
-                    self.uf.union(q, p);
+                    self.uf_union(q, p);
                     self.counters.count_union();
                     self.assigned[p as usize] = true;
                     break;
@@ -299,33 +411,481 @@ impl StreamingMuDbscan {
                 continue;
             }
             if self.is_core[q as usize] {
-                self.uf.union(q, x);
+                self.uf_union(q, x);
                 self.counters.count_union();
             } else if !self.assigned[q as usize] {
-                self.uf.union(x, q);
+                self.uf_union(x, q);
                 self.counters.count_union();
                 self.assigned[q as usize] = true;
             }
         }
     }
 
-    /// Extract the clustering of the points ingested so far.
-    pub fn snapshot(&mut self) -> Clustering {
-        let is_core = self.is_core.clone();
-        Clustering::from_union_find(&mut self.uf, is_core)
+    /// Remove the live point `p` exactly, repairing connectivity locally
+    /// whatever the blast radius. Returns the number of surviving points
+    /// the repair replayed. Panics when `p` is unknown or already dead.
+    pub fn remove(&mut self, p: PointId) -> usize {
+        match self.try_remove(p, usize::MAX) {
+            RemoveOutcome::Removed { touched } => touched,
+            RemoveOutcome::ExceedsBudget { .. } => unreachable!("unbounded budget"),
+        }
     }
 
-    /// The clustering of the current prefix with border ties resolved
-    /// canonically: every border point joins the cluster of its
-    /// **minimum-id core neighbour**, which is exactly the attachment
+    /// Remove the live point `p` exactly — but only when the repair
+    /// region holds at most `budget` surviving points; otherwise return
+    /// [`RemoveOutcome::ExceedsBudget`] **without mutating anything**, so
+    /// the caller can fall back to a full rebuild.
+    ///
+    /// The repair is micro-cluster-local in the paper's sense: `p` is
+    /// deleted from its MC's aux R-tree (one [`rtree::RTree::remove`]
+    /// with MBR shrink), every live ε-neighbour's count is decremented,
+    /// cores that fall below MinPts are demoted, and connectivity is
+    /// repaired in two tiers:
+    ///
+    /// 1. **No-split fast path** (`no_split_repair`): a bounded
+    ///    probe tries to certify that deleting `p` and the demoted
+    ///    cores from the core graph cannot split any component. When it
+    ///    succeeds the union–find is already correct restricted to the
+    ///    surviving cores — only the capture (`assigned`) of the
+    ///    demoted cores and of the borders they or `p` anchored needs
+    ///    re-resolving, a constant-size repair even when the component
+    ///    is the whole dataset. This is what keeps deletions cheap in
+    ///    one-giant-cluster regimes, where the replay below would cost
+    ///    as much as a rebuild.
+    /// 2. **Component replay**: because the union–find cannot unsplit,
+    ///    connectivity is otherwise recomputed over the affected
+    ///    components: `p`'s own component plus the component of every
+    ///    demoted core (a border `p` can sit between clusters, so these
+    ///    need not coincide). Those members are reset to singletons
+    ///    (sound because parent chains never leave a set) and the exact
+    ///    union rules of [`Self::from_dataset`] are replayed over them
+    ///    in id order, one ε-query per surviving core. Borders whose
+    ///    every in-component anchor was demoted are re-attached with
+    ///    one ε-query each, since they may still be held by a core of
+    ///    an untouched component.
+    ///
+    /// Deletions never promote (counts only decrease), so the replay is
+    /// closed over the affected components: a core in the region cannot
+    /// union outside it (a cross-component core edge would have merged
+    /// the components before the removal).
+    pub fn try_remove(&mut self, p: PointId, budget: usize) -> RemoveOutcome {
+        let pi = p as usize;
+        assert!(pi < self.data.len() && self.live[pi], "remove of a dead or unknown point");
+        let min_pts = self.params.min_pts as u32;
+        let coords = self.data.point(p).to_vec();
+
+        // ε-neighbours while p is still indexed (p included).
+        let nbhrs = self.query(&coords);
+        debug_assert_eq!(nbhrs.len() as u32, self.counts[pi]);
+
+        if !self.assigned[pi] {
+            // p is noise: no live core has p in its ε-ball (any such
+            // core would have captured p at promotion or insert time),
+            // so no neighbour can be demoted and no component is
+            // affected — constant-size repair.
+            self.detach(p, &coords);
+            for &q in &nbhrs {
+                if q != p {
+                    self.counts[q as usize] -= 1;
+                    debug_assert!(
+                        !self.is_core[q as usize] || self.counts[q as usize] >= min_pts,
+                        "a noise removal demoted a core"
+                    );
+                }
+            }
+            return RemoveOutcome::Removed { touched: 0 };
+        }
+
+        // Cores that lose the core property when p leaves (count would
+        // drop to MinPts - 1). All are within ε of p, but p may be a
+        // border shared between clusters, so their components can
+        // differ from p's.
+        let demoted: Vec<PointId> = nbhrs
+            .iter()
+            .copied()
+            .filter(|&q| q != p && self.is_core[q as usize] && self.counts[q as usize] == min_pts)
+            .collect();
+
+        if let Some(outcome) = self.no_split_repair(p, &coords, &nbhrs, &demoted, budget) {
+            return outcome;
+        }
+
+        let mut roots: Vec<PointId> = vec![self.uf_root(p)];
+        for &d in &demoted {
+            let r = self.uf_root(d);
+            if !roots.contains(&r) {
+                roots.push(r);
+            }
+        }
+        let comp: Vec<PointId> = (0..self.data.len() as PointId)
+            .filter(|&q| self.live[q as usize] && roots.contains(&self.uf_root(q)))
+            .collect();
+        let touched = comp.len() - 1; // p itself is in `comp`
+        if touched > budget {
+            return RemoveOutcome::ExceedsBudget { component: touched };
+        }
+
+        // Commit: drop p, decrement neighbour counts, apply demotions.
+        self.detach(p, &coords);
+        for &q in &nbhrs {
+            if q != p {
+                self.counts[q as usize] -= 1;
+            }
+        }
+        for &d in &demoted {
+            self.is_core[d as usize] = false;
+        }
+
+        // Local union–find repair: reset every member of the affected
+        // sets (p included — parent chains are intra-set, so a whole-set
+        // reset cannot dangle; ghost elements left in these sets by
+        // earlier excisions are unreferenced either way), then replay
+        // the exact `from_dataset` union rules in id order over the
+        // surviving cores.
+        for &q in &comp {
+            self.uf.reset_to_singleton(self.uf_slot[q as usize]);
+            self.assigned[q as usize] = false;
+        }
+        for &q in &comp {
+            if q == p || !self.is_core[q as usize] {
+                continue;
+            }
+            let qn = self.query(self.data.point(q));
+            debug_assert_eq!(qn.len() as u32, self.counts[q as usize]);
+            self.make_core(q, &qn);
+        }
+        // Borders whose every in-component anchor was demoted may still
+        // be held by a core of an untouched component.
+        for &q in &comp {
+            if q == p || self.is_core[q as usize] || self.assigned[q as usize] {
+                continue;
+            }
+            let qn = self.query(self.data.point(q));
+            if let Some(&c) = qn.iter().find(|&&c| self.is_core[c as usize]) {
+                self.uf_union(c, q);
+                self.counters.count_union();
+                self.assigned[q as usize] = true;
+            }
+        }
+        RemoveOutcome::Removed { touched }
+    }
+
+    /// Upper bound on ε-queries the no-split probe may spend walking
+    /// the surviving core graph before giving up and handing the
+    /// removal to the component replay. Each BFS expansion costs one
+    /// ε-query, so this caps the probe's overhead at a small constant
+    /// multiple of an insert even when the component is the whole
+    /// dataset. Dense interiors usually certify with **zero**
+    /// expansions (the seed cores are pairwise within ε); the cap only
+    /// bites on stringy components, where the replay fallback is cheap
+    /// anyway.
+    const NO_SPLIT_PROBE_CAP: usize = 64;
+
+    /// Fast tier of [`Self::try_remove`]: certify that deleting `p`
+    /// (when core) and the `demoted` cores from the core graph cannot
+    /// split a component, then repair without touching the union–find.
+    ///
+    /// **Certificate.** Any core path between two surviving cores that
+    /// ran through a removed vertex enters and leaves the removed set
+    /// via *seed* cores — surviving cores within ε of `p` or of a
+    /// demoted core. So a component stays connected iff its seeds stay
+    /// mutually connected in the surviving core graph (and with ≤ 1
+    /// seed no split is possible at all). Seeds are grouped per old
+    /// component root (when `p` is core every demoted core shares its
+    /// root via the core–core edge, so there is one group; a border
+    /// `p` can demote cores in several components). Each group is
+    /// certified in two steps: seeds pairwise within ε are core–core
+    /// neighbours, hence already connected — if that relation alone
+    /// joins the whole group (the common case in dense interiors) the
+    /// certificate is free; otherwise a BFS over the surviving core
+    /// graph, capped at [`Self::NO_SPLIT_PROBE_CAP`] expansions, tries
+    /// to connect the seed sub-groups. Exhausting the frontier first
+    /// means the component genuinely splits; either that or hitting
+    /// the cap returns `None` and the replay tier takes over.
+    ///
+    /// **Repair.** With no split, the union–find restricted to the
+    /// surviving cores is already exact ([`Self::canonical_snapshot`]
+    /// reads only the core partition plus the `assigned` flags), so
+    /// the commit is: tombstone `p`, decrement neighbour counts, drop
+    /// the demoted cores' core flags, and re-resolve capture exactly
+    /// where a core vertex vanished — each demoted core and each
+    /// assigned border within ε of `p`-when-core or of a demoted core
+    /// is excised from its old set ([`Self::uf_excise`]) and, when it
+    /// keeps a surviving anchor core (one ε-query per border),
+    /// re-attached to the minimum-id one. The excision is what keeps
+    /// later *insertions* sound: a stale set membership would let a
+    /// future promotion or capture union two unrelated components
+    /// through the moved point.
+    ///
+    /// Returns `None` to fall through to the replay tier; the repair
+    /// region (`touched` = probed cores + re-anchored borders +
+    /// demoted cores) is a subset of the replay's affected components,
+    /// so a `touched` over budget falls through too and the replay
+    /// tier reports the exact blast radius in
+    /// [`RemoveOutcome::ExceedsBudget`].
+    fn no_split_repair(
+        &mut self,
+        p: PointId,
+        coords: &[f64],
+        nbhrs: &[PointId],
+        demoted: &[PointId],
+        budget: usize,
+    ) -> Option<RemoveOutcome> {
+        let p_core = self.is_core[p as usize];
+        let alive_core = |s: &Self, q: PointId| -> bool {
+            q != p && s.is_core[q as usize] && !demoted.contains(&q)
+        };
+        // Neighbour lists of the demoted cores while everything is
+        // still indexed. Nothing is mutated until the certificate is in
+        // hand, so a `None` return leaves the state untouched.
+        let demoted_nbhrs: Vec<Vec<PointId>> =
+            demoted.iter().map(|&d| self.query(self.data.point(d))).collect();
+
+        // Seed groups, keyed by old component root.
+        let mut groups: Vec<(PointId, Vec<PointId>)> = Vec::new();
+        let add_seed =
+            |groups: &mut Vec<(PointId, Vec<PointId>)>, root: PointId, q: PointId| match groups
+                .iter_mut()
+                .find(|(r, _)| *r == root)
+            {
+                Some((_, seeds)) => {
+                    if !seeds.contains(&q) {
+                        seeds.push(q);
+                    }
+                }
+                None => groups.push((root, vec![q])),
+            };
+        if p_core {
+            let root = self.uf_root(p);
+            for &q in nbhrs {
+                if alive_core(self, q) {
+                    add_seed(&mut groups, root, q);
+                }
+            }
+        }
+        for (i, &d) in demoted.iter().enumerate() {
+            let root = self.uf_root(d);
+            debug_assert!(
+                !p_core || root == self.uf_root(p),
+                "a demoted core shares a core edge with a core p, hence its component"
+            );
+            for &q in &demoted_nbhrs[i] {
+                if alive_core(self, q) {
+                    add_seed(&mut groups, root, q);
+                }
+            }
+        }
+
+        let eps_sq = self.params.eps * self.params.eps;
+        let mut probes = 0usize;
+        let mut touched = demoted.len();
+        for (_, seeds) in &mut groups {
+            seeds.sort_unstable();
+            touched += seeds.len();
+            if seeds.len() < 2 {
+                continue;
+            }
+            // Free certificate first: seeds pairwise strictly within ε
+            // are core–core neighbours, already connected. Label the
+            // seed sub-groups that relation induces.
+            let s = seeds.len();
+            let mut label: Vec<usize> = (0..s).collect();
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    if geom::dist_sq(self.data.point(seeds[i]), self.data.point(seeds[j])) < eps_sq
+                    {
+                        let (a, b) = (label[i], label[j]);
+                        if a != b {
+                            let keep = a.min(b);
+                            for l in label.iter_mut() {
+                                if *l == a || *l == b {
+                                    *l = keep;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.counters.count_dists((s * (s - 1) / 2) as u64);
+            if label.iter().all(|&l| l == 0) {
+                continue;
+            }
+            // BFS over the surviving core graph: start from sub-group
+            // 0's seeds, absorb a whole sub-group whenever any of its
+            // seeds is reached, succeed when none is pending.
+            let mut pending: Vec<usize> = label.iter().copied().filter(|&l| l != 0).collect();
+            pending.sort_unstable();
+            pending.dedup();
+            fn absorb(
+                seeds: &[PointId],
+                label: &[usize],
+                l: usize,
+                visited: &mut std::collections::HashSet<PointId>,
+                frontier: &mut std::collections::VecDeque<PointId>,
+            ) {
+                for (i, &q) in seeds.iter().enumerate() {
+                    if label[i] == l && visited.insert(q) {
+                        frontier.push_back(q);
+                    }
+                }
+            }
+            let mut visited: std::collections::HashSet<PointId> = std::collections::HashSet::new();
+            let mut frontier = std::collections::VecDeque::new();
+            absorb(seeds, &label, 0, &mut visited, &mut frontier);
+            while let Some(c) = frontier.pop_front() {
+                if pending.is_empty() {
+                    break;
+                }
+                if probes == Self::NO_SPLIT_PROBE_CAP {
+                    return None;
+                }
+                probes += 1;
+                let mut cn = self.query(self.data.point(c));
+                cn.sort_unstable();
+                for q in cn {
+                    if alive_core(self, q) && visited.insert(q) {
+                        frontier.push_back(q);
+                        if let Some(i) = seeds.iter().position(|&t| t == q) {
+                            let l = label[i];
+                            if let Ok(k) = pending.binary_search(&l) {
+                                pending.remove(k);
+                                absorb(seeds, &label, l, &mut visited, &mut frontier);
+                            }
+                        }
+                    }
+                }
+            }
+            if !pending.is_empty() {
+                return None; // a genuine split: the replay tier must run
+            }
+            touched += visited.len().saturating_sub(seeds.len());
+        }
+
+        // Borders at risk of losing their last anchor: the assigned
+        // non-cores within ε of a vanished core vertex.
+        let mut recheck: Vec<PointId> = Vec::new();
+        let at_risk = |s: &Self, q: PointId| -> bool {
+            q != p && !s.is_core[q as usize] && s.assigned[q as usize]
+        };
+        if p_core {
+            recheck.extend(nbhrs.iter().copied().filter(|&q| at_risk(self, q)));
+        }
+        for list in &demoted_nbhrs {
+            recheck.extend(list.iter().copied().filter(|&q| at_risk(self, q)));
+        }
+        recheck.sort_unstable();
+        recheck.dedup();
+        touched += recheck.len();
+        if touched > budget {
+            return None;
+        }
+
+        // Commit: drop p, decrement neighbour counts, apply demotions.
+        self.detach(p, coords);
+        self.uf_excise(p);
+        for &q in nbhrs {
+            if q != p {
+                self.counts[q as usize] -= 1;
+            }
+        }
+        for &d in demoted {
+            self.is_core[d as usize] = false;
+        }
+        // Re-resolve capture against the post-removal core flags: a
+        // membership scan per demoted core (its neighbour list is in
+        // hand), one ε-query per at-risk border (p is gone from the
+        // index, so the query cannot return it). Every such point is
+        // excised from the raw union–find first — its old set may no
+        // longer hold any of its anchors, and a later promotion or
+        // capture through a stale membership would union two unrelated
+        // components — then points that keep an anchor re-attach to
+        // their minimum-id surviving one.
+        for (i, &d) in demoted.iter().enumerate() {
+            self.uf_excise(d);
+            let anchor =
+                demoted_nbhrs[i].iter().copied().filter(|&q| self.is_core[q as usize]).min();
+            self.assigned[d as usize] = anchor.is_some();
+            if let Some(a) = anchor {
+                self.uf_union(a, d);
+                self.counters.count_union();
+            }
+        }
+        for &q in &recheck {
+            self.uf_excise(q);
+            let qn = self.query(self.data.point(q));
+            let anchor = qn.into_iter().filter(|&c| self.is_core[c as usize]).min();
+            self.assigned[q as usize] = anchor.is_some();
+            if let Some(a) = anchor {
+                self.uf_union(a, q);
+                self.counters.count_union();
+            }
+        }
+        Some(RemoveOutcome::Removed { touched })
+    }
+
+    /// Tombstone `p`: delete it from its MC's aux tree (so no ε-query
+    /// ever returns it again) and clear its clustering state. The MC's
+    /// center may become *virtual* (the removed point), which keeps both
+    /// the level-1 2ε search invariant and the members-within-ε bound
+    /// intact; an emptied MC simply stops matching queries.
+    fn detach(&mut self, p: PointId, coords: &[f64]) {
+        let mc = self.mc_of[p as usize] as usize;
+        let removed = self.mcs[mc].aux.remove_point(p, coords);
+        debug_assert!(removed, "point missing from its micro-cluster aux tree");
+        self.mcs[mc].members -= 1;
+        self.live[p as usize] = false;
+        self.dead_count += 1;
+        self.is_core[p as usize] = false;
+        self.assigned[p as usize] = false;
+        self.counts[p as usize] = 0;
+    }
+
+    /// Extract the clustering of the points ingested so far, indexed by
+    /// internal id. Tombstoned points appear as noise singletons; the
+    /// live-compacted form is [`Self::canonical_snapshot`].
+    ///
+    /// On an insert-only stream this is exactly DBSCAN over the prefix.
+    /// After removals the no-split fast path of [`Self::try_remove`]
+    /// re-anchors a moved border to its *minimum-id* surviving core —
+    /// the same tie classical DBSCAN leaves unspecified and the replay
+    /// resolves by id order — so border attachment here can differ
+    /// from some particular insertion order while staying exact;
+    /// [`Self::canonical_snapshot`] is the order-independent view.
+    pub fn snapshot(&mut self) -> Clustering {
+        use std::collections::hash_map::Entry;
+        // Materialise the point-level partition through the slot
+        // indirection: the raw union–find may hold ghost elements from
+        // excisions, so its element space is not the id space.
+        let n = self.data.len();
+        let mut uf = UnionFind::new(n);
+        let mut rep: std::collections::HashMap<PointId, PointId> = std::collections::HashMap::new();
+        for p in 0..n as PointId {
+            match rep.entry(self.uf_root(p)) {
+                Entry::Occupied(e) => {
+                    uf.union(*e.get(), p);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(p);
+                }
+            }
+        }
+        Clustering::from_union_find(&mut uf, self.is_core.clone())
+    }
+
+    /// The clustering of the current **live** points (insertion order,
+    /// compacted over tombstones) with border ties resolved canonically:
+    /// every border point joins the cluster of its **minimum-id core
+    /// neighbour**, which is exactly the attachment
     /// [`Self::from_dataset`] produces when it replays the union rules
     /// in id order. [`Self::snapshot`]'s border attachment depends on
     /// insertion order (classical DBSCAN leaves the tie unspecified),
     /// so two orders of the same points can disagree on borders while
     /// both being exact. This method re-resolves the ties, making the
-    /// result compare `==` against a batch run on the same points —
-    /// the serving layer ([`crate::serve`]) publishes canonical
+    /// result compare `==` against a batch run on the compacted live
+    /// set — the serving layer ([`crate::serve`]) publishes canonical
     /// snapshots for precisely that bit-identical epoch contract.
+    /// (Compaction preserves insertion order, so the minimum internal
+    /// id and the minimum compacted id pick the same anchor.)
     ///
     /// Costs one ε-query per captured border point; core components
     /// are copied from the incremental union–find (they are already
@@ -333,22 +893,32 @@ impl StreamingMuDbscan {
     pub fn canonical_snapshot(&self) -> Clustering {
         use std::collections::hash_map::Entry;
         let n = self.data.len();
-        let mut uf = UnionFind::new(n);
+        // Compacted position of every live point.
+        let mut pos = vec![u32::MAX; n];
+        let mut live_n = 0u32;
+        for (slot, &alive) in pos.iter_mut().zip(&self.live) {
+            if alive {
+                *slot = live_n;
+                live_n += 1;
+            }
+        }
+        let mut uf = UnionFind::new(live_n as usize);
         // Each incremental union–find set holds exactly one core
         // component plus the borders it captured; restricted to cores
         // the partition is order-independent. Copy it by unioning every
-        // core point with the first core seen in its set.
-        let mut rep: std::collections::HashMap<PointId, PointId> = std::collections::HashMap::new();
-        for p in 0..n {
+        // core point with the first core seen in its set. (Tombstones
+        // are never core, so they cannot leak in.)
+        let mut rep: std::collections::HashMap<PointId, u32> = std::collections::HashMap::new();
+        for (p, &cpos) in pos.iter().enumerate() {
             if !self.is_core[p] {
                 continue;
             }
-            match rep.entry(self.uf.find_const(p as PointId)) {
+            match rep.entry(self.uf_root(p as PointId)) {
                 Entry::Occupied(e) => {
-                    uf.union(*e.get(), p as PointId);
+                    uf.union(*e.get(), cpos);
                 }
                 Entry::Vacant(e) => {
-                    e.insert(p as PointId);
+                    e.insert(cpos);
                 }
             }
         }
@@ -356,7 +926,7 @@ impl StreamingMuDbscan {
         // neighbour (fresh unions only: the incremental attachment is
         // deliberately not copied).
         for p in 0..n {
-            if self.is_core[p] || !self.assigned[p] {
+            if !self.live[p] || self.is_core[p] || !self.assigned[p] {
                 continue;
             }
             let anchor = self
@@ -365,9 +935,11 @@ impl StreamingMuDbscan {
                 .filter(|&q| self.is_core[q as usize])
                 .min()
                 .expect("assigned border point must have a core neighbour");
-            uf.union(anchor, p as PointId);
+            uf.union(pos[anchor as usize], pos[p]);
         }
-        Clustering::from_union_find(&mut uf, self.is_core.clone())
+        let is_core: Vec<bool> =
+            (0..n).filter(|&p| self.live[p]).map(|p| self.is_core[p]).collect();
+        Clustering::from_union_find(&mut uf, is_core)
     }
 
     /// Convenience: bulk-ingest a dataset in row order.
@@ -547,6 +1119,213 @@ mod tests {
         assert_eq!(s.snapshot().n_clusters, 0);
         s.insert(&[0.0, 0.0, 0.0]);
         assert_eq!(s.len(), 1);
+    }
+
+    /// Compacted live dataset of a streaming engine (insertion order).
+    fn live_dataset(s: &StreamingMuDbscan) -> Dataset {
+        let rows: Vec<Vec<f64>> =
+            (0..s.len() as u32).filter(|&p| s.is_live(p)).map(|p| s.point(p).to_vec()).collect();
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn remove_matches_batch_on_survivors() {
+        let data = blobs(30, 17);
+        let params = DbscanParams::new(0.6, 4);
+        let mut s = StreamingMuDbscan::from_dataset(&data, params);
+        // Remove a pseudo-random half of the points one at a time; after
+        // each removal the canonical snapshot must be bit-identical to a
+        // batch run over the compacted survivors.
+        let mut victim = 7u32;
+        for step in 0..data.len() / 2 {
+            victim = (victim.wrapping_mul(48271) + 13) % data.len() as u32;
+            while !s.is_live(victim) {
+                victim = (victim + 1) % data.len() as u32;
+            }
+            s.remove(victim);
+            assert!(!s.is_live(victim));
+            assert_eq!(s.live_len(), data.len() - step - 1);
+            let survivors = live_dataset(&s);
+            let batch = StreamingMuDbscan::from_dataset(&survivors, params);
+            assert_eq!(
+                s.canonical_snapshot(),
+                batch.canonical_snapshot(),
+                "step {step}: repaired state diverged from batch on survivors"
+            );
+        }
+        // And the end state is exact DBSCAN.
+        let survivors = live_dataset(&s);
+        let rep = check_exact(
+            &s.canonical_snapshot(),
+            &naive_dbscan(&survivors, &params),
+            &survivors,
+            &params,
+        );
+        assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    fn remove_then_insert_interleaved_stays_exact() {
+        let data = blobs(25, 29);
+        let params = DbscanParams::new(0.6, 4);
+        let mut s = StreamingMuDbscan::empty(2, params);
+        let mut live: Vec<u32> = Vec::new();
+        for (i, coords) in data.iter() {
+            live.push(s.insert(coords));
+            if i % 4 == 3 {
+                let k = (i as usize * 31) % live.len();
+                let victim = live.swap_remove(k);
+                s.remove(victim);
+            }
+            if i % 9 != 8 {
+                continue;
+            }
+            let survivors = live_dataset(&s);
+            let batch = StreamingMuDbscan::from_dataset(&survivors, params);
+            assert_eq!(s.canonical_snapshot(), batch.canonical_snapshot(), "after insert {i}");
+        }
+    }
+
+    #[test]
+    fn try_remove_budget_zero_leaves_state_untouched() {
+        let params = DbscanParams::new(1.0, 3);
+        let mut s = StreamingMuDbscan::empty(1, params);
+        for x in [0.0, 0.5, -0.5, 0.2] {
+            s.insert(&[x]);
+        }
+        let before = s.canonical_snapshot();
+        // Point 0 is core in a 4-point component: the repair region has
+        // 3 survivors, over any 0 budget.
+        match s.try_remove(0, 0) {
+            RemoveOutcome::ExceedsBudget { component } => assert_eq!(component, 3),
+            other => panic!("expected ExceedsBudget, got {other:?}"),
+        }
+        assert!(s.is_live(0));
+        assert_eq!(s.live_len(), 4);
+        assert_eq!(s.canonical_snapshot(), before, "failed try_remove must not mutate");
+        // With budget = 3 the same removal succeeds.
+        assert_eq!(s.try_remove(0, 3), RemoveOutcome::Removed { touched: 3 });
+        assert_eq!(s.live_len(), 3);
+    }
+
+    #[test]
+    fn dense_interior_removal_repairs_under_tiny_budget() {
+        // One dense 10×10 grid cluster. Removing an interior core must
+        // go through the no-split fast path: the budget (25) is far
+        // below the component size (99 survivors), so the component
+        // replay would return ExceedsBudget — only the seed-clique
+        // certificate lets the removal commit, and it must still be
+        // bit-exact against a batch run on the survivors.
+        let rows: Vec<Vec<f64>> = (0..10)
+            .flat_map(|i| (0..10).map(move |j| vec![f64::from(i) * 0.2, f64::from(j) * 0.2]))
+            .collect();
+        let data = Dataset::from_rows(&rows);
+        let params = DbscanParams::new(0.45, 4);
+        let mut s = StreamingMuDbscan::from_dataset(&data, params);
+        assert_eq!(s.canonical_snapshot().n_clusters, 1);
+        match s.try_remove(55, 25) {
+            RemoveOutcome::Removed { touched } => {
+                assert!(touched <= 25, "fast repair examined {touched} points")
+            }
+            other => panic!("dense interior removal fell back to the replay: {other:?}"),
+        }
+        let survivors = live_dataset(&s);
+        let batch = StreamingMuDbscan::from_dataset(&survivors, params);
+        assert_eq!(s.canonical_snapshot(), batch.canonical_snapshot());
+    }
+
+    #[test]
+    fn chain_split_removal_still_exact() {
+        // A 1-d chain at pitch 0.5: removing a mid-chain core genuinely
+        // splits the cluster, so the fast path must hand the removal to
+        // the component replay and the result must match a batch run.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i) * 0.5]).collect();
+        let data = Dataset::from_rows(&rows);
+        let params = DbscanParams::new(0.6, 3);
+        let mut s = StreamingMuDbscan::from_dataset(&data, params);
+        assert_eq!(s.canonical_snapshot().n_clusters, 1);
+        s.remove(10);
+        let survivors = live_dataset(&s);
+        let batch = StreamingMuDbscan::from_dataset(&survivors, params);
+        assert_eq!(s.canonical_snapshot(), batch.canonical_snapshot());
+        assert_eq!(s.canonical_snapshot().n_clusters, 2, "mid-chain removal must split");
+    }
+
+    #[test]
+    fn orphaned_border_recapture_does_not_leak_old_component() {
+        // The stale-membership hazard behind the union–find excision:
+        // border b (x=0.8) is anchored only by the core at 0.4. Fast-
+        // removing that core orphans b; a later insert then promotes a
+        // NEW core (1.2) that captures b. Without excision b would
+        // still sit in its old set, and that capture would union the
+        // old cluster (which still has the core at -0.4) with the new
+        // one — one cluster instead of two.
+        let params = DbscanParams::new(0.5, 3);
+        let mut s = StreamingMuDbscan::empty(1, params);
+        for x in [-0.8, -0.4, 0.0, 0.4, 0.8] {
+            s.insert(&[x]);
+        }
+        assert_eq!(s.canonical_snapshot().n_clusters, 1);
+        match s.try_remove(3, usize::MAX) {
+            RemoveOutcome::Removed { touched } => {
+                assert!(touched <= 4, "expected a local repair, examined {touched}")
+            }
+            other => panic!("{other:?}"),
+        }
+        s.insert(&[1.2]);
+        s.insert(&[1.6]);
+        let survivors = live_dataset(&s);
+        let batch = StreamingMuDbscan::from_dataset(&survivors, params);
+        assert_eq!(s.canonical_snapshot(), batch.canonical_snapshot());
+        assert_eq!(s.canonical_snapshot().n_clusters, 2, "recaptured border leaked its old set");
+    }
+
+    #[test]
+    fn removing_noise_touches_nothing() {
+        let params = DbscanParams::new(1.0, 3);
+        let mut s = StreamingMuDbscan::empty(1, params);
+        for x in [0.0, 0.5, -0.5, 20.0] {
+            s.insert(&[x]);
+        }
+        // Point 3 is isolated noise: even a zero budget repairs it.
+        assert_eq!(s.try_remove(3, 0), RemoveOutcome::Removed { touched: 0 });
+        assert_eq!(s.canonical_snapshot().n_clusters, 1);
+    }
+
+    #[test]
+    fn remove_shared_border_demotes_across_clusters() {
+        // Two 1-d clusters sharing the border point at x = 0:
+        // left cores need it to stay core, so removing it must demote
+        // and split — across a component boundary from p's own cluster.
+        let params = DbscanParams::new(1.1, 3);
+        let mut s = StreamingMuDbscan::empty(1, params);
+        let pts = [-2.0, -1.0, 0.0, 1.0, 2.0, 1.5];
+        for x in pts {
+            s.insert(&[x]);
+        }
+        let c = s.canonical_snapshot();
+        assert!(c.n_clusters >= 1);
+        let shared = 2u32; // x = 0.0
+        s.remove(shared);
+        let survivors = live_dataset(&s);
+        let batch = StreamingMuDbscan::from_dataset(&survivors, params);
+        assert_eq!(s.canonical_snapshot(), batch.canonical_snapshot());
+        let rep = check_exact(
+            &s.canonical_snapshot(),
+            &naive_dbscan(&survivors, &params),
+            &survivors,
+            &params,
+        );
+        assert!(rep.is_exact(), "{rep:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dead or unknown")]
+    fn double_remove_panics() {
+        let mut s = StreamingMuDbscan::empty(1, DbscanParams::new(1.0, 3));
+        s.insert(&[0.0]);
+        s.remove(0);
+        s.remove(0);
     }
 
     #[test]

@@ -32,11 +32,16 @@
 //!   one ε-query each to wire up their cluster edges — everything else
 //!   needs no recomputation.
 //!
-//! Deletions can split clusters and would need connectivity re-checks
-//! to handle incrementally, so [`StreamingMuDbscan`] itself remains
-//! insert-only; the serving layer supports them by exact rebuild over
-//! the compacted live set (see [`serve`]), which keeps every published
-//! epoch bit-identical to a batch run on the same points.
+//! Deletions are exact too, and **local**: removing a point
+//! ([`StreamingMuDbscan::try_remove`]) tombstones it, deletes it from
+//! its MC's aux R-tree, decrements its live neighbours' counts and
+//! demotes cores that fall below `MinPts` — then, because a deletion
+//! can split clusters and the union–find cannot unsplit, replays the
+//! union rules only over the affected component(s). The serving layer
+//! applies removals through this repair per-op and falls back to an
+//! exact rebuild over the compacted live set when the blast radius
+//! exceeds its budget (see [`serve`]); either way every published
+//! epoch stays bit-identical to a batch run on the same points.
 //!
 //! ```
 //! use geom::DbscanParams;
@@ -55,7 +60,8 @@
 pub mod incremental;
 pub mod serve;
 
-pub use incremental::StreamingMuDbscan;
+pub use incremental::{RemoveOutcome, StreamingMuDbscan};
 pub use serve::{
-    Drained, ExtId, Membership, ServeError, ServeHandle, ServeOp, ServingMuDbscan, Snapshot,
+    Drained, ExtId, Membership, ServeError, ServeHandle, ServeOp, ServeOptions, ServingMuDbscan,
+    Snapshot,
 };

@@ -18,30 +18,40 @@
 //! * inserts are applied incrementally, then the writer publishes
 //!   [`StreamingMuDbscan::canonical_snapshot`], which re-resolves
 //!   border ties to the batch answer;
-//! * a batch containing deletions or TTL expiries triggers an **exact
-//!   rebuild** over the compacted live set (deletions can split
-//!   clusters, so incremental maintenance would be approximate — the
-//!   rebuild keeps the contract honest and is itself the parallel bulk
-//!   loader).
+//! * deletions and TTL expiries are applied per-op through the
+//!   engine's exact [`StreamingMuDbscan::try_remove`] — a
+//!   **micro-cluster-local repair** that tombstones the point, demotes
+//!   cores falling below MinPts, and replays the union rules only over
+//!   the affected component. When a removal's blast radius exceeds the
+//!   repair budget ([`ServeOptions::repair_budget`]), the writer falls
+//!   back to one **exact full rebuild** over the compacted live set
+//!   (the parallel bulk loader), so worst cases stay exact and cheap
+//!   cases stay local. A rebuild is also used to compact tombstones
+//!   once they outnumber the live points.
 //!
 //! **Epochs and TTL.** The epoch counter is a deterministic logical
 //! clock: it advances by one per applied batch, never by wall time. A
-//! point inserted in epoch `e` with `ttl = d` (clamped to ≥ 1) is
-//! excluded from every snapshot of epoch ≥ `e + d`. Deletes refer to
-//! the external ids handed out by [`ServeHandle::ingest`] and apply to
-//! points live at the start of the batch; unknown or already-dead ids
-//! are counted (`serve/deletes_ignored`) and skipped, because ingest is
+//! point inserted in epoch `e` with `ttl = d` (rounded up to ≥ 1, see
+//! [`ServeOp::insert_ttl`]) is excluded from every snapshot of epoch
+//! ≥ `e + d`. Deletes refer to the external ids handed out by
+//! [`ServeHandle::ingest`] and apply to points live at the start of
+//! the batch; unknown or already-dead ids are counted
+//! (`serve/deletes_ignored`) and skipped, because ingest is
 //! asynchronous and cannot report per-op errors.
 //!
 //! Per-operation latencies are recorded into `obs` histograms
 //! (`serve/ingest_batch_us`, `serve/publish_us`, `serve/query_us`,
 //! `serve/membership_us`) when collection is enabled — the bench
-//! harness reports their p50/p99.
+//! harness reports their p50/p99. The removal path records its own
+//! census: `serve/repairs` and `serve/repair_touched_points` for the
+//! local path, `serve/fallback_rebuilds` for budget-exceeded rebuilds,
+//! and `serve/rebuilds` for full rebuilds of any cause (fallback or
+//! tombstone compaction).
 //!
 //! Entry points: `Runner::serve` on the facade (preferred; see
 //! `docs/SERVING.md`) or [`ServingMuDbscan::spawn`] directly.
 
-use crate::incremental::StreamingMuDbscan;
+use crate::incremental::{RemoveOutcome, StreamingMuDbscan};
 use geom::{Dataset, DbscanParams, PointId};
 use metrics::Counters;
 use mudbscan::Clustering;
@@ -60,8 +70,8 @@ pub type ExtId = u64;
 /// One operation inside an ingest batch.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeOp {
-    /// Insert a point, optionally expiring after `ttl` epochs (clamped
-    /// to ≥ 1): inserted in epoch `e`, it is live in snapshots
+    /// Insert a point, optionally expiring after `ttl` epochs (rounded
+    /// up to ≥ 1): inserted in epoch `e`, it is live in snapshots
     /// `e .. e + ttl` and gone from epoch `e + ttl` on.
     Insert {
         /// Point coordinates (must match the engine dimension).
@@ -84,7 +94,17 @@ impl ServeOp {
         ServeOp::Insert { coords, ttl: None }
     }
 
-    /// An insert expiring `ttl` epochs after its batch (clamped ≥ 1).
+    /// An insert expiring `ttl` epochs after its batch.
+    ///
+    /// **Edge semantics.** `ttl` is *rounded up to 1*: a point cannot
+    /// both be inserted and expire inside the same batch, because
+    /// expiries run at the *start* of a batch (before its inserts), so
+    /// the earliest an insert can die is the start of the *next* epoch.
+    /// `insert_ttl(c, 0)` therefore behaves exactly like
+    /// `insert_ttl(c, 1)` — live in its own epoch, gone from the next.
+    /// At the other edge, the expiry epoch saturates: a huge `ttl`
+    /// (e.g. `u64::MAX`) never overflows and simply means "lives
+    /// forever", identical to [`ServeOp::insert`].
     pub fn insert_ttl(coords: Vec<f64>, ttl: u64) -> Self {
         ServeOp::Insert { coords, ttl: Some(ttl) }
     }
@@ -92,6 +112,33 @@ impl ServeOp {
     /// A delete by external id.
     pub fn delete(id: ExtId) -> Self {
         ServeOp::Delete { id }
+    }
+}
+
+/// Tuning knobs for the serving writer ([`ServingMuDbscan::spawn_with`]).
+///
+/// The defaults are what [`ServingMuDbscan::spawn`] uses; every option
+/// only affects *performance*, never results — the exactness contract
+/// holds for any configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Largest repair region (surviving points replayed) a single
+    /// removal may trigger before the writer falls back to a full
+    /// rebuild of the epoch.
+    ///
+    /// * `None` — adaptive default: half the live set, floor 256.
+    /// * `Some(0)` — local repair disabled: every batch containing a
+    ///   removal pays one full rebuild (the pre-repair behaviour; used
+    ///   by the conformance suite and the bench baseline arm).
+    /// * `Some(k)` — fixed threshold of `k` surviving points.
+    pub repair_budget: Option<usize>,
+}
+
+impl ServeOptions {
+    /// The effective repair budget at a given live population.
+    /// `Some(0)` disables repair entirely.
+    fn budget_at(&self, live: usize) -> usize {
+        self.repair_budget.unwrap_or_else(|| (live / 2).max(256))
     }
 }
 
@@ -147,7 +194,14 @@ pub struct Snapshot {
     ext: Vec<ExtId>,
     lookup: HashMap<ExtId, PointId>,
     clustering: Clustering,
-    index: RTree,
+    /// The writer's live-point R-tree, shared by reference: items are
+    /// *writer-internal* ids (mapped through `compact`), and the `Arc`
+    /// means epochs whose tree did not structurally change publish the
+    /// very same index instead of re-bulk-loading it.
+    index: Arc<RTree>,
+    /// Writer-internal id → position in `data`/`ext` (`u32::MAX` for
+    /// tombstoned ids, which the index never returns).
+    compact: Vec<u32>,
 }
 
 impl Snapshot {
@@ -159,7 +213,8 @@ impl Snapshot {
             ext: Vec::new(),
             lookup: HashMap::new(),
             clustering: Clustering::from_union_find(&mut unionfind::UnionFind::new(0), Vec::new()),
-            index: RTree::new(dim),
+            index: Arc::new(RTree::new(dim)),
+            compact: Vec::new(),
         }
     }
 
@@ -213,8 +268,10 @@ impl Snapshot {
         }
         let mut hits: Vec<PointId> = Vec::new();
         self.index.search_sphere(coords, self.params.eps, |p| hits.push(p));
+        // Writer-internal ids are monotone in insertion order, so
+        // sorting them sorts the compacted (and external) ids too.
         hits.sort_unstable();
-        Ok(hits.into_iter().map(|p| self.ext[p as usize]).collect())
+        Ok(hits.into_iter().map(|p| self.ext[self.compact[p as usize] as usize]).collect())
     }
 
     /// Cluster membership of a live point, `None` when the id is
@@ -262,10 +319,11 @@ struct WriterGuard {
 
 impl Drop for WriterGuard {
     fn drop(&mut self) {
-        if let Ok(mut slot) = self.handle.lock() {
-            if let Some(h) = slot.take() {
-                let _ = h.join();
-            }
+        // Poison recovery is uniform across the serving layer: a panic
+        // in some other thread must not leak the writer thread here.
+        let mut slot = self.handle.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = slot.take() {
+            let _ = h.join();
         }
     }
 }
@@ -378,12 +436,22 @@ pub struct ServingMuDbscan {
     shared: Arc<Shared>,
     rx: Receiver<Cmd>,
     stream: StreamingMuDbscan,
-    /// Internal id → external id, parallel to the stream's dataset.
+    opts: ServeOptions,
+    /// Internal id → external id, parallel to the stream's dataset
+    /// (tombstoned ids keep their slot until a compacting rebuild).
     ext: Vec<ExtId>,
     /// Internal id → first epoch the point is dead in (`u64::MAX` =
     /// lives forever).
     expire_at: Vec<u64>,
+    /// External id → internal id, live points only.
     lookup: HashMap<ExtId, PointId>,
+    /// Persistent R-tree over the live points (writer-internal ids),
+    /// maintained per-op — inserts insert, repaired removals remove —
+    /// and shared with every published [`Snapshot`] by `Arc`.
+    /// [`Arc::make_mut`] gives copy-on-write: the first mutation after
+    /// a publish clones once, epochs without structural change republish
+    /// the same tree, and nothing ever re-bulk-loads except a rebuild.
+    index: Arc<RTree>,
     epoch: u64,
 }
 
@@ -392,6 +460,13 @@ impl ServingMuDbscan {
     /// return the first handle to it. Prefer `Runner::serve` on the
     /// facade, which validates the configuration first.
     pub fn spawn(dim: usize, params: DbscanParams) -> ServeHandle {
+        Self::spawn_with(dim, params, ServeOptions::default())
+    }
+
+    /// [`Self::spawn`] with explicit tuning knobs — results are
+    /// identical for any [`ServeOptions`], only the repair/rebuild
+    /// trade-off changes.
+    pub fn spawn_with(dim: usize, params: DbscanParams, opts: ServeOptions) -> ServeHandle {
         assert!(dim > 0, "dimension must be positive");
         let (tx, rx) = mpsc::channel();
         let shared = Arc::new(Shared {
@@ -403,9 +478,11 @@ impl ServingMuDbscan {
             shared: Arc::clone(&shared),
             rx,
             stream: StreamingMuDbscan::empty(dim, params),
+            opts,
             ext: Vec::new(),
             expire_at: Vec::new(),
             lookup: HashMap::new(),
+            index: Arc::new(RTree::new(dim)),
             epoch: 0,
         };
         let handle = std::thread::Builder::new()
@@ -443,34 +520,82 @@ impl ServingMuDbscan {
     /// Apply one batch as one epoch: expiries and deletes first
     /// (against the points live at the start of the batch), then
     /// inserts, then publish.
+    ///
+    /// Removals go through the engine's local repair
+    /// ([`StreamingMuDbscan::try_remove`]) one op at a time; the first
+    /// removal whose blast radius exceeds the repair budget flips the
+    /// whole epoch to one compacting full rebuild that also swallows
+    /// every remaining removal. A rebuild is likewise forced when
+    /// tombstones pile up past the live population (compaction).
     fn apply(&mut self, ops: Vec<ServeOp>, ids: Vec<ExtId>) {
         self.epoch += 1;
 
         let n = self.stream.len();
-        let mut dead = vec![false; n];
+        // Removal set for this epoch: expiries first, then explicit
+        // deletes, in op order — `marked` both dedupes (a delete of an
+        // id expiring this very epoch counts as ignored) and, on
+        // fallback, tells the rebuild which points to drop.
+        let mut marked = vec![false; n];
+        let mut removals: Vec<PointId> = Vec::new();
         let mut expiries = 0u64;
         let mut deletes = 0u64;
         let mut ignored = 0u64;
         for (p, &at) in self.expire_at.iter().enumerate() {
-            if at <= self.epoch {
-                dead[p] = true;
+            if at <= self.epoch && self.stream.is_live(p as PointId) {
+                marked[p] = true;
+                removals.push(p as PointId);
                 expiries += 1;
             }
         }
         for op in &ops {
             if let ServeOp::Delete { id } = op {
                 match self.lookup.get(id) {
-                    Some(&p) if !dead[p as usize] => {
-                        dead[p as usize] = true;
+                    Some(&p) if !marked[p as usize] => {
+                        marked[p as usize] = true;
+                        removals.push(p);
                         deletes += 1;
                     }
                     _ => ignored += 1,
                 }
             }
         }
-        if expiries + deletes > 0 {
-            self.rebuild(&dead);
-            obs::record_count("serve/rebuilds", 1);
+
+        if !removals.is_empty() {
+            let budget = self.opts.budget_at(self.stream.live_len());
+            let mut repairs = 0u64;
+            let mut touched_total = 0u64;
+            let mut fell_back = false;
+            for &p in &removals {
+                match self.stream.try_remove(p, budget) {
+                    RemoveOutcome::Removed { touched } => {
+                        repairs += 1;
+                        touched_total += touched as u64;
+                        self.lookup.remove(&self.ext[p as usize]);
+                        let coords = self.stream.point(p).to_vec();
+                        Arc::make_mut(&mut self.index).remove_point(p, &coords);
+                    }
+                    RemoveOutcome::ExceedsBudget { .. } => {
+                        // One full rebuild absorbs this and every
+                        // remaining removal (`marked` still flags them).
+                        self.rebuild(&marked);
+                        obs::record_count("serve/fallback_rebuilds", 1);
+                        obs::record_count("serve/rebuilds", 1);
+                        fell_back = true;
+                        break;
+                    }
+                }
+            }
+            obs::record_count("serve/repairs", repairs);
+            obs::record_count("serve/repair_touched_points", touched_total);
+            // Compact once tombstones outnumber the live points (floor
+            // 64 so tiny workloads don't rebuild on every churn).
+            if !fell_back
+                && self.stream.dead_len() >= 64
+                && self.stream.dead_len() >= self.stream.live_len()
+            {
+                self.rebuild(&[]);
+                obs::record_count("serve/rebuilds", 1);
+            }
         }
         obs::record_count("serve/expiries", expiries);
         obs::record_count("serve/deletes", deletes);
@@ -482,10 +607,20 @@ impl ServingMuDbscan {
             if let ServeOp::Insert { coords, ttl } = op {
                 let ext = next.next().expect("one pre-assigned id per insert");
                 let p = self.stream.insert(&coords);
-                debug_assert_eq!(p as usize, self.ext.len());
+                // A desynced ext-id table would silently misroute every
+                // later delete; fail fast in release builds too.
+                assert_eq!(
+                    p as usize,
+                    self.ext.len(),
+                    "serving ext-id table desynced from engine internal ids"
+                );
                 self.ext.push(ext);
+                // TTL is rounded up to >= 1 (an insert cannot expire in
+                // its own epoch) and saturates at "lives forever" — see
+                // `ServeOp::insert_ttl`.
                 self.expire_at.push(ttl.map_or(u64::MAX, |d| self.epoch.saturating_add(d.max(1))));
                 self.lookup.insert(ext, p);
+                Arc::make_mut(&mut self.index).insert_point(p, &coords);
                 inserts += 1;
             }
         }
@@ -494,17 +629,18 @@ impl ServingMuDbscan {
         self.publish();
     }
 
-    /// Exact rebuild over the compacted live set. Deletions can split
-    /// clusters, so no incremental shortcut is taken: the surviving
-    /// points (insertion order preserved) go back through the parallel
-    /// bulk loader, whose result is exact by construction.
-    fn rebuild(&mut self, dead: &[bool]) {
+    /// Exact compacting rebuild: the surviving live points — minus any
+    /// flagged in `exclude` (pending removals on the fallback path) —
+    /// go back through the parallel bulk loader in insertion order,
+    /// which resets the internal id space (no tombstones) and
+    /// re-bulk-loads the writer index.
+    fn rebuild(&mut self, exclude: &[bool]) {
         let dim = self.shared.dim;
         let mut data = Dataset::empty(dim);
         let mut ext = Vec::new();
         let mut expire_at = Vec::new();
-        for (p, &is_dead) in dead.iter().enumerate() {
-            if is_dead {
+        for p in 0..self.stream.len() {
+            if !self.stream.is_live(p as PointId) || exclude.get(p).copied().unwrap_or(false) {
                 self.lookup.remove(&self.ext[p]);
                 continue;
             }
@@ -521,24 +657,40 @@ impl ServingMuDbscan {
         self.lookup = ext.iter().enumerate().map(|(p, &e)| (e, p as PointId)).collect();
         self.ext = ext;
         self.expire_at = expire_at;
+        self.index = Arc::new(RTree::bulk_load_points(
+            dim,
+            RTreeConfig::default(),
+            data.iter().map(|(p, c)| (p, c.to_vec())),
+        ));
     }
 
     fn publish(&mut self) {
         let t = obs::enabled().then(Instant::now);
-        let data = self.stream.dataset().clone();
-        let index = RTree::bulk_load_points(
-            self.shared.dim,
-            RTreeConfig::default(),
-            data.iter().map(|(p, c)| (p, c.to_vec())),
-        );
+        let n = self.stream.len();
+        let dim = self.shared.dim;
+        // Compact the live points (insertion order) for the snapshot;
+        // the shared index keeps writer-internal ids and maps through
+        // `compact` at query time.
+        let mut data = Dataset::empty(dim);
+        let mut ext = Vec::with_capacity(self.stream.live_len());
+        let mut compact = vec![u32::MAX; n];
+        for (p, slot) in compact.iter_mut().enumerate() {
+            if !self.stream.is_live(p as PointId) {
+                continue;
+            }
+            *slot = data.push(self.stream.point(p as PointId));
+            ext.push(self.ext[p]);
+        }
+        let lookup = ext.iter().enumerate().map(|(i, &e)| (e, i as PointId)).collect();
         let snap = Arc::new(Snapshot {
             epoch: self.epoch,
             params: self.stream.params(),
             clustering: self.stream.canonical_snapshot(),
-            ext: self.ext.clone(),
-            lookup: self.lookup.clone(),
+            ext,
+            lookup,
             data,
-            index,
+            index: Arc::clone(&self.index),
+            compact,
         });
         *self.shared.current.lock().unwrap_or_else(|e| e.into_inner()) = snap;
         obs::record_count("serve/epochs", 1);
@@ -691,6 +843,180 @@ mod tests {
         let d = h.shutdown().unwrap();
         assert_eq!(d.snapshot.len(), 1);
         assert!(d.counters.range_queries() > 0);
+    }
+
+    /// Pseudo-random 2-d rows for churn tests.
+    fn rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut s = seed;
+        let mut r = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        (0..n).map(|_| vec![2.0 * r(), 2.0 * r()]).collect()
+    }
+
+    #[test]
+    fn repair_and_rebuild_publish_identical_epochs() {
+        // The same trace through a repair-enabled writer and a
+        // rebuild-always writer (budget 0) must publish bit-identical
+        // epochs — and both must match a batch run on the prefix.
+        let p = params();
+        let repair = ServingMuDbscan::spawn(2, p);
+        let rebuild = ServingMuDbscan::spawn_with(2, p, ServeOptions { repair_budget: Some(0) });
+        let pts = rows(60, 11);
+        for (b, chunk) in pts.chunks(12).enumerate() {
+            let mut ops: Vec<ServeOp> = chunk.iter().map(|c| ServeOp::insert(c.clone())).collect();
+            // From batch 2 on, delete three ids inserted two batches ago.
+            if b >= 2 {
+                for k in 0..3 {
+                    ops.push(ServeOp::delete(((b - 2) * 12 + 4 * k) as ExtId));
+                }
+            }
+            let ids_a = repair.ingest(ops.clone()).unwrap();
+            let ids_b = rebuild.ingest(ops).unwrap();
+            assert_eq!(ids_a, ids_b);
+            let (da, db) = (repair.drain().unwrap(), rebuild.drain().unwrap());
+            assert_eq!(da.snapshot.epoch(), db.snapshot.epoch());
+            assert_eq!(da.snapshot.live_ids(), db.snapshot.live_ids());
+            assert_eq!(da.snapshot.dataset(), db.snapshot.dataset());
+            assert_eq!(
+                da.snapshot.clustering(),
+                db.snapshot.clustering(),
+                "epoch {}: repair and rebuild disagree",
+                da.snapshot.epoch()
+            );
+            let want = batch_oracle(da.snapshot.dataset(), p);
+            assert_eq!(*da.snapshot.clustering(), want, "epoch {}", da.snapshot.epoch());
+        }
+    }
+
+    #[test]
+    fn forced_fallback_rebuild_stays_exact() {
+        // Budget 1 forces the fallback whenever a removal touches a
+        // component of more than one survivor.
+        let p = params();
+        let h = ServingMuDbscan::spawn_with(1, p, ServeOptions { repair_budget: Some(1) });
+        let ids = h
+            .ingest(
+                [[0.0], [0.5], [-0.5], [0.2]].iter().map(|r| ServeOp::insert(r.to_vec())).collect(),
+            )
+            .unwrap();
+        h.drain().unwrap();
+        h.ingest(vec![ServeOp::delete(ids[0])]).unwrap();
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.len(), 3);
+        let want = batch_oracle(d.snapshot.dataset(), p);
+        assert_eq!(*d.snapshot.clustering(), want);
+        // Subsequent epochs keep working on the rebuilt id space.
+        h.ingest(vec![ServeOp::insert(vec![0.3]), ServeOp::delete(ids[3])]).unwrap();
+        let d = h.drain().unwrap();
+        assert_eq!(*d.snapshot.clustering(), batch_oracle(d.snapshot.dataset(), p));
+    }
+
+    #[test]
+    fn service_survives_a_poisoned_snapshot_lock() {
+        // A reader panicking while holding the snapshot lock poisons
+        // it; every path (pin, query, writer publish) must recover.
+        let h = ServingMuDbscan::spawn(1, params());
+        h.ingest(vec![ServeOp::insert(vec![0.0])]).unwrap();
+        h.drain().unwrap();
+        let shared = Arc::clone(&h.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.current.lock().unwrap();
+            panic!("induced panic while holding the snapshot lock");
+        })
+        .join();
+        assert!(h.shared.current.lock().is_err(), "lock must actually be poisoned");
+        // Readers still answer...
+        assert_eq!(h.pin().epoch(), 1);
+        assert_eq!(h.query(&[0.1]).unwrap(), vec![0]);
+        // ...and the writer still publishes through the poisoned lock.
+        h.ingest(vec![ServeOp::insert(vec![0.5]), ServeOp::insert(vec![-0.5])]).unwrap();
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.epoch(), 2);
+        assert_eq!(d.snapshot.len(), 3);
+        assert_eq!(*d.snapshot.clustering(), batch_oracle(d.snapshot.dataset(), params()));
+    }
+
+    #[test]
+    fn ttl_zero_rounds_up_to_one_epoch() {
+        let h = ServingMuDbscan::spawn(1, params());
+        // ttl = 0 behaves exactly like ttl = 1: live in its own epoch...
+        let ids = h
+            .ingest(vec![ServeOp::insert_ttl(vec![0.0], 0), ServeOp::insert_ttl(vec![0.5], 1)])
+            .unwrap();
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.len(), 2);
+        assert!(d.snapshot.membership(ids[0]).is_some());
+        // ...and gone from the next epoch on.
+        h.ingest(vec![]).unwrap();
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.len(), 0);
+        assert_eq!(d.snapshot.membership(ids[0]), None);
+        assert_eq!(d.snapshot.membership(ids[1]), None);
+    }
+
+    #[test]
+    fn ttl_max_saturates_to_forever() {
+        let h = ServingMuDbscan::spawn(1, params());
+        let ids = h.ingest(vec![ServeOp::insert_ttl(vec![0.0], u64::MAX)]).unwrap();
+        for _ in 0..5 {
+            h.ingest(vec![]).unwrap();
+        }
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.epoch(), 6);
+        assert!(d.snapshot.membership(ids[0]).is_some(), "saturating ttl must mean forever");
+    }
+
+    #[test]
+    fn counters_are_monotone_across_repair_and_rebuild() {
+        // `drain` counters must carry pre-rebuild work forward and never
+        // go backwards, on both removal paths.
+        let totals = |d: &Drained| {
+            (
+                d.counters.range_queries(),
+                d.counters.dist_computations(),
+                d.counters.union_ops(),
+                d.counters.node_visits(),
+            )
+        };
+        for budget in [None, Some(0)] {
+            let h =
+                ServingMuDbscan::spawn_with(2, params(), ServeOptions { repair_budget: budget });
+            let pts = rows(40, 23);
+            let ids = h.ingest(pts.iter().map(|c| ServeOp::insert(c.clone())).collect()).unwrap();
+            let t1 = totals(&h.drain().unwrap());
+            assert!(t1.0 > 0, "insert epoch must have done queries");
+            // Delete → (repair | fallback rebuild) → drain.
+            h.ingest(vec![ServeOp::delete(ids[3]), ServeOp::delete(ids[17])]).unwrap();
+            let t2 = totals(&h.drain().unwrap());
+            assert!(t2 >= t1, "budget {budget:?}: counters went backwards: {t1:?} -> {t2:?}");
+            assert!(t2.0 > t1.0, "budget {budget:?}: removal epoch must charge queries");
+            // One more mixed epoch stays monotone too.
+            h.ingest(vec![ServeOp::insert(vec![0.1, 0.1]), ServeOp::delete(ids[29])]).unwrap();
+            let t3 = totals(&h.drain().unwrap());
+            assert!(t3 >= t2, "budget {budget:?}: {t2:?} -> {t3:?}");
+        }
+    }
+
+    #[test]
+    fn tombstone_compaction_rebuild_preserves_exactness() {
+        // Enough churn to trip the dead >= live, dead >= 64 compaction
+        // trigger; every epoch must stay exact throughout.
+        let p = params();
+        let h = ServingMuDbscan::spawn(2, p);
+        let pts = rows(200, 7);
+        let ids = h.ingest(pts.iter().map(|c| ServeOp::insert(c.clone())).collect()).unwrap();
+        h.drain().unwrap();
+        // Delete 150 of 200 points over three epochs.
+        for chunk in ids[..150].chunks(50) {
+            h.ingest(chunk.iter().map(|&i| ServeOp::delete(i)).collect()).unwrap();
+            let d = h.drain().unwrap();
+            assert_eq!(*d.snapshot.clustering(), batch_oracle(d.snapshot.dataset(), p));
+        }
+        let d = h.drain().unwrap();
+        assert_eq!(d.snapshot.len(), 50);
+        assert_eq!(d.snapshot.live_ids(), &ids[150..]);
     }
 
     #[test]
