@@ -10,8 +10,11 @@ use stream::ServeError;
 /// [`crate::prelude::Runner::build`], distributed local-stage errors
 /// (e.g. a rank's GridDBSCAN exceeding its memory budget) surfaced as
 /// [`DistError`], and serving-layer failures surfaced as
-/// [`ServeError`] (a dimension mismatch at ingest/query time, or a
-/// handle used after its writer thread shut down).
+/// [`ServeError`] — a dimension mismatch at ingest/query time, a
+/// handle used after its writer thread shut down, or a postmortem
+/// artifact that could not be written
+/// ([`stream::ServeError::Postmortem`], an I/O failure that leaves the
+/// engine itself serving).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MuDbscanError {
     /// The builder was given an inconsistent configuration (the message

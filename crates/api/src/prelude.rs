@@ -44,7 +44,7 @@ pub use metrics::{Counters, PhaseTimer};
 pub use mudbscan_core::{naive_dbscan, Clustering, NOISE};
 pub use stream::{
     Drained, ExtId, Membership, RemoveOutcome, ServeError, ServeHandle, ServeOp, ServeOptions,
-    ServingMuDbscan, Snapshot,
+    ServeStats, ServingMuDbscan, Snapshot,
 };
 
 use dist::{DistConfig, MuDbscanD};
@@ -370,13 +370,15 @@ impl Runner {
         self.serve_with(dim, ServeOptions::default())
     }
 
-    /// [`Runner::serve`] with explicit serving-layer options — today the
-    /// deletion-repair budget ([`ServeOptions::repair_budget`]), which
-    /// bounds how many points a single removal may locally re-cluster
-    /// before the writer falls back to an exact rebuild. The default
-    /// (`None`) adapts the budget to the live set size; `Some(0)`
-    /// disables repair and rebuilds on every structural deletion (the
-    /// baseline the benchmark suite compares against).
+    /// [`Runner::serve`] with explicit serving-layer options: the
+    /// deletion-repair budget ([`ServeOptions::repair_budget`], whose
+    /// default adapts to the live set size and whose `Some(0)` rebuilds
+    /// on every structural deletion — the baseline the benchmark suite
+    /// compares against), plus the telemetry knobs — flight-recorder
+    /// capacity, postmortem directory, and the exactness self-check
+    /// cadence ([`ServeOptions::self_check_every`]). None of them
+    /// changes published results. The running engine's telemetry is
+    /// polled via [`ServeHandle::stats`].
     pub fn serve_with(&self, dim: usize, opts: ServeOptions) -> Result<ServeHandle, MuDbscanError> {
         if let Some(f) = self.family {
             if !matches!(f, Family::Serving) {
@@ -393,6 +395,34 @@ impl Runner {
             ));
         }
         Ok(ServingMuDbscan::spawn_with(dim, self.params, opts))
+    }
+
+    /// The sorted k-distance sample of `data` (descending): each
+    /// sampled point's distance to its `k`-th nearest *other* neighbour,
+    /// the curve whose knee is the classical ε-selection heuristic
+    /// (Ester et al. 1996, §4.2) and the `k = MinPts` summary the bench
+    /// harness exports alongside serve telemetry. Sampling strides the
+    /// dataset to at most ~2048 points so the probe stays cheap on big
+    /// inputs; `k` must be ≥ 1 (an [`MuDbscanError::InvalidConfig`]
+    /// otherwise). The runner's density parameters do not affect the
+    /// curve — only `k` and the data do.
+    ///
+    /// ```
+    /// use mudbscan::prelude::*;
+    ///
+    /// let data = Dataset::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![9.0]]);
+    /// let curve = Runner::new(DbscanParams::new(0.5, 2)).kdist_sample(&data, 2).unwrap();
+    /// assert_eq!(curve.len(), data.len());
+    /// assert!(curve.windows(2).all(|w| w[0] >= w[1]), "descending");
+    /// ```
+    pub fn kdist_sample(&self, data: &Dataset, k: usize) -> Result<Vec<f64>, MuDbscanError> {
+        if k == 0 {
+            return Err(MuDbscanError::InvalidConfig(
+                "the k-distance neighbour rank must be >= 1".into(),
+            ));
+        }
+        let sample_every = (data.len() / 2048).max(1);
+        Ok(mudbscan_core::k_dist_curve(data, k, sample_every))
     }
 }
 
@@ -610,7 +640,9 @@ mod tests {
         // must be reachable from the facade and stay exact.
         let data = tiny();
         let p = DbscanParams::new(0.5, 3);
-        let handle = Runner::new(p).serve_with(2, ServeOptions { repair_budget: Some(0) }).unwrap();
+        let handle = Runner::new(p)
+            .serve_with(2, ServeOptions { repair_budget: Some(0), ..Default::default() })
+            .unwrap();
         let ids =
             handle.ingest(data.iter().map(|(_, c)| ServeOp::insert(c.to_vec())).collect()).unwrap();
         handle.ingest(vec![ServeOp::delete(ids[0])]).unwrap();
@@ -634,6 +666,36 @@ mod tests {
         }
         // Forcing Serving explicitly is fine.
         assert!(Runner::new(p).family(Family::Serving).serve(3).is_ok());
+    }
+
+    #[test]
+    fn serve_stats_poll_through_the_facade() {
+        let data = tiny();
+        let p = DbscanParams::new(0.5, 3);
+        let handle = Runner::new(p).serve(2).unwrap();
+        handle.ingest(data.iter().map(|(_, c)| ServeOp::insert(c.to_vec())).collect()).unwrap();
+        handle.drain().unwrap();
+        let stats = handle.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.live_points, 4);
+        assert_eq!(stats.clusters, 1);
+        assert_eq!(stats.window.count("serve/inserts"), 4);
+        assert!(stats.render_prom().contains("mudbscan_serve_epochs 1"));
+        // A second poll with nothing in between yields an empty window.
+        assert_eq!(handle.stats().window.count("serve/inserts"), 0);
+    }
+
+    #[test]
+    fn kdist_sample_is_descending_and_validates_k() {
+        let data = tiny();
+        let p = DbscanParams::new(0.5, 3);
+        let curve = Runner::new(p).kdist_sample(&data, 3).unwrap();
+        assert_eq!(curve.len(), data.len());
+        assert!(curve.windows(2).all(|w| w[0] >= w[1]), "curve must be descending: {curve:?}");
+        assert!(matches!(
+            Runner::new(p).kdist_sample(&data, 0),
+            Err(MuDbscanError::InvalidConfig(_))
+        ));
     }
 
     #[test]

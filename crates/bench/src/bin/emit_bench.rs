@@ -3,7 +3,7 @@
 //! and the distributed simulator (all constructed via
 //! [`mudbscan::prelude::Runner`]), collect per-phase times and `obs`
 //! reports, verify exactness against the naive oracle, and write the
-//! schema-versioned `BENCH_PR8.json` trajectory file. Schema v6 added a
+//! schema-versioned `BENCH_PR9.json` trajectory file. Schema v6 added a
 //! served-traffic arm per workload: a seeded trace of batched inserts,
 //! TTL expiries and deletions replayed through `Runner::serve` while
 //! reader threads race the writer (see [`run_serve_traffic`]). Schema v7
@@ -11,7 +11,13 @@
 //! same workload driven through delete-only epochs once with the
 //! micro-cluster-local repair path and once with repair disabled
 //! (rebuild on every structural deletion), gated on the repair arm's
-//! batch-latency p99 beating the rebuild baseline by ≥ 2×.
+//! batch-latency p99 beating the rebuild baseline by ≥ 2×. Schema v8
+//! adds the live-telemetry contract: every serving arm polls
+//! `ServeHandle::stats` while the trace replays and carries a
+//! `live_telemetry` block whose merged window deltas must sum back to
+//! the cumulative registry counters bit-for-bit (fail-closed at
+//! emission), plus a k-distance sample summary and a live-polling arm
+//! in the overhead probe.
 //!
 //! Parallel runs use the tiled parallel micro-cluster builder and carry a
 //! `tree_construction_makespan` field: the construction critical path
@@ -22,7 +28,7 @@
 //! convention the distributed simulator uses for per-rank phase maxima.
 //!
 //! The JSON schema is documented in `docs/BENCH_SCHEMA.md`; the committed
-//! `BENCH_PR8.json` is validated by `crates/bench/tests/bench_schema.rs`
+//! `BENCH_PR9.json` is validated by `crates/bench/tests/bench_schema.rs`
 //! and regenerated with
 //!
 //! ```text
@@ -32,7 +38,7 @@
 //! Environment knobs (all optional, for the CI perf-smoke job):
 //!
 //! * `EMIT_BENCH_N`     — points per workload (default 4000)
-//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR8.json`)
+//! * `EMIT_BENCH_OUT`   — output path (default `BENCH_PR9.json`)
 //! * `EMIT_BENCH_REPS`  — repetitions for the overhead measurement
 //!   (default 5)
 //! * `EMIT_BENCH_MAKESPAN_REPS` — constructions per parallel run for the
@@ -56,6 +62,7 @@ use geom::{Dataset, DbscanParams};
 use metrics::Counters;
 use mudbscan::prelude::{
     Family, Fault, FaultPlan, FaultStats, RunDetails, RunOutput, Runner, ServeOp, ServeOptions,
+    ServeStats,
 };
 use mudbscan::{check_exact, naive_dbscan, Clustering};
 use obs::Json;
@@ -91,9 +98,19 @@ use obs::Json;
 /// (`repair_budget: Some(0)`, the rebuild-every-structural-delete
 /// baseline). At full bench size the repair arm's
 /// `serve/ingest_batch_us` p99 must beat the baseline's by ≥ 2×
-/// (fail-closed at emission); the committed trajectory file is
+/// (fail-closed at emission); the committed trajectory file was
 /// `BENCH_PR8.json`.
-const SCHEMA_VERSION: i64 = 7;
+/// v8: every serving arm carries a `live_telemetry` block — the windowed
+/// `ServeHandle::stats` snapshots polled while the trace replays, whose
+/// merged window deltas must sum back to the cumulative registry
+/// counters bit-for-bit (`window_sums_match`, fail-closed at emission).
+/// The served-traffic arm adds a `kdist` summary (the facade's
+/// `Runner::kdist_sample` at k = MinPts), and the overhead probe gains
+/// a live arm (aggregates on plus a racing poller rendering the
+/// Prometheus exposition and noting into a flight recorder) whose
+/// `live_overhead_pct` is budgeted < 5% at full bench size; the
+/// committed trajectory file is `BENCH_PR9.json`.
+const SCHEMA_VERSION: i64 = 8;
 
 /// Datasets from the Table II catalog used for the matrix (a subset keeps
 /// the oracle check and the CI smoke run fast while still covering a
@@ -359,6 +376,47 @@ fn run_one(
     rec
 }
 
+/// Serving counters summarised in the `live_telemetry` block (the
+/// registry keys without the `serve/` prefix).
+const LIVE_COUNTER_KEYS: [&str; 9] = [
+    "epochs",
+    "inserts",
+    "deletes",
+    "deletes_ignored",
+    "expiries",
+    "repairs",
+    "repair_touched_points",
+    "rebuilds",
+    "fallback_rebuilds",
+];
+
+/// The schema-v8 `live_telemetry` block: every window a `stats` poll
+/// returned during the instrumented replay, merged, must reproduce the
+/// final cumulative registry counters *and* histograms bit-for-bit —
+/// that is the windowed-export contract (`obs::live`), so a mismatch is
+/// fatal at emission and a committed file can only say
+/// `window_sums_match: true`.
+fn live_telemetry_json(ctx: &str, series: &obs::LiveSeries, fin: &ServeStats) -> Json {
+    let merged = series.merged();
+    if merged.counts != fin.cumulative.counts || merged.hists != fin.cumulative.hists {
+        eprintln!(
+            "TELEMETRY DRIFT: {ctx}: merged stats windows do not sum to the cumulative registry"
+        );
+        std::process::exit(1);
+    }
+    let totals = |r: &obs::Report| {
+        Json::obj_from(
+            LIVE_COUNTER_KEYS.map(|k| (k.to_string(), count(r.count(&format!("serve/{k}"))))),
+        )
+    };
+    Json::obj_from([
+        ("polls".to_string(), count(series.len() as u64)),
+        ("window_sums_match".to_string(), Json::Bool(true)),
+        ("windows".to_string(), totals(&merged)),
+        ("cumulative".to_string(), totals(&fin.cumulative)),
+    ])
+}
+
 /// Batches in the served-traffic trace (also its final logical epoch).
 const SERVE_BATCHES: usize = 8;
 /// Reader threads racing the writer in the served-traffic arm.
@@ -407,12 +465,29 @@ fn run_serve_traffic(name: &str, data: &Dataset, params: &DbscanParams) -> Json 
     };
 
     // One replay of the whole trace: spawn the engine, race the readers
-    // against the ingest loop, rendezvous via `drain`. The handle drop
-    // at the end joins the writer thread.
-    let replay = || {
+    // against the ingest loop, rendezvous via `drain`. The instrumented
+    // shot additionally races a telemetry poller draining windowed
+    // `ServeHandle::stats` snapshots off the engine's shared cursor —
+    // the schema-v8 live-telemetry contract — with one last poll after
+    // the drain so the merged windows cover the whole trace. The handle
+    // drop at the end joins the writer thread.
+    let replay = |poll: bool| {
         let handle = Runner::new(*params).serve(data.dim()).expect("serving configuration");
         let t0 = std::time::Instant::now();
-        let drained = std::thread::scope(|s| {
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let (drained, series) = std::thread::scope(|s| {
+            let poller = poll.then(|| {
+                let h = handle.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut series = obs::LiveSeries::new();
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        series.push(h.stats().window);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    series
+                })
+            });
             for r in 0..SERVE_READERS {
                 let h = handle.clone();
                 s.spawn(move || {
@@ -434,9 +509,17 @@ fn run_serve_traffic(name: &str, data: &Dataset, params: &DbscanParams) -> Json 
             for b in 0..SERVE_BATCHES {
                 handle.ingest(batch_ops(b)).expect("writer alive");
             }
-            handle.drain().expect("writer alive")
+            let drained = handle.drain().expect("writer alive");
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            (drained, poller.map(|p| p.join().expect("telemetry poller")))
         });
-        (drained, t0.elapsed().as_secs_f64())
+        let wall = t0.elapsed().as_secs_f64();
+        let telemetry = series.map(|mut series| {
+            let fin = handle.stats();
+            series.push(fin.window.clone());
+            (series, fin)
+        });
+        (drained, wall, telemetry)
     };
 
     // One instrumented shot (the reported ops, counters and histograms
@@ -444,13 +527,14 @@ fn run_serve_traffic(name: &str, data: &Dataset, params: &DbscanParams) -> Json 
     // wall — the same noise-stripping convention `run_one` uses.
     obs::reset();
     obs::enable();
-    let (drained, mut wall) = replay();
+    let (drained, mut wall, telemetry) = replay(true);
     obs::disable();
     let report = obs::take_report();
     obs::reset();
     for _ in 1..env_usize("EMIT_BENCH_TIME_REPS", 3).max(1) {
-        wall = wall.min(replay().1);
+        wall = wall.min(replay(false).1);
     }
+    let (series, final_stats) = telemetry.expect("the instrumented replay polls");
 
     // Fail-closed exactness on the final live set, checked with
     // instrumentation off so the verification runs stay out of the
@@ -498,6 +582,25 @@ fn run_serve_traffic(name: &str, data: &Dataset, params: &DbscanParams) -> Json 
             ("reader_threads".to_string(), count(SERVE_READERS as u64)),
         ]),
     );
+    // Schema v8: the live-telemetry contract, plus the k-distance sample
+    // behind ε selection (`Runner::kdist_sample` at k = MinPts) —
+    // sorted ascending here so the summary percentiles read like the
+    // latency ones.
+    let mut lt = live_telemetry_json(&format!("serve_traffic/{name}"), &series, &final_stats);
+    let mut kdist = Runner::new(*params).kdist_sample(data, params.min_pts).expect("k-dist sample");
+    kdist.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    let pick = |q: f64| kdist[((kdist.len() - 1) as f64 * q).round() as usize];
+    lt.set(
+        "kdist",
+        Json::obj_from([
+            ("k".to_string(), count(params.min_pts as u64)),
+            ("samples".to_string(), count(kdist.len() as u64)),
+            ("p50".to_string(), num(pick(0.5))),
+            ("p90".to_string(), num(pick(0.9))),
+            ("p99".to_string(), num(pick(0.99))),
+        ]),
+    );
+    rec.set("live_telemetry", lt);
     rec.set("pct_queries_saved", num(drained.counters.pct_queries_saved()));
     rec.set("counters", counters_json(&drained.counters));
     rec.set(
@@ -561,34 +664,48 @@ fn run_serve_delete_heavy(
     // trace itself (it is trace-determined either way).
     let replay = |instrument: bool| {
         let handle = Runner::new(*params)
-            .serve_with(data.dim(), ServeOptions { repair_budget: budget })
+            .serve_with(data.dim(), ServeOptions { repair_budget: budget, ..Default::default() })
             .expect("serving configuration");
         handle.ingest(batch_ops(0)).expect("writer alive");
         handle.drain().expect("writer alive");
         if instrument {
             obs::enable();
         }
+        // The instrumented shot polls `stats` once per delete batch plus
+        // once after the drain — a reader-free trace keeps the poll
+        // count itself deterministic, and the merged windows must still
+        // sum back to the cumulative registry (schema v8).
+        let mut series = obs::LiveSeries::new();
         let t0 = std::time::Instant::now();
         for b in 1..batches {
             handle.ingest(batch_ops(b)).expect("writer alive");
+            if instrument {
+                series.push(handle.stats().window);
+            }
         }
         let drained = handle.drain().expect("writer alive");
         let wall = t0.elapsed().as_secs_f64();
         if instrument {
             obs::disable();
         }
-        (drained, wall)
+        let telemetry = instrument.then(|| {
+            let fin = handle.stats();
+            series.push(fin.window.clone());
+            (series, fin)
+        });
+        (drained, wall, telemetry)
     };
 
     // One instrumented shot, then untraced reruns for the minimum wall —
     // the same noise-stripping convention the other serving arm uses.
     obs::reset();
-    let (drained, mut wall) = replay(true);
+    let (drained, mut wall, telemetry) = replay(true);
     let report = obs::take_report();
     obs::reset();
     for _ in 1..env_usize("EMIT_BENCH_TIME_REPS", 3).max(1) {
         wall = wall.min(replay(false).1);
     }
+    let (series, final_stats) = telemetry.expect("the instrumented replay polls");
 
     // Fail-closed exactness on the surviving live set: oracle-exact AND
     // bit-identical to the batch twin (instrumentation already off).
@@ -631,6 +748,10 @@ fn run_serve_delete_heavy(
             ("fallback_rebuilds".to_string(), count(report.count("serve/fallback_rebuilds"))),
         ]),
     );
+    rec.set(
+        "live_telemetry",
+        live_telemetry_json(&format!("{label}/{name}"), &series, &final_stats),
+    );
     rec.set("pct_queries_saved", num(drained.counters.pct_queries_saved()));
     rec.set("counters", counters_json(&drained.counters));
     rec.set(
@@ -644,7 +765,12 @@ fn run_serve_delete_heavy(
 /// Measure the overhead of the obs instrumentation on the
 /// repro_table2-style workload: median wall time over `reps` runs of
 /// sequential μDBSCAN with collection off, with aggregate collection
-/// (spans + counters + histograms) on, and with event tracing on top.
+/// (spans + counters + histograms) on, with event tracing on top, and
+/// (schema v8) with the live-telemetry machinery racing the run — a
+/// poller thread draining windowed snapshots off the global collector,
+/// rendering the Prometheus exposition and noting into a flight
+/// recorder, the worst case the serving layer's always-on registry and
+/// recorder add to a computation.
 fn measure_overhead(data: &Dataset, params: &DbscanParams, reps: usize) -> Json {
     let runner = Runner::new(*params);
     let median = |mut xs: Vec<f64>| -> f64 {
@@ -670,26 +796,64 @@ fn measure_overhead(data: &Dataset, params: &DbscanParams, reps: usize) -> Json 
             })
             .collect()
     };
+    // The poller is paced at a dashboard cadence: each `poll_global`
+    // clones the whole collector state under the global lock, so an
+    // adversarial spin-poll measures lock-hammering, not the
+    // steady-state cost of live export. 25ms guarantees at least one
+    // full poll+render+note cycle per rep at any workload size.
+    let time_live_runs = || -> Vec<f64> {
+        (0..reps)
+            .map(|_| {
+                obs::reset();
+                obs::enable();
+                let stop = std::sync::atomic::AtomicBool::new(false);
+                let recorder = obs::FlightRecorder::new(64);
+                let t = std::thread::scope(|s| {
+                    s.spawn(|| {
+                        let mut cursor = obs::WindowCursor::new();
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            let snap = cursor.poll_global();
+                            let _ = obs::render_prom(&snap.cumulative, "mudbscan");
+                            recorder.note("overhead-probe poll");
+                            std::thread::sleep(std::time::Duration::from_millis(25));
+                        }
+                    });
+                    let (_, t) = timed(|| runner.run(data).expect("sequential run"));
+                    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                    t
+                });
+                obs::disable();
+                obs::reset();
+                t
+            })
+            .collect()
+    };
     // Warm-up run so no arm pays first-touch costs.
     let _ = runner.run(data).expect("sequential run");
     let off = median(time_runs(false, false));
     let on = median(time_runs(true, false));
     let traced = median(time_runs(true, true));
+    let live = median(time_live_runs());
     let pct = if off > 0.0 { 100.0 * (on - off) / off } else { 0.0 };
     let tracing_pct = if off > 0.0 { 100.0 * (traced - off) / off } else { 0.0 };
+    let live_pct = if off > 0.0 { 100.0 * (live - off) / off } else { 0.0 };
     println!(
-        "instrumentation overhead: disabled {} vs enabled {} ({pct:+.2}%) vs traced {} ({tracing_pct:+.2}%)",
+        "instrumentation overhead: disabled {} vs enabled {} ({pct:+.2}%) vs traced {} \
+         ({tracing_pct:+.2}%) vs live-polled {} ({live_pct:+.2}%)",
         secs(off),
         secs(on),
-        secs(traced)
+        secs(traced),
+        secs(live)
     );
     Json::obj_from([
         ("reps".to_string(), count(reps as u64)),
         ("median_disabled_secs".to_string(), num(off)),
         ("median_enabled_secs".to_string(), num(on)),
         ("median_traced_secs".to_string(), num(traced)),
+        ("median_live_secs".to_string(), num(live)),
         ("overhead_pct".to_string(), num(pct)),
         ("tracing_overhead_pct".to_string(), num(tracing_pct)),
+        ("live_overhead_pct".to_string(), num(live_pct)),
     ])
 }
 
@@ -714,7 +878,7 @@ fn export_trace(path: &str, data: &Dataset, params: &DbscanParams) {
 fn main() {
     let n = env_usize("EMIT_BENCH_N", 4000);
     let reps = env_usize("EMIT_BENCH_REPS", 5);
-    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+    let out_path = std::env::var("EMIT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
 
     bench::banner(
         "emit_bench",

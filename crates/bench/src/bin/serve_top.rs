@@ -1,0 +1,243 @@
+//! `serve_top` — a refreshing ASCII dashboard over the serving engine's
+//! live telemetry, in the spirit of `top(1)`.
+//!
+//! The default mode spawns a serving engine on a seeded catalog
+//! workload, replays a trace of batched inserts, TTL expiries and
+//! deletions through it from a background thread, and redraws a frame
+//! on every `ServeHandle::stats` poll: the published epoch, live-set
+//! size and cluster count, `obs::render::render_meters` bars over the
+//! per-window operation counters, and the windowed latency percentiles.
+//! Because `stats` serves window *deltas* off the engine's shared
+//! cursor, the dashboard is pure observation — polling perturbs neither
+//! the clustering nor the counters (see `docs/OBSERVABILITY.md`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve_top            # dashboard
+//! cargo run --release -p bench --bin serve_top -- --check # CI smoke
+//! ```
+//!
+//! `--check` runs headless and fail-closed for CI: a deterministic
+//! two-epoch trace with repair disabled (`repair_budget: Some(0)`) and
+//! a forced drift detection at epoch 2, asserting that the merged
+//! window deltas sum back to the cumulative registry bit-for-bit, that
+//! one frame renders, that the Prometheus exposition carries the serve
+//! counters, and that exactly one schema-valid `exactness_drift`
+//! postmortem artifact lands in the scratch directory. Exit status 0 on
+//! success, 1 with a diagnostic otherwise.
+//!
+//! Knobs (default mode): `--n <points>` (default 2000), `--frames <k>`
+//! (default 40), `--interval-ms <ms>` (poll cadence, default 60).
+
+use data::paper_table2_specs;
+use mudbscan::prelude::{Runner, ServeOp, ServeOptions, ServeStats};
+use obs::render::render_meters;
+
+/// Operation counters drawn as meter bars, label → registry key.
+const METER_KEYS: [(&str, &str); 6] = [
+    ("inserts", "serve/inserts"),
+    ("deletes", "serve/deletes"),
+    ("expiries", "serve/expiries"),
+    ("repairs", "serve/repairs"),
+    ("rebuilds", "serve/rebuilds"),
+    ("queries", "serve/query_us"),
+];
+
+fn arg_usize(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One dashboard frame rendered from a polled snapshot. The meter rows
+/// mix counters with the query histogram's *count* — both are "events
+/// this window", which is what a rate display wants.
+fn render_frame(stats: &ServeStats, frame: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve_top — live μDBSCAN serving telemetry — frame {frame}\n\
+         epoch {:>6}  live {:>7}  clusters {:>5}  repairs {:>5}  fallback {:>3}  drift {:>2}\n",
+        stats.epoch,
+        stats.live_points,
+        stats.clusters,
+        stats.repairs(),
+        stats.fallback_rebuilds(),
+        stats.drift_detections(),
+    ));
+    let rows: Vec<(String, f64)> = METER_KEYS
+        .iter()
+        .map(|(label, key)| {
+            let v = if key.ends_with("_us") {
+                stats.window.hist(key).map_or(0, obs::Histogram::count)
+            } else {
+                stats.window.count(key)
+            };
+            (format!("win {label}"), v as f64)
+        })
+        .collect();
+    out.push_str(&render_meters(&rows, 36));
+    out.push_str(&format!(
+        "window latency us  ingest p50/p99 {}/{}  publish p50/p99 {}/{}  query p50/p99 {}/{}\n",
+        stats.window_percentile("serve/ingest_batch_us", 0.5),
+        stats.window_percentile("serve/ingest_batch_us", 0.99),
+        stats.window_percentile("serve/publish_us", 0.5),
+        stats.window_percentile("serve/publish_us", 0.99),
+        stats.window_percentile("serve/query_us", 0.5),
+        stats.window_percentile("serve/query_us", 0.99),
+    ));
+    out
+}
+
+/// The interactive dashboard: replay a seeded trace from a writer
+/// thread, poll + redraw until the trace drains (or the frame budget
+/// runs out), then leave the final frame on screen.
+fn run_dashboard() {
+    let n = arg_usize("--n", 2000);
+    let frames = arg_usize("--frames", 40);
+    let interval = std::time::Duration::from_millis(arg_usize("--interval-ms", 60) as u64);
+    let specs = paper_table2_specs();
+    let spec = specs.iter().find(|s| s.name == "DGB0.5M3D").expect("catalog spec");
+    let data = spec.generate_n(n, bench::SEED);
+    let params = spec.params;
+    let handle = Runner::new(params).serve(data.dim()).expect("serving configuration");
+
+    // The same trace shape emit_bench's served-traffic arm replays:
+    // contiguous insert batches, a two-epoch TTL on every id ≡ 3
+    // (mod 11), and deletions of ids ≡ 5 (mod 13) two batches later —
+    // paced so the dashboard has something to show each frame.
+    let batches = 16usize;
+    let chunk = n.div_ceil(batches).max(1);
+    let writer = {
+        let h = handle.clone();
+        let data = data.clone();
+        std::thread::spawn(move || {
+            for b in 0..batches {
+                let mut ops = Vec::new();
+                if b >= 2 {
+                    let (lo, hi) = (((b - 2) * chunk).min(n), ((b - 1) * chunk).min(n));
+                    ops.extend(
+                        (lo..hi).filter(|id| id % 13 == 5).map(|id| ServeOp::delete(id as u64)),
+                    );
+                }
+                let (lo, hi) = ((b * chunk).min(n), ((b + 1) * chunk).min(n));
+                ops.extend((lo..hi).map(|id| {
+                    let coords = data.point(id as u32).to_vec();
+                    if id % 11 == 3 {
+                        ServeOp::insert_ttl(coords, 2)
+                    } else {
+                        ServeOp::insert(coords)
+                    }
+                }));
+                h.ingest(ops).expect("writer alive");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            h.drain().expect("writer alive");
+        })
+    };
+
+    let mut frame = 0usize;
+    while frame < frames {
+        frame += 1;
+        let stats = handle.stats();
+        let done = writer.is_finished();
+        // Clear + home; the frame is small enough to never flicker.
+        print!("\x1b[2J\x1b[H{}", render_frame(&stats, frame));
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        if done {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    writer.join().expect("writer thread");
+    let fin = handle.stats();
+    println!(
+        "\ntrace drained: {} epochs, {} live points, {} clusters",
+        fin.cumulative.count("serve/epochs"),
+        fin.live_points,
+        fin.clusters
+    );
+}
+
+/// The headless CI smoke: deterministic trace, forced fault, fail-closed
+/// assertions. Returns a diagnostic instead of panicking so the exit
+/// status is a clean 0/1.
+fn run_check() -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("mudbscan-serve-top-check-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let params = geom::DbscanParams::new(1.0, 3);
+    let handle = Runner::new(params)
+        .serve_with(
+            1,
+            ServeOptions {
+                repair_budget: Some(0),
+                force_drift_at: Some(2),
+                postmortem_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        )
+        .map_err(|e| format!("spawn failed: {e}"))?;
+
+    let mut series = obs::LiveSeries::new();
+    let ids = handle
+        .ingest([[0.0], [0.5], [-0.5], [0.2]].iter().map(|r| ServeOp::insert(r.to_vec())).collect())
+        .map_err(|e| format!("ingest failed: {e}"))?;
+    handle.drain().map_err(|e| format!("drain failed: {e}"))?;
+    series.push(handle.stats().window);
+    // Epoch 2: a structural delete (budget 0 → fallback rebuild) with
+    // the drift detector forced — the postmortem trigger under test.
+    handle.ingest(vec![ServeOp::delete(ids[3])]).map_err(|e| format!("ingest failed: {e}"))?;
+    handle.drain().map_err(|e| format!("drain failed: {e}"))?;
+    let fin = handle.stats();
+    series.push(fin.window.clone());
+
+    // The windowed-export contract: merged deltas ≡ cumulative.
+    let merged = series.merged();
+    if merged.counts != fin.cumulative.counts || merged.hists != fin.cumulative.hists {
+        return Err("merged stats windows do not sum to the cumulative registry".to_string());
+    }
+    if fin.drift_detections() != 1 {
+        return Err(format!("expected 1 drift detection, saw {}", fin.drift_detections()));
+    }
+    // One frame must render, and the exposition must carry the census.
+    let frame = render_frame(&fin, 1);
+    if !frame.contains("epoch") || frame.lines().count() < 4 {
+        return Err("dashboard frame failed to render".to_string());
+    }
+    println!("{frame}");
+    if !fin.render_prom().contains("mudbscan_serve_epochs 2") {
+        return Err("Prometheus exposition is missing the serve counters".to_string());
+    }
+    // Exactly one schema-valid drift postmortem in the scratch dir.
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("postmortem dir unreadable: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    paths.sort();
+    if paths.len() != 1 {
+        return Err(format!("expected exactly one postmortem artifact, found {}", paths.len()));
+    }
+    let text =
+        std::fs::read_to_string(&paths[0]).map_err(|e| format!("artifact unreadable: {e}"))?;
+    let js = obs::Json::parse(&text).map_err(|e| format!("artifact is not JSON: {e}"))?;
+    if js.get("reason").and_then(obs::Json::as_str) != Some("exactness_drift") {
+        return Err("artifact reason is not exactness_drift".to_string());
+    }
+    obs::validate_postmortem(&js).map_err(|e| format!("artifact fails schema validation: {e}"))?;
+    std::fs::remove_dir_all(&dir).ok();
+    println!("serve_top --check ok: windows sum to cumulative, drift postmortem is schema-valid");
+    Ok(())
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        if let Err(msg) = run_check() {
+            eprintln!("serve_top --check FAILED: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    run_dashboard();
+}

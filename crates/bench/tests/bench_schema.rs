@@ -1,4 +1,4 @@
-//! Validate the committed `BENCH_PR8.json` trajectory against the schema
+//! Validate the committed `BENCH_PR9.json` trajectory against the schema
 //! documented in `docs/BENCH_SCHEMA.md`.
 //!
 //! The CI perf-smoke job points `BENCH_SCHEMA_FILE` at a freshly emitted
@@ -41,8 +41,16 @@ fn trajectory_path() -> std::path::PathBuf {
         return p.into();
     }
     // crates/bench -> repository root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR8.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json")
 }
+
+/// The acceptance budget for the live-telemetry arm of the overhead
+/// probe: with the registry polled, the Prometheus exposition rendered
+/// and a flight recorder noting while the run computes, the median
+/// slowdown must stay under this percentage. Only enforced at bench
+/// size — a smoke-sized run finishes in microseconds and the racing
+/// poller's fixed costs swamp the quantity being budgeted.
+const LIVE_OVERHEAD_BUDGET_PCT: f64 = 5.0;
 
 fn get_f64(v: &Json, key: &str) -> f64 {
     v.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing number {key:?}"))
@@ -53,9 +61,9 @@ fn committed_trajectory_matches_schema() {
     let path = trajectory_path();
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let root = Json::parse(&text).expect("BENCH_PR8.json must be valid JSON");
+    let root = Json::parse(&text).expect("BENCH_PR9.json must be valid JSON");
 
-    assert_eq!(get_f64(&root, "schema_version"), 7.0, "schema_version must be 7");
+    assert_eq!(get_f64(&root, "schema_version"), 8.0, "schema_version must be 8");
     assert_eq!(get_f64(&root, "seed"), 2019.0, "pinned seed");
     let points_per_workload = get_f64(&root, "points_per_workload");
     assert!(points_per_workload >= 100.0);
@@ -175,6 +183,57 @@ fn committed_trajectory_matches_schema() {
                     assert!(
                         p50 <= p99 && p99 <= max,
                         "{ctx}: {key} percentiles must be monotone (p50 {p50} p99 {p99} max {max})"
+                    );
+                }
+                // Schema v8: the live-telemetry contract. The emitter
+                // polls `ServeHandle::stats` while the trace replays and
+                // is fail-closed on the window algebra, so a committed
+                // file must carry the block with `window_sums_match:
+                // true` — and the summarised window totals must agree
+                // with the cumulative registry on every serve counter.
+                let lt = r.get("live_telemetry").expect("live_telemetry block (schema v8)");
+                assert!(get_f64(lt, "polls") >= 1.0, "{ctx}: stats must be polled at least once");
+                assert_eq!(
+                    lt.get("window_sums_match").and_then(Json::as_bool),
+                    Some(true),
+                    "{ctx}: merged window deltas must sum to the cumulative counters"
+                );
+                let windows = lt.get("windows").and_then(Json::as_object).expect("windows totals");
+                let cumulative =
+                    lt.get("cumulative").and_then(Json::as_object).expect("cumulative totals");
+                assert!(!windows.is_empty(), "{ctx}: window totals must be summarised");
+                for (key, v) in windows {
+                    let c = cumulative
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .and_then(|(_, c)| c.as_f64())
+                        .unwrap_or_else(|| panic!("{ctx}: cumulative total {key} missing"));
+                    assert_eq!(
+                        v.as_f64(),
+                        Some(c),
+                        "{ctx}: window total {key} must equal its cumulative counter"
+                    );
+                }
+                let win_epochs = windows
+                    .iter()
+                    .find(|(k, _)| k == "epochs")
+                    .and_then(|(_, v)| v.as_f64())
+                    .unwrap_or(0.0);
+                assert!(
+                    win_epochs >= 3.0,
+                    "{ctx}: the registry must have counted the trace's epochs"
+                );
+                // The served-traffic arm additionally carries the
+                // k-distance sample summary (k = the workload's MinPts).
+                if label == "serve_traffic" {
+                    let kd = lt.get("kdist").expect("kdist summary on serve_traffic");
+                    assert_eq!(get_f64(kd, "k"), get_f64(w, "min_pts"), "{ctx}: k is MinPts");
+                    assert!(get_f64(kd, "samples") > 0.0, "{ctx}: kdist sample size");
+                    let (p50, p90, p99) =
+                        (get_f64(kd, "p50"), get_f64(kd, "p90"), get_f64(kd, "p99"));
+                    assert!(
+                        0.0 < p50 && p50 <= p90 && p90 <= p99,
+                        "{ctx}: kdist percentiles must be monotone (p50 {p50} p90 {p90} p99 {p99})"
                     );
                 }
                 continue;
@@ -372,4 +431,16 @@ fn committed_trajectory_matches_schema() {
         overhead.get("tracing_overhead_pct").and_then(Json::as_f64).is_some(),
         "tracing_overhead_pct missing"
     );
+    // Schema v8: the live-telemetry arm, budgeted at bench size.
+    assert!(get_f64(overhead, "median_live_secs") > 0.0, "schema v8: live-polled arm");
+    let live_pct = overhead
+        .get("live_overhead_pct")
+        .and_then(Json::as_f64)
+        .expect("live_overhead_pct missing");
+    if get_f64(&root, "points_per_workload") >= MAKESPAN_GATE_MIN_N {
+        assert!(
+            live_pct < LIVE_OVERHEAD_BUDGET_PCT,
+            "live-telemetry overhead {live_pct:.2}% exceeds the {LIVE_OVERHEAD_BUDGET_PCT}% budget"
+        );
+    }
 }

@@ -113,7 +113,7 @@ fn run_equivalence(trace: &[Vec<RawOp>], ctx: &str) {
         .iter()
         .map(|(_, budget)| {
             Runner::new(p)
-                .serve_with(DIM, ServeOptions { repair_budget: *budget })
+                .serve_with(DIM, ServeOptions { repair_budget: *budget, ..Default::default() })
                 .expect("serving configuration")
         })
         .collect();

@@ -91,6 +91,78 @@ fn distributed_mudbscan_is_obs_neutral() {
     }
 }
 
+/// The live-telemetry layer must be observation-only: draining windowed
+/// snapshots off the global collector *while the algorithm runs* — the
+/// way `serve_top` or a metrics endpoint would — must perturb neither
+/// the clustering nor the drained aggregates. The quiet arm and the
+/// polled arm run the same deterministic workload, so their counters
+/// and (count-valued) histograms must drain bit-identically; and the
+/// poller's merged windows can never exceed the cumulative stream they
+/// partition.
+#[test]
+fn live_snapshot_polling_is_obs_neutral() {
+    let data = seeded_dataset();
+    let params = DbscanParams::new(0.6, 5);
+    let run = || MuDbscan::from_params(params).run(&data).clustering;
+
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::disable_tracing();
+
+    // Quiet arm: instrumented, nobody polling.
+    obs::reset();
+    obs::enable();
+    let quiet = run();
+    obs::disable();
+    let quiet_report = obs::take_report();
+
+    // Polled arm: the same run with a racing poller draining windowed
+    // snapshots and rendering the Prometheus exposition the whole time.
+    obs::reset();
+    obs::enable();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (polled, windows) = std::thread::scope(|s| {
+        let poller = s.spawn(|| {
+            let mut cursor = obs::WindowCursor::new();
+            let mut series = obs::LiveSeries::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let snap = cursor.poll_global();
+                let _ = obs::render_prom(&snap.window, "mudbscan");
+                series.push(snap.window);
+                std::thread::yield_now();
+            }
+            series
+        });
+        let polled = run();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (polled, poller.join().expect("poller thread"))
+    });
+    obs::disable();
+    let polled_report = obs::take_report();
+    obs::reset();
+
+    assert_eq!(quiet, polled, "clustering changed under live snapshot polling");
+    assert_eq!(
+        quiet_report.counts, polled_report.counts,
+        "drained counters perturbed by mid-run polling"
+    );
+    assert_eq!(
+        quiet_report.hists, polled_report.hists,
+        "drained histograms perturbed by mid-run polling"
+    );
+    assert!(!windows.is_empty(), "the poller must actually drain windows");
+    // Window algebra: the deltas partition a monotone prefix of the
+    // cumulative stream — merging them can reproduce at most what the
+    // final drain saw.
+    let merged = windows.merged();
+    for (k, v) in &merged.counts {
+        assert!(
+            polled_report.count(k) >= *v,
+            "merged windows over-counted {k}: {v} > {}",
+            polled_report.count(k)
+        );
+    }
+}
+
 #[test]
 fn baselines_are_obs_neutral() {
     let data = seeded_dataset();

@@ -123,6 +123,41 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// The per-window delta `self − earlier`, where `earlier` is a
+    /// previous snapshot of the *same* cumulative histogram (the window
+    /// algebra behind `obs::live`).
+    ///
+    /// Buckets, `count` and `sum` subtract exactly, so summing every
+    /// window of a poll sequence reproduces the cumulative state
+    /// bit-identically ([`Self::merge`] of all windows `==` the final
+    /// snapshot). The window `max` cannot always be recovered from two
+    /// cumulative states, so the rule is: if `self.max > earlier.max`
+    /// the maximum arrived inside this window and is carried exactly;
+    /// otherwise the window max falls back to the lower bound of the
+    /// window's highest non-empty bucket (0 for an empty window). The
+    /// window that first observes the global maximum always carries it
+    /// exactly and later windows can never exceed it, so the merged
+    /// `max` is exact too.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut buckets = self.buckets.clone();
+        for (i, &c) in earlier.buckets.iter().enumerate() {
+            if i < buckets.len() {
+                buckets[i] = buckets[i].saturating_sub(c);
+            }
+        }
+        let max = if self.max > earlier.max {
+            self.max
+        } else {
+            buckets.iter().rposition(|&c| c > 0).map(bucket_lower_bound).unwrap_or(0)
+        };
+        Histogram {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max,
+        }
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -290,6 +325,39 @@ mod tests {
             assert_eq!(m.percentile(0.5), merged[0].percentile(0.5));
             assert_eq!(m.percentile(0.99), merged[0].percentile(0.99));
         }
+    }
+
+    #[test]
+    fn diff_windows_merge_back_to_cumulative() {
+        // Poll a growing cumulative histogram at arbitrary boundaries;
+        // merging the per-window deltas must reproduce the cumulative
+        // state bit-identically (buckets, count, sum *and* max).
+        let mut cum = Histogram::new();
+        let mut prev = Histogram::new();
+        let mut merged = Histogram::new();
+        let samples: Vec<u64> = (0..500u64).map(|k| (k * k) % 9000).collect();
+        for chunk in samples.chunks(57) {
+            for &v in chunk {
+                cum.record(v);
+            }
+            let window = cum.diff(&prev);
+            prev = cum.clone();
+            merged.merge(&window);
+        }
+        assert_eq!(merged, cum, "window sums must be bit-identical to the cumulative state");
+        // An empty window reads as empty, with no phantom max.
+        let w = cum.diff(&cum);
+        assert!(w.is_empty());
+        assert_eq!(w.max(), 0);
+        assert_eq!(w.sum(), 0);
+        // A window that does not contain the global max reports a
+        // quantised (lower-bound) max no larger than the true one.
+        let mut later = cum.clone();
+        later.record(100); // well below the global max
+        let w = later.diff(&cum);
+        assert_eq!(w.count(), 1);
+        assert!(w.max() <= 100);
+        assert_eq!(w.max(), bucket_lower_bound(bucket_index(100)));
     }
 
     #[test]

@@ -25,6 +25,16 @@
 //!   trace-event JSON (Perfetto-loadable) or rendered as an ASCII
 //!   timeline/flamegraph ([`render`]).
 //!
+//! On top of these sits the **live layer** for long-running serving
+//! engines: [`live`] provides an instantiable windowed metrics registry
+//! (cumulative + per-window snapshots without draining, JSON
+//! time-series and a Prometheus-style text exposition via
+//! [`live::render_prom`]), and [`recorder`] a bounded flight-recorder
+//! ring of recent serve epochs that dumps a schema'd postmortem
+//! artifact on faults. The one-shot [`take_report`] is the degenerate
+//! case: a single window, polled once, that also clears the state;
+//! [`snapshot_report`] is the non-draining variant it is built from.
+//!
 //! A dependency-free **JSON emitter and parser** ([`json`]) underpins the
 //! exports; the `bench` crate's `emit_bench` driver uses it to write the
 //! schema-versioned `BENCH_*.json` trajectory (see `docs/BENCH_SCHEMA.md`).
@@ -77,6 +87,8 @@
 
 pub mod hist;
 pub mod json;
+pub mod live;
+pub mod recorder;
 pub mod render;
 pub mod report;
 pub mod span;
@@ -84,12 +96,18 @@ pub mod trace;
 
 pub use hist::Histogram;
 pub use json::Json;
+pub use live::{render_prom, LiveSeries, LiveSnapshot, Registry, WindowCursor};
+pub use recorder::{
+    parse_dump, validate_postmortem, EpochDigest, FlightEntry, FlightRecorder, RemovalDecision,
+};
 pub use report::{Report, SpanStat};
 pub use span::{
-    disable, enable, enabled, record_count, record_hist, record_value, reset, span, take_report,
-    Span,
+    disable, enable, enabled, record_count, record_hist, record_value, reset, snapshot_report,
+    span, take_report, Span,
 };
-pub use trace::{disable_tracing, enable_tracing, take_trace, tracing_enabled, Trace};
+pub use trace::{
+    disable_tracing, dropped_events, enable_tracing, take_trace, tracing_enabled, Trace,
+};
 
 /// Open a phase span: `span!("name")` is shorthand for [`span()`]`("name")`.
 ///
@@ -110,4 +128,18 @@ macro_rules! span {
     ($name:expr) => {
         $crate::span($name)
     };
+}
+
+/// The collector, trace sink and drop counter are process-global, so
+/// unit tests that toggle or drain them must not interleave — every
+/// such test (across modules) serialises on this one lock.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn locked() -> MutexGuard<'static, ()> {
+        GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }

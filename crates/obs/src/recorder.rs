@@ -1,0 +1,484 @@
+//! Flight recorder: a bounded ring buffer of recent serve activity,
+//! dumped as a schema'd postmortem artifact when something goes wrong.
+//!
+//! A serving engine runs for hours; when it panics, poisons a lock, or
+//! drifts from the batch oracle, the cumulative counters say *how much*
+//! happened but not *what happened last*. The [`FlightRecorder`] keeps
+//! the last `capacity` entries — per-epoch [`EpochDigest`]s plus
+//! free-form notes — behind one short-critical-section mutex, so
+//! recording an epoch is a cheap, bounded operation on the writer path.
+//!
+//! [`FlightRecorder::dump`] renders the ring as a JSON object tagged
+//! with [`POSTMORTEM_SCHEMA`]; [`validate_postmortem`] and
+//! [`parse_dump`] check and replay an artifact, so a postmortem file
+//! round-trips: dump → render → parse → the same entries. The dump also
+//! embeds [`crate::trace::dropped_events`], so the artifact itself
+//! states whether the trace record was complete.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+/// Schema tag written into every postmortem artifact.
+pub const POSTMORTEM_SCHEMA: &str = "mudbscan.postmortem.v1";
+
+/// What the serving writer decided to do about an epoch's removals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RemovalDecision {
+    /// No removals this epoch (or nothing needed doing).
+    #[default]
+    None,
+    /// Every removal was repaired locally within the budget.
+    Repaired,
+    /// A repair exceeded its budget and the engine rebuilt from scratch.
+    FallbackRebuild,
+    /// Repairs succeeded but tombstone pressure triggered a compaction
+    /// rebuild afterwards.
+    CompactionRebuild,
+}
+
+impl RemovalDecision {
+    /// Stable string form used in postmortem artifacts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RemovalDecision::None => "none",
+            RemovalDecision::Repaired => "repaired",
+            RemovalDecision::FallbackRebuild => "fallback_rebuild",
+            RemovalDecision::CompactionRebuild => "compaction_rebuild",
+        }
+    }
+
+    /// Parse the stable string form back ([`Self::as_str`] inverse).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(RemovalDecision::None),
+            "repaired" => Some(RemovalDecision::Repaired),
+            "fallback_rebuild" => Some(RemovalDecision::FallbackRebuild),
+            "compaction_rebuild" => Some(RemovalDecision::CompactionRebuild),
+            _ => None,
+        }
+    }
+}
+
+/// One serve epoch, digested: the op census, the repair-vs-rebuild
+/// decision, its blast radius and the epoch's latencies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EpochDigest {
+    /// Epoch number the digest describes.
+    pub epoch: u64,
+    /// Live points after the epoch published.
+    pub live_points: u64,
+    /// Points inserted this epoch.
+    pub inserts: u64,
+    /// Live points deleted this epoch.
+    pub deletes: u64,
+    /// Deletes that targeted unknown or already-dead ids.
+    pub deletes_ignored: u64,
+    /// TTL expiries applied this epoch.
+    pub expiries: u64,
+    /// Local repairs performed this epoch.
+    pub repairs: u64,
+    /// Blast radius: points touched across this epoch's repairs.
+    pub repair_touched_points: u64,
+    /// What the writer decided about this epoch's removals.
+    pub decision: RemovalDecision,
+    /// Microseconds spent applying the batch (ingest through publish).
+    pub ingest_us: u64,
+    /// Microseconds spent in the publish step alone.
+    pub publish_us: u64,
+}
+
+/// One ring-buffer entry: an epoch digest or a free-form note, each
+/// stamped with a monotone sequence number so wraparound is visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightEntry {
+    /// A digested serve epoch.
+    Epoch {
+        /// Position in the recorder's total history (0-based).
+        seq: u64,
+        /// The digest.
+        digest: EpochDigest,
+    },
+    /// A free-form marker (fault injections, drift detections, …).
+    Note {
+        /// Position in the recorder's total history (0-based).
+        seq: u64,
+        /// The marker text.
+        label: String,
+    },
+}
+
+impl FlightEntry {
+    fn seq(&self) -> u64 {
+        match self {
+            FlightEntry::Epoch { seq, .. } | FlightEntry::Note { seq, .. } => *seq,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecState {
+    entries: VecDeque<FlightEntry>,
+    next_seq: u64,
+}
+
+/// A bounded, lock-cheap ring buffer of recent [`FlightEntry`]s.
+///
+/// ```
+/// use obs::recorder::{EpochDigest, FlightRecorder};
+/// let rec = FlightRecorder::new(2);
+/// for epoch in 1..=3 {
+///     rec.record_epoch(EpochDigest { epoch, ..Default::default() });
+/// }
+/// assert_eq!(rec.len(), 2);        // oldest entry evicted
+/// assert_eq!(rec.recorded(), 3);   // total history is still counted
+/// assert_eq!(rec.overwritten(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<RecState>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` entries
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), inner: Mutex::new(RecState::default()) }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, RecState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn push(&self, entry: impl FnOnce(u64) -> FlightEntry) {
+        let mut s = self.state();
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        if s.entries.len() == self.capacity {
+            s.entries.pop_front();
+        }
+        s.entries.push_back(entry(seq));
+    }
+
+    /// Record one epoch digest (evicting the oldest entry when full).
+    pub fn record_epoch(&self, digest: EpochDigest) {
+        self.push(|seq| FlightEntry::Epoch { seq, digest });
+    }
+
+    /// Record a free-form marker (evicting the oldest entry when full).
+    pub fn note(&self, label: &str) {
+        let label = label.to_string();
+        self.push(|seq| FlightEntry::Note { seq, label });
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.state().entries.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted —
+    /// impossible, eviction only happens on insert).
+    pub fn is_empty(&self) -> bool {
+        self.state().entries.is_empty()
+    }
+
+    /// Total entries ever recorded, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        self.state().next_seq
+    }
+
+    /// Entries lost to ring wraparound.
+    pub fn overwritten(&self) -> u64 {
+        let s = self.state();
+        s.next_seq - s.entries.len() as u64
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        self.state().entries.iter().cloned().collect()
+    }
+
+    /// Render the ring as a postmortem JSON artifact:
+    /// `{schema, reason, capacity, recorded, overwritten,
+    /// trace_dropped_events, entries: [...]}` with entries oldest
+    /// first. The snapshot is taken under one lock acquisition, so a
+    /// dump racing the writer sees a coherent prefix of history.
+    pub fn dump(&self, reason: &str) -> Json {
+        let (entries, recorded) = {
+            let s = self.state();
+            (s.entries.iter().cloned().collect::<Vec<_>>(), s.next_seq)
+        };
+        let overwritten = recorded - entries.len() as u64;
+        let rows = entries
+            .iter()
+            .map(|e| match e {
+                FlightEntry::Epoch { seq, digest } => Json::obj_from([
+                    ("kind".to_string(), Json::Str("epoch".to_string())),
+                    ("seq".to_string(), Json::Num(*seq as f64)),
+                    ("epoch".to_string(), Json::Num(digest.epoch as f64)),
+                    ("live_points".to_string(), Json::Num(digest.live_points as f64)),
+                    ("inserts".to_string(), Json::Num(digest.inserts as f64)),
+                    ("deletes".to_string(), Json::Num(digest.deletes as f64)),
+                    ("deletes_ignored".to_string(), Json::Num(digest.deletes_ignored as f64)),
+                    ("expiries".to_string(), Json::Num(digest.expiries as f64)),
+                    ("repairs".to_string(), Json::Num(digest.repairs as f64)),
+                    (
+                        "repair_touched_points".to_string(),
+                        Json::Num(digest.repair_touched_points as f64),
+                    ),
+                    ("decision".to_string(), Json::Str(digest.decision.as_str().to_string())),
+                    ("ingest_us".to_string(), Json::Num(digest.ingest_us as f64)),
+                    ("publish_us".to_string(), Json::Num(digest.publish_us as f64)),
+                ]),
+                FlightEntry::Note { seq, label } => Json::obj_from([
+                    ("kind".to_string(), Json::Str("note".to_string())),
+                    ("seq".to_string(), Json::Num(*seq as f64)),
+                    ("label".to_string(), Json::Str(label.clone())),
+                ]),
+            })
+            .collect();
+        Json::obj_from([
+            ("schema".to_string(), Json::Str(POSTMORTEM_SCHEMA.to_string())),
+            ("reason".to_string(), Json::Str(reason.to_string())),
+            ("capacity".to_string(), Json::Num(self.capacity as f64)),
+            ("recorded".to_string(), Json::Num(recorded as f64)),
+            ("overwritten".to_string(), Json::Num(overwritten as f64)),
+            ("trace_dropped_events".to_string(), Json::Num(crate::trace::dropped_events() as f64)),
+            ("entries".to_string(), Json::Arr(rows)),
+        ])
+    }
+
+    /// Write [`Self::dump`] to `dir/<unix_ns>-<pid>.json`, creating the
+    /// directory first. Returns the artifact path.
+    pub fn dump_to_dir(&self, dir: &Path, reason: &str) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos());
+        let path = dir.join(format!("{ns}-{}.json", std::process::id()));
+        std::fs::write(&path, self.dump(reason).render_pretty())?;
+        Ok(path)
+    }
+}
+
+fn req_u64(js: &Json, key: &str) -> Result<u64, String> {
+    js.get(key)
+        .and_then(Json::as_f64)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn req_str<'a>(js: &'a Json, key: &str) -> Result<&'a str, String> {
+    js.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+/// Replay a postmortem artifact back into its [`FlightEntry`]s,
+/// validating the schema tag and every per-entry field on the way.
+pub fn parse_dump(js: &Json) -> Result<Vec<FlightEntry>, String> {
+    let schema = req_str(js, "schema")?;
+    if schema != POSTMORTEM_SCHEMA {
+        return Err(format!("unknown postmortem schema '{schema}' (expected {POSTMORTEM_SCHEMA})"));
+    }
+    req_str(js, "reason")?;
+    let capacity = req_u64(js, "capacity")?;
+    if capacity == 0 {
+        return Err("capacity must be positive".to_string());
+    }
+    let recorded = req_u64(js, "recorded")?;
+    let overwritten = req_u64(js, "overwritten")?;
+    req_u64(js, "trace_dropped_events")?;
+    let rows = js
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing 'entries' array".to_string())?;
+    if recorded != overwritten + rows.len() as u64 {
+        return Err(format!(
+            "entry accounting broken: recorded {recorded} != overwritten {overwritten} + retained {}",
+            rows.len()
+        ));
+    }
+    let mut entries = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let entry = match req_str(row, "kind").map_err(|e| format!("entry {i}: {e}"))? {
+            "epoch" => FlightEntry::Epoch {
+                seq: req_u64(row, "seq").map_err(|e| format!("entry {i}: {e}"))?,
+                digest: EpochDigest {
+                    epoch: req_u64(row, "epoch").map_err(|e| format!("entry {i}: {e}"))?,
+                    live_points: req_u64(row, "live_points")
+                        .map_err(|e| format!("entry {i}: {e}"))?,
+                    inserts: req_u64(row, "inserts").map_err(|e| format!("entry {i}: {e}"))?,
+                    deletes: req_u64(row, "deletes").map_err(|e| format!("entry {i}: {e}"))?,
+                    deletes_ignored: req_u64(row, "deletes_ignored")
+                        .map_err(|e| format!("entry {i}: {e}"))?,
+                    expiries: req_u64(row, "expiries").map_err(|e| format!("entry {i}: {e}"))?,
+                    repairs: req_u64(row, "repairs").map_err(|e| format!("entry {i}: {e}"))?,
+                    repair_touched_points: req_u64(row, "repair_touched_points")
+                        .map_err(|e| format!("entry {i}: {e}"))?,
+                    decision: {
+                        let d = req_str(row, "decision").map_err(|e| format!("entry {i}: {e}"))?;
+                        RemovalDecision::parse(d)
+                            .ok_or_else(|| format!("entry {i}: unknown decision '{d}'"))?
+                    },
+                    ingest_us: req_u64(row, "ingest_us").map_err(|e| format!("entry {i}: {e}"))?,
+                    publish_us: req_u64(row, "publish_us")
+                        .map_err(|e| format!("entry {i}: {e}"))?,
+                },
+            },
+            "note" => FlightEntry::Note {
+                seq: req_u64(row, "seq").map_err(|e| format!("entry {i}: {e}"))?,
+                label: req_str(row, "label").map_err(|e| format!("entry {i}: {e}"))?.to_string(),
+            },
+            other => return Err(format!("entry {i}: unknown kind '{other}'")),
+        };
+        entries.push(entry);
+    }
+    for pair in entries.windows(2) {
+        if pair[1].seq() != pair[0].seq() + 1 {
+            return Err(format!(
+                "non-contiguous sequence numbers: {} then {}",
+                pair[0].seq(),
+                pair[1].seq()
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+/// Check that `js` is a well-formed postmortem artifact (schema tag,
+/// required fields, contiguous sequence numbers, entry accounting).
+pub fn validate_postmortem(js: &Json) -> Result<(), String> {
+    parse_dump(js).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(epoch: u64) -> EpochDigest {
+        EpochDigest {
+            epoch,
+            live_points: epoch * 10,
+            inserts: 10,
+            repairs: epoch % 2,
+            decision: if epoch % 2 == 1 {
+                RemovalDecision::Repaired
+            } else {
+                RemovalDecision::None
+            },
+            ingest_us: 100 + epoch,
+            publish_us: 40 + epoch,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ring_wraparound_is_deterministic() {
+        let rec = FlightRecorder::new(4);
+        for e in 1..=10u64 {
+            rec.record_epoch(digest(e));
+        }
+        rec.note("marker");
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.recorded(), 11);
+        assert_eq!(rec.overwritten(), 7);
+        let entries = rec.entries();
+        // Exactly the last four survive, in order, seqs contiguous.
+        let expect: Vec<FlightEntry> = vec![
+            FlightEntry::Epoch { seq: 7, digest: digest(8) },
+            FlightEntry::Epoch { seq: 8, digest: digest(9) },
+            FlightEntry::Epoch { seq: 9, digest: digest(10) },
+            FlightEntry::Note { seq: 10, label: "marker".to_string() },
+        ];
+        assert_eq!(entries, expect);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let rec = FlightRecorder::new(0);
+        assert_eq!(rec.capacity(), 1);
+        rec.note("a");
+        rec.note("b");
+        assert_eq!(rec.entries(), vec![FlightEntry::Note { seq: 1, label: "b".to_string() }]);
+    }
+
+    #[test]
+    fn dump_round_trips_through_text() {
+        let rec = FlightRecorder::new(8);
+        for e in 1..=6u64 {
+            rec.record_epoch(digest(e));
+        }
+        rec.note("exactness drift detected at epoch 6");
+        let js = rec.dump("exactness_drift");
+        validate_postmortem(&js).expect("fresh dump must be schema-valid");
+        let text = js.render_pretty();
+        let back = Json::parse(&text).expect("dump renders to parseable JSON");
+        assert_eq!(back.get("schema").and_then(Json::as_str), Some(POSTMORTEM_SCHEMA));
+        assert_eq!(back.get("reason").and_then(Json::as_str), Some("exactness_drift"));
+        let replayed = parse_dump(&back).expect("replay");
+        assert_eq!(replayed, rec.entries(), "round trip reproduces the entries exactly");
+    }
+
+    #[test]
+    fn validation_rejects_broken_artifacts() {
+        let rec = FlightRecorder::new(4);
+        rec.record_epoch(digest(1));
+        let good = rec.dump("on_demand");
+        let mut bad = good.clone();
+        bad.set("schema", Json::Str("something.else".to_string()));
+        assert!(validate_postmortem(&bad).unwrap_err().contains("unknown postmortem schema"));
+        let mut bad = good.clone();
+        bad.set("recorded", Json::Num(99.0));
+        assert!(validate_postmortem(&bad).unwrap_err().contains("entry accounting"));
+        let mut bad = good.clone();
+        bad.set(
+            "entries",
+            Json::Arr(vec![Json::obj_from([("kind".to_string(), Json::Str("epoch".to_string()))])]),
+        );
+        assert!(validate_postmortem(&bad).is_err());
+    }
+
+    #[test]
+    fn dump_to_dir_writes_a_parseable_artifact() {
+        let dir = std::env::temp_dir().join(format!(
+            "mudbscan-rec-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let rec = FlightRecorder::new(4);
+        rec.record_epoch(digest(1));
+        let path = rec.dump_to_dir(&dir, "on_demand").expect("write artifact");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let js = Json::parse(&text).expect("parse artifact");
+        validate_postmortem(&js).expect("artifact is schema-valid");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_recording_and_dumping_stay_coherent() {
+        let rec = FlightRecorder::new(16);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for e in 1..=200u64 {
+                    rec.record_epoch(digest(e));
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..50 {
+                    let js = rec.dump("on_demand");
+                    validate_postmortem(&js).expect("every racing dump is coherent");
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert_eq!(rec.recorded(), 200);
+        validate_postmortem(&rec.dump("final")).unwrap();
+    }
+}

@@ -193,6 +193,30 @@ pub fn render_flame(trace: &Trace, width: usize) -> String {
     out
 }
 
+/// Render labelled horizontal meters: one row per `(label, value)`,
+/// bars scaled to the largest value. This is the dashboard primitive
+/// behind `serve_top` — values are whatever the caller polled (ops per
+/// window, latency percentiles), already reduced to a number.
+pub fn render_meters(rows: &[(String, f64)], width: usize) -> String {
+    let width = width.max(8);
+    if rows.is_empty() {
+        return "(no meters)\n".to_string();
+    }
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap().min(40);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let frac = (v / max).clamp(0.0, 1.0);
+        let bar_len = (frac * width as f64).round() as usize;
+        let bar_len = if *v > 0.0 { bar_len.max(1) } else { 0 };
+        let bar = "█".repeat(bar_len);
+        let value =
+            if *v == v.trunc() && v.abs() < 9e15 { format!("{v}") } else { format!("{v:.2}") };
+        out.push_str(&format!("{label:<label_w$} {bar:<width$} {value:>12}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +294,23 @@ mod tests {
         assert!(text.contains("mudbscan"), "{text}");
         assert!(text.contains("  tree_construction"), "{text}");
         assert!(text.contains("×1"), "{text}");
+    }
+
+    #[test]
+    fn meters_scale_to_the_largest_value() {
+        let rows = vec![
+            ("inserts".to_string(), 100.0),
+            ("deletes".to_string(), 25.0),
+            ("idle".to_string(), 0.0),
+        ];
+        let text = render_meters(&rows, 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(&"█".repeat(20)), "{text}");
+        assert!(lines[1].contains(&"█".repeat(5)), "{text}");
+        assert!(!lines[2].contains('█'), "zero draws no bar: {text}");
+        assert!(lines[0].ends_with("100"), "{text}");
+        assert!(render_meters(&[], 20).contains("no meters"));
     }
 
     #[test]

@@ -62,6 +62,94 @@ impl Report {
         self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
+    /// The per-window delta `self − earlier`, where `earlier` is a
+    /// previous snapshot of the same cumulative state (see
+    /// [`crate::live`] for the polling machinery built on this).
+    ///
+    /// Keys are taken from `self`: cumulative state only ever grows, so
+    /// a later snapshot's key set is a superset of an earlier one's.
+    /// Counter deltas subtract **exactly** (`u64`), which is what makes
+    /// "sum of all windows ≡ cumulative totals" a bit-identity; span
+    /// counts and histogram deltas are exact the same way
+    /// ([`Histogram::diff`]); float values and span seconds subtract as
+    /// `f64` (additive, not bit-exact by nature).
+    pub fn delta_since(&self, earlier: &Report) -> Report {
+        let spans = self
+            .spans
+            .iter()
+            .map(|(p, s)| {
+                let e = earlier.spans.iter().find(|(q, _)| q == p).map(|(_, s)| s);
+                let delta = SpanStat {
+                    secs: s.secs - e.map_or(0.0, |e| e.secs),
+                    count: s.count.saturating_sub(e.map_or(0, |e| e.count)),
+                    dur_ns: match e {
+                        Some(e) => s.dur_ns.diff(&e.dur_ns),
+                        None => s.dur_ns.clone(),
+                    },
+                };
+                (p.clone(), delta)
+            })
+            .collect();
+        let counts = self
+            .counts
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.count(n))))
+            .collect();
+        let values = self.values.iter().map(|(n, v)| (n.clone(), v - earlier.value(n))).collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(n, h)| {
+                let delta = match earlier.hist(n) {
+                    Some(e) => h.diff(e),
+                    None => h.clone(),
+                };
+                (n.clone(), delta)
+            })
+            .collect();
+        Report { spans, counts, values, hists }
+    }
+
+    /// Fold another report into this one: counters and span counts add,
+    /// values and span seconds add, histograms merge bucket-wise
+    /// ([`Histogram::merge`]). Merging every window of a poll sequence
+    /// reproduces the cumulative snapshot's counters and histograms
+    /// bit-identically — the window algebra pinned by the `live` tests.
+    pub fn merge(&mut self, other: &Report) {
+        for (p, s) in &other.spans {
+            match self.spans.iter_mut().find(|(q, _)| q == p) {
+                Some((_, mine)) => {
+                    mine.secs += s.secs;
+                    mine.count += s.count;
+                    mine.dur_ns.merge(&s.dur_ns);
+                }
+                None => self.spans.push((p.clone(), s.clone())),
+            }
+        }
+        for (n, v) in &other.counts {
+            match self.counts.iter_mut().find(|(m, _)| m == n) {
+                Some((_, mine)) => *mine += v,
+                None => self.counts.push((n.clone(), *v)),
+            }
+        }
+        for (n, v) in &other.values {
+            match self.values.iter_mut().find(|(m, _)| m == n) {
+                Some((_, mine)) => *mine += v,
+                None => self.values.push((n.clone(), *v)),
+            }
+        }
+        for (n, h) in &other.hists {
+            match self.hists.iter_mut().find(|(m, _)| m == n) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.hists.push((n.clone(), h.clone())),
+            }
+        }
+        self.spans.sort_by(|a, b| a.0.cmp(&b.0));
+        self.counts.sort_by(|a, b| a.0.cmp(&b.0));
+        self.values.sort_by(|a, b| a.0.cmp(&b.0));
+        self.hists.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
     /// Convert to a JSON object:
     /// `{"spans": {path: {"secs": s, "count": c, "dur_ns": {...}}},
     /// "counts": {...}, "values": {...}, "hists": {name: {...}}}`.
@@ -126,6 +214,43 @@ mod tests {
         assert_eq!(r.span_secs("missing"), 0.0);
         assert_eq!(r.hist("query/node_visits").unwrap().count(), 4);
         assert!(r.hist("missing").is_none());
+    }
+
+    #[test]
+    fn delta_since_and_merge_obey_the_window_algebra() {
+        let mut h1 = Histogram::new();
+        h1.record(10);
+        let r1 = Report {
+            spans: vec![("a".into(), SpanStat { secs: 1.0, count: 1, dur_ns: Histogram::new() })],
+            counts: vec![("c".into(), 5)],
+            values: vec![("v".into(), 0.5)],
+            hists: vec![("h".into(), h1.clone())],
+        };
+        let mut h2 = h1.clone();
+        h2.record(10_000);
+        let r2 = Report {
+            spans: vec![("a".into(), SpanStat { secs: 2.5, count: 3, dur_ns: Histogram::new() })],
+            counts: vec![("c".into(), 9), ("d".into(), 2)],
+            values: vec![("v".into(), 0.75)],
+            hists: vec![("h".into(), h2.clone())],
+        };
+        // Two windows: nothing → r1, r1 → r2.
+        let w1 = r1.delta_since(&Report::default());
+        let w2 = r2.delta_since(&r1);
+        assert_eq!(w2.count("c"), 4);
+        assert_eq!(w2.count("d"), 2, "keys born inside a window delta in full");
+        assert_eq!(w2.span_count("a"), 2);
+        assert_eq!(w2.hist("h").unwrap().count(), 1);
+        assert_eq!(w2.hist("h").unwrap().max(), 10_000, "window containing the max is exact");
+        // Merging the windows reproduces the cumulative state: counters
+        // and histograms bit-identically, floats additively.
+        let mut merged = w1;
+        merged.merge(&w2);
+        assert_eq!(merged.counts, r2.counts);
+        assert_eq!(merged.hists, r2.hists);
+        assert_eq!(merged.span_count("a"), 3);
+        assert!((merged.value("v") - 0.75).abs() < 1e-12);
+        assert!((merged.span_secs("a") - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -102,20 +102,49 @@ pub fn reset() {
     crate::trace::clear();
 }
 
-/// Swap the collected data out into a [`Report`], leaving the collector
-/// empty. The enabled flag is not changed; the event-trace buffers are
-/// separate (see [`crate::trace::take_trace`]).
-pub fn take_report() -> Report {
-    let mut c = collector();
-    let mut spans: Vec<(String, SpanStat)> = c.spans.drain().collect();
-    let mut counts: Vec<(String, u64)> = c.counts.drain().collect();
-    let mut values: Vec<(String, f64)> = c.values.drain().collect();
-    let mut hists: Vec<(String, Histogram)> = c.hists.drain().collect();
+/// Sorted [`Report`] of the collector's current contents, plus the
+/// trace-layer drop counter folded in as `obs/trace_dropped_events`
+/// (only when non-zero, so clean runs keep their exact key set).
+fn report_of(c: &Collector, dropped: u64) -> Report {
+    let mut spans: Vec<(String, SpanStat)> =
+        c.spans.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let mut counts: Vec<(String, u64)> = c.counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    let mut values: Vec<(String, f64)> = c.values.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    let mut hists: Vec<(String, Histogram)> =
+        c.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    if dropped > 0 {
+        counts.push(("obs/trace_dropped_events".to_string(), dropped));
+    }
     spans.sort_by(|a, b| a.0.cmp(&b.0));
     counts.sort_by(|a, b| a.0.cmp(&b.0));
     values.sort_by(|a, b| a.0.cmp(&b.0));
     hists.sort_by(|a, b| a.0.cmp(&b.0));
     Report { spans, counts, values, hists }
+}
+
+/// Swap the collected data out into a [`Report`], leaving the collector
+/// empty (and draining the trace-layer drop counter). The enabled flag
+/// is not changed; the event-trace buffers are separate (see
+/// [`crate::trace::take_trace`]). With [`snapshot_report`] this is the
+/// "window from the beginning" special case: drain ≡ snapshot + clear.
+pub fn take_report() -> Report {
+    let mut c = collector();
+    let report = report_of(&c, crate::trace::take_dropped());
+    c.spans.clear();
+    c.counts.clear();
+    c.values.clear();
+    c.hists.clear();
+    report
+}
+
+/// Clone the collected data into a [`Report`] **without draining it** —
+/// the live-telemetry primitive: a poll observes the cumulative state
+/// mid-run and perturbs nothing (neither the collector nor any open
+/// span). Successive snapshots are monotone, so
+/// [`Report::delta_since`] between them yields exact per-window deltas;
+/// a later [`take_report`] still returns the full cumulative state.
+pub fn snapshot_report() -> Report {
+    report_of(&collector(), crate::trace::dropped_events())
 }
 
 /// Add `n` to the named monotone counter. No-op while disabled.
@@ -221,13 +250,7 @@ impl Drop for Span {
 mod tests {
     use super::*;
 
-    /// The collector is process-global, so tests that toggle it must not
-    /// interleave. One lock shared by every test in this module.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
-
-    fn locked() -> std::sync::MutexGuard<'static, ()> {
-        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
-    }
+    use crate::test_support::locked;
 
     #[test]
     fn disabled_spans_record_nothing() {
@@ -312,6 +335,28 @@ mod tests {
         disable();
         assert_eq!(take_report().count("once"), 1);
         assert_eq!(take_report().count("once"), 0);
+    }
+
+    #[test]
+    fn snapshot_report_does_not_drain() {
+        let _g = locked();
+        reset();
+        enable();
+        record_count("live", 2);
+        record_hist("lat", 40);
+        let s1 = snapshot_report();
+        record_count("live", 3);
+        record_hist("lat", 7);
+        let s2 = snapshot_report();
+        disable();
+        assert_eq!(s1.count("live"), 2);
+        assert_eq!(s2.count("live"), 5);
+        let w = s2.delta_since(&s1);
+        assert_eq!(w.count("live"), 3);
+        assert_eq!(w.hist("lat").unwrap().count(), 1);
+        // The one-shot drain is unchanged by any number of snapshots.
+        assert_eq!(take_report().count("live"), 5);
+        assert_eq!(take_report().count("live"), 0);
     }
 
     #[test]

@@ -48,6 +48,11 @@ static TRACING: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU32 = AtomicU32::new(0);
 static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Events dropped because the thread-local buffer was gone (TLS
+/// teardown). A postmortem can only claim the record is complete when
+/// this is zero, so the loss is counted instead of silent.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
 /// Wall-clock origin for the whole process; all wall event timestamps
 /// are nanoseconds since this instant.
 static EPOCH: LazyLock<Instant> = LazyLock::new(Instant::now);
@@ -167,8 +172,10 @@ fn now_ns() -> u64 {
 
 fn push(event: Event) {
     // Tolerate re-entrant access during thread teardown (TLS destructor
-    // ordering): drop the event rather than panic.
-    let _ = BUF.try_with(|b| {
+    // ordering): drop the event rather than panic — but *count* the loss
+    // (`obs/trace_dropped_events`), so a postmortem can state whether
+    // the trace record is complete.
+    let pushed = BUF.try_with(|b| {
         let mut b = b.borrow_mut();
         let tid = b.tid;
         b.events.push(TaggedEvent { tid, seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed), event });
@@ -176,6 +183,24 @@ fn push(event: Event) {
             b.flush();
         }
     });
+    if pushed.is_err() {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Number of trace events dropped (rather than recorded) because a
+/// thread's buffer was already torn down when the event fired. Reset by
+/// [`crate::reset`]; folded into reports as the
+/// `obs/trace_dropped_events` counter and into postmortem artifacts so
+/// they can state whether the record is complete.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Drain the dropped-event counter (used by [`crate::take_report`], so
+/// the one-shot report keeps its drain semantics).
+pub(crate) fn take_dropped() -> u64 {
+    DROPPED.swap(0, Ordering::Relaxed)
 }
 
 /// Record a span-begin event. Called by [`crate::span`]; the guard calls
@@ -234,6 +259,7 @@ pub fn take_trace() -> Trace {
 pub(crate) fn clear() {
     let _ = BUF.try_with(|b| b.borrow_mut().events.clear());
     SINK.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    DROPPED.store(0, Ordering::Relaxed);
 }
 
 /// A reconstructed wall-clock span interval (from a balanced
@@ -566,6 +592,53 @@ mod tests {
             ],
         };
         assert!(t.validate().unwrap_err().contains("regressed"));
+    }
+
+    /// Satellite: events fired during TLS teardown must be *recorded or
+    /// counted*, never silently lost. The TLS destructor order between
+    /// the probe and the trace buffer is unspecified, so the test pins
+    /// the conservation law that holds either way: recorded + dropped
+    /// accounts for every attempt.
+    #[test]
+    fn tls_teardown_drops_are_counted_not_silent() {
+        let _g = crate::test_support::locked();
+        crate::reset();
+        crate::enable();
+        enable_tracing();
+        const N: usize = 5;
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                for _ in 0..N {
+                    instant("probe-teardown");
+                }
+            }
+        }
+        thread_local! {
+            static PROBE: Probe = const { Probe };
+        }
+        let before = dropped_events();
+        std::thread::spawn(|| {
+            instant("probe-body"); // initialise the trace buffer first
+            PROBE.with(|_| {}); // then the probe, so teardown order is contested
+        })
+        .join()
+        .unwrap();
+        disable_tracing();
+        crate::disable();
+        let trace = take_trace();
+        let recorded = trace
+            .events
+            .iter()
+            .filter(|e| matches!(&e.event, Event::Instant { name, .. } if name == "probe-teardown"))
+            .count();
+        let dropped = (dropped_events() - before) as usize;
+        assert_eq!(
+            recorded + dropped,
+            N,
+            "teardown events must be recorded or counted, never silent"
+        );
+        crate::reset();
     }
 
     #[test]

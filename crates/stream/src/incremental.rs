@@ -948,6 +948,27 @@ impl StreamingMuDbscan {
             self.insert(coords);
         }
     }
+
+    /// Exactness self-check: rebuild a throwaway twin engine from the
+    /// compacted live points and compare canonical snapshots. `true`
+    /// means this engine's incremental state still reproduces the batch
+    /// answer bit-identically — the invariant the whole crate promises.
+    ///
+    /// This costs a full batch run plus one canonical snapshot on each
+    /// side, so it is a *debugging/auditing* probe (the serving layer's
+    /// [`crate::ServeOptions::self_check_every`] schedules it sparsely),
+    /// not something to call per epoch in production. The twin's
+    /// operation counters are discarded; `self` is not mutated.
+    pub fn verify_against_batch(&self) -> bool {
+        let mut data = Dataset::empty(self.data.dim());
+        for p in 0..self.len() {
+            if self.is_live(p as PointId) {
+                data.push(self.point(p as PointId));
+            }
+        }
+        let twin = StreamingMuDbscan::from_dataset(&data, self.params());
+        twin.canonical_snapshot() == self.canonical_snapshot()
+    }
 }
 
 #[cfg(test)]

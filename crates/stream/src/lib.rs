@@ -62,6 +62,6 @@ pub mod serve;
 
 pub use incremental::{RemoveOutcome, StreamingMuDbscan};
 pub use serve::{
-    Drained, ExtId, Membership, ServeError, ServeHandle, ServeOp, ServeOptions, ServingMuDbscan,
-    Snapshot,
+    Drained, ExtId, Membership, ServeError, ServeHandle, ServeOp, ServeOptions, ServeStats,
+    ServingMuDbscan, Snapshot,
 };

@@ -48,6 +48,22 @@
 //! and `serve/rebuilds` for full rebuilds of any cause (fallback or
 //! tombstone compaction).
 //!
+//! **Live telemetry.** Independently of the global `obs` switch, every
+//! engine owns an [`obs::Registry`]: the writer feeds it the same
+//! per-epoch census (one batched update per epoch, so counters never
+//! tear) and readers feed it query/membership latencies.
+//! [`ServeHandle::stats`] polls it through a shared
+//! [`obs::WindowCursor`] — each poll returns the delta since the
+//! previous poll plus the cumulative totals, and the windows of any
+//! poll sequence sum back to the cumulative counters bit-identically
+//! (the window algebra pinned in `obs::live`). The writer also digests
+//! every epoch into a bounded [`obs::FlightRecorder`]; on a writer
+//! panic, a poisoned snapshot lock, or detected exactness drift
+//! ([`ServeOptions::self_check_every`]) the ring is dumped as a
+//! schema'd postmortem artifact under [`ServeOptions::postmortem_dir`]
+//! (`results/postmortem/` by default), and [`ServeHandle::dump_postmortem`]
+//! does the same on demand.
+//!
 //! Entry points: `Runner::serve` on the facade (preferred; see
 //! `docs/SERVING.md`) or [`ServingMuDbscan::spawn`] directly.
 
@@ -57,6 +73,7 @@ use metrics::Counters;
 use mudbscan::Clustering;
 use rtree::{RTree, RTreeConfig};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -118,9 +135,11 @@ impl ServeOp {
 /// Tuning knobs for the serving writer ([`ServingMuDbscan::spawn_with`]).
 ///
 /// The defaults are what [`ServingMuDbscan::spawn`] uses; every option
-/// only affects *performance*, never results — the exactness contract
-/// holds for any configuration.
-#[derive(Debug, Clone, Copy, Default)]
+/// only affects *performance or telemetry*, never published results —
+/// the exactness contract holds for any configuration. (The two
+/// `*_at` fault-injection hooks deliberately break the *service*, not
+/// its answers: they exist so the postmortem path is testable.)
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Largest repair region (surviving points replayed) a single
     /// removal may trigger before the writer falls back to a full
@@ -132,6 +151,43 @@ pub struct ServeOptions {
     ///   by the conformance suite and the bench baseline arm).
     /// * `Some(k)` — fixed threshold of `k` surviving points.
     pub repair_budget: Option<usize>,
+    /// Flight-recorder capacity: how many recent entries (epoch digests
+    /// and notes) the postmortem ring retains. Clamped to ≥ 1.
+    /// Default 256.
+    pub recorder_capacity: usize,
+    /// Where postmortem artifacts are written (`None` → the repo-local
+    /// `results/postmortem/`). The directory is created on first dump.
+    pub postmortem_dir: Option<PathBuf>,
+    /// Run the engine's exactness self-check
+    /// ([`StreamingMuDbscan::verify_against_batch`]) every `k` epochs
+    /// (`Some(k)`, `k ≥ 1`). A failed check counts
+    /// `serve/exactness_drift` in the live registry and dumps a
+    /// postmortem. The check costs a full batch re-cluster, so it is
+    /// off (`None`) by default — an auditing knob, not a production
+    /// default.
+    pub self_check_every: Option<u64>,
+    /// Fault injection: treat this epoch's self-check as having
+    /// detected drift even though the engine is exact, exercising the
+    /// full drift-dump path. Test/CI hook; leave `None`.
+    pub force_drift_at: Option<u64>,
+    /// Fault injection: panic the writer thread at the start of this
+    /// epoch, exercising the panic-dump path (subsequent ingest/drain
+    /// calls return [`ServeError::WriterGone`]). Test/CI hook; leave
+    /// `None`.
+    pub panic_at_epoch: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            repair_budget: None,
+            recorder_capacity: 256,
+            postmortem_dir: None,
+            self_check_every: None,
+            force_drift_at: None,
+            panic_at_epoch: None,
+        }
+    }
 }
 
 impl ServeOptions {
@@ -167,6 +223,13 @@ pub enum ServeError {
     /// re-created impossibly, or the writer panicked. Pinned snapshots
     /// remain readable; ingest/drain cannot proceed.
     WriterGone,
+    /// A postmortem artifact could not be written (I/O failure on
+    /// [`ServeOptions::postmortem_dir`]). Carries the rendered I/O
+    /// error; the engine itself keeps serving.
+    Postmortem {
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -176,6 +239,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "dimension mismatch: engine serves {expected}-d points, got {got}-d")
             }
             ServeError::WriterGone => write!(f, "the serving writer thread has shut down"),
+            ServeError::Postmortem { message } => {
+                write!(f, "failed to write the postmortem artifact: {message}")
+            }
         }
     }
 }
@@ -307,6 +373,72 @@ struct Shared {
     dim: usize,
     current: Mutex<Arc<Snapshot>>,
     next_id: AtomicU64,
+    /// Live-metrics registry: written by the writer (per-epoch census,
+    /// one batched update) and readers (per-op latencies), polled by
+    /// [`ServeHandle::stats`]. Always on — independent of the global
+    /// `obs` switch.
+    registry: obs::Registry,
+    /// The engine-wide window cursor behind [`ServeHandle::stats`]: all
+    /// pollers share it, so their windows partition the metric stream.
+    cursor: Mutex<obs::WindowCursor>,
+    /// Flight recorder of recent epoch digests and fault notes.
+    recorder: obs::FlightRecorder,
+    /// Where fault dumps and on-demand postmortems land.
+    postmortem_dir: PathBuf,
+}
+
+/// One poll of a serving engine's live telemetry
+/// ([`ServeHandle::stats`]): the published state plus the metric window
+/// since the previous poll and the cumulative totals, all coherent.
+///
+/// The windows of successive polls (across *all* handles — the cursor
+/// is engine-wide) partition the metric stream: merging them
+/// reproduces `cumulative`'s counters and histograms bit-identically.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Epoch of the snapshot current at poll time.
+    pub epoch: u64,
+    /// Live points in that snapshot.
+    pub live_points: u64,
+    /// Clusters in that snapshot.
+    pub clusters: u64,
+    /// Metrics accumulated since the previous `stats()` poll
+    /// (everything since spawn, on the engine's first poll).
+    pub window: obs::Report,
+    /// Cumulative metrics since spawn, as of this poll.
+    pub cumulative: obs::Report,
+}
+
+impl ServeStats {
+    /// Local repairs performed since spawn.
+    pub fn repairs(&self) -> u64 {
+        self.cumulative.count("serve/repairs")
+    }
+
+    /// Budget-exceeded fallback rebuilds since spawn.
+    pub fn fallback_rebuilds(&self) -> u64 {
+        self.cumulative.count("serve/fallback_rebuilds")
+    }
+
+    /// Exactness-drift detections since spawn (0 unless a self-check
+    /// failed — see [`ServeOptions::self_check_every`]).
+    pub fn drift_detections(&self) -> u64 {
+        self.cumulative.count("serve/exactness_drift")
+    }
+
+    /// The `q`-quantile (in [0, 1]) of a latency histogram **within
+    /// this window** — e.g. `window_percentile("serve/query_us", 0.99)`
+    /// for the p99 query latency since the last poll. 0 when the
+    /// histogram has no samples in the window.
+    pub fn window_percentile(&self, hist: &str, q: f64) -> u64 {
+        self.window.hist(hist).map_or(0, |h| h.percentile(q))
+    }
+
+    /// The cumulative totals as a Prometheus-style text exposition
+    /// (prefix `mudbscan`), ready to serve from a `/metrics` endpoint.
+    pub fn render_prom(&self) -> String {
+        obs::render_prom(&self.cumulative, "mudbscan")
+    }
 }
 
 /// Joins the writer thread when the last [`ServeHandle`] drops. The
@@ -388,25 +520,61 @@ impl ServeHandle {
     }
 
     /// ε-neighbourhood lookup against the current snapshot: external
-    /// ids strictly within ε of `coords`. Records `serve/query_us`.
+    /// ids strictly within ε of `coords`. Records `serve/query_us`
+    /// (live registry always, global `obs` when enabled).
     pub fn query(&self, coords: &[f64]) -> Result<Vec<ExtId>, ServeError> {
-        let t = obs::enabled().then(Instant::now);
+        let t = Instant::now();
         let out = self.pin().query(coords);
-        if let Some(t) = t {
-            obs::record_hist("serve/query_us", t.elapsed().as_micros() as u64);
-        }
+        let us = t.elapsed().as_micros() as u64;
+        obs::record_hist("serve/query_us", us);
+        self.shared.registry.record_hist("serve/query_us", us);
         out
     }
 
     /// Cluster membership of `id` in the current snapshot (`None` for
-    /// unknown, deleted, or expired ids). Records `serve/membership_us`.
+    /// unknown, deleted, or expired ids). Records `serve/membership_us`
+    /// (live registry always, global `obs` when enabled).
     pub fn membership(&self, id: ExtId) -> Option<Membership> {
-        let t = obs::enabled().then(Instant::now);
+        let t = Instant::now();
         let out = self.pin().membership(id);
-        if let Some(t) = t {
-            obs::record_hist("serve/membership_us", t.elapsed().as_micros() as u64);
-        }
+        let us = t.elapsed().as_micros() as u64;
+        obs::record_hist("serve/membership_us", us);
+        self.shared.registry.record_hist("serve/membership_us", us);
         out
+    }
+
+    /// Poll the live telemetry: the published epoch's headline numbers
+    /// plus the metric window since the previous `stats()` call (on any
+    /// handle — the cursor is engine-wide) and the cumulative totals.
+    /// Non-draining and cheap; safe to call from a dashboard loop while
+    /// readers and the writer race. The windows of all polls sum back
+    /// to the cumulative counters bit-identically.
+    pub fn stats(&self) -> ServeStats {
+        let snap = self.pin();
+        let live = self
+            .shared
+            .cursor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .poll(&self.shared.registry);
+        ServeStats {
+            epoch: snap.epoch(),
+            live_points: snap.len() as u64,
+            clusters: snap.clustering().n_clusters as u64,
+            window: live.window,
+            cumulative: live.cumulative,
+        }
+    }
+
+    /// Dump the flight recorder to a postmortem artifact on demand
+    /// (reason `"on_demand"`) and return its path. The writer dumps
+    /// automatically on panic, poisoned snapshot lock, and detected
+    /// exactness drift; this is for capturing state while healthy.
+    pub fn dump_postmortem(&self) -> Result<PathBuf, ServeError> {
+        self.shared
+            .recorder
+            .dump_to_dir(&self.shared.postmortem_dir, "on_demand")
+            .map_err(|e| ServeError::Postmortem { message: e.to_string() })
     }
 
     /// Rendezvous with the writer: blocks until every batch enqueued
@@ -453,6 +621,27 @@ pub struct ServingMuDbscan {
     /// the same tree, and nothing ever re-bulk-loads except a rebuild.
     index: Arc<RTree>,
     epoch: u64,
+    /// One-shot latch: the first poisoned-lock publish dumps a
+    /// postmortem; later publishes through the same poisoned lock
+    /// proceed silently (the fault was already recorded).
+    poison_dumped: bool,
+}
+
+/// Armed for the writer thread's whole life: when the writer unwinds
+/// (a real bug or [`ServeOptions::panic_at_epoch`]), the probe's `Drop`
+/// runs during the panic and dumps the flight recorder so the last
+/// epochs' digests survive the crash.
+struct PanicProbe {
+    shared: Arc<Shared>,
+}
+
+impl Drop for PanicProbe {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.recorder.note("serving writer panicked");
+            let _ = self.shared.recorder.dump_to_dir(&self.shared.postmortem_dir, "writer_panic");
+        }
+    }
 }
 
 impl ServingMuDbscan {
@@ -473,6 +662,13 @@ impl ServingMuDbscan {
             dim,
             current: Mutex::new(Arc::new(Snapshot::empty(dim, params))),
             next_id: AtomicU64::new(0),
+            registry: obs::Registry::new(),
+            cursor: Mutex::new(obs::WindowCursor::new()),
+            recorder: obs::FlightRecorder::new(opts.recorder_capacity),
+            postmortem_dir: opts
+                .postmortem_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("results/postmortem")),
         });
         let writer = ServingMuDbscan {
             shared: Arc::clone(&shared),
@@ -484,6 +680,7 @@ impl ServingMuDbscan {
             lookup: HashMap::new(),
             index: Arc::new(RTree::new(dim)),
             epoch: 0,
+            poison_dumped: false,
         };
         let handle = std::thread::Builder::new()
             .name("mudbscan-serve-writer".into())
@@ -497,15 +694,10 @@ impl ServingMuDbscan {
     }
 
     fn run(mut self) {
+        let probe = PanicProbe { shared: Arc::clone(&self.shared) };
         while let Ok(cmd) = self.rx.recv() {
             match cmd {
-                Cmd::Batch { ops, ids } => {
-                    let t = obs::enabled().then(Instant::now);
-                    self.apply(ops, ids);
-                    if let Some(t) = t {
-                        obs::record_hist("serve/ingest_batch_us", t.elapsed().as_micros() as u64);
-                    }
-                }
+                Cmd::Batch { ops, ids } => self.apply(ops, ids, Instant::now()),
                 Cmd::Flush { ack } => {
                     let counters = Counters::new();
                     counters.absorb(self.stream.counters());
@@ -515,6 +707,7 @@ impl ServingMuDbscan {
                 }
             }
         }
+        drop(probe); // normal exit: the probe's Drop is a no-op
     }
 
     /// Apply one batch as one epoch: expiries and deletes first
@@ -527,8 +720,11 @@ impl ServingMuDbscan {
     /// whole epoch to one compacting full rebuild that also swallows
     /// every remaining removal. A rebuild is likewise forced when
     /// tombstones pile up past the live population (compaction).
-    fn apply(&mut self, ops: Vec<ServeOp>, ids: Vec<ExtId>) {
+    fn apply(&mut self, ops: Vec<ServeOp>, ids: Vec<ExtId>, started: Instant) {
         self.epoch += 1;
+        if self.opts.panic_at_epoch == Some(self.epoch) {
+            panic!("induced writer panic at epoch {} (ServeOptions::panic_at_epoch)", self.epoch);
+        }
 
         let n = self.stream.len();
         // Removal set for this epoch: expiries first, then explicit
@@ -560,11 +756,12 @@ impl ServingMuDbscan {
             }
         }
 
+        let mut repairs = 0u64;
+        let mut touched_total = 0u64;
+        let mut fell_back = false;
+        let mut compacted = false;
         if !removals.is_empty() {
             let budget = self.opts.budget_at(self.stream.live_len());
-            let mut repairs = 0u64;
-            let mut touched_total = 0u64;
-            let mut fell_back = false;
             for &p in &removals {
                 match self.stream.try_remove(p, budget) {
                     RemoveOutcome::Removed { touched } => {
@@ -595,6 +792,7 @@ impl ServingMuDbscan {
             {
                 self.rebuild(&[]);
                 obs::record_count("serve/rebuilds", 1);
+                compacted = true;
             }
         }
         obs::record_count("serve/expiries", expiries);
@@ -626,7 +824,59 @@ impl ServingMuDbscan {
         }
         obs::record_count("serve/inserts", inserts);
 
-        self.publish();
+        let publish_us = self.publish();
+
+        // Feed the live registry in one batched update: a racing
+        // `stats()` poll sees this epoch's whole census or none of it.
+        let rebuilds = u64::from(fell_back) + u64::from(compacted);
+        self.shared.registry.add_counts(&[
+            ("serve/epochs", 1),
+            ("serve/inserts", inserts),
+            ("serve/deletes", deletes),
+            ("serve/deletes_ignored", ignored),
+            ("serve/expiries", expiries),
+            ("serve/repairs", repairs),
+            ("serve/repair_touched_points", touched_total),
+            ("serve/rebuilds", rebuilds),
+            ("serve/fallback_rebuilds", u64::from(fell_back)),
+        ]);
+
+        let ingest_us = started.elapsed().as_micros() as u64;
+        obs::record_hist("serve/ingest_batch_us", ingest_us);
+        self.shared.registry.record_hist("serve/ingest_batch_us", ingest_us);
+        self.shared.recorder.record_epoch(obs::EpochDigest {
+            epoch: self.epoch,
+            live_points: self.stream.live_len() as u64,
+            inserts,
+            deletes,
+            deletes_ignored: ignored,
+            expiries,
+            repairs,
+            repair_touched_points: touched_total,
+            decision: if fell_back {
+                obs::RemovalDecision::FallbackRebuild
+            } else if compacted {
+                obs::RemovalDecision::CompactionRebuild
+            } else if !removals.is_empty() {
+                obs::RemovalDecision::Repaired
+            } else {
+                obs::RemovalDecision::None
+            },
+            ingest_us,
+            publish_us,
+        });
+
+        // Scheduled (or injected) exactness self-check, after the digest
+        // so a drift dump carries this epoch's record too.
+        let forced = self.opts.force_drift_at == Some(self.epoch);
+        let scheduled =
+            self.opts.self_check_every.is_some_and(|k| k > 0 && self.epoch.is_multiple_of(k));
+        if forced || (scheduled && !self.stream.verify_against_batch()) {
+            self.shared.registry.add_count("serve/exactness_drift", 1);
+            self.shared.recorder.note(&format!("exactness drift detected at epoch {}", self.epoch));
+            let _ =
+                self.shared.recorder.dump_to_dir(&self.shared.postmortem_dir, "exactness_drift");
+        }
     }
 
     /// Exact compacting rebuild: the surviving live points — minus any
@@ -664,8 +914,10 @@ impl ServingMuDbscan {
         ));
     }
 
-    fn publish(&mut self) {
-        let t = obs::enabled().then(Instant::now);
+    /// Publish the epoch snapshot and return the publish latency in
+    /// microseconds (also recorded into the histograms).
+    fn publish(&mut self) -> u64 {
+        let t = Instant::now();
         let n = self.stream.len();
         let dim = self.shared.dim;
         // Compact the live points (insertion order) for the snapshot;
@@ -692,11 +944,30 @@ impl ServingMuDbscan {
             index: Arc::clone(&self.index),
             compact,
         });
-        *self.shared.current.lock().unwrap_or_else(|e| e.into_inner()) = snap;
-        obs::record_count("serve/epochs", 1);
-        if let Some(t) = t {
-            obs::record_hist("serve/publish_us", t.elapsed().as_micros() as u64);
+        match self.shared.current.lock() {
+            Ok(mut g) => *g = snap,
+            Err(e) => {
+                // A reader panicked while holding the snapshot lock.
+                // Publishing proceeds (the data is fine), but the fault
+                // is worth a postmortem — once.
+                if !self.poison_dumped {
+                    self.poison_dumped = true;
+                    self.shared
+                        .recorder
+                        .note(&format!("snapshot lock poisoned; publishing epoch {}", self.epoch));
+                    let _ = self
+                        .shared
+                        .recorder
+                        .dump_to_dir(&self.shared.postmortem_dir, "poisoned_lock");
+                }
+                *e.into_inner() = snap;
+            }
         }
+        obs::record_count("serve/epochs", 1);
+        let us = t.elapsed().as_micros() as u64;
+        obs::record_hist("serve/publish_us", us);
+        self.shared.registry.record_hist("serve/publish_us", us);
+        us
     }
 }
 
@@ -862,7 +1133,11 @@ mod tests {
         // epochs — and both must match a batch run on the prefix.
         let p = params();
         let repair = ServingMuDbscan::spawn(2, p);
-        let rebuild = ServingMuDbscan::spawn_with(2, p, ServeOptions { repair_budget: Some(0) });
+        let rebuild = ServingMuDbscan::spawn_with(
+            2,
+            p,
+            ServeOptions { repair_budget: Some(0), ..Default::default() },
+        );
         let pts = rows(60, 11);
         for (b, chunk) in pts.chunks(12).enumerate() {
             let mut ops: Vec<ServeOp> = chunk.iter().map(|c| ServeOp::insert(c.clone())).collect();
@@ -895,7 +1170,11 @@ mod tests {
         // Budget 1 forces the fallback whenever a removal touches a
         // component of more than one survivor.
         let p = params();
-        let h = ServingMuDbscan::spawn_with(1, p, ServeOptions { repair_budget: Some(1) });
+        let h = ServingMuDbscan::spawn_with(
+            1,
+            p,
+            ServeOptions { repair_budget: Some(1), ..Default::default() },
+        );
         let ids = h
             .ingest(
                 [[0.0], [0.5], [-0.5], [0.2]].iter().map(|r| ServeOp::insert(r.to_vec())).collect(),
@@ -913,11 +1192,44 @@ mod tests {
         assert_eq!(*d.snapshot.clustering(), batch_oracle(d.snapshot.dataset(), p));
     }
 
+    /// A per-test scratch dir for postmortem artifacts, cleaned up on
+    /// drop so test runs never dirty `results/`.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("mudbscan-serve-{tag}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn artifacts(dir: &PathBuf) -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map(|rd| rd.filter_map(|e| e.ok().map(|e| e.path())).collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
     #[test]
     fn service_survives_a_poisoned_snapshot_lock() {
         // A reader panicking while holding the snapshot lock poisons
-        // it; every path (pin, query, writer publish) must recover.
-        let h = ServingMuDbscan::spawn(1, params());
+        // it; every path (pin, query, writer publish) must recover, and
+        // the writer leaves exactly one postmortem behind.
+        let tmp = TempDir::new("poison");
+        let h = ServingMuDbscan::spawn_with(
+            1,
+            params(),
+            ServeOptions { postmortem_dir: Some(tmp.0.clone()), ..Default::default() },
+        );
         h.ingest(vec![ServeOp::insert(vec![0.0])]).unwrap();
         h.drain().unwrap();
         let shared = Arc::clone(&h.shared);
@@ -936,6 +1248,15 @@ mod tests {
         assert_eq!(d.snapshot.epoch(), 2);
         assert_eq!(d.snapshot.len(), 3);
         assert_eq!(*d.snapshot.clustering(), batch_oracle(d.snapshot.dataset(), params()));
+        // The poisoned publish dumped one postmortem — and only one,
+        // even across further epochs through the same poisoned lock.
+        h.ingest(vec![ServeOp::insert(vec![0.25])]).unwrap();
+        h.drain().unwrap();
+        let files = artifacts(&tmp.0);
+        assert_eq!(files.len(), 1, "poison dump must be one-shot: {files:?}");
+        let js = obs::Json::parse(&std::fs::read_to_string(&files[0]).unwrap()).unwrap();
+        assert_eq!(js.get("reason").and_then(obs::Json::as_str), Some("poisoned_lock"));
+        obs::validate_postmortem(&js).expect("poison artifact is schema-valid");
     }
 
     #[test]
@@ -981,8 +1302,11 @@ mod tests {
             )
         };
         for budget in [None, Some(0)] {
-            let h =
-                ServingMuDbscan::spawn_with(2, params(), ServeOptions { repair_budget: budget });
+            let h = ServingMuDbscan::spawn_with(
+                2,
+                params(),
+                ServeOptions { repair_budget: budget, ..Default::default() },
+            );
             let pts = rows(40, 23);
             let ids = h.ingest(pts.iter().map(|c| ServeOp::insert(c.clone())).collect()).unwrap();
             let t1 = totals(&h.drain().unwrap());
@@ -1051,5 +1375,130 @@ mod tests {
             }
         });
         assert_eq!(h.snapshot_epoch(), 20);
+    }
+
+    #[test]
+    fn stats_reports_the_live_state_and_window_deltas() {
+        let h = ServingMuDbscan::spawn(1, params());
+        let ids = h
+            .ingest(
+                [[0.0], [0.5], [-0.5], [10.0]]
+                    .iter()
+                    .map(|r| ServeOp::insert(r.to_vec()))
+                    .collect(),
+            )
+            .unwrap();
+        h.drain().unwrap();
+        let s1 = h.stats();
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(s1.live_points, 4);
+        assert_eq!(s1.clusters, 1);
+        assert_eq!(s1.window.count("serve/inserts"), 4);
+        assert_eq!(s1.window.count("serve/epochs"), 1);
+        assert!(s1.window.hist("serve/ingest_batch_us").is_some());
+        // Next window carries only what happened since.
+        h.ingest(vec![ServeOp::delete(ids[3])]).unwrap();
+        h.drain().unwrap();
+        let s2 = h.stats();
+        assert_eq!(s2.window.count("serve/inserts"), 0);
+        assert_eq!(s2.window.count("serve/deletes"), 1);
+        assert_eq!(s2.cumulative.count("serve/inserts"), 4);
+        assert_eq!(s2.repairs() + s2.fallback_rebuilds(), 1);
+        assert_eq!(s2.drift_detections(), 0);
+        // The Prometheus rendition exposes the cumulative counters.
+        let prom = s2.render_prom();
+        assert!(prom.contains("mudbscan_serve_inserts 4"), "{prom}");
+        // The registry works with global obs collection fully disabled —
+        // nothing above enabled it.
+        assert!(!obs::enabled());
+    }
+
+    #[test]
+    fn stats_windows_sum_to_cumulative_under_race() {
+        // Readers and pollers race the writer; at drain, the merged
+        // windows must equal the final cumulative state bit-identically
+        // (counters and histograms).
+        let h = ServingMuDbscan::spawn(1, params());
+        let windows = Mutex::new(Vec::<obs::Report>::new());
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let r = h.clone();
+                s.spawn(move || {
+                    for i in 0..150 {
+                        let _ = r.query(&[i as f64 * 0.01]);
+                        let _ = r.membership(i as ExtId);
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let r = h.clone();
+                let windows = &windows;
+                s.spawn(move || {
+                    for _ in 0..30 {
+                        let stats = r.stats();
+                        // Epoch-paired counters never tear.
+                        assert!(
+                            stats.window.count("serve/epochs")
+                                >= stats.window.count("serve/fallback_rebuilds"),
+                            "window saw a rebuild without its epoch"
+                        );
+                        windows.lock().unwrap_or_else(|e| e.into_inner()).push(stats.window);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            for i in 0..25 {
+                let mut ops = vec![ServeOp::insert(vec![i as f64 * 0.1])];
+                if i % 5 == 4 {
+                    ops.push(ServeOp::delete((i / 5) as ExtId));
+                }
+                h.ingest(ops).unwrap();
+            }
+            h.drain().unwrap();
+        });
+        // Quiesced: one final poll collects the tail window.
+        let last = h.stats();
+        let mut merged = obs::Report::default();
+        for w in windows.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            merged.merge(w);
+        }
+        merged.merge(&last.window);
+        assert_eq!(merged.counts, last.cumulative.counts, "window counter sums must be exact");
+        assert_eq!(merged.hists, last.cumulative.hists, "window histogram sums must be exact");
+        assert_eq!(last.cumulative.count("serve/epochs"), 25);
+        assert_eq!(last.cumulative.count("serve/inserts"), 25);
+        assert_eq!(last.cumulative.count("serve/deletes"), 5);
+    }
+
+    #[test]
+    fn on_demand_postmortem_captures_recent_epochs() {
+        let tmp = TempDir::new("ondemand");
+        let h = ServingMuDbscan::spawn_with(
+            1,
+            params(),
+            ServeOptions {
+                recorder_capacity: 2,
+                postmortem_dir: Some(tmp.0.clone()),
+                ..Default::default()
+            },
+        );
+        for i in 0..5 {
+            h.ingest(vec![ServeOp::insert(vec![i as f64])]).unwrap();
+        }
+        h.drain().unwrap();
+        let path = h.dump_postmortem().unwrap();
+        let js = obs::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        obs::validate_postmortem(&js).unwrap();
+        let entries = obs::parse_dump(&js).unwrap();
+        // Capacity 2: exactly the last two epochs survive the ring.
+        let epochs: Vec<u64> = entries
+            .iter()
+            .filter_map(|e| match e {
+                obs::FlightEntry::Epoch { digest, .. } => Some(digest.epoch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(epochs, vec![4, 5]);
+        assert_eq!(js.get("overwritten").and_then(obs::Json::as_f64), Some(3.0));
     }
 }

@@ -1,0 +1,160 @@
+//! Fault-to-artifact integration tests: every automatic postmortem
+//! trigger in the serving writer (injected panic, forced exactness
+//! drift, scheduled self-check) must leave a schema-valid artifact
+//! behind that parses and replays. CI runs this file as the postmortem
+//! smoke step.
+
+use geom::DbscanParams;
+use std::path::PathBuf;
+use stream::{ServeOp, ServeOptions, ServingMuDbscan};
+
+fn params() -> DbscanParams {
+    DbscanParams::new(1.0, 3)
+}
+
+/// Scratch dir cleaned up on drop, so test runs never dirty `results/`.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("mudbscan-pm-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn read_artifacts(dir: &PathBuf) -> Vec<obs::Json> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| rd.filter_map(|e| e.ok().map(|e| e.path())).collect())
+        .unwrap_or_default();
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| {
+            obs::Json::parse(&std::fs::read_to_string(p).expect("read artifact"))
+                .expect("artifact parses as JSON")
+        })
+        .collect()
+}
+
+#[test]
+fn writer_panic_dumps_a_replayable_postmortem() {
+    let tmp = TempDir::new("panic");
+    let h = ServingMuDbscan::spawn_with(
+        1,
+        params(),
+        ServeOptions {
+            postmortem_dir: Some(tmp.0.clone()),
+            panic_at_epoch: Some(3),
+            ..Default::default()
+        },
+    );
+    // Two healthy epochs, then the injected panic on the third.
+    h.ingest(vec![ServeOp::insert(vec![0.0]), ServeOp::insert(vec![0.5])]).unwrap();
+    h.ingest(vec![ServeOp::insert(vec![-0.5])]).unwrap();
+    h.ingest(vec![ServeOp::insert(vec![1.0])]).unwrap();
+    // The writer died mid-queue: drain must surface WriterGone, not hang.
+    assert_eq!(h.drain().unwrap_err(), stream::ServeError::WriterGone);
+    let dumps = read_artifacts(&tmp.0);
+    assert_eq!(dumps.len(), 1, "exactly one panic dump expected");
+    let js = &dumps[0];
+    assert_eq!(js.get("reason").and_then(obs::Json::as_str), Some("writer_panic"));
+    obs::validate_postmortem(js).expect("panic artifact is schema-valid");
+    let entries = obs::parse_dump(js).expect("artifact replays");
+    // The final epochs' digests made it into the dump (the panic fired
+    // before epoch 3 recorded, so epochs 1 and 2 are the record), plus
+    // the probe's note.
+    let epochs: Vec<u64> = entries
+        .iter()
+        .filter_map(|e| match e {
+            obs::FlightEntry::Epoch { digest, .. } => Some(digest.epoch),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(epochs, vec![1, 2]);
+    assert!(entries.iter().any(|e| matches!(
+        e,
+        obs::FlightEntry::Note { label, .. } if label.contains("panicked")
+    )));
+    // The surviving snapshot is the last published epoch.
+    assert_eq!(h.pin().epoch(), 2);
+}
+
+#[test]
+fn forced_drift_dumps_and_counts_even_with_repair_disabled() {
+    // The CI fault-injection combo: repair disabled (budget 0) plus a
+    // forced drift detection — the artifact must be written and the
+    // registry must count the drift, while the engine itself stays
+    // exact and serving.
+    let tmp = TempDir::new("drift");
+    let h = ServingMuDbscan::spawn_with(
+        1,
+        params(),
+        ServeOptions {
+            repair_budget: Some(0),
+            postmortem_dir: Some(tmp.0.clone()),
+            force_drift_at: Some(2),
+            ..Default::default()
+        },
+    );
+    let ids = h
+        .ingest([[0.0], [0.5], [-0.5], [0.2]].iter().map(|r| ServeOp::insert(r.to_vec())).collect())
+        .unwrap();
+    h.ingest(vec![ServeOp::delete(ids[3])]).unwrap();
+    h.drain().unwrap();
+    let stats = h.stats();
+    assert_eq!(stats.drift_detections(), 1, "forced drift must be counted");
+    let dumps = read_artifacts(&tmp.0);
+    assert_eq!(dumps.len(), 1);
+    assert_eq!(dumps[0].get("reason").and_then(obs::Json::as_str), Some("exactness_drift"));
+    obs::validate_postmortem(&dumps[0]).unwrap();
+    let entries = obs::parse_dump(&dumps[0]).unwrap();
+    // The drifted epoch's digest is in the dump (recorded before the
+    // self-check runs), with the forced epoch's fallback decision.
+    assert!(entries.iter().any(|e| matches!(
+        e,
+        obs::FlightEntry::Epoch { digest, .. }
+            if digest.epoch == 2 && digest.decision == obs::RemovalDecision::FallbackRebuild
+    )));
+    assert!(entries.iter().any(|e| matches!(
+        e,
+        obs::FlightEntry::Note { label, .. } if label.contains("drift")
+    )));
+    // The engine keeps serving after the dump.
+    h.ingest(vec![ServeOp::insert(vec![0.3])]).unwrap();
+    assert_eq!(h.drain().unwrap().snapshot.epoch(), 3);
+}
+
+#[test]
+fn scheduled_self_check_passes_quietly_on_a_healthy_engine() {
+    // With real (unforced) self-checks every epoch, a healthy engine
+    // must detect no drift and write no artifact.
+    let tmp = TempDir::new("healthy");
+    let h = ServingMuDbscan::spawn_with(
+        2,
+        params(),
+        ServeOptions {
+            postmortem_dir: Some(tmp.0.clone()),
+            self_check_every: Some(1),
+            ..Default::default()
+        },
+    );
+    let ids = h
+        .ingest(
+            [[0.0, 0.0], [0.5, 0.0], [0.0, 0.5], [5.0, 5.0]]
+                .iter()
+                .map(|r| ServeOp::insert(r.to_vec()))
+                .collect(),
+        )
+        .unwrap();
+    h.ingest(vec![ServeOp::delete(ids[1]), ServeOp::insert(vec![0.2, 0.2])]).unwrap();
+    h.drain().unwrap();
+    assert_eq!(h.stats().drift_detections(), 0);
+    assert!(read_artifacts(&tmp.0).is_empty(), "healthy engine must not dump");
+}
