@@ -1,5 +1,6 @@
 //! The shared error type of the facade.
 
+use data::StoreError;
 use dist::DistError;
 use stream::ServeError;
 
@@ -14,7 +15,10 @@ use stream::ServeError;
 /// handle used after its writer thread shut down, or a postmortem
 /// artifact that could not be written
 /// ([`stream::ServeError::Postmortem`], an I/O failure that leaves the
-/// engine itself serving).
+/// engine itself serving), and on-disk dataset failures surfaced as
+/// [`StoreError`] — a truncated or corrupt chunk store, a dimension
+/// mismatch between the store header and the runner, or a plain
+/// filesystem error while writing or mapping chunks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MuDbscanError {
     /// The builder was given an inconsistent configuration (the message
@@ -24,6 +28,8 @@ pub enum MuDbscanError {
     Dist(DistError),
     /// A serving-layer operation failed.
     Serve(ServeError),
+    /// An on-disk dataset (chunked store) operation failed.
+    Io(StoreError),
 }
 
 impl std::fmt::Display for MuDbscanError {
@@ -32,6 +38,7 @@ impl std::fmt::Display for MuDbscanError {
             MuDbscanError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MuDbscanError::Dist(e) => write!(f, "distributed run failed: {e}"),
             MuDbscanError::Serve(e) => write!(f, "serving operation failed: {e}"),
+            MuDbscanError::Io(e) => write!(f, "dataset store operation failed: {e}"),
         }
     }
 }
@@ -41,6 +48,7 @@ impl std::error::Error for MuDbscanError {
         match self {
             MuDbscanError::Dist(e) => Some(e),
             MuDbscanError::Serve(e) => Some(e),
+            MuDbscanError::Io(e) => Some(e),
             MuDbscanError::InvalidConfig(_) => None,
         }
     }
@@ -55,5 +63,11 @@ impl From<DistError> for MuDbscanError {
 impl From<ServeError> for MuDbscanError {
     fn from(e: ServeError) -> Self {
         MuDbscanError::Serve(e)
+    }
+}
+
+impl From<StoreError> for MuDbscanError {
+    fn from(e: StoreError) -> Self {
+        MuDbscanError::Io(e)
     }
 }

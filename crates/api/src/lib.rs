@@ -8,13 +8,17 @@
 //! `use mudbscan::…` code keeps compiling unchanged, and adds:
 //!
 //! * [`prelude::Runner`] — one fluent builder that constructs any of the
-//!   six algorithm families (sequential, parallel, distributed,
-//!   streaming, OPTICS, serving) behind the common [`prelude::Cluster`]
-//!   trait, plus [`prelude::Runner::serve`] for the long-running
-//!   concurrent service shape (`docs/SERVING.md`);
+//!   seven algorithm families (sequential, parallel, distributed,
+//!   out-of-core sharded, streaming, OPTICS, serving) behind the common
+//!   [`prelude::Cluster`] trait, plus [`prelude::Runner::serve`] for
+//!   the long-running concurrent service shape (`docs/SERVING.md`);
+//! * [`prelude::Runner::run_source`] — clustering over any
+//!   [`geom::DataSource`], including the memory-mapped on-disk chunk
+//!   store ([`data::ChunkedStore`]) that feeds the sharded executor
+//!   without materialising the dataset;
 //! * [`MuDbscanError`] — the shared error enum every facade-driven `run`
-//!   returns (wrapping [`dist::DistError`], `stream::ServeError`, and
-//!   configuration errors).
+//!   returns (wrapping [`dist::DistError`], `stream::ServeError`,
+//!   `data::StoreError`, and configuration errors).
 //!
 //! The per-family constructors (`MuDbscan::from_params`,
 //! `ParMuDbscan::from_params`, `MuDbscanD::from_params`,

@@ -1,4 +1,4 @@
-//! One fluent builder over all six algorithm families.
+//! One fluent builder over all seven algorithm families.
 //!
 //! [`Runner`] replaces the four divergent constructor shapes
 //! (`new(params)`, `new(params, threads)`, `new(dim, params)`,
@@ -21,24 +21,42 @@
 //! ```
 //!
 //! The family is inferred — `.ranks(p)` selects [`Family::Distributed`],
-//! otherwise `.threads(t > 1)` selects [`Family::Parallel`], otherwise
-//! [`Family::Sequential`] — or forced with [`Runner::family`] (the only
-//! way to reach [`Family::Streaming`], [`Family::Optics`], and the
-//! batch shape of [`Family::Serving`]). Configuration that a family
-//! cannot honour (a fault plan outside `Distributed`, worker threads on
-//! the inherently sequential families, ablation knobs outside
-//! `Sequential`) is an [`MuDbscanError::InvalidConfig`] at build time,
-//! never silently ignored.
+//! otherwise `.shards(s)` / `.memory_budget(b)` select
+//! [`Family::Sharded`], otherwise `.threads(t > 1)` selects
+//! [`Family::Parallel`], otherwise [`Family::Sequential`] — or forced
+//! with [`Runner::family`] (the only way to reach
+//! [`Family::Streaming`], [`Family::Optics`], and the batch shape of
+//! [`Family::Serving`]). Configuration that a family cannot honour (a
+//! fault plan outside `Distributed`, a shard count or memory budget
+//! outside `Sharded`, worker threads on the inherently sequential
+//! families, ablation knobs outside `Sequential`) is an
+//! [`MuDbscanError::InvalidConfig`] at build time, never silently
+//! ignored.
 //!
-//! The sixth family is special: besides the one-shot batch shape above,
-//! [`Runner::serve`] starts the long-running concurrent service and
-//! hands back a [`ServeHandle`] for batched ingest (inserts, deletions,
-//! TTL expiry) and snapshot-isolated queries — see `docs/SERVING.md`.
+//! Inputs need not be in memory: [`Runner::run_source`] clusters any
+//! [`DataSource`] — the in-memory [`Dataset`], or a memory-mapped
+//! on-disk [`ChunkedStore`] written by [`write_store`] — and
+//! [`Runner::run`] is a thin wrapper over it. The [`Family::Sharded`]
+//! executor streams shards from the source under the configured memory
+//! budget; its output is deterministic across shard counts, budgets
+//! and thread counts — bit-identical to [`naive_dbscan`]'s canonical
+//! border rule, and paper-exact against every in-memory family (same
+//! cores, core partition and noise; DBSCAN leaves border ties
+//! order-defined). See `docs/API.md` for the out-of-core cookbook.
+//!
+//! The serving family is special: besides the one-shot batch shape
+//! above, [`Runner::serve`] starts the long-running concurrent service
+//! and hands back a [`ServeHandle`] for batched ingest (inserts,
+//! deletions, TTL expiry) and snapshot-isolated queries — tuned via
+//! [`Runner::serve_options`]; see `docs/SERVING.md`.
 
 pub use crate::error::MuDbscanError;
 pub use cluster_sim::{Fault, FaultPlan, FaultStats, RankClock, RetryConfig};
-pub use dist::{DistError, FaultConfig};
-pub use geom::{Dataset, DbscanParams, PointId};
+pub use data::{write_store, ChunkedStore, StoreError, StoreWriter};
+pub use dist::{DistError, FaultConfig, ShardedOutput};
+pub use geom::{
+    gather_dense, Cols, DataSource, Dataset, DbscanParams, PointId, SourceChunk, DEFAULT_CHUNK_CAP,
+};
 pub use mcs::{BuildOptions, ParBuildStats};
 pub use metrics::{Counters, PhaseTimer};
 pub use mudbscan_core::{naive_dbscan, Clustering, NOISE};
@@ -47,12 +65,12 @@ pub use stream::{
     ServeStats, ServingMuDbscan, Snapshot,
 };
 
-use dist::{DistConfig, MuDbscanD};
+use dist::{DistConfig, MuDbscanD, ShardedMuDbscan, ShardedOptions};
 use mudbscan_core::{MuDbscan, ParMuDbscan};
 use optics::{extract_dbscan, Optics};
 use stream::StreamingMuDbscan;
 
-/// The six algorithm families the facade can construct.
+/// The seven algorithm families the facade can construct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Sequential μDBSCAN (paper §IV).
@@ -61,6 +79,11 @@ pub enum Family {
     Parallel,
     /// μDBSCAN-D over the BSP cluster simulator (paper §V).
     Distributed,
+    /// Out-of-core sharded μDBSCAN: spatial shards cut to a memory
+    /// budget, clustered on OS threads, merged exactly — bit-identical
+    /// to [`naive_dbscan`] for any shard geometry. The one family that
+    /// can stream a [`ChunkedStore`] without materialising the dataset.
+    Sharded,
     /// Insertion-incremental μDBSCAN, bulk-loaded from the dataset.
     Streaming,
     /// OPTICS ordering with DBSCAN extraction at the generating ε.
@@ -77,6 +100,7 @@ impl Family {
             Family::Sequential => "Sequential",
             Family::Parallel => "Parallel",
             Family::Distributed => "Distributed",
+            Family::Sharded => "Sharded",
             Family::Streaming => "Streaming",
             Family::Optics => "Optics",
             Family::Serving => "Serving",
@@ -121,6 +145,33 @@ pub enum RunDetails {
         /// Fault/recovery counters (all zero on a fault-free run).
         fault_stats: FaultStats,
     },
+    /// Sharded (out-of-core) run extras. The wall-clock fields follow
+    /// the makespan convention of `dist::sharded`: on a single-core
+    /// host the per-shard work runs serialised, so `makespan_secs`
+    /// (plan + max per-worker busy time + merge) is the modelled
+    /// parallel wall time while `wall_secs` is what this host measured.
+    Sharded {
+        /// Spatial shards the planner cut.
+        n_shards: usize,
+        /// Worker threads the shard work ran on.
+        threads: usize,
+        /// Planning wall time (streaming passes over the source).
+        plan_secs: f64,
+        /// Sequential merge wall time.
+        merge_secs: f64,
+        /// Maximum per-worker thread-CPU busy time.
+        busy_max_secs: f64,
+        /// Modelled parallel makespan (plan + busy max + merge).
+        makespan_secs: f64,
+        /// Measured end-to-end wall time on this host.
+        wall_secs: f64,
+        /// Peak combined resident shard bytes (own + halo coords/ids).
+        peak_resident_bytes: usize,
+        /// Halo points gathered across all shards.
+        halo_points: u64,
+        /// Cross-shard candidate edges examined by the merge.
+        edges: u64,
+    },
     /// Streaming runs have no extras beyond the snapshot clustering.
     Streaming,
     /// Serving-run extras (batch shape: one ingest epoch, then drain).
@@ -163,7 +214,7 @@ pub trait Cluster: Sync {
     fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError>;
 }
 
-/// Fluent builder over the six families. See the [module docs](self)
+/// Fluent builder over the seven families. See the [module docs](self)
 /// for the inference rules; every knob is validated against the resolved
 /// family by [`Runner::build`].
 #[derive(Debug, Clone)]
@@ -172,7 +223,10 @@ pub struct Runner {
     family: Option<Family>,
     threads: usize,
     ranks: Option<usize>,
+    shards: Option<usize>,
+    memory_budget: Option<usize>,
     opts: Option<BuildOptions>,
+    serve_opts: Option<ServeOptions>,
     faults: Option<FaultConfig>,
     threaded_ranks: bool,
     disable_dynamic_promotion: bool,
@@ -187,7 +241,10 @@ impl Runner {
             family: None,
             threads: 1,
             ranks: None,
+            shards: None,
+            memory_budget: None,
             opts: None,
+            serve_opts: None,
             faults: None,
             threaded_ranks: false,
             disable_dynamic_promotion: false,
@@ -201,9 +258,10 @@ impl Runner {
         self
     }
 
-    /// Worker threads: the thread-pool size for [`Family::Parallel`], or
-    /// the per-rank local threads for [`Family::Distributed`]. Selects
-    /// `Parallel` when `> 1` and no other family is implied.
+    /// Worker threads: the thread-pool size for [`Family::Parallel`],
+    /// the per-rank local threads for [`Family::Distributed`], or the
+    /// OS worker threads of [`Family::Sharded`]. Selects `Parallel`
+    /// when `> 1` and no other family is implied.
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "threads must be >= 1");
         self.threads = threads;
@@ -218,9 +276,44 @@ impl Runner {
         self
     }
 
+    /// Minimum spatial shard count for the out-of-core executor;
+    /// selects [`Family::Sharded`] unless a family was forced or
+    /// [`Runner::ranks`] implies `Distributed`. The planner may cut
+    /// *more* shards to honour a memory budget, never fewer.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shards must be >= 1");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Total memory budget in bytes for the out-of-core executor;
+    /// selects [`Family::Sharded`] unless a family was forced. The
+    /// planner sizes shards so that the `threads` concurrently resident
+    /// shards (own points + ε-halo, double-buffered) fit the budget.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 1, "the memory budget must be positive");
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Override micro-cluster construction options.
     pub fn options(mut self, opts: BuildOptions) -> Self {
         self.opts = Some(opts);
+        self
+    }
+
+    /// Serving-layer options for [`Runner::serve`] (and the batch shape
+    /// of [`Family::Serving`]): the deletion-repair budget
+    /// ([`ServeOptions::repair_budget`], whose default adapts to the
+    /// live set size and whose `Some(0)` rebuilds on every structural
+    /// deletion — the baseline the benchmark suite compares against),
+    /// plus the telemetry knobs — flight-recorder capacity, postmortem
+    /// directory, and the exactness self-check cadence
+    /// ([`ServeOptions::self_check_every`]). None of them changes
+    /// published results. Setting this on any other family is an
+    /// [`MuDbscanError::InvalidConfig`].
+    pub fn serve_options(mut self, opts: ServeOptions) -> Self {
+        self.serve_opts = Some(opts);
         self
     }
 
@@ -262,6 +355,8 @@ impl Runner {
         self.family.unwrap_or({
             if self.ranks.is_some() {
                 Family::Distributed
+            } else if self.shards.is_some() || self.memory_budget.is_some() {
+                Family::Sharded
             } else if self.threads > 1 {
                 Family::Parallel
             } else {
@@ -290,16 +385,29 @@ impl Runner {
                 return bad("threaded rank execution");
             }
         }
+        if !matches!(family, Family::Sharded) {
+            if self.shards.is_some() {
+                return bad("a shard count");
+            }
+            if self.memory_budget.is_some() {
+                return bad("a memory budget");
+            }
+        }
         if !matches!(family, Family::Sequential)
             && (self.disable_dynamic_promotion || self.disable_post_core_mc_skip)
         {
             return bad("an ablation knob");
         }
-        if !matches!(family, Family::Parallel | Family::Distributed) && self.threads > 1 {
+        if !matches!(family, Family::Parallel | Family::Distributed | Family::Sharded)
+            && self.threads > 1
+        {
             return bad("a worker-thread count");
         }
         if matches!(family, Family::Streaming | Family::Serving) && self.opts.is_some() {
             return bad("a build-options override");
+        }
+        if !matches!(family, Family::Serving) && self.serve_opts.is_some() {
+            return bad("a serving-options override");
         }
         Ok(())
     }
@@ -341,8 +449,12 @@ impl Runner {
                 }
                 Box::new(DistRun { algo })
             }
+            Family::Sharded => Box::new(ShardedRun { algo: self.sharded_algo() }),
             Family::Streaming => Box::new(Streaming { params: self.params }),
-            Family::Serving => Box::new(ServeRun { params: self.params }),
+            Family::Serving => Box::new(ServeRun {
+                params: self.params,
+                opts: self.serve_opts.clone().unwrap_or_default(),
+            }),
             Family::Optics => {
                 let mut algo = Optics::from_params(self.params);
                 if let Some(opts) = self.opts {
@@ -353,33 +465,73 @@ impl Runner {
         })
     }
 
-    /// Build and run in one step.
+    fn sharded_algo(&self) -> ShardedMuDbscan {
+        ShardedMuDbscan::new(
+            self.params,
+            ShardedOptions {
+                shards: self.shards,
+                memory_budget: self.memory_budget,
+                threads: self.threads,
+                build: self.opts.unwrap_or_default(),
+            },
+        )
+    }
+
+    /// Build and run in one step. Equivalent to
+    /// [`Runner::run_source`] — the in-memory [`Dataset`] is just one
+    /// [`DataSource`].
     pub fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
-        self.build()?.run(data)
+        self.run_source(data)
+    }
+
+    /// Build and run against any [`DataSource`] — the in-memory
+    /// [`Dataset`] or a memory-mapped on-disk [`ChunkedStore`].
+    ///
+    /// [`Family::Sharded`] streams shards straight from the source
+    /// (chunks are never materialised as one dense array); every other
+    /// family needs the dense dataset, so a source that is not already
+    /// a [`Dataset`] is gathered once via [`gather_dense`].
+    ///
+    /// ```
+    /// use mudbscan::prelude::*;
+    ///
+    /// let data = Dataset::from_rows(&[vec![0.0], vec![0.05], vec![0.1], vec![9.0]]);
+    /// let dir = std::env::temp_dir().join("mudbscan-doc-run-source");
+    /// std::fs::create_dir_all(&dir).unwrap();
+    /// let path = dir.join("tiny.muds");
+    /// write_store(&data, &path, 2).unwrap();
+    /// let store = ChunkedStore::open(&path).unwrap();
+    ///
+    /// let p = DbscanParams::new(0.2, 3);
+    /// let in_mem = Runner::new(p).run(&data).unwrap();
+    /// let sharded = Runner::new(p).shards(2).run_source(&store).unwrap();
+    /// assert_eq!(in_mem.clustering, sharded.clustering); // bit-identical
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
+    pub fn run_source(&self, src: &dyn DataSource) -> Result<RunOutput, MuDbscanError> {
+        let family = self.resolved_family();
+        self.validate(family)?;
+        if matches!(family, Family::Sharded) {
+            return Ok(sharded_run_output(self.sharded_algo().run_source(src)));
+        }
+        match src.as_dataset() {
+            Some(data) => self.build()?.run(data),
+            None => self.build()?.run(&gather_dense(src)),
+        }
     }
 
     /// Start the long-running serving engine ([`Family::Serving`]) for
     /// `dim`-dimensional points and return a [`ServeHandle`] for
     /// batched ingest (inserts, deletions, TTL expiry) and
-    /// snapshot-isolated queries. The configuration is validated like
-    /// any other build: forcing a different family first, or setting a
-    /// knob the serving engine cannot honour, is an
-    /// [`MuDbscanError::InvalidConfig`]. See `docs/SERVING.md` for the
-    /// architecture and the exactness contract.
+    /// snapshot-isolated queries. The engine honours the options set
+    /// via [`Runner::serve_options`] (defaults otherwise); the running
+    /// engine's telemetry is polled via [`ServeHandle::stats`]. The
+    /// configuration is validated like any other build: forcing a
+    /// different family first, or setting a knob the serving engine
+    /// cannot honour, is an [`MuDbscanError::InvalidConfig`]. See
+    /// `docs/SERVING.md` for the architecture and the exactness
+    /// contract.
     pub fn serve(&self, dim: usize) -> Result<ServeHandle, MuDbscanError> {
-        self.serve_with(dim, ServeOptions::default())
-    }
-
-    /// [`Runner::serve`] with explicit serving-layer options: the
-    /// deletion-repair budget ([`ServeOptions::repair_budget`], whose
-    /// default adapts to the live set size and whose `Some(0)` rebuilds
-    /// on every structural deletion — the baseline the benchmark suite
-    /// compares against), plus the telemetry knobs — flight-recorder
-    /// capacity, postmortem directory, and the exactness self-check
-    /// cadence ([`ServeOptions::self_check_every`]). None of them
-    /// changes published results. The running engine's telemetry is
-    /// polled via [`ServeHandle::stats`].
-    pub fn serve_with(&self, dim: usize, opts: ServeOptions) -> Result<ServeHandle, MuDbscanError> {
         if let Some(f) = self.family {
             if !matches!(f, Family::Serving) {
                 return Err(MuDbscanError::InvalidConfig(format!(
@@ -394,7 +546,16 @@ impl Runner {
                 "the served point dimension must be positive".into(),
             ));
         }
+        let opts = self.serve_opts.clone().unwrap_or_default();
         Ok(ServingMuDbscan::spawn_with(dim, self.params, opts))
+    }
+
+    /// Deprecated spelling of `serve_options(opts).serve(dim)`; one-PR
+    /// deprecation shim per the facade's deprecation policy
+    /// (`docs/API.md`) — it will be removed in the next PR.
+    #[deprecated(note = "use Runner::serve_options(opts).serve(dim) instead")]
+    pub fn serve_with(&self, dim: usize, opts: ServeOptions) -> Result<ServeHandle, MuDbscanError> {
+        self.clone().serve_options(opts).serve(dim)
     }
 
     /// The sorted k-distance sample of `data` (descending): each
@@ -492,6 +653,40 @@ impl Cluster for DistRun {
     }
 }
 
+struct ShardedRun {
+    algo: ShardedMuDbscan,
+}
+
+fn sharded_run_output(out: ShardedOutput) -> RunOutput {
+    let mut phases = PhaseTimer::new();
+    phases.add_secs("planning", out.plan_wall_secs);
+    phases.add_secs("shard clustering", out.busy_max_secs);
+    phases.add_secs("merging", out.merge_wall_secs);
+    RunOutput {
+        clustering: out.clustering,
+        counters: out.counters,
+        phases,
+        details: RunDetails::Sharded {
+            n_shards: out.n_shards,
+            threads: out.threads,
+            plan_secs: out.plan_wall_secs,
+            merge_secs: out.merge_wall_secs,
+            busy_max_secs: out.busy_max_secs,
+            makespan_secs: out.makespan_secs,
+            wall_secs: out.wall_secs,
+            peak_resident_bytes: out.peak_resident_bytes,
+            halo_points: out.halo_points,
+            edges: out.edges,
+        },
+    }
+}
+
+impl Cluster for ShardedRun {
+    fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
+        Ok(sharded_run_output(self.algo.run_source(data)))
+    }
+}
+
 struct Streaming {
     params: DbscanParams,
 }
@@ -513,11 +708,12 @@ impl Cluster for Streaming {
 
 struct ServeRun {
     params: DbscanParams,
+    opts: ServeOptions,
 }
 
 impl Cluster for ServeRun {
     fn run(&self, data: &Dataset) -> Result<RunOutput, MuDbscanError> {
-        let handle = ServingMuDbscan::spawn(data.dim(), self.params);
+        let handle = ServingMuDbscan::spawn_with(data.dim(), self.params, self.opts.clone());
         handle.ingest(data.iter().map(|(_, c)| ServeOp::insert(c.to_vec())).collect())?;
         let drained = handle.shutdown()?;
         Ok(RunOutput {
@@ -569,6 +765,9 @@ mod tests {
         assert_eq!(Runner::new(p).threads(4).resolved_family(), Family::Parallel);
         assert_eq!(Runner::new(p).ranks(4).resolved_family(), Family::Distributed);
         assert_eq!(Runner::new(p).threads(4).ranks(4).resolved_family(), Family::Distributed);
+        assert_eq!(Runner::new(p).shards(4).resolved_family(), Family::Sharded);
+        assert_eq!(Runner::new(p).memory_budget(1 << 20).resolved_family(), Family::Sharded);
+        assert_eq!(Runner::new(p).threads(4).shards(2).resolved_family(), Family::Sharded);
         assert_eq!(Runner::new(p).family(Family::Streaming).resolved_family(), Family::Streaming);
     }
 
@@ -588,6 +787,15 @@ mod tests {
             Runner::new(p).threads(2).disable_dynamic_promotion(true), // knob on Parallel
             Runner::new(p).ranks(2).disable_post_core_mc_skip(true),   // knob on Distributed
             Runner::new(p).family(Family::Sequential).threaded_ranks(),
+            Runner::new(p).family(Family::Sequential).shards(2), // shards on forced Seq
+            Runner::new(p).family(Family::Parallel).threads(2).memory_budget(1 << 20),
+            Runner::new(p).ranks(2).shards(2), // ranks win inference; shards clash
+            Runner::new(p).family(Family::Optics).memory_budget(1 << 20),
+            Runner::new(p).family(Family::Streaming).shards(2),
+            Runner::new(p).shards(2).disable_dynamic_promotion(true), // knob on Sharded
+            Runner::new(p).shards(2).fault_plan(FaultPlan::new(1)),   // faults on Sharded
+            Runner::new(p).serve_options(ServeOptions::default()), // serve opts on Sequential
+            Runner::new(p).shards(2).serve_options(ServeOptions::default()),
         ] {
             match bad.build() {
                 Err(MuDbscanError::InvalidConfig(msg)) => {
@@ -599,7 +807,7 @@ mod tests {
     }
 
     #[test]
-    fn all_six_families_run_and_agree() {
+    fn all_seven_families_run_and_agree() {
         let data = tiny();
         let p = DbscanParams::new(0.5, 3);
         let reference = naive_dbscan(&data, &p);
@@ -607,6 +815,8 @@ mod tests {
             Runner::new(p),
             Runner::new(p).threads(2),
             Runner::new(p).ranks(2),
+            Runner::new(p).shards(2),
+            Runner::new(p).shards(2).threads(2).memory_budget(1 << 20),
             Runner::new(p).family(Family::Streaming),
             Runner::new(p).family(Family::Optics),
             Runner::new(p).family(Family::Serving),
@@ -635,13 +845,14 @@ mod tests {
     }
 
     #[test]
-    fn serve_with_budget_zero_still_serves_exactly() {
+    fn serve_options_budget_zero_still_serves_exactly() {
         // `repair_budget: Some(0)` (rebuild on every structural delete)
         // must be reachable from the facade and stay exact.
         let data = tiny();
         let p = DbscanParams::new(0.5, 3);
         let handle = Runner::new(p)
-            .serve_with(2, ServeOptions { repair_budget: Some(0), ..Default::default() })
+            .serve_options(ServeOptions { repair_budget: Some(0), ..Default::default() })
+            .serve(2)
             .unwrap();
         let ids =
             handle.ingest(data.iter().map(|(_, c)| ServeOp::insert(c.to_vec())).collect()).unwrap();
@@ -651,6 +862,58 @@ mod tests {
             Dataset::from_rows(&data.iter().skip(1).map(|(_, c)| c.to_vec()).collect::<Vec<_>>());
         let oracle = naive_dbscan(&survivors, &p);
         assert_eq!(*drained.snapshot.clustering(), oracle);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn serve_with_shim_still_works_one_more_pr() {
+        // PR-5 deprecation policy: the old spelling keeps working for
+        // exactly one PR. This pin fails to compile when `serve_with`
+        // is deleted, reminding the remover to drop this test with it.
+        let p = DbscanParams::new(0.5, 3);
+        let handle = Runner::new(p).serve_with(2, ServeOptions::default()).unwrap();
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn run_source_store_matches_in_memory_for_all_batch_families() {
+        // A mmap-backed store fed through run_source must agree with
+        // the in-memory dataset for every family: Sharded streams the
+        // chunks, everything else goes through the gather_dense path.
+        let data = tiny();
+        let p = DbscanParams::new(0.5, 3);
+        let dir = std::env::temp_dir().join("mudbscan-api-run-source");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.muds");
+        write_store(&data, &path, 3).unwrap();
+        let store = ChunkedStore::open(&path).unwrap();
+        let reference = naive_dbscan(&data, &p);
+        for runner in [
+            Runner::new(p),
+            Runner::new(p).threads(2),
+            Runner::new(p).ranks(2),
+            Runner::new(p).shards(2),
+            Runner::new(p).memory_budget(1 << 20),
+            Runner::new(p).family(Family::Streaming),
+            Runner::new(p).family(Family::Optics),
+        ] {
+            let family = runner.resolved_family();
+            let out = runner.run_source(&store).unwrap_or_else(|e| panic!("{family:?}: {e}"));
+            assert_eq!(out.clustering, reference, "{family:?} disagrees on the store");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_open_errors_surface_as_io() {
+        let dir = std::env::temp_dir().join("mudbscan-api-io-error");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bogus.muds");
+        std::fs::write(&path, b"not a store").unwrap();
+        let err = MuDbscanError::from(ChunkedStore::open(&path).err().expect("must fail"));
+        assert!(matches!(err, MuDbscanError::Io(_)));
+        assert!(err.to_string().contains("dataset store operation failed"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -715,5 +978,15 @@ mod tests {
             RunDetails::Optics { order, .. } => assert_eq!(order.len(), data.len()),
             other => panic!("expected Optics details, got {other:?}"),
         }
+        let out = Runner::new(p).shards(2).run(&data).unwrap();
+        match out.details {
+            RunDetails::Sharded { n_shards, threads, peak_resident_bytes, .. } => {
+                assert!(n_shards >= 2);
+                assert_eq!(threads, 1);
+                assert!(peak_resident_bytes > 0);
+            }
+            other => panic!("expected Sharded details, got {other:?}"),
+        }
+        assert!(out.phases.secs("merging") >= 0.0);
     }
 }

@@ -169,15 +169,13 @@ fn run_check() -> Result<(), String> {
     std::fs::remove_dir_all(&dir).ok();
     let params = geom::DbscanParams::new(1.0, 3);
     let handle = Runner::new(params)
-        .serve_with(
-            1,
-            ServeOptions {
-                repair_budget: Some(0),
-                force_drift_at: Some(2),
-                postmortem_dir: Some(dir.clone()),
-                ..Default::default()
-            },
-        )
+        .serve_options(ServeOptions {
+            repair_budget: Some(0),
+            force_drift_at: Some(2),
+            postmortem_dir: Some(dir.clone()),
+            ..Default::default()
+        })
+        .serve(1)
         .map_err(|e| format!("spawn failed: {e}"))?;
 
     let mut series = obs::LiveSeries::new();

@@ -579,6 +579,104 @@ pub fn diff(baseline: &Json, candidate: &Json, cfg: &DiffConfig) -> Result<DiffR
         }
     }
 
+    // Sharded arm (schema v9). The exactness bits — t1 ≡ t4, both ≡ the
+    // in-memory run, the overlap ≡ the naive oracle — are fail-closed at
+    // emission at every size, so they gate in every mode. The numeric
+    // metrics only compare when both files ran the arm at the same
+    // sharded `n` (its scale knob, `EMIT_BENCH_SHARDED_N`, is
+    // independent of `points_per_workload`): timings with the timing
+    // tolerance, plan-determined work (shard counts, halo sizes, edge
+    // counts, cluster shapes) exactly. `peak_resident_bytes` is
+    // deliberately not diffed — at t ≥ 2 the set of concurrently
+    // resident shards depends on scheduling; the schema gate
+    // (`budget_respected`) bounds it instead.
+    if let (Some(bs), Some(cs)) = (baseline.get("sharded_scale"), candidate.get("sharded_scale")) {
+        let ctx = "sharded_scale";
+        d.report.compared += 1;
+        if cs.get("identical_t1_t4").and_then(Json::as_bool) != Some(true) {
+            d.push(
+                ctx,
+                "identical_t1_t4",
+                1.0,
+                0.0,
+                Severity::Regression,
+                "sharded t1 and t4 no longer bit-identical".to_string(),
+            );
+        }
+        d.report.compared += 1;
+        if cs
+            .get("oracle_overlap")
+            .and_then(|o| o.get("matches_oracle"))
+            .and_then(Json::as_bool)
+            != Some(true)
+        {
+            d.push(
+                ctx,
+                "oracle_overlap/matches_oracle",
+                1.0,
+                0.0,
+                Severity::Regression,
+                "sharded overlap run no longer matches the naive oracle".to_string(),
+            );
+        }
+        let empty = Vec::new();
+        let b_arms = bs.get("arms").and_then(Json::as_array).unwrap_or(&empty);
+        let c_arms = cs.get("arms").and_then(Json::as_array).unwrap_or(&empty);
+        let same_sharded_n = f(bs, "n").is_some() && f(bs, "n") == f(cs, "n");
+        for ba in b_arms {
+            let Some(label) = ba.get("label").and_then(Json::as_str) else { continue };
+            let actx = format!("{ctx}/{label}");
+            let Some(ca) =
+                c_arms.iter().find(|a| a.get("label").and_then(Json::as_str) == Some(label))
+            else {
+                d.push(
+                    &actx,
+                    "arm",
+                    1.0,
+                    f64::NAN,
+                    Severity::Regression,
+                    "sharded arm missing from candidate".to_string(),
+                );
+                continue;
+            };
+            d.report.compared += 1;
+            if ca.get("matches_in_memory").and_then(Json::as_bool) != Some(true) {
+                d.push(
+                    &actx,
+                    "matches_in_memory",
+                    1.0,
+                    0.0,
+                    Severity::Regression,
+                    "sharded arm no longer matches the in-memory run".to_string(),
+                );
+            }
+            if !same_sharded_n {
+                continue;
+            }
+            for metric in ["makespan_secs", "wall_secs", "plan_secs", "merge_secs", "busy_max_secs"]
+            {
+                if let (Some(b), Some(c)) = (f(ba, metric), f(ca, metric)) {
+                    d.time_metric(&actx, metric, b, c);
+                }
+            }
+            for metric in ["n_shards", "halo_points", "edges", "clusters", "noise", "border_ties"]
+            {
+                if let (Some(b), Some(c)) = (f(ba, metric), f(ca, metric)) {
+                    d.work_metric(&actx, metric, b, c);
+                }
+            }
+        }
+    } else if baseline.get("sharded_scale").is_some() {
+        d.push(
+            "sharded_scale",
+            "sharded_scale",
+            1.0,
+            f64::NAN,
+            Severity::Regression,
+            "sharded_scale block missing from candidate".to_string(),
+        );
+    }
+
     // Instrumentation overhead: absolute percentage points, same-scale
     // only (tiny smoke runs make the percentage meaningless).
     if full {
@@ -884,6 +982,78 @@ mod tests {
                 rep.render()
             );
         }
+    }
+
+    /// Attach a schema-v9 `sharded_scale` block to the mini trajectory.
+    fn with_sharded(n: f64, identical: bool, matches: bool, edges: f64) -> Json {
+        let mut j = mini(1000.0, 0.5, 4000.0, 80.0);
+        let block = Json::parse(&format!(
+            r#"{{"dataset": "DGB", "n": {n}, "raw_bytes": 24000000,
+                 "memory_budget_bytes": 12000000, "shards_requested": 8,
+                 "identical_t1_t4": {identical}, "budget_respected": true,
+                 "speedup_t1_t4": 3.4,
+                 "oracle_overlap": {{"n": 10000, "matches_oracle": true}},
+                 "arms": [
+                   {{"label": "sharded_t1", "threads": 1, "n_shards": 8,
+                     "makespan_secs": 30.0, "wall_secs": 31.0,
+                     "plan_secs": 1.0, "merge_secs": 2.0, "busy_max_secs": 27.0,
+                     "halo_points": 5000, "edges": {edges},
+                     "clusters": 7, "noise": 20,
+                     "matches_in_memory": {matches}}},
+                   {{"label": "sharded_t4", "threads": 4, "n_shards": 16,
+                     "makespan_secs": 9.0, "wall_secs": 31.0,
+                     "plan_secs": 1.0, "merge_secs": 2.0, "busy_max_secs": 6.0,
+                     "halo_points": 6000, "edges": {edges},
+                     "clusters": 7, "noise": 20,
+                     "matches_in_memory": true}}
+                 ]}}"#
+        ))
+        .unwrap();
+        j.set("sharded_scale", block);
+        j
+    }
+
+    #[test]
+    fn sharded_exactness_bits_gate_in_every_mode() {
+        let base = with_sharded(1e6, true, true, 900.0);
+        let rep = diff(&base, &base, &DiffConfig::default()).unwrap();
+        assert!(!rep.has_regressions(), "{}", rep.render());
+
+        for cfg in [DiffConfig::default(), DiffConfig { scale_free: true, ..DiffConfig::default() }]
+        {
+            let broken = with_sharded(1e6, false, true, 900.0);
+            let rep = diff(&base, &broken, &cfg).unwrap();
+            assert!(
+                rep.regressions().iter().any(|f| f.metric == "identical_t1_t4"),
+                "{}",
+                rep.render()
+            );
+            let drifted = with_sharded(1e6, true, false, 900.0);
+            let rep = diff(&base, &drifted, &cfg).unwrap();
+            assert!(
+                rep.regressions().iter().any(|f| f.metric == "matches_in_memory"),
+                "{}",
+                rep.render()
+            );
+        }
+
+        // Dropping the block entirely is a regression.
+        let rep = diff(&base, &mini(1000.0, 0.5, 4000.0, 80.0), &DiffConfig::default()).unwrap();
+        assert!(rep.regressions().iter().any(|f| f.metric == "sharded_scale"), "{}", rep.render());
+    }
+
+    #[test]
+    fn sharded_plan_metrics_diff_exactly_at_same_n_only() {
+        let base = with_sharded(1e6, true, true, 900.0);
+        // Same sharded n: an edge-count drift is a behaviour change.
+        let drifted = with_sharded(1e6, true, true, 901.0);
+        let rep = diff(&base, &drifted, &DiffConfig::default()).unwrap();
+        assert!(rep.regressions().iter().any(|f| f.metric == "edges"), "{}", rep.render());
+        // Different sharded n (the CI smoke job): numeric compare skips,
+        // only the exactness bits gate.
+        let smoke = with_sharded(5e4, true, true, 42.0);
+        let rep = diff(&base, &smoke, &DiffConfig::default()).unwrap();
+        assert!(!rep.has_regressions(), "{}", rep.render());
     }
 
     #[test]

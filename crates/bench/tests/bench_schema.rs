@@ -1,4 +1,4 @@
-//! Validate the committed `BENCH_PR9.json` trajectory against the schema
+//! Validate the committed `BENCH_PR10.json` trajectory against the schema
 //! documented in `docs/BENCH_SCHEMA.md`.
 //!
 //! The CI perf-smoke job points `BENCH_SCHEMA_FILE` at a freshly emitted
@@ -41,7 +41,7 @@ fn trajectory_path() -> std::path::PathBuf {
         return p.into();
     }
     // crates/bench -> repository root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR10.json")
 }
 
 /// The acceptance budget for the live-telemetry arm of the overhead
@@ -52,6 +52,15 @@ fn trajectory_path() -> std::path::PathBuf {
 /// poller's fixed costs swamp the quantity being budgeted.
 const LIVE_OVERHEAD_BUDGET_PCT: f64 = 5.0;
 
+/// Below this sharded-arm size (its own scale knob, independent of
+/// `points_per_workload`) the makespan speedup and the residency budget
+/// are fixed-cost noise, so those gates only engage above it.
+const SHARDED_GATE_MIN_N: f64 = 1_000_000.0;
+
+/// The acceptance bar for the out-of-core executor: the t4 makespan
+/// must beat t1 by at least this factor at full sharded size.
+const SHARDED_MIN_SPEEDUP: f64 = 1.5;
+
 fn get_f64(v: &Json, key: &str) -> f64 {
     v.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing number {key:?}"))
 }
@@ -61,9 +70,9 @@ fn committed_trajectory_matches_schema() {
     let path = trajectory_path();
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let root = Json::parse(&text).expect("BENCH_PR9.json must be valid JSON");
+    let root = Json::parse(&text).expect("BENCH_PR10.json must be valid JSON");
 
-    assert_eq!(get_f64(&root, "schema_version"), 8.0, "schema_version must be 8");
+    assert_eq!(get_f64(&root, "schema_version"), 9.0, "schema_version must be 9");
     assert_eq!(get_f64(&root, "seed"), 2019.0, "pinned seed");
     let points_per_workload = get_f64(&root, "points_per_workload");
     assert!(points_per_workload >= 100.0);
@@ -418,6 +427,75 @@ fn committed_trajectory_matches_schema() {
                 t1 / t4
             );
         }
+    }
+
+    // Schema v9: the out-of-core sharded arm. Exactness bits are
+    // fail-closed at emission, so a committed file can only say true;
+    // the scaling and residency gates engage at full sharded size.
+    let sharded = root.get("sharded_scale").expect("sharded_scale block (schema v9)");
+    let sharded_n = get_f64(sharded, "n");
+    assert!(sharded_n > 0.0, "sharded_scale: n");
+    let raw = get_f64(sharded, "raw_bytes");
+    let budget = get_f64(sharded, "memory_budget_bytes");
+    assert!(
+        0.0 < budget && budget < raw,
+        "sharded_scale: the memory budget ({budget}B) must be smaller than the raw dataset \
+         ({raw}B) — otherwise the arm proves nothing"
+    );
+    assert!(get_f64(sharded, "store_file_bytes") > 0.0, "sharded_scale: store bytes");
+    assert_eq!(
+        sharded.get("identical_t1_t4").and_then(Json::as_bool),
+        Some(true),
+        "sharded_scale: t1 and t4 must be bit-identical"
+    );
+    let overlap = sharded.get("oracle_overlap").expect("oracle_overlap block");
+    assert!(get_f64(overlap, "n") > 0.0, "sharded_scale: overlap size");
+    assert_eq!(
+        overlap.get("matches_oracle").and_then(Json::as_bool),
+        Some(true),
+        "sharded_scale: the overlap run must match the naive oracle"
+    );
+    let arms = sharded.get("arms").and_then(Json::as_array).expect("sharded arms");
+    let mut makespans = std::collections::BTreeMap::new();
+    for arm in arms {
+        let label = arm.get("label").and_then(Json::as_str).expect("arm label");
+        let ctx = format!("sharded_scale/{label}");
+        assert_eq!(
+            arm.get("matches_in_memory").and_then(Json::as_bool),
+            Some(true),
+            "{ctx}: must be paper-exact against the in-memory run"
+        );
+        for key in ["threads", "n_shards", "makespan_secs", "wall_secs", "peak_resident_bytes"] {
+            assert!(get_f64(arm, key) > 0.0, "{ctx}: {key} must be positive");
+        }
+        // Border ties (order-defined in DBSCAN itself) are the only
+        // permitted label difference vs the in-memory run; the count is
+        // recorded and must be a tiny fraction of the dataset.
+        let ties = get_f64(arm, "border_ties");
+        assert!(
+            ties >= 0.0 && ties <= sharded_n / 1000.0,
+            "{ctx}: border_ties {ties} out of range for n={sharded_n}"
+        );
+        assert!(get_f64(arm, "n_shards") >= get_f64(sharded, "shards_requested"), "{ctx}: shards");
+        makespans.insert(label.to_string(), get_f64(arm, "makespan_secs"));
+    }
+    for required in ["sharded_t1", "sharded_t4"] {
+        assert!(makespans.contains_key(required), "sharded_scale: missing arm {required}");
+    }
+    if sharded_n >= SHARDED_GATE_MIN_N {
+        assert_eq!(
+            sharded.get("budget_respected").and_then(Json::as_bool),
+            Some(true),
+            "sharded_scale: peak resident bytes exceeded the memory budget"
+        );
+        let speedup = get_f64(sharded, "speedup_t1_t4");
+        assert!(
+            speedup >= SHARDED_MIN_SPEEDUP,
+            "sharded_scale: t1→t4 makespan speedup {speedup:.2}x below {SHARDED_MIN_SPEEDUP}x \
+             (t1 {:.3}s vs t4 {:.3}s)",
+            makespans["sharded_t1"],
+            makespans["sharded_t4"]
+        );
     }
 
     // Overhead block: the measured numbers EXPERIMENTS.md quotes.

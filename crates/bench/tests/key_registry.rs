@@ -9,7 +9,7 @@
 //! instrumentation in lock-step.
 
 use data::paper_table2_specs;
-use dist::{DistConfig, MuDbscanD};
+use dist::{DistConfig, MuDbscanD, ShardedMuDbscan, ShardedOptions};
 use mudbscan::{MuDbscan, ParMuDbscan};
 use std::collections::BTreeSet;
 
@@ -48,7 +48,8 @@ fn every_emitted_key_is_documented() {
 
     // One instrumented run of each execution mode on a small workload
     // exercises every emission site: sequential, shared-memory parallel
-    // (tiling + reconcile paths), and distributed (BSP + halo).
+    // (tiling + reconcile paths), distributed (BSP + halo), and the
+    // out-of-core sharded executor (shard planning, gather, merge).
     let spec = &paper_table2_specs()[0];
     let data = spec.generate_n(600, 2019);
     obs::reset();
@@ -56,6 +57,11 @@ fn every_emitted_key_is_documented() {
     let _ = MuDbscan::from_params(spec.params).run(&data);
     let _ = ParMuDbscan::from_params(spec.params, 2).run(&data);
     let _ = MuDbscanD::from_params(spec.params, DistConfig::new(2)).run(&data).expect("dist run");
+    let _ = ShardedMuDbscan::new(
+        spec.params,
+        ShardedOptions { shards: Some(2), threads: 2, ..Default::default() },
+    )
+    .run_source(&data);
     obs::disable();
     let report = obs::take_report();
     obs::reset();

@@ -113,7 +113,8 @@ fn run_equivalence(trace: &[Vec<RawOp>], ctx: &str) {
         .iter()
         .map(|(_, budget)| {
             Runner::new(p)
-                .serve_with(DIM, ServeOptions { repair_budget: *budget, ..Default::default() })
+                .serve_options(ServeOptions { repair_budget: *budget, ..Default::default() })
+                .serve(DIM)
                 .expect("serving configuration")
         })
         .collect();

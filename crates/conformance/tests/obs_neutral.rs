@@ -130,6 +130,12 @@ fn live_snapshot_polling_is_obs_neutral() {
                 series.push(snap.window);
                 std::thread::yield_now();
             }
+            // One final drain after the run stops: on a one-core host
+            // the scheduler may never run this thread mid-workload, so
+            // without it the series could legitimately be empty.
+            let snap = cursor.poll_global();
+            let _ = obs::render_prom(&snap.window, "mudbscan");
+            series.push(snap.window);
             series
         });
         let polled = run();

@@ -27,8 +27,10 @@ pub mod catalog;
 pub mod generators;
 pub mod io;
 pub mod plot;
+pub mod store;
 
 pub use catalog::{paper_table2_specs, DatasetSpec, GeneratorKind};
+pub use store::{write_store, ChunkedStore, StoreError, StoreWriter};
 pub use generators::{
     drifting_stream, galaxy, gaussian_mixture, household, kddbio, road_network, uniform, Normal,
 };

@@ -52,9 +52,11 @@ pub mod hpdbscan;
 pub mod mudbscan_d;
 pub mod recovery;
 pub mod rpdbscan;
+pub mod sharded;
 
 pub use driver::{run_distributed, DistError, DistOutput, LocalRun};
 pub use hpdbscan::HpDbscan;
 pub use mudbscan_d::{DistConfig, GridDbscanD, MuDbscanD, PdsDbscanD};
 pub use recovery::{Checkpoint, FaultConfig};
 pub use rpdbscan::RpDbscan;
+pub use sharded::{ShardedMuDbscan, ShardedOptions, ShardedOutput};

@@ -34,11 +34,13 @@ pub mod dist;
 pub mod kernels;
 pub mod mbr;
 pub mod soa;
+pub mod source;
 
 pub use dataset::{Dataset, DatasetBuilder, PointId};
 pub use dist::{dist_euclidean, dist_sq, within, within_sq};
 pub use mbr::Mbr;
 pub use soa::{PointBlock, SoaDataset};
+pub use source::{gather_dense, Cols, DataSource, SourceChunk, DEFAULT_CHUNK_CAP};
 
 /// DBSCAN density parameters, shared by every algorithm in the workspace.
 ///

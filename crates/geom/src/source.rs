@@ -1,0 +1,278 @@
+//! The [`DataSource`] ingestion trait: chunked, column-major access to a
+//! point set that may or may not fit in memory.
+//!
+//! Every consumer of a dataset in this workspace used to take
+//! `&geom::Dataset` — one heap allocation holding all coordinates. That
+//! caps the reachable `n` at whatever fits in RAM and forces callers to
+//! materialize points they only stream over once. `DataSource` is the
+//! seam that removes the cap: it exposes the points as a deterministic
+//! sequence of fixed-capacity **column-major chunks** (the same layout as
+//! [`crate::soa::PointBlock`], stride = chunk capacity), so the batched
+//! distance kernels in [`crate::kernels`] run directly on a chunk's
+//! storage whether it came from the heap or from a memory-mapped file.
+//!
+//! Implementors:
+//!
+//! * [`Dataset`] — in-memory, transposing each chunk on demand (owned
+//!   columns). `Runner::run(&data)` is a thin wrapper over
+//!   `run_source(&data)` through this impl.
+//! * `data::ChunkedStore` — the on-disk mmap store, borrowing columns
+//!   straight out of the mapping (zero-copy).
+//!
+//! The trait is object-safe: the out-of-core executors take
+//! `&dyn DataSource`.
+
+use crate::dataset::{Dataset, PointId};
+use crate::kernels;
+
+/// Default chunk capacity used by the in-memory [`Dataset`] source and
+/// by writers that don't pick their own: large enough that per-chunk
+/// overhead vanishes, small enough that a chunk is cache-resident while
+/// a kernel streams it.
+pub const DEFAULT_CHUNK_CAP: usize = 4096;
+
+/// Column storage of one chunk: borrowed straight from a mapping, or
+/// owned when the implementor had to transpose on demand.
+pub enum Cols<'a> {
+    /// Columns borrowed from the source's own storage (zero-copy).
+    Borrowed(&'a [f64]),
+    /// Columns materialized for this call.
+    Owned(Box<[f64]>),
+}
+
+impl std::ops::Deref for Cols<'_> {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        match self {
+            Cols::Borrowed(s) => s,
+            Cols::Owned(b) => b,
+        }
+    }
+}
+
+/// One column-major chunk of points handed out by a [`DataSource`].
+///
+/// Column `k` lives at `cols[k*stride .. k*stride + len]` — the
+/// [`crate::soa::PointBlock`] layout — so `cols`/`stride` feed
+/// [`kernels::dist_sq_batch`] directly. Point `i` of the chunk has the
+/// global id `base + i`.
+pub struct SourceChunk<'a> {
+    /// Global id of the chunk's first point.
+    pub base: PointId,
+    /// Number of points in this chunk.
+    pub len: usize,
+    /// Point dimensionality.
+    pub dim: usize,
+    /// Column stride (chunk capacity; `stride >= len`).
+    pub stride: usize,
+    /// Column-major coordinate storage.
+    pub cols: Cols<'a>,
+}
+
+impl SourceChunk<'_> {
+    /// Coordinate `k` of the chunk's `i`-th point.
+    #[inline]
+    pub fn coord(&self, i: usize, k: usize) -> f64 {
+        debug_assert!(i < self.len && k < self.dim);
+        self.cols[k * self.stride + i]
+    }
+
+    /// Copy the `i`-th point's coordinates into `buf` (length `dim`).
+    #[inline]
+    pub fn write_point(&self, i: usize, buf: &mut [f64]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        for (k, b) in buf.iter_mut().enumerate() {
+            *b = self.coord(i, k);
+        }
+    }
+
+    /// The filled part of column `k` (unit stride, length `len`).
+    #[inline]
+    pub fn col(&self, k: usize) -> &[f64] {
+        &self.cols[k * self.stride..k * self.stride + self.len]
+    }
+
+    /// Batched squared distances from `q` to every point of the chunk,
+    /// written to `out[..len]` — bit-identical to [`crate::dist_sq`] on
+    /// row-major copies (same ascending-dimension accumulation).
+    #[inline]
+    pub fn dist_sq_batch(&self, q: &[f64], out: &mut [f64]) {
+        kernels::dist_sq_batch(&self.cols, self.stride, self.len, self.dim, q, out);
+    }
+}
+
+/// Chunked, column-major, read-only access to a point set.
+///
+/// The chunk decomposition is **deterministic**: `chunk(c)` always
+/// returns the same points in the same order for a given source, chunk
+/// `c` covers global ids `[c*chunk_cap, c*chunk_cap + chunk(c).len)`,
+/// and every chunk except possibly the last is full. Implementations
+/// must be `Sync` — shard workers read chunks concurrently.
+pub trait DataSource: Sync {
+    /// Point dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Total number of points.
+    fn len(&self) -> usize;
+
+    /// True when the source holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Chunk capacity (points per full chunk; also the column stride).
+    fn chunk_cap(&self) -> usize;
+
+    /// Number of chunks (`ceil(len / chunk_cap)`).
+    fn n_chunks(&self) -> usize {
+        let cap = self.chunk_cap();
+        self.len().div_ceil(cap)
+    }
+
+    /// The `c`-th chunk. Panics when `c >= n_chunks()`.
+    fn chunk(&self, c: usize) -> SourceChunk<'_>;
+
+    /// Fast path for consumers that want a dense in-memory [`Dataset`]:
+    /// sources that *are* one return it, others return `None` and the
+    /// caller falls back to [`gather_dense`].
+    fn as_dataset(&self) -> Option<&Dataset> {
+        None
+    }
+
+    /// Coordinate bytes of the full point set (`len * dim * 8`) — what a
+    /// dense materialization would cost, and the baseline a sharded
+    /// run's memory budget is compared against.
+    fn coord_bytes(&self) -> usize {
+        self.len() * self.dim() * std::mem::size_of::<f64>()
+    }
+}
+
+impl DataSource for Dataset {
+    fn dim(&self) -> usize {
+        Dataset::dim(self)
+    }
+
+    fn len(&self) -> usize {
+        Dataset::len(self)
+    }
+
+    fn chunk_cap(&self) -> usize {
+        DEFAULT_CHUNK_CAP
+    }
+
+    fn chunk(&self, c: usize) -> SourceChunk<'_> {
+        let cap = <Self as DataSource>::chunk_cap(self);
+        let n = Dataset::len(self);
+        let base = c * cap;
+        assert!(base < n || (n == 0 && c == 0), "chunk index out of range");
+        let len = cap.min(n - base);
+        let dim = Dataset::dim(self);
+        let mut cols = vec![0.0; dim * cap].into_boxed_slice();
+        for i in 0..len {
+            let p = self.point((base + i) as PointId);
+            for (k, &x) in p.iter().enumerate() {
+                cols[k * cap + i] = x;
+            }
+        }
+        SourceChunk { base: base as PointId, len, dim, stride: cap, cols: Cols::Owned(cols) }
+    }
+
+    fn as_dataset(&self) -> Option<&Dataset> {
+        Some(self)
+    }
+}
+
+/// Materialize any source as a dense row-major [`Dataset`] (the
+/// compatibility path for algorithm families that have no chunked
+/// executor yet).
+pub fn gather_dense(src: &dyn DataSource) -> Dataset {
+    if let Some(d) = src.as_dataset() {
+        return d.clone();
+    }
+    let (dim, n) = (src.dim(), src.len());
+    let mut flat = Vec::with_capacity(dim * n);
+    let mut buf = vec![0.0; dim];
+    for c in 0..src.n_chunks() {
+        let ch = src.chunk(c);
+        for i in 0..ch.len {
+            ch.write_point(i, &mut buf);
+            flat.extend_from_slice(&buf);
+        }
+    }
+    Dataset::from_flat(dim, flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist_sq;
+
+    fn sample(n: usize, dim: usize) -> Dataset {
+        let mut flat = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            for k in 0..dim {
+                flat.push(i as f64 * 1.5 - k as f64 * 0.25);
+            }
+        }
+        Dataset::from_flat(dim, flat)
+    }
+
+    #[test]
+    fn dataset_source_chunks_cover_all_points() {
+        let d = sample(DEFAULT_CHUNK_CAP + 37, 3);
+        let src: &dyn DataSource = &d;
+        assert_eq!(src.len(), d.len());
+        assert_eq!(src.dim(), 3);
+        assert_eq!(src.n_chunks(), 2);
+        let mut seen = 0usize;
+        let mut buf = [0.0; 3];
+        for c in 0..src.n_chunks() {
+            let ch = src.chunk(c);
+            assert_eq!(ch.base as usize, c * DEFAULT_CHUNK_CAP);
+            assert_eq!(ch.stride, DEFAULT_CHUNK_CAP);
+            for i in 0..ch.len {
+                ch.write_point(i, &mut buf);
+                assert_eq!(&buf[..], d.point(ch.base + i as PointId));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, d.len());
+    }
+
+    #[test]
+    fn chunk_kernels_match_row_major() {
+        let d = sample(100, 2);
+        let ch = DataSource::chunk(&d, 0);
+        let q = [3.25, -1.5];
+        let mut out = vec![0.0; ch.len];
+        ch.dist_sq_batch(&q, &mut out);
+        for i in 0..ch.len {
+            let want = dist_sq(d.point(i as PointId), &q);
+            assert_eq!(out[i].to_bits(), want.to_bits());
+            assert_eq!(ch.coord(i, 0), d.point(i as PointId)[0]);
+        }
+        assert_eq!(ch.col(1).len(), 100);
+    }
+
+    #[test]
+    fn gather_dense_round_trips() {
+        let d = sample(DEFAULT_CHUNK_CAP * 2 + 5, 4);
+        let g = gather_dense(&d);
+        assert_eq!(g.len(), d.len());
+        assert_eq!(g.dim(), d.dim());
+        for i in 0..d.len() as PointId {
+            assert_eq!(g.point(i), d.point(i));
+        }
+    }
+
+    #[test]
+    fn empty_source() {
+        let d = Dataset::empty(2);
+        let src: &dyn DataSource = &d;
+        assert!(src.is_empty());
+        assert_eq!(src.n_chunks(), 0);
+        assert_eq!(src.coord_bytes(), 0);
+        assert!(gather_dense(src).is_empty());
+    }
+}

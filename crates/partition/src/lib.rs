@@ -35,5 +35,7 @@
 //! ```
 
 pub mod kdpart;
+pub mod sharding;
 
 pub use kdpart::{kd_partition, PartitionOutput, Shard};
+pub use sharding::{gather_shard, plan_shards, ShardPlan, ShardingOptions};

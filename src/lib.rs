@@ -5,9 +5,11 @@
 //! Umbrella crate re-exporting the whole workspace. Most users want:
 //!
 //! * [`mudbscan::prelude::Runner`] — the unified entry point over all
-//!   six algorithm families (sequential, parallel, distributed,
-//!   streaming, OPTICS, serving — the last via
-//!   [`mudbscan::prelude::Runner::serve`], see `docs/SERVING.md`);
+//!   seven algorithm families (sequential, parallel, distributed,
+//!   out-of-core sharded — fed from a memory-mapped chunk store via
+//!   [`mudbscan::prelude::Runner::run_source`] — streaming, OPTICS,
+//!   serving — the last via [`mudbscan::prelude::Runner::serve`], see
+//!   `docs/SERVING.md`);
 //! * [`data`] — synthetic dataset generators;
 //! * [`baselines`] — R-DBSCAN / G-DBSCAN / GridDBSCAN comparators.
 //!
@@ -42,9 +44,10 @@ pub mod prelude {
     pub use data;
     pub use dist::DistConfig;
     pub use mudbscan::prelude::{
-        Cluster, Clustering, Counters, Dataset, DbscanParams, Family, Fault, FaultConfig,
-        FaultPlan, FaultStats, Membership, MuDbscanError, RetryConfig, RunDetails, RunOutput,
-        Runner, ServeHandle, ServeOp, Snapshot, NOISE,
+        write_store, ChunkedStore, Cluster, Clustering, Counters, DataSource, Dataset,
+        DbscanParams, Family, Fault, FaultConfig, FaultPlan, FaultStats, Membership,
+        MuDbscanError, RetryConfig, RunDetails, RunOutput, Runner, ServeHandle, ServeOp,
+        ServeOptions, Snapshot, StoreError, NOISE,
     };
     pub use mudbscan::{check_exact, naive_dbscan};
 }
